@@ -1,0 +1,327 @@
+//! The storage-backend abstraction and its adapters.
+//!
+//! "Hardware and software choices limit the access protocols and APIs ⇒
+//! not all components accessible through all methods ⇒ need a unified
+//! access layer" (paper, slide 9). [`StorageBackend`] is that low-level
+//! interface; adapters wrap the object store (disk arrays), the DFS
+//! (Hadoop filesystem) and the HSM (disk+tape) so every component is
+//! reachable through one API — and the layer is "extensible to support
+//! new backends".
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use lsdf_dfs::{Dfs, DfsError};
+use lsdf_storage::{Hsm, HsmError, ObjectStore, StoreError};
+
+/// Metadata returned by `stat`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryMeta {
+    /// Key within the backend.
+    pub key: String,
+    /// Payload size, bytes.
+    pub size: u64,
+}
+
+/// Unified backend error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// Key not found.
+    NotFound(String),
+    /// Key already exists (all LSDF backends are write-once).
+    AlreadyExists(String),
+    /// Out of capacity.
+    NoSpace(String),
+    /// Anything else, with context.
+    Other(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::NotFound(k) => write!(f, "'{k}' not found"),
+            BackendError::AlreadyExists(k) => write!(f, "'{k}' already exists"),
+            BackendError::NoSpace(m) => write!(f, "no space: {m}"),
+            BackendError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<StoreError> for BackendError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::NotFound(k) => BackendError::NotFound(k),
+            StoreError::AlreadyExists(k) => BackendError::AlreadyExists(k),
+            StoreError::CapacityExceeded { requested, free } => {
+                BackendError::NoSpace(format!("need {requested}, free {free}"))
+            }
+            StoreError::ChecksumMismatch(k) => {
+                BackendError::Other(format!("checksum mismatch on '{k}'"))
+            }
+        }
+    }
+}
+
+impl From<DfsError> for BackendError {
+    fn from(e: DfsError) -> Self {
+        match e {
+            DfsError::FileNotFound(p) => BackendError::NotFound(p),
+            DfsError::FileExists(p) => BackendError::AlreadyExists(p),
+            DfsError::NoSpace => BackendError::NoSpace("dfs".into()),
+            other => BackendError::Other(other.to_string()),
+        }
+    }
+}
+
+impl From<HsmError> for BackendError {
+    fn from(e: HsmError) -> Self {
+        match e {
+            HsmError::NotFound(k) => BackendError::NotFound(k),
+            HsmError::Store(s) => s.into(),
+            other => BackendError::Other(other.to_string()),
+        }
+    }
+}
+
+/// The low-level unified interface to any LSDF storage component.
+pub trait StorageBackend: Send + Sync {
+    /// Backend kind label (for reporting).
+    fn kind(&self) -> &'static str;
+    /// Stores `data` under `key` (write-once).
+    fn put(&self, key: &str, data: Bytes) -> Result<(), BackendError>;
+    /// Fetches the payload under `key`.
+    fn get(&self, key: &str) -> Result<Bytes, BackendError>;
+    /// Metadata for `key`.
+    fn stat(&self, key: &str) -> Result<EntryMeta, BackendError>;
+    /// Deletes `key` (lifecycle management).
+    fn delete(&self, key: &str) -> Result<(), BackendError>;
+    /// Keys under `prefix`, sorted.
+    fn list(&self, prefix: &str) -> Vec<EntryMeta>;
+    /// True when `key` exists.
+    fn exists(&self, key: &str) -> bool {
+        self.stat(key).is_ok()
+    }
+}
+
+/// Adapter: the in-memory object store (stand-in for the GPFS arrays).
+pub struct ObjectStoreBackend {
+    store: Arc<ObjectStore>,
+}
+
+impl ObjectStoreBackend {
+    /// Wraps an object store.
+    pub fn new(store: Arc<ObjectStore>) -> Self {
+        ObjectStoreBackend { store }
+    }
+}
+
+impl StorageBackend for ObjectStoreBackend {
+    fn kind(&self) -> &'static str {
+        "object-store"
+    }
+    fn put(&self, key: &str, data: Bytes) -> Result<(), BackendError> {
+        self.store.put(key, data)?;
+        Ok(())
+    }
+    fn get(&self, key: &str) -> Result<Bytes, BackendError> {
+        Ok(self.store.get(key)?)
+    }
+    fn stat(&self, key: &str) -> Result<EntryMeta, BackendError> {
+        let m = self.store.stat(key)?;
+        Ok(EntryMeta {
+            key: m.key,
+            size: m.size,
+        })
+    }
+    fn delete(&self, key: &str) -> Result<(), BackendError> {
+        self.store.delete(key)?;
+        Ok(())
+    }
+    fn list(&self, prefix: &str) -> Vec<EntryMeta> {
+        self.store
+            .list(prefix)
+            .into_iter()
+            .map(|m| EntryMeta {
+                key: m.key,
+                size: m.size,
+            })
+            .collect()
+    }
+}
+
+/// Adapter: the distributed filesystem (Hadoop-style).
+pub struct DfsBackend {
+    dfs: Arc<Dfs>,
+}
+
+impl DfsBackend {
+    /// Wraps a DFS.
+    pub fn new(dfs: Arc<Dfs>) -> Self {
+        DfsBackend { dfs }
+    }
+}
+
+impl StorageBackend for DfsBackend {
+    fn kind(&self) -> &'static str {
+        "dfs"
+    }
+    fn put(&self, key: &str, data: Bytes) -> Result<(), BackendError> {
+        self.dfs.write(key, &data, None)?;
+        Ok(())
+    }
+    fn get(&self, key: &str) -> Result<Bytes, BackendError> {
+        Ok(self.dfs.read(key, None)?)
+    }
+    fn stat(&self, key: &str) -> Result<EntryMeta, BackendError> {
+        let m = self.dfs.stat(key)?;
+        Ok(EntryMeta {
+            key: m.path,
+            size: m.size,
+        })
+    }
+    fn delete(&self, key: &str) -> Result<(), BackendError> {
+        self.dfs.delete(key)?;
+        Ok(())
+    }
+    fn list(&self, prefix: &str) -> Vec<EntryMeta> {
+        self.dfs
+            .list(prefix)
+            .into_iter()
+            .map(|m| EntryMeta {
+                key: m.path,
+                size: m.size,
+            })
+            .collect()
+    }
+}
+
+/// Adapter: the HSM (disk + tape tiering).
+pub struct HsmBackend {
+    hsm: Arc<Hsm>,
+}
+
+impl HsmBackend {
+    /// Wraps an HSM.
+    pub fn new(hsm: Arc<Hsm>) -> Self {
+        HsmBackend { hsm }
+    }
+}
+
+impl StorageBackend for HsmBackend {
+    fn kind(&self) -> &'static str {
+        "hsm"
+    }
+    fn put(&self, key: &str, data: Bytes) -> Result<(), BackendError> {
+        self.hsm.put(key, data)?;
+        Ok(())
+    }
+    fn get(&self, key: &str) -> Result<Bytes, BackendError> {
+        Ok(self.hsm.get(key)?)
+    }
+    fn stat(&self, key: &str) -> Result<EntryMeta, BackendError> {
+        let entries = self.hsm.catalog();
+        entries
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| EntryMeta {
+                key: e.key.clone(),
+                size: e.size,
+            })
+            .ok_or_else(|| BackendError::NotFound(key.to_string()))
+    }
+    fn delete(&self, _key: &str) -> Result<(), BackendError> {
+        Err(BackendError::Other(
+            "HSM-managed objects are immutable archives; deletion is a \
+             curation decision outside the data path"
+                .into(),
+        ))
+    }
+    fn list(&self, prefix: &str) -> Vec<EntryMeta> {
+        let mut out: Vec<EntryMeta> = self
+            .hsm
+            .catalog()
+            .into_iter()
+            .filter(|e| e.key.starts_with(prefix))
+            .map(|e| EntryMeta {
+                key: e.key,
+                size: e.size,
+            })
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdf_dfs::{ClusterTopology, DfsConfig};
+    use lsdf_storage::MigrationPolicy;
+
+    fn payload(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn backends() -> Vec<Box<dyn StorageBackend>> {
+        let obj = Arc::new(ObjectStore::new("obj", u64::MAX));
+        let dfs = Arc::new(Dfs::new(
+            ClusterTopology::new(1, 3),
+            DfsConfig {
+                block_size: 64,
+                replication: 2,
+                ..DfsConfig::default()
+            },
+        ));
+        let disk = Arc::new(ObjectStore::new("disk", u64::MAX));
+        let tape = Arc::new(ObjectStore::new("tape", u64::MAX));
+        let hsm = Arc::new(Hsm::new(disk, tape, 0.5, 0.8, MigrationPolicy::OldestFirst));
+        vec![
+            Box::new(ObjectStoreBackend::new(obj)),
+            Box::new(DfsBackend::new(dfs)),
+            Box::new(HsmBackend::new(hsm)),
+        ]
+    }
+
+    #[test]
+    fn all_backends_satisfy_the_contract() {
+        for b in backends() {
+            let kind = b.kind();
+            // put / exists / get / stat
+            b.put("a/x", payload("hello")).unwrap();
+            assert!(b.exists("a/x"), "{kind}");
+            assert_eq!(b.get("a/x").unwrap(), payload("hello"), "{kind}");
+            let m = b.stat("a/x").unwrap();
+            assert_eq!(m.size, 5, "{kind}");
+            // write-once
+            assert!(
+                matches!(b.put("a/x", payload("v2")), Err(BackendError::AlreadyExists(_))),
+                "{kind} must be write-once"
+            );
+            // list
+            b.put("a/y", payload("1")).unwrap();
+            b.put("b/z", payload("2")).unwrap();
+            let keys: Vec<String> = b.list("a/").into_iter().map(|m| m.key).collect();
+            assert_eq!(keys, vec!["a/x", "a/y"], "{kind}");
+            // missing keys
+            assert!(matches!(b.get("nope"), Err(BackendError::NotFound(_))), "{kind}");
+            assert!(!b.exists("nope"), "{kind}");
+        }
+    }
+
+    #[test]
+    fn object_and_dfs_support_delete_hsm_refuses() {
+        let bs = backends();
+        for b in &bs[..2] {
+            b.put("k", payload("v")).unwrap();
+            b.delete("k").unwrap();
+            assert!(!b.exists("k"), "{}", b.kind());
+        }
+        let hsm = &bs[2];
+        hsm.put("k", payload("v")).unwrap();
+        assert!(matches!(hsm.delete("k"), Err(BackendError::Other(_))));
+        assert!(hsm.exists("k"));
+    }
+}

@@ -1,0 +1,306 @@
+//! The ADAL itself: a registry mapping project mounts to backends, with
+//! authentication, authorization and operation accounting on every call.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::auth::{Access, Acl, AuthError, AuthProvider, Credential};
+use crate::backend::{BackendError, EntryMeta, StorageBackend};
+use crate::path::{LsdfPath, PathError};
+
+/// Errors surfaced by ADAL operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdalError {
+    /// Malformed path.
+    Path(PathError),
+    /// Authentication / authorization failure.
+    Auth(AuthError),
+    /// No backend mounted for the project.
+    NoMount(String),
+    /// Backend-level failure.
+    Backend(BackendError),
+}
+
+impl std::fmt::Display for AdalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdalError::Path(e) => write!(f, "path: {e}"),
+            AdalError::Auth(e) => write!(f, "auth: {e}"),
+            AdalError::NoMount(p) => write!(f, "no backend mounted for project '{p}'"),
+            AdalError::Backend(e) => write!(f, "backend: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdalError {}
+
+impl From<PathError> for AdalError {
+    fn from(e: PathError) -> Self {
+        AdalError::Path(e)
+    }
+}
+impl From<AuthError> for AdalError {
+    fn from(e: AuthError) -> Self {
+        AdalError::Auth(e)
+    }
+}
+impl From<BackendError> for AdalError {
+    fn from(e: BackendError) -> Self {
+        AdalError::Backend(e)
+    }
+}
+
+/// Operation counters (the E9 overhead accounting).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdalCounters {
+    /// `put` calls served.
+    pub puts: u64,
+    /// `get` calls served.
+    pub gets: u64,
+    /// `stat`/`list`/`exists` calls served.
+    pub metas: u64,
+    /// Requests rejected by auth.
+    pub denied: u64,
+}
+
+/// The Abstract Data Access Layer.
+pub struct Adal {
+    auth: Arc<dyn AuthProvider>,
+    acl: Arc<Acl>,
+    mounts: RwLock<HashMap<String, Arc<dyn StorageBackend>>>,
+    puts: AtomicU64,
+    gets: AtomicU64,
+    metas: AtomicU64,
+    denied: AtomicU64,
+}
+
+impl Adal {
+    /// Creates an ADAL with the given authentication provider and ACL.
+    pub fn new(auth: Arc<dyn AuthProvider>, acl: Arc<Acl>) -> Self {
+        Adal {
+            auth,
+            acl,
+            mounts: RwLock::new(HashMap::new()),
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            metas: AtomicU64::new(0),
+            denied: AtomicU64::new(0),
+        }
+    }
+
+    /// Mounts a backend under a project name. Remounting replaces the
+    /// previous backend (used for transparent technology migrations —
+    /// slide 6: "transparent access over background storage and
+    /// technology changes").
+    pub fn mount(&self, project: &str, backend: Arc<dyn StorageBackend>) {
+        self.mounts.write().insert(project.to_string(), backend);
+    }
+
+    /// The backend kind currently serving a project.
+    pub fn backend_kind(&self, project: &str) -> Option<&'static str> {
+        self.mounts.read().get(project).map(|b| b.kind())
+    }
+
+    /// Mounted project names, sorted.
+    pub fn projects(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.mounts.read().keys().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn resolve(
+        &self,
+        cred: &Credential,
+        path: &str,
+        access: Access,
+    ) -> Result<(Arc<dyn StorageBackend>, LsdfPath), AdalError> {
+        self.resolve_parsed(cred, LsdfPath::parse(path)?, access)
+    }
+
+    fn resolve_parsed(
+        &self,
+        cred: &Credential,
+        parsed: LsdfPath,
+        access: Access,
+    ) -> Result<(Arc<dyn StorageBackend>, LsdfPath), AdalError> {
+        let principal = self.auth.authenticate(cred).inspect_err(|_| {
+            self.denied.fetch_add(1, Ordering::Relaxed);
+        })?;
+        self.acl
+            .check(&principal, &parsed.project, access)
+            .inspect_err(|_| {
+                self.denied.fetch_add(1, Ordering::Relaxed);
+            })?;
+        let backend = self
+            .mounts
+            .read()
+            .get(&parsed.project)
+            .cloned()
+            .ok_or_else(|| AdalError::NoMount(parsed.project.clone()))?;
+        Ok((backend, parsed))
+    }
+
+    /// Stores an object at `lsdf://project/key`.
+    pub fn put(&self, cred: &Credential, path: &str, data: Bytes) -> Result<(), AdalError> {
+        let (backend, parsed) = self.resolve(cred, path, Access::Write)?;
+        backend.put(&parsed.key, data)?;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Fetches an object.
+    pub fn get(&self, cred: &Credential, path: &str) -> Result<Bytes, AdalError> {
+        let (backend, parsed) = self.resolve(cred, path, Access::Read)?;
+        let data = backend.get(&parsed.key)?;
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    /// Metadata for an object.
+    pub fn stat(&self, cred: &Credential, path: &str) -> Result<EntryMeta, AdalError> {
+        let (backend, parsed) = self.resolve(cred, path, Access::Read)?;
+        let meta = backend.stat(&parsed.key)?;
+        self.metas.fetch_add(1, Ordering::Relaxed);
+        Ok(meta)
+    }
+
+    /// Lists keys under `lsdf://project/prefix` (the prefix may be empty
+    /// to list a whole project).
+    pub fn list(&self, cred: &Credential, path: &str) -> Result<Vec<EntryMeta>, AdalError> {
+        let (backend, parsed) =
+            self.resolve_parsed(cred, LsdfPath::parse_prefix(path)?, Access::Read)?;
+        self.metas.fetch_add(1, Ordering::Relaxed);
+        Ok(backend.list(&parsed.key))
+    }
+
+    /// Deletes an object (requires write access).
+    pub fn delete(&self, cred: &Credential, path: &str) -> Result<(), AdalError> {
+        let (backend, parsed) = self.resolve(cred, path, Access::Write)?;
+        backend.delete(&parsed.key)?;
+        Ok(())
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> AdalCounters {
+        AdalCounters {
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            metas: self.metas.load(Ordering::Relaxed),
+            denied: self.denied.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::TokenAuth;
+    use crate::backend::ObjectStoreBackend;
+    use lsdf_storage::ObjectStore;
+
+    fn setup() -> (Adal, Credential) {
+        let auth = Arc::new(TokenAuth::new());
+        auth.register("tok", "garcia");
+        let acl = Arc::new(Acl::new());
+        acl.grant("garcia", "zebrafish", true);
+        acl.grant("garcia", "katrin", false); // read-only
+        let adal = Adal::new(auth, acl);
+        adal.mount(
+            "zebrafish",
+            Arc::new(ObjectStoreBackend::new(Arc::new(ObjectStore::new(
+                "z",
+                u64::MAX,
+            )))),
+        );
+        adal.mount(
+            "katrin",
+            Arc::new(ObjectStoreBackend::new(Arc::new(ObjectStore::new(
+                "k",
+                u64::MAX,
+            )))),
+        );
+        (adal, Credential::Token("tok".into()))
+    }
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_through_the_layer() {
+        let (adal, cred) = setup();
+        adal.put(&cred, "lsdf://zebrafish/raw/i1", b("px")).unwrap();
+        assert_eq!(adal.get(&cred, "lsdf://zebrafish/raw/i1").unwrap(), b("px"));
+        let meta = adal.stat(&cred, "lsdf://zebrafish/raw/i1").unwrap();
+        assert_eq!(meta.size, 2);
+        let listed = adal.list(&cred, "lsdf://zebrafish/raw/").unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(
+            adal.counters(),
+            AdalCounters {
+                puts: 1,
+                gets: 1,
+                metas: 2,
+                denied: 0
+            }
+        );
+    }
+
+    #[test]
+    fn write_denied_on_readonly_project() {
+        let (adal, cred) = setup();
+        let r = adal.put(&cred, "lsdf://katrin/run1", b("ev"));
+        assert!(matches!(r, Err(AdalError::Auth(AuthError::Denied { .. }))));
+        assert_eq!(adal.counters().denied, 1);
+    }
+
+    #[test]
+    fn unknown_project_and_bad_paths() {
+        let (adal, cred) = setup();
+        // ACL denies before mount resolution for unknown projects.
+        assert!(matches!(
+            adal.get(&cred, "lsdf://mystery/x"),
+            Err(AdalError::Auth(_))
+        ));
+        assert!(matches!(
+            adal.get(&cred, "file:///etc/passwd"),
+            Err(AdalError::Path(_))
+        ));
+    }
+
+    #[test]
+    fn bad_credential_rejected() {
+        let (adal, _) = setup();
+        let r = adal.get(&Credential::Token("nope".into()), "lsdf://zebrafish/x");
+        assert!(matches!(
+            r,
+            Err(AdalError::Auth(AuthError::InvalidCredential))
+        ));
+    }
+
+    #[test]
+    fn remount_swaps_backend_transparently() {
+        let (adal, cred) = setup();
+        adal.put(&cred, "lsdf://zebrafish/a", b("1")).unwrap();
+        assert_eq!(adal.backend_kind("zebrafish"), Some("object-store"));
+        // Technology change: remount the project onto a fresh backend
+        // (clients keep using the same paths).
+        let new_store = Arc::new(ObjectStore::new("z2", u64::MAX));
+        new_store.put("a", b("1")).unwrap(); // migrated content
+        adal.mount(
+            "zebrafish",
+            Arc::new(ObjectStoreBackend::new(new_store)),
+        );
+        assert_eq!(adal.get(&cred, "lsdf://zebrafish/a").unwrap(), b("1"));
+    }
+
+    #[test]
+    fn projects_enumerated() {
+        let (adal, _) = setup();
+        assert_eq!(adal.projects(), vec!["katrin", "zebrafish"]);
+    }
+}

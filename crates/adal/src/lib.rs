@@ -1,0 +1,28 @@
+//! # lsdf-adal — the Abstract Data Access Layer
+//!
+//! "Hardware and software choices limit the access protocols and APIs ⇒
+//! need a unified access layer. Abstract Data Access Layer, low-level
+//! interface to LSDF ⇒ extensible to support new backends, authentication
+//! mechanisms" (paper, slide 9).
+//!
+//! * [`LsdfPath`] — the unified `lsdf://project/key` namespace;
+//! * [`StorageBackend`] — the backend trait, with adapters for the object
+//!   store, the DFS, and the HSM;
+//! * [`TokenAuth`] / [`Acl`] — pluggable authentication and per-project
+//!   authorization;
+//! * [`Adal`] — the mount registry tying it together, with operation
+//!   counters used by the overhead experiment (E9).
+
+#![warn(missing_docs)]
+
+mod auth;
+mod backend;
+mod layer;
+mod path;
+
+pub use auth::{Access, Acl, AuthError, AuthProvider, Credential, Principal, TokenAuth};
+pub use backend::{
+    BackendError, DfsBackend, EntryMeta, HsmBackend, ObjectStoreBackend, StorageBackend,
+};
+pub use layer::{Adal, AdalCounters, AdalError};
+pub use path::{LsdfPath, PathError};

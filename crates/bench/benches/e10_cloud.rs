@@ -1,0 +1,38 @@
+//! E10 bench: cloud-manager throughput — placing and deploying VM fleets
+//! under each placement policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsdf_cloud::{CloudConfig, CloudManager, Placement, VmTemplate};
+use lsdf_sim::Simulation;
+
+fn bench_cloud(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_cloud");
+    group.sample_size(10);
+    for policy in [Placement::FirstFit, Placement::Pack, Placement::Spread] {
+        group.bench_with_input(
+            BenchmarkId::new("deploy_240_vms", format!("{policy:?}")),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    let cloud = CloudManager::new(CloudConfig {
+                        policy: p,
+                        ..CloudConfig::lsdf()
+                    });
+                    let mut sim = Simulation::new();
+                    for i in 0..240 {
+                        cloud
+                            .submit(&mut sim, VmTemplate::small(&format!("vm{i}")), |_, _| {})
+                            .expect("submit");
+                    }
+                    sim.run();
+                    assert_eq!(cloud.stats().deployed, 240);
+                    cloud.stats().mean_deploy_secs
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cloud);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! E11 bench: workflow-engine throughput — firings per second through a
+//! pipeline, and trigger-engine round trips.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsdf_metadata::{dataset, FieldType, ProjectStore, SchemaBuilder, Value};
+use lsdf_workflow::{
+    Collect, Director, FilterActor, MapActor, Token, TriggerEngine, TriggerRule, VecSource,
+    Workflow,
+};
+use parking_lot::Mutex;
+
+fn pipeline(n: i64, director: Director) -> usize {
+    let mut wf = Workflow::new();
+    let sink = Arc::new(Mutex::new(Vec::new()));
+    let src = wf.add(VecSource::new(
+        "src",
+        (0..n).map(Token::int).collect::<Vec<_>>(),
+    ));
+    let double = wf.add(MapActor::new("double", |t: Token| {
+        Ok(vec![Token::int(t.as_int().ok_or("int")? * 2)])
+    }));
+    let keep = wf.add(FilterActor::new("evens", |t: &Token| {
+        t.as_int().is_some_and(|i| i % 4 == 0)
+    }));
+    let out = wf.add(Collect::new("sink", sink.clone()));
+    wf.connect(src, 0, double, 0).expect("ports");
+    wf.connect(double, 0, keep, 0).expect("ports");
+    wf.connect(keep, 0, out, 0).expect("ports");
+    wf.run(director).expect("runs");
+    let n = sink.lock().len();
+    n
+}
+
+fn bench_workflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_workflow");
+    group.sample_size(20);
+    for director in [Director::Sequential, Director::Parallel] {
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_1000_tokens", format!("{director:?}")),
+            &director,
+            |b, &d| b.iter(|| pipeline(1000, d)),
+        );
+    }
+    group.bench_function("trigger_roundtrip_100_datasets", |b| {
+        b.iter(|| {
+            let schema = SchemaBuilder::new("p")
+                .required("x", FieldType::Int)
+                .build()
+                .expect("schema");
+            let store = Arc::new(ProjectStore::new(schema));
+            for i in 0..100 {
+                store
+                    .insert(dataset(
+                        &format!("d{i}"),
+                        1,
+                        [("x".to_string(), Value::Int(i))].into_iter().collect(),
+                    ))
+                    .expect("insert");
+            }
+            let engine = TriggerEngine::new(
+                store.clone(),
+                vec![TriggerRule {
+                    step: "step".into(),
+                    tag: "go".into(),
+                    done_tag: "done".into(),
+                    remove_trigger_tag: true,
+                    build: Box::new(|id, sink| {
+                        let mut wf = Workflow::new();
+                        let src = wf.add(VecSource::new(
+                            "s",
+                            vec![Token::str("out"), Token::int(id.0 as i64)],
+                        ));
+                        let out = wf.add(Collect::new("c", sink));
+                        wf.connect(src, 0, out, 0).expect("ports");
+                        wf
+                    }),
+                }],
+                Director::Sequential,
+            );
+            for i in 0..100 {
+                store.tag(lsdf_metadata::DatasetId(i), "go").expect("tag");
+            }
+            engine.run_pending().expect("runs").len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workflow);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E12 bench: the move-data vs move-compute decision machinery and the
+//! locality ablation on the cluster model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsdf_mapreduce::{simulate_job, ClusterModel};
+use lsdf_net::units::{GB, PB, TB, TEN_GBIT};
+use lsdf_net::{choose_placement, movement_crossover, PlacementCosts, TransferModel};
+use lsdf_sim::SimDuration;
+
+fn bench_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_locality");
+    let costs = PlacementCosts {
+        data_link: TransferModel::with_efficiency(TEN_GBIT, 0.7),
+        compute_staging: SimDuration::from_mins(5),
+        compute_image_bytes: 4 * GB,
+    };
+    group.bench_function("crossover_bisection", |b| {
+        b.iter(|| movement_crossover(&costs, PB).expect("exists"))
+    });
+    group.bench_function("placement_sweep", |b| {
+        b.iter(|| {
+            let mut compute_wins = 0;
+            for i in 1..=100u64 {
+                let (p, _) = choose_placement(&costs, i * 50 * GB);
+                if p == lsdf_net::Placement::MoveCompute {
+                    compute_wins += 1;
+                }
+            }
+            compute_wins
+        })
+    });
+    group.bench_function("locality_ablation_model", |b| {
+        b.iter(|| {
+            let aware = simulate_job(&ClusterModel::lsdf_2011(), TB, 16_384, 120);
+            let blind = simulate_job(
+                &ClusterModel::lsdf_2011().without_locality(3),
+                TB,
+                16_384,
+                120,
+            );
+            blind.total.as_secs_f64() / aware.total.as_secs_f64()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_locality);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E13 bench: HSM migration passes and tape-library recall campaigns.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsdf_sim::Simulation;
+use lsdf_storage::{Hsm, MigrationPolicy, ObjectStore, TapeLibrary, TapeOp, TapeParams};
+
+fn bench_hsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_hsm");
+    group.sample_size(10);
+    for policy in [
+        MigrationPolicy::OldestFirst,
+        MigrationPolicy::LeastRecentlyUsed,
+        MigrationPolicy::LargestFirst,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("migrate_500_objects", format!("{policy:?}")),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    let disk = Arc::new(ObjectStore::new("d", 100_000));
+                    let tape = Arc::new(ObjectStore::new("t", u64::MAX));
+                    let hsm = Hsm::new(disk, tape, 0.4, 0.7, p);
+                    for i in 0..500 {
+                        hsm.put(&format!("o{i}"), Bytes::from(vec![0u8; 400]))
+                            .expect("put");
+                        if i % 20 == 0 {
+                            hsm.run_migration().expect("migrate");
+                        }
+                    }
+                    hsm.run_migration().expect("migrate");
+                    hsm.counters().0
+                })
+            },
+        );
+    }
+    group.bench_function("tape_recall_campaign_64", |b| {
+        b.iter(|| {
+            let lib = TapeLibrary::new(TapeParams::lto5(4));
+            let mut sim = Simulation::new();
+            for _ in 0..64 {
+                lib.submit(&mut sim, TapeOp::Recall, 5_000_000_000, |_, _| {});
+            }
+            sim.run();
+            lib.recall_latency().max()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hsm);
+criterion_main!(benches);

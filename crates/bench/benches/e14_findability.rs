@@ -1,0 +1,86 @@
+//! E14 bench: findability audit cost and ingest-enforcement overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy};
+use lsdf_metadata::zebrafish_schema;
+use lsdf_workloads::microscopy::HtmGenerator;
+
+fn facility_with(n_fish: usize, miss_every: usize) -> Facility {
+    let f = Facility::builder()
+        .project(
+            zebrafish_schema(),
+            BackendChoice::ObjectStore { capacity: u64::MAX },
+        )
+        .build()
+        .expect("facility");
+    let admin = f.admin().clone();
+    let mut gen = HtmGenerator::new(5, 32);
+    let mut i = 0usize;
+    for _ in 0..n_fish {
+        for (acq, img) in gen.next_fish() {
+            let metadata = if i.is_multiple_of(miss_every) {
+                None
+            } else {
+                Some(acq.document())
+            };
+            f.ingest(
+                &admin,
+                IngestItem {
+                    project: "zebrafish-htm".into(),
+                    key: acq.key(),
+                    data: img.encode(),
+                    metadata,
+                },
+                IngestPolicy {
+                    enforce_metadata: false,
+                },
+            )
+            .expect("ingest");
+            i += 1;
+        }
+    }
+    f
+}
+
+fn bench_findability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_findability");
+    group.sample_size(10);
+    let f = facility_with(20, 5);
+    group.bench_function("audit_480_objects", |b| {
+        let admin = f.admin().clone();
+        b.iter(|| {
+            let browser = DataBrowser::new(&f, admin.clone());
+            let rep = browser.findability("zebrafish-htm").expect("audit");
+            assert!(rep.invisible > 0);
+            rep.findable
+        })
+    });
+    group.bench_function("enforced_ingest_24_images", |b| {
+        b.iter(|| {
+            let f = Facility::builder()
+                .project(
+                    zebrafish_schema(),
+                    BackendChoice::ObjectStore { capacity: u64::MAX },
+                )
+                .build()
+                .expect("facility");
+            let admin = f.admin().clone();
+            let mut gen = HtmGenerator::new(5, 32);
+            let items: Vec<IngestItem> = gen
+                .next_fish()
+                .into_iter()
+                .map(|(acq, img)| IngestItem {
+                    project: "zebrafish-htm".into(),
+                    key: acq.key(),
+                    data: img.encode(),
+                    metadata: Some(acq.document()),
+                })
+                .collect();
+            f.ingest_batch(&admin, items, IngestPolicy::default()).registered
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_findability);
+criterion_main!(benches);

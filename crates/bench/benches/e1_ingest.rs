@@ -1,0 +1,55 @@
+//! E1 bench: ingest-pipeline throughput (checksum → store → register),
+//! the hot path behind the 200k-images/day claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy};
+use lsdf_metadata::zebrafish_schema;
+use lsdf_workloads::microscopy::HtmGenerator;
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_ingest");
+    group.sample_size(10);
+    for &edge in &[64u32, 256] {
+        let mut gen = HtmGenerator::new(1, edge);
+        let fish: Vec<_> = gen.next_fish();
+        let bytes: u64 = fish.iter().map(|(_, img)| img.encode().len() as u64).sum();
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(
+            BenchmarkId::new("one_fish_24_images", edge),
+            &fish,
+            |b, fish| {
+                b.iter_batched(
+                    || {
+                        let f = Facility::builder()
+                            .project(
+                                zebrafish_schema(),
+                                BackendChoice::ObjectStore { capacity: u64::MAX },
+                            )
+                            .build()
+                            .expect("facility");
+                        let items: Vec<IngestItem> = fish
+                            .iter()
+                            .map(|(acq, img)| IngestItem {
+                                project: "zebrafish-htm".into(),
+                                key: acq.key(),
+                                data: img.encode(),
+                                metadata: Some(acq.document()),
+                            })
+                            .collect();
+                        (f, items)
+                    },
+                    |(f, items)| {
+                        let admin = f.admin().clone();
+                        let report = f.ingest_batch(&admin, items, IngestPolicy::default());
+                        assert_eq!(report.registered, 24);
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

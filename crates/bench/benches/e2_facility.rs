@@ -1,0 +1,42 @@
+//! E2 bench: flow-level network simulation cost — events per second when
+//! the facility fabric carries many concurrent DAQ flows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsdf_net::units::GB;
+use lsdf_net::{lsdf, NetSim};
+use lsdf_sim::Simulation;
+
+fn bench_facility_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_facility");
+    group.sample_size(10);
+    for &n_daq in &[4usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_daq_streams", n_daq),
+            &n_daq,
+            |b, &n| {
+                b.iter(|| {
+                    let net = lsdf::build(n);
+                    let sim_net = NetSim::new(net.topology.clone());
+                    let mut sim = Simulation::new();
+                    for (i, &daq) in net.daq.iter().enumerate() {
+                        let dst = if i % 2 == 0 {
+                            net.storage_ibm
+                        } else {
+                            net.storage_ddn
+                        };
+                        sim_net
+                            .start_flow(&mut sim, daq, dst, 100 * GB, |_, _| {})
+                            .expect("route");
+                    }
+                    let end = sim.run();
+                    assert_eq!(sim_net.active_flows(), 0);
+                    end
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_facility_flows);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E3 bench: the petabyte-transfer sweep — analytic arithmetic and the
+//! flow-level simulation of the same transfer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsdf_net::units::{PB, TEN_GBIT};
+use lsdf_net::{lsdf, NetSim, TransferModel};
+use lsdf_sim::Simulation;
+
+fn bench_pb_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_pb_transfer");
+    group.sample_size(10);
+    group.bench_function("analytic_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for eff in [0.5, 0.62, 0.7, 0.8, 0.9, 1.0] {
+                let m = TransferModel::with_efficiency(TEN_GBIT, eff);
+                for mult in 1..=6 {
+                    acc += m.days_for_bytes(mult * PB);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("simulated_pb_flow", |b| {
+        b.iter(|| {
+            let net = lsdf::build(1);
+            let sim_net = NetSim::with_efficiency(net.topology.clone(), 0.62);
+            let mut sim = Simulation::new();
+            sim_net
+                .start_flow(&mut sim, net.storage_ibm, net.heidelberg, PB, |_, _| {})
+                .expect("route");
+            sim.run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pb_transfer);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! E4 bench: the real MapReduce executor on a miniature cluster (exact
+//! results) and the virtual-time scaling sweep to 60 nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
+use lsdf_mapreduce::{
+    no_combiner, run_job, simulate_job, ClusterModel, InputFormat, JobConfig, Mapper, Record,
+    Reducer,
+};
+use lsdf_net::units::TB;
+
+struct Checksum;
+impl Mapper for Checksum {
+    type Key = u8;
+    type Value = u64;
+    fn map(&self, record: &Record, emit: &mut dyn FnMut(u8, u64)) {
+        let mut acc = 0u64;
+        for &b in record.data.iter() {
+            acc = acc.wrapping_mul(31).wrapping_add(u64::from(b));
+        }
+        emit((acc % 4) as u8, acc);
+    }
+}
+struct Xor;
+impl Reducer for Xor {
+    type Key = u8;
+    type Value = u64;
+    type Output = u64;
+    fn reduce(&self, _k: &u8, v: &[u64]) -> Vec<u64> {
+        vec![v.iter().fold(0, |a, b| a ^ b)]
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_scaling");
+    group.sample_size(10);
+    // Real executor over a 4 MB input on the miniature cluster.
+    let dfs = Dfs::new(
+        ClusterTopology::new(2, 4),
+        DfsConfig {
+            block_size: 64 * 1024,
+            replication: 2,
+            ..DfsConfig::default()
+        },
+    );
+    let data: Vec<u8> = (0..4 * 1024 * 1024u32).map(|i| (i % 251) as u8).collect();
+    dfs.write("/in", &data, None).expect("fits");
+    for &workers in &[1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("real_executor_4MB", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    let mut cfg = JobConfig::on_cluster(&dfs, 2);
+                    cfg.workers.truncate(w);
+                    cfg.input_format = InputFormat::WholeBlock;
+                    run_job(&dfs, &["/in".to_string()], &Checksum, no_combiner::<Checksum>(), &Xor, &cfg)
+                        .expect("job")
+                        .stats
+                        .map_tasks
+                })
+            },
+        );
+    }
+    // Virtual-time sweep (the published figure).
+    group.bench_function("simulated_sweep_1TB_1to60", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for nodes in [1usize, 2, 4, 8, 15, 30, 60] {
+                let r = simulate_job(
+                    &ClusterModel::lsdf_2011().with_nodes(nodes),
+                    TB,
+                    16_384,
+                    2 * nodes,
+                );
+                total += r.total.as_secs_f64();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E5 bench: the MIP render kernel (per-slab cost that calibrates the
+//! 1 TB-in-20-min extrapolation) and the distributed job.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
+use lsdf_mapreduce::{no_combiner, run_job, InputFormat, JobConfig};
+use lsdf_workloads::volume::{MipMapper, MipReducer, Volume};
+
+fn bench_visualization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_visualization");
+    group.sample_size(10);
+    let v = Volume::synthetic(5, 128, 128, 64);
+    let bytes = v.voxels.len() as u64;
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("sequential_mip_1MiB_voxels", |b| {
+        b.iter(|| v.mip())
+    });
+
+    let slabs = v.to_slabs(8);
+    let slab_bytes = slabs[0].len() as u64;
+    let dfs = Dfs::new(
+        ClusterTopology::new(2, 3),
+        DfsConfig {
+            block_size: slab_bytes,
+            replication: 2,
+            ..DfsConfig::default()
+        },
+    );
+    let mut all = Vec::new();
+    for s in &slabs {
+        all.extend_from_slice(s);
+    }
+    dfs.write("/vol", &all, None).expect("fits");
+    group.bench_function("distributed_mip_8_slabs", |b| {
+        b.iter(|| {
+            let mut cfg = JobConfig::on_cluster(&dfs, 1);
+            cfg.input_format = InputFormat::WholeBlock;
+            let out = run_job(
+                &dfs,
+                &["/vol".to_string()],
+                &MipMapper,
+                no_combiner::<MipMapper>(),
+                &MipReducer,
+                &cfg,
+            )
+            .expect("job");
+            out.output.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_visualization);
+criterion_main!(benches);

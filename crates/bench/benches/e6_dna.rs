@@ -1,0 +1,73 @@
+//! E6 bench: k-mer counting — sequential kernel, MR job, and the
+//! combiner's shuffle savings.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
+use lsdf_mapreduce::{no_combiner, run_job, JobConfig};
+use lsdf_workloads::genomics::{
+    count_kmers_sequential, generate_reads, random_genome, KmerCombiner, KmerMapper, KmerReducer,
+    ReadSim,
+};
+
+fn bench_dna(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_dna");
+    group.sample_size(10);
+    let genome = random_genome(7, 20_000);
+    let reads = generate_reads(
+        &genome,
+        &ReadSim {
+            read_len: 100,
+            error_rate: 0.01,
+            coverage: 8.0,
+        },
+        9,
+    );
+    group.throughput(Throughput::Bytes(reads.len() as u64));
+    group.bench_function("sequential_21mers", |b| {
+        b.iter(|| count_kmers_sequential(&reads, 21).len())
+    });
+
+    let dfs = Dfs::new(
+        ClusterTopology::new(2, 4),
+        DfsConfig {
+            block_size: 101 * 40,
+            replication: 2,
+            ..DfsConfig::default()
+        },
+    );
+    dfs.write("/reads", &reads, None).expect("fits");
+    group.bench_function("mapreduce_21mers", |b| {
+        b.iter(|| {
+            run_job(
+                &dfs,
+                &["/reads".to_string()],
+                &KmerMapper { k: 21 },
+                no_combiner::<KmerMapper>(),
+                &KmerReducer,
+                &JobConfig::on_cluster(&dfs, 4),
+            )
+            .expect("job")
+            .output
+            .len()
+        })
+    });
+    group.bench_function("mapreduce_21mers_combined", |b| {
+        b.iter(|| {
+            run_job(
+                &dfs,
+                &["/reads".to_string()],
+                &KmerMapper { k: 21 },
+                Some(&KmerCombiner),
+                &KmerReducer,
+                &JobConfig::on_cluster(&dfs, 4),
+            )
+            .expect("job")
+            .output
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dna);
+criterion_main!(benches);

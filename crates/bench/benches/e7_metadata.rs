@@ -1,0 +1,61 @@
+//! E7 bench: metadata-store insert rate and query latency, indexed vs
+//! full scan (the slide-8 project metadata DB).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsdf_metadata::query::{eq, ge};
+use lsdf_metadata::{dataset, FieldType, ProjectStore, SchemaBuilder, Value};
+
+fn store_with(n: i64) -> ProjectStore {
+    let schema = SchemaBuilder::new("bench")
+        .required("fish_id", FieldType::Int)
+        .indexed()
+        .required("wavelength_nm", FieldType::Float)
+        .indexed()
+        .required("well", FieldType::Str)
+        .build()
+        .expect("schema");
+    let store = ProjectStore::new(schema);
+    for i in 0..n {
+        store
+            .insert(dataset(
+                &format!("d{i:08}"),
+                4_000_000,
+                [
+                    ("fish_id".to_string(), Value::Int(i / 24)),
+                    (
+                        "wavelength_nm".to_string(),
+                        Value::Float([405.0, 488.0, 561.0][(i % 3) as usize]),
+                    ),
+                    ("well".to_string(), Value::Str(format!("A{}", i % 12))),
+                ]
+                .into_iter()
+                .collect(),
+            ))
+            .expect("insert");
+    }
+    store
+}
+
+fn bench_metadata(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_metadata");
+    group.sample_size(20);
+    group.bench_function("insert_1000", |b| {
+        b.iter(|| store_with(1000).len())
+    });
+    for &n in &[10_000i64, 50_000] {
+        let store = store_with(n);
+        group.bench_with_input(BenchmarkId::new("indexed_point_query", n), &store, |b, s| {
+            b.iter(|| s.query(&eq("fish_id", 7i64)).len())
+        });
+        group.bench_with_input(BenchmarkId::new("indexed_range_query", n), &store, |b, s| {
+            b.iter(|| s.query(&ge("wavelength_nm", 500.0)).len())
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan_query", n), &store, |b, s| {
+            b.iter(|| s.query(&eq("well", "A3")).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metadata);
+criterion_main!(benches);

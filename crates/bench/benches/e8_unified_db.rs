@@ -1,0 +1,65 @@
+//! E8 bench: cross-project query cost — one unified catalog vs a
+//! federation of N per-project stores.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsdf_metadata::query::eq;
+use lsdf_metadata::{
+    dataset, CrossQuery, Federation, FieldType, ProjectStore, Schema, SchemaBuilder,
+    UnifiedCatalog, Value,
+};
+
+fn schemas(n: usize) -> Vec<Schema> {
+    (0..n)
+        .map(|i| {
+            SchemaBuilder::new(format!("p{i}"))
+                .required("compound", FieldType::Str)
+                .indexed()
+                .build()
+                .expect("schema")
+        })
+        .collect()
+}
+
+fn build(n_projects: usize, per_project: usize) -> (UnifiedCatalog, Federation) {
+    let ss = schemas(n_projects);
+    let unified = UnifiedCatalog::new(&ss).expect("union");
+    let mut fed = Federation::new();
+    for (i, s) in ss.iter().enumerate() {
+        let store = Arc::new(ProjectStore::new(s.clone()));
+        for j in 0..per_project {
+            let compound = if j % 100 == 0 { "PTU" } else { "DMSO" };
+            let d = dataset(
+                &format!("d{j}"),
+                1,
+                [("compound".to_string(), Value::from(compound))]
+                    .into_iter()
+                    .collect(),
+            );
+            store.insert(d.clone()).expect("insert");
+            unified.insert(&format!("p{i}"), d).expect("insert");
+        }
+        fed.add(store);
+    }
+    (unified, fed)
+}
+
+fn bench_unified(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_unified_db");
+    group.sample_size(20);
+    for &n in &[4usize, 16] {
+        let (unified, fed) = build(n, 5_000);
+        let pred = eq("compound", "PTU");
+        group.bench_with_input(BenchmarkId::new("unified", n), &unified, |b, u| {
+            b.iter(|| u.cross_query(&pred).hits.len())
+        });
+        group.bench_with_input(BenchmarkId::new("federated", n), &fed, |b, f| {
+            b.iter(|| f.cross_query(&pred).hits.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unified);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E9 bench: per-operation overhead of the unified access layer over
+//! direct backend calls.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsdf_adal::{Acl, Adal, Credential, ObjectStoreBackend, TokenAuth};
+use lsdf_storage::ObjectStore;
+
+fn bench_adal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_adal");
+    let payload = Bytes::from(vec![7u8; 4096]);
+
+    let direct = Arc::new(ObjectStore::new("direct", u64::MAX));
+    direct.put("hot", payload.clone()).expect("put");
+    group.bench_function("direct_get", |b| {
+        b.iter(|| direct.get("hot").expect("get").len())
+    });
+
+    let auth = Arc::new(TokenAuth::new());
+    auth.register("tok", "user");
+    let acl = Arc::new(Acl::new());
+    acl.grant("user", "proj", true);
+    let adal = Adal::new(auth, acl);
+    let backend = Arc::new(ObjectStore::new("via", u64::MAX));
+    backend.put("hot", payload.clone()).expect("put");
+    adal.mount("proj", Arc::new(ObjectStoreBackend::new(backend)));
+    let cred = Credential::Token("tok".into());
+    group.bench_function("adal_get", |b| {
+        b.iter(|| adal.get(&cred, "lsdf://proj/hot").expect("get").len())
+    });
+    group.bench_function("adal_stat", |b| {
+        b.iter(|| adal.stat(&cred, "lsdf://proj/hot").expect("stat").size)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adal);
+criterion_main!(benches);

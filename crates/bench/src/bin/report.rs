@@ -1,0 +1,17 @@
+//! Prints the full paper-vs-measured table for every experiment
+//! (E1–E14). The output of this binary is what EXPERIMENTS.md records.
+//!
+//! Usage: `cargo run --release -p lsdf-bench --bin report [--quick]`
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "LSDF-RS experiment report ({} scale)",
+        if quick { "quick" } else { "full" }
+    );
+    println!("reproducing: Garcia et al., 'The Large Scale Data Facility', PDSEC/IPDPS 2011");
+    println!();
+    for rep in lsdf_bench::run_all(quick) {
+        println!("{}", rep.render());
+    }
+}

@@ -1,0 +1,183 @@
+//! Network-side experiments: the facility fabric (E2), the petabyte
+//! transfer estimate (E3), and the move-data/move-compute crossover (E12).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lsdf_net::units::{GB, PB, TB, TEN_GBIT};
+use lsdf_net::{
+    lsdf as facility_net, movement_crossover, NetSim, Placement, PlacementCosts, TransferModel,
+};
+use lsdf_core::{run_campaign, CampaignConfig};
+use lsdf_sim::{SimDuration, SimTime, Simulation};
+use lsdf_storage::ArrayModel;
+
+use crate::report::{fmt_bytes, fmt_secs, ExpReport, ExpRow};
+
+/// E2: "currently 2 PB in 2 storage systems, dedicated 10 GE network"
+/// (slide 7) — capacities plus sustained multi-DAQ ingest on the fabric.
+pub fn e2_facility(quick: bool) -> ExpReport {
+    let ibm = ArrayModel::lsdf_ibm();
+    let ddn = ArrayModel::lsdf_ddn();
+    let n_daq = if quick { 4 } else { 8 };
+    let net = facility_net::build(n_daq);
+    let sim_net = NetSim::new(net.topology.clone());
+    let mut sim = Simulation::new();
+    let delivered: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+    // Every DAQ streams 1 simulated hour of data (4.5 TB at line rate)
+    // into its nearest storage system.
+    for (i, &daq) in net.daq.iter().enumerate() {
+        let dst = if i % 2 == 0 { net.storage_ibm } else { net.storage_ddn };
+        let delivered = delivered.clone();
+        sim_net
+            .start_flow(&mut sim, daq, dst, 4_500 * GB, move |_, s| {
+                *delivered.borrow_mut() += s.bytes;
+            })
+            .expect("route exists");
+    }
+    let end = sim.run();
+    let agg_rate = *delivered.borrow() as f64 * 8.0 / end.as_secs_f64();
+    let route = net
+        .topology
+        .route(net.daq[0], net.storage_ibm)
+        .expect("route exists");
+    let util = sim_net.link_utilisation(route[0], end);
+    ExpReport {
+        id: "E2",
+        title: "facility: 2 PB disk, 10 GE backbone (slide 7)",
+        rows: vec![
+            ExpRow::new(
+                "disk capacity",
+                "1.4 PB (IBM) + 0.5 PB (DDN) ~ 2 PB",
+                format!(
+                    "{} + {} = {}",
+                    fmt_bytes(ibm.capacity_bytes as f64),
+                    fmt_bytes(ddn.capacity_bytes as f64),
+                    fmt_bytes((ibm.capacity_bytes + ddn.capacity_bytes) as f64)
+                ),
+            ),
+            ExpRow::new(
+                "array streaming headroom",
+                "(never the bottleneck)",
+                format!(
+                    "{}/s + {}/s aggregate",
+                    fmt_bytes(ibm.aggregate_bps()),
+                    fmt_bytes(ddn.aggregate_bps())
+                ),
+            ),
+            ExpRow::new(
+                "concurrent DAQ streams",
+                "direct 10 GE connections",
+                format!(
+                    "{n_daq} streams, {:.1} Gb/s aggregate; {} to drain 1 h of \
+                     line-rate data (same-router streams share a storage uplink)",
+                    agg_rate / 1e9,
+                    fmt_secs(end.as_secs_f64())
+                ),
+            ),
+            ExpRow::new(
+                "DAQ uplink utilisation",
+                "(line rate)",
+                format!("{:.0}%", util * 100.0),
+            ),
+            {
+                // A 30-day steady-state campaign at the paper's rates.
+                let campaign = run_campaign(&CampaignConfig::lsdf_2011(30));
+                let last = campaign.fill_curve.last().expect("samples");
+                ExpRow::new(
+                    "30-day ingest campaign (virtual time)",
+                    "2 TB/day zebrafish + smaller communities",
+                    format!(
+                        "{} delivered (IBM {}, DDN {}), zero backlog",
+                        fmt_bytes(campaign.delivered_bytes as f64),
+                        fmt_bytes(last.ibm_bytes as f64),
+                        fmt_bytes(last.ddn_bytes as f64)
+                    ),
+                )
+            },
+        ],
+    }
+}
+
+/// E3: "15 days to transfer 1 PB over ideal 10 Gb/s link" (slide 11).
+pub fn e3_pb_transfer(_quick: bool) -> ExpReport {
+    let ideal = TransferModel::ideal(TEN_GBIT);
+    let realistic = TransferModel::with_efficiency(TEN_GBIT, 0.62);
+    // Cross-check against the flow-level simulator on the real topology.
+    let net = facility_net::build(1);
+    let sim_net = NetSim::with_efficiency(net.topology.clone(), 0.62);
+    let mut sim = Simulation::new();
+    let done: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+    {
+        let done = done.clone();
+        sim_net
+            .start_flow(&mut sim, net.storage_ibm, net.heidelberg, PB, move |s, _| {
+                *done.borrow_mut() = Some(s.now());
+            })
+            .expect("route exists");
+    }
+    sim.run();
+    let sim_days = done.borrow().expect("completes").as_secs_f64() / 86_400.0;
+    ExpReport {
+        id: "E3",
+        title: "1 PB over 10 Gb/s (slide 11)",
+        rows: vec![
+            ExpRow::new(
+                "ideal link, analytic",
+                "(implied by '15 days')",
+                format!("{:.2} days", ideal.days_for_bytes(PB)),
+            ),
+            ExpRow::new(
+                "62% goodput, analytic",
+                "15 days",
+                format!("{:.2} days", realistic.days_for_bytes(PB)),
+            ),
+            ExpRow::new(
+                "62% goodput, flow-level simulation",
+                "15 days",
+                format!("{sim_days:.2} days"),
+            ),
+            ExpRow::new(
+                "1 PB in a day would need",
+                "(why 'bring computing to the data')",
+                format!("{:.0} Gb/s sustained", PB as f64 * 8.0 / 86_400.0 / 1e9),
+            ),
+        ],
+    }
+}
+
+/// E12: move-data vs move-compute crossover (slide 11).
+pub fn e12_crossover(_quick: bool) -> ExpReport {
+    let link = TransferModel::with_efficiency(TEN_GBIT, 0.7);
+    let costs = PlacementCosts {
+        data_link: link,
+        compute_staging: SimDuration::from_mins(5),
+        compute_image_bytes: 4 * GB,
+    };
+    let crossover = movement_crossover(&costs, PB).expect("crossover exists");
+    let mut rows = vec![ExpRow::new(
+        "crossover dataset size",
+        "exascale => move compute",
+        fmt_bytes(crossover as f64),
+    )];
+    for bytes in [GB, 100 * GB, TB, 100 * TB, PB] {
+        let (placement, time) = lsdf_net::choose_placement(&costs, bytes);
+        rows.push(ExpRow::new(
+            format!("{} dataset", fmt_bytes(bytes as f64)),
+            if bytes >= TB { "move compute" } else { "(either)" },
+            format!(
+                "{} in {}",
+                match placement {
+                    Placement::MoveData => "move data",
+                    Placement::MoveCompute => "move compute",
+                },
+                fmt_secs(time.as_secs_f64())
+            ),
+        ));
+    }
+    ExpReport {
+        id: "E12",
+        title: "bring computing to the data (slide 11)",
+        rows,
+    }
+}

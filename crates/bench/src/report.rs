@@ -1,0 +1,134 @@
+//! Report plumbing: structured experiment results and a plain-text table
+//! printer, shared by the `report` binary and EXPERIMENTS.md generation.
+
+/// One metric row: what the paper reports vs what we measured.
+#[derive(Debug, Clone)]
+pub struct ExpRow {
+    /// Metric label.
+    pub metric: String,
+    /// The paper's figure (verbatim where possible).
+    pub paper: String,
+    /// Our measured / simulated value.
+    pub measured: String,
+}
+
+impl ExpRow {
+    /// Builds a row.
+    pub fn new(metric: impl Into<String>, paper: impl Into<String>, measured: impl Into<String>) -> Self {
+        ExpRow {
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+        }
+    }
+}
+
+/// One experiment's result table.
+#[derive(Debug, Clone)]
+pub struct ExpReport {
+    /// Experiment id (E1..E14).
+    pub id: &'static str,
+    /// Title (the paper claim reproduced).
+    pub title: &'static str,
+    /// Result rows.
+    pub rows: Vec<ExpRow>,
+}
+
+impl ExpReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = format!("{} — {}\n", self.id, self.title);
+        let w1 = self
+            .rows
+            .iter()
+            .map(|r| r.metric.len())
+            .chain(["metric".len()])
+            .max()
+            .unwrap_or(6);
+        let w2 = self
+            .rows
+            .iter()
+            .map(|r| r.paper.len())
+            .chain(["paper".len()])
+            .max()
+            .unwrap_or(5);
+        out.push_str(&format!(
+            "  {:<w1$}  {:<w2$}  measured\n",
+            "metric", "paper",
+        ));
+        out.push_str(&format!("  {:-<w1$}  {:-<w2$}  --------\n", "", ""));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "  {:<w1$}  {:<w2$}  {}\n",
+                r.metric, r.paper, r.measured,
+            ));
+        }
+        out
+    }
+}
+
+/// Formats bytes with a binary-free SI unit.
+pub fn fmt_bytes(b: f64) -> String {
+    const UNITS: [(&str, f64); 5] = [
+        ("PB", 1e15),
+        ("TB", 1e12),
+        ("GB", 1e9),
+        ("MB", 1e6),
+        ("kB", 1e3),
+    ];
+    for (u, scale) in UNITS {
+        if b >= scale {
+            return format!("{:.2} {u}", b / scale);
+        }
+    }
+    format!("{b:.0} B")
+}
+
+/// Formats seconds in the most readable unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 86_400.0 {
+        format!("{:.2} d", s / 86_400.0)
+    } else if s >= 3_600.0 {
+        format!("{:.2} h", s / 3_600.0)
+    } else if s >= 60.0 {
+        format!("{:.1} min", s / 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let rep = ExpReport {
+            id: "E0",
+            title: "test",
+            rows: vec![
+                ExpRow::new("a", "1", "2"),
+                ExpRow::new("longer-metric", "x", "y"),
+            ],
+        };
+        let text = rep.render();
+        assert!(text.contains("E0 — test"));
+        assert!(text.contains("longer-metric"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_bytes(2e15), "2.00 PB");
+        assert_eq!(fmt_bytes(4e6), "4.00 MB");
+        assert_eq!(fmt_bytes(12.0), "12 B");
+        assert_eq!(fmt_secs(90.0), "1.5 min");
+        assert_eq!(fmt_secs(1_296_000.0), "15.00 d");
+        assert_eq!(fmt_secs(0.005), "5.00 ms");
+    }
+}

@@ -1,0 +1,21 @@
+//! # lsdf-cloud — an OpenNebula-style IaaS manager
+//!
+//! The paper's cloud environment lets users "deploy own dedicated
+//! data-processing VMs (customized environment!)" that are "reliable,
+//! highly flexible, and very fast to deploy" (slide 11). This crate
+//! reimplements that control plane on the DES kernel: a host inventory
+//! with CPU/memory/disk accounting, placement policies (first-fit, pack,
+//! spread), a FIFO pending queue, and the full lease lifecycle
+//! (pending → prolog/image-staging → boot → running → done/failed), with
+//! deployment-latency statistics for experiment E10.
+
+#![warn(missing_docs)]
+
+mod manager;
+mod types;
+
+pub use manager::{CloudConfig, CloudManager};
+pub use types::{
+    CloudError, CloudStats, DeploymentRecord, HostId, HostSpec, Placement, VmId, VmState,
+    VmTemplate,
+};

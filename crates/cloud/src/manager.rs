@@ -1,0 +1,546 @@
+//! The cloud manager: placement, pending queue, and the DES-driven VM
+//! lifecycle (prolog image staging → boot → running).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use lsdf_sim::{Resource, SimDuration, SimTime, Simulation, Tally};
+
+use crate::types::{
+    CloudError, CloudStats, DeploymentRecord, HostId, HostSpec, Placement, VmId, VmState,
+    VmTemplate,
+};
+
+/// Manager configuration.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// Host inventory.
+    pub hosts: Vec<HostSpec>,
+    /// Image-staging bandwidth per transfer, bytes/s (the image repository
+    /// NFS/HTTP server's per-stream rate).
+    pub staging_bps: f64,
+    /// Concurrent stagings the image repository sustains at full rate.
+    pub concurrent_stagings: usize,
+    /// Base hypervisor boot time.
+    pub boot_time: SimDuration,
+    /// Placement policy.
+    pub policy: Placement,
+}
+
+impl CloudConfig {
+    /// The paper's 60-node cluster as a cloud, with a 1 GB/s image store
+    /// sustaining 8 parallel stagings and 30 s boots.
+    pub fn lsdf() -> Self {
+        CloudConfig {
+            hosts: vec![HostSpec::lsdf_node(); 60],
+            staging_bps: 1e9,
+            concurrent_stagings: 8,
+            boot_time: SimDuration::from_secs(30),
+            policy: Placement::Spread,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct HostLoad {
+    cpu: u32,
+    mem: u64,
+    disk: u64,
+    vms: usize,
+    alive: bool,
+}
+
+struct VmRecord {
+    template: VmTemplate,
+    state: VmState,
+    host: Option<HostId>,
+    submitted: SimTime,
+    pending_until: Option<SimTime>,
+}
+
+type OnRunning = Box<dyn FnOnce(&mut Simulation, VmId)>;
+
+struct Inner {
+    config: CloudConfig,
+    loads: Vec<HostLoad>,
+    vms: HashMap<VmId, VmRecord>,
+    next_vm: u64,
+    pending: VecDeque<(VmId, OnRunning)>,
+    stager: Resource,
+    deploy_latency: Tally,
+    deployments: Vec<DeploymentRecord>,
+    failed: u64,
+}
+
+/// Handle to the cloud manager (cheaply cloneable; event closures capture
+/// clones).
+#[derive(Clone)]
+pub struct CloudManager {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl CloudManager {
+    /// Creates a manager with all hosts empty and alive.
+    pub fn new(config: CloudConfig) -> Self {
+        assert!(!config.hosts.is_empty(), "cloud needs at least one host");
+        assert!(config.staging_bps > 0.0, "staging bandwidth must be positive");
+        let loads = config
+            .hosts
+            .iter()
+            .map(|_| HostLoad {
+                alive: true,
+                ..Default::default()
+            })
+            .collect();
+        CloudManager {
+            inner: Rc::new(RefCell::new(Inner {
+                stager: Resource::new("image-stager", config.concurrent_stagings.max(1)),
+                config,
+                loads,
+                vms: HashMap::new(),
+                next_vm: 0,
+                pending: VecDeque::new(),
+                deploy_latency: Tally::new(),
+                deployments: Vec::new(),
+                failed: 0,
+            })),
+        }
+    }
+
+    /// Submits a VM. If no host currently fits it, it queues as `Pending`
+    /// and deploys when capacity frees. `on_running` fires when the VM
+    /// reaches `Running`.
+    pub fn submit(
+        &self,
+        sim: &mut Simulation,
+        template: VmTemplate,
+        on_running: impl FnOnce(&mut Simulation, VmId) + 'static,
+    ) -> Result<VmId, CloudError> {
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            // Reject templates no empty host could ever hold.
+            let feasible = inner.config.hosts.iter().any(|h| {
+                template.vcpus <= h.cpu_cores
+                    && template.mem_mb <= h.mem_mb
+                    && template.disk_gb <= h.disk_gb
+            });
+            if !feasible {
+                return Err(CloudError::NeverSchedulable(template.name.clone()));
+            }
+            let id = VmId(inner.next_vm);
+            inner.next_vm += 1;
+            inner.vms.insert(
+                id,
+                VmRecord {
+                    template,
+                    state: VmState::Pending,
+                    host: None,
+                    submitted: sim.now(),
+                    pending_until: None,
+                },
+            );
+            inner.pending.push_back((id, Box::new(on_running)));
+            id
+        };
+        self.schedule_pending(sim);
+        Ok(id)
+    }
+
+    /// Shuts a running VM down, freeing its host resources and triggering
+    /// a scheduling pass for the pending queue.
+    pub fn shutdown(&self, sim: &mut Simulation, vm: VmId) -> Result<(), CloudError> {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let rec = inner.vms.get_mut(&vm).ok_or(CloudError::UnknownVm(vm))?;
+            if rec.state != VmState::Running {
+                return Err(CloudError::BadState {
+                    vm,
+                    state: rec.state,
+                });
+            }
+            rec.state = VmState::Done;
+            let host = rec.host.expect("running VM must have a host");
+            let (vcpus, mem, disk) = (rec.template.vcpus, rec.template.mem_mb, rec.template.disk_gb);
+            let load = &mut inner.loads[host.0 as usize];
+            load.cpu -= vcpus;
+            load.mem -= mem;
+            load.disk -= disk;
+            load.vms -= 1;
+        }
+        self.schedule_pending(sim);
+        Ok(())
+    }
+
+    /// Kills a host: every VM on it transitions to `Failed`. Returns the
+    /// failed VM ids. Pending VMs are unaffected and will avoid the host.
+    pub fn fail_host(&self, sim: &mut Simulation, host: HostId) -> Result<Vec<VmId>, CloudError> {
+        let failed = {
+            let mut inner = self.inner.borrow_mut();
+            if host.0 as usize >= inner.loads.len() {
+                return Err(CloudError::UnknownHost(host));
+            }
+            inner.loads[host.0 as usize].alive = false;
+            inner.loads[host.0 as usize] = HostLoad {
+                alive: false,
+                ..Default::default()
+            };
+            let failed: Vec<VmId> = inner
+                .vms
+                .iter()
+                .filter(|(_, r)| r.host == Some(host) && !matches!(r.state, VmState::Done))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in &failed {
+                let r = inner.vms.get_mut(id).expect("id from iteration");
+                r.state = VmState::Failed;
+            }
+            inner.failed += failed.len() as u64;
+            failed
+        };
+        self.schedule_pending(sim);
+        Ok(failed)
+    }
+
+    /// A VM's current state.
+    pub fn state(&self, vm: VmId) -> Result<VmState, CloudError> {
+        self.inner
+            .borrow()
+            .vms
+            .get(&vm)
+            .map(|r| r.state)
+            .ok_or(CloudError::UnknownVm(vm))
+    }
+
+    /// The host a VM is (or was) placed on.
+    pub fn host_of(&self, vm: VmId) -> Option<HostId> {
+        self.inner.borrow().vms.get(&vm).and_then(|r| r.host)
+    }
+
+    /// Completed deployment records.
+    pub fn deployments(&self) -> Vec<DeploymentRecord> {
+        self.inner.borrow().deployments.clone()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> CloudStats {
+        let inner = self.inner.borrow();
+        CloudStats {
+            running: inner
+                .vms
+                .values()
+                .filter(|r| r.state == VmState::Running)
+                .count(),
+            pending: inner.pending.len(),
+            deployed: inner.deploy_latency.count(),
+            mean_deploy_secs: inner.deploy_latency.mean(),
+            max_deploy_secs: inner.deploy_latency.max(),
+            failed: inner.failed,
+        }
+    }
+
+    /// Number of VMs on each host (diagnostics for placement policies).
+    pub fn vms_per_host(&self) -> Vec<usize> {
+        self.inner.borrow().loads.iter().map(|l| l.vms).collect()
+    }
+
+    /// Tries to place queued VMs; called after submits and releases.
+    fn schedule_pending(&self, sim: &mut Simulation) {
+        loop {
+            let placed = {
+                let mut inner = self.inner.borrow_mut();
+                let Some(&(vm, _)) = inner.pending.front() else {
+                    break;
+                };
+                let template = inner.vms[&vm].template.clone();
+                match Self::choose_host(&inner, &template) {
+                    Some(host) => {
+                        let (id, on_running) =
+                            inner.pending.pop_front().expect("front checked above");
+                        debug_assert_eq!(id, vm);
+                        let load = &mut inner.loads[host.0 as usize];
+                        load.cpu += template.vcpus;
+                        load.mem += template.mem_mb;
+                        load.disk += template.disk_gb;
+                        load.vms += 1;
+                        let rec = inner.vms.get_mut(&vm).expect("vm exists");
+                        rec.state = VmState::Prolog;
+                        rec.host = Some(host);
+                        rec.pending_until = Some(sim.now());
+                        Some((vm, host, template, on_running))
+                    }
+                    None => None,
+                }
+            };
+            let Some((vm, host, template, on_running)) = placed else {
+                break;
+            };
+            self.start_prolog(sim, vm, host, template, on_running);
+        }
+    }
+
+    /// FIFO head-of-line placement: picks a feasible host per policy.
+    fn choose_host(inner: &Inner, t: &VmTemplate) -> Option<HostId> {
+        let mut best: Option<(HostId, u64)> = None;
+        for (i, (spec, load)) in inner.config.hosts.iter().zip(&inner.loads).enumerate() {
+            if !load.alive {
+                continue;
+            }
+            let fits = load.cpu + t.vcpus <= spec.cpu_cores
+                && load.mem + t.mem_mb <= spec.mem_mb
+                && load.disk + t.disk_gb <= spec.disk_gb;
+            if !fits {
+                continue;
+            }
+            let host = HostId(i as u32);
+            match inner.config.policy {
+                Placement::FirstFit => return Some(host),
+                Placement::Pack => {
+                    // Most committed memory wins (ties: lowest id).
+                    let key = load.mem;
+                    if best.is_none_or(|(_, k)| key > k) {
+                        best = Some((host, key));
+                    }
+                }
+                Placement::Spread => {
+                    // Least committed memory wins (ties: lowest id).
+                    let key = u64::MAX - load.mem;
+                    if best.is_none_or(|(_, k)| key > k) {
+                        best = Some((host, key));
+                    }
+                }
+            }
+        }
+        best.map(|(h, _)| h)
+    }
+
+    /// Prolog: stage the image through the shared stager, then boot.
+    fn start_prolog(
+        &self,
+        sim: &mut Simulation,
+        vm: VmId,
+        host: HostId,
+        template: VmTemplate,
+        on_running: OnRunning,
+    ) {
+        let stager = self.inner.borrow().stager.clone();
+        let this = self.clone();
+        stager.acquire(sim, move |sim| {
+            let staging_secs =
+                template.image_bytes as f64 / this.inner.borrow().config.staging_bps;
+            let this2 = this.clone();
+            sim.schedule_in(SimDuration::from_secs_f64(staging_secs), move |sim| {
+                let stager = this2.inner.borrow().stager.clone();
+                stager.release(sim);
+                // Boot.
+                let boot = this2.inner.borrow().config.boot_time;
+                let this3 = this2.clone();
+                sim.schedule_in(boot, move |sim| {
+                    let run_cb = {
+                        let mut inner = this3.inner.borrow_mut();
+                        let Some(rec) = inner.vms.get_mut(&vm) else {
+                            return;
+                        };
+                        if rec.state == VmState::Failed {
+                            // Host died mid-deploy; nothing to run.
+                            return;
+                        }
+                        rec.state = VmState::Running;
+                        let record = DeploymentRecord {
+                            vm,
+                            host,
+                            submitted: rec.submitted,
+                            running_at: sim.now(),
+                            pending_for: rec
+                                .pending_until
+                                .expect("placed VM has pending_until")
+                                .since(rec.submitted),
+                        };
+                        inner
+                            .deploy_latency
+                            .record(record.deploy_latency().as_secs_f64());
+                        inner.deployments.push(record);
+                        true
+                    };
+                    if run_cb {
+                        on_running(sim, vm);
+                    }
+                });
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn config(hosts: usize, policy: Placement) -> CloudConfig {
+        CloudConfig {
+            hosts: vec![HostSpec::lsdf_node(); hosts],
+            staging_bps: 1e9,
+            concurrent_stagings: 2,
+            boot_time: SimDuration::from_secs(30),
+            policy,
+        }
+    }
+
+    #[test]
+    fn deploy_reaches_running_with_expected_latency() {
+        let cloud = CloudManager::new(config(2, Placement::FirstFit));
+        let mut sim = Simulation::new();
+        let at = Rc::new(RefCell::new(0.0));
+        {
+            let at = at.clone();
+            cloud
+                .submit(&mut sim, VmTemplate::small("t"), move |s, _| {
+                    *at.borrow_mut() = s.now().as_secs_f64();
+                })
+                .unwrap();
+        }
+        sim.run();
+        // 4 GB at 1 GB/s = 4 s staging + 30 s boot = 34 s.
+        assert!((*at.borrow() - 34.0).abs() < 1e-9);
+        let stats = cloud.stats();
+        assert_eq!(stats.running, 1);
+        assert_eq!(stats.deployed, 1);
+        assert!((stats.mean_deploy_secs - 34.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staging_contention_serializes_beyond_capacity() {
+        let cloud = CloudManager::new(config(8, Placement::Spread));
+        let mut sim = Simulation::new();
+        let times: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3 {
+            let times = times.clone();
+            cloud
+                .submit(&mut sim, VmTemplate::small(&format!("t{i}")), move |s, _| {
+                    times.borrow_mut().push(s.now().as_secs_f64());
+                })
+                .unwrap();
+        }
+        sim.run();
+        let t = times.borrow().clone();
+        // Two stagings run concurrently (4 s each), the third waits.
+        assert!((t[0] - 34.0).abs() < 1e-9);
+        assert!((t[1] - 34.0).abs() < 1e-9);
+        assert!((t[2] - 38.0).abs() < 1e-9, "third staged after the first two: {t:?}");
+    }
+
+    #[test]
+    fn pending_queue_drains_on_shutdown() {
+        // One host, VMs need 8 vcpus each -> only one at a time.
+        let cloud = CloudManager::new(config(1, Placement::FirstFit));
+        let mut sim = Simulation::new();
+        let first = Rc::new(RefCell::new(None));
+        {
+            let first = first.clone();
+            cloud
+                .submit(&mut sim, VmTemplate::large("a"), move |_, id| {
+                    *first.borrow_mut() = Some(id);
+                })
+                .unwrap();
+        }
+        let second_running = Rc::new(RefCell::new(false));
+        {
+            let second_running = second_running.clone();
+            cloud
+                .submit(&mut sim, VmTemplate::large("b"), move |_, _| {
+                    *second_running.borrow_mut() = true;
+                })
+                .unwrap();
+        }
+        sim.run();
+        assert!(!*second_running.borrow(), "no capacity for b yet");
+        assert_eq!(cloud.stats().pending, 1);
+        let a = first.borrow().expect("a running");
+        cloud.shutdown(&mut sim, a).unwrap();
+        sim.run();
+        assert!(*second_running.borrow(), "b deploys after a frees capacity");
+        assert_eq!(cloud.stats().pending, 0);
+    }
+
+    #[test]
+    fn spread_vs_pack_distribution() {
+        let mut sim = Simulation::new();
+        let spread = CloudManager::new(config(4, Placement::Spread));
+        for i in 0..4 {
+            spread
+                .submit(&mut sim, VmTemplate::small(&format!("s{i}")), |_, _| {})
+                .unwrap();
+        }
+        sim.run();
+        let d = spread.vms_per_host();
+        assert_eq!(d, vec![1, 1, 1, 1], "spread places one per host: {d:?}");
+
+        let mut sim = Simulation::new();
+        let pack = CloudManager::new(config(4, Placement::Pack));
+        for i in 0..4 {
+            pack.submit(&mut sim, VmTemplate::small(&format!("p{i}")), |_, _| {})
+                .unwrap();
+        }
+        sim.run();
+        let d = pack.vms_per_host();
+        assert_eq!(d[0], 4, "pack consolidates onto the first host: {d:?}");
+    }
+
+    #[test]
+    fn never_schedulable_template_rejected() {
+        let cloud = CloudManager::new(config(2, Placement::FirstFit));
+        let mut sim = Simulation::new();
+        let t = VmTemplate {
+            name: "huge".into(),
+            vcpus: 999,
+            mem_mb: 1,
+            disk_gb: 1,
+            image_bytes: 1,
+        };
+        assert_eq!(
+            cloud.submit(&mut sim, t, |_, _| {}),
+            Err(CloudError::NeverSchedulable("huge".into()))
+        );
+    }
+
+    #[test]
+    fn host_failure_kills_vms_and_frees_queue_capacity_elsewhere() {
+        let cloud = CloudManager::new(config(2, Placement::FirstFit));
+        let mut sim = Simulation::new();
+        let vm = cloud
+            .submit(&mut sim, VmTemplate::small("a"), |_, _| {})
+            .unwrap();
+        sim.run();
+        assert_eq!(cloud.state(vm).unwrap(), VmState::Running);
+        let host = cloud.host_of(vm).unwrap();
+        let failed = cloud.fail_host(&mut sim, host).unwrap();
+        assert_eq!(failed, vec![vm]);
+        assert_eq!(cloud.state(vm).unwrap(), VmState::Failed);
+        assert_eq!(cloud.stats().failed, 1);
+        // Shutdown of a failed VM is a BadState error.
+        assert!(matches!(
+            cloud.shutdown(&mut sim, vm),
+            Err(CloudError::BadState { .. })
+        ));
+    }
+
+    #[test]
+    fn shutdown_of_pending_vm_rejected() {
+        let cloud = CloudManager::new(config(1, Placement::FirstFit));
+        let mut sim = Simulation::new();
+        let a = cloud
+            .submit(&mut sim, VmTemplate::large("a"), |_, _| {})
+            .unwrap();
+        let b = cloud
+            .submit(&mut sim, VmTemplate::large("b"), |_, _| {})
+            .unwrap();
+        sim.run();
+        assert_eq!(cloud.state(b).unwrap(), VmState::Pending);
+        assert!(matches!(
+            cloud.shutdown(&mut sim, b),
+            Err(CloudError::BadState { .. })
+        ));
+        let _ = a;
+    }
+}

@@ -1,0 +1,175 @@
+//! Core types of the cloud manager: hosts, templates, leases, policies.
+
+use lsdf_sim::{SimDuration, SimTime};
+
+/// Identifies a physical host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+/// Identifies a VM lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmId(pub u64);
+
+/// A physical host's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostSpec {
+    /// CPU cores.
+    pub cpu_cores: u32,
+    /// Memory in MB.
+    pub mem_mb: u64,
+    /// Local disk in GB.
+    pub disk_gb: u64,
+}
+
+impl HostSpec {
+    /// A 2010-era commodity cluster node (2×4 cores, 24 GB RAM, 1 TB disk)
+    /// matching the paper's 60-node Hadoop/cloud cluster.
+    pub fn lsdf_node() -> Self {
+        HostSpec {
+            cpu_cores: 8,
+            mem_mb: 24 * 1024,
+            disk_gb: 1000,
+        }
+    }
+}
+
+/// A VM template: resource shape plus image to stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmTemplate {
+    /// Template name (e.g. `"bio-pipeline"`).
+    pub name: String,
+    /// Virtual CPUs requested.
+    pub vcpus: u32,
+    /// Memory requested, MB.
+    pub mem_mb: u64,
+    /// Disk requested, GB.
+    pub disk_gb: u64,
+    /// Image size to stage to the host before boot, bytes.
+    pub image_bytes: u64,
+}
+
+impl VmTemplate {
+    /// A small analysis VM with a 4 GB image.
+    pub fn small(name: &str) -> Self {
+        VmTemplate {
+            name: name.to_string(),
+            vcpus: 2,
+            mem_mb: 4096,
+            disk_gb: 40,
+            image_bytes: 4_000_000_000,
+        }
+    }
+
+    /// A large memory-heavy VM with a 10 GB image.
+    pub fn large(name: &str) -> Self {
+        VmTemplate {
+            name: name.to_string(),
+            vcpus: 8,
+            mem_mb: 16_384,
+            disk_gb: 200,
+            image_bytes: 10_000_000_000,
+        }
+    }
+}
+
+/// VM lifecycle states (OpenNebula naming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmState {
+    /// Waiting for a host with enough free capacity.
+    Pending,
+    /// Host chosen; image staging in progress.
+    Prolog,
+    /// Image staged; booting.
+    Boot,
+    /// Up and usable.
+    Running,
+    /// Shut down (terminal).
+    Done,
+    /// Killed by a host failure (terminal).
+    Failed,
+}
+
+/// Host-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// First host with enough free capacity (lowest id).
+    FirstFit,
+    /// Most-loaded feasible host (consolidation / packing).
+    Pack,
+    /// Least-loaded feasible host (load spreading).
+    Spread,
+}
+
+/// Errors from cloud operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloudError {
+    /// The template can never fit on any host (even an empty one).
+    NeverSchedulable(String),
+    /// Unknown VM id.
+    UnknownVm(VmId),
+    /// Unknown host id.
+    UnknownHost(HostId),
+    /// The VM is not in a state that allows the operation.
+    BadState {
+        /// The VM.
+        vm: VmId,
+        /// Its current state.
+        state: VmState,
+    },
+}
+
+impl std::fmt::Display for CloudError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloudError::NeverSchedulable(t) => {
+                write!(f, "template '{t}' exceeds every host's capacity")
+            }
+            CloudError::UnknownVm(v) => write!(f, "unknown VM {v:?}"),
+            CloudError::UnknownHost(h) => write!(f, "unknown host {h:?}"),
+            CloudError::BadState { vm, state } => {
+                write!(f, "VM {vm:?} is {state:?}; operation not allowed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+/// A completed deployment's timing breakdown.
+#[derive(Debug, Clone)]
+pub struct DeploymentRecord {
+    /// The VM.
+    pub vm: VmId,
+    /// Host it landed on.
+    pub host: HostId,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// When it reached `Running`.
+    pub running_at: SimTime,
+    /// Time spent in `Pending` (queueing for capacity).
+    pub pending_for: SimDuration,
+}
+
+impl DeploymentRecord {
+    /// Total submit → running latency.
+    pub fn deploy_latency(&self) -> SimDuration {
+        self.running_at.since(self.submitted)
+    }
+}
+
+/// Aggregate manager statistics.
+#[derive(Debug, Clone)]
+pub struct CloudStats {
+    /// VMs currently running.
+    pub running: usize,
+    /// VMs waiting in the pending queue.
+    pub pending: usize,
+    /// Completed deployments.
+    pub deployed: u64,
+    /// Mean submit→running latency in seconds.
+    pub mean_deploy_secs: f64,
+    /// 95th-percentile-ish max deploy latency in seconds.
+    pub max_deploy_secs: f64,
+    /// VMs killed by host failures.
+    pub failed: u64,
+}

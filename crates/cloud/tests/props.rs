@@ -1,0 +1,136 @@
+//! Property tests: the cloud manager never oversubscribes a host, and
+//! every submitted VM ends in a legal state.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lsdf_cloud::{CloudConfig, CloudManager, HostSpec, Placement, VmState, VmTemplate};
+use lsdf_sim::{SimDuration, Simulation};
+use proptest::prelude::*;
+
+fn config(hosts: usize, policy: Placement) -> CloudConfig {
+    CloudConfig {
+        hosts: vec![HostSpec::lsdf_node(); hosts],
+        staging_bps: 1e9,
+        concurrent_stagings: 4,
+        boot_time: SimDuration::from_secs(15),
+        policy,
+    }
+}
+
+proptest! {
+    /// For arbitrary submission mixes and policies, the sum of resources
+    /// of VMs placed on any host never exceeds the host spec, and every
+    /// VM ends Running, Pending, or Done.
+    #[test]
+    fn no_host_oversubscription(
+        shapes in prop::collection::vec((1u32..9, 1u64..17, any::<bool>()), 1..60),
+        policy_i in 0usize..3,
+        hosts in 1usize..8,
+    ) {
+        let policy = [Placement::FirstFit, Placement::Pack, Placement::Spread][policy_i];
+        let cloud = CloudManager::new(config(hosts, policy));
+        let mut sim = Simulation::new();
+        let running: Rc<RefCell<Vec<_>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut submitted = Vec::new();
+        for (i, &(vcpus, mem_gb, shutdown_later)) in shapes.iter().enumerate() {
+            let t = VmTemplate {
+                name: format!("vm{i}"),
+                vcpus,
+                mem_mb: mem_gb * 1024,
+                disk_gb: 10,
+                image_bytes: 1_000_000_000,
+            };
+            let running = running.clone();
+            if let Ok(id) = cloud.submit(&mut sim, t, move |_, id| {
+                running.borrow_mut().push(id);
+            }) {
+                submitted.push((id, shutdown_later));
+            }
+        }
+        sim.run();
+        // Shut some down, re-run the queue.
+        for &(id, later) in &submitted {
+            if later && cloud.state(id).unwrap() == VmState::Running {
+                cloud.shutdown(&mut sim, id).unwrap();
+            }
+        }
+        sim.run();
+        // Per-host accounting: recompute from VM records and compare
+        // against the spec.
+        let spec = HostSpec::lsdf_node();
+        let mut cpu = vec![0u32; hosts];
+        let mut mem = vec![0u64; hosts];
+        for (i, &(id, _)) in submitted.iter().enumerate() {
+            let state = cloud.state(id).unwrap();
+            prop_assert!(
+                matches!(state, VmState::Running | VmState::Pending | VmState::Done),
+                "vm{i} in odd state {state:?}"
+            );
+            if state == VmState::Running {
+                let h = cloud.host_of(id).expect("running VM has host").0 as usize;
+                cpu[h] += shapes[i].0;
+                mem[h] += shapes[i].1 * 1024;
+            }
+        }
+        for h in 0..hosts {
+            prop_assert!(cpu[h] <= spec.cpu_cores, "host {h} cpu oversubscribed");
+            prop_assert!(mem[h] <= spec.mem_mb, "host {h} mem oversubscribed");
+        }
+        // Everything that could ever fit and was left running reached
+        // Running through the full lifecycle.
+        let stats = cloud.stats();
+        prop_assert_eq!(
+            stats.running,
+            submitted
+                .iter()
+                .filter(|&&(id, _)| cloud.state(id).unwrap() == VmState::Running)
+                .count()
+        );
+    }
+
+    /// Deployment latency is monotone in queue depth for a single host:
+    /// each additional same-shape VM waits at least as long.
+    #[test]
+    fn deploy_latency_monotone_in_queue(n in 2usize..8) {
+        let cloud = CloudManager::new(config(1, Placement::FirstFit));
+        let mut sim = Simulation::new();
+        let at: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..n {
+            let at = at.clone();
+            // 4 vcpus: two fit per 8-core host concurrently.
+            let t = VmTemplate {
+                name: format!("vm{i}"),
+                vcpus: 4,
+                mem_mb: 1024,
+                disk_gb: 5,
+                image_bytes: 2_000_000_000,
+            };
+            cloud
+                .submit(&mut sim, t, move |s, _| {
+                    at.borrow_mut().push(s.now().as_secs_f64())
+                })
+                .unwrap();
+        }
+        // Shut down running VMs as they come up so the queue drains.
+        loop {
+            sim.run();
+            let mut progressed = false;
+            for id in 0..n as u64 {
+                let vm = lsdf_cloud::VmId(id);
+                if cloud.state(vm).unwrap() == VmState::Running {
+                    cloud.shutdown(&mut sim, vm).unwrap();
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let at = at.borrow();
+        prop_assert_eq!(at.len(), n, "all VMs must deploy");
+        for w in at.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9, "latency must not decrease: {w:?}");
+        }
+    }
+}

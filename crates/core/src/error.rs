@@ -1,0 +1,61 @@
+//! The facility-level error type.
+
+use lsdf_adal::AdalError;
+use lsdf_metadata::MetadataError;
+use lsdf_workflow::WorkflowError;
+
+/// Errors surfaced by facility operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FacilityError {
+    /// A project name was registered twice.
+    DuplicateProject(String),
+    /// No such project.
+    UnknownProject(String),
+    /// Access-layer failure (auth, path, backend).
+    Adal(AdalError),
+    /// Metadata-repository failure.
+    Metadata(MetadataError),
+    /// Workflow failure.
+    Workflow(WorkflowError),
+    /// Ingest rejected because metadata is missing or invalid and the
+    /// facility enforces metadata-at-ingest.
+    MetadataRequired {
+        /// The offending item's key.
+        key: String,
+        /// Why validation failed.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for FacilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FacilityError::DuplicateProject(p) => write!(f, "project '{p}' already registered"),
+            FacilityError::UnknownProject(p) => write!(f, "unknown project '{p}'"),
+            FacilityError::Adal(e) => write!(f, "{e}"),
+            FacilityError::Metadata(e) => write!(f, "{e}"),
+            FacilityError::Workflow(e) => write!(f, "{e}"),
+            FacilityError::MetadataRequired { key, reason } => {
+                write!(f, "ingest of '{key}' rejected: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FacilityError {}
+
+impl From<AdalError> for FacilityError {
+    fn from(e: AdalError) -> Self {
+        FacilityError::Adal(e)
+    }
+}
+impl From<MetadataError> for FacilityError {
+    fn from(e: MetadataError) -> Self {
+        FacilityError::Metadata(e)
+    }
+}
+impl From<WorkflowError> for FacilityError {
+    fn from(e: WorkflowError) -> Self {
+        FacilityError::Workflow(e)
+    }
+}

@@ -1,0 +1,285 @@
+//! The facility: wiring storage backends, the ADAL, per-project metadata
+//! stores and access control into one system, as deployed at KIT.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lsdf_adal::{
+    Acl, Adal, Credential, DfsBackend, HsmBackend, ObjectStoreBackend, TokenAuth,
+};
+use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
+use lsdf_metadata::{ProjectStore, Schema};
+use lsdf_storage::{Hsm, MigrationPolicy, ObjectStore};
+
+use crate::error::FacilityError;
+
+/// Which storage component backs a project's data.
+#[derive(Debug, Clone)]
+pub enum BackendChoice {
+    /// Plain disk-array object store with the given capacity.
+    ObjectStore {
+        /// Capacity in bytes.
+        capacity: u64,
+    },
+    /// HSM-tiered store (disk watermarks + tape).
+    Hsm {
+        /// Disk-tier capacity in bytes.
+        disk_capacity: u64,
+        /// Demote until usage falls below this fraction.
+        low_watermark: f64,
+        /// Demote when usage exceeds this fraction.
+        high_watermark: f64,
+        /// Victim-selection policy.
+        policy: MigrationPolicy,
+    },
+    /// The shared Hadoop-style DFS (analysis data).
+    Dfs,
+}
+
+/// Builder for a [`Facility`].
+pub struct FacilityBuilder {
+    projects: Vec<(Schema, BackendChoice)>,
+    cluster: ClusterTopology,
+    dfs_config: DfsConfig,
+    admin_token: String,
+}
+
+impl FacilityBuilder {
+    /// Starts a builder with the paper's 60-node cluster and an
+    /// `"admin"` token.
+    pub fn new() -> Self {
+        FacilityBuilder {
+            projects: Vec::new(),
+            cluster: ClusterTopology::lsdf(),
+            dfs_config: DfsConfig::default(),
+            admin_token: "admin-token".to_string(),
+        }
+    }
+
+    /// Adds a project with its metadata schema and backend choice.
+    pub fn project(mut self, schema: Schema, backend: BackendChoice) -> Self {
+        self.projects.push((schema, backend));
+        self
+    }
+
+    /// Overrides the compute-cluster shape.
+    pub fn cluster(mut self, topology: ClusterTopology, config: DfsConfig) -> Self {
+        self.cluster = topology;
+        self.dfs_config = config;
+        self
+    }
+
+    /// Overrides the bootstrap admin token.
+    pub fn admin_token(mut self, token: &str) -> Self {
+        self.admin_token = token.to_string();
+        self
+    }
+
+    /// Assembles the facility.
+    pub fn build(self) -> Result<Facility, FacilityError> {
+        let auth = Arc::new(TokenAuth::new());
+        auth.register(&self.admin_token, "admin");
+        let acl = Arc::new(Acl::new());
+        let adal = Arc::new(Adal::new(auth.clone(), acl.clone()));
+        let dfs = Arc::new(Dfs::new(self.cluster, self.dfs_config));
+
+        let mut stores = HashMap::new();
+        let mut hsms = HashMap::new();
+        for (schema, backend) in self.projects {
+            let project = schema.name.clone();
+            if stores.contains_key(&project) {
+                return Err(FacilityError::DuplicateProject(project));
+            }
+            match backend {
+                BackendChoice::ObjectStore { capacity } => {
+                    let store = Arc::new(ObjectStore::new(project.clone(), capacity));
+                    adal.mount(&project, Arc::new(ObjectStoreBackend::new(store)));
+                }
+                BackendChoice::Hsm {
+                    disk_capacity,
+                    low_watermark,
+                    high_watermark,
+                    policy,
+                } => {
+                    let disk = Arc::new(ObjectStore::new(format!("{project}-disk"), disk_capacity));
+                    let tape = Arc::new(ObjectStore::new(format!("{project}-tape"), u64::MAX));
+                    let hsm = Arc::new(Hsm::new(
+                        disk,
+                        tape,
+                        low_watermark,
+                        high_watermark,
+                        policy,
+                    ));
+                    adal.mount(&project, Arc::new(HsmBackend::new(hsm.clone())));
+                    hsms.insert(project.clone(), hsm);
+                }
+                BackendChoice::Dfs => {
+                    adal.mount(&project, Arc::new(DfsBackend::new(dfs.clone())));
+                }
+            }
+            // Admin gets full access to every project.
+            acl.grant("admin", &project, true);
+            stores.insert(project, Arc::new(ProjectStore::new(schema)));
+        }
+        Ok(Facility {
+            adal,
+            auth,
+            acl,
+            dfs,
+            stores,
+            hsms,
+            admin: Credential::Token(self.admin_token),
+        })
+    }
+}
+
+impl Default for FacilityBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The assembled Large Scale Data Facility.
+pub struct Facility {
+    adal: Arc<Adal>,
+    auth: Arc<TokenAuth>,
+    acl: Arc<Acl>,
+    dfs: Arc<Dfs>,
+    stores: HashMap<String, Arc<ProjectStore>>,
+    hsms: HashMap<String, Arc<Hsm>>,
+    admin: Credential,
+}
+
+impl Facility {
+    /// Starts a builder.
+    pub fn builder() -> FacilityBuilder {
+        FacilityBuilder::new()
+    }
+
+    /// The unified access layer.
+    pub fn adal(&self) -> &Arc<Adal> {
+        &self.adal
+    }
+
+    /// The shared analysis cluster's DFS.
+    pub fn dfs(&self) -> &Arc<Dfs> {
+        &self.dfs
+    }
+
+    /// A project's metadata store.
+    pub fn store(&self, project: &str) -> Result<&Arc<ProjectStore>, FacilityError> {
+        self.stores
+            .get(project)
+            .ok_or_else(|| FacilityError::UnknownProject(project.to_string()))
+    }
+
+    /// A project's HSM, when HSM-backed.
+    pub fn hsm(&self, project: &str) -> Option<&Arc<Hsm>> {
+        self.hsms.get(project)
+    }
+
+    /// Registered project names, sorted.
+    pub fn projects(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.stores.keys().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The bootstrap admin credential.
+    pub fn admin(&self) -> &Credential {
+        &self.admin
+    }
+
+    /// Registers a user token.
+    pub fn register_user(&self, token: &str, user: &str) {
+        self.auth.register(token, user);
+    }
+
+    /// Grants project access to a user.
+    pub fn grant(&self, user: &str, project: &str, write: bool) {
+        self.acl.grant(user, project, write);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdf_metadata::{zebrafish_schema, FieldType, SchemaBuilder};
+
+    fn mini() -> Facility {
+        Facility::builder()
+            .project(
+                zebrafish_schema(),
+                BackendChoice::ObjectStore { capacity: u64::MAX },
+            )
+            .project(
+                SchemaBuilder::new("katrin")
+                    .required("run", FieldType::Int)
+                    .build()
+                    .unwrap(),
+                BackendChoice::Hsm {
+                    disk_capacity: 10_000,
+                    low_watermark: 0.5,
+                    high_watermark: 0.8,
+                    policy: MigrationPolicy::OldestFirst,
+                },
+            )
+            .cluster(ClusterTopology::new(2, 2), DfsConfig {
+                block_size: 1024,
+                replication: 2,
+                ..DfsConfig::default()
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_wires_projects_and_backends() {
+        let f = mini();
+        assert_eq!(f.projects(), vec!["katrin", "zebrafish-htm"]);
+        assert_eq!(f.adal().backend_kind("zebrafish-htm"), Some("object-store"));
+        assert_eq!(f.adal().backend_kind("katrin"), Some("hsm"));
+        assert!(f.hsm("katrin").is_some());
+        assert!(f.hsm("zebrafish-htm").is_none());
+        assert!(f.store("zebrafish-htm").is_ok());
+        assert!(f.store("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_projects_rejected() {
+        let r = Facility::builder()
+            .project(
+                zebrafish_schema(),
+                BackendChoice::ObjectStore { capacity: 1 },
+            )
+            .project(
+                zebrafish_schema(),
+                BackendChoice::ObjectStore { capacity: 1 },
+            )
+            .build();
+        assert!(matches!(r, Err(FacilityError::DuplicateProject(_))));
+    }
+
+    #[test]
+    fn admin_has_access_users_do_not_until_granted() {
+        let f = mini();
+        let admin = f.admin().clone();
+        f.adal()
+            .put(&admin, "lsdf://katrin/run1", bytes::Bytes::from_static(b"x"))
+            .unwrap();
+        let user = Credential::Token("utok".into());
+        assert!(f.adal().get(&user, "lsdf://katrin/run1").is_err());
+        f.register_user("utok", "alice");
+        assert!(f.adal().get(&user, "lsdf://katrin/run1").is_err());
+        f.grant("alice", "katrin", false);
+        assert_eq!(
+            f.adal().get(&user, "lsdf://katrin/run1").unwrap(),
+            bytes::Bytes::from_static(b"x")
+        );
+        // Read-only: writes still denied.
+        assert!(f
+            .adal()
+            .put(&user, "lsdf://katrin/run2", bytes::Bytes::from_static(b"y"))
+            .is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! The ingest pipeline: checksum → store via ADAL → register metadata.
+//!
+//! This is the facility's front door for experiment data. The
+//! `enforce_metadata` switch embodies the paper's slide-3 warning —
+//! "invisible (not-found, no-metadata) data is lost data": with
+//! enforcement on, an item without valid metadata is rejected; with it
+//! off, the bytes land in storage but no catalog entry exists, and
+//! experiment E14 measures exactly how much data becomes unfindable.
+
+use bytes::Bytes;
+
+use lsdf_adal::Credential;
+use lsdf_metadata::{DatasetId, Document, NewDataset};
+use lsdf_storage::sha256;
+
+use crate::error::FacilityError;
+use crate::facility::Facility;
+
+/// One item arriving from an experiment DAQ.
+#[derive(Debug, Clone)]
+pub struct IngestItem {
+    /// Target project.
+    pub project: String,
+    /// Storage key within the project.
+    pub key: String,
+    /// Payload.
+    pub data: Bytes,
+    /// Basic metadata (may be `None` for instruments that fail to provide
+    /// it — the "invisible data" failure mode).
+    pub metadata: Option<Document>,
+}
+
+/// Outcome counters for a batch ingest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Items fully ingested (stored + registered).
+    pub registered: u64,
+    /// Items stored without metadata (enforcement off only).
+    pub stored_unregistered: u64,
+    /// Items rejected.
+    pub rejected: u64,
+    /// Payload bytes accepted into storage.
+    pub bytes: u64,
+}
+
+/// Ingest configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestPolicy {
+    /// Reject items whose metadata is missing or schema-invalid.
+    pub enforce_metadata: bool,
+}
+
+impl Default for IngestPolicy {
+    fn default() -> Self {
+        IngestPolicy {
+            enforce_metadata: true,
+        }
+    }
+}
+
+impl Facility {
+    /// Ingests one item: checksums the payload, stores it through the
+    /// ADAL, and registers the dataset in the project's metadata store.
+    /// Returns the dataset id when a catalog entry was created.
+    pub fn ingest(
+        &self,
+        cred: &Credential,
+        item: IngestItem,
+        policy: IngestPolicy,
+    ) -> Result<Option<DatasetId>, FacilityError> {
+        let store = self.store(&item.project)?.clone();
+        // Validate metadata *before* the payload lands, so enforcement
+        // never leaves orphan bytes.
+        let doc = match &item.metadata {
+            Some(doc) => match store.schema().validate(doc) {
+                Ok(()) => Some(doc.clone()),
+                Err(e) => {
+                    if policy.enforce_metadata {
+                        return Err(FacilityError::MetadataRequired {
+                            key: item.key,
+                            reason: e.to_string(),
+                        });
+                    }
+                    None
+                }
+            },
+            None => {
+                if policy.enforce_metadata {
+                    return Err(FacilityError::MetadataRequired {
+                        key: item.key,
+                        reason: "no metadata supplied".to_string(),
+                    });
+                }
+                None
+            }
+        };
+        let digest = sha256(&item.data);
+        let location = format!("lsdf://{}/{}", item.project, item.key);
+        let size = item.data.len() as u64;
+        self.adal().put(cred, &location, item.data)?;
+        match doc {
+            Some(basic) => {
+                let id = store.insert(NewDataset {
+                    name: item.key,
+                    location,
+                    size_bytes: size,
+                    checksum_hex: digest.to_hex(),
+                    basic,
+                })?;
+                Ok(Some(id))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Ingests a batch, tallying outcomes instead of failing fast.
+    pub fn ingest_batch(
+        &self,
+        cred: &Credential,
+        items: Vec<IngestItem>,
+        policy: IngestPolicy,
+    ) -> IngestReport {
+        let mut report = IngestReport::default();
+        for item in items {
+            let size = item.data.len() as u64;
+            match self.ingest(cred, item, policy) {
+                Ok(Some(_)) => {
+                    report.registered += 1;
+                    report.bytes += size;
+                }
+                Ok(None) => {
+                    report.stored_unregistered += 1;
+                    report.bytes += size;
+                }
+                Err(_) => report.rejected += 1,
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facility::BackendChoice;
+    use lsdf_metadata::query::eq;
+    use lsdf_metadata::zebrafish_schema;
+    use lsdf_workloads::microscopy::HtmGenerator;
+
+    fn facility() -> Facility {
+        Facility::builder()
+            .project(
+                zebrafish_schema(),
+                BackendChoice::ObjectStore { capacity: u64::MAX },
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn items(n_fish: usize) -> Vec<IngestItem> {
+        let mut gen = HtmGenerator::new(5, 32);
+        let mut out = Vec::new();
+        for _ in 0..n_fish {
+            for (acq, img) in gen.next_fish() {
+                out.push(IngestItem {
+                    project: "zebrafish-htm".to_string(),
+                    key: acq.key(),
+                    data: img.encode(),
+                    metadata: Some(acq.document()),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ingest_stores_registers_and_checksums() {
+        let f = facility();
+        let admin = f.admin().clone();
+        let batch = items(2);
+        let payload0 = batch[0].data.clone();
+        let key0 = batch[0].key.clone();
+        let report = f.ingest_batch(&admin, batch, IngestPolicy::default());
+        assert_eq!(report.registered, 48);
+        assert_eq!(report.rejected, 0);
+        // Payload retrievable through the unified namespace.
+        let path = format!("lsdf://zebrafish-htm/{key0}");
+        assert_eq!(f.adal().get(&admin, &path).unwrap(), payload0);
+        // Catalog entry carries checksum + size + location.
+        let store = f.store("zebrafish-htm").unwrap();
+        let rec = store.get_by_name(&key0).unwrap();
+        assert_eq!(rec.size_bytes, payload0.len() as u64);
+        assert_eq!(rec.checksum_hex, lsdf_storage::sha256(&payload0).to_hex());
+        assert_eq!(rec.location, path);
+        // Indexed query works on ingested metadata.
+        assert_eq!(store.query(&eq("fish_id", 0i64)).len(), 24);
+    }
+
+    #[test]
+    fn enforcement_rejects_missing_metadata_without_orphan_bytes() {
+        let f = facility();
+        let admin = f.admin().clone();
+        let item = IngestItem {
+            project: "zebrafish-htm".into(),
+            key: "raw/mystery".into(),
+            data: Bytes::from_static(b"pixels"),
+            metadata: None,
+        };
+        let r = f.ingest(&admin, item, IngestPolicy::default());
+        assert!(matches!(r, Err(FacilityError::MetadataRequired { .. })));
+        // No orphan object.
+        assert!(f
+            .adal()
+            .get(&admin, "lsdf://zebrafish-htm/raw/mystery")
+            .is_err());
+    }
+
+    #[test]
+    fn lax_policy_stores_invisible_data() {
+        let f = facility();
+        let admin = f.admin().clone();
+        let item = IngestItem {
+            project: "zebrafish-htm".into(),
+            key: "raw/mystery".into(),
+            data: Bytes::from_static(b"pixels"),
+            metadata: None,
+        };
+        let id = f
+            .ingest(&admin, item, IngestPolicy {
+                enforce_metadata: false,
+            })
+            .unwrap();
+        assert_eq!(id, None, "no catalog entry");
+        // Bytes exist...
+        assert!(f
+            .adal()
+            .get(&admin, "lsdf://zebrafish-htm/raw/mystery")
+            .is_ok());
+        // ...but the data is invisible to every metadata query.
+        let store = f.store("zebrafish-htm").unwrap();
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn invalid_metadata_counted_as_rejected_in_batch() {
+        let f = facility();
+        let admin = f.admin().clone();
+        let mut batch = items(1);
+        batch[3].metadata = Some(Document::new()); // invalid: required fields missing
+        batch[7].metadata = None;
+        let report = f.ingest_batch(&admin, batch, IngestPolicy::default());
+        assert_eq!(report.registered, 22);
+        assert_eq!(report.rejected, 2);
+        assert_eq!(report.stored_unregistered, 0);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected_at_storage_layer() {
+        let f = facility();
+        let admin = f.admin().clone();
+        let batch = items(1);
+        let one = batch[0].clone();
+        f.ingest(&admin, one.clone(), IngestPolicy::default())
+            .unwrap();
+        let r = f.ingest(&admin, one, IngestPolicy::default());
+        assert!(matches!(r, Err(FacilityError::Adal(_))));
+    }
+}

@@ -1,0 +1,174 @@
+//! Capacity planning: the paper's growth projections (slide 5: 1+ PB/year
+//! in 2012, 6 PB/year in 2014; slide 14: 6 PB installed in 2012) and the
+//! move-data vs move-compute decision support (slide 11).
+
+use lsdf_net::{choose_placement, Placement, PlacementCosts, TransferModel};
+use lsdf_sim::SimDuration;
+
+/// A data-producing community and its growth.
+#[derive(Debug, Clone)]
+pub struct Community {
+    /// Community name.
+    pub name: String,
+    /// Current production rate, bytes per day.
+    pub daily_bytes: u64,
+    /// Year-over-year multiplier on the daily rate (Moore's-law-driven
+    /// instrument upgrades; slide 3).
+    pub annual_growth: f64,
+}
+
+/// One year's projection row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectionRow {
+    /// Years from now (0 = the current year).
+    pub year: u32,
+    /// Bytes produced during this year, all communities.
+    pub produced_bytes: f64,
+    /// Cumulative archive size at year end.
+    pub cumulative_bytes: f64,
+}
+
+/// Projects facility storage needs over `years`, assuming all data is
+/// retained ("old data is very valuable" — slide 3).
+pub fn project_growth(communities: &[Community], years: u32) -> Vec<ProjectionRow> {
+    let mut rows = Vec::with_capacity(years as usize);
+    let mut cumulative = 0.0;
+    for year in 0..years {
+        let produced: f64 = communities
+            .iter()
+            .map(|c| c.daily_bytes as f64 * 365.25 * c.annual_growth.powi(year as i32))
+            .sum();
+        cumulative += produced;
+        rows.push(ProjectionRow {
+            year,
+            produced_bytes: produced,
+            cumulative_bytes: cumulative,
+        });
+    }
+    rows
+}
+
+/// The LSDF community mix at the paper's publication date (2011):
+/// zebrafish microscopy at 2 TB/day dominating, plus the smaller
+/// communities being onboarded (slide 14).
+pub fn lsdf_2011_communities() -> Vec<Community> {
+    vec![
+        Community {
+            name: "zebrafish-htm".into(),
+            daily_bytes: 2_000_000_000_000, // 2 TB/day (slide 5)
+            annual_growth: 1.8,             // → multi-PB/yr by 2014
+        },
+        Community {
+            name: "katrin".into(),
+            daily_bytes: 100_000_000_000, // 100 GB/day commissioning
+            annual_growth: 1.5,
+        },
+        Community {
+            name: "anka-synchrotron".into(),
+            daily_bytes: 300_000_000_000,
+            annual_growth: 1.4,
+        },
+        Community {
+            name: "climate".into(),
+            daily_bytes: 200_000_000_000,
+            annual_growth: 1.3,
+        },
+    ]
+}
+
+/// A transfer-vs-relocation recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferPlan {
+    /// The recommended placement.
+    pub placement: Placement,
+    /// Estimated completion time.
+    pub duration: SimDuration,
+    /// Time the alternative would have taken.
+    pub alternative: SimDuration,
+}
+
+/// Plans how to process `data_bytes` given the WAN link and compute
+/// staging costs — the slide-11 "bring computing to the data" decision.
+pub fn plan_processing(
+    data_bytes: u64,
+    link: TransferModel,
+    compute_staging: SimDuration,
+    compute_image_bytes: u64,
+) -> TransferPlan {
+    let costs = PlacementCosts {
+        data_link: link,
+        compute_staging,
+        compute_image_bytes,
+    };
+    let (placement, duration) = choose_placement(&costs, data_bytes);
+    let alternative = match placement {
+        Placement::MoveData => {
+            compute_staging + link.time_for_bytes(compute_image_bytes)
+        }
+        Placement::MoveCompute => link.time_for_bytes(data_bytes),
+    };
+    TransferPlan {
+        placement,
+        duration,
+        alternative,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdf_net::units::{GB, PB, TB, TEN_GBIT};
+
+    #[test]
+    fn growth_compounds() {
+        let rows = project_growth(
+            &[Community {
+                name: "x".into(),
+                daily_bytes: 1_000,
+                annual_growth: 2.0,
+            }],
+            3,
+        );
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].produced_bytes - 365_250.0).abs() < 1.0);
+        assert!((rows[1].produced_bytes - 730_500.0).abs() < 1.0);
+        assert!((rows[2].cumulative_bytes - (365_250.0 + 730_500.0 + 1_461_000.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn lsdf_mix_reproduces_paper_projections() {
+        let rows = project_growth(&lsdf_2011_communities(), 4);
+        // 2012 (year 1): "1+ PB/year" — zebrafish alone produces
+        // 2 TB/day * 365 * 1.6 ≈ 1.17 PB.
+        let y2012 = rows[1].produced_bytes;
+        assert!(
+            y2012 > 1.0 * PB as f64 && y2012 < 3.0 * PB as f64,
+            "2012 production {} PB",
+            y2012 / PB as f64
+        );
+        // 2014 (year 3): "6 PB/year".
+        let y2014 = rows[3].produced_bytes;
+        assert!(
+            y2014 > 4.0 * PB as f64 && y2014 < 9.0 * PB as f64,
+            "2014 production {} PB",
+            y2014 / PB as f64
+        );
+        // Cumulative archive by end-2012 is within the planned 6 PB
+        // installed capacity (slide 14).
+        assert!(rows[1].cumulative_bytes < 6.0 * PB as f64);
+    }
+
+    #[test]
+    fn small_data_moves_large_data_attracts_compute() {
+        let link = TransferModel::with_efficiency(TEN_GBIT, 0.7);
+        let staging = SimDuration::from_mins(5);
+        let small = plan_processing(10 * GB, link, staging, 4 * GB);
+        assert_eq!(small.placement, Placement::MoveData);
+        let large = plan_processing(100 * TB, link, staging, 4 * GB);
+        assert_eq!(large.placement, Placement::MoveCompute);
+        assert!(large.duration < large.alternative);
+        // Moving 100 TB over the link would take days; staging is minutes.
+        assert!(large.alternative.as_secs_f64() > 86_400.0);
+        assert!(large.duration.as_secs_f64() < 3_600.0);
+    }
+}

@@ -1,0 +1,904 @@
+//! The namenode and the DFS facade: namespace, block map, rack-aware
+//! placement, replication pipeline, failure handling and re-replication.
+//!
+//! This is the HDFS-architecture reimplementation the paper's Hadoop
+//! deployment relies on (slides 7/11): files split into fixed-size blocks,
+//! each block replicated (default 3×) across fault domains, reads served
+//! from the closest replica.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::cluster::{ClusterTopology, DfsNodeId, Locality};
+use crate::datanode::{BlockId, DataNode, DataNodeError};
+
+/// Block-placement strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// HDFS default: first replica on the writer, second off-rack, third
+    /// on the second's rack.
+    RackAware,
+    /// Uniformly random distinct nodes (ablation baseline).
+    Random,
+}
+
+/// DFS configuration.
+#[derive(Debug, Clone)]
+pub struct DfsConfig {
+    /// Block size in bytes (HDFS used 64 MB; tests use small blocks).
+    pub block_size: u64,
+    /// Target replica count per block.
+    pub replication: usize,
+    /// Per-node storage capacity in bytes.
+    pub node_capacity: u64,
+    /// Placement strategy.
+    pub placement: PlacementPolicy,
+    /// RNG seed (placement tie-breaking, replica choice).
+    pub seed: u64,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            block_size: 64 * 1024 * 1024,
+            replication: 3,
+            node_capacity: u64::MAX,
+            placement: PlacementPolicy::RackAware,
+            seed: 42,
+        }
+    }
+}
+
+/// Errors from DFS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// File already exists (files are write-once, like HDFS).
+    FileExists(String),
+    /// File not found.
+    FileNotFound(String),
+    /// A block has no live replica.
+    BlockUnavailable(BlockId),
+    /// Could not place even one replica.
+    NoSpace,
+    /// Datanode-level failure surfaced.
+    DataNode(DataNodeError),
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::FileExists(p) => write!(f, "file '{p}' exists"),
+            DfsError::FileNotFound(p) => write!(f, "file '{p}' not found"),
+            DfsError::BlockUnavailable(b) => write!(f, "no live replica of {b:?}"),
+            DfsError::NoSpace => write!(f, "no datanode can accept the block"),
+            DfsError::DataNode(e) => write!(f, "datanode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+impl From<DataNodeError> for DfsError {
+    fn from(e: DataNodeError) -> Self {
+        DfsError::DataNode(e)
+    }
+}
+
+/// A block and its current replica locations.
+#[derive(Debug, Clone)]
+pub struct LocatedBlock {
+    /// Block id.
+    pub id: BlockId,
+    /// Payload size of this block.
+    pub size: u64,
+    /// Offset of this block within the file.
+    pub offset: u64,
+    /// Nodes holding replicas.
+    pub replicas: Vec<DfsNodeId>,
+}
+
+/// File metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Full path.
+    pub path: String,
+    /// Total size in bytes.
+    pub size: u64,
+    /// Number of blocks.
+    pub blocks: usize,
+}
+
+struct FileEntry {
+    blocks: Vec<BlockId>,
+    size: u64,
+}
+
+struct BlockInfo {
+    size: u64,
+    replicas: Vec<DfsNodeId>,
+}
+
+struct Namespace {
+    files: BTreeMap<String, FileEntry>,
+    blocks: HashMap<BlockId, BlockInfo>,
+    next_block: u64,
+}
+
+/// Read-locality counters (experiments E4/E12).
+#[derive(Debug, Default)]
+pub struct LocalityStats {
+    /// Block reads served node-locally.
+    pub node_local: u64,
+    /// Block reads served rack-locally.
+    pub rack_local: u64,
+    /// Block reads served remotely.
+    pub remote: u64,
+}
+
+/// The distributed filesystem: namenode state plus datanodes.
+pub struct Dfs {
+    topology: ClusterTopology,
+    config: DfsConfig,
+    nodes: Vec<Arc<DataNode>>,
+    ns: RwLock<Namespace>,
+    rng: Mutex<ChaCha8Rng>,
+    node_local: AtomicU64,
+    rack_local: AtomicU64,
+    remote: AtomicU64,
+    rereplicated: AtomicU64,
+}
+
+impl Dfs {
+    /// Builds a cluster of `topology.node_count()` empty datanodes.
+    ///
+    /// # Panics
+    /// Panics if `replication` is zero or exceeds the node count.
+    pub fn new(topology: ClusterTopology, config: DfsConfig) -> Self {
+        assert!(config.replication >= 1, "replication must be >= 1");
+        assert!(
+            config.replication <= topology.node_count(),
+            "replication {} exceeds cluster size {}",
+            config.replication,
+            topology.node_count()
+        );
+        assert!(config.block_size > 0, "block size must be positive");
+        let nodes = topology
+            .nodes()
+            .map(|id| Arc::new(DataNode::new(id, config.node_capacity)))
+            .collect();
+        Dfs {
+            topology,
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(config.seed)),
+            config,
+            nodes,
+            ns: RwLock::new(Namespace {
+                files: BTreeMap::new(),
+                blocks: HashMap::new(),
+                next_block: 0,
+            }),
+            node_local: AtomicU64::new(0),
+            rack_local: AtomicU64::new(0),
+            remote: AtomicU64::new(0),
+            rereplicated: AtomicU64::new(0),
+        }
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DfsConfig {
+        &self.config
+    }
+
+    /// Access to a datanode (tests and the MapReduce runtime use this).
+    pub fn node(&self, id: DfsNodeId) -> &Arc<DataNode> {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Live datanode ids.
+    pub fn live_nodes(&self) -> Vec<DfsNodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_alive())
+            .map(|n| n.id())
+            .collect()
+    }
+
+    /// Writes a file (write-once). `writer` is the node issuing the write,
+    /// if it is part of the cluster — the first replica lands there.
+    pub fn write(
+        &self,
+        path: &str,
+        data: &[u8],
+        writer: Option<DfsNodeId>,
+    ) -> Result<FileMeta, DfsError> {
+        {
+            let ns = self.ns.read();
+            if ns.files.contains_key(path) {
+                return Err(DfsError::FileExists(path.to_string()));
+            }
+        }
+        let mut block_ids = Vec::new();
+        let chunks: Vec<&[u8]> = if data.is_empty() {
+            Vec::new()
+        } else {
+            data.chunks(self.config.block_size as usize).collect()
+        };
+        for chunk in chunks {
+            let id = {
+                let mut ns = self.ns.write();
+                let id = BlockId(ns.next_block);
+                ns.next_block += 1;
+                id
+            };
+            let targets = self.choose_targets(writer, self.config.replication);
+            if targets.is_empty() {
+                // Roll back blocks written so far.
+                self.drop_blocks(&block_ids);
+                return Err(DfsError::NoSpace);
+            }
+            let payload = Bytes::copy_from_slice(chunk);
+            let mut placed = Vec::new();
+            for t in targets {
+                if self.nodes[t.0 as usize]
+                    .store_block(id, payload.clone())
+                    .is_ok()
+                {
+                    placed.push(t);
+                }
+            }
+            if placed.is_empty() {
+                self.drop_blocks(&block_ids);
+                return Err(DfsError::NoSpace);
+            }
+            let mut ns = self.ns.write();
+            ns.blocks.insert(
+                id,
+                BlockInfo {
+                    size: payload.len() as u64,
+                    replicas: placed,
+                },
+            );
+            block_ids.push(id);
+        }
+        let mut ns = self.ns.write();
+        ns.files.insert(
+            path.to_string(),
+            FileEntry {
+                blocks: block_ids.clone(),
+                size: data.len() as u64,
+            },
+        );
+        Ok(FileMeta {
+            path: path.to_string(),
+            size: data.len() as u64,
+            blocks: block_ids.len(),
+        })
+    }
+
+    /// Reads a whole file, choosing the closest live replica per block.
+    pub fn read(&self, path: &str, reader: Option<DfsNodeId>) -> Result<Bytes, DfsError> {
+        let located = self.file_blocks(path)?;
+        let mut out = Vec::with_capacity(located.iter().map(|b| b.size as usize).sum());
+        for lb in &located {
+            let data = self.read_block(lb, reader)?;
+            out.extend_from_slice(&data);
+        }
+        Ok(Bytes::from(out))
+    }
+
+    /// Reads one located block from the best replica, recording locality.
+    pub fn read_block(
+        &self,
+        lb: &LocatedBlock,
+        reader: Option<DfsNodeId>,
+    ) -> Result<Bytes, DfsError> {
+        // Order replicas by distance from the reader.
+        let mut candidates: Vec<(u8, DfsNodeId)> = lb
+            .replicas
+            .iter()
+            .filter(|n| self.nodes[n.0 as usize].is_alive())
+            .map(|&n| {
+                let rank = match reader {
+                    Some(r) if r == n => 0,
+                    Some(r) if self.topology.same_rack(r, n) => 1,
+                    _ => 2,
+                };
+                (rank, n)
+            })
+            .collect();
+        candidates.sort_unstable_by_key(|&(rank, n)| (rank, n.0));
+        for (rank, n) in candidates {
+            if let Ok(data) = self.nodes[n.0 as usize].read_block(lb.id) {
+                let counter = match rank {
+                    0 => &self.node_local,
+                    1 => &self.rack_local,
+                    _ => &self.remote,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                return Ok(data);
+            }
+        }
+        Err(DfsError::BlockUnavailable(lb.id))
+    }
+
+    /// The locality of the replica that a read from `reader` would use.
+    pub fn locality_of(&self, lb: &LocatedBlock, reader: DfsNodeId) -> Option<Locality> {
+        let mut best: Option<Locality> = None;
+        for &n in &lb.replicas {
+            if !self.nodes[n.0 as usize].is_alive() {
+                continue;
+            }
+            let loc = if n == reader {
+                Locality::NodeLocal
+            } else if self.topology.same_rack(n, reader) {
+                Locality::RackLocal
+            } else {
+                Locality::Remote
+            };
+            best = Some(match (best, loc) {
+                (None, l) => l,
+                (Some(Locality::NodeLocal), _) => Locality::NodeLocal,
+                (Some(_), Locality::NodeLocal) => Locality::NodeLocal,
+                (Some(Locality::RackLocal), _) => Locality::RackLocal,
+                (Some(_), Locality::RackLocal) => Locality::RackLocal,
+                _ => Locality::Remote,
+            });
+        }
+        best
+    }
+
+    /// Locates a file's blocks.
+    pub fn file_blocks(&self, path: &str) -> Result<Vec<LocatedBlock>, DfsError> {
+        let ns = self.ns.read();
+        let entry = ns
+            .files
+            .get(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        let mut offset = 0;
+        Ok(entry
+            .blocks
+            .iter()
+            .map(|&id| {
+                let info = &ns.blocks[&id];
+                let lb = LocatedBlock {
+                    id,
+                    size: info.size,
+                    offset,
+                    replicas: info.replicas.clone(),
+                };
+                offset += info.size;
+                lb
+            })
+            .collect())
+    }
+
+    /// File metadata.
+    pub fn stat(&self, path: &str) -> Result<FileMeta, DfsError> {
+        let ns = self.ns.read();
+        let entry = ns
+            .files
+            .get(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        Ok(FileMeta {
+            path: path.to_string(),
+            size: entry.size,
+            blocks: entry.blocks.len(),
+        })
+    }
+
+    /// Lists files under a prefix.
+    pub fn list(&self, prefix: &str) -> Vec<FileMeta> {
+        let ns = self.ns.read();
+        ns.files
+            .range(prefix.to_string()..)
+            .take_while(|(p, _)| p.starts_with(prefix))
+            .map(|(p, e)| FileMeta {
+                path: p.clone(),
+                size: e.size,
+                blocks: e.blocks.len(),
+            })
+            .collect()
+    }
+
+    /// Deletes a file and its block replicas.
+    pub fn delete(&self, path: &str) -> Result<(), DfsError> {
+        let blocks = {
+            let mut ns = self.ns.write();
+            let entry = ns
+                .files
+                .remove(path)
+                .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+            let mut replica_map = Vec::new();
+            for id in &entry.blocks {
+                if let Some(info) = ns.blocks.remove(id) {
+                    replica_map.push((*id, info.replicas));
+                }
+            }
+            replica_map
+        };
+        for (id, replicas) in blocks {
+            for n in replicas {
+                let _ = self.nodes[n.0 as usize].delete_block(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks a datanode dead (failure injection).
+    pub fn kill_node(&self, id: DfsNodeId) {
+        self.nodes[id.0 as usize].kill();
+    }
+
+    /// Revives a dead datanode.
+    pub fn revive_node(&self, id: DfsNodeId) {
+        self.nodes[id.0 as usize].revive();
+    }
+
+    /// Blocks whose live replica count is below target.
+    pub fn under_replicated(&self) -> Vec<BlockId> {
+        let ns = self.ns.read();
+        let mut out: Vec<BlockId> = ns
+            .blocks
+            .iter()
+            .filter(|(_, info)| {
+                info.replicas
+                    .iter()
+                    .filter(|n| self.nodes[n.0 as usize].is_alive())
+                    .count()
+                    < self.config.replication
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Replication monitor pass: for every under-replicated block, copy
+    /// from a live replica to fresh targets. Returns new replicas created.
+    pub fn re_replicate(&self) -> usize {
+        let todo = self.under_replicated();
+        let mut created = 0;
+        for id in todo {
+            let (data, existing_live, existing_all) = {
+                let ns = self.ns.read();
+                let Some(info) = ns.blocks.get(&id) else { continue };
+                let live: Vec<DfsNodeId> = info
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|n| self.nodes[n.0 as usize].is_alive())
+                    .collect();
+                let Some(&src) = live.first() else { continue };
+                let Ok(data) = self.nodes[src.0 as usize].read_block(id) else {
+                    continue;
+                };
+                (data, live.clone(), info.replicas.clone())
+            };
+            let missing = self.config.replication - existing_live.len();
+            for _ in 0..missing {
+                let current: Vec<DfsNodeId> = {
+                    let ns = self.ns.read();
+                    ns.blocks[&id].replicas.clone()
+                };
+                let target = self.pick_new_target(&current);
+                let Some(t) = target else { break };
+                if self.nodes[t.0 as usize].store_block(id, data.clone()).is_ok() {
+                    let mut ns = self.ns.write();
+                    if let Some(info) = ns.blocks.get_mut(&id) {
+                        // Drop dead replicas from the map now that we have
+                        // fresh copies; keep list = live ∪ {new}.
+                        info.replicas.retain(|n| self.nodes[n.0 as usize].is_alive());
+                        info.replicas.push(t);
+                    }
+                    created += 1;
+                    self.rereplicated.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let _ = existing_all;
+        }
+        created
+    }
+
+    /// Read-locality counters.
+    pub fn locality_stats(&self) -> LocalityStats {
+        LocalityStats {
+            node_local: self.node_local.load(Ordering::Relaxed),
+            rack_local: self.rack_local.load(Ordering::Relaxed),
+            remote: self.remote.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total replicas created by the replication monitor.
+    pub fn rereplication_count(&self) -> u64 {
+        self.rereplicated.load(Ordering::Relaxed)
+    }
+
+    /// `(used bytes, capacity bytes)` across live nodes.
+    pub fn usage(&self) -> (u64, u64) {
+        let mut used: u64 = 0;
+        let mut cap: u64 = 0;
+        for n in &self.nodes {
+            if n.is_alive() {
+                used += n.used();
+                cap = cap.saturating_add(n.capacity());
+            }
+        }
+        (used, cap)
+    }
+
+    /// Per-node block counts (balance diagnostics).
+    pub fn block_distribution(&self) -> Vec<usize> {
+        self.nodes.iter().map(|n| n.block_count()).collect()
+    }
+
+    /// The balancer: moves replicas from over-full to under-full live
+    /// nodes until every node's used bytes are within `threshold`
+    /// (fraction of mean usage, e.g. 0.1 = ±10 %) or no legal move
+    /// remains. A move never co-locates two replicas of one block.
+    /// Returns the number of replicas moved — HDFS's `balancer` tool.
+    pub fn rebalance(&self, threshold: f64) -> usize {
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        let mut moved = 0;
+        loop {
+            let live = self.live_nodes();
+            if live.len() < 2 {
+                return moved;
+            }
+            let mean = live
+                .iter()
+                .map(|&n| self.nodes[n.0 as usize].used() as f64)
+                .sum::<f64>()
+                / live.len() as f64;
+            let hi_cut = mean * (1.0 + threshold);
+            let lo_cut = mean * (1.0 - threshold);
+            // Busiest over-full source and emptiest under-full target.
+            let Some(&src) = live
+                .iter()
+                .filter(|&&n| self.nodes[n.0 as usize].used() as f64 > hi_cut)
+                .max_by_key(|&&n| self.nodes[n.0 as usize].used())
+            else {
+                return moved;
+            };
+            let Some(&dst) = live
+                .iter()
+                .filter(|&&n| (self.nodes[n.0 as usize].used() as f64) < lo_cut)
+                .min_by_key(|&&n| self.nodes[n.0 as usize].used())
+            else {
+                return moved;
+            };
+            // Pick a block on src whose other replicas avoid dst.
+            let candidate: Option<(BlockId, u64)> = {
+                let ns = self.ns.read();
+                ns.blocks
+                    .iter()
+                    .filter(|(id, info)| {
+                        info.replicas.contains(&src)
+                            && !info.replicas.contains(&dst)
+                            && self.nodes[src.0 as usize].has_block(**id)
+                    })
+                    .map(|(&id, info)| (id, info.size))
+                    // Prefer the largest block that still fits the gap, so
+                    // the balancer converges instead of ping-ponging.
+                    .filter(|&(_, size)| {
+                        let dst_used = self.nodes[dst.0 as usize].used();
+                        (dst_used + size) as f64 <= hi_cut.max(size as f64)
+                    })
+                    .max_by_key(|&(_, size)| size)
+            };
+            let Some((block, _)) = candidate else {
+                return moved;
+            };
+            let Ok(data) = self.nodes[src.0 as usize].read_block(block) else {
+                return moved;
+            };
+            if self.nodes[dst.0 as usize].store_block(block, data).is_err() {
+                return moved;
+            }
+            {
+                let mut ns = self.ns.write();
+                if let Some(info) = ns.blocks.get_mut(&block) {
+                    info.replicas.retain(|&n| n != src);
+                    info.replicas.push(dst);
+                }
+            }
+            let _ = self.nodes[src.0 as usize].delete_block(block);
+            moved += 1;
+        }
+    }
+
+    fn drop_blocks(&self, ids: &[BlockId]) {
+        let mut ns = self.ns.write();
+        for id in ids {
+            if let Some(info) = ns.blocks.remove(id) {
+                for n in info.replicas {
+                    let _ = self.nodes[n.0 as usize].delete_block(*id);
+                }
+            }
+        }
+    }
+
+    /// Chooses up to `count` distinct placement targets.
+    fn choose_targets(&self, writer: Option<DfsNodeId>, count: usize) -> Vec<DfsNodeId> {
+        let live = self.live_nodes();
+        if live.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = self.rng.lock();
+        let mut targets: Vec<DfsNodeId> = Vec::with_capacity(count);
+        match self.config.placement {
+            PlacementPolicy::Random => {
+                let mut pool = live;
+                while targets.len() < count && !pool.is_empty() {
+                    let i = rng.gen_range(0..pool.len());
+                    targets.push(pool.swap_remove(i));
+                }
+            }
+            PlacementPolicy::RackAware => {
+                // 1st: the writer when possible, else random.
+                let first = match writer {
+                    Some(w) if self.nodes[w.0 as usize].is_alive() => w,
+                    _ => live[rng.gen_range(0..live.len())],
+                };
+                targets.push(first);
+                // 2nd: different rack.
+                if targets.len() < count {
+                    let off_rack: Vec<DfsNodeId> = live
+                        .iter()
+                        .copied()
+                        .filter(|&n| !self.topology.same_rack(n, first) && n != first)
+                        .collect();
+                    if let Some(&second) = (!off_rack.is_empty())
+                        .then(|| &off_rack[rng.gen_range(0..off_rack.len())])
+                    {
+                        targets.push(second);
+                        // 3rd: same rack as 2nd, different node.
+                        if targets.len() < count {
+                            let near_second: Vec<DfsNodeId> = live
+                                .iter()
+                                .copied()
+                                .filter(|&n| {
+                                    self.topology.same_rack(n, second)
+                                        && !targets.contains(&n)
+                                })
+                                .collect();
+                            if !near_second.is_empty() {
+                                targets
+                                    .push(near_second[rng.gen_range(0..near_second.len())]);
+                            }
+                        }
+                    }
+                }
+                // Remaining: random distinct.
+                let mut pool: Vec<DfsNodeId> = live
+                    .into_iter()
+                    .filter(|n| !targets.contains(n))
+                    .collect();
+                while targets.len() < count && !pool.is_empty() {
+                    let i = rng.gen_range(0..pool.len());
+                    targets.push(pool.swap_remove(i));
+                }
+            }
+        }
+        targets
+    }
+
+    fn pick_new_target(&self, exclude: &[DfsNodeId]) -> Option<DfsNodeId> {
+        let live: Vec<DfsNodeId> = self
+            .live_nodes()
+            .into_iter()
+            .filter(|n| !exclude.contains(n))
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        let mut rng = self.rng.lock();
+        Some(live[rng.gen_range(0..live.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfs(racks: u16, per_rack: u16, block: u64, repl: usize) -> Dfs {
+        Dfs::new(
+            ClusterTopology::new(racks, per_rack),
+            DfsConfig {
+                block_size: block,
+                replication: repl,
+                node_capacity: u64::MAX,
+                placement: PlacementPolicy::RackAware,
+                seed: 7,
+            },
+        )
+    }
+
+    fn data(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip_multi_block() {
+        let fs = dfs(3, 4, 100, 3);
+        let payload = data(1234); // 13 blocks
+        fs.write("/exp/file1", &payload, None).unwrap();
+        let meta = fs.stat("/exp/file1").unwrap();
+        assert_eq!(meta.size, 1234);
+        assert_eq!(meta.blocks, 13);
+        assert_eq!(fs.read("/exp/file1", None).unwrap(), Bytes::from(payload));
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let fs = dfs(1, 3, 100, 2);
+        fs.write("/empty", &[], None).unwrap();
+        assert_eq!(fs.read("/empty", None).unwrap().len(), 0);
+        assert_eq!(fs.stat("/empty").unwrap().blocks, 0);
+    }
+
+    #[test]
+    fn files_are_write_once() {
+        let fs = dfs(1, 3, 100, 1);
+        fs.write("/a", &data(10), None).unwrap();
+        assert_eq!(
+            fs.write("/a", &data(10), None),
+            Err(DfsError::FileExists("/a".into()))
+        );
+    }
+
+    #[test]
+    fn replicas_are_on_distinct_nodes_and_span_racks() {
+        let fs = dfs(3, 4, 1000, 3);
+        fs.write("/f", &data(5000), Some(DfsNodeId(0))).unwrap();
+        for lb in fs.file_blocks("/f").unwrap() {
+            assert_eq!(lb.replicas.len(), 3);
+            let mut uniq = lb.replicas.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "replicas must be distinct nodes");
+            // First replica on the writer.
+            assert_eq!(lb.replicas[0], DfsNodeId(0));
+            // At least two racks involved.
+            let racks: std::collections::HashSet<u16> = lb
+                .replicas
+                .iter()
+                .map(|&n| fs.topology().rack_of(n).0)
+                .collect();
+            assert!(racks.len() >= 2, "placement must span racks: {racks:?}");
+        }
+    }
+
+    #[test]
+    fn rack_aware_places_third_near_second() {
+        let fs = dfs(4, 5, 1_000_000, 3);
+        fs.write("/f", &data(10), Some(DfsNodeId(1))).unwrap();
+        let lb = &fs.file_blocks("/f").unwrap()[0];
+        let second = lb.replicas[1];
+        let third = lb.replicas[2];
+        assert!(fs.topology().same_rack(second, third));
+        assert!(!fs.topology().same_rack(lb.replicas[0], second));
+    }
+
+    #[test]
+    fn read_prefers_local_replica() {
+        let fs = dfs(2, 3, 1000, 3);
+        fs.write("/f", &data(100), Some(DfsNodeId(2))).unwrap();
+        fs.read("/f", Some(DfsNodeId(2))).unwrap();
+        let stats = fs.locality_stats();
+        assert_eq!(stats.node_local, 1);
+        assert_eq!(stats.remote, 0);
+    }
+
+    #[test]
+    fn read_survives_node_failure() {
+        let fs = dfs(3, 3, 100, 3);
+        let payload = data(950);
+        fs.write("/f", &payload, Some(DfsNodeId(0))).unwrap();
+        fs.kill_node(DfsNodeId(0));
+        assert_eq!(fs.read("/f", None).unwrap(), Bytes::from(payload));
+    }
+
+    #[test]
+    fn under_replication_detected_and_repaired() {
+        let fs = dfs(3, 3, 100, 3);
+        fs.write("/f", &data(500), Some(DfsNodeId(0))).unwrap();
+        assert!(fs.under_replicated().is_empty());
+        fs.kill_node(DfsNodeId(0));
+        let under = fs.under_replicated();
+        assert_eq!(under.len(), 5, "all 5 blocks lost their first replica");
+        let created = fs.re_replicate();
+        assert_eq!(created, 5);
+        assert!(fs.under_replicated().is_empty());
+        // All replicas now live and distinct.
+        for lb in fs.file_blocks("/f").unwrap() {
+            assert_eq!(lb.replicas.len(), 3);
+            assert!(lb
+                .replicas
+                .iter()
+                .all(|n| fs.node(*n).is_alive()));
+        }
+        assert_eq!(fs.rereplication_count(), 5);
+    }
+
+    #[test]
+    fn read_fails_when_all_replicas_dead() {
+        let fs = dfs(1, 3, 100, 2);
+        fs.write("/f", &data(50), None).unwrap();
+        let lb = &fs.file_blocks("/f").unwrap()[0];
+        for &n in &lb.replicas {
+            fs.kill_node(n);
+        }
+        assert!(matches!(fs.read("/f", None), Err(DfsError::BlockUnavailable(_))));
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let fs = dfs(2, 2, 100, 2);
+        fs.write("/f", &data(400), None).unwrap();
+        let (used_before, _) = fs.usage();
+        assert_eq!(used_before, 800); // 400 bytes x2 replicas
+        fs.delete("/f").unwrap();
+        let (used_after, _) = fs.usage();
+        assert_eq!(used_after, 0);
+        assert!(matches!(fs.read("/f", None), Err(DfsError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let fs = dfs(1, 2, 100, 1);
+        for p in ["/a/1", "/a/2", "/b/1"] {
+            fs.write(p, &data(10), None).unwrap();
+        }
+        let names: Vec<String> = fs.list("/a/").into_iter().map(|m| m.path).collect();
+        assert_eq!(names, vec!["/a/1", "/a/2"]);
+    }
+
+    #[test]
+    fn capacity_exhaustion_reported() {
+        let fs = Dfs::new(
+            ClusterTopology::new(1, 2),
+            DfsConfig {
+                block_size: 100,
+                replication: 1,
+                node_capacity: 150,
+                placement: PlacementPolicy::Random,
+                seed: 1,
+            },
+        );
+        // 400 bytes needs 4 blocks x1 replica = 400 bytes; cluster has 300.
+        assert_eq!(fs.write("/big", &data(400), None), Err(DfsError::NoSpace));
+        // Failed write must leave no orphan blocks.
+        let (used, _) = fs.usage();
+        assert_eq!(used, 0);
+        // A smaller file fits.
+        fs.write("/ok", &data(200), None).unwrap();
+    }
+
+    #[test]
+    fn random_policy_spreads_blocks() {
+        let fs = Dfs::new(
+            ClusterTopology::new(2, 5),
+            DfsConfig {
+                block_size: 10,
+                replication: 2,
+                node_capacity: u64::MAX,
+                placement: PlacementPolicy::Random,
+                seed: 3,
+            },
+        );
+        fs.write("/f", &data(1000), None).unwrap(); // 100 blocks x2
+        let dist = fs.block_distribution();
+        assert_eq!(dist.iter().sum::<usize>(), 200);
+        assert!(dist.iter().all(|&c| c > 0), "every node used: {dist:?}");
+    }
+}

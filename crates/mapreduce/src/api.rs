@@ -1,0 +1,143 @@
+//! The user-facing MapReduce programming model.
+//!
+//! Mirrors classic Hadoop MapReduce: a [`Mapper`] turns input records into
+//! `(key, value)` pairs, outputs are hash-partitioned across reducers,
+//! sorted and grouped by key, and a [`Reducer`] folds each group. The
+//! DNA-sequencing and visualization workloads of the paper (slide 13) are
+//! expressed against these traits in `lsdf-workloads`.
+
+use bytes::Bytes;
+
+/// One input record handed to a mapper.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Source file path.
+    pub file: String,
+    /// Byte offset of this record within the file.
+    pub offset: u64,
+    /// Record payload.
+    pub data: Bytes,
+}
+
+/// How block bytes are carved into records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputFormat {
+    /// Each `\n`-terminated line is a record (the trailing newline is
+    /// stripped; a final unterminated line is still a record).
+    Lines,
+    /// Each block is one record (binary scientific formats, e.g. image
+    /// tiles or volume slabs).
+    WholeBlock,
+}
+
+impl InputFormat {
+    /// Splits a block's bytes into records.
+    pub fn records(&self, file: &str, base_offset: u64, data: &Bytes) -> Vec<Record> {
+        match self {
+            InputFormat::WholeBlock => {
+                if data.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Record {
+                        file: file.to_string(),
+                        offset: base_offset,
+                        data: data.clone(),
+                    }]
+                }
+            }
+            InputFormat::Lines => {
+                let mut out = Vec::new();
+                let mut start = 0usize;
+                for (i, &b) in data.iter().enumerate() {
+                    if b == b'\n' {
+                        out.push(Record {
+                            file: file.to_string(),
+                            offset: base_offset + start as u64,
+                            data: data.slice(start..i),
+                        });
+                        start = i + 1;
+                    }
+                }
+                if start < data.len() {
+                    out.push(Record {
+                        file: file.to_string(),
+                        offset: base_offset + start as u64,
+                        data: data.slice(start..),
+                    });
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Map side of a job.
+pub trait Mapper: Send + Sync {
+    /// Intermediate key type.
+    type Key: Ord + std::hash::Hash + Clone + Send;
+    /// Intermediate value type.
+    type Value: Clone + Send;
+
+    /// Processes one record, emitting intermediate pairs.
+    fn map(&self, record: &Record, emit: &mut dyn FnMut(Self::Key, Self::Value));
+}
+
+/// Reduce side of a job.
+pub trait Reducer: Send + Sync {
+    /// Intermediate key type (must match the mapper's).
+    type Key: Ord + std::hash::Hash + Clone + Send;
+    /// Intermediate value type (must match the mapper's).
+    type Value: Clone + Send;
+    /// Final output type.
+    type Output: Send;
+
+    /// Folds all values of one key into zero or more outputs.
+    fn reduce(&self, key: &Self::Key, values: &[Self::Value]) -> Vec<Self::Output>;
+}
+
+/// An optional combiner: a mini-reduce run on each map task's local output
+/// before the shuffle, cutting shuffle volume (classic Hadoop optimisation).
+pub trait Combiner: Send + Sync {
+    /// Intermediate key type.
+    type Key: Ord + std::hash::Hash + Clone + Send;
+    /// Intermediate value type.
+    type Value: Clone + Send;
+
+    /// Combines all locally emitted values of one key into fewer values.
+    fn combine(&self, key: &Self::Key, values: &[Self::Value]) -> Vec<Self::Value>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_split_strips_newlines_and_keeps_tail() {
+        let data = Bytes::from_static(b"alpha\nbeta\ngamma");
+        let recs = InputFormat::Lines.records("/f", 100, &data);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].data, Bytes::from_static(b"alpha"));
+        assert_eq!(recs[0].offset, 100);
+        assert_eq!(recs[1].offset, 106);
+        assert_eq!(recs[2].data, Bytes::from_static(b"gamma"));
+    }
+
+    #[test]
+    fn lines_split_handles_trailing_newline_and_empty_lines() {
+        let data = Bytes::from_static(b"a\n\nb\n");
+        let recs = InputFormat::Lines.records("/f", 0, &data);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[1].data.len(), 0);
+    }
+
+    #[test]
+    fn whole_block_is_one_record() {
+        let data = Bytes::from_static(b"binary\x00payload");
+        let recs = InputFormat::WholeBlock.records("/f", 7, &data);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].offset, 7);
+        assert!(InputFormat::WholeBlock
+            .records("/f", 0, &Bytes::new())
+            .is_empty());
+    }
+}

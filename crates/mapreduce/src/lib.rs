@@ -1,0 +1,19 @@
+//! # lsdf-mapreduce — MapReduce over lsdf-dfs
+//!
+//! A from-scratch reimplementation of the Hadoop MapReduce execution model
+//! the paper's analysis cluster runs (slides 11/13): input splits from DFS
+//! blocks, **locality-aware task scheduling** (node-local > rack-local >
+//! remote), hash partitioning, local combiners, sort-merge grouping, and
+//! **speculative execution** of straggler tasks. Worker threads stand in
+//! for the 60 cluster nodes; the same scheduler decisions drive the
+//! facility-scale extrapolations in the benches (E4, E5, E6, E12).
+
+#![warn(missing_docs)]
+
+mod api;
+mod runner;
+pub mod simulate;
+
+pub use api::{Combiner, InputFormat, Mapper, Record, Reducer};
+pub use runner::{no_combiner, run_job, JobConfig, JobOutput, JobStats, MrError, NoCombiner};
+pub use simulate::{calibrate_map_cpu, simulate_job, ClusterModel, SimJobReport};

@@ -1,0 +1,530 @@
+//! The job runner: locality-aware task scheduling, shuffle, sort, reduce,
+//! and speculative execution — one worker thread per cluster node.
+//!
+//! The scheduler reproduces Hadoop's behaviour on the paper's 60-node
+//! cluster: map tasks preferentially run where a replica of their block
+//! lives (node-local > rack-local > remote), stragglers are duplicated
+//! once the pending queue drains, and the first finished attempt commits.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use lsdf_dfs::{Dfs, DfsError, DfsNodeId, LocatedBlock};
+
+use crate::api::{Combiner, InputFormat, Mapper, Reducer};
+
+/// Job configuration.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Worker nodes (each becomes one executor thread). Defaults to all
+    /// live DFS nodes.
+    pub workers: Vec<DfsNodeId>,
+    /// Number of reduce partitions.
+    pub reducers: usize,
+    /// Prefer node-local / rack-local splits when picking map tasks.
+    pub locality_aware: bool,
+    /// Duplicate long-running map attempts once the queue drains.
+    pub speculative: bool,
+    /// Artificial per-map-task delay for specific nodes (straggler
+    /// injection for the E4 ablation).
+    pub slow_nodes: Vec<(DfsNodeId, Duration)>,
+    /// How records are carved from blocks.
+    pub input_format: InputFormat,
+}
+
+impl JobConfig {
+    /// A config running on every live node of `dfs` with `reducers`
+    /// partitions.
+    pub fn on_cluster(dfs: &Dfs, reducers: usize) -> Self {
+        JobConfig {
+            workers: dfs.live_nodes(),
+            reducers,
+            locality_aware: true,
+            speculative: false,
+            slow_nodes: Vec::new(),
+            input_format: InputFormat::Lines,
+        }
+    }
+}
+
+/// Errors from job execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrError {
+    /// Input file missing or unreadable.
+    Dfs(DfsError),
+    /// The job was configured with no workers or no reducers.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for MrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrError::Dfs(e) => write!(f, "dfs: {e}"),
+            MrError::BadConfig(m) => write!(f, "bad job config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+impl From<DfsError> for MrError {
+    fn from(e: DfsError) -> Self {
+        MrError::Dfs(e)
+    }
+}
+
+/// Where a map attempt ran relative to its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskLocality {
+    NodeLocal,
+    RackLocal,
+    Remote,
+}
+
+/// Job statistics.
+#[derive(Debug, Clone, Default)]
+pub struct JobStats {
+    /// Map tasks (splits).
+    pub map_tasks: usize,
+    /// Reduce partitions.
+    pub reduce_tasks: usize,
+    /// Input records fed to mappers.
+    pub input_records: u64,
+    /// Intermediate pairs emitted by mappers (pre-combine).
+    pub map_output_records: u64,
+    /// Intermediate pairs after combining (equals the above when no
+    /// combiner runs).
+    pub shuffled_records: u64,
+    /// Final output records.
+    pub output_records: u64,
+    /// Input bytes read from the DFS.
+    pub bytes_read: u64,
+    /// Map attempts that ran node-local.
+    pub node_local_maps: u64,
+    /// Map attempts that ran rack-local.
+    pub rack_local_maps: u64,
+    /// Map attempts that ran remote.
+    pub remote_maps: u64,
+    /// Speculative attempts launched.
+    pub speculative_launched: u64,
+    /// Speculative attempts that won the commit race.
+    pub speculative_won: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+/// A finished job: reducer outputs in deterministic (partition, key) order
+/// plus statistics.
+#[derive(Debug)]
+pub struct JobOutput<O> {
+    /// All reducer outputs.
+    pub output: Vec<O>,
+    /// Run statistics.
+    pub stats: JobStats,
+}
+
+struct MapTaskDesc {
+    file: String,
+    block: LocatedBlock,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum TaskState {
+    Pending,
+    Running { attempts: u8 },
+    Done,
+}
+
+struct Board {
+    states: Vec<TaskState>,
+    pending: usize,
+    done: usize,
+}
+
+/// Runs a full MapReduce job over DFS input files.
+///
+/// Type parameters tie mapper, optional combiner and reducer key/value
+/// types together; pass `NoCombiner::default()` when no combiner is wanted.
+pub fn run_job<M, C, R>(
+    dfs: &Dfs,
+    inputs: &[String],
+    mapper: &M,
+    combiner: Option<&C>,
+    reducer: &R,
+    config: &JobConfig,
+) -> Result<JobOutput<R::Output>, MrError>
+where
+    M: Mapper,
+    C: Combiner<Key = M::Key, Value = M::Value>,
+    R: Reducer<Key = M::Key, Value = M::Value>,
+{
+    let started = Instant::now();
+    if config.workers.is_empty() {
+        return Err(MrError::BadConfig("no workers".into()));
+    }
+    if config.reducers == 0 {
+        return Err(MrError::BadConfig("no reducers".into()));
+    }
+    // Build map tasks: one per input block.
+    let mut tasks: Vec<MapTaskDesc> = Vec::new();
+    for path in inputs {
+        for block in dfs.file_blocks(path)? {
+            tasks.push(MapTaskDesc {
+                file: path.clone(),
+                block,
+            });
+        }
+    }
+    let n_tasks = tasks.len();
+    let n_reducers = config.reducers;
+
+    let board = Mutex::new(Board {
+        states: vec![TaskState::Pending; n_tasks],
+        pending: n_tasks,
+        done: 0,
+    });
+    let board_cv = Condvar::new();
+    // Committed map outputs: per task, per reducer partition.
+    type Buckets<K, V> = Vec<Vec<(K, V)>>;
+    type Committed<K, V> = Mutex<Vec<Option<Buckets<K, V>>>>;
+    let committed: Committed<M::Key, M::Value> =
+        Mutex::new((0..n_tasks).map(|_| None).collect());
+
+    let input_records = AtomicU64::new(0);
+    let map_output_records = AtomicU64::new(0);
+    let shuffled_records = AtomicU64::new(0);
+    let bytes_read = AtomicU64::new(0);
+    let node_local = AtomicU64::new(0);
+    let rack_local = AtomicU64::new(0);
+    let remote = AtomicU64::new(0);
+    let spec_launched = AtomicU64::new(0);
+    let spec_won = AtomicU64::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for &worker in &config.workers {
+            let tasks = &tasks;
+            let board = &board;
+            let board_cv = &board_cv;
+            let committed = &committed;
+            let input_records = &input_records;
+            let map_output_records = &map_output_records;
+            let shuffled_records = &shuffled_records;
+            let bytes_read = &bytes_read;
+            let node_local = &node_local;
+            let rack_local = &rack_local;
+            let remote = &remote;
+            let spec_launched = &spec_launched;
+            let spec_won = &spec_won;
+            scope.spawn(move |_| {
+                let slow = config
+                    .slow_nodes
+                    .iter()
+                    .find(|(n, _)| *n == worker)
+                    .map(|(_, d)| *d);
+                loop {
+                    // Pick a task: pending (locality-ranked), else a
+                    // speculative duplicate, else wait/exit.
+                    enum Pick {
+                        Task(usize, bool),
+                        Wait,
+                        Exit,
+                    }
+                    let pick = {
+                        let mut b = board.lock();
+                        if b.done == tasks.len() {
+                            Pick::Exit
+                        } else if b.pending > 0 {
+                            // Rank pending tasks by locality for this worker.
+                            let mut best: Option<(u8, usize)> = None;
+                            for (i, t) in tasks.iter().enumerate() {
+                                if b.states[i] != TaskState::Pending {
+                                    continue;
+                                }
+                                let rank = if !config.locality_aware
+                                    || t.block.replicas.contains(&worker)
+                                {
+                                    0
+                                } else if t
+                                    .block
+                                    .replicas
+                                    .iter()
+                                    .any(|&r| dfs.topology().same_rack(r, worker))
+                                {
+                                    1
+                                } else {
+                                    2
+                                };
+                                match best {
+                                    Some((br, _)) if br <= rank => {}
+                                    _ => best = Some((rank, i)),
+                                }
+                                if rank == 0 && config.locality_aware {
+                                    break;
+                                }
+                            }
+                            match best {
+                                Some((_, i)) => {
+                                    b.states[i] = TaskState::Running { attempts: 1 };
+                                    b.pending -= 1;
+                                    Pick::Task(i, false)
+                                }
+                                None => Pick::Wait,
+                            }
+                        } else if config.speculative {
+                            // Duplicate a running, not-yet-duplicated task.
+                            let cand = b
+                                .states
+                                .iter()
+                                .position(|s| matches!(s, TaskState::Running { attempts: 1 }));
+                            match cand {
+                                Some(i) => {
+                                    b.states[i] = TaskState::Running { attempts: 2 };
+                                    Pick::Task(i, true)
+                                }
+                                None => Pick::Wait,
+                            }
+                        } else {
+                            Pick::Wait
+                        }
+                    };
+                    match pick {
+                        Pick::Exit => break,
+                        Pick::Wait => {
+                            let mut b = board.lock();
+                            if b.done == tasks.len() {
+                                break;
+                            }
+                            board_cv.wait_for(&mut b, Duration::from_millis(1));
+                            continue;
+                        }
+                        Pick::Task(i, is_spec) => {
+                            if is_spec {
+                                spec_launched.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let t = &tasks[i];
+                            // Straggler injection.
+                            if let Some(d) = slow {
+                                std::thread::sleep(d);
+                            }
+                            let data = match dfs.read_block(&t.block, Some(worker)) {
+                                Ok(d) => d,
+                                Err(_) => {
+                                    // Requeue on read failure.
+                                    let mut b = board.lock();
+                                    if b.states[i] != TaskState::Done {
+                                        b.states[i] = TaskState::Pending;
+                                        b.pending += 1;
+                                    }
+                                    continue;
+                                }
+                            };
+                            let loc = if t.block.replicas.contains(&worker) {
+                                TaskLocality::NodeLocal
+                            } else if t
+                                .block
+                                .replicas
+                                .iter()
+                                .any(|&r| dfs.topology().same_rack(r, worker))
+                            {
+                                TaskLocality::RackLocal
+                            } else {
+                                TaskLocality::Remote
+                            };
+                            // Run the mapper over the block's records.
+                            let records =
+                                config.input_format.records(&t.file, t.block.offset, &data);
+                            let mut buckets: Buckets<M::Key, M::Value> =
+                                (0..n_reducers).map(|_| Vec::new()).collect();
+                            let mut emitted = 0u64;
+                            for rec in &records {
+                                mapper.map(rec, &mut |k, v| {
+                                    let p = partition(&k, n_reducers);
+                                    buckets[p].push((k, v));
+                                    emitted += 1;
+                                });
+                            }
+                            // Local combine.
+                            let mut after_combine = 0u64;
+                            if let Some(c) = combiner {
+                                for bucket in &mut buckets {
+                                    *bucket = combine_bucket(c, std::mem::take(bucket));
+                                    after_combine += bucket.len() as u64;
+                                }
+                            } else {
+                                after_combine = emitted;
+                            }
+                            // Commit if first attempt to finish.
+                            let won = {
+                                let mut b = board.lock();
+                                if b.states[i] == TaskState::Done {
+                                    false
+                                } else {
+                                    b.states[i] = TaskState::Done;
+                                    b.done += 1;
+                                    true
+                                }
+                            };
+                            if won {
+                                committed.lock()[i] = Some(buckets);
+                                input_records
+                                    .fetch_add(records.len() as u64, Ordering::Relaxed);
+                                map_output_records.fetch_add(emitted, Ordering::Relaxed);
+                                shuffled_records.fetch_add(after_combine, Ordering::Relaxed);
+                                bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+                                match loc {
+                                    TaskLocality::NodeLocal => {
+                                        node_local.fetch_add(1, Ordering::Relaxed)
+                                    }
+                                    TaskLocality::RackLocal => {
+                                        rack_local.fetch_add(1, Ordering::Relaxed)
+                                    }
+                                    TaskLocality::Remote => {
+                                        remote.fetch_add(1, Ordering::Relaxed)
+                                    }
+                                };
+                                if is_spec {
+                                    spec_won.fetch_add(1, Ordering::Relaxed);
+                                }
+                                board_cv.notify_all();
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    // Shuffle: gather each reducer's bucket across all committed tasks.
+    let committed = committed.into_inner();
+    let mut reducer_inputs: Vec<Vec<(M::Key, M::Value)>> =
+        (0..n_reducers).map(|_| Vec::new()).collect();
+    for task_out in committed.into_iter() {
+        let buckets = task_out.expect("every map task must have committed output");
+        for (r, bucket) in buckets.into_iter().enumerate() {
+            reducer_inputs[r].extend(bucket);
+        }
+    }
+
+    // Reduce phase: sort, group, fold — parallel across partitions.
+    let reduce_outputs: Mutex<Vec<Option<Vec<R::Output>>>> =
+        Mutex::new((0..n_reducers).map(|_| None).collect());
+    let output_records = AtomicU64::new(0);
+    let next_partition = AtomicU64::new(0);
+    let reducer_inputs = Mutex::new(
+        reducer_inputs
+            .into_iter()
+            .map(Some)
+            .collect::<Vec<Option<Vec<(M::Key, M::Value)>>>>(),
+    );
+    crossbeam::thread::scope(|scope| {
+        let n_threads = config.workers.len().min(n_reducers);
+        for _ in 0..n_threads {
+            let reducer_inputs = &reducer_inputs;
+            let reduce_outputs = &reduce_outputs;
+            let next_partition = &next_partition;
+            let output_records = &output_records;
+            scope.spawn(move |_| loop {
+                let r = next_partition.fetch_add(1, Ordering::Relaxed) as usize;
+                if r >= n_reducers {
+                    break;
+                }
+                let mut pairs = reducer_inputs.lock()[r]
+                    .take()
+                    .expect("partition taken twice");
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                let mut outs = Vec::new();
+                let mut i = 0;
+                while i < pairs.len() {
+                    let mut j = i + 1;
+                    while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+                        j += 1;
+                    }
+                    let values: Vec<M::Value> =
+                        pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
+                    outs.extend(reducer.reduce(&pairs[i].0, &values));
+                    i = j;
+                }
+                output_records.fetch_add(outs.len() as u64, Ordering::Relaxed);
+                reduce_outputs.lock()[r] = Some(outs);
+            });
+        }
+    })
+    .expect("reduce thread panicked");
+
+    let mut output = Vec::new();
+    for part in reduce_outputs.into_inner() {
+        output.extend(part.expect("reduce partition missing"));
+    }
+
+    Ok(JobOutput {
+        output,
+        stats: JobStats {
+            map_tasks: n_tasks,
+            reduce_tasks: n_reducers,
+            input_records: input_records.into_inner(),
+            map_output_records: map_output_records.into_inner(),
+            shuffled_records: shuffled_records.into_inner(),
+            output_records: output_records.into_inner(),
+            bytes_read: bytes_read.into_inner(),
+            node_local_maps: node_local.into_inner(),
+            rack_local_maps: rack_local.into_inner(),
+            remote_maps: remote.into_inner(),
+            speculative_launched: spec_launched.into_inner(),
+            speculative_won: spec_won.into_inner(),
+            wall: started.elapsed(),
+        },
+    })
+}
+
+/// A combiner that is never instantiated — pass `None::<&NoCombiner<_, _>>`
+/// equivalents via [`no_combiner`].
+pub struct NoCombiner<K, V>(std::marker::PhantomData<(K, V)>);
+
+impl<K, V> Combiner for NoCombiner<K, V>
+where
+    K: Ord + std::hash::Hash + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    type Key = K;
+    type Value = V;
+    fn combine(&self, _key: &K, values: &[V]) -> Vec<V> {
+        values.to_vec()
+    }
+}
+
+/// Typed `None` for the combiner argument of [`run_job`].
+pub fn no_combiner<M: Mapper>() -> Option<&'static NoCombiner<M::Key, M::Value>> {
+    None
+}
+
+fn partition<K: Hash>(key: &K, n: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % n as u64) as usize
+}
+
+fn combine_bucket<C: Combiner>(
+    c: &C,
+    mut bucket: Vec<(C::Key, C::Value)>,
+) -> Vec<(C::Key, C::Value)> {
+    bucket.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::with_capacity(bucket.len());
+    let mut i = 0;
+    while i < bucket.len() {
+        let mut j = i + 1;
+        while j < bucket.len() && bucket[j].0 == bucket[i].0 {
+            j += 1;
+        }
+        let values: Vec<C::Value> = bucket[i..j].iter().map(|(_, v)| v.clone()).collect();
+        for v in c.combine(&bucket[i].0, &values) {
+            out.push((bucket[i].0.clone(), v));
+        }
+        i = j;
+    }
+    out
+}

@@ -1,0 +1,256 @@
+//! Virtual-time cluster model: predicts MapReduce makespan at facility
+//! scale (60 nodes, TB inputs) without executing the work.
+//!
+//! The in-process runner executes *real* jobs with threads, but threads
+//! only demonstrate scaling when the host has cores to spare — and the
+//! paper's claims are about a 60-node cluster. This model replays the
+//! same scheduling discipline (greedy list scheduling with data-locality
+//! penalties, per-phase barriers) over virtual clocks, so the *shape* of
+//! scaling curves (experiments E4/E5/E12) is preserved regardless of the
+//! host machine.
+//!
+//! Calibration: per-node streaming and compute rates default to
+//! 2010-era commodity values matching the paper's hardware; benches can
+//! recalibrate from measured single-node throughput.
+
+use lsdf_sim::SimDuration;
+
+/// Per-node and per-network rates for the simulated cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterModel {
+    /// Worker nodes.
+    pub nodes: usize,
+    /// Map slots per node (concurrent map tasks; Hadoop 2010 default: 2).
+    pub slots_per_node: usize,
+    /// Local disk streaming rate per node, bytes/s, shared by its slots.
+    pub disk_bps: f64,
+    /// Network rate per node, bytes/s (shuffle).
+    pub net_bps: f64,
+    /// Slowdown of a remote block read relative to a local one
+    /// (network hop + cross-traffic on the source node's disk).
+    pub remote_penalty: f64,
+    /// Map computation rate, bytes/s of input processed.
+    pub map_cpu_bps: f64,
+    /// Reduce computation rate, bytes/s of shuffle input processed.
+    pub reduce_cpu_bps: f64,
+    /// Fixed per-task overhead (scheduling, JVM-equivalent startup).
+    pub task_overhead: SimDuration,
+    /// Fraction of map input that survives into the shuffle (after
+    /// combiners); 1.0 = everything.
+    pub shuffle_ratio: f64,
+    /// Fraction of map tasks that read their block locally (1.0 with
+    /// perfect locality scheduling; ~replication/nodes when random).
+    pub locality_fraction: f64,
+}
+
+impl ClusterModel {
+    /// The paper's 60-node Hadoop cluster, calibrated to 2010 commodity
+    /// hardware (single 7.2k disk ≈ 100 MB/s, GbE worker NICs, map CPU
+    /// bound around disk speed).
+    pub fn lsdf_2011() -> Self {
+        ClusterModel {
+            nodes: 60,
+            slots_per_node: 2,
+            disk_bps: 100e6,
+            net_bps: 110e6, // GbE
+            remote_penalty: 2.5,
+            map_cpu_bps: 60e6,
+            reduce_cpu_bps: 60e6,
+            task_overhead: SimDuration::from_secs(2),
+            shuffle_ratio: 0.05,
+            locality_fraction: 0.9,
+        }
+    }
+
+    /// The slide-13 3-D visualization job: rendering is compute-bound at
+    /// ~8 MB/s per slot, which is what makes "1 TB in 20 min" the right
+    /// order of magnitude on 60 nodes.
+    pub fn lsdf_visualization() -> Self {
+        ClusterModel {
+            map_cpu_bps: 8e6,
+            reduce_cpu_bps: 30e6,
+            shuffle_ratio: 0.01,
+            ..Self::lsdf_2011()
+        }
+    }
+
+    /// Same hardware with a different node count (strong-scaling sweeps).
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Locality-blind variant (ablation): locality drops to the chance
+    /// level `replication / nodes`.
+    pub fn without_locality(mut self, replication: usize) -> Self {
+        self.locality_fraction = (replication as f64 / self.nodes as f64).min(1.0);
+        self
+    }
+}
+
+/// Phase-by-phase makespan prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimJobReport {
+    /// Map-phase duration.
+    pub map: SimDuration,
+    /// Shuffle duration.
+    pub shuffle: SimDuration,
+    /// Reduce duration.
+    pub reduce: SimDuration,
+    /// Total job makespan.
+    pub total: SimDuration,
+    /// Number of map waves (ceil(tasks / slots)).
+    pub map_waves: u32,
+}
+
+/// Predicts the makespan of a job over `input_bytes` split into
+/// `map_tasks` equal tasks with `reducers` reduce partitions.
+///
+/// # Panics
+/// Panics if any count is zero.
+pub fn simulate_job(
+    model: &ClusterModel,
+    input_bytes: u64,
+    map_tasks: usize,
+    reducers: usize,
+) -> SimJobReport {
+    assert!(model.nodes > 0 && model.slots_per_node > 0, "empty cluster");
+    assert!(map_tasks > 0 && reducers > 0, "job must have tasks");
+    let slots = model.nodes * model.slots_per_node;
+    let task_bytes = input_bytes as f64 / map_tasks as f64;
+
+    // One map task: read (local or remote) + compute, plus overhead.
+    // A node's disk is shared by its concurrently running slots.
+    let local_read = task_bytes / (model.disk_bps / model.slots_per_node as f64);
+    let remote_read = local_read * model.remote_penalty;
+    let read = model.locality_fraction * local_read
+        + (1.0 - model.locality_fraction) * remote_read;
+    let compute = task_bytes / model.map_cpu_bps;
+    // Read and compute pipeline; the slower dominates.
+    let map_task = SimDuration::from_secs_f64(read.max(compute))
+        + model.task_overhead;
+
+    // Greedy list scheduling of identical tasks = ceil-waves.
+    let waves = map_tasks.div_ceil(slots) as u32;
+    let map = map_task * u64::from(waves);
+
+    // Shuffle: every node moves its share of shuffle bytes; the busiest
+    // direction (in or out) bounds it at net_bps per node.
+    let shuffle_bytes = input_bytes as f64 * model.shuffle_ratio;
+    let shuffle = SimDuration::from_secs_f64(
+        shuffle_bytes / (model.net_bps * model.nodes as f64),
+    );
+
+    // Reduce: partitions spread over nodes (one active reducer per node
+    // per wave), each processing its shuffle share.
+    let reduce_waves = reducers.div_ceil(model.nodes) as f64;
+    let per_reducer = shuffle_bytes / reducers as f64 / model.reduce_cpu_bps;
+    let reduce = SimDuration::from_secs_f64(per_reducer * reduce_waves)
+        + model.task_overhead;
+
+    SimJobReport {
+        map,
+        shuffle,
+        reduce,
+        total: map + shuffle + reduce,
+        map_waves: waves,
+    }
+}
+
+/// Calibrates a [`ClusterModel`]'s map-CPU rate from a measured
+/// single-node run: `bytes` processed in `wall` seconds.
+pub fn calibrate_map_cpu(mut model: ClusterModel, bytes: u64, wall: SimDuration) -> ClusterModel {
+    let secs = wall.as_secs_f64();
+    assert!(secs > 0.0, "calibration run must take time");
+    model.map_cpu_bps = bytes as f64 / secs;
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdf_net::units::{GB, TB};
+
+    #[test]
+    fn strong_scaling_is_monotone_until_task_floor() {
+        let input = TB;
+        let tasks = 16_384; // 64 MB blocks
+        let mut last = SimDuration::MAX;
+        for nodes in [1usize, 2, 4, 8, 15, 30, 60] {
+            let m = ClusterModel::lsdf_2011().with_nodes(nodes);
+            let r = simulate_job(&m, input, tasks, 2 * nodes);
+            assert!(
+                r.total < last,
+                "scaling must be monotone: {nodes} nodes -> {:?}",
+                r.total
+            );
+            last = r.total;
+        }
+    }
+
+    #[test]
+    fn sixty_nodes_near_linear_vs_one() {
+        let input = TB;
+        let tasks = 16_384;
+        let t1 = simulate_job(&ClusterModel::lsdf_2011().with_nodes(1), input, tasks, 2).total;
+        let t60 = simulate_job(&ClusterModel::lsdf_2011(), input, tasks, 120).total;
+        let speedup = t1.as_secs_f64() / t60.as_secs_f64();
+        assert!(
+            speedup > 30.0 && speedup <= 60.5,
+            "speedup {speedup} out of the near-linear band"
+        );
+    }
+
+    #[test]
+    fn one_tb_on_sixty_nodes_takes_tens_of_minutes() {
+        // The paper's slide-13 claim: 1 TB processed in 20 min.
+        let m = ClusterModel::lsdf_visualization();
+        let r = simulate_job(&m, TB, 16_384, 120);
+        let mins = r.total.as_secs_f64() / 60.0;
+        assert!(
+            (10.0..40.0).contains(&mins),
+            "1 TB on 60 nodes predicted at {mins:.1} min"
+        );
+    }
+
+    #[test]
+    fn locality_loss_hurts() {
+        let input = 100 * GB;
+        let tasks = 1600;
+        let aware = simulate_job(&ClusterModel::lsdf_2011(), input, tasks, 60);
+        let blind = simulate_job(
+            &ClusterModel::lsdf_2011().without_locality(3),
+            input,
+            tasks,
+            60,
+        );
+        assert!(blind.total > aware.total, "remote reads must cost time");
+    }
+
+    #[test]
+    fn task_floor_stops_scaling() {
+        // Fewer tasks than slots: adding nodes stops helping.
+        let m480 = ClusterModel::lsdf_2011(); // 480 slots
+        let r_few = simulate_job(&m480, GB, 8, 8);
+        let bigger = ClusterModel::lsdf_2011().with_nodes(120);
+        let r_more = simulate_job(&bigger, GB, 8, 8);
+        assert_eq!(r_few.map_waves, 1);
+        assert_eq!(r_few.map, r_more.map, "one wave either way");
+    }
+
+    #[test]
+    fn calibration_overrides_cpu_rate() {
+        let m = calibrate_map_cpu(
+            ClusterModel::lsdf_2011(),
+            1_000_000,
+            SimDuration::from_secs(10),
+        );
+        assert!((m.map_cpu_bps - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "job must have tasks")]
+    fn zero_tasks_rejected() {
+        simulate_job(&ClusterModel::lsdf_2011(), 1, 0, 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! End-to-end MapReduce jobs on a miniature cluster: word count (the
+//! canonical job), determinism across worker counts, combiners, locality
+//! scheduling, speculative execution, and failure handling.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig, DfsNodeId, PlacementPolicy};
+use lsdf_mapreduce::{
+    no_combiner, run_job, Combiner, InputFormat, JobConfig, Mapper, Record, Reducer,
+};
+
+struct WordCountMap;
+impl Mapper for WordCountMap {
+    type Key = String;
+    type Value = u64;
+    fn map(&self, record: &Record, emit: &mut dyn FnMut(String, u64)) {
+        let line = String::from_utf8_lossy(&record.data);
+        for w in line.split_whitespace() {
+            emit(w.to_string(), 1);
+        }
+    }
+}
+
+struct SumReduce;
+impl Reducer for SumReduce {
+    type Key = String;
+    type Value = u64;
+    type Output = (String, u64);
+    fn reduce(&self, key: &String, values: &[u64]) -> Vec<(String, u64)> {
+        vec![(key.clone(), values.iter().sum())]
+    }
+}
+
+struct SumCombine;
+impl Combiner for SumCombine {
+    type Key = String;
+    type Value = u64;
+    fn combine(&self, _key: &String, values: &[u64]) -> Vec<u64> {
+        vec![values.iter().sum()]
+    }
+}
+
+fn cluster(racks: u16, per_rack: u16, block: u64) -> Dfs {
+    Dfs::new(
+        ClusterTopology::new(racks, per_rack),
+        DfsConfig {
+            block_size: block,
+            replication: 2.min(usize::from(racks) * usize::from(per_rack)),
+            node_capacity: u64::MAX,
+            placement: PlacementPolicy::RackAware,
+            seed: 11,
+        },
+    )
+}
+
+/// A corpus whose word counts are known exactly. Lines are padded so words
+/// never straddle block boundaries (records are line-delimited, and the
+/// DFS splits blocks at fixed offsets — in production Hadoop the input
+/// format re-reads across boundaries; here we keep lines block-aligned).
+fn corpus() -> (Vec<u8>, BTreeMap<String, u64>) {
+    let mut text = String::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let words = ["zebrafish", "embryo", "katrin", "anka", "lsdf"];
+    for i in 0..400 {
+        let w = words[i % words.len()];
+        // Each line exactly 16 bytes including newline.
+        let line = format!("{w:<15}\n");
+        assert_eq!(line.len(), 16);
+        text.push_str(&line);
+        *counts.entry(w.to_string()).or_default() += 1;
+    }
+    (text.into_bytes(), counts)
+}
+
+#[test]
+fn wordcount_is_exact() {
+    let dfs = cluster(2, 3, 160); // 10 lines per block
+    let (data, expect) = corpus();
+    dfs.write("/corpus", &data, None).unwrap();
+    let out = run_job(
+        &dfs,
+        &["/corpus".to_string()],
+        &WordCountMap,
+        no_combiner::<WordCountMap>(),
+        &SumReduce,
+        &JobConfig::on_cluster(&dfs, 3),
+    )
+    .unwrap();
+    let got: BTreeMap<String, u64> = out.output.into_iter().collect();
+    assert_eq!(got, expect);
+    assert_eq!(out.stats.map_tasks, 40);
+    assert_eq!(out.stats.input_records, 400);
+    assert_eq!(out.stats.map_output_records, 400);
+    assert_eq!(out.stats.output_records, 5);
+    assert_eq!(out.stats.bytes_read, 6400);
+}
+
+#[test]
+fn output_is_deterministic_across_worker_counts() {
+    let (data, _) = corpus();
+    let mut results = Vec::new();
+    for workers in [1usize, 2, 6] {
+        let dfs = cluster(2, 3, 160);
+        dfs.write("/corpus", &data, None).unwrap();
+        let mut cfg = JobConfig::on_cluster(&dfs, 4);
+        cfg.workers.truncate(workers);
+        let out = run_job(
+            &dfs,
+            &["/corpus".to_string()],
+            &WordCountMap,
+            no_combiner::<WordCountMap>(),
+            &SumReduce,
+            &cfg,
+        )
+        .unwrap();
+        let got: BTreeMap<String, u64> = out.output.into_iter().collect();
+        results.push(got);
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+}
+
+#[test]
+fn combiner_cuts_shuffle_volume_without_changing_results() {
+    let dfs = cluster(2, 3, 320); // 20 lines per block
+    let (data, expect) = corpus();
+    dfs.write("/corpus", &data, None).unwrap();
+    let cfg = JobConfig::on_cluster(&dfs, 2);
+    let with = run_job(
+        &dfs,
+        &["/corpus".to_string()],
+        &WordCountMap,
+        Some(&SumCombine),
+        &SumReduce,
+        &cfg,
+    )
+    .unwrap();
+    let got: BTreeMap<String, u64> = with.output.into_iter().collect();
+    assert_eq!(got, expect);
+    // 20 lines/block with 5 distinct words -> <=5 pairs per (block,word)
+    // after combining instead of 20.
+    assert!(with.stats.shuffled_records < with.stats.map_output_records);
+    assert_eq!(with.stats.map_output_records, 400);
+    assert!(with.stats.shuffled_records <= 5 * with.stats.map_tasks as u64);
+}
+
+#[test]
+fn locality_aware_scheduling_runs_maps_node_local() {
+    // Give every task a uniform non-trivial cost so all 16 workers
+    // participate and the scheduler's placement choice is what's measured
+    // (with microsecond tasks, one worker drains the queue before the
+    // other threads spawn).
+    let run_with = |locality: bool| {
+        let dfs = cluster(4, 4, 160);
+        let (data, _) = corpus();
+        dfs.write("/corpus", &data, None).unwrap();
+        let mut cfg = JobConfig::on_cluster(&dfs, 2);
+        cfg.locality_aware = locality;
+        cfg.slow_nodes = dfs
+            .live_nodes()
+            .into_iter()
+            .map(|n| (n, Duration::from_millis(2)))
+            .collect();
+        run_job(
+            &dfs,
+            &["/corpus".to_string()],
+            &WordCountMap,
+            no_combiner::<WordCountMap>(),
+            &SumReduce,
+            &cfg,
+        )
+        .unwrap()
+        .stats
+    };
+    let aware = run_with(true);
+    let blind = run_with(false);
+    assert_eq!(
+        aware.node_local_maps + aware.rack_local_maps + aware.remote_maps,
+        aware.map_tasks as u64
+    );
+    // Locality-first scheduling should place at least half the maps
+    // node-local with 2x replication on 16 nodes...
+    assert!(
+        aware.node_local_maps * 2 >= aware.map_tasks as u64,
+        "node-local {} of {}",
+        aware.node_local_maps,
+        aware.map_tasks
+    );
+    // ...and strictly beat the locality-blind ablation.
+    assert!(
+        aware.node_local_maps > blind.node_local_maps,
+        "aware {} <= blind {}",
+        aware.node_local_maps,
+        blind.node_local_maps
+    );
+}
+
+#[test]
+fn speculative_execution_beats_a_straggler() {
+    let dfs = cluster(1, 4, 640);
+    let (data, expect) = corpus();
+    dfs.write("/corpus", &data, None).unwrap();
+    // Node 0 is pathologically slow (200 ms per map task).
+    let mut cfg = JobConfig::on_cluster(&dfs, 2);
+    cfg.slow_nodes = vec![(DfsNodeId(0), Duration::from_millis(200))];
+    cfg.locality_aware = false;
+
+    cfg.speculative = true;
+    let fast = run_job(
+        &dfs,
+        &["/corpus".to_string()],
+        &WordCountMap,
+        no_combiner::<WordCountMap>(),
+        &SumReduce,
+        &cfg,
+    )
+    .unwrap();
+    let got: BTreeMap<String, u64> = fast.output.into_iter().collect();
+    assert_eq!(got, expect, "speculation must not change results");
+    assert!(
+        fast.stats.speculative_launched >= 1,
+        "stragglers should trigger speculation"
+    );
+    // The healthy nodes' duplicates beat the straggler's 200 ms attempts.
+    assert!(fast.stats.speculative_won >= 1);
+}
+
+#[test]
+fn job_survives_datanode_failure_between_write_and_run() {
+    let dfs = cluster(2, 3, 160);
+    let (data, expect) = corpus();
+    dfs.write("/corpus", &data, None).unwrap();
+    dfs.kill_node(DfsNodeId(1));
+    let mut cfg = JobConfig::on_cluster(&dfs, 2); // live nodes only
+    cfg.speculative = false;
+    let out = run_job(
+        &dfs,
+        &["/corpus".to_string()],
+        &WordCountMap,
+        no_combiner::<WordCountMap>(),
+        &SumReduce,
+        &cfg,
+    )
+    .unwrap();
+    let got: BTreeMap<String, u64> = out.output.into_iter().collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn multiple_input_files() {
+    let dfs = cluster(2, 2, 160);
+    let (data, expect) = corpus();
+    let half = data.len() / 2;
+    dfs.write("/part-0", &data[..half], None).unwrap();
+    dfs.write("/part-1", &data[half..], None).unwrap();
+    let out = run_job(
+        &dfs,
+        &["/part-0".to_string(), "/part-1".to_string()],
+        &WordCountMap,
+        no_combiner::<WordCountMap>(),
+        &SumReduce,
+        &JobConfig::on_cluster(&dfs, 2),
+    )
+    .unwrap();
+    let got: BTreeMap<String, u64> = out.output.into_iter().collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn bad_configs_rejected() {
+    let dfs = cluster(1, 2, 100);
+    dfs.write("/f", b"x", None).unwrap();
+    let mut cfg = JobConfig::on_cluster(&dfs, 0);
+    assert!(run_job(
+        &dfs,
+        &["/f".to_string()],
+        &WordCountMap,
+        no_combiner::<WordCountMap>(),
+        &SumReduce,
+        &cfg
+    )
+    .is_err());
+    cfg.reducers = 1;
+    cfg.workers.clear();
+    assert!(run_job(
+        &dfs,
+        &["/f".to_string()],
+        &WordCountMap,
+        no_combiner::<WordCountMap>(),
+        &SumReduce,
+        &cfg
+    )
+    .is_err());
+}
+
+#[test]
+fn missing_input_is_an_error() {
+    let dfs = cluster(1, 2, 100);
+    let r = run_job(
+        &dfs,
+        &["/nope".to_string()],
+        &WordCountMap,
+        no_combiner::<WordCountMap>(),
+        &SumReduce,
+        &JobConfig::on_cluster(&dfs, 1),
+    );
+    assert!(r.is_err());
+}
+
+#[test]
+fn whole_block_input_format() {
+    struct BlockSize;
+    impl Mapper for BlockSize {
+        type Key = u64;
+        type Value = u64;
+        fn map(&self, record: &Record, emit: &mut dyn FnMut(u64, u64)) {
+            emit(record.offset, record.data.len() as u64);
+        }
+    }
+    struct Pass;
+    impl Reducer for Pass {
+        type Key = u64;
+        type Value = u64;
+        type Output = (u64, u64);
+        fn reduce(&self, key: &u64, values: &[u64]) -> Vec<(u64, u64)> {
+            values.iter().map(|&v| (*key, v)).collect()
+        }
+    }
+    let dfs = cluster(1, 2, 100);
+    dfs.write("/bin", &vec![7u8; 250], None).unwrap();
+    let mut cfg = JobConfig::on_cluster(&dfs, 1);
+    cfg.input_format = InputFormat::WholeBlock;
+    let out = run_job(&dfs, &["/bin".to_string()], &BlockSize, no_combiner::<BlockSize>(), &Pass, &cfg).unwrap();
+    let mut sizes: Vec<(u64, u64)> = out.output;
+    sizes.sort_unstable();
+    assert_eq!(sizes, vec![(0, 100), (100, 100), (200, 50)]);
+}

@@ -1,0 +1,75 @@
+//! Property tests: MapReduce output is a pure function of the input —
+//! independent of worker count, block size, reducer count, and speculation.
+
+use std::collections::BTreeMap;
+
+use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig, PlacementPolicy};
+use lsdf_mapreduce::{no_combiner, run_job, JobConfig, Mapper, Record, Reducer};
+use proptest::prelude::*;
+
+struct TokenCount;
+impl Mapper for TokenCount {
+    type Key = String;
+    type Value = u64;
+    fn map(&self, record: &Record, emit: &mut dyn FnMut(String, u64)) {
+        for w in String::from_utf8_lossy(&record.data).split_whitespace() {
+            emit(w.to_string(), 1);
+        }
+    }
+}
+struct Sum;
+impl Reducer for Sum {
+    type Key = String;
+    type Value = u64;
+    type Output = (String, u64);
+    fn reduce(&self, key: &String, values: &[u64]) -> Vec<(String, u64)> {
+        vec![(key.clone(), values.iter().sum())]
+    }
+}
+
+/// Builds a newline-delimited corpus of fixed-width lines (so block
+/// boundaries always coincide with record boundaries) and its exact counts.
+fn corpus(tokens: &[u8]) -> (Vec<u8>, BTreeMap<String, u64>) {
+    let mut text = String::new();
+    let mut counts = BTreeMap::new();
+    for &t in tokens {
+        let w = format!("w{:02}", t % 20);
+        let line = format!("{w:<7}\n"); // 8 bytes per line
+        text.push_str(&line);
+        *counts.entry(w).or_insert(0u64) += 1;
+    }
+    (text.into_bytes(), counts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn output_independent_of_execution_shape(
+        tokens in prop::collection::vec(any::<u8>(), 1..300),
+        workers in 1usize..9,
+        reducers in 1usize..6,
+        blocks_per_file in 1u64..6,
+        speculative in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (data, expect) = corpus(&tokens);
+        let dfs = Dfs::new(
+            ClusterTopology::new(3, 3),
+            DfsConfig {
+                block_size: 8 * blocks_per_file, // multiple of the 8-byte line
+                replication: 2,
+                node_capacity: u64::MAX,
+                placement: PlacementPolicy::RackAware,
+                seed,
+            },
+        );
+        dfs.write("/in", &data, None).unwrap();
+        let mut cfg = JobConfig::on_cluster(&dfs, reducers);
+        cfg.workers.truncate(workers);
+        cfg.speculative = speculative;
+        let out = run_job(&dfs, &["/in".to_string()], &TokenCount, no_combiner::<TokenCount>(), &Sum, &cfg).unwrap();
+        let got: BTreeMap<String, u64> = out.output.into_iter().collect();
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(out.stats.input_records as usize, tokens.len());
+    }
+}

@@ -1,0 +1,50 @@
+//! Metadata change events — the hook the workflow trigger engine
+//! subscribes to (paper, slide 12: "allow tagging data and triggering
+//! execution via DataBrowser").
+
+use crate::record::DatasetId;
+
+/// A change notification from a project store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetadataEvent {
+    /// A new dataset was registered.
+    Inserted {
+        /// Project name.
+        project: String,
+        /// The new dataset.
+        id: DatasetId,
+    },
+    /// A tag was added to a dataset.
+    Tagged {
+        /// Project name.
+        project: String,
+        /// The tagged dataset.
+        id: DatasetId,
+        /// The tag added.
+        tag: String,
+    },
+    /// A tag was removed from a dataset.
+    Untagged {
+        /// Project name.
+        project: String,
+        /// The dataset.
+        id: DatasetId,
+        /// The tag removed.
+        tag: String,
+    },
+    /// A processing-result set was appended.
+    ProcessingAdded {
+        /// Project name.
+        project: String,
+        /// The dataset.
+        id: DatasetId,
+        /// Processing step name.
+        step: String,
+        /// Sequence number of the new result set.
+        seq: u32,
+    },
+}
+
+/// A subscriber callback. Subscribers must be `Send + Sync`; stores invoke
+/// them synchronously after the originating mutation commits.
+pub type Subscriber = std::sync::Arc<dyn Fn(&MetadataEvent) + Send + Sync>;

@@ -1,0 +1,224 @@
+//! Typed field values for project metadata documents.
+//!
+//! Metadata schemas are "highly project-dependent" (paper, slide 8), so
+//! values are dynamically typed but schema-validated: a zebrafish record
+//! carries wavelength and focus floats, a KATRIN record carries run numbers
+//! and retarding potentials, and both live in the same repository engine.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The type of a metadata field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FieldType {
+    /// UTF-8 string.
+    Str,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// Timestamp: nanoseconds since facility epoch.
+    Time,
+}
+
+/// A dynamically typed metadata value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// UTF-8 string.
+    Str(String),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float (NaN is rejected at validation).
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Timestamp: nanoseconds since facility epoch.
+    Time(i64),
+}
+
+impl Value {
+    /// The value's runtime type.
+    pub fn field_type(&self) -> FieldType {
+        match self {
+            Value::Str(_) => FieldType::Str,
+            Value::Int(_) => FieldType::Int,
+            Value::Float(_) => FieldType::Float,
+            Value::Bool(_) => FieldType::Bool,
+            Value::Time(_) => FieldType::Time,
+        }
+    }
+
+    /// Total order within one type; cross-type comparisons yield `None`.
+    /// Used by range predicates and ordered indexes.
+    pub fn partial_cmp_typed(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Time(a), Value::Time(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// An order-preserving byte key for ordered indexes. Values of
+    /// different types never collide because the first byte is a type tag.
+    pub fn order_key(&self) -> Vec<u8> {
+        fn f64_key(x: f64) -> [u8; 8] {
+            // IEEE-754 total order trick: flip sign bit for positives,
+            // all bits for negatives.
+            let bits = x.to_bits();
+            let flipped = if bits >> 63 == 0 {
+                bits ^ 0x8000_0000_0000_0000
+            } else {
+                !bits
+            };
+            flipped.to_be_bytes()
+        }
+        fn i64_key(x: i64) -> [u8; 8] {
+            ((x as u64) ^ 0x8000_0000_0000_0000).to_be_bytes()
+        }
+        match self {
+            Value::Str(s) => {
+                let mut k = vec![0u8];
+                k.extend_from_slice(s.as_bytes());
+                k
+            }
+            Value::Int(i) => {
+                let mut k = vec![1u8];
+                k.extend_from_slice(&i64_key(*i));
+                k
+            }
+            Value::Float(x) => {
+                let mut k = vec![2u8];
+                k.extend_from_slice(&f64_key(*x));
+                k
+            }
+            Value::Bool(b) => vec![3u8, u8::from(*b)],
+            Value::Time(t) => {
+                let mut k = vec![4u8];
+                k.extend_from_slice(&i64_key(*t));
+                k
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Time(t) => write!(f, "@{t}ns"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_tags() {
+        assert_eq!(Value::from("x").field_type(), FieldType::Str);
+        assert_eq!(Value::from(1i64).field_type(), FieldType::Int);
+        assert_eq!(Value::from(1.5).field_type(), FieldType::Float);
+        assert_eq!(Value::from(true).field_type(), FieldType::Bool);
+        assert_eq!(Value::Time(9).field_type(), FieldType::Time);
+    }
+
+    #[test]
+    fn typed_comparisons() {
+        assert_eq!(
+            Value::from(1i64).partial_cmp_typed(&Value::from(2i64)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::from("b").partial_cmp_typed(&Value::from("a")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::from(1i64).partial_cmp_typed(&Value::from(1.0)), None);
+    }
+
+    #[test]
+    fn order_key_preserves_int_order() {
+        let xs = [-5i64, -1, 0, 1, 42, i64::MIN, i64::MAX];
+        let mut sorted = xs.to_vec();
+        sorted.sort_unstable();
+        let mut keys: Vec<(Vec<u8>, i64)> =
+            xs.iter().map(|&x| (Value::Int(x).order_key(), x)).collect();
+        keys.sort();
+        let by_key: Vec<i64> = keys.into_iter().map(|(_, x)| x).collect();
+        assert_eq!(by_key, sorted);
+    }
+
+    #[test]
+    fn order_key_preserves_float_order() {
+        let xs = [-1e9f64, -1.5, -0.0, 0.0, 1e-9, 3.25, 7e8];
+        let mut keys: Vec<(Vec<u8>, f64)> = xs
+            .iter()
+            .map(|&x| (Value::Float(x).order_key(), x))
+            .collect();
+        keys.sort_by(|a, b| a.0.cmp(&b.0));
+        let by_key: Vec<f64> = keys.into_iter().map(|(_, x)| x).collect();
+        for w in by_key.windows(2) {
+            assert!(w[0] <= w[1], "{w:?}");
+        }
+    }
+
+    #[test]
+    fn order_keys_of_distinct_types_never_collide() {
+        let vals = [
+            Value::from("1"),
+            Value::from(1i64),
+            Value::from(1.0),
+            Value::from(true),
+            Value::Time(1),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a.order_key(), b.order_key());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Value::from("zebrafish").to_string(), "zebrafish");
+        assert_eq!(Value::Time(5).to_string(), "@5ns");
+    }
+}

@@ -1,0 +1,192 @@
+//! Closed-form transfer-time arithmetic — the "15 days to transfer 1 PB
+//! over an ideal 10 Gb/s link" estimate from slide 11 of the paper.
+//!
+//! The paper uses this number to argue for *bringing computing to the data*;
+//! [`TransferModel`] reproduces the estimate and the
+//! [`movement_crossover`] helper finds the dataset size beyond which
+//! shipping the computation wins (experiment E12).
+
+use lsdf_sim::SimDuration;
+
+/// Analytic point-to-point transfer model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferModel {
+    /// Raw link bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Fraction of raw bandwidth achievable as goodput, in `(0, 1]`.
+    pub efficiency: f64,
+    /// One-way latency added once per transfer.
+    pub latency: SimDuration,
+}
+
+impl TransferModel {
+    /// An ideal (100 % efficient, zero latency) link.
+    pub fn ideal(bandwidth_bps: f64) -> Self {
+        TransferModel {
+            bandwidth_bps,
+            efficiency: 1.0,
+            latency: SimDuration::ZERO,
+        }
+    }
+
+    /// A link with the given protocol efficiency.
+    pub fn with_efficiency(bandwidth_bps: f64, efficiency: f64) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0,1], got {efficiency}"
+        );
+        TransferModel {
+            bandwidth_bps,
+            efficiency,
+            latency: SimDuration::ZERO,
+        }
+    }
+
+    /// Effective goodput in bits per second.
+    pub fn goodput_bps(&self) -> f64 {
+        self.bandwidth_bps * self.efficiency
+    }
+
+    /// Time to move `bytes` across the link.
+    pub fn time_for_bytes(&self, bytes: u64) -> SimDuration {
+        let secs = bytes as f64 * 8.0 / self.goodput_bps();
+        self.latency + SimDuration::from_secs_f64(secs)
+    }
+
+    /// Transfer time in days — the unit the paper quotes.
+    pub fn days_for_bytes(&self, bytes: u64) -> f64 {
+        self.time_for_bytes(bytes).as_secs_f64() / 86_400.0
+    }
+
+    /// Bytes movable within `window`.
+    pub fn bytes_in(&self, window: SimDuration) -> u64 {
+        let usable = window.saturating_sub(self.latency);
+        (usable.as_secs_f64() * self.goodput_bps() / 8.0) as u64
+    }
+}
+
+/// Cost model for the move-data vs move-compute decision (experiment E12).
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementCosts {
+    /// Link used when shipping the dataset to the computation.
+    pub data_link: TransferModel,
+    /// Time to stage the computation near the data (VM image transfer +
+    /// boot + software setup).
+    pub compute_staging: SimDuration,
+    /// Size of the computation environment (VM image) in bytes; staged over
+    /// `data_link` as well.
+    pub compute_image_bytes: u64,
+}
+
+/// Which placement a cost comparison selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Ship the dataset to a remote computing site.
+    MoveData,
+    /// Ship the computation (VM / job) to the data.
+    MoveCompute,
+}
+
+/// Chooses the cheaper placement for a dataset of `data_bytes`.
+pub fn choose_placement(costs: &PlacementCosts, data_bytes: u64) -> (Placement, SimDuration) {
+    let move_data = costs.data_link.time_for_bytes(data_bytes);
+    let move_compute =
+        costs.compute_staging + costs.data_link.time_for_bytes(costs.compute_image_bytes);
+    if move_data <= move_compute {
+        (Placement::MoveData, move_data)
+    } else {
+        (Placement::MoveCompute, move_compute)
+    }
+}
+
+/// Finds (by bisection over bytes) the smallest dataset size at which
+/// moving the compute becomes strictly cheaper than moving the data.
+/// Returns `None` if moving data always wins below `max_bytes`.
+pub fn movement_crossover(costs: &PlacementCosts, max_bytes: u64) -> Option<u64> {
+    let wins_compute =
+        |b: u64| matches!(choose_placement(costs, b).0, Placement::MoveCompute);
+    if !wins_compute(max_bytes) {
+        return None;
+    }
+    if wins_compute(0) {
+        return Some(0);
+    }
+    let (mut lo, mut hi) = (0u64, max_bytes);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if wins_compute(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::units::{GB, PB, TEN_GBIT};
+
+    #[test]
+    fn ideal_petabyte_takes_over_nine_days() {
+        // 1 PB * 8 bits / 10 Gb/s = 8e5 s = 9.26 days.
+        let m = TransferModel::ideal(TEN_GBIT);
+        let days = m.days_for_bytes(PB);
+        assert!((days - 9.259).abs() < 0.01, "days={days}");
+    }
+
+    #[test]
+    fn realistic_efficiency_reproduces_paper_estimate() {
+        // The paper quotes "15 days to transfer 1 PB over ideal 10 Gb/s".
+        // That matches a sustained goodput of ~62 % of line rate — typical
+        // for long-haul TCP with filesystem overheads in 2011.
+        let m = TransferModel::with_efficiency(TEN_GBIT, 0.62);
+        let days = m.days_for_bytes(PB);
+        assert!((days - 14.9).abs() < 0.3, "days={days}");
+    }
+
+    #[test]
+    fn bytes_in_inverts_time_for_bytes() {
+        let m = TransferModel::with_efficiency(TEN_GBIT, 0.8);
+        let t = m.time_for_bytes(5 * PB);
+        let back = m.bytes_in(t);
+        let rel = (back as f64 - 5.0 * PB as f64).abs() / (5.0 * PB as f64);
+        assert!(rel < 1e-9, "rel={rel}");
+    }
+
+    #[test]
+    fn latency_is_added_once() {
+        let mut m = TransferModel::ideal(TEN_GBIT);
+        m.latency = lsdf_sim::SimDuration::from_millis(100);
+        assert_eq!(m.time_for_bytes(0), lsdf_sim::SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn crossover_exists_for_large_data() {
+        let costs = PlacementCosts {
+            data_link: TransferModel::with_efficiency(TEN_GBIT, 0.7),
+            compute_staging: lsdf_sim::SimDuration::from_mins(5),
+            compute_image_bytes: 4 * GB,
+        };
+        let x = movement_crossover(&costs, PB).expect("crossover must exist");
+        // Break-even when data transfer time == staging + image transfer.
+        // staging 300 s + image 4 GB/0.7*10Gb ≈ 304.6 s → data ≈ 266 GB.
+        let expect = 267.0 * GB as f64;
+        let rel = (x as f64 - expect).abs() / expect;
+        assert!(rel < 0.05, "crossover at {} GB", x / GB);
+        // Below crossover, moving data wins; above, moving compute wins.
+        assert_eq!(choose_placement(&costs, x / 2).0, Placement::MoveData);
+        assert_eq!(choose_placement(&costs, x * 2).0, Placement::MoveCompute);
+    }
+
+    #[test]
+    fn no_crossover_when_staging_dominates() {
+        let costs = PlacementCosts {
+            data_link: TransferModel::ideal(TEN_GBIT),
+            compute_staging: lsdf_sim::SimDuration::from_days(365),
+            compute_image_bytes: 0,
+        };
+        assert_eq!(movement_crossover(&costs, PB), None);
+    }
+}

@@ -1,0 +1,227 @@
+//! Max–min fair bandwidth allocation via progressive filling.
+//!
+//! Given a set of flows, each traversing a list of links with fixed
+//! capacities, the max–min fair allocation is the unique rate vector in
+//! which no flow can be increased without decreasing a flow of equal or
+//! smaller rate. Progressive filling computes it exactly for fluid flows:
+//! repeatedly find the most constrained link (smallest equal share for its
+//! still-unfrozen flows), freeze those flows at that share, subtract, and
+//! iterate.
+
+use std::collections::HashMap;
+
+use crate::topology::LinkId;
+
+/// Computes max–min fair rates (bits/s) for `flows`, where each flow is the
+/// list of links it traverses and `capacity` gives each link's capacity.
+///
+/// Flows with an empty route (same-node transfers) are assigned
+/// `f64::INFINITY` — the caller should clamp with a local I/O model.
+///
+/// # Panics
+/// Panics if a flow references a link with no capacity entry.
+pub fn max_min_rates(flows: &[Vec<LinkId>], capacity: &HashMap<LinkId, f64>) -> Vec<f64> {
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+
+    // Links and their unfrozen flow lists.
+    let mut link_flows: HashMap<LinkId, Vec<usize>> = HashMap::new();
+    for (i, route) in flows.iter().enumerate() {
+        if route.is_empty() {
+            rates[i] = f64::INFINITY;
+            frozen[i] = true;
+            continue;
+        }
+        for &l in route {
+            assert!(
+                capacity.contains_key(&l),
+                "flow {i} references link {l:?} with unknown capacity"
+            );
+            link_flows.entry(l).or_default().push(i);
+        }
+    }
+    let mut remaining: HashMap<LinkId, f64> = link_flows
+        .keys()
+        .map(|&l| (l, capacity[&l]))
+        .collect();
+
+    loop {
+        // Find the bottleneck link: the one with the smallest fair share for
+        // its unfrozen flows.
+        let mut best: Option<(LinkId, f64)> = None;
+        for (&l, fs) in &link_flows {
+            let unfrozen = fs.iter().filter(|&&i| !frozen[i]).count();
+            if unfrozen == 0 {
+                continue;
+            }
+            let share = (remaining[&l] / unfrozen as f64).max(0.0);
+            match best {
+                Some((_, s)) if s <= share => {}
+                _ => best = Some((l, share)),
+            }
+        }
+        let Some((bottleneck, share)) = best else {
+            break; // all flows frozen
+        };
+        // Freeze every unfrozen flow crossing the bottleneck at `share`.
+        let to_freeze: Vec<usize> = link_flows[&bottleneck]
+            .iter()
+            .copied()
+            .filter(|&i| !frozen[i])
+            .collect();
+        debug_assert!(!to_freeze.is_empty());
+        for i in to_freeze {
+            frozen[i] = true;
+            rates[i] = share;
+            for &l in &flows[i] {
+                let r = remaining.get_mut(&l).expect("capacity entry vanished");
+                *r = (*r - share).max(0.0);
+            }
+        }
+    }
+    rates
+}
+
+/// Checks the two defining max–min invariants, returning a violation
+/// description if any; used by property tests and debug assertions.
+///
+/// 1. **Feasibility**: the sum of rates on every link is within capacity
+///    (up to `tol` relative slack).
+/// 2. **Bottleneck condition**: every flow crosses at least one saturated
+///    link on which it has the maximal rate.
+pub fn verify_max_min(
+    flows: &[Vec<LinkId>],
+    capacity: &HashMap<LinkId, f64>,
+    rates: &[f64],
+    tol: f64,
+) -> Result<(), String> {
+    let mut load: HashMap<LinkId, f64> = HashMap::new();
+    for (i, route) in flows.iter().enumerate() {
+        for &l in route {
+            *load.entry(l).or_insert(0.0) += rates[i];
+        }
+    }
+    for (&l, &used) in &load {
+        let cap = capacity[&l];
+        if used > cap * (1.0 + tol) + tol {
+            return Err(format!("link {l:?} overloaded: {used} > {cap}"));
+        }
+    }
+    for (i, route) in flows.iter().enumerate() {
+        if route.is_empty() {
+            continue;
+        }
+        let ok = route.iter().any(|&l| {
+            let cap = capacity[&l];
+            let used = load[&l];
+            let saturated = used >= cap * (1.0 - tol) - tol;
+            let is_max = flows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.contains(&l))
+                .all(|(j, _)| rates[j] <= rates[i] * (1.0 + tol) + tol);
+            saturated && is_max
+        });
+        if !ok {
+            return Err(format!(
+                "flow {i} (rate {}) has no saturated bottleneck where it is maximal",
+                rates[i]
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LinkId {
+        LinkId(i)
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let caps = HashMap::from([(l(0), 10e9)]);
+        let flows = vec![vec![l(0)]];
+        let r = max_min_rates(&flows, &caps);
+        assert_eq!(r, vec![10e9]);
+        verify_max_min(&flows, &caps, &r, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn equal_split_on_shared_link() {
+        let caps = HashMap::from([(l(0), 10e9)]);
+        let flows = vec![vec![l(0)]; 4];
+        let r = max_min_rates(&flows, &caps);
+        for x in &r {
+            assert!((x - 2.5e9).abs() < 1.0);
+        }
+        verify_max_min(&flows, &caps, &r, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn classic_three_flow_two_link() {
+        // Flow A: link0+link1, Flow B: link0, Flow C: link1.
+        // cap(link0)=10, cap(link1)=10 (Gb/s):
+        // A and B split link0 -> 5 each; C then gets 10-5=5 on link1.
+        let caps = HashMap::from([(l(0), 10.0), (l(1), 10.0)]);
+        let flows = vec![vec![l(0), l(1)], vec![l(0)], vec![l(1)]];
+        let r = max_min_rates(&flows, &caps);
+        assert!((r[0] - 5.0).abs() < 1e-9);
+        assert!((r[1] - 5.0).abs() < 1e-9);
+        assert!((r[2] - 5.0).abs() < 1e-9);
+        verify_max_min(&flows, &caps, &r, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn asymmetric_bottleneck() {
+        // link0 cap 2, link1 cap 10.
+        // Flow A crosses both; flow B crosses link1 only.
+        // A limited to 2 by link0 (shared with nothing else), B gets 8.
+        let caps = HashMap::from([(l(0), 2.0), (l(1), 10.0)]);
+        let flows = vec![vec![l(0), l(1)], vec![l(1)]];
+        let r = max_min_rates(&flows, &caps);
+        assert!((r[0] - 2.0).abs() < 1e-9, "r={r:?}");
+        assert!((r[1] - 8.0).abs() < 1e-9, "r={r:?}");
+        verify_max_min(&flows, &caps, &r, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn narrow_bottleneck_frees_capacity_elsewhere() {
+        // 3 flows on link1 (cap 9); one also crosses link0 (cap 1).
+        // Constrained flow gets 1; others share the rest: 4 each.
+        let caps = HashMap::from([(l(0), 1.0), (l(1), 9.0)]);
+        let flows = vec![vec![l(0), l(1)], vec![l(1)], vec![l(1)]];
+        let r = max_min_rates(&flows, &caps);
+        assert!((r[0] - 1.0).abs() < 1e-9);
+        assert!((r[1] - 4.0).abs() < 1e-9);
+        assert!((r[2] - 4.0).abs() < 1e-9);
+        verify_max_min(&flows, &caps, &r, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn empty_route_is_infinite() {
+        let caps = HashMap::new();
+        let flows = vec![vec![]];
+        let r = max_min_rates(&flows, &caps);
+        assert!(r[0].is_infinite());
+    }
+
+    #[test]
+    fn no_flows_no_rates() {
+        let caps = HashMap::from([(l(0), 1.0)]);
+        assert!(max_min_rates(&[], &caps).is_empty());
+    }
+
+    #[test]
+    fn work_conservation_on_single_link() {
+        // Sum of rates on a saturated shared link equals its capacity.
+        let caps = HashMap::from([(l(0), 7.0)]);
+        let flows = vec![vec![l(0)]; 3];
+        let r = max_min_rates(&flows, &caps);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 7.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,26 @@
+//! # lsdf-net — flow-level network simulator
+//!
+//! Models the LSDF's dedicated 10 GE network (paper, slide 7) and the bulk
+//! data movement arguments of slide 11. Three layers:
+//!
+//! * [`Topology`] — static graph of nodes and capacity/latency links with
+//!   Dijkstra routing; [`lsdf::build`] constructs the facility network from
+//!   the paper.
+//! * [`NetSim`] — fluid flows on the DES kernel with **max–min fair**
+//!   bandwidth sharing, recomputed on every arrival/completion.
+//! * [`TransferModel`] — closed-form transfer arithmetic reproducing the
+//!   "15 days to transfer 1 PB over ideal 10 Gb/s" estimate, plus the
+//!   move-data vs move-compute crossover analysis (experiment E12).
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod fairness;
+pub mod lsdf;
+mod netsim;
+mod topology;
+
+pub use analytic::{choose_placement, movement_crossover, Placement, PlacementCosts, TransferModel};
+pub use fairness::{max_min_rates, verify_max_min};
+pub use netsim::{FlowId, FlowSummary, NetSim};
+pub use topology::{units, Link, LinkId, Node, NodeId, NodeKind, Topology, TopologyError};

@@ -1,0 +1,206 @@
+//! The LSDF facility network from slide 7 of the paper, as a ready-made
+//! topology: experiment DAQ sources, redundant campus routers, the 10 GE
+//! backbone, the two storage systems (IBM 1.4 PB, DDN 0.5 PB), the tape
+//! library head, the 60-node Hadoop/cloud cluster, login head nodes, and
+//! the WAN links to the KIT campus / Internet and to BioQuant at the
+//! University of Heidelberg.
+
+use lsdf_sim::SimDuration;
+
+use crate::topology::{units, NodeId, NodeKind, Topology};
+
+/// Node handles for the canonical LSDF facility topology.
+#[derive(Debug, Clone)]
+pub struct LsdfFacilityNet {
+    /// The network graph itself.
+    pub topology: Topology,
+    /// Experiment data-acquisition sources (e.g. the zebrafish microscopes).
+    pub daq: Vec<NodeId>,
+    /// Redundant core routers.
+    pub routers: (NodeId, NodeId),
+    /// IBM storage head (1.4 PB system).
+    pub storage_ibm: NodeId,
+    /// DDN storage head (0.5 PB system).
+    pub storage_ddn: NodeId,
+    /// Tape library head.
+    pub tape: NodeId,
+    /// Hadoop / cloud cluster head.
+    pub cluster: NodeId,
+    /// Login head nodes.
+    pub login: NodeId,
+    /// KIT campus network / Internet gateway.
+    pub campus: NodeId,
+    /// University of Heidelberg (BioQuant) site.
+    pub heidelberg: NodeId,
+}
+
+/// Capacities of the two disk systems and the 2012 expansion target, bytes.
+pub mod capacity {
+    use crate::topology::units::{PB, TB};
+    /// IBM system capacity (slide 7).
+    pub const IBM_BYTES: u64 = 1_400 * TB;
+    /// DDN system capacity (slide 7).
+    pub const DDN_BYTES: u64 = 500 * TB;
+    /// Combined disk capacity "currently 2 PB in 2 storage systems".
+    pub const TOTAL_DISK_BYTES: u64 = IBM_BYTES + DDN_BYTES;
+    /// Planned 2012 capacity (slide 14): 6 PB.
+    pub const PLANNED_2012_BYTES: u64 = 6 * PB;
+    /// HDFS capacity on the analysis cluster (slides 7/11): 110 TB.
+    pub const HDFS_BYTES: u64 = 110 * TB;
+    /// Hadoop/cloud cluster size (slide 11): 60 nodes.
+    pub const CLUSTER_NODES: usize = 60;
+}
+
+/// Builds the facility network with `n_daq` experiment sources.
+///
+/// Link speeds follow the paper: a dedicated 10 GE backbone with redundant
+/// routers, direct 10 GE connections from some institutes (the DAQ
+/// sources), 10 GE to both storage systems and the cluster, and a 10 GE
+/// WAN link to Heidelberg with metro latency.
+pub fn build(n_daq: usize) -> LsdfFacilityNet {
+    let mut t = Topology::new();
+    let lan = SimDuration::from_micros(50);
+    let wan = SimDuration::from_millis(3); // KIT <-> Heidelberg metro fibre
+
+    let r1 = t.add_node("router-1", NodeKind::Router).expect("fresh topology");
+    let r2 = t.add_node("router-2", NodeKind::Router).expect("fresh topology");
+    // Redundant router interconnect.
+    t.add_duplex(r1, r2, 2.0 * units::TEN_GBIT, lan);
+
+    let storage_ibm = t.add_node("storage-ibm", NodeKind::Storage).expect("fresh");
+    let storage_ddn = t.add_node("storage-ddn", NodeKind::Storage).expect("fresh");
+    let tape = t.add_node("tape-library", NodeKind::Storage).expect("fresh");
+    let cluster = t.add_node("hadoop-cluster", NodeKind::Compute).expect("fresh");
+    let login = t.add_node("login-heads", NodeKind::Gateway).expect("fresh");
+    let campus = t.add_node("kit-campus", NodeKind::External).expect("fresh");
+    let heidelberg = t.add_node("uni-heidelberg", NodeKind::External).expect("fresh");
+
+    for (node, bw) in [
+        (storage_ibm, units::TEN_GBIT),
+        (storage_ddn, units::TEN_GBIT),
+        (tape, units::TEN_GBIT),
+        (cluster, 2.0 * units::TEN_GBIT),
+        (login, units::TEN_GBIT),
+    ] {
+        // Dual-homed on both routers for redundancy.
+        t.add_duplex(node, r1, bw, lan);
+        t.add_duplex(node, r2, bw, lan);
+    }
+    // Access firewall paths.
+    t.add_duplex(campus, r1, units::TEN_GBIT, SimDuration::from_micros(200));
+    t.add_duplex(heidelberg, r2, units::TEN_GBIT, wan);
+
+    let mut daq = Vec::with_capacity(n_daq);
+    for i in 0..n_daq {
+        let d = t
+            .add_node(format!("daq-{i}"), NodeKind::Daq)
+            .expect("unique daq name");
+        // Experiments attach to alternating routers on direct 10 GE links.
+        let r = if i % 2 == 0 { r1 } else { r2 };
+        t.add_duplex(d, r, units::TEN_GBIT, lan);
+        daq.push(d);
+    }
+
+    LsdfFacilityNet {
+        topology: t,
+        daq,
+        routers: (r1, r2),
+        storage_ibm,
+        storage_ddn,
+        tape,
+        cluster,
+        login,
+        campus,
+        heidelberg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netsim::NetSim;
+    use lsdf_sim::Simulation;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn capacities_match_the_paper() {
+        use capacity::*;
+        assert_eq!(TOTAL_DISK_BYTES, 1_900 * units::TB);
+        // "currently 2 PB in 2 storage systems" (1.4 + 0.5, rounded up
+        // in the talk).
+        assert!(TOTAL_DISK_BYTES as f64 / units::PB as f64 > 1.8);
+        assert_eq!(CLUSTER_NODES, 60);
+        assert_eq!(HDFS_BYTES, 110 * units::TB);
+    }
+
+    #[test]
+    fn all_endpoints_are_mutually_reachable() {
+        let net = build(4);
+        let t = &net.topology;
+        let endpoints = [
+            net.daq[0],
+            net.daq[3],
+            net.storage_ibm,
+            net.storage_ddn,
+            net.tape,
+            net.cluster,
+            net.login,
+            net.campus,
+            net.heidelberg,
+        ];
+        for &a in &endpoints {
+            for &b in &endpoints {
+                assert!(t.route(a, b).is_ok(), "no route {a:?} -> {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn daq_to_storage_is_two_hops() {
+        let net = build(2);
+        let r = net.topology.route(net.daq[0], net.storage_ibm).unwrap();
+        assert_eq!(r.len(), 2, "daq -> router -> storage");
+    }
+
+    #[test]
+    fn daq_ingest_achieves_line_rate() {
+        let net = build(1);
+        let sim_net = NetSim::new(net.topology.clone());
+        let mut sim = Simulation::new();
+        let done = Rc::new(RefCell::new(0.0f64));
+        {
+            let done = done.clone();
+            sim_net
+                .start_flow(&mut sim, net.daq[0], net.storage_ibm, 125 * units::GB, move |s, _| {
+                    *done.borrow_mut() = s.now().as_secs_f64();
+                })
+                .unwrap();
+        }
+        sim.run();
+        // 125 GB over 10 GE ≈ 100 s (plus microseconds of latency).
+        assert!((*done.borrow() - 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn redundant_routers_split_daq_load() {
+        // Two DAQs on different routers can both reach the cluster, which
+        // is dual-homed at 2x10GE; each flow should sustain 10 Gb/s.
+        let net = build(2);
+        let sim_net = NetSim::new(net.topology.clone());
+        let mut sim = Simulation::new();
+        let times: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        for &d in &net.daq {
+            let times = times.clone();
+            sim_net
+                .start_flow(&mut sim, d, net.cluster, 125 * units::GB, move |s, _| {
+                    times.borrow_mut().push(s.now().as_secs_f64());
+                })
+                .unwrap();
+        }
+        sim.run();
+        for &t in times.borrow().iter() {
+            assert!((t - 100.0).abs() < 0.01, "flow took {t}");
+        }
+    }
+}

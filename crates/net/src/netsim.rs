@@ -1,0 +1,467 @@
+//! Flow-level network simulation on the DES kernel.
+//!
+//! Each active transfer is a fluid flow. Whenever the flow set changes
+//! (arrival or completion), all rates are recomputed with max–min fairness
+//! and every flow's completion event is rescheduled from its remaining
+//! byte count. This is the standard flow-level abstraction: accurate for
+//! bulk scientific data movement where TCP dynamics average out.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use lsdf_sim::{EventId, SimDuration, SimTime, Simulation, Tally, TimeWeighted};
+
+use crate::fairness::max_min_rates;
+use crate::topology::{LinkId, NodeId, Topology, TopologyError};
+
+/// Identifies an active or finished flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(u64);
+
+/// Completion record passed to a flow's callback.
+#[derive(Debug, Clone)]
+pub struct FlowSummary {
+    /// The flow.
+    pub id: FlowId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Start time.
+    pub started: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+}
+
+impl FlowSummary {
+    /// Mean achieved goodput in bits per second.
+    pub fn mean_rate_bps(&self) -> f64 {
+        let secs = self.finished.since(self.started).as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.bytes as f64 * 8.0 / secs
+        }
+    }
+}
+
+type OnDone = Box<dyn FnOnce(&mut Simulation, FlowSummary)>;
+
+struct FlowState {
+    src: NodeId,
+    dst: NodeId,
+    route: Vec<LinkId>,
+    bytes: u64,
+    /// Bytes still to transfer, as a fluid quantity.
+    remaining: f64,
+    /// Current allocated rate, bits/s.
+    rate_bps: f64,
+    /// Time the flow becomes "ready" (start + route latency).
+    ready_at: SimTime,
+    /// Last time `remaining` was settled.
+    settled_at: SimTime,
+    started: SimTime,
+    completion: Option<EventId>,
+    on_done: Option<OnDone>,
+}
+
+struct NetInner {
+    topology: Topology,
+    /// Protocol efficiency factor in (0, 1]: fraction of raw link bandwidth
+    /// achievable as goodput (TCP/IP + filesystem overheads). The paper's
+    /// "15 days for 1 PB over ideal 10 Gb/s" corresponds to ≈0.7.
+    efficiency: f64,
+    flows: HashMap<FlowId, FlowState>,
+    next_flow: u64,
+    // instrumentation
+    link_load: HashMap<LinkId, TimeWeighted>,
+    completed: Tally,
+    completed_count: u64,
+    bytes_moved: u128,
+}
+
+/// Handle to a flow-level network simulation (cheaply cloneable; event
+/// closures capture clones).
+#[derive(Clone)]
+pub struct NetSim {
+    inner: Rc<RefCell<NetInner>>,
+}
+
+impl NetSim {
+    /// Wraps a topology with perfect protocol efficiency (1.0).
+    pub fn new(topology: Topology) -> Self {
+        Self::with_efficiency(topology, 1.0)
+    }
+
+    /// Wraps a topology with the given protocol efficiency in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `efficiency` is outside `(0, 1]`.
+    pub fn with_efficiency(topology: Topology, efficiency: f64) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "protocol efficiency must be in (0,1], got {efficiency}"
+        );
+        NetSim {
+            inner: Rc::new(RefCell::new(NetInner {
+                topology,
+                efficiency,
+                flows: HashMap::new(),
+                next_flow: 0,
+                link_load: HashMap::new(),
+                completed: Tally::new(),
+                completed_count: 0,
+                bytes_moved: 0,
+            })),
+        }
+    }
+
+    /// Read-only access to the wrapped topology.
+    pub fn topology(&self) -> std::cell::Ref<'_, Topology> {
+        std::cell::Ref::map(self.inner.borrow(), |i| &i.topology)
+    }
+
+    /// Starts a transfer of `bytes` from `src` to `dst`. The callback runs
+    /// at completion time inside the simulation.
+    pub fn start_flow(
+        &self,
+        sim: &mut Simulation,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        on_done: impl FnOnce(&mut Simulation, FlowSummary) + 'static,
+    ) -> Result<FlowId, TopologyError> {
+        let now = sim.now();
+        let id;
+        {
+            let mut inner = self.inner.borrow_mut();
+            let route = inner.topology.route(src, dst)?;
+            let latency = inner.topology.route_latency(&route);
+            id = FlowId(inner.next_flow);
+            inner.next_flow += 1;
+            inner.settle_all(now);
+            inner.flows.insert(
+                id,
+                FlowState {
+                    src,
+                    dst,
+                    route,
+                    bytes,
+                    remaining: bytes as f64,
+                    rate_bps: 0.0,
+                    ready_at: now + latency,
+                    settled_at: now,
+                    started: now,
+                    completion: None,
+                    on_done: Some(Box::new(on_done)),
+                },
+            );
+        }
+        self.recompute(sim);
+        Ok(id)
+    }
+
+    /// Number of flows currently in the air.
+    pub fn active_flows(&self) -> usize {
+        self.inner.borrow().flows.len()
+    }
+
+    /// Statistics over completed flow durations (seconds).
+    pub fn completed_durations(&self) -> Tally {
+        self.inner.borrow().completed.clone()
+    }
+
+    /// Count of completed flows and total payload bytes moved.
+    pub fn totals(&self) -> (u64, u128) {
+        let i = self.inner.borrow();
+        (i.completed_count, i.bytes_moved)
+    }
+
+    /// Time-averaged utilisation (0..=1) of a link over the run so far.
+    pub fn link_utilisation(&self, link: LinkId, now: SimTime) -> f64 {
+        let inner = self.inner.borrow();
+        let cap = inner.topology.link(link).capacity_bps;
+        inner
+            .link_load
+            .get(&link)
+            .map(|tw| tw.average(now) / cap)
+            .unwrap_or(0.0)
+    }
+
+    /// Recomputes fair-share rates and reschedules completion events.
+    fn recompute(&self, sim: &mut Simulation) {
+        let mut to_cancel: Vec<EventId> = Vec::new();
+        let mut to_schedule: Vec<(FlowId, SimTime)> = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            let now = sim.now();
+            inner.settle_all(now);
+
+            let ids: Vec<FlowId> = {
+                let mut v: Vec<FlowId> = inner.flows.keys().copied().collect();
+                v.sort_unstable(); // deterministic ordering
+                v
+            };
+            let routes: Vec<Vec<LinkId>> =
+                ids.iter().map(|id| inner.flows[id].route.clone()).collect();
+            let caps: HashMap<LinkId, f64> = routes
+                .iter()
+                .flatten()
+                .map(|&l| {
+                    (
+                        l,
+                        inner.topology.link(l).capacity_bps * inner.efficiency,
+                    )
+                })
+                .collect();
+            let rates = max_min_rates(&routes, &caps);
+
+            // Update per-link load instrumentation.
+            let mut new_load: HashMap<LinkId, f64> = HashMap::new();
+            for (route, &rate) in routes.iter().zip(&rates) {
+                for &l in route {
+                    *new_load.entry(l).or_insert(0.0) += rate;
+                }
+            }
+            for (&l, &load) in &new_load {
+                inner
+                    .link_load
+                    .entry(l)
+                    .or_insert_with(|| TimeWeighted::new(now, 0.0))
+                    .set(now, load);
+            }
+            // Links that lost all their flows drop to zero.
+            let stale: Vec<LinkId> = inner
+                .link_load
+                .keys()
+                .filter(|l| !new_load.contains_key(l))
+                .copied()
+                .collect();
+            for l in stale {
+                if let Some(tw) = inner.link_load.get_mut(&l) {
+                    tw.set(now, 0.0);
+                }
+            }
+
+            for (idx, id) in ids.iter().enumerate() {
+                let flow = inner.flows.get_mut(id).expect("flow vanished");
+                flow.rate_bps = rates[idx];
+                if let Some(ev) = flow.completion.take() {
+                    to_cancel.push(ev);
+                }
+                let eta = if flow.remaining <= 0.0 || flow.rate_bps.is_infinite() {
+                    SimDuration::ZERO
+                } else if flow.rate_bps <= 0.0 {
+                    continue; // starved; will be rescheduled on next change
+                } else {
+                    SimDuration::from_secs_f64(flow.remaining * 8.0 / flow.rate_bps)
+                };
+                let base = flow.ready_at.max(now);
+                to_schedule.push((*id, base + eta));
+            }
+        }
+        for ev in to_cancel {
+            sim.cancel(ev);
+        }
+        for (id, at) in to_schedule {
+            let this = self.clone();
+            let ev = sim.schedule_at(at, move |s| this.finish(s, id));
+            self.inner
+                .borrow_mut()
+                .flows
+                .get_mut(&id)
+                .expect("flow vanished before completion scheduling")
+                .completion = Some(ev);
+        }
+    }
+
+    fn finish(&self, sim: &mut Simulation, id: FlowId) {
+        let (summary, on_done) = {
+            let mut inner = self.inner.borrow_mut();
+            let now = sim.now();
+            inner.settle_all(now);
+            let mut flow = match inner.flows.remove(&id) {
+                Some(f) => f,
+                None => return, // already finished via a racing event
+            };
+            debug_assert!(
+                flow.remaining <= flow.bytes as f64 * 1e-9 + 1.0,
+                "flow finished with {} bytes left",
+                flow.remaining
+            );
+            let summary = FlowSummary {
+                id,
+                src: flow.src,
+                dst: flow.dst,
+                bytes: flow.bytes,
+                started: flow.started,
+                finished: now,
+            };
+            inner
+                .completed
+                .record(now.since(flow.started).as_secs_f64());
+            inner.completed_count += 1;
+            inner.bytes_moved += u128::from(flow.bytes);
+            (summary, flow.on_done.take())
+        };
+        if let Some(cb) = on_done {
+            cb(sim, summary);
+        }
+        self.recompute(sim);
+    }
+}
+
+impl NetInner {
+    /// Advances every flow's `remaining` to `now` at its current rate.
+    fn settle_all(&mut self, now: SimTime) {
+        for flow in self.flows.values_mut() {
+            let from = flow.settled_at.max(flow.ready_at);
+            if now > from && flow.rate_bps.is_finite() && flow.rate_bps > 0.0 {
+                let dt = now.since(from).as_secs_f64();
+                flow.remaining = (flow.remaining - flow.rate_bps * dt / 8.0).max(0.0);
+            }
+            flow.settled_at = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{units, NodeKind};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn simple_net() -> (NetSim, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("src", NodeKind::Daq).unwrap();
+        let b = t.add_node("dst", NodeKind::Storage).unwrap();
+        t.add_duplex(a, b, units::TEN_GBIT, SimDuration::ZERO);
+        (NetSim::new(t), a, b)
+    }
+
+    #[test]
+    fn lone_flow_runs_at_line_rate() {
+        let (net, a, b) = simple_net();
+        let mut sim = Simulation::new();
+        let done: Rc<RefCell<Option<FlowSummary>>> = Rc::new(RefCell::new(None));
+        {
+            let done = done.clone();
+            net.start_flow(&mut sim, a, b, 125 * units::GB, move |_, s| {
+                *done.borrow_mut() = Some(s);
+            })
+            .unwrap();
+        }
+        sim.run();
+        let s = done.borrow().clone().expect("flow must finish");
+        // 125 GB at 10 Gb/s = 1000 Gbit / 10 Gb/s = 100 s.
+        assert!((s.finished.as_secs_f64() - 100.0).abs() < 1e-6);
+        assert!((s.mean_rate_bps() - units::TEN_GBIT).abs() < 1e3);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        let (net, a, b) = simple_net();
+        let mut sim = Simulation::new();
+        let finishes: Rc<RefCell<Vec<(u64, f64)>>> = Rc::new(RefCell::new(Vec::new()));
+        // Flow 1: 125 GB (100 s alone). Flow 2: 62.5 GB starting at t=0.
+        for (i, gb) in [(1u64, 125u64), (2, 62)] {
+            let finishes = finishes.clone();
+            net.start_flow(&mut sim, a, b, gb * units::GB + if i == 2 { 500 * units::MB } else { 0 }, move |s, _| {
+                finishes.borrow_mut().push((i, s.now().as_secs_f64()));
+            })
+            .unwrap();
+        }
+        sim.run();
+        let fin = finishes.borrow().clone();
+        // Shared until flow 2 finishes at t=100 (62.5GB at 5Gb/s);
+        // then flow 1 has 62.5GB left at full 10Gb/s -> +50s -> t=150.
+        assert_eq!(fin[0].0, 2);
+        assert!((fin[0].1 - 100.0).abs() < 1e-6, "flow2 at {}", fin[0].1);
+        assert_eq!(fin[1].0, 1);
+        assert!((fin[1].1 - 150.0).abs() < 1e-6, "flow1 at {}", fin[1].1);
+    }
+
+    #[test]
+    fn efficiency_scales_completion_time() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Daq).unwrap();
+        let b = t.add_node("b", NodeKind::Storage).unwrap();
+        t.add_duplex(a, b, units::TEN_GBIT, SimDuration::ZERO);
+        let net = NetSim::with_efficiency(t, 0.5);
+        let mut sim = Simulation::new();
+        let done = Rc::new(RefCell::new(0.0f64));
+        {
+            let done = done.clone();
+            net.start_flow(&mut sim, a, b, 125 * units::GB, move |s, _| {
+                *done.borrow_mut() = s.now().as_secs_f64();
+            })
+            .unwrap();
+        }
+        sim.run();
+        assert!((*done.borrow() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_delays_small_transfers() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Daq).unwrap();
+        let b = t.add_node("b", NodeKind::External).unwrap();
+        t.add_duplex(a, b, units::TEN_GBIT, SimDuration::from_millis(10));
+        let net = NetSim::new(t);
+        let mut sim = Simulation::new();
+        let done = Rc::new(RefCell::new(0.0f64));
+        {
+            let done = done.clone();
+            net.start_flow(&mut sim, a, b, 0, move |s, _| {
+                *done.borrow_mut() = s.now().as_secs_f64();
+            })
+            .unwrap();
+        }
+        sim.run();
+        assert!((*done.borrow() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_route_start_fails() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Daq).unwrap();
+        let b = t.add_node("b", NodeKind::Storage).unwrap();
+        let net = NetSim::new(t);
+        let mut sim = Simulation::new();
+        assert!(net.start_flow(&mut sim, a, b, 1, |_, _| {}).is_err());
+    }
+
+    #[test]
+    fn link_utilisation_tracks_load() {
+        let (net, a, b) = simple_net();
+        let mut sim = Simulation::new();
+        net.start_flow(&mut sim, a, b, 125 * units::GB, |_, _| {})
+            .unwrap();
+        let end = sim.run();
+        let lid = {
+            let topo = net.topology();
+            topo.route(a, b).unwrap()[0]
+        };
+        let u = net.link_utilisation(lid, end);
+        assert!((u - 1.0).abs() < 1e-6, "utilisation {u}");
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let (net, a, b) = simple_net();
+        let mut sim = Simulation::new();
+        for _ in 0..3 {
+            net.start_flow(&mut sim, a, b, units::GB, |_, _| {}).unwrap();
+        }
+        sim.run();
+        let (n, bytes) = net.totals();
+        assert_eq!(n, 3);
+        assert_eq!(bytes, 3 * u128::from(units::GB));
+        assert_eq!(net.completed_durations().count(), 3);
+    }
+}

@@ -1,0 +1,387 @@
+//! Static network topology: nodes, directed capacity-bearing links, and
+//! latency-weighted shortest-path routing.
+//!
+//! The LSDF backbone (slide 7 of the paper) is a small graph — DAQ sources,
+//! redundant campus routers, 10 GE backbone, storage heads, the Hadoop
+//! cluster, and the WAN link to Heidelberg — so routes are computed with
+//! Dijkstra and cached per (src, dst) pair.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use lsdf_sim::SimDuration;
+
+/// Identifies a node in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifies a directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub(crate) u32);
+
+/// Role of a node, for reporting and topology-aware policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Experiment data-acquisition source.
+    Daq,
+    /// Router / switch.
+    Router,
+    /// Storage system head node.
+    Storage,
+    /// Compute cluster (Hadoop / cloud) head.
+    Compute,
+    /// Login / gateway head node.
+    Gateway,
+    /// External site (e.g. University of Heidelberg).
+    External,
+}
+
+/// A node in the facility network.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Human-readable name, unique within a topology.
+    pub name: String,
+    /// Node role.
+    pub kind: NodeKind,
+}
+
+/// A directed link with fixed capacity and propagation latency.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Capacity in bits per second.
+    pub capacity_bps: f64,
+    /// Propagation latency.
+    pub latency: SimDuration,
+}
+
+/// Errors raised by topology operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A node name was registered twice.
+    DuplicateNode(String),
+    /// No route exists between the requested endpoints.
+    NoRoute {
+        /// Source node.
+        src: String,
+        /// Destination node.
+        dst: String,
+    },
+    /// A node id was not found.
+    UnknownNode(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DuplicateNode(n) => write!(f, "duplicate node name '{n}'"),
+            TopologyError::NoRoute { src, dst } => write!(f, "no route from '{src}' to '{dst}'"),
+            TopologyError::UnknownNode(n) => write!(f, "unknown node '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A static network graph with cached shortest-path routes.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    by_name: HashMap<String, NodeId>,
+    /// Outgoing link ids per node.
+    adj: Vec<Vec<LinkId>>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node; names must be unique.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        kind: NodeKind,
+    ) -> Result<NodeId, TopologyError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(TopologyError::DuplicateNode(name));
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nodes.push(Node { name, kind });
+        self.adj.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Adds a directed link.
+    ///
+    /// # Panics
+    /// Panics on non-positive capacity — a zero-capacity link is a model bug.
+    pub fn add_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        capacity_bps: f64,
+        latency: SimDuration,
+    ) -> LinkId {
+        assert!(
+            capacity_bps > 0.0 && capacity_bps.is_finite(),
+            "link capacity must be positive and finite, got {capacity_bps}"
+        );
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            from,
+            to,
+            capacity_bps,
+            latency,
+        });
+        self.adj[from.0 as usize].push(id);
+        id
+    }
+
+    /// Adds a pair of directed links (full-duplex), returning `(a→b, b→a)`.
+    pub fn add_duplex(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity_bps: f64,
+        latency: SimDuration,
+    ) -> (LinkId, LinkId) {
+        (
+            self.add_link(a, b, capacity_bps, latency),
+            self.add_link(b, a, capacity_bps, latency),
+        )
+    }
+
+    /// Looks a node up by name.
+    pub fn node_by_name(&self, name: &str) -> Result<NodeId, TopologyError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TopologyError::UnknownNode(name.to_string()))
+    }
+
+    /// Node metadata.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Link metadata.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Computes the minimum-latency route (ties broken by hop count) from
+    /// `src` to `dst`, as a sequence of link ids.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Result<Vec<LinkId>, TopologyError> {
+        if src == dst {
+            return Ok(Vec::new());
+        }
+        // Dijkstra over (total latency ns, hops).
+        #[derive(PartialEq, Eq)]
+        struct Entry(u128, u32, NodeId);
+        impl Ord for Entry {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                (o.0, o.1, o.2).cmp(&(self.0, self.1, self.2))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        let n = self.nodes.len();
+        let mut dist = vec![(u128::MAX, u32::MAX); n];
+        let mut prev: Vec<Option<LinkId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[src.0 as usize] = (0, 0);
+        heap.push(Entry(0, 0, src));
+        while let Some(Entry(d, h, u)) = heap.pop() {
+            if (d, h) > dist[u.0 as usize] {
+                continue;
+            }
+            if u == dst {
+                break;
+            }
+            for &lid in &self.adj[u.0 as usize] {
+                let link = &self.links[lid.0 as usize];
+                let nd = d + u128::from(link.latency.as_nanos().max(1));
+                let nh = h + 1;
+                let v = link.to.0 as usize;
+                if (nd, nh) < dist[v] {
+                    dist[v] = (nd, nh);
+                    prev[v] = Some(lid);
+                    heap.push(Entry(nd, nh, link.to));
+                }
+            }
+        }
+        if prev[dst.0 as usize].is_none() {
+            return Err(TopologyError::NoRoute {
+                src: self.node(src).name.clone(),
+                dst: self.node(dst).name.clone(),
+            });
+        }
+        let mut route = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let lid = prev[cur.0 as usize].expect("broken predecessor chain");
+            route.push(lid);
+            cur = self.links[lid.0 as usize].from;
+        }
+        route.reverse();
+        Ok(route)
+    }
+
+    /// Total propagation latency along a route.
+    pub fn route_latency(&self, route: &[LinkId]) -> SimDuration {
+        route
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &l| acc + self.link(l).latency)
+    }
+
+    /// The minimum capacity along a route (the bottleneck), in bits/s.
+    pub fn route_bottleneck_bps(&self, route: &[LinkId]) -> f64 {
+        route
+            .iter()
+            .map(|&l| self.link(l).capacity_bps)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Bandwidth and size unit helpers used throughout the workspace.
+pub mod units {
+    /// Bits per second in 1 Gigabit/s.
+    pub const GBIT: f64 = 1e9;
+    /// Bits per second in 10 Gigabit/s (the LSDF backbone).
+    pub const TEN_GBIT: f64 = 10e9;
+    /// Bytes in a kilobyte (10^3).
+    pub const KB: u64 = 1_000;
+    /// Bytes in a megabyte (10^6).
+    pub const MB: u64 = 1_000_000;
+    /// Bytes in a gigabyte (10^9).
+    pub const GB: u64 = 1_000_000_000;
+    /// Bytes in a terabyte (10^12).
+    pub const TB: u64 = 1_000_000_000_000;
+    /// Bytes in a petabyte (10^15).
+    pub const PB: u64 = 1_000_000_000_000_000;
+    /// Bytes in a kibibyte.
+    pub const KIB: u64 = 1 << 10;
+    /// Bytes in a mebibyte.
+    pub const MIB: u64 = 1 << 20;
+    /// Bytes in a gibibyte.
+    pub const GIB: u64 = 1 << 30;
+    /// Bytes in a tebibyte.
+    pub const TIB: u64 = 1 << 40;
+    /// Bytes in a pebibyte.
+    pub const PIB: u64 = 1 << 50;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Daq).unwrap();
+        let b = t.add_node("b", NodeKind::Router).unwrap();
+        let c = t.add_node("c", NodeKind::Storage).unwrap();
+        t.add_duplex(a, b, units::TEN_GBIT, SimDuration::from_micros(10));
+        t.add_duplex(b, c, units::TEN_GBIT, SimDuration::from_micros(10));
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut t = Topology::new();
+        t.add_node("x", NodeKind::Router).unwrap();
+        assert_eq!(
+            t.add_node("x", NodeKind::Router),
+            Err(TopologyError::DuplicateNode("x".into()))
+        );
+    }
+
+    #[test]
+    fn route_follows_line() {
+        let (t, a, _b, c) = line3();
+        let r = t.route(a, c).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(t.link(r[0]).from, a);
+        assert_eq!(t.link(r[1]).to, c);
+        assert_eq!(t.route_latency(&r), SimDuration::from_micros(20));
+        assert_eq!(t.route_bottleneck_bps(&r), units::TEN_GBIT);
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let (t, a, ..) = line3();
+        assert!(t.route(a, a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn no_route_is_an_error() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Daq).unwrap();
+        let b = t.add_node("b", NodeKind::Storage).unwrap();
+        // one-way only: b -> a
+        t.add_link(b, a, units::GBIT, SimDuration::ZERO);
+        assert!(matches!(t.route(a, b), Err(TopologyError::NoRoute { .. })));
+        assert!(t.route(b, a).is_ok());
+    }
+
+    #[test]
+    fn dijkstra_prefers_lower_latency() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Daq).unwrap();
+        let b = t.add_node("b", NodeKind::Router).unwrap();
+        let c = t.add_node("c", NodeKind::Storage).unwrap();
+        // Direct link is slow (high latency); two-hop path is faster.
+        t.add_link(a, c, units::GBIT, SimDuration::from_millis(50));
+        t.add_link(a, b, units::TEN_GBIT, SimDuration::from_millis(1));
+        t.add_link(b, c, units::TEN_GBIT, SimDuration::from_millis(1));
+        let r = t.route(a, c).unwrap();
+        assert_eq!(r.len(), 2, "should take the 2-hop low-latency path");
+    }
+
+    #[test]
+    fn bottleneck_is_min_capacity() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Daq).unwrap();
+        let b = t.add_node("b", NodeKind::Router).unwrap();
+        let c = t.add_node("c", NodeKind::Storage).unwrap();
+        t.add_link(a, b, units::TEN_GBIT, SimDuration::ZERO);
+        t.add_link(b, c, units::GBIT, SimDuration::ZERO);
+        let r = t.route(a, c).unwrap();
+        assert_eq!(t.route_bottleneck_bps(&r), units::GBIT);
+    }
+
+    #[test]
+    fn name_lookup() {
+        let (t, a, ..) = line3();
+        assert_eq!(t.node_by_name("a").unwrap(), a);
+        assert!(t.node_by_name("zzz").is_err());
+        assert_eq!(t.node(a).kind, NodeKind::Daq);
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.link_count(), 4);
+    }
+}

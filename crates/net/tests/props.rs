@@ -1,0 +1,110 @@
+//! Property tests: max–min fairness invariants and flow-level conservation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use lsdf_net::{max_min_rates, units, verify_max_min, NetSim, NodeKind, Topology};
+use lsdf_sim::{SimDuration, Simulation};
+use proptest::prelude::*;
+
+/// Random flow sets over a fixed 6-link topology must always satisfy the
+/// max–min feasibility and bottleneck conditions.
+#[test]
+fn max_min_invariants_hold_on_random_flow_sets() {
+    let mut runner = proptest::test_runner::TestRunner::default();
+    let strategy = prop::collection::vec(
+        prop::collection::vec(0u32..6, 1..4),
+        1..20,
+    );
+    runner
+        .run(&strategy, |flow_links| {
+            // Build link ids through a real topology so LinkId values are
+            // constructible (they are opaque outside the crate).
+            let mut t = Topology::new();
+            let nodes: Vec<_> = (0..7)
+                .map(|i| t.add_node(format!("n{i}"), NodeKind::Router).unwrap())
+                .collect();
+            let mut caps = HashMap::new();
+            let mut links = Vec::new();
+            for i in 0..6usize {
+                let cap = ((i + 1) as f64) * 1e9;
+                let l = t.add_link(nodes[i], nodes[i + 1], cap, SimDuration::ZERO);
+                caps.insert(l, cap);
+                links.push(l);
+            }
+            let flows: Vec<Vec<_>> = flow_links
+                .iter()
+                .map(|ls| {
+                    let mut seen = std::collections::HashSet::new();
+                    ls.iter()
+                        .filter(|&&l| seen.insert(l))
+                        .map(|&l| links[l as usize])
+                        .collect()
+                })
+                .collect();
+            let rates = max_min_rates(&flows, &caps);
+            verify_max_min(&flows, &caps, &rates, 1e-6)
+                .map_err(proptest::test_runner::TestCaseError::fail)?;
+            Ok(())
+        })
+        .unwrap();
+}
+
+proptest! {
+    /// Every started flow eventually completes, and the simulator's byte
+    /// accounting matches the sum of payloads exactly.
+    #[test]
+    fn all_flows_complete_and_bytes_conserve(
+        sizes in prop::collection::vec(1u64..=4 * units::GB, 1..12),
+        stagger_ms in prop::collection::vec(0u64..60_000, 12),
+    ) {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Daq).unwrap();
+        let r = t.add_node("r", NodeKind::Router).unwrap();
+        let b = t.add_node("b", NodeKind::Storage).unwrap();
+        t.add_duplex(a, r, units::TEN_GBIT, SimDuration::from_micros(10));
+        t.add_duplex(r, b, units::GBIT, SimDuration::from_micros(10));
+        let net = NetSim::new(t);
+        let mut sim = Simulation::new();
+        let finished: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+        for (i, &sz) in sizes.iter().enumerate() {
+            let net2 = net.clone();
+            let finished = finished.clone();
+            let delay = SimDuration::from_millis(stagger_ms[i % stagger_ms.len()]);
+            sim.schedule_in(delay, move |s| {
+                let finished = finished.clone();
+                net2.start_flow(s, a, b, sz, move |_, summary| {
+                    *finished.borrow_mut() += summary.bytes;
+                })
+                .expect("route exists");
+            });
+        }
+        sim.run();
+        prop_assert_eq!(net.active_flows(), 0, "flows left in the air");
+        let total: u64 = sizes.iter().sum();
+        prop_assert_eq!(*finished.borrow(), total);
+        let (n, moved) = net.totals();
+        prop_assert_eq!(n as usize, sizes.len());
+        prop_assert_eq!(moved, u128::from(total));
+    }
+
+    /// With k identical flows sharing one bottleneck, completion time is
+    /// k times the lone-flow time (work conservation under fair sharing).
+    #[test]
+    fn fair_sharing_is_work_conserving(k in 1usize..8) {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Daq).unwrap();
+        let b = t.add_node("b", NodeKind::Storage).unwrap();
+        t.add_duplex(a, b, units::TEN_GBIT, SimDuration::ZERO);
+        let net = NetSim::new(t);
+        let mut sim = Simulation::new();
+        for _ in 0..k {
+            net.start_flow(&mut sim, a, b, 125 * units::GB, |_, _| {}).unwrap();
+        }
+        let end = sim.run();
+        let expect = 100.0 * k as f64; // 100 s per lone 125 GB flow
+        prop_assert!((end.as_secs_f64() - expect).abs() < 1e-3,
+            "k={} end={} expect={}", k, end.as_secs_f64(), expect);
+    }
+}

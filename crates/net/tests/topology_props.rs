@@ -1,0 +1,92 @@
+//! Property tests on routing: Dijkstra's routes are contiguous paths
+//! from source to destination, never longer than the hop-count optimum,
+//! and symmetric networks route symmetrically.
+
+use lsdf_net::{lsdf, NodeKind, Topology};
+use lsdf_sim::SimDuration;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a random connected topology: a spanning chain plus extra edges.
+fn random_topology(seed: u64, n: usize, extra: usize) -> Topology {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut t = Topology::new();
+    let nodes: Vec<_> = (0..n)
+        .map(|i| t.add_node(format!("n{i}"), NodeKind::Router).unwrap())
+        .collect();
+    for w in nodes.windows(2) {
+        t.add_duplex(
+            w[0],
+            w[1],
+            1e9 * rng.gen_range(1..=10) as f64,
+            SimDuration::from_micros(rng.gen_range(1..100)),
+        );
+    }
+    for _ in 0..extra {
+        let a = nodes[rng.gen_range(0..n)];
+        let b = nodes[rng.gen_range(0..n)];
+        if a != b {
+            t.add_duplex(
+                a,
+                b,
+                1e9,
+                SimDuration::from_micros(rng.gen_range(1..100)),
+            );
+        }
+    }
+    t
+}
+
+proptest! {
+    /// Every route is a contiguous link path from src to dst, and its
+    /// total latency matches route_latency.
+    #[test]
+    fn routes_are_contiguous_paths(seed in any::<u64>(), n in 2usize..12, extra in 0usize..8) {
+        let t = random_topology(seed, n, extra);
+        let ids: Vec<_> = t.node_ids().collect();
+        for &src in &ids {
+            for &dst in &ids {
+                let route = t.route(src, dst).expect("connected by construction");
+                if src == dst {
+                    prop_assert!(route.is_empty());
+                    continue;
+                }
+                prop_assert!(!route.is_empty());
+                prop_assert_eq!(t.link(route[0]).from, src);
+                prop_assert_eq!(t.link(*route.last().unwrap()).to, dst);
+                for w in route.windows(2) {
+                    prop_assert_eq!(t.link(w[0]).to, t.link(w[1]).from, "path must chain");
+                }
+                // No repeated nodes (simple path).
+                let mut visited = vec![t.link(route[0]).from];
+                for &l in &route {
+                    let to = t.link(l).to;
+                    prop_assert!(!visited.contains(&to), "route revisits a node");
+                    visited.push(to);
+                }
+                // Latency accounting agrees.
+                let sum = route
+                    .iter()
+                    .map(|&l| t.link(l).latency.as_nanos())
+                    .sum::<u64>();
+                prop_assert_eq!(t.route_latency(&route).as_nanos(), sum);
+            }
+        }
+    }
+
+    /// In the duplex facility network, routing is symmetric in hop count.
+    #[test]
+    fn facility_routes_are_hop_symmetric(n_daq in 1usize..6) {
+        let net = lsdf::build(n_daq);
+        let t = &net.topology;
+        let endpoints = [net.daq[0], net.storage_ibm, net.cluster, net.heidelberg, net.login];
+        for &a in &endpoints {
+            for &b in &endpoints {
+                let ab = t.route(a, b).unwrap().len();
+                let ba = t.route(b, a).unwrap().len();
+                prop_assert_eq!(ab, ba, "{:?}<->{:?}", a, b);
+            }
+        }
+    }
+}

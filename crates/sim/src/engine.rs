@@ -1,0 +1,348 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulation`] owns a virtual clock and a priority queue of scheduled
+//! events. Each event is a boxed closure invoked with `&mut Simulation`, so
+//! handlers can schedule further events, cancel pending ones, and advance
+//! model state. Events at equal timestamps fire in scheduling order (stable
+//! FIFO tie-breaking), which makes runs fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type Action = Box<dyn FnOnce(&mut Simulation)>;
+
+struct Scheduled {
+    time: SimTime,
+    id: EventId,
+    action: Action,
+}
+
+// BinaryHeap is a max-heap; invert ordering to pop the earliest event, with
+// the event id as a FIFO tie-breaker at equal timestamps.
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.id).cmp(&(self.time, self.id))
+    }
+}
+
+/// A discrete-event simulation: virtual clock plus pending event queue.
+pub struct Simulation {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled>,
+    /// Ids currently in the queue and not cancelled.
+    live: HashSet<EventId>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+    executed: u64,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled tombstones not
+    /// yet popped).
+    pub fn events_pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling into the past is always a
+    /// model bug.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut Simulation) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "schedule_at: target {at} is before current time {}",
+            self.now
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.queue.push(Scheduled {
+            time: at,
+            id,
+            action: Box::new(action),
+        });
+        self.live.insert(id);
+        id
+    }
+
+    /// Schedules `action` after a relative delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut Simulation) + 'static,
+    ) -> EventId {
+        let at = self.now + delay;
+        self.schedule_at(at, action)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event existed and had
+    /// not yet fired; cancelling an already-fired or already-cancelled event
+    /// returns `false` and is harmless.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // We cannot remove from the middle of a BinaryHeap; tombstone instead
+        // and skip on pop. `live` tracks queued-and-not-cancelled ids so the
+        // membership check is O(1).
+        if self.live.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops and executes the next event. Returns `false` when the queue is
+    /// drained.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            self.live.remove(&ev.id);
+            debug_assert!(ev.time >= self.now, "event queue produced past event");
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.action)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until no events remain. Returns the final clock value.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs until the clock would pass `horizon` or the queue drains.
+    /// Events exactly at `horizon` are executed. The clock is left at
+    /// `min(horizon, last event time)`.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        loop {
+            let next = loop {
+                match self.queue.peek() {
+                    Some(ev) if self.cancelled.contains(&ev.id) => {
+                        let ev = self.queue.pop().expect("peeked event vanished");
+                        self.cancelled.remove(&ev.id);
+                    }
+                    Some(ev) => break Some(ev.time),
+                    None => break None,
+                }
+            };
+            match next {
+                Some(t) if t <= horizon => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        self.now
+    }
+
+    /// Runs at most `n` events; returns how many actually executed.
+    pub fn run_steps(&mut self, n: u64) -> u64 {
+        let mut done = 0;
+        while done < n && self.step() {
+            done += 1;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for &d in &[30u64, 10, 20] {
+            let log = log.clone();
+            sim.schedule_in(SimDuration::from_secs(d), move |s| {
+                log.borrow_mut().push(s.now().as_secs_f64() as u64);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for i in 0..100 {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_nanos(42), move |_| {
+                log.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let hits = Rc::new(RefCell::new(0u32));
+        let mut sim = Simulation::new();
+        fn chain(sim: &mut Simulation, hits: Rc<RefCell<u32>>, left: u32) {
+            if left == 0 {
+                return;
+            }
+            *hits.borrow_mut() += 1;
+            sim.schedule_in(SimDuration::from_secs(1), move |s| {
+                chain(s, hits, left - 1)
+            });
+        }
+        {
+            let hits = hits.clone();
+            sim.schedule_at(SimTime::ZERO, move |s| chain(s, hits, 5));
+        }
+        // chain(left) fires at t = 0..=4 incrementing hits, and the final
+        // no-op link still runs at t = 5.
+        let end = sim.run();
+        assert_eq!(*hits.borrow(), 5);
+        assert_eq!(end, SimTime::from_nanos(5 * 1_000_000_000));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let fired = Rc::new(RefCell::new(false));
+        let mut sim = Simulation::new();
+        let id = {
+            let fired = fired.clone();
+            sim.schedule_in(SimDuration::from_secs(1), move |_| {
+                *fired.borrow_mut() = true;
+            })
+        };
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel must be a no-op");
+        sim.run();
+        assert!(!*fired.borrow());
+        assert_eq!(sim.events_executed(), 0);
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut sim = Simulation::new();
+        assert!(!sim.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for d in 1..=5u64 {
+            let log = log.clone();
+            sim.schedule_in(SimDuration::from_secs(d), move |_| {
+                log.borrow_mut().push(d);
+            });
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(3));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut sim = Simulation::new();
+        let horizon = SimTime::ZERO + SimDuration::from_hours(2);
+        assert_eq!(sim.run_until(horizon), horizon);
+        assert_eq!(sim.now(), horizon);
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_head() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        let id = {
+            let log = log.clone();
+            sim.schedule_in(SimDuration::from_secs(1), move |_| log.borrow_mut().push(1))
+        };
+        {
+            let log = log.clone();
+            sim.schedule_in(SimDuration::from_secs(2), move |_| log.borrow_mut().push(2));
+        }
+        sim.cancel(id);
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        assert_eq!(*log.borrow(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_in(SimDuration::from_secs(10), |s| {
+            s.schedule_at(SimTime::from_nanos(1), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn run_steps_bounds_execution() {
+        let mut sim = Simulation::new();
+        for i in 0..10u64 {
+            sim.schedule_in(SimDuration::from_secs(i), |_| {});
+        }
+        assert_eq!(sim.run_steps(4), 4);
+        assert_eq!(sim.events_pending(), 6);
+        assert_eq!(sim.run_steps(100), 6);
+    }
+}

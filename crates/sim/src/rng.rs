@@ -1,0 +1,235 @@
+//! Deterministic random number streams for reproducible simulations.
+//!
+//! Every stochastic model component (arrival processes, service-time jitter,
+//! failure injection) draws from its own named stream derived from a single
+//! master seed, so adding a new component never perturbs the draws seen by
+//! existing ones — the classic "common random numbers" discipline.
+
+use rand::distributions::Distribution;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic, seedable random stream.
+///
+/// Wraps ChaCha8 (cryptographic-family generator with guaranteed stable
+/// output across versions, unlike `StdRng`). Streams derived via
+/// [`SimRng::stream`] are statistically independent for distinct names.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    /// Creates the master stream from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream identified by `name`.
+    ///
+    /// The same `(master seed, name)` pair always yields the same stream;
+    /// distinct names yield streams with independent-looking output.
+    pub fn stream(&self, name: &str) -> SimRng {
+        // Mix the name into a fresh seed via FNV-1a over the master's own
+        // word stream position-independent state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut base = self.inner.clone();
+        base.set_word_pos(0);
+        let mix = base.next_u64();
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(mix ^ h),
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range_u64: empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty domain");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "chance: p={p} out of [0,1]");
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Exponentially distributed draw with the given mean (inverse-CDF).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exp: non-positive mean {mean}");
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Normally distributed draw (Box–Muller).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "normal: negative std_dev {std_dev}");
+        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Log-normally distributed draw parameterized by the underlying
+    /// normal's `mu`/`sigma`. Heavy-tailed; used for straggler task times.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Pareto draw with scale `x_min` and shape `alpha`; models file-size
+    /// tails in scientific archives.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min > 0.0 && alpha > 0.0, "pareto: bad parameters");
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples from any `rand` distribution.
+    pub fn sample<T, D: Distribution<T>>(&mut self, d: &D) -> T {
+        d.sample(&mut self.inner)
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn named_streams_are_stable_and_independent() {
+        let master = SimRng::seed_from_u64(99);
+        let mut s1 = master.stream("arrivals");
+        let mut s1b = master.stream("arrivals");
+        let mut s2 = master.stream("failures");
+        assert_eq!(s1.next_u64(), s1b.next_u64());
+        let mut matches = 0;
+        for _ in 0..64 {
+            if s1.next_u64() == s2.next_u64() {
+                matches += 1;
+            }
+        }
+        assert!(matches < 2);
+    }
+
+    #[test]
+    fn stream_derivation_ignores_master_consumption() {
+        let mut master = SimRng::seed_from_u64(5);
+        let a: u64 = master.stream("x").next_u64();
+        let _burn = master.next_u64();
+        // stream() derives from the master seed state at construction; since
+        // we clone and rewind word position, consuming the master does not
+        // change child derivation for an identically-seeded master.
+        let master2 = SimRng::seed_from_u64(5);
+        assert_eq!(a, master2.stream("x").next_u64());
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = SimRng::seed_from_u64(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exp(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = SimRng::seed_from_u64(4);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn chance_frequency_matches_p() {
+        let mut r = SimRng::seed_from_u64(8);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let mut r = SimRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(r.pareto(4.0, 1.5) >= 4.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::seed_from_u64(10);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SimRng::seed_from_u64(0).range_u64(5, 5);
+    }
+}

@@ -1,0 +1,359 @@
+//! Measurement collectors used across all facility models.
+//!
+//! * [`Tally`] — streaming mean/variance/min/max (Welford's algorithm).
+//! * [`TimeWeighted`] — time-averaged level of a piecewise-constant signal
+//!   (queue lengths, bytes stored, utilisation).
+//! * [`Histogram`] — fixed-bin histogram with quantile estimation, used for
+//!   latency distributions.
+
+use crate::time::SimTime;
+
+/// Streaming scalar statistics over observed samples.
+#[derive(Debug, Clone, Default)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Tally {
+    /// A fresh, empty tally.
+    pub fn new() -> Self {
+        Tally {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "Tally::record: non-finite sample {x}");
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Sample mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance, or 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or +inf when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample, or -inf when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another tally into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    level: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    started: SimTime,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `now` with the given initial level.
+    pub fn new(now: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            level: initial,
+            last_change: now,
+            weighted_sum: 0.0,
+            started: now,
+            peak: initial,
+        }
+    }
+
+    /// Sets the signal to `level` at time `now`.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the previous update.
+    pub fn set(&mut self, now: SimTime, level: f64) {
+        let dt = now.since(self.last_change).as_secs_f64();
+        self.weighted_sum += self.level * dt;
+        self.level = level;
+        self.last_change = now;
+        self.peak = self.peak.max(level);
+    }
+
+    /// Adds `delta` to the current level at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let next = self.level + delta;
+        self.set(now, next);
+    }
+
+    /// Current level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Highest level seen.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-average of the signal over `[start, now]`.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let span = now.since(self.started).as_secs_f64();
+        if span == 0.0 {
+            return self.level;
+        }
+        let pending = self.level * now.since(self.last_change).as_secs_f64();
+        (self.weighted_sum + pending) / span
+    }
+}
+
+/// Fixed-width-bin histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    tally: Tally,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or `bins` is zero.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "Histogram: empty range [{lo}, {hi})");
+        assert!(bins > 0, "Histogram: need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            tally: Tally::new(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.tally.record(x);
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.tally.count()
+    }
+
+    /// Underlying scalar statistics.
+    pub fn tally(&self) -> &Tally {
+        &self.tally
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) by linear interpolation within
+    /// the containing bin. Under/overflow samples clamp to the range ends.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile: q={q} out of range");
+        let total = self.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if target <= seen {
+            return self.lo;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if seen + c >= target {
+                let into = (target - seen) as f64 / c.max(1) as f64;
+                return self.lo + w * (i as f64 + into);
+            }
+            seen += c;
+        }
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn tally_moments() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert_eq!(t.count(), 8);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), 2.0);
+        assert_eq!(t.max(), 9.0);
+        assert_eq!(t.sum(), 40.0);
+    }
+
+    #[test]
+    fn tally_empty_is_benign() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn tally_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let t0 = SimTime::ZERO;
+        let mut tw = TimeWeighted::new(t0, 0.0);
+        tw.set(t0 + SimDuration::from_secs(10), 4.0); // level 0 for 10s
+        tw.set(t0 + SimDuration::from_secs(20), 2.0); // level 4 for 10s
+        let avg = tw.average(t0 + SimDuration::from_secs(40)); // level 2 for 20s
+        // (0*10 + 4*10 + 2*20) / 40 = 2.0
+        assert!((avg - 2.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 4.0);
+        assert_eq!(tw.level(), 2.0);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let t0 = SimTime::ZERO;
+        let mut tw = TimeWeighted::new(t0, 1.0);
+        tw.add(t0 + SimDuration::from_secs(5), 2.0);
+        assert_eq!(tw.level(), 3.0);
+        tw.add(t0 + SimDuration::from_secs(10), -3.0);
+        assert_eq!(tw.level(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 0.0, 0.5, 5.5, 9.99, 10.0, 42.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.bins()[0], 2); // 0.0 and 0.5
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+        // -1.0 underflows; 10.0 and 42.0 overflow
+        let q0 = h.quantile(0.0);
+        assert!(q0 <= 0.5);
+        assert!(h.quantile(1.0) >= 9.9);
+    }
+
+    #[test]
+    fn histogram_median_of_uniform() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..1000 {
+            h.record((i % 100) as f64);
+        }
+        let med = h.quantile(0.5);
+        assert!((med - 50.0).abs() < 2.0, "median={med}");
+    }
+
+    #[test]
+    fn histogram_empty_quantile_is_nan() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!(h.quantile(0.5).is_nan());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the DES kernel invariants.
+
+use lsdf_sim::{SimDuration, SimRng, SimTime, Simulation, Tally};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// The clock observed by fired events is monotonically non-decreasing
+    /// and matches each event's scheduled time, for arbitrary schedules.
+    #[test]
+    fn clock_is_monotone(delays in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut sim = Simulation::new();
+        let seen: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for &d in &delays {
+            let seen = seen.clone();
+            sim.schedule_in(SimDuration::from_nanos(d), move |s| {
+                seen.borrow_mut().push(s.now().as_nanos());
+            });
+        }
+        sim.run();
+        let seen = seen.borrow();
+        prop_assert_eq!(seen.len(), delays.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0] <= w[1], "clock went backwards: {} -> {}", w[0], w[1]);
+        }
+        let mut expect = delays.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(&*seen, &expect);
+    }
+
+    /// Cancelling an arbitrary subset of events fires exactly the rest.
+    #[test]
+    fn cancellation_fires_exact_complement(
+        delays in prop::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut sim = Simulation::new();
+        let fired: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut ids = Vec::new();
+        for (i, &d) in delays.iter().enumerate() {
+            let fired = fired.clone();
+            ids.push(sim.schedule_in(SimDuration::from_nanos(d), move |_| {
+                fired.borrow_mut().push(i);
+            }));
+        }
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i % cancel_mask.len()] {
+                prop_assert!(sim.cancel(*id));
+            } else {
+                expected.push(i);
+            }
+        }
+        sim.run();
+        let mut got = fired.borrow().clone();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// run_until never executes events beyond the horizon, and a subsequent
+    /// full run executes exactly the remainder.
+    #[test]
+    fn run_until_partitions_events(
+        delays in prop::collection::vec(1u64..1_000, 1..100),
+        horizon in 1u64..1_000,
+    ) {
+        let mut sim = Simulation::new();
+        let fired: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for &d in &delays {
+            let fired = fired.clone();
+            sim.schedule_in(SimDuration::from_nanos(d), move |s| {
+                fired.borrow_mut().push(s.now().as_nanos());
+            });
+        }
+        sim.run_until(SimTime::from_nanos(horizon));
+        for &t in fired.borrow().iter() {
+            prop_assert!(t <= horizon);
+        }
+        let before = fired.borrow().len();
+        prop_assert_eq!(before, delays.iter().filter(|&&d| d <= horizon).count());
+        sim.run();
+        prop_assert_eq!(fired.borrow().len(), delays.len());
+    }
+
+    /// Welford tally matches a naive two-pass computation.
+    #[test]
+    fn tally_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..500)) {
+        let mut t = Tally::new();
+        for &x in &xs {
+            t.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((t.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((t.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+    }
+
+    /// Identically seeded simulations with stochastic schedules replay
+    /// identically (determinism end-to-end).
+    #[test]
+    fn seeded_runs_are_identical(seed in any::<u64>()) {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut rng = SimRng::seed_from_u64(seed).stream("arrivals");
+            let mut sim = Simulation::new();
+            let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..50 {
+                let d = SimDuration::from_nanos(rng.range_u64(1, 1_000_000));
+                let log = log.clone();
+                sim.schedule_in(d, move |s| log.borrow_mut().push(s.now().as_nanos()));
+            }
+            sim.run();
+            let out = log.borrow().clone();
+            out
+        }
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

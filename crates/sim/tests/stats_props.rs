@@ -1,0 +1,100 @@
+//! Property tests for the statistics collectors.
+
+use lsdf_sim::{Histogram, SimDuration, SimTime, Tally, TimeWeighted};
+use proptest::prelude::*;
+
+proptest! {
+    /// Histogram quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_are_monotone(xs in prop::collection::vec(0.0f64..100.0, 1..300)) {
+        let mut h = Histogram::new(0.0, 100.0, 50);
+        for &x in &xs {
+            h.record(x);
+        }
+        let qs: Vec<f64> = (0..=10).map(|i| h.quantile(i as f64 / 10.0)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9, "quantiles not monotone: {qs:?}");
+        }
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Quantiles are bin-interpolated: allow one bin width of slack.
+        let w = 2.0;
+        prop_assert!(qs[0] >= lo - w);
+        prop_assert!(qs[10] <= hi + w);
+    }
+
+    /// Histogram count equals samples recorded, and bin totals plus
+    /// under/overflow equal the count.
+    #[test]
+    fn histogram_conserves_samples(xs in prop::collection::vec(-50.0f64..150.0, 0..300)) {
+        let mut h = Histogram::new(0.0, 100.0, 20);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        let binned: u64 = h.bins().iter().sum();
+        let inside = xs.iter().filter(|&&x| (0.0..100.0).contains(&x)).count() as u64;
+        prop_assert_eq!(binned, inside);
+    }
+
+    /// Tally merge is associative-enough: merging arbitrary partitions
+    /// reproduces the whole-stream statistics.
+    #[test]
+    fn tally_merge_any_partition(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..200),
+        cut_a in 0usize..200,
+        cut_b in 0usize..200,
+    ) {
+        let mut cuts = [cut_a % xs.len(), cut_b % xs.len()];
+        cuts.sort_unstable();
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut parts = Vec::new();
+        let bounds = [0, cuts[0], cuts[1], xs.len()];
+        for w in bounds.windows(2) {
+            let mut t = Tally::new();
+            for &x in &xs[w[0]..w[1]] {
+                t.record(x);
+            }
+            parts.push(t);
+        }
+        let mut merged = Tally::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!((merged.mean() - whole.mean()).abs() < 1e-7 * (1.0 + whole.mean().abs()));
+        prop_assert!((merged.variance() - whole.variance()).abs() < 1e-6 * (1.0 + whole.variance()));
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+    }
+
+    /// The time-weighted average of a piecewise-constant signal equals
+    /// the hand-computed integral.
+    #[test]
+    fn time_weighted_matches_integral(
+        steps in prop::collection::vec((1u64..1000, -100i64..100), 1..50),
+    ) {
+        let t0 = SimTime::ZERO;
+        let mut tw = TimeWeighted::new(t0, 0.0);
+        let mut now = t0;
+        let mut integral = 0.0;
+        let mut level = 0.0f64;
+        for &(dt, next_level) in &steps {
+            let d = SimDuration::from_secs(dt);
+            integral += level * dt as f64;
+            now += d;
+            level = next_level as f64;
+            tw.set(now, level);
+        }
+        // Close the window one second later.
+        let end = now + SimDuration::from_secs(1);
+        integral += level;
+        let span = end.since(t0).as_secs_f64();
+        let expect = integral / span;
+        prop_assert!((tw.average(end) - expect).abs() < 1e-9 * (1.0 + expect.abs()),
+            "avg {} expect {}", tw.average(end), expect);
+    }
+}

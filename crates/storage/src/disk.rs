@@ -1,0 +1,162 @@
+//! Disk and storage-array performance models.
+//!
+//! The LSDF's two disk systems (IBM 1.4 PB, DDN 0.5 PB — paper slide 7)
+//! are modelled at the level that matters for facility-scale questions:
+//! seek/settle overhead per request plus sustained streaming bandwidth,
+//! aggregated across array spindles with a RAID efficiency factor.
+
+use lsdf_sim::SimDuration;
+
+/// A single-spindle disk model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Average positioning (seek + rotational) time per request.
+    pub seek: SimDuration,
+    /// Sustained transfer rate in bytes per second.
+    pub stream_bps: f64,
+}
+
+impl DiskModel {
+    /// A nearline 7.2k SATA disk typical of 2010-era archive arrays.
+    pub fn nearline_sata() -> Self {
+        DiskModel {
+            seek: SimDuration::from_millis(12),
+            stream_bps: 120e6,
+        }
+    }
+
+    /// A 15k SAS disk typical of 2010-era performance tiers.
+    pub fn performance_sas() -> Self {
+        DiskModel {
+            seek: SimDuration::from_millis(5),
+            stream_bps: 180e6,
+        }
+    }
+
+    /// Service time for one contiguous request of `bytes`.
+    pub fn service_time(&self, bytes: u64) -> SimDuration {
+        self.seek + SimDuration::from_secs_f64(bytes as f64 / self.stream_bps)
+    }
+
+    /// Effective throughput (bytes/s) for a stream of `request_bytes`-sized
+    /// requests, including per-request seek overhead.
+    pub fn effective_bps(&self, request_bytes: u64) -> f64 {
+        let t = self.service_time(request_bytes).as_secs_f64();
+        if t == 0.0 {
+            f64::INFINITY
+        } else {
+            request_bytes as f64 / t
+        }
+    }
+}
+
+/// An array of identical disks behind a RAID controller.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayModel {
+    /// Per-spindle model.
+    pub disk: DiskModel,
+    /// Number of data-bearing spindles.
+    pub spindles: u32,
+    /// Fraction of aggregate raw bandwidth delivered after RAID and
+    /// controller overheads, in `(0, 1]`.
+    pub raid_efficiency: f64,
+    /// Usable capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl ArrayModel {
+    /// The paper's IBM system: 1.4 PB usable, modelled as 700 nearline
+    /// spindles behind RAID-6.
+    pub fn lsdf_ibm() -> Self {
+        ArrayModel {
+            disk: DiskModel::nearline_sata(),
+            spindles: 700,
+            raid_efficiency: 0.75,
+            capacity_bytes: 1_400 * 1_000_000_000_000,
+        }
+    }
+
+    /// The paper's DDN system: 0.5 PB usable, 250 spindles.
+    pub fn lsdf_ddn() -> Self {
+        ArrayModel {
+            disk: DiskModel::nearline_sata(),
+            spindles: 250,
+            raid_efficiency: 0.75,
+            capacity_bytes: 500 * 1_000_000_000_000,
+        }
+    }
+
+    /// Aggregate sustained streaming bandwidth, bytes/s.
+    pub fn aggregate_bps(&self) -> f64 {
+        self.disk.stream_bps * f64::from(self.spindles) * self.raid_efficiency
+    }
+
+    /// Time to write `bytes` as a large sequential stream spread over the
+    /// array.
+    pub fn stream_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.aggregate_bps())
+    }
+
+    /// Effective random-access throughput when the workload issues
+    /// `concurrent` parallel requests of `request_bytes` each (bounded by
+    /// spindle count).
+    pub fn random_bps(&self, request_bytes: u64, concurrent: u32) -> f64 {
+        let lanes = concurrent.min(self.spindles);
+        self.disk.effective_bps(request_bytes) * f64::from(lanes) * self.raid_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_combines_seek_and_stream() {
+        let d = DiskModel {
+            seek: SimDuration::from_millis(10),
+            stream_bps: 100e6,
+        };
+        // 100 MB at 100 MB/s = 1 s + 10 ms seek.
+        let t = d.service_time(100_000_000);
+        assert!((t.as_secs_f64() - 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_requests_are_seek_bound() {
+        let d = DiskModel::nearline_sata();
+        // 4 KB requests: effective rate collapses to ~4KB/12ms ≈ 0.33 MB/s.
+        let eff = d.effective_bps(4096);
+        assert!(eff < 1e6, "effective {eff} B/s should be seek-bound");
+        // 256 MB requests approach the streaming rate.
+        let big = d.effective_bps(256_000_000);
+        assert!(big > 0.9 * d.stream_bps);
+    }
+
+    #[test]
+    fn lsdf_arrays_have_paper_capacities() {
+        assert_eq!(ArrayModel::lsdf_ibm().capacity_bytes, 1_400_000_000_000_000);
+        assert_eq!(ArrayModel::lsdf_ddn().capacity_bytes, 500_000_000_000_000);
+    }
+
+    #[test]
+    fn array_aggregates_spindles() {
+        let a = ArrayModel::lsdf_ibm();
+        // 700 * 120 MB/s * 0.75 = 63 GB/s aggregate.
+        assert!((a.aggregate_bps() - 63e9).abs() < 1e6);
+        // Writing a day's microscopy output (2 TB) takes about 32 s of pure
+        // array time — the array is never the ingest bottleneck; the
+        // network is (10 GE ≈ 1.25 GB/s).
+        let t = a.stream_time(2_000_000_000_000);
+        assert!(t.as_secs_f64() < 60.0);
+    }
+
+    #[test]
+    fn random_bps_bounded_by_spindles() {
+        let a = ArrayModel::lsdf_ddn();
+        let few = a.random_bps(1_000_000, 10);
+        let many = a.random_bps(1_000_000, 10_000);
+        assert!(many > few);
+        // Beyond spindle count, no further scaling.
+        assert_eq!(a.random_bps(1_000_000, 250), a.random_bps(1_000_000, 10_000));
+    }
+}

@@ -1,0 +1,29 @@
+//! # lsdf-storage — storage substrates of the LSDF facility
+//!
+//! Implements the storage layer the paper describes on slide 7:
+//!
+//! * [`ObjectStore`] — a thread-safe, capacity-bounded, **write-once** object
+//!   store holding real bytes with SHA-256 ingest checksums (the stand-in for
+//!   the GPFS-backed IBM/DDN disk systems).
+//! * [`DiskModel`] / [`ArrayModel`] — performance models of the spindle
+//!   arrays, used by facility-scale extrapolations.
+//! * [`TapeLibrary`] — a discrete-event tape library (robot, drives, mounts)
+//!   for archive/backup and the recall-latency experiment (E13).
+//! * [`Hsm`] — hierarchical storage management tying the two tiers together
+//!   with watermark-driven migration policies.
+//! * [`checksum`] — SHA-256 (FIPS 180-4, implemented from scratch) and
+//!   FNV-1a.
+
+#![warn(missing_docs)]
+
+pub mod checksum;
+mod disk;
+mod hsm;
+mod object;
+mod tape;
+
+pub use checksum::{fnv1a64, sha256, Digest, Sha256};
+pub use disk::{ArrayModel, DiskModel};
+pub use hsm::{CatalogEntry, Hsm, HsmError, MigrationPolicy, MigrationReport, Tier};
+pub use object::{ObjectId, ObjectMeta, ObjectStore, StoreError};
+pub use tape::{TapeCompletion, TapeLibrary, TapeOp, TapeParams};

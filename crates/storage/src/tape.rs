@@ -1,0 +1,304 @@
+//! Discrete-event model of the LSDF tape library (archive & backup
+//! backend, paper slide 7).
+//!
+//! A library has a robot arm and a set of tape drives. An archive or recall
+//! request must (1) win a drive, (2) have the robot fetch and mount the
+//! cartridge, (3) seek to position, (4) stream, then (5) unmount. The robot
+//! is a single shared resource; drives are a counted pool. Recall latency
+//! under contention — the figure behind experiment E13 — is dominated by
+//! mount waits, exactly as in the real facility.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lsdf_sim::{Resource, SimDuration, SimTime, Simulation, Tally};
+
+/// Direction of a tape request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapeOp {
+    /// Disk → tape (archive / backup).
+    Archive,
+    /// Tape → disk (recall).
+    Recall,
+}
+
+/// Timing parameters of the library hardware.
+#[derive(Debug, Clone, Copy)]
+pub struct TapeParams {
+    /// Number of drives.
+    pub drives: usize,
+    /// Robot exchange time (fetch cartridge, load drive).
+    pub mount: SimDuration,
+    /// Average seek-to-position time once mounted.
+    pub seek: SimDuration,
+    /// Streaming rate, bytes per second.
+    pub stream_bps: f64,
+    /// Unload + return-to-slot time.
+    pub unmount: SimDuration,
+}
+
+impl TapeParams {
+    /// LTO-5-era parameters matching a 2011 facility library.
+    pub fn lto5(drives: usize) -> Self {
+        TapeParams {
+            drives,
+            mount: SimDuration::from_secs(90),
+            seek: SimDuration::from_secs(45),
+            stream_bps: 140e6,
+            unmount: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Completion record for a tape request.
+#[derive(Debug, Clone)]
+pub struct TapeCompletion {
+    /// Operation kind.
+    pub op: TapeOp,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+    /// Time spent waiting for a drive before service began.
+    pub queued_for: SimDuration,
+}
+
+struct TapeInner {
+    params: TapeParams,
+    drives: Resource,
+    robot: Resource,
+    completed: Vec<TapeCompletion>,
+    recall_latency: Tally,
+    archive_latency: Tally,
+    bytes_archived: u128,
+    bytes_recalled: u128,
+}
+
+/// Handle to a simulated tape library (cheaply cloneable).
+#[derive(Clone)]
+pub struct TapeLibrary {
+    inner: Rc<RefCell<TapeInner>>,
+}
+
+impl TapeLibrary {
+    /// Creates a library with the given hardware parameters.
+    pub fn new(params: TapeParams) -> Self {
+        assert!(params.drives > 0, "tape library needs at least one drive");
+        assert!(params.stream_bps > 0.0, "stream rate must be positive");
+        TapeLibrary {
+            inner: Rc::new(RefCell::new(TapeInner {
+                drives: Resource::new("tape-drives", params.drives),
+                robot: Resource::new("tape-robot", 1),
+                params,
+                completed: Vec::new(),
+                recall_latency: Tally::new(),
+                archive_latency: Tally::new(),
+                bytes_archived: 0,
+                bytes_recalled: 0,
+            })),
+        }
+    }
+
+    /// Submits a request; `on_done` runs at completion inside the sim.
+    pub fn submit(
+        &self,
+        sim: &mut Simulation,
+        op: TapeOp,
+        bytes: u64,
+        on_done: impl FnOnce(&mut Simulation, TapeCompletion) + 'static,
+    ) {
+        let submitted = sim.now();
+        let this = self.clone();
+        let drives = self.inner.borrow().drives.clone();
+        drives.acquire(sim, move |sim| {
+            let granted = sim.now();
+            let queued_for = granted.since(submitted);
+            // Robot mounts the cartridge (serialized across drives).
+            let robot = this.inner.borrow().robot.clone();
+            let this2 = this.clone();
+            robot.acquire(sim, move |sim| {
+                let mount = this2.inner.borrow().params.mount;
+                let this3 = this2.clone();
+                sim.schedule_in(mount, move |sim| {
+                    // Robot freed after the exchange completes (clone the
+                    // handle out so no RefCell borrow spans the release).
+                    let robot = this3.inner.borrow().robot.clone();
+                    robot.release(sim);
+                    let (seek, stream_bps, unmount) = {
+                        let p = this3.inner.borrow().params;
+                        (p.seek, p.stream_bps, p.unmount)
+                    };
+                    let xfer = SimDuration::from_secs_f64(bytes as f64 / stream_bps);
+                    let this4 = this3.clone();
+                    sim.schedule_in(seek + xfer + unmount, move |sim| {
+                        let finished = sim.now();
+                        let completion = TapeCompletion {
+                            op,
+                            bytes,
+                            submitted,
+                            finished,
+                            queued_for,
+                        };
+                        // Record stats, then drop the borrow before
+                        // releasing the drive: release may synchronously run
+                        // the next waiter's continuation, which borrows
+                        // `inner` again.
+                        let drives = {
+                            let mut inner = this4.inner.borrow_mut();
+                            let latency = finished.since(submitted).as_secs_f64();
+                            match op {
+                                TapeOp::Recall => {
+                                    inner.recall_latency.record(latency);
+                                    inner.bytes_recalled += u128::from(bytes);
+                                }
+                                TapeOp::Archive => {
+                                    inner.archive_latency.record(latency);
+                                    inner.bytes_archived += u128::from(bytes);
+                                }
+                            }
+                            inner.completed.push(completion.clone());
+                            inner.drives.clone()
+                        };
+                        drives.release(sim);
+                        on_done(sim, completion);
+                    });
+                });
+            });
+        });
+    }
+
+    /// Recall-latency statistics (seconds, submission → completion).
+    pub fn recall_latency(&self) -> Tally {
+        self.inner.borrow().recall_latency.clone()
+    }
+
+    /// Archive-latency statistics (seconds).
+    pub fn archive_latency(&self) -> Tally {
+        self.inner.borrow().archive_latency.clone()
+    }
+
+    /// `(bytes archived, bytes recalled)` so far.
+    pub fn bytes_moved(&self) -> (u128, u128) {
+        let i = self.inner.borrow();
+        (i.bytes_archived, i.bytes_recalled)
+    }
+
+    /// All completions, in completion order.
+    pub fn completions(&self) -> Vec<TapeCompletion> {
+        self.inner.borrow().completed.clone()
+    }
+
+    /// Minimum possible latency for a request of `bytes` on an idle
+    /// library (no queueing): mount + seek + stream + unmount.
+    pub fn unloaded_latency(&self, bytes: u64) -> SimDuration {
+        let p = self.inner.borrow().params;
+        p.mount + p.seek + SimDuration::from_secs_f64(bytes as f64 / p.stream_bps) + p.unmount
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn params() -> TapeParams {
+        TapeParams {
+            drives: 2,
+            mount: SimDuration::from_secs(60),
+            seek: SimDuration::from_secs(30),
+            stream_bps: 100e6,
+            unmount: SimDuration::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn unloaded_recall_matches_component_sum() {
+        let lib = TapeLibrary::new(params());
+        let mut sim = Simulation::new();
+        let done = Rc::new(RefCell::new(None));
+        {
+            let done = done.clone();
+            lib.submit(&mut sim, TapeOp::Recall, 10_000_000_000, move |_, c| {
+                *done.borrow_mut() = Some(c);
+            });
+        }
+        sim.run();
+        let c = done.borrow().clone().expect("completes");
+        // 60 mount + 30 seek + 100 s stream + 10 unmount = 200 s.
+        assert!((c.finished.as_secs_f64() - 200.0).abs() < 1e-9);
+        assert_eq!(c.queued_for, SimDuration::ZERO);
+        assert_eq!(
+            lib.unloaded_latency(10_000_000_000),
+            SimDuration::from_secs(200)
+        );
+    }
+
+    #[test]
+    fn third_request_waits_for_a_drive() {
+        let lib = TapeLibrary::new(params());
+        let mut sim = Simulation::new();
+        let finishes: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..3 {
+            let finishes = finishes.clone();
+            lib.submit(&mut sim, TapeOp::Recall, 10_000_000_000, move |s, _| {
+                finishes.borrow_mut().push(s.now().as_secs_f64());
+            });
+        }
+        sim.run();
+        let f = finishes.borrow().clone();
+        // Robot serializes the two concurrent mounts: req1 finishes at 200,
+        // req2 mounts 60s later -> 260. Req3 gets the drive at t=200 and
+        // finishes at 400.
+        assert!((f[0] - 200.0).abs() < 1e-9, "{f:?}");
+        assert!((f[1] - 260.0).abs() < 1e-9, "{f:?}");
+        assert!((f[2] - 400.0).abs() < 1e-9, "{f:?}");
+        let lat = lib.recall_latency();
+        assert_eq!(lat.count(), 3);
+        assert!(lat.max() >= 400.0 - 1e-9);
+    }
+
+    #[test]
+    fn robot_serializes_simultaneous_mounts() {
+        let mut p = params();
+        p.drives = 4;
+        let lib = TapeLibrary::new(p);
+        let mut sim = Simulation::new();
+        let finishes: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..4 {
+            let finishes = finishes.clone();
+            lib.submit(&mut sim, TapeOp::Archive, 0, move |s, _| {
+                finishes.borrow_mut().push(s.now().as_secs_f64());
+            });
+        }
+        sim.run();
+        let f = finishes.borrow().clone();
+        // All four have drives, but mounts go 60,120,180,240 + 40 s tail.
+        assert_eq!(f.len(), 4);
+        assert!((f[0] - 100.0).abs() < 1e-9, "{f:?}");
+        assert!((f[3] - 280.0).abs() < 1e-9, "{f:?}");
+    }
+
+    #[test]
+    fn byte_accounting_by_direction() {
+        let lib = TapeLibrary::new(params());
+        let mut sim = Simulation::new();
+        lib.submit(&mut sim, TapeOp::Archive, 500, |_, _| {});
+        lib.submit(&mut sim, TapeOp::Recall, 300, |_, _| {});
+        sim.run();
+        assert_eq!(lib.bytes_moved(), (500, 300));
+        assert_eq!(lib.archive_latency().count(), 1);
+        assert_eq!(lib.recall_latency().count(), 1);
+        assert_eq!(lib.completions().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one drive")]
+    fn zero_drives_rejected() {
+        let mut p = params();
+        p.drives = 0;
+        let _ = TapeLibrary::new(p);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: checksum correctness under chunking, object-store byte
+//! accounting, and the HSM "never loses an object" invariant.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use lsdf_storage::{sha256, Hsm, MigrationPolicy, ObjectStore, Sha256, Tier};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing over arbitrary chunkings equals one-shot.
+    #[test]
+    fn sha256_chunking_invariance(
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+        cuts in prop::collection::vec(0usize..2048, 0..8),
+    ) {
+        let whole = sha256(&data);
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c.min(data.len())).collect();
+        cuts.sort_unstable();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for c in cuts {
+            h.update(&data[prev..c]);
+            prev = c;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), whole);
+    }
+
+    /// used() always equals the sum of live object sizes, across an
+    /// arbitrary interleaving of puts and deletes.
+    #[test]
+    fn store_accounting_is_exact(ops in prop::collection::vec((0u8..2, 0usize..30, 1usize..200), 1..120)) {
+        let store = ObjectStore::new("t", u64::MAX);
+        let mut live: std::collections::HashMap<String, u64> = Default::default();
+        for (op, keyi, size) in ops {
+            let key = format!("k{keyi}");
+            if op == 0 {
+                let res = store.put(&key, Bytes::from(vec![1u8; size]));
+                match live.entry(key.clone()) {
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        prop_assert!(res.is_err(), "WORM violated for {key}");
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        prop_assert!(res.is_ok());
+                        v.insert(size as u64);
+                    }
+                }
+            } else {
+                let res = store.delete(&key);
+                if live.remove(&key).is_some() {
+                    prop_assert!(res.is_ok());
+                } else {
+                    prop_assert!(res.is_err());
+                }
+            }
+        }
+        prop_assert_eq!(store.used(), live.values().sum::<u64>());
+        prop_assert_eq!(store.len(), live.len());
+    }
+
+    /// After arbitrary put/read/migrate sequences, every ingested object is
+    /// still readable with its original content, and tier states match the
+    /// two stores' contents.
+    #[test]
+    fn hsm_never_loses_objects(
+        sizes in prop::collection::vec(1usize..120, 1..40),
+        reads in prop::collection::vec(0usize..40, 0..40),
+        policy_idx in 0usize..3,
+        migrate_every in 1usize..10,
+    ) {
+        let policy = [
+            MigrationPolicy::OldestFirst,
+            MigrationPolicy::LeastRecentlyUsed,
+            MigrationPolicy::LargestFirst,
+        ][policy_idx];
+        let disk = Arc::new(ObjectStore::new("disk", 2_000));
+        let tape = Arc::new(ObjectStore::new("tape", u64::MAX));
+        let hsm = Hsm::new(disk.clone(), tape.clone(), 0.4, 0.7, policy);
+
+        for (i, &sz) in sizes.iter().enumerate() {
+            hsm.put(&format!("o{i}"), Bytes::from(vec![(i % 251) as u8; sz])).unwrap();
+            if i % migrate_every == 0 {
+                hsm.run_migration().unwrap();
+            }
+            if let Some(&r) = reads.get(i) {
+                let key = format!("o{}", r % (i + 1));
+                let data = hsm.get(&key).unwrap();
+                prop_assert_eq!(data.len(), sizes[r % (i + 1)]);
+            }
+        }
+        hsm.run_migration().unwrap();
+        // Full audit: content intact, tier bookkeeping consistent.
+        for (i, &sz) in sizes.iter().enumerate() {
+            let key = format!("o{i}");
+            let tier = hsm.tier_of(&key).unwrap();
+            match tier {
+                Tier::Disk => prop_assert!(disk.contains(&key) && !tape.contains(&key)),
+                Tier::Tape => prop_assert!(tape.contains(&key) && !disk.contains(&key)),
+            }
+            let data = hsm.get(&key).unwrap();
+            prop_assert_eq!(data, Bytes::from(vec![(i % 251) as u8; sz]));
+        }
+    }
+}

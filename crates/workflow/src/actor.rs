@@ -1,0 +1,357 @@
+//! Actors: the computational nodes of a workflow, plus a library of
+//! built-in actors (source, map, filter, fan-out, collect).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::token::Token;
+
+/// An actor firing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActorError {
+    /// The failing actor's name.
+    pub actor: String,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl std::fmt::Display for ActorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actor '{}': {}", self.actor, self.message)
+    }
+}
+
+impl std::error::Error for ActorError {}
+
+/// The result of one firing.
+#[derive(Debug, Clone)]
+pub struct Firing {
+    /// Tokens emitted per output port (`outputs.len()` must equal the
+    /// actor's declared output port count).
+    pub outputs: Vec<Vec<Token>>,
+    /// For source actors: `true` when the source has more firings left.
+    /// Ignored for actors with inputs.
+    pub more: bool,
+}
+
+impl Firing {
+    /// A firing that emits nothing and ends the source.
+    pub fn done() -> Firing {
+        Firing {
+            outputs: Vec::new(),
+            more: false,
+        }
+    }
+}
+
+/// A workflow actor. Fired by a director when every input port holds at
+/// least one token (or, for a source with no inputs, until exhausted).
+pub trait Actor: Send {
+    /// Display name.
+    fn name(&self) -> &str;
+    /// Number of input ports.
+    fn inputs(&self) -> usize;
+    /// Number of output ports.
+    fn outputs(&self) -> usize;
+    /// Consumes one token per input port and produces output tokens.
+    fn fire(&mut self, inputs: &[Token]) -> Result<Firing, ActorError>;
+}
+
+/// Emits a fixed token sequence, one per firing, on one output port.
+pub struct VecSource {
+    name: String,
+    items: std::vec::IntoIter<Token>,
+}
+
+impl VecSource {
+    /// A source over the given tokens.
+    pub fn new(name: &str, items: Vec<Token>) -> Self {
+        VecSource {
+            name: name.to_string(),
+            items: items.into_iter(),
+        }
+    }
+}
+
+impl Actor for VecSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        0
+    }
+    fn outputs(&self) -> usize {
+        1
+    }
+    fn fire(&mut self, _inputs: &[Token]) -> Result<Firing, ActorError> {
+        match self.items.next() {
+            Some(t) => Ok(Firing {
+                outputs: vec![vec![t]],
+                more: self.items.len() > 0,
+            }),
+            None => Ok(Firing::done()),
+        }
+    }
+}
+
+/// Applies a function to each token (1 in, 1 out).
+pub struct MapActor<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> MapActor<F>
+where
+    F: FnMut(Token) -> Result<Vec<Token>, String> + Send,
+{
+    /// A map actor over `f`; `f` may emit zero or more tokens.
+    pub fn new(name: &str, f: F) -> Self {
+        MapActor {
+            name: name.to_string(),
+            f,
+        }
+    }
+}
+
+impl<F> Actor for MapActor<F>
+where
+    F: FnMut(Token) -> Result<Vec<Token>, String> + Send,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        1
+    }
+    fn fire(&mut self, inputs: &[Token]) -> Result<Firing, ActorError> {
+        let out = (self.f)(inputs[0].clone()).map_err(|message| ActorError {
+            actor: self.name.clone(),
+            message,
+        })?;
+        Ok(Firing {
+            outputs: vec![out],
+            more: true,
+        })
+    }
+}
+
+/// Keeps tokens matching a predicate (1 in, 1 out).
+pub struct FilterActor<F> {
+    name: String,
+    pred: F,
+}
+
+impl<F> FilterActor<F>
+where
+    F: FnMut(&Token) -> bool + Send,
+{
+    /// A filter actor over `pred`.
+    pub fn new(name: &str, pred: F) -> Self {
+        FilterActor {
+            name: name.to_string(),
+            pred,
+        }
+    }
+}
+
+impl<F> Actor for FilterActor<F>
+where
+    F: FnMut(&Token) -> bool + Send,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        1
+    }
+    fn fire(&mut self, inputs: &[Token]) -> Result<Firing, ActorError> {
+        let keep = (self.pred)(&inputs[0]);
+        Ok(Firing {
+            outputs: vec![if keep { vec![inputs[0].clone()] } else { vec![] }],
+            more: true,
+        })
+    }
+}
+
+/// Duplicates each input token onto N output ports.
+pub struct FanOut {
+    name: String,
+    ports: usize,
+}
+
+impl FanOut {
+    /// A fan-out with `ports` outputs.
+    pub fn new(name: &str, ports: usize) -> Self {
+        assert!(ports > 0, "fan-out needs at least one output");
+        FanOut {
+            name: name.to_string(),
+            ports,
+        }
+    }
+}
+
+impl Actor for FanOut {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        self.ports
+    }
+    fn fire(&mut self, inputs: &[Token]) -> Result<Firing, ActorError> {
+        Ok(Firing {
+            outputs: (0..self.ports).map(|_| vec![inputs[0].clone()]).collect(),
+            more: true,
+        })
+    }
+}
+
+/// Merges two input streams pairwise with a binary function (2 in, 1 out).
+pub struct ZipWith<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> ZipWith<F>
+where
+    F: FnMut(Token, Token) -> Result<Token, String> + Send,
+{
+    /// A zip actor combining paired tokens with `f`.
+    pub fn new(name: &str, f: F) -> Self {
+        ZipWith {
+            name: name.to_string(),
+            f,
+        }
+    }
+}
+
+impl<F> Actor for ZipWith<F>
+where
+    F: FnMut(Token, Token) -> Result<Token, String> + Send,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        2
+    }
+    fn outputs(&self) -> usize {
+        1
+    }
+    fn fire(&mut self, inputs: &[Token]) -> Result<Firing, ActorError> {
+        let t = (self.f)(inputs[0].clone(), inputs[1].clone()).map_err(|message| ActorError {
+            actor: self.name.clone(),
+            message,
+        })?;
+        Ok(Firing {
+            outputs: vec![vec![t]],
+            more: true,
+        })
+    }
+}
+
+/// Collects every incoming token into a shared vector (1 in, 0 out).
+pub struct Collect {
+    name: String,
+    sink: Arc<Mutex<Vec<Token>>>,
+}
+
+impl Collect {
+    /// A collector writing into `sink`.
+    pub fn new(name: &str, sink: Arc<Mutex<Vec<Token>>>) -> Self {
+        Collect {
+            name: name.to_string(),
+            sink,
+        }
+    }
+}
+
+impl Actor for Collect {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn inputs(&self) -> usize {
+        1
+    }
+    fn outputs(&self) -> usize {
+        0
+    }
+    fn fire(&mut self, inputs: &[Token]) -> Result<Firing, ActorError> {
+        self.sink.lock().push(inputs[0].clone());
+        Ok(Firing {
+            outputs: vec![],
+            more: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_source_drains() {
+        let mut s = VecSource::new("s", vec![Token::int(1), Token::int(2)]);
+        let f1 = s.fire(&[]).unwrap();
+        assert_eq!(f1.outputs[0], vec![Token::int(1)]);
+        assert!(f1.more);
+        let f2 = s.fire(&[]).unwrap();
+        assert_eq!(f2.outputs[0], vec![Token::int(2)]);
+        assert!(!f2.more);
+        let f3 = s.fire(&[]).unwrap();
+        assert!(f3.outputs.is_empty() && !f3.more);
+    }
+
+    #[test]
+    fn map_and_filter() {
+        let mut m = MapActor::new("double", |t: Token| {
+            Ok(vec![Token::int(t.as_int().ok_or("not an int")? * 2)])
+        });
+        let f = m.fire(&[Token::int(21)]).unwrap();
+        assert_eq!(f.outputs[0], vec![Token::int(42)]);
+        assert!(m.fire(&[Token::Unit]).is_err());
+
+        let mut flt = FilterActor::new("evens", |t: &Token| t.as_int().is_some_and(|i| i % 2 == 0));
+        assert_eq!(flt.fire(&[Token::int(2)]).unwrap().outputs[0].len(), 1);
+        assert_eq!(flt.fire(&[Token::int(3)]).unwrap().outputs[0].len(), 0);
+    }
+
+    #[test]
+    fn fanout_duplicates() {
+        let mut f = FanOut::new("dup", 3);
+        let out = f.fire(&[Token::str("x")]).unwrap();
+        assert_eq!(out.outputs.len(), 3);
+        for port in &out.outputs {
+            assert_eq!(port[0].as_str(), Some("x"));
+        }
+    }
+
+    #[test]
+    fn zip_combines() {
+        let mut z = ZipWith::new("add", |a: Token, b: Token| {
+            Ok(Token::int(
+                a.as_int().ok_or("a")? + b.as_int().ok_or("b")?,
+            ))
+        });
+        let out = z.fire(&[Token::int(2), Token::int(3)]).unwrap();
+        assert_eq!(out.outputs[0], vec![Token::int(5)]);
+    }
+
+    #[test]
+    fn collect_accumulates() {
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let mut c = Collect::new("sink", sink.clone());
+        c.fire(&[Token::int(1)]).unwrap();
+        c.fire(&[Token::int(2)]).unwrap();
+        assert_eq!(sink.lock().len(), 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! # lsdf-workflow — a Kepler-style workflow orchestrator
+//!
+//! The paper integrates the Kepler workflow orchestrator and automates the
+//! zebrafish pipeline with it (slides 12–13): users tag data in the
+//! DataBrowser, tagged data triggers workflow execution, and finished
+//! workflows store and tag their results back in the metadata DB.
+//!
+//! This crate reimplements that orchestration model:
+//!
+//! * [`Workflow`] — a DAG of [`Actor`]s connected port-to-port by token
+//!   channels, with validation (dangling ports, cycles) and a runaway
+//!   firing budget;
+//! * [`Director::Sequential`] / [`Director::Parallel`] — execution
+//!   disciplines, as in Kepler's director concept;
+//! * built-in actors (source, map, filter, fan-out, zip, collect);
+//! * [`TriggerEngine`] — tag-triggered execution wired to
+//!   `lsdf_metadata` events, closing the slide-12 loop.
+
+#![warn(missing_docs)]
+
+mod actor;
+mod graph;
+mod token;
+mod trigger;
+
+pub use actor::{Actor, ActorError, Collect, FanOut, FilterActor, Firing, MapActor, VecSource, ZipWith};
+pub use graph::{ActorId, Director, RunStats, Workflow, WorkflowError};
+pub use token::Token;
+pub use trigger::{TriggerEngine, TriggerOutcome, TriggerRule};

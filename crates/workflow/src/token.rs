@@ -1,0 +1,79 @@
+//! Tokens: the data flowing between workflow actors.
+//!
+//! Kepler workflows pass typed tokens along channels; ours carry metadata
+//! values, raw bytes, or dataset references into the metadata repository.
+
+use lsdf_metadata::{DatasetId, Value};
+
+/// A unit of data on a workflow channel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A typed metadata value.
+    Value(Value),
+    /// Raw bytes (image tiles, read chunks, ...).
+    Data(Vec<u8>),
+    /// Reference to a dataset in a project metadata store.
+    Dataset {
+        /// Project name.
+        project: String,
+        /// Dataset id within the project store.
+        id: DatasetId,
+    },
+    /// A pure control-flow pulse.
+    Unit,
+}
+
+impl Token {
+    /// Convenience: wraps an integer value.
+    pub fn int(i: i64) -> Token {
+        Token::Value(Value::Int(i))
+    }
+
+    /// Convenience: wraps a float value.
+    pub fn float(x: f64) -> Token {
+        Token::Value(Value::Float(x))
+    }
+
+    /// Convenience: wraps a string value.
+    pub fn str(s: &str) -> Token {
+        Token::Value(Value::Str(s.to_string()))
+    }
+
+    /// Extracts an integer, if that is what the token holds.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Token::Value(Value::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extracts a float, if that is what the token holds.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Token::Value(Value::Float(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Extracts a string slice, if that is what the token holds.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Token::Value(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Token::int(5).as_int(), Some(5));
+        assert_eq!(Token::float(1.5).as_float(), Some(1.5));
+        assert_eq!(Token::str("x").as_str(), Some("x"));
+        assert_eq!(Token::Unit.as_int(), None);
+        assert_eq!(Token::int(5).as_str(), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: the two directors compute the same results, and
+//! workflow execution conserves tokens through pure pipelines.
+
+use std::sync::Arc;
+
+use lsdf_workflow::{Collect, Director, FanOut, FilterActor, MapActor, Token, VecSource, Workflow, ZipWith};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+/// Builds a 3-stage pipeline (affine map, filter, collect) over `input`.
+fn pipeline(input: &[i64], a: i64, b: i64, keep_mod: i64) -> Workflow {
+    let mut wf = Workflow::new();
+    let sink = Arc::new(Mutex::new(Vec::new()));
+    let src = wf.add(VecSource::new(
+        "src",
+        input.iter().map(|&i| Token::int(i)).collect::<Vec<_>>(),
+    ));
+    let map = wf.add(MapActor::new("affine", move |t: Token| {
+        Ok(vec![Token::int(
+            t.as_int().ok_or("int")?.wrapping_mul(a).wrapping_add(b),
+        )])
+    }));
+    let filt = wf.add(FilterActor::new("keep", move |t: &Token| {
+        t.as_int().is_some_and(|i| i.rem_euclid(keep_mod) == 0)
+    }));
+    let out = wf.add(Collect::new("sink", sink.clone()));
+    wf.connect(src, 0, map, 0).unwrap();
+    wf.connect(map, 0, filt, 0).unwrap();
+    wf.connect(filt, 0, out, 0).unwrap();
+    // The sink Arc lives inside the Collect actor; park a clone in a
+    // thread-local so run_and_collect can read it after the run.
+    SINK.with(|s| *s.lock() = Some(sink));
+    wf
+}
+
+thread_local! {
+    static SINK: parking_lot::Mutex<Option<Arc<Mutex<Vec<Token>>>>> =
+        const { parking_lot::Mutex::new(None) };
+}
+
+fn run_and_collect(mut wf: Workflow, director: Director) -> Vec<i64> {
+    wf.run(director).expect("runs");
+    let sink = SINK.with(|s| s.lock().clone()).expect("sink registered");
+    let out = sink.lock().iter().filter_map(|t| t.as_int()).collect();
+    out
+}
+
+proptest! {
+    /// Sequential and parallel directors produce identical results for
+    /// arbitrary pure pipelines.
+    #[test]
+    fn directors_agree_on_pipelines(
+        input in prop::collection::vec(-1000i64..1000, 0..100),
+        a in -10i64..10,
+        b in -100i64..100,
+        keep_mod in 1i64..7,
+    ) {
+        let seq = run_and_collect(pipeline(&input, a, b, keep_mod), Director::Sequential);
+        let par = run_and_collect(pipeline(&input, a, b, keep_mod), Director::Parallel);
+        prop_assert_eq!(&seq, &par);
+        // And both equal the plain-Rust reference.
+        let expect: Vec<i64> = input
+            .iter()
+            .map(|&i| i.wrapping_mul(a).wrapping_add(b))
+            .filter(|&i| i.rem_euclid(keep_mod) == 0)
+            .collect();
+        prop_assert_eq!(seq, expect);
+    }
+
+    /// A fan-out/zip diamond conserves pairing: output length equals
+    /// input length and each element combines both branches.
+    #[test]
+    fn diamond_pairs_tokens_exactly(input in prop::collection::vec(-500i64..500, 0..60)) {
+        let mut wf = Workflow::new();
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let src = wf.add(VecSource::new(
+            "src",
+            input.iter().map(|&i| Token::int(i)).collect::<Vec<_>>(),
+        ));
+        let dup = wf.add(FanOut::new("dup", 2));
+        let sq = wf.add(MapActor::new("sq", |t: Token| {
+            let i = t.as_int().ok_or("int")?;
+            Ok(vec![Token::int(i.wrapping_mul(i))])
+        }));
+        let neg = wf.add(MapActor::new("neg", |t: Token| {
+            Ok(vec![Token::int(-t.as_int().ok_or("int")?)])
+        }));
+        let add = wf.add(ZipWith::new("add", |x: Token, y: Token| {
+            Ok(Token::int(
+                x.as_int().ok_or("x")?.wrapping_add(y.as_int().ok_or("y")?),
+            ))
+        }));
+        let out = wf.add(Collect::new("sink", sink.clone()));
+        wf.connect(src, 0, dup, 0).unwrap();
+        wf.connect(dup, 0, sq, 0).unwrap();
+        wf.connect(dup, 1, neg, 0).unwrap();
+        wf.connect(sq, 0, add, 0).unwrap();
+        wf.connect(neg, 0, add, 1).unwrap();
+        wf.connect(add, 0, out, 0).unwrap();
+        wf.run(Director::Sequential).unwrap();
+        let got: Vec<i64> = sink.lock().iter().filter_map(|t| t.as_int()).collect();
+        let expect: Vec<i64> = input
+            .iter()
+            .map(|&i| i.wrapping_mul(i).wrapping_sub(i))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}

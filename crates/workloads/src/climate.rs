@@ -1,0 +1,180 @@
+//! The meteorology / climate workload: the paper's 2011 roadmap adds
+//! "meteorology and climate research (‘archival quality’)" communities
+//! (slide 14). Climate output is large, regular, and written once —
+//! the canonical HSM/tape workload (experiment E13).
+
+use bytes::Bytes;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A lat × lon temperature field for one time step, °C ×100 as i16.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClimateGrid {
+    /// Latitude points.
+    pub nlat: u32,
+    /// Longitude points.
+    pub nlon: u32,
+    /// Temperatures, row-major (lat outer), hundredths of °C.
+    pub temps_c100: Vec<i16>,
+}
+
+const MAGIC: &[u8; 8] = b"LSDFCLI1";
+
+impl ClimateGrid {
+    /// Serializes: magic, nlat, nlon, i16 temps.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(16 + self.temps_c100.len() * 2);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.nlat.to_le_bytes());
+        out.extend_from_slice(&self.nlon.to_le_bytes());
+        for t in &self.temps_c100 {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        Bytes::from(out)
+    }
+
+    /// Parses the encoding.
+    pub fn decode(data: &[u8]) -> Option<ClimateGrid> {
+        if data.len() < 16 || &data[..8] != MAGIC {
+            return None;
+        }
+        let nlat = u32::from_le_bytes(data[8..12].try_into().ok()?);
+        let nlon = u32::from_le_bytes(data[12..16].try_into().ok()?);
+        let n = nlat as usize * nlon as usize;
+        if data.len() != 16 + 2 * n {
+            return None;
+        }
+        let temps = data[16..]
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        Some(ClimateGrid {
+            nlat,
+            nlon,
+            temps_c100: temps,
+        })
+    }
+
+    /// Global area-naive mean temperature, °C.
+    pub fn mean_c(&self) -> f64 {
+        self.temps_c100.iter().map(|&t| f64::from(t)).sum::<f64>()
+            / self.temps_c100.len() as f64
+            / 100.0
+    }
+}
+
+/// Generates a model run: daily grids with latitude structure, a seasonal
+/// cycle, a warming trend, and weather noise.
+pub struct ClimateModel {
+    rng: ChaCha8Rng,
+    /// Latitude points.
+    pub nlat: u32,
+    /// Longitude points.
+    pub nlon: u32,
+    /// Warming trend, °C per simulated year.
+    pub trend_c_per_year: f64,
+    day: u32,
+}
+
+impl ClimateModel {
+    /// A model over an `nlat × nlon` grid.
+    pub fn new(seed: u64, nlat: u32, nlon: u32, trend_c_per_year: f64) -> Self {
+        ClimateModel {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            nlat,
+            nlon,
+            trend_c_per_year,
+            day: 0,
+        }
+    }
+
+    /// Produces the next day's grid.
+    pub fn next_day(&mut self) -> ClimateGrid {
+        let day = self.day;
+        self.day += 1;
+        let years = f64::from(day) / 365.25;
+        let season = (f64::from(day) / 365.25 * std::f64::consts::TAU).sin();
+        let mut temps = Vec::with_capacity(self.nlat as usize * self.nlon as usize);
+        for lat_i in 0..self.nlat {
+            // Latitude in degrees, -90..90; equator warm, poles cold.
+            let lat = -90.0 + 180.0 * (f64::from(lat_i) + 0.5) / f64::from(self.nlat);
+            let base = 30.0 * (lat.to_radians()).cos() - 10.0;
+            // Seasonal swing grows with |lat|, opposite by hemisphere.
+            let seasonal = season * 15.0 * (lat / 90.0);
+            for _ in 0..self.nlon {
+                let noise: f64 = self.rng.gen_range(-3.0..3.0);
+                let t = base + seasonal + years * self.trend_c_per_year + noise;
+                temps.push((t * 100.0).clamp(-32768.0, 32767.0) as i16);
+            }
+        }
+        ClimateGrid {
+            nlat: self.nlat,
+            nlon: self.nlon,
+            temps_c100: temps,
+        }
+    }
+
+    /// Produces a year of daily grids, each encoded (the archive unit).
+    pub fn next_year(&mut self) -> Vec<Bytes> {
+        (0..365).map(|_| self.next_day().encode()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_roundtrip() {
+        let mut m = ClimateModel::new(1, 18, 36, 0.0);
+        let g = m.next_day();
+        assert_eq!(ClimateGrid::decode(&g.encode()), Some(g));
+        assert!(ClimateGrid::decode(b"junk").is_none());
+    }
+
+    #[test]
+    fn equator_warmer_than_poles() {
+        let mut m = ClimateModel::new(2, 18, 36, 0.0);
+        let g = m.next_day();
+        let row_mean = |lat_i: u32| {
+            let start = (lat_i * g.nlon) as usize;
+            g.temps_c100[start..start + g.nlon as usize]
+                .iter()
+                .map(|&t| f64::from(t))
+                .sum::<f64>()
+                / f64::from(g.nlon)
+        };
+        let pole = row_mean(0);
+        let equator = row_mean(9);
+        assert!(equator > pole + 1000.0, "equator {equator} pole {pole}");
+    }
+
+    #[test]
+    fn warming_trend_shows_up_in_annual_means() {
+        // The "analyse change in time" use-case from slide 3: old data is
+        // valuable because trends only appear across years.
+        let mut m = ClimateModel::new(3, 12, 24, 2.0);
+        let year_mean = |m: &mut ClimateModel| {
+            let grids = m.next_year();
+            grids
+                .iter()
+                .map(|g| ClimateGrid::decode(g).unwrap().mean_c())
+                .sum::<f64>()
+                / 365.0
+        };
+        let y0 = year_mean(&mut m);
+        let y1 = year_mean(&mut m);
+        let y2 = year_mean(&mut m);
+        assert!(y1 > y0 + 1.0, "y0={y0} y1={y1}");
+        assert!(y2 > y1 + 1.0, "y1={y1} y2={y2}");
+    }
+
+    #[test]
+    fn a_year_is_365_daily_grids() {
+        let mut m = ClimateModel::new(4, 6, 12, 0.0);
+        let year = m.next_year();
+        assert_eq!(year.len(), 365);
+        let expected = 16 + 2 * 6 * 12;
+        assert!(year.iter().all(|g| g.len() == expected));
+    }
+}

@@ -1,0 +1,280 @@
+//! The DNA-sequencing workload: "DNA sequencing and reconstruction using
+//! Hadoop tools" (paper, slide 13).
+//!
+//! A read generator produces error-bearing short reads from a synthetic
+//! genome, and k-mer counting — the core kernel of sequence reconstruction
+//! / assembly — is provided both as a sequential reference and as a
+//! MapReduce job for the cluster (experiment E6).
+
+use bytes::Bytes;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+use lsdf_mapreduce::{Mapper, Record, Reducer};
+
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Generates a random genome of `len` bases.
+pub fn random_genome(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect()
+}
+
+/// Read-generator configuration.
+#[derive(Debug, Clone)]
+pub struct ReadSim {
+    /// Read length, bases.
+    pub read_len: usize,
+    /// Per-base substitution error rate.
+    pub error_rate: f64,
+    /// Mean coverage (reads are drawn until `coverage × genome / read_len`
+    /// reads exist).
+    pub coverage: f64,
+}
+
+impl Default for ReadSim {
+    fn default() -> Self {
+        ReadSim {
+            read_len: 100,
+            error_rate: 0.01,
+            coverage: 10.0,
+        }
+    }
+}
+
+/// Draws error-bearing reads from `genome`, newline-separated (one read
+/// per line — the layout the MapReduce `Lines` input format consumes).
+pub fn generate_reads(genome: &[u8], sim: &ReadSim, seed: u64) -> Vec<u8> {
+    assert!(genome.len() >= sim.read_len, "genome shorter than a read");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n_reads = ((genome.len() as f64 * sim.coverage) / sim.read_len as f64).ceil() as usize;
+    let mut out = Vec::with_capacity(n_reads * (sim.read_len + 1));
+    for _ in 0..n_reads {
+        let start = rng.gen_range(0..=genome.len() - sim.read_len);
+        for &b in &genome[start..start + sim.read_len] {
+            let base = if rng.gen::<f64>() < sim.error_rate {
+                BASES[rng.gen_range(0..4)]
+            } else {
+                b
+            };
+            out.push(base);
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+/// The reverse complement of a sequence.
+pub fn reverse_complement(seq: &[u8]) -> Vec<u8> {
+    seq.iter()
+        .rev()
+        .map(|&b| match b {
+            b'A' => b'T',
+            b'T' => b'A',
+            b'C' => b'G',
+            b'G' => b'C',
+            other => other,
+        })
+        .collect()
+}
+
+/// The canonical form of a k-mer: the lexicographic minimum of the k-mer
+/// and its reverse complement (assemblers count both strands together).
+pub fn canonical_kmer(kmer: &[u8]) -> Vec<u8> {
+    let rc = reverse_complement(kmer);
+    if rc.as_slice() < kmer {
+        rc
+    } else {
+        kmer.to_vec()
+    }
+}
+
+/// Sequential reference k-mer counter over newline-separated reads.
+pub fn count_kmers_sequential(reads: &[u8], k: usize) -> HashMap<Vec<u8>, u64> {
+    let mut counts = HashMap::new();
+    for read in reads.split(|&b| b == b'\n') {
+        if read.len() < k {
+            continue;
+        }
+        for w in read.windows(k) {
+            *counts.entry(canonical_kmer(w)).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// MapReduce mapper: emits `(canonical k-mer, 1)` per window of each read.
+pub struct KmerMapper {
+    /// k-mer length.
+    pub k: usize,
+}
+
+impl Mapper for KmerMapper {
+    type Key = Vec<u8>;
+    type Value = u64;
+    fn map(&self, record: &Record, emit: &mut dyn FnMut(Vec<u8>, u64)) {
+        if record.data.len() < self.k {
+            return;
+        }
+        for w in record.data.windows(self.k) {
+            emit(canonical_kmer(w), 1);
+        }
+    }
+}
+
+/// MapReduce reducer: sums counts per k-mer.
+pub struct KmerReducer;
+
+impl Reducer for KmerReducer {
+    type Key = Vec<u8>;
+    type Value = u64;
+    type Output = (Vec<u8>, u64);
+    fn reduce(&self, key: &Vec<u8>, values: &[u64]) -> Vec<(Vec<u8>, u64)> {
+        vec![(key.clone(), values.iter().sum())]
+    }
+}
+
+/// MapReduce combiner: pre-sums counts on the map side.
+pub struct KmerCombiner;
+
+impl lsdf_mapreduce::Combiner for KmerCombiner {
+    type Key = Vec<u8>;
+    type Value = u64;
+    fn combine(&self, _key: &Vec<u8>, values: &[u64]) -> Vec<u64> {
+        vec![values.iter().sum()]
+    }
+}
+
+/// Encodes reads for DFS storage.
+pub fn reads_to_bytes(reads: Vec<u8>) -> Bytes {
+    Bytes::from(reads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
+    use lsdf_mapreduce::{run_job, JobConfig};
+
+    #[test]
+    fn genome_is_deterministic_and_base_only() {
+        let g1 = random_genome(1, 1000);
+        let g2 = random_genome(1, 1000);
+        assert_eq!(g1, g2);
+        assert!(g1.iter().all(|b| BASES.contains(b)));
+    }
+
+    #[test]
+    fn reads_have_expected_shape() {
+        let genome = random_genome(2, 5000);
+        let sim = ReadSim {
+            read_len: 50,
+            error_rate: 0.0,
+            coverage: 4.0,
+        };
+        let reads = generate_reads(&genome, &sim, 3);
+        let lines: Vec<&[u8]> = reads
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .collect();
+        assert_eq!(lines.len(), 400); // 5000*4/50
+        assert!(lines.iter().all(|l| l.len() == 50));
+        // Error-free reads are genome substrings.
+        let g = genome.as_slice();
+        assert!(lines
+            .iter()
+            .all(|l| g.windows(50).any(|w| w == *l)));
+    }
+
+    #[test]
+    fn error_rate_perturbs_reads() {
+        let genome = random_genome(2, 2000);
+        let clean = generate_reads(
+            &genome,
+            &ReadSim {
+                read_len: 50,
+                error_rate: 0.0,
+                coverage: 2.0,
+            },
+            7,
+        );
+        let noisy = generate_reads(
+            &genome,
+            &ReadSim {
+                read_len: 50,
+                error_rate: 0.2,
+                coverage: 2.0,
+            },
+            7,
+        );
+        let diff = clean
+            .iter()
+            .zip(&noisy)
+            .filter(|(a, b)| a != b)
+            .count();
+        // ~20% of bases differ (same RNG stream draws positions the same
+        // way, so the comparison is meaningful).
+        assert!(diff > clean.len() / 10, "only {diff} bases differ");
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let g = random_genome(4, 100);
+        assert_eq!(reverse_complement(&reverse_complement(&g)), g);
+        assert_eq!(reverse_complement(b"ACGT"), b"ACGT".to_vec());
+        assert_eq!(reverse_complement(b"AAA"), b"TTT".to_vec());
+    }
+
+    #[test]
+    fn canonical_kmer_is_strand_invariant() {
+        let k = b"ACGTT";
+        let rc = reverse_complement(k);
+        assert_eq!(canonical_kmer(k), canonical_kmer(&rc));
+    }
+
+    #[test]
+    fn sequential_counts_a_known_case() {
+        // One read "ACGTA": 3-mers ACG, CGT, GTA.
+        // canonical(ACG)=ACG (rc=CGT>ACG), canonical(CGT)=ACG! rc(CGT)=ACG.
+        // canonical(GTA)=GTA? rc(GTA)=TAC; GTA<TAC so GTA.
+        let counts = count_kmers_sequential(b"ACGTA\n", 3);
+        assert_eq!(counts.get(b"ACG".as_slice()), Some(&2));
+        assert_eq!(counts.get(b"GTA".as_slice()), Some(&1));
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn mapreduce_kmer_counting_matches_sequential() {
+        let genome = random_genome(5, 2_000);
+        let sim = ReadSim {
+            read_len: 64,
+            error_rate: 0.01,
+            coverage: 6.0,
+        };
+        let reads = generate_reads(&genome, &sim, 11);
+        let expect = count_kmers_sequential(&reads, 21);
+
+        let dfs = Dfs::new(
+            ClusterTopology::new(2, 3),
+            DfsConfig {
+                block_size: 65, // one 64-base read + newline per block
+                replication: 2,
+                ..DfsConfig::default()
+            },
+        );
+        dfs.write("/reads", &reads, None).unwrap();
+        let out = run_job(
+            &dfs,
+            &["/reads".to_string()],
+            &KmerMapper { k: 21 },
+            Some(&KmerCombiner),
+            &KmerReducer,
+            &JobConfig::on_cluster(&dfs, 4),
+        )
+        .unwrap();
+        let got: HashMap<Vec<u8>, u64> = out.output.into_iter().collect();
+        assert_eq!(got, expect);
+        assert!(out.stats.shuffled_records <= out.stats.map_output_records);
+    }
+}

@@ -1,0 +1,315 @@
+//! Image-analysis kernels: the "heavy analysis" the paper says raw
+//! microscopy data must undergo (slide 5) — threshold segmentation,
+//! connected-component labelling (cell counting), and focus stacking
+//! across a fish's focal series.
+
+use crate::microscopy::Image;
+
+/// A binary mask produced by thresholding.
+#[derive(Debug, Clone)]
+pub struct Mask {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Row-major foreground flags.
+    pub fg: Vec<bool>,
+}
+
+/// Otsu-style global threshold: picks the threshold maximizing between-
+/// class variance of the intensity histogram.
+pub fn otsu_threshold(img: &Image) -> u8 {
+    let mut hist = [0u64; 256];
+    for &p in &img.pixels {
+        hist[p as usize] += 1;
+    }
+    let total = img.pixels.len() as f64;
+    let sum_all: f64 = hist
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| i as f64 * c as f64)
+        .sum();
+    let (mut best_t, mut best_var) = (0u8, f64::MIN);
+    let (mut w_bg, mut sum_bg) = (0.0f64, 0.0f64);
+    for (t, &count) in hist.iter().enumerate() {
+        w_bg += count as f64;
+        if w_bg == 0.0 {
+            continue;
+        }
+        let w_fg = total - w_bg;
+        if w_fg == 0.0 {
+            break;
+        }
+        sum_bg += t as f64 * count as f64;
+        let mean_bg = sum_bg / w_bg;
+        let mean_fg = (sum_all - sum_bg) / w_fg;
+        let var = w_bg * w_fg * (mean_bg - mean_fg) * (mean_bg - mean_fg);
+        if var > best_var {
+            best_var = var;
+            best_t = t as u8;
+        }
+    }
+    best_t
+}
+
+/// Thresholds an image into a foreground mask.
+pub fn segment(img: &Image, threshold: u8) -> Mask {
+    Mask {
+        width: img.width,
+        height: img.height,
+        fg: img.pixels.iter().map(|&p| p > threshold).collect(),
+    }
+}
+
+/// A labelled connected component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Pixel count.
+    pub area: u32,
+    /// Centroid x.
+    pub cx: f64,
+    /// Centroid y.
+    pub cy: f64,
+}
+
+/// 4-connected component labelling via union–find; components smaller
+/// than `min_area` are discarded as noise.
+pub fn connected_components(mask: &Mask, min_area: u32) -> Vec<Component> {
+    let w = mask.width as usize;
+    let h = mask.height as usize;
+    let mut parent: Vec<u32> = (0..mask.fg.len() as u32).collect();
+
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    fn union(parent: &mut [u32], a: u32, b: u32) {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[rb as usize] = ra;
+        }
+    }
+
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            if !mask.fg[i] {
+                continue;
+            }
+            if x > 0 && mask.fg[i - 1] {
+                union(&mut parent, i as u32, (i - 1) as u32);
+            }
+            if y > 0 && mask.fg[i - w] {
+                union(&mut parent, i as u32, (i - w) as u32);
+            }
+        }
+    }
+    let mut stats: std::collections::HashMap<u32, (u32, f64, f64)> = Default::default();
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            if !mask.fg[i] {
+                continue;
+            }
+            let root = find(&mut parent, i as u32);
+            let e = stats.entry(root).or_insert((0, 0.0, 0.0));
+            e.0 += 1;
+            e.1 += x as f64;
+            e.2 += y as f64;
+        }
+    }
+    let mut out: Vec<Component> = stats
+        .into_values()
+        .filter(|&(area, _, _)| area >= min_area)
+        .map(|(area, sx, sy)| Component {
+            area,
+            cx: sx / f64::from(area),
+            cy: sy / f64::from(area),
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        (a.cy, a.cx)
+            .partial_cmp(&(b.cy, b.cx))
+            .expect("finite centroids")
+    });
+    out
+}
+
+/// Counts cells in an image: Otsu threshold, 4-connected labelling,
+/// small-component rejection.
+pub fn count_cells(img: &Image, min_area: u32) -> usize {
+    let mask = segment(img, otsu_threshold(img));
+    connected_components(&mask, min_area).len()
+}
+
+/// Focus stacking: fuses a focal series into one all-in-focus image by
+/// picking, per tile, the slice with the highest local variance (the
+/// standard sharpness proxy).
+pub fn focus_stack(slices: &[Image], tile: u32) -> Image {
+    assert!(!slices.is_empty(), "focus stack needs at least one slice");
+    let (w, h) = (slices[0].width, slices[0].height);
+    assert!(
+        slices.iter().all(|s| s.width == w && s.height == h),
+        "slices must share dimensions"
+    );
+    let tile = tile.max(1);
+    let mut out = Image::new(w, h);
+    for ty in (0..h).step_by(tile as usize) {
+        for tx in (0..w).step_by(tile as usize) {
+            let x1 = (tx + tile).min(w);
+            let y1 = (ty + tile).min(h);
+            // Pick the sharpest slice for this tile.
+            let mut best = (0usize, f64::MIN);
+            for (si, s) in slices.iter().enumerate() {
+                let mut sum = 0.0;
+                let mut sum2 = 0.0;
+                let mut n = 0.0;
+                for y in ty..y1 {
+                    for x in tx..x1 {
+                        let v = f64::from(s.get(x, y));
+                        sum += v;
+                        sum2 += v * v;
+                        n += 1.0;
+                    }
+                }
+                let var = sum2 / n - (sum / n) * (sum / n);
+                if var > best.1 {
+                    best = (si, var);
+                }
+            }
+            for y in ty..y1 {
+                for x in tx..x1 {
+                    out.set(x, y, slices[best.0].get(x, y));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Draws `n` filled squares of side `side` on a dim background.
+    fn squares(n: u32, side: u32) -> Image {
+        let mut img = Image::new(100, 100);
+        for (i, p) in img.pixels.iter_mut().enumerate() {
+            *p = 20 + (i % 17) as u8; // textured background, 20..36
+        }
+        for k in 0..n {
+            let ox = 5 + (k % 5) * 18;
+            let oy = 5 + (k / 5) * 18;
+            for y in oy..oy + side {
+                for x in ox..ox + side {
+                    img.set(x, y, 220);
+                }
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn otsu_separates_bimodal() {
+        let img = squares(4, 8);
+        let t = otsu_threshold(&img);
+        assert!((20..220).contains(&t), "threshold {t}");
+    }
+
+    #[test]
+    fn components_count_squares_exactly() {
+        for n in [1u32, 3, 7, 10] {
+            let img = squares(n, 8);
+            assert_eq!(count_cells(&img, 4), n as usize, "n={n}");
+        }
+    }
+
+    #[test]
+    fn min_area_rejects_specks() {
+        let mut img = squares(2, 8);
+        img.set(99, 99, 255); // 1-pixel speck
+        let mask = segment(&img, otsu_threshold(&img));
+        assert_eq!(connected_components(&mask, 4).len(), 2);
+        assert_eq!(connected_components(&mask, 1).len(), 3);
+    }
+
+    #[test]
+    fn touching_squares_merge() {
+        let mut img = Image::new(50, 50);
+        for y in 10..20 {
+            for x in 10..30 {
+                img.set(x, y, 200); // one 20x10 bar
+            }
+        }
+        assert_eq!(count_cells(&img, 4), 1);
+    }
+
+    #[test]
+    fn component_centroids_are_correct() {
+        let mut img = Image::new(20, 20);
+        for y in 4..8 {
+            for x in 4..8 {
+                img.set(x, y, 255);
+            }
+        }
+        let mask = segment(&img, 128);
+        let comps = connected_components(&mask, 1);
+        assert_eq!(comps.len(), 1);
+        assert!((comps[0].cx - 5.5).abs() < 1e-9);
+        assert!((comps[0].cy - 5.5).abs() < 1e-9);
+        assert_eq!(comps[0].area, 16);
+    }
+
+    #[test]
+    fn focus_stack_picks_sharp_tiles() {
+        // Slice A: sharp detail on the left; slice B: sharp on the right.
+        let mut a = Image::new(32, 32);
+        let mut b = Image::new(32, 32);
+        for y in 0..32 {
+            for x in 0..16 {
+                a.set(x, y, if (x + y) % 2 == 0 { 255 } else { 0 });
+                b.set(x, y, 128);
+            }
+            for x in 16..32 {
+                a.set(x, y, 128);
+                b.set(x, y, if (x + y) % 2 == 0 { 255 } else { 0 });
+            }
+        }
+        let fused = focus_stack(&[a.clone(), b.clone()], 8);
+        // Left tiles come from A, right tiles from B.
+        assert_eq!(fused.get(2, 2), a.get(2, 2));
+        assert_eq!(fused.get(30, 2), b.get(30, 2));
+        // The fused image is sharper (higher global variance) than either.
+        let var = |img: &Image| {
+            let n = img.pixels.len() as f64;
+            let mean = img.pixels.iter().map(|&p| f64::from(p)).sum::<f64>() / n;
+            img.pixels
+                .iter()
+                .map(|&p| (f64::from(p) - mean).powi(2))
+                .sum::<f64>()
+                / n
+        };
+        assert!(var(&fused) > var(&a) * 1.5);
+        assert!(var(&fused) > var(&b) * 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensions")]
+    fn focus_stack_rejects_mismatched_slices() {
+        focus_stack(&[Image::new(8, 8), Image::new(9, 8)], 4);
+    }
+
+    #[test]
+    fn synthetic_embryo_cells_are_detected() {
+        use crate::microscopy::HtmGenerator;
+        let mut gen = HtmGenerator::new(42, 128);
+        let series = gen.next_fish();
+        // The in-focus, brightest-channel image (index 0): blobs should be
+        // detectable.
+        let cells = count_cells(&series[0].1, 6);
+        assert!(cells >= 2, "found {cells} blobs");
+    }
+}

@@ -1,0 +1,306 @@
+//! The KATRIN workload: the KArlsruhe TRItium Neutrino experiment joins
+//! the LSDF in 2011 (paper, slide 14). KATRIN measures the tritium
+//! β-decay spectrum near its 18.6 keV endpoint to bound the neutrino mass.
+//!
+//! We generate detector events from a simplified β spectrum with an
+//! endpoint suppression controlled by an effective `m_nu`, stream them as
+//! fixed-width binary records, and accumulate endpoint-region histograms —
+//! the "archival quality" event streams the facility must ingest and keep.
+
+use bytes::Bytes;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use lsdf_mapreduce::{Mapper, Record, Reducer};
+
+/// Tritium β endpoint energy, eV.
+pub const ENDPOINT_EV: f64 = 18_574.0;
+
+/// One detector event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Electron energy, eV.
+    pub energy_ev: f64,
+    /// Detector pixel (0..148, the FPD's 148 pixels).
+    pub pixel: u16,
+    /// Timestamp, ns since run start.
+    pub t_ns: u64,
+}
+
+/// Fixed-width binary encoding: f64 energy, u16 pixel, u64 time = 18 B.
+pub const EVENT_BYTES: usize = 18;
+
+impl Event {
+    /// Serializes to the fixed-width record format.
+    pub fn encode(&self) -> [u8; EVENT_BYTES] {
+        let mut out = [0u8; EVENT_BYTES];
+        out[..8].copy_from_slice(&self.energy_ev.to_le_bytes());
+        out[8..10].copy_from_slice(&self.pixel.to_le_bytes());
+        out[10..18].copy_from_slice(&self.t_ns.to_le_bytes());
+        out
+    }
+
+    /// Parses one record.
+    pub fn decode(data: &[u8]) -> Option<Event> {
+        if data.len() != EVENT_BYTES {
+            return None;
+        }
+        Some(Event {
+            energy_ev: f64::from_le_bytes(data[..8].try_into().ok()?),
+            pixel: u16::from_le_bytes(data[8..10].try_into().ok()?),
+            t_ns: u64::from_le_bytes(data[10..18].try_into().ok()?),
+        })
+    }
+}
+
+/// Generates β-decay events near the endpoint.
+pub struct KatrinGenerator {
+    rng: ChaCha8Rng,
+    /// Effective neutrino mass, eV (suppresses the spectrum's last
+    /// `m_nu` eV below the endpoint).
+    pub m_nu_ev: f64,
+    /// Mean event rate, events per second.
+    pub rate_hz: f64,
+    t_ns: u64,
+}
+
+impl KatrinGenerator {
+    /// A generator with the given neutrino mass hypothesis and rate.
+    pub fn new(seed: u64, m_nu_ev: f64, rate_hz: f64) -> Self {
+        assert!(m_nu_ev >= 0.0 && rate_hz > 0.0);
+        KatrinGenerator {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            m_nu_ev,
+            rate_hz,
+            t_ns: 0,
+        }
+    }
+
+    /// Draws the next event (rejection sampling in the last 200 eV below
+    /// the endpoint, where the analysis happens).
+    pub fn next_event(&mut self) -> Event {
+        // Interarrival: exponential at rate_hz.
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let dt = (-u.ln() / self.rate_hz * 1e9) as u64;
+        self.t_ns += dt.max(1);
+        let window = 200.0;
+        loop {
+            let e = ENDPOINT_EV - self.rng.gen_range(0.0..window);
+            // Simplified spectral density ~ (E0 - E)^2 with a sharp cutoff
+            // m_nu below the endpoint.
+            let gap = ENDPOINT_EV - e;
+            let density = if gap < self.m_nu_ev {
+                0.0
+            } else {
+                let x = (gap - self.m_nu_ev) / window;
+                x * x
+            };
+            if self.rng.gen::<f64>() < density / 1.0 {
+                return Event {
+                    energy_ev: e,
+                    pixel: self.rng.gen_range(0..148),
+                    t_ns: self.t_ns,
+                };
+            }
+        }
+    }
+
+    /// Generates a run of `n` events, encoded back-to-back.
+    pub fn run_bytes(&mut self, n: usize) -> Bytes {
+        let mut out = Vec::with_capacity(n * EVENT_BYTES);
+        for _ in 0..n {
+            out.extend_from_slice(&self.next_event().encode());
+        }
+        Bytes::from(out)
+    }
+}
+
+/// An endpoint-region energy histogram.
+#[derive(Debug, Clone)]
+pub struct Spectrum {
+    /// Bin edges start, eV.
+    pub lo_ev: f64,
+    /// Bin width, eV.
+    pub bin_ev: f64,
+    /// Counts per bin.
+    pub counts: Vec<u64>,
+}
+
+impl Spectrum {
+    /// An empty spectrum covering `[lo, lo + bins*width)`.
+    pub fn new(lo_ev: f64, bin_ev: f64, bins: usize) -> Self {
+        Spectrum {
+            lo_ev,
+            bin_ev,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Accumulates one event.
+    pub fn fill(&mut self, e: &Event) {
+        let idx = (e.energy_ev - self.lo_ev) / self.bin_ev;
+        if idx >= 0.0 && (idx as usize) < self.counts.len() {
+            self.counts[idx as usize] += 1;
+        }
+    }
+
+    /// Accumulates a whole encoded run.
+    pub fn fill_run(&mut self, data: &[u8]) -> usize {
+        let mut n = 0;
+        for rec in data.chunks_exact(EVENT_BYTES) {
+            if let Some(ev) = Event::decode(rec) {
+                self.fill(&ev);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Counts within `gap_ev` of the endpoint — the mass-sensitive region.
+    pub fn endpoint_counts(&self, gap_ev: f64) -> u64 {
+        let cut = ENDPOINT_EV - gap_ev;
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.lo_ev + (*i as f64 + 0.5) * self.bin_ev >= cut)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+}
+
+/// MapReduce mapper: bins each event of a run block into a 1 eV energy
+/// histogram bin over the endpoint window `[E0-200, E0)`.
+pub struct SpectrumMapper;
+
+impl Mapper for SpectrumMapper {
+    type Key = u32;
+    type Value = u64;
+    fn map(&self, record: &Record, emit: &mut dyn FnMut(u32, u64)) {
+        for rec in record.data.chunks_exact(EVENT_BYTES) {
+            if let Some(ev) = Event::decode(rec) {
+                let gap = ENDPOINT_EV - ev.energy_ev;
+                if (0.0..200.0).contains(&gap) {
+                    emit(gap as u32, 1);
+                }
+            }
+        }
+    }
+}
+
+/// MapReduce reducer: sums per-bin counts.
+pub struct SpectrumReducer;
+
+impl Reducer for SpectrumReducer {
+    type Key = u32;
+    type Value = u64;
+    type Output = (u32, u64);
+    fn reduce(&self, key: &u32, values: &[u64]) -> Vec<(u32, u64)> {
+        vec![(*key, values.iter().sum())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_encoding_roundtrips() {
+        let ev = Event {
+            energy_ev: 18_500.25,
+            pixel: 77,
+            t_ns: 123_456_789,
+        };
+        assert_eq!(Event::decode(&ev.encode()), Some(ev));
+        assert_eq!(Event::decode(&[0u8; 5]), None);
+    }
+
+    #[test]
+    fn events_are_below_endpoint_and_time_ordered() {
+        let mut g = KatrinGenerator::new(1, 0.0, 1000.0);
+        let mut last_t = 0;
+        for _ in 0..500 {
+            let ev = g.next_event();
+            assert!(ev.energy_ev <= ENDPOINT_EV);
+            assert!(ev.energy_ev >= ENDPOINT_EV - 200.0);
+            assert!(ev.t_ns > last_t);
+            last_t = ev.t_ns;
+            assert!(ev.pixel < 148);
+        }
+    }
+
+    #[test]
+    fn neutrino_mass_suppresses_the_endpoint() {
+        // With m_nu = 50 eV, no events within 50 eV of the endpoint;
+        // with m_nu = 0, some events land there.
+        let mut massless = Spectrum::new(ENDPOINT_EV - 200.0, 2.0, 100);
+        let mut massive = Spectrum::new(ENDPOINT_EV - 200.0, 2.0, 100);
+        let mut g0 = KatrinGenerator::new(2, 0.0, 1000.0);
+        let mut g50 = KatrinGenerator::new(2, 50.0, 1000.0);
+        let n = 4000;
+        massless.fill_run(&g0.run_bytes(n));
+        massive.fill_run(&g50.run_bytes(n));
+        assert!(massless.endpoint_counts(40.0) > 0);
+        assert_eq!(massive.endpoint_counts(40.0), 0, "mass gap must be empty");
+        // Totals match the event count.
+        assert_eq!(massless.counts.iter().sum::<u64>(), n as u64);
+    }
+
+    #[test]
+    fn distributed_spectrum_matches_sequential() {
+        use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
+        use lsdf_mapreduce::{no_combiner, run_job, InputFormat, JobConfig};
+
+        let mut g = KatrinGenerator::new(6, 0.0, 1000.0);
+        let run = g.run_bytes(3000);
+        // Sequential reference spectrum at 1 eV bins.
+        let mut reference = Spectrum::new(ENDPOINT_EV - 200.0, 1.0, 200);
+        reference.fill_run(&run);
+
+        // Block size = whole events only, so records never straddle blocks.
+        let dfs = Dfs::new(
+            ClusterTopology::new(2, 3),
+            DfsConfig {
+                block_size: (EVENT_BYTES * 100) as u64,
+                replication: 2,
+                ..DfsConfig::default()
+            },
+        );
+        dfs.write("/run", &run, None).unwrap();
+        let mut cfg = JobConfig::on_cluster(&dfs, 4);
+        cfg.input_format = InputFormat::WholeBlock;
+        let out = run_job(
+            &dfs,
+            &["/run".to_string()],
+            &SpectrumMapper,
+            no_combiner::<SpectrumMapper>(),
+            &SpectrumReducer,
+            &cfg,
+        )
+        .unwrap();
+        let total: u64 = out.output.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3000);
+        for &(gap_ev, count) in &out.output {
+            // reference bin index: bins start at E0-200, gap g falls into
+            // bin 199 - g (bin b covers [lo + b, lo + b + 1) in energy).
+            let bin = (199 - gap_ev) as usize;
+            assert_eq!(
+                reference.counts[bin], count,
+                "bin at gap {gap_ev} eV disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn run_bytes_length_is_exact() {
+        let mut g = KatrinGenerator::new(3, 1.0, 10.0);
+        assert_eq!(g.run_bytes(100).len(), 100 * EVENT_BYTES);
+    }
+
+    #[test]
+    fn spectrum_fill_run_counts_records() {
+        let mut g = KatrinGenerator::new(4, 0.0, 100.0);
+        let run = g.run_bytes(250);
+        let mut s = Spectrum::new(ENDPOINT_EV - 200.0, 1.0, 200);
+        assert_eq!(s.fill_run(&run), 250);
+    }
+}

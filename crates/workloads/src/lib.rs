@@ -1,0 +1,29 @@
+//! # lsdf-workloads — the scientific communities' data and kernels
+//!
+//! Synthetic but calibrated stand-ins for every workload the paper names:
+//!
+//! * [`microscopy`] — zebrafish high-throughput microscopy (slides 4–5):
+//!   4 MB images, 24 per fish, ≈200 k/day, with schema-conformant
+//!   metadata;
+//! * [`imaging`] — the "heavy analysis" kernels: Otsu segmentation,
+//!   connected components (cell counting), focus stacking;
+//! * [`genomics`] — DNA read simulation and k-mer counting, sequential and
+//!   as a MapReduce job (slide 13);
+//! * [`volume`] — 3-D biomedical volumes and distributed maximum-intensity
+//!   projection (the "1 TB in 20 min" job, slide 13);
+//! * [`katrin`] — KATRIN β-decay event streams near the tritium endpoint
+//!   (slide 14);
+//! * [`climate`] — daily climate grids with seasonal cycle and warming
+//!   trend, the archival workload (slide 14);
+//! * [`anka`] — ANKA synchrotron tomography: phantom projection
+//!   (Radon transform), sinogram encoding, backprojection (slide 14).
+
+#![warn(missing_docs)]
+
+pub mod anka;
+pub mod climate;
+pub mod genomics;
+pub mod imaging;
+pub mod katrin;
+pub mod microscopy;
+pub mod volume;

@@ -1,0 +1,252 @@
+//! The 3D biomedical visualization workload: "3D Biomedical data
+//! visualization — processing 1 TB dataset in 20 min" (paper, slide 13).
+//!
+//! A volume is a stack of z-slices. The paper's job renders a projection
+//! of the whole volume on the cluster; we implement maximum-intensity
+//! projection (MIP), decomposed into per-slab MapReduce tasks whose
+//! partial projections fold associatively in the reducer (experiment E5).
+
+use bytes::Bytes;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use lsdf_mapreduce::{Mapper, Record, Reducer};
+
+/// A dense 3-D volume of `u8` voxels, stored as z-major slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Volume {
+    /// X extent.
+    pub nx: u32,
+    /// Y extent.
+    pub ny: u32,
+    /// Z extent (slice count).
+    pub nz: u32,
+    /// Voxels, `z*ny*nx + y*nx + x`.
+    pub voxels: Vec<u8>,
+}
+
+const MAGIC: &[u8; 8] = b"LSDFVOL1";
+
+impl Volume {
+    /// Allocates an empty volume.
+    pub fn new(nx: u32, ny: u32, nz: u32) -> Self {
+        Volume {
+            nx,
+            ny,
+            nz,
+            voxels: vec![0; nx as usize * ny as usize * nz as usize],
+        }
+    }
+
+    /// Voxel accessor.
+    pub fn get(&self, x: u32, y: u32, z: u32) -> u8 {
+        self.voxels[(z as usize * self.ny as usize + y as usize) * self.nx as usize + x as usize]
+    }
+
+    /// Voxel mutator.
+    pub fn set(&mut self, x: u32, y: u32, z: u32, v: u8) {
+        self.voxels
+            [(z as usize * self.ny as usize + y as usize) * self.nx as usize + x as usize] = v;
+    }
+
+    /// Generates a synthetic specimen: bright filaments in noise (vessel-
+    /// like structures a biomedical scan would show).
+    pub fn synthetic(seed: u64, nx: u32, ny: u32, nz: u32) -> Volume {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut v = Volume::new(nx, ny, nz);
+        for p in v.voxels.iter_mut() {
+            *p = rng.gen_range(0..20);
+        }
+        // Random walks tracing filaments.
+        for _ in 0..(nx as u64 * ny as u64 / 64).max(1) {
+            let mut x = rng.gen_range(0..nx) as f64;
+            let mut y = rng.gen_range(0..ny) as f64;
+            let mut z = rng.gen_range(0..nz) as f64;
+            for _ in 0..(nx + ny) {
+                let (xi, yi, zi) = (x as u32, y as u32, z as u32);
+                if xi < nx && yi < ny && zi < nz {
+                    v.set(xi, yi, zi, 255);
+                }
+                x += rng.gen_range(-1.0..1.0);
+                y += rng.gen_range(-1.0..1.0);
+                z += rng.gen_range(-0.5..0.5);
+                if x < 0.0 || y < 0.0 || z < 0.0 || x >= nx as f64 || y >= ny as f64 || z >= nz as f64
+                {
+                    break;
+                }
+            }
+        }
+        v
+    }
+
+    /// Splits into z-slabs of at most `slab_nz` slices each; each slab is
+    /// encoded standalone (the unit of distribution on the DFS).
+    pub fn to_slabs(&self, slab_nz: u32) -> Vec<Bytes> {
+        assert!(slab_nz > 0);
+        let slice = self.nx as usize * self.ny as usize;
+        (0..self.nz)
+            .step_by(slab_nz as usize)
+            .map(|z0| {
+                let z1 = (z0 + slab_nz).min(self.nz);
+                let mut out =
+                    Vec::with_capacity(20 + slice * (z1 - z0) as usize);
+                out.extend_from_slice(MAGIC);
+                out.extend_from_slice(&self.nx.to_le_bytes());
+                out.extend_from_slice(&self.ny.to_le_bytes());
+                out.extend_from_slice(&(z1 - z0).to_le_bytes());
+                out.extend_from_slice(
+                    &self.voxels[z0 as usize * slice..z1 as usize * slice],
+                );
+                Bytes::from(out)
+            })
+            .collect()
+    }
+
+    /// Decodes one slab back into a (partial) volume.
+    pub fn from_slab(data: &[u8]) -> Option<Volume> {
+        if data.len() < 20 || &data[..8] != MAGIC {
+            return None;
+        }
+        let nx = u32::from_le_bytes(data[8..12].try_into().ok()?);
+        let ny = u32::from_le_bytes(data[12..16].try_into().ok()?);
+        let nz = u32::from_le_bytes(data[16..20].try_into().ok()?);
+        let n = nx as usize * ny as usize * nz as usize;
+        if data.len() != 20 + n {
+            return None;
+        }
+        Some(Volume {
+            nx,
+            ny,
+            nz,
+            voxels: data[20..].to_vec(),
+        })
+    }
+
+    /// Sequential maximum-intensity projection along z: the reference
+    /// renderer. Returns an `nx × ny` image as raw bytes.
+    pub fn mip(&self) -> Vec<u8> {
+        let slice = self.nx as usize * self.ny as usize;
+        let mut out = vec![0u8; slice];
+        for z in 0..self.nz as usize {
+            let base = z * slice;
+            for (o, &v) in out.iter_mut().zip(&self.voxels[base..base + slice]) {
+                *o = (*o).max(v);
+            }
+        }
+        out
+    }
+}
+
+/// MapReduce mapper: projects one slab (whole-block record), emitting the
+/// partial MIP keyed by a constant (all partials meet in one reducer).
+pub struct MipMapper;
+
+impl Mapper for MipMapper {
+    type Key = u8;
+    type Value = Vec<u8>;
+    fn map(&self, record: &Record, emit: &mut dyn FnMut(u8, Vec<u8>)) {
+        let slab = Volume::from_slab(&record.data).expect("valid slab encoding");
+        emit(0, slab.mip());
+    }
+}
+
+/// MapReduce reducer: folds partial projections with elementwise max.
+pub struct MipReducer;
+
+impl Reducer for MipReducer {
+    type Key = u8;
+    type Value = Vec<u8>;
+    type Output = Vec<u8>;
+    fn reduce(&self, _key: &u8, values: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let mut acc = values[0].clone();
+        for v in &values[1..] {
+            for (a, &b) in acc.iter_mut().zip(v) {
+                *a = (*a).max(b);
+            }
+        }
+        vec![acc]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
+    use lsdf_mapreduce::{no_combiner, run_job, InputFormat, JobConfig};
+
+    #[test]
+    fn slab_roundtrip() {
+        let v = Volume::synthetic(1, 16, 12, 10);
+        let slabs = v.to_slabs(4);
+        assert_eq!(slabs.len(), 3); // 4+4+2
+        let mut rebuilt = Vec::new();
+        for s in &slabs {
+            rebuilt.extend_from_slice(&Volume::from_slab(s).unwrap().voxels);
+        }
+        assert_eq!(rebuilt, v.voxels);
+    }
+
+    #[test]
+    fn slab_decode_rejects_garbage() {
+        assert!(Volume::from_slab(b"nope").is_none());
+        let mut s = Volume::new(4, 4, 4).to_slabs(4)[0].to_vec();
+        s.pop();
+        assert!(Volume::from_slab(&s).is_none());
+    }
+
+    #[test]
+    fn mip_reference_is_correct_on_a_known_volume() {
+        let mut v = Volume::new(3, 2, 4);
+        v.set(1, 0, 0, 10);
+        v.set(1, 0, 3, 200);
+        v.set(2, 1, 2, 55);
+        let m = v.mip();
+        assert_eq!(m, vec![0, 200, 0, 0, 0, 55]);
+    }
+
+    #[test]
+    fn distributed_mip_equals_sequential() {
+        let v = Volume::synthetic(7, 32, 24, 20);
+        let expect = v.mip();
+        let dfs = Dfs::new(
+            ClusterTopology::new(2, 3),
+            DfsConfig {
+                // One slab per DFS block: slab bytes = 20 + 32*24*4.
+                block_size: 20 + 32 * 24 * 4,
+                replication: 2,
+                ..DfsConfig::default()
+            },
+        );
+        let slabs = v.to_slabs(4);
+        let mut all = Vec::new();
+        for s in &slabs {
+            all.extend_from_slice(s);
+        }
+        dfs.write("/volume", &all, None).unwrap();
+        let mut cfg = JobConfig::on_cluster(&dfs, 1);
+        cfg.input_format = InputFormat::WholeBlock;
+        let out = run_job(
+            &dfs,
+            &["/volume".to_string()],
+            &MipMapper,
+            no_combiner::<MipMapper>(),
+            &MipReducer,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out.output.len(), 1);
+        assert_eq!(out.output[0], expect);
+        assert_eq!(out.stats.map_tasks, 5);
+    }
+
+    #[test]
+    fn synthetic_volume_has_filaments() {
+        let v = Volume::synthetic(3, 32, 32, 8);
+        let bright = v.voxels.iter().filter(|&&x| x == 255).count();
+        assert!(bright > 20, "filaments missing: {bright} bright voxels");
+        // MIP of a filament volume is brighter than any single slice.
+        let m = v.mip();
+        let mip_bright = m.iter().filter(|&&x| x == 255).count();
+        assert!(mip_bright >= bright / v.nz as usize);
+    }
+}

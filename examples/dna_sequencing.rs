@@ -1,0 +1,128 @@
+//! DNA sequencing on the analysis cluster (paper, slide 13: "DNA
+//! sequencing and reconstruction using Hadoop tools"): simulate a
+//! sequencing run, load the reads into the DFS, and count canonical
+//! k-mers with a MapReduce job — comparing against the sequential
+//! reference and showing the effect of combiners and cluster size.
+//!
+//! Run with: `cargo run --release -p lsdf-examples --bin dna_sequencing`
+
+use std::time::Instant;
+
+use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
+use lsdf_mapreduce::{no_combiner, run_job, JobConfig};
+use lsdf_workloads::genomics::{
+    count_kmers_sequential, generate_reads, random_genome, KmerCombiner, KmerMapper, KmerReducer,
+    ReadSim,
+};
+
+const GENOME_LEN: usize = 40_000;
+const K: usize = 21;
+
+fn main() {
+    // --- Sequencing run ----------------------------------------------
+    let genome = random_genome(11, GENOME_LEN);
+    let sim = ReadSim {
+        read_len: 100,
+        error_rate: 0.01,
+        coverage: 12.0,
+    };
+    let reads = generate_reads(&genome, &sim, 13);
+    println!(
+        "sequenced {} bp genome at {}x coverage -> {} MB of reads",
+        GENOME_LEN,
+        sim.coverage,
+        reads.len() / 1_000_000
+    );
+
+    // --- Load into the DFS -------------------------------------------
+    // 101 bytes per read line; 40 reads per block keeps records aligned.
+    let dfs = Dfs::new(
+        ClusterTopology::lsdf(),
+        DfsConfig {
+            block_size: 101 * 40,
+            replication: 3,
+            ..DfsConfig::default()
+        },
+    );
+    dfs.write("/runs/run1/reads", &reads, None)
+        .expect("reads fit");
+    let meta = dfs.stat("/runs/run1/reads").expect("file exists");
+    println!(
+        "stored {} bytes as {} blocks x3 replicas on {} nodes",
+        meta.size,
+        meta.blocks,
+        dfs.topology().node_count()
+    );
+
+    // --- Sequential reference ----------------------------------------
+    let t = Instant::now();
+    let reference = count_kmers_sequential(&reads, K);
+    let seq_time = t.elapsed();
+    println!(
+        "sequential {K}-mer count: {} distinct k-mers in {:.2?}",
+        reference.len(),
+        seq_time
+    );
+
+    // --- MapReduce job, with and without combiner ---------------------
+    for (label, use_combiner) in [("no combiner", false), ("combiner", true)] {
+        let cfg = JobConfig::on_cluster(&dfs, 8);
+        let t = Instant::now();
+        let out = if use_combiner {
+            run_job(
+                &dfs,
+                &["/runs/run1/reads".to_string()],
+                &KmerMapper { k: K },
+                Some(&KmerCombiner),
+                &KmerReducer,
+                &cfg,
+            )
+        } else {
+            run_job(
+                &dfs,
+                &["/runs/run1/reads".to_string()],
+                &KmerMapper { k: K },
+                no_combiner::<KmerMapper>(),
+                &KmerReducer,
+                &cfg,
+            )
+        }
+        .expect("job runs");
+        let wall = t.elapsed();
+        assert_eq!(out.output.len(), reference.len(), "results must agree");
+        println!(
+            "mapreduce ({label}): {} maps, locality {}/{}/{} (node/rack/remote), \
+             shuffled {} of {} pairs, {:.2?}",
+            out.stats.map_tasks,
+            out.stats.node_local_maps,
+            out.stats.rack_local_maps,
+            out.stats.remote_maps,
+            out.stats.shuffled_records,
+            out.stats.map_output_records,
+            wall
+        );
+    }
+
+    // --- Verify against the reference --------------------------------
+    let cfg = JobConfig::on_cluster(&dfs, 8);
+    let out = run_job(
+        &dfs,
+        &["/runs/run1/reads".to_string()],
+        &KmerMapper { k: K },
+        Some(&KmerCombiner),
+        &KmerReducer,
+        &cfg,
+    )
+    .expect("job runs");
+    let mut got: Vec<(Vec<u8>, u64)> = out.output;
+    got.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (kmer, count) in got.iter().take(5) {
+        assert_eq!(reference.get(kmer), Some(count));
+        println!(
+            "  {:>6}x {}",
+            count,
+            String::from_utf8_lossy(kmer)
+        );
+    }
+    println!("distributed and sequential counts agree; sequencing demo complete");
+}

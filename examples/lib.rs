@@ -1,0 +1,1 @@
+//! Shared placeholder library for the examples package.

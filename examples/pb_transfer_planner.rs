@@ -1,0 +1,114 @@
+//! Bulk-transfer planning (paper, slide 11): reproduces the "15 days to
+//! transfer 1 PB over an ideal 10 Gb/s link" estimate, sweeps dataset
+//! size against link speed, finds the move-data vs move-compute
+//! crossover, and cross-checks the analytic numbers against the
+//! flow-level facility network simulation.
+//!
+//! Run with: `cargo run --release -p lsdf-examples --bin pb_transfer_planner`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lsdf_core::planner::plan_processing;
+use lsdf_net::units::{GB, GBIT, PB, TB, TEN_GBIT};
+use lsdf_net::{lsdf, movement_crossover, NetSim, Placement, PlacementCosts, TransferModel};
+use lsdf_sim::{SimDuration, Simulation};
+
+fn main() {
+    // --- The paper's headline estimate --------------------------------
+    println!("== 1 PB over 10 Gb/s (paper slide 11) ==");
+    for (label, eff) in [("ideal link", 1.0), ("realistic (62% goodput)", 0.62)] {
+        let m = TransferModel::with_efficiency(TEN_GBIT, eff);
+        println!("  {label:<24} {:>6.2} days", m.days_for_bytes(PB));
+    }
+    println!("  paper quote:            ~15 days\n");
+
+    // --- Size x bandwidth sweep ---------------------------------------
+    println!("== transfer time (days), 70% protocol efficiency ==");
+    println!("{:>10} {:>10} {:>10} {:>10}", "size", "1 Gb/s", "10 Gb/s", "100 Gb/s");
+    for (label, bytes) in [
+        ("1 TB", TB),
+        ("10 TB", 10 * TB),
+        ("100 TB", 100 * TB),
+        ("1 PB", PB),
+        ("6 PB", 6 * PB),
+    ] {
+        let row: Vec<String> = [GBIT, TEN_GBIT, 10.0 * TEN_GBIT]
+            .iter()
+            .map(|&bw| {
+                let m = TransferModel::with_efficiency(bw, 0.7);
+                format!("{:>10.2}", m.days_for_bytes(bytes))
+            })
+            .collect();
+        println!("{label:>10} {}", row.join(" "));
+    }
+
+    // --- Move data or move compute? ------------------------------------
+    println!("\n== bring computing to the data (slide 11) ==");
+    let link = TransferModel::with_efficiency(TEN_GBIT, 0.7);
+    let staging = SimDuration::from_mins(5);
+    let image = 4 * GB;
+    let costs = PlacementCosts {
+        data_link: link,
+        compute_staging: staging,
+        compute_image_bytes: image,
+    };
+    let crossover = movement_crossover(&costs, PB).expect("crossover exists");
+    println!(
+        "  crossover at {:.0} GB: below this, ship the data; above, ship the VM",
+        crossover as f64 / GB as f64
+    );
+    for bytes in [10 * GB, 500 * GB, 10 * TB, PB] {
+        let plan = plan_processing(bytes, link, staging, image);
+        println!(
+            "  {:>8.1} GB -> {:<12} ({} vs {} for the alternative)",
+            bytes as f64 / GB as f64,
+            match plan.placement {
+                Placement::MoveData => "move data",
+                Placement::MoveCompute => "move compute",
+            },
+            plan.duration,
+            plan.alternative,
+        );
+    }
+
+    // --- Cross-check with the flow-level facility simulation -----------
+    println!("\n== flow-level simulation cross-check ==");
+    let net = lsdf::build(2);
+    let sim_net = NetSim::with_efficiency(net.topology.clone(), 0.62);
+    let mut sim = Simulation::new();
+    let done: Rc<RefCell<Option<f64>>> = Rc::new(RefCell::new(None));
+    {
+        let done = done.clone();
+        sim_net
+            .start_flow(&mut sim, net.storage_ibm, net.heidelberg, PB, move |s, _| {
+                *done.borrow_mut() = Some(s.now().as_secs_f64());
+            })
+            .expect("route exists");
+    }
+    sim.run();
+    let days = done.borrow().expect("flow completes") / 86_400.0;
+    println!("  simulated 1 PB KIT -> Heidelberg: {days:.2} days (analytic: {:.2})",
+        TransferModel::with_efficiency(TEN_GBIT, 0.62).days_for_bytes(PB));
+
+    // Contended: two experiments share the backbone to one storage head.
+    let sim_net = NetSim::with_efficiency(net.topology.clone(), 1.0);
+    let mut sim = Simulation::new();
+    let times: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+    for &daq in &net.daq {
+        let times = times.clone();
+        sim_net
+            .start_flow(&mut sim, daq, net.storage_ibm, 100 * TB, move |s, _| {
+                times.borrow_mut().push(s.now().as_secs_f64());
+            })
+            .expect("route exists");
+    }
+    sim.run();
+    let t = times.borrow();
+    println!(
+        "  two DAQs x 100 TB into one storage head: {:.2} days each \
+         (dual-homed head absorbs both at line rate)",
+        t[0] / 86_400.0
+    );
+    println!("\nplanner complete");
+}
