@@ -25,6 +25,10 @@ pub struct EntryMeta {
 }
 
 /// Unified backend error.
+///
+/// Every failure mode of the wrapped subsystems maps to a typed variant
+/// here; [`BackendError::Other`] exists only for out-of-tree backends
+/// and carries no in-tree conversions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BackendError {
     /// Key not found.
@@ -33,7 +37,15 @@ pub enum BackendError {
     AlreadyExists(String),
     /// Out of capacity.
     NoSpace(String),
-    /// Anything else, with context.
+    /// Data integrity violation (checksum mismatch on read-back or
+    /// during a tier move).
+    Integrity(String),
+    /// The data exists but cannot currently be served (e.g. every
+    /// replica of a DFS block is on a dead datanode).
+    Unavailable(String),
+    /// The backend does not support this operation by design.
+    Unsupported(String),
+    /// Anything else, with context (reserved for external backends).
     Other(String),
 }
 
@@ -43,6 +55,9 @@ impl std::fmt::Display for BackendError {
             BackendError::NotFound(k) => write!(f, "'{k}' not found"),
             BackendError::AlreadyExists(k) => write!(f, "'{k}' already exists"),
             BackendError::NoSpace(m) => write!(f, "no space: {m}"),
+            BackendError::Integrity(m) => write!(f, "integrity violation: {m}"),
+            BackendError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            BackendError::Unsupported(m) => write!(f, "unsupported: {m}"),
             BackendError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -59,7 +74,7 @@ impl From<StoreError> for BackendError {
                 BackendError::NoSpace(format!("need {requested}, free {free}"))
             }
             StoreError::ChecksumMismatch(k) => {
-                BackendError::Other(format!("checksum mismatch on '{k}'"))
+                BackendError::Integrity(format!("checksum mismatch on '{k}'"))
             }
         }
     }
@@ -71,7 +86,10 @@ impl From<DfsError> for BackendError {
             DfsError::FileNotFound(p) => BackendError::NotFound(p),
             DfsError::FileExists(p) => BackendError::AlreadyExists(p),
             DfsError::NoSpace => BackendError::NoSpace("dfs".into()),
-            other => BackendError::Other(other.to_string()),
+            DfsError::BlockUnavailable(b) => {
+                BackendError::Unavailable(format!("no live replica of {b:?}"))
+            }
+            DfsError::DataNode(e) => BackendError::Unavailable(format!("datanode: {e}")),
         }
     }
 }
@@ -81,7 +99,9 @@ impl From<HsmError> for BackendError {
         match e {
             HsmError::NotFound(k) => BackendError::NotFound(k),
             HsmError::Store(s) => s.into(),
-            other => BackendError::Other(other.to_string()),
+            HsmError::IntegrityViolation(k) => {
+                BackendError::Integrity(format!("tier move verification failed for '{k}'"))
+            }
         }
     }
 }
@@ -98,8 +118,9 @@ pub trait StorageBackend: Send + Sync {
     fn stat(&self, key: &str) -> Result<EntryMeta, BackendError>;
     /// Deletes `key` (lifecycle management).
     fn delete(&self, key: &str) -> Result<(), BackendError>;
-    /// Keys under `prefix`, sorted.
-    fn list(&self, prefix: &str) -> Vec<EntryMeta>;
+    /// Keys under `prefix`, sorted. Backend failures surface as errors
+    /// rather than being swallowed into an empty listing.
+    fn list(&self, prefix: &str) -> Result<Vec<EntryMeta>, BackendError>;
     /// True when `key` exists.
     fn exists(&self, key: &str) -> bool {
         self.stat(key).is_ok()
@@ -140,15 +161,16 @@ impl StorageBackend for ObjectStoreBackend {
         self.store.delete(key)?;
         Ok(())
     }
-    fn list(&self, prefix: &str) -> Vec<EntryMeta> {
-        self.store
+    fn list(&self, prefix: &str) -> Result<Vec<EntryMeta>, BackendError> {
+        Ok(self
+            .store
             .list(prefix)
             .into_iter()
             .map(|m| EntryMeta {
                 key: m.key,
                 size: m.size,
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -186,15 +208,16 @@ impl StorageBackend for DfsBackend {
         self.dfs.delete(key)?;
         Ok(())
     }
-    fn list(&self, prefix: &str) -> Vec<EntryMeta> {
-        self.dfs
+    fn list(&self, prefix: &str) -> Result<Vec<EntryMeta>, BackendError> {
+        Ok(self
+            .dfs
             .list(prefix)
             .into_iter()
             .map(|m| EntryMeta {
                 key: m.path,
                 size: m.size,
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -233,13 +256,13 @@ impl StorageBackend for HsmBackend {
             .ok_or_else(|| BackendError::NotFound(key.to_string()))
     }
     fn delete(&self, _key: &str) -> Result<(), BackendError> {
-        Err(BackendError::Other(
+        Err(BackendError::Unsupported(
             "HSM-managed objects are immutable archives; deletion is a \
              curation decision outside the data path"
                 .into(),
         ))
     }
-    fn list(&self, prefix: &str) -> Vec<EntryMeta> {
+    fn list(&self, prefix: &str) -> Result<Vec<EntryMeta>, BackendError> {
         let mut out: Vec<EntryMeta> = self
             .hsm
             .catalog()
@@ -251,7 +274,7 @@ impl StorageBackend for HsmBackend {
             })
             .collect();
         out.sort_by(|a, b| a.key.cmp(&b.key));
-        out
+        Ok(out)
     }
 }
 
@@ -303,7 +326,12 @@ mod tests {
             // list
             b.put("a/y", payload("1")).unwrap();
             b.put("b/z", payload("2")).unwrap();
-            let keys: Vec<String> = b.list("a/").into_iter().map(|m| m.key).collect();
+            let keys: Vec<String> = b
+                .list("a/")
+                .unwrap()
+                .into_iter()
+                .map(|m| m.key)
+                .collect();
             assert_eq!(keys, vec!["a/x", "a/y"], "{kind}");
             // missing keys
             assert!(matches!(b.get("nope"), Err(BackendError::NotFound(_))), "{kind}");
@@ -321,7 +349,23 @@ mod tests {
         }
         let hsm = &bs[2];
         hsm.put("k", payload("v")).unwrap();
-        assert!(matches!(hsm.delete("k"), Err(BackendError::Other(_))));
+        assert!(matches!(hsm.delete("k"), Err(BackendError::Unsupported(_))));
         assert!(hsm.exists("k"));
+    }
+
+    #[test]
+    fn subsystem_errors_map_to_typed_variants() {
+        assert!(matches!(
+            BackendError::from(StoreError::ChecksumMismatch("k".into())),
+            BackendError::Integrity(_)
+        ));
+        assert!(matches!(
+            BackendError::from(DfsError::NoSpace),
+            BackendError::NoSpace(_)
+        ));
+        assert!(matches!(
+            BackendError::from(HsmError::IntegrityViolation("k".into())),
+            BackendError::Integrity(_)
+        ));
     }
 }

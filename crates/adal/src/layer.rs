@@ -1,14 +1,22 @@
 //! The ADAL itself: a registry mapping project mounts to backends, with
 //! authentication, authorization and operation accounting on every call.
+//!
+//! Accounting goes through the `lsdf-obs` registry: each operation
+//! bumps `adal_ops_total{op=..}` (plus a per-project
+//! `adal_project_ops_total{project=..,op=..}` breakdown) and records
+//! its latency into `adal_op_latency_ns{op=..}`. The historical
+//! [`AdalCounters`] struct remains as a compatibility view computed
+//! from the registry counters.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 
-use crate::auth::{Access, Acl, AuthError, AuthProvider, Credential};
+use lsdf_obs::{Counter, Histogram, Registry};
+
+use crate::auth::{Access, Acl, AuthError, AuthProvider, Credential, TokenAuth};
 use crate::backend::{BackendError, EntryMeta, StorageBackend};
 use crate::path::{LsdfPath, PathError};
 
@@ -55,6 +63,10 @@ impl From<BackendError> for AdalError {
 }
 
 /// Operation counters (the E9 overhead accounting).
+///
+/// Compatibility view over the obs registry: `puts`/`gets` mirror
+/// `adal_ops_total{op=put|get}`, `metas` is the sum of the `stat` and
+/// `list` ops, `denied` mirrors `adal_denied_total`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AdalCounters {
     /// `put` calls served.
@@ -67,29 +79,86 @@ pub struct AdalCounters {
     pub denied: u64,
 }
 
+/// Cached registry handles for the hot path — resolved once at
+/// construction so operations only touch atomics.
+struct OpMetrics {
+    puts: Counter,
+    gets: Counter,
+    stats: Counter,
+    lists: Counter,
+    deletes: Counter,
+    denied: Counter,
+    put_latency: Histogram,
+    get_latency: Histogram,
+    stat_latency: Histogram,
+    list_latency: Histogram,
+    put_bytes: Histogram,
+    get_bytes: Histogram,
+}
+
+impl OpMetrics {
+    fn new(reg: &Registry) -> Self {
+        let op_counter = |op| reg.counter("adal_ops_total", &[("op", op)]);
+        let op_latency = |op| reg.histogram("adal_op_latency_ns", &[("op", op)]);
+        OpMetrics {
+            puts: op_counter("put"),
+            gets: op_counter("get"),
+            stats: op_counter("stat"),
+            lists: op_counter("list"),
+            deletes: op_counter("delete"),
+            denied: reg.counter("adal_denied_total", &[]),
+            put_latency: op_latency("put"),
+            get_latency: op_latency("get"),
+            stat_latency: op_latency("stat"),
+            list_latency: op_latency("list"),
+            put_bytes: reg.histogram("adal_put_bytes", &[]),
+            get_bytes: reg.histogram("adal_get_bytes", &[]),
+        }
+    }
+}
+
 /// The Abstract Data Access Layer.
 pub struct Adal {
     auth: Arc<dyn AuthProvider>,
     acl: Arc<Acl>,
     mounts: RwLock<HashMap<String, Arc<dyn StorageBackend>>>,
-    puts: AtomicU64,
-    gets: AtomicU64,
-    metas: AtomicU64,
-    denied: AtomicU64,
+    obs: Arc<Registry>,
+    ops: OpMetrics,
 }
 
 impl Adal {
-    /// Creates an ADAL with the given authentication provider and ACL.
+    /// Creates an ADAL with the given authentication provider and ACL,
+    /// recording into a private obs registry. Use
+    /// [`Adal::with_registry`] (or [`Adal::builder`]) to share a
+    /// facility-wide registry.
     pub fn new(auth: Arc<dyn AuthProvider>, acl: Arc<Acl>) -> Self {
+        Self::with_registry(auth, acl, Arc::new(Registry::new()))
+    }
+
+    /// Creates an ADAL recording into `registry`.
+    pub fn with_registry(
+        auth: Arc<dyn AuthProvider>,
+        acl: Arc<Acl>,
+        registry: Arc<Registry>,
+    ) -> Self {
+        let ops = OpMetrics::new(&registry);
         Adal {
             auth,
             acl,
             mounts: RwLock::new(HashMap::new()),
-            puts: AtomicU64::new(0),
-            gets: AtomicU64::new(0),
-            metas: AtomicU64::new(0),
-            denied: AtomicU64::new(0),
+            obs: registry,
+            ops,
         }
+    }
+
+    /// Starts a fluent [`AdalBuilder`].
+    pub fn builder() -> AdalBuilder {
+        AdalBuilder::new()
+    }
+
+    /// The obs registry this layer records into.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// Mounts a backend under a project name. Remounting replaces the
@@ -97,6 +166,10 @@ impl Adal {
     /// slide 6: "transparent access over background storage and
     /// technology changes").
     pub fn mount(&self, project: &str, backend: Arc<dyn StorageBackend>) {
+        self.obs.event(
+            "adal_mount",
+            &[("project", project), ("backend", backend.kind())],
+        );
         self.mounts.write().insert(project.to_string(), backend);
     }
 
@@ -128,12 +201,12 @@ impl Adal {
         access: Access,
     ) -> Result<(Arc<dyn StorageBackend>, LsdfPath), AdalError> {
         let principal = self.auth.authenticate(cred).inspect_err(|_| {
-            self.denied.fetch_add(1, Ordering::Relaxed);
+            self.ops.denied.inc();
         })?;
         self.acl
             .check(&principal, &parsed.project, access)
             .inspect_err(|_| {
-                self.denied.fetch_add(1, Ordering::Relaxed);
+                self.ops.denied.inc();
             })?;
         let backend = self
             .mounts
@@ -144,61 +217,157 @@ impl Adal {
         Ok((backend, parsed))
     }
 
+    /// Per-project operation breakdown, labelled by backend kind.
+    fn project_op(&self, project: &str, backend: &str, op: &str) {
+        self.obs
+            .counter(
+                "adal_project_ops_total",
+                &[("project", project), ("backend", backend), ("op", op)],
+            )
+            .inc();
+    }
+
     /// Stores an object at `lsdf://project/key`.
     pub fn put(&self, cred: &Credential, path: &str, data: Bytes) -> Result<(), AdalError> {
+        let span = self.obs.span(&self.ops.put_latency);
         let (backend, parsed) = self.resolve(cred, path, Access::Write)?;
+        let len = data.len() as u64;
         backend.put(&parsed.key, data)?;
-        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.ops.puts.inc();
+        self.ops.put_bytes.record(len);
+        self.project_op(&parsed.project, backend.kind(), "put");
+        span.finish();
         Ok(())
     }
 
     /// Fetches an object.
     pub fn get(&self, cred: &Credential, path: &str) -> Result<Bytes, AdalError> {
+        let span = self.obs.span(&self.ops.get_latency);
         let (backend, parsed) = self.resolve(cred, path, Access::Read)?;
         let data = backend.get(&parsed.key)?;
-        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.ops.gets.inc();
+        self.ops.get_bytes.record(data.len() as u64);
+        self.project_op(&parsed.project, backend.kind(), "get");
+        span.finish();
         Ok(data)
     }
 
     /// Metadata for an object.
     pub fn stat(&self, cred: &Credential, path: &str) -> Result<EntryMeta, AdalError> {
+        let span = self.obs.span(&self.ops.stat_latency);
         let (backend, parsed) = self.resolve(cred, path, Access::Read)?;
         let meta = backend.stat(&parsed.key)?;
-        self.metas.fetch_add(1, Ordering::Relaxed);
+        self.ops.stats.inc();
+        self.project_op(&parsed.project, backend.kind(), "stat");
+        span.finish();
         Ok(meta)
     }
 
     /// Lists keys under `lsdf://project/prefix` (the prefix may be empty
-    /// to list a whole project).
+    /// to list a whole project). Backend listing failures surface as
+    /// [`AdalError::Backend`].
     pub fn list(&self, cred: &Credential, path: &str) -> Result<Vec<EntryMeta>, AdalError> {
+        let span = self.obs.span(&self.ops.list_latency);
         let (backend, parsed) =
             self.resolve_parsed(cred, LsdfPath::parse_prefix(path)?, Access::Read)?;
-        self.metas.fetch_add(1, Ordering::Relaxed);
-        Ok(backend.list(&parsed.key))
+        let entries = backend.list(&parsed.key)?;
+        self.ops.lists.inc();
+        self.project_op(&parsed.project, backend.kind(), "list");
+        span.finish();
+        Ok(entries)
     }
 
     /// Deletes an object (requires write access).
     pub fn delete(&self, cred: &Credential, path: &str) -> Result<(), AdalError> {
         let (backend, parsed) = self.resolve(cred, path, Access::Write)?;
         backend.delete(&parsed.key)?;
+        self.ops.deletes.inc();
+        self.project_op(&parsed.project, backend.kind(), "delete");
         Ok(())
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (compatibility view over the obs registry).
     pub fn counters(&self) -> AdalCounters {
         AdalCounters {
-            puts: self.puts.load(Ordering::Relaxed),
-            gets: self.gets.load(Ordering::Relaxed),
-            metas: self.metas.load(Ordering::Relaxed),
-            denied: self.denied.load(Ordering::Relaxed),
+            puts: self.ops.puts.get(),
+            gets: self.ops.gets.get(),
+            metas: self.ops.stats.get() + self.ops.lists.get(),
+            denied: self.ops.denied.get(),
         }
+    }
+}
+
+/// Fluent construction for [`Adal`]: auth provider, ACL, initial
+/// mounts, and the obs registry in one chain.
+///
+/// ```
+/// use std::sync::Arc;
+/// use lsdf_adal::{Adal, Acl, TokenAuth};
+///
+/// let auth = Arc::new(TokenAuth::new());
+/// auth.register("tok", "alice");
+/// let acl = Arc::new(Acl::new());
+/// acl.grant("alice", "proj", true);
+/// let adal = Adal::builder().auth(auth).acl(acl).build();
+/// assert!(adal.projects().is_empty());
+/// ```
+#[derive(Default)]
+pub struct AdalBuilder {
+    auth: Option<Arc<dyn AuthProvider>>,
+    acl: Option<Arc<Acl>>,
+    mounts: Vec<(String, Arc<dyn StorageBackend>)>,
+    registry: Option<Arc<Registry>>,
+}
+
+impl AdalBuilder {
+    /// An empty builder. Defaults: a fresh [`TokenAuth`] with no
+    /// tokens, an empty [`Acl`], no mounts, a private registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the authentication provider.
+    pub fn auth(mut self, auth: Arc<dyn AuthProvider>) -> Self {
+        self.auth = Some(auth);
+        self
+    }
+
+    /// Sets the ACL.
+    pub fn acl(mut self, acl: Arc<Acl>) -> Self {
+        self.acl = Some(acl);
+        self
+    }
+
+    /// Adds an initial project mount.
+    pub fn mount(mut self, project: &str, backend: Arc<dyn StorageBackend>) -> Self {
+        self.mounts.push((project.to_string(), backend));
+        self
+    }
+
+    /// Records into a shared obs registry instead of a private one.
+    pub fn registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Builds the layer and applies the mounts.
+    pub fn build(self) -> Adal {
+        let auth = self
+            .auth
+            .unwrap_or_else(|| Arc::new(TokenAuth::new()) as Arc<dyn AuthProvider>);
+        let acl = self.acl.unwrap_or_else(|| Arc::new(Acl::new()));
+        let registry = self.registry.unwrap_or_default();
+        let adal = Adal::with_registry(auth, acl, registry);
+        for (project, backend) in self.mounts {
+            adal.mount(&project, backend);
+        }
+        adal
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::auth::TokenAuth;
     use crate::backend::ObjectStoreBackend;
     use lsdf_storage::ObjectStore;
 
@@ -248,6 +417,65 @@ mod tests {
                 denied: 0
             }
         );
+    }
+
+    #[test]
+    fn registry_mirrors_the_compat_counters() {
+        let (adal, cred) = setup();
+        adal.put(&cred, "lsdf://zebrafish/raw/i1", b("px")).unwrap();
+        adal.get(&cred, "lsdf://zebrafish/raw/i1").unwrap();
+        adal.stat(&cred, "lsdf://zebrafish/raw/i1").unwrap();
+        let reg = adal.obs();
+        assert_eq!(reg.counter_value("adal_ops_total", &[("op", "put")]), 1);
+        assert_eq!(reg.counter_value("adal_ops_total", &[("op", "get")]), 1);
+        assert_eq!(reg.counter_value("adal_ops_total", &[("op", "stat")]), 1);
+        // Per-project breakdown carries the backend label.
+        assert_eq!(
+            reg.counter_value(
+                "adal_project_ops_total",
+                &[("project", "zebrafish"), ("backend", "object-store"), ("op", "put")],
+            ),
+            1
+        );
+        // Latency recorded per op.
+        let lat = reg.histogram("adal_op_latency_ns", &[("op", "put")]);
+        assert_eq!(lat.count(), 1);
+        // Payload sizes recorded.
+        assert_eq!(reg.histogram("adal_put_bytes", &[]).sum(), 2);
+    }
+
+    #[test]
+    fn builder_chain_builds_a_working_layer() {
+        let auth = Arc::new(TokenAuth::new());
+        auth.register("tok", "garcia");
+        let acl = Arc::new(Acl::new());
+        acl.grant("garcia", "zebrafish", true);
+        let reg = Arc::new(Registry::new());
+        let adal = Adal::builder()
+            .auth(auth)
+            .acl(acl)
+            .registry(reg.clone())
+            .mount(
+                "zebrafish",
+                Arc::new(ObjectStoreBackend::new(Arc::new(ObjectStore::new(
+                    "z",
+                    u64::MAX,
+                )))),
+            )
+            .build();
+        let cred = Credential::Token("tok".into());
+        adal.put(&cred, "lsdf://zebrafish/a", b("1")).unwrap();
+        assert_eq!(adal.projects(), vec!["zebrafish"]);
+        // The shared registry saw the op.
+        assert_eq!(reg.counter_value("adal_ops_total", &[("op", "put")]), 1);
+    }
+
+    #[test]
+    fn builder_defaults_deny_everything() {
+        let adal = Adal::builder().build();
+        let r = adal.get(&Credential::Token("any".into()), "lsdf://p/x");
+        assert!(matches!(r, Err(AdalError::Auth(_))));
+        assert_eq!(adal.counters().denied, 1);
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub use auth::{Access, Acl, AuthError, AuthProvider, Credential, Principal, Toke
 pub use backend::{
     BackendError, DfsBackend, EntryMeta, HsmBackend, ObjectStoreBackend, StorageBackend,
 };
-pub use layer::{Adal, AdalCounters, AdalError};
+pub use layer::{Adal, AdalBuilder, AdalCounters, AdalError};
 pub use path::{LsdfPath, PathError};

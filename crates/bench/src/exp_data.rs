@@ -85,6 +85,35 @@ pub fn e1_ingest(quick: bool) -> ExpReport {
                 "all catalogued",
                 format!("{}/{}", report.registered, report.rejected),
             ),
+            ExpRow::new(
+                "registry: ingest outcomes",
+                "(from facility_ingest_total)",
+                format!(
+                    "{} registered, {} accepted",
+                    f.obs().counter_value(
+                        "facility_ingest_total",
+                        &[("project", "zebrafish-htm"), ("outcome", "registered")],
+                    ),
+                    fmt_bytes(
+                        f.obs()
+                            .histogram("facility_ingest_bytes", &[("project", "zebrafish-htm")])
+                            .sum() as f64
+                    ),
+                ),
+            ),
+            ExpRow::new(
+                "registry: ingest latency p50/p95/p99",
+                "(from facility_ingest_latency_ns)",
+                {
+                    let lat = f.obs().histogram("facility_ingest_latency_ns", &[]);
+                    format!(
+                        "{} / {} / {}",
+                        fmt_secs(lat.quantile(0.50) as f64 / 1e9),
+                        fmt_secs(lat.quantile(0.95) as f64 / 1e9),
+                        fmt_secs(lat.quantile(0.99) as f64 / 1e9),
+                    )
+                },
+            ),
         ],
     }
 }

@@ -4,7 +4,9 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 
+use lsdf_obs::{Counter, Gauge, Histogram, Registry};
 use lsdf_sim::{Resource, SimDuration, SimTime, Simulation, Tally};
 
 use crate::types::{
@@ -61,6 +63,32 @@ struct VmRecord {
 
 type OnRunning = Box<dyn FnOnce(&mut Simulation, VmId)>;
 
+/// Registry handles for the VM lifecycle. Latencies and event timestamps
+/// are simulated-time nanoseconds recorded via [`Registry::event_at`], so a
+/// registry shared with wall-clock subsystems keeps its clock untouched.
+#[derive(Clone)]
+struct CloudObs {
+    registry: Arc<Registry>,
+    submitted: Counter,
+    deployed: Counter,
+    failed: Counter,
+    running: Gauge,
+    deploy_latency: Histogram,
+}
+
+impl CloudObs {
+    fn new(registry: Arc<Registry>) -> Self {
+        CloudObs {
+            submitted: registry.counter("cloud_vms_total", &[("state", "submitted")]),
+            deployed: registry.counter("cloud_vms_total", &[("state", "deployed")]),
+            failed: registry.counter("cloud_vms_total", &[("state", "failed")]),
+            running: registry.gauge("cloud_vms_running", &[]),
+            deploy_latency: registry.histogram("cloud_deploy_latency_ns", &[]),
+            registry,
+        }
+    }
+}
+
 struct Inner {
     config: CloudConfig,
     loads: Vec<HostLoad>,
@@ -71,6 +99,7 @@ struct Inner {
     deploy_latency: Tally,
     deployments: Vec<DeploymentRecord>,
     failed: u64,
+    obs: Option<CloudObs>,
 }
 
 /// Handle to the cloud manager (cheaply cloneable; event closures capture
@@ -83,6 +112,17 @@ pub struct CloudManager {
 impl CloudManager {
     /// Creates a manager with all hosts empty and alive.
     pub fn new(config: CloudConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Like [`CloudManager::new`] but publishing VM lifecycle metrics
+    /// (`cloud_vms_total{state}`, `cloud_vms_running`,
+    /// `cloud_deploy_latency_ns`) into `registry`.
+    pub fn with_registry(config: CloudConfig, registry: Arc<Registry>) -> Self {
+        Self::build(config, Some(CloudObs::new(registry)))
+    }
+
+    fn build(config: CloudConfig, obs: Option<CloudObs>) -> Self {
         assert!(!config.hosts.is_empty(), "cloud needs at least one host");
         assert!(config.staging_bps > 0.0, "staging bandwidth must be positive");
         let loads = config
@@ -104,6 +144,7 @@ impl CloudManager {
                 deploy_latency: Tally::new(),
                 deployments: Vec::new(),
                 failed: 0,
+                obs,
             })),
         }
     }
@@ -130,6 +171,14 @@ impl CloudManager {
             }
             let id = VmId(inner.next_vm);
             inner.next_vm += 1;
+            if let Some(obs) = &inner.obs {
+                obs.submitted.inc();
+                obs.registry.event_at(
+                    sim.now().as_nanos(),
+                    "vm_submit",
+                    &[("template", &template.name)],
+                );
+            }
             inner.vms.insert(
                 id,
                 VmRecord {
@@ -167,6 +216,11 @@ impl CloudManager {
             load.mem -= mem;
             load.disk -= disk;
             load.vms -= 1;
+            if let Some(obs) = &inner.obs {
+                obs.running.add(-1);
+                obs.registry
+                    .event_at(sim.now().as_nanos(), "vm_shutdown", &[]);
+            }
         }
         self.schedule_pending(sim);
         Ok(())
@@ -191,11 +245,21 @@ impl CloudManager {
                 .filter(|(_, r)| r.host == Some(host) && !matches!(r.state, VmState::Done))
                 .map(|(&id, _)| id)
                 .collect();
+            let mut was_running = 0i64;
             for id in &failed {
                 let r = inner.vms.get_mut(id).expect("id from iteration");
+                if r.state == VmState::Running {
+                    was_running += 1;
+                }
                 r.state = VmState::Failed;
             }
             inner.failed += failed.len() as u64;
+            if let Some(obs) = &inner.obs {
+                obs.failed.add(failed.len() as u64);
+                obs.running.add(-was_running);
+                obs.registry
+                    .event_at(sim.now().as_nanos(), "host_failure", &[]);
+            }
             failed
         };
         self.schedule_pending(sim);
@@ -359,6 +423,14 @@ impl CloudManager {
                         inner
                             .deploy_latency
                             .record(record.deploy_latency().as_secs_f64());
+                        if let Some(obs) = &inner.obs {
+                            obs.deployed.inc();
+                            obs.running.add(1);
+                            obs.deploy_latency
+                                .record(record.deploy_latency().as_nanos());
+                            obs.registry
+                                .event_at(sim.now().as_nanos(), "vm_running", &[]);
+                        }
                         inner.deployments.push(record);
                         true
                     };
@@ -523,6 +595,30 @@ mod tests {
             cloud.shutdown(&mut sim, vm),
             Err(CloudError::BadState { .. })
         ));
+    }
+
+    #[test]
+    fn registry_tracks_vm_lifecycle_in_sim_time() {
+        let reg = Arc::new(Registry::new());
+        let cloud = CloudManager::with_registry(config(2, Placement::FirstFit), reg.clone());
+        let mut sim = Simulation::new();
+        let vm = cloud
+            .submit(&mut sim, VmTemplate::small("t"), |_, _| {})
+            .unwrap();
+        sim.run();
+        assert_eq!(reg.counter_value("cloud_vms_total", &[("state", "submitted")]), 1);
+        assert_eq!(reg.counter_value("cloud_vms_total", &[("state", "deployed")]), 1);
+        assert_eq!(reg.gauge("cloud_vms_running", &[]).get(), 1);
+        // 4 GB at 1 GB/s = 4 s staging + 30 s boot = 34 s, in sim-time ns.
+        let lat = reg.histogram("cloud_deploy_latency_ns", &[]);
+        assert_eq!(lat.count(), 1);
+        assert_eq!(lat.sum(), SimDuration::from_secs(34).as_nanos());
+        cloud.shutdown(&mut sim, vm).unwrap();
+        assert_eq!(reg.gauge("cloud_vms_running", &[]).get(), 0);
+        let names: Vec<String> = reg.events().into_iter().map(|e| e.name).collect();
+        assert!(names.contains(&"vm_submit".to_string()));
+        assert!(names.contains(&"vm_running".to_string()));
+        assert!(names.contains(&"vm_shutdown".to_string()));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use lsdf_adal::{
 };
 use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
 use lsdf_metadata::{ProjectStore, Schema};
+use lsdf_obs::Registry;
 use lsdf_storage::{Hsm, MigrationPolicy, ObjectStore};
 
 use crate::error::FacilityError;
@@ -42,6 +43,7 @@ pub struct FacilityBuilder {
     cluster: ClusterTopology,
     dfs_config: DfsConfig,
     admin_token: String,
+    registry: Option<Arc<Registry>>,
 }
 
 impl FacilityBuilder {
@@ -53,7 +55,16 @@ impl FacilityBuilder {
             cluster: ClusterTopology::lsdf(),
             dfs_config: DfsConfig::default(),
             admin_token: "admin-token".to_string(),
+            registry: None,
         }
+    }
+
+    /// Supplies an external metrics registry. Every subsystem the builder
+    /// assembles (ADAL, DFS, HSM tiers, ingest pipeline) records into it;
+    /// by default the facility creates its own.
+    pub fn registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
     }
 
     /// Adds a project with its metadata schema and backend choice.
@@ -77,11 +88,22 @@ impl FacilityBuilder {
 
     /// Assembles the facility.
     pub fn build(self) -> Result<Facility, FacilityError> {
+        let obs = self.registry.unwrap_or_else(|| Arc::new(Registry::new()));
         let auth = Arc::new(TokenAuth::new());
         auth.register(&self.admin_token, "admin");
         let acl = Arc::new(Acl::new());
-        let adal = Arc::new(Adal::new(auth.clone(), acl.clone()));
-        let dfs = Arc::new(Dfs::new(self.cluster, self.dfs_config));
+        let adal = Arc::new(
+            Adal::builder()
+                .auth(auth.clone())
+                .acl(acl.clone())
+                .registry(obs.clone())
+                .build(),
+        );
+        let dfs = Arc::new(Dfs::with_registry(
+            self.cluster,
+            self.dfs_config,
+            obs.clone(),
+        ));
 
         let mut stores = HashMap::new();
         let mut hsms = HashMap::new();
@@ -103,12 +125,13 @@ impl FacilityBuilder {
                 } => {
                     let disk = Arc::new(ObjectStore::new(format!("{project}-disk"), disk_capacity));
                     let tape = Arc::new(ObjectStore::new(format!("{project}-tape"), u64::MAX));
-                    let hsm = Arc::new(Hsm::new(
+                    let hsm = Arc::new(Hsm::with_registry(
                         disk,
                         tape,
                         low_watermark,
                         high_watermark,
                         policy,
+                        obs.clone(),
                     ));
                     adal.mount(&project, Arc::new(HsmBackend::new(hsm.clone())));
                     hsms.insert(project.clone(), hsm);
@@ -129,6 +152,7 @@ impl FacilityBuilder {
             stores,
             hsms,
             admin: Credential::Token(self.admin_token),
+            obs,
         })
     }
 }
@@ -148,6 +172,7 @@ pub struct Facility {
     stores: HashMap<String, Arc<ProjectStore>>,
     hsms: HashMap<String, Arc<Hsm>>,
     admin: Credential,
+    obs: Arc<Registry>,
 }
 
 impl Facility {
@@ -159,6 +184,13 @@ impl Facility {
     /// The unified access layer.
     pub fn adal(&self) -> &Arc<Adal> {
         &self.adal
+    }
+
+    /// The facility-wide metrics registry. Every subsystem assembled by
+    /// the builder records into it; export with
+    /// [`Registry::to_json`].
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// The shared analysis cluster's DFS.
@@ -243,6 +275,43 @@ mod tests {
         assert!(f.hsm("zebrafish-htm").is_none());
         assert!(f.store("zebrafish-htm").is_ok());
         assert!(f.store("nope").is_err());
+    }
+
+    #[test]
+    fn facility_shares_one_registry_across_subsystems() {
+        let reg = Arc::new(Registry::new());
+        let f = Facility::builder()
+            .project(
+                zebrafish_schema(),
+                BackendChoice::ObjectStore { capacity: u64::MAX },
+            )
+            .project(
+                SchemaBuilder::new("katrin")
+                    .required("run", FieldType::Int)
+                    .build()
+                    .unwrap(),
+                BackendChoice::Hsm {
+                    disk_capacity: 10_000,
+                    low_watermark: 0.5,
+                    high_watermark: 0.8,
+                    policy: MigrationPolicy::OldestFirst,
+                },
+            )
+            .registry(reg.clone())
+            .build()
+            .unwrap();
+        assert!(Arc::ptr_eq(f.obs(), &reg));
+        assert!(Arc::ptr_eq(f.adal().obs(), &reg));
+        let admin = f.admin().clone();
+        f.adal()
+            .put(&admin, "lsdf://katrin/obs1", bytes::Bytes::from_static(b"abc"))
+            .unwrap();
+        // The same put is visible at the ADAL layer and the HSM tier.
+        assert_eq!(reg.counter_value("adal_ops_total", &[("op", "put")]), 1);
+        assert_eq!(
+            reg.counter_value("hsm_puts_total", &[("store", "katrin-disk")]),
+            1
+        );
     }
 
     #[test]

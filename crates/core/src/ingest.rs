@@ -62,6 +62,10 @@ impl Facility {
     /// Ingests one item: checksums the payload, stores it through the
     /// ADAL, and registers the dataset in the project's metadata store.
     /// Returns the dataset id when a catalog entry was created.
+    ///
+    /// Outcomes feed the registry as
+    /// `facility_ingest_total{project,outcome}` plus a
+    /// `facility_ingest_bytes{project}` histogram for accepted payloads.
     pub fn ingest(
         &self,
         cred: &Credential,
@@ -69,6 +73,16 @@ impl Facility {
         policy: IngestPolicy,
     ) -> Result<Option<DatasetId>, FacilityError> {
         let store = self.store(&item.project)?.clone();
+        let latency = self.obs().histogram("facility_ingest_latency_ns", &[]);
+        let span = self.obs().span(&latency);
+        let outcome = |o: &str| {
+            self.obs()
+                .counter(
+                    "facility_ingest_total",
+                    &[("project", &item.project), ("outcome", o)],
+                )
+                .inc();
+        };
         // Validate metadata *before* the payload lands, so enforcement
         // never leaves orphan bytes.
         let doc = match &item.metadata {
@@ -76,6 +90,7 @@ impl Facility {
                 Ok(()) => Some(doc.clone()),
                 Err(e) => {
                     if policy.enforce_metadata {
+                        outcome("rejected");
                         return Err(FacilityError::MetadataRequired {
                             key: item.key,
                             reason: e.to_string(),
@@ -86,6 +101,7 @@ impl Facility {
             },
             None => {
                 if policy.enforce_metadata {
+                    outcome("rejected");
                     return Err(FacilityError::MetadataRequired {
                         key: item.key,
                         reason: "no metadata supplied".to_string(),
@@ -97,9 +113,16 @@ impl Facility {
         let digest = sha256(&item.data);
         let location = format!("lsdf://{}/{}", item.project, item.key);
         let size = item.data.len() as u64;
-        self.adal().put(cred, &location, item.data)?;
-        match doc {
+        if let Err(e) = self.adal().put(cred, &location, item.data) {
+            outcome("rejected");
+            return Err(e.into());
+        }
+        self.obs()
+            .histogram("facility_ingest_bytes", &[("project", &item.project)])
+            .record(size);
+        let result = match doc {
             Some(basic) => {
+                outcome("registered");
                 let id = store.insert(NewDataset {
                     name: item.key,
                     location,
@@ -109,8 +132,13 @@ impl Facility {
                 })?;
                 Ok(Some(id))
             }
-            None => Ok(None),
-        }
+            None => {
+                outcome("stored_unregistered");
+                Ok(None)
+            }
+        };
+        span.finish();
+        result
     }
 
     /// Ingests a batch, tallying outcomes instead of failing fast.
@@ -252,6 +280,32 @@ mod tests {
         assert_eq!(report.registered, 22);
         assert_eq!(report.rejected, 2);
         assert_eq!(report.stored_unregistered, 0);
+    }
+
+    #[test]
+    fn registry_tallies_ingest_outcomes_per_project() {
+        let f = facility();
+        let admin = f.admin().clone();
+        let mut batch = items(1);
+        batch[3].metadata = None;
+        let report = f.ingest_batch(&admin, batch, IngestPolicy::default());
+        assert_eq!(report.registered, 23);
+        assert_eq!(report.rejected, 1);
+        let reg = f.obs();
+        let labels = |o: &str| [("project", "zebrafish-htm"), ("outcome", o)];
+        assert_eq!(
+            reg.counter_value("facility_ingest_total", &labels("registered")),
+            report.registered
+        );
+        assert_eq!(
+            reg.counter_value("facility_ingest_total", &labels("rejected")),
+            report.rejected
+        );
+        let bytes = reg.histogram("facility_ingest_bytes", &[("project", "zebrafish-htm")]);
+        assert_eq!(bytes.sum(), report.bytes);
+        assert_eq!(bytes.count(), report.registered);
+        // Ingest flowed through the shared ADAL counters too.
+        assert_eq!(f.adal().counters().puts, report.registered);
     }
 
     #[test]

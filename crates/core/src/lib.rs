@@ -25,9 +25,10 @@ mod facility;
 mod ingest;
 pub mod planner;
 mod policy;
+pub mod prelude;
 
 pub use browser::{DataBrowser, FindabilityReport};
-pub use error::FacilityError;
+pub use error::{FacilityError, LsdfError};
 pub use facility::{BackendChoice, Facility, FacilityBuilder};
 pub use ingest::{IngestItem, IngestPolicy, IngestReport};
 pub use campaign::{

@@ -1,0 +1,31 @@
+//! One-import surface for facility users.
+//!
+//! `use lsdf_core::prelude::*;` brings in the types a typical experiment
+//! script touches: the facility facade, the ADAL and its credentials, the
+//! metadata vocabulary, storage policies, workflow building blocks and the
+//! metrics registry — without hunting through eight crates' namespaces.
+
+pub use crate::{
+    BackendChoice, DataBrowser, Facility, FacilityBuilder, FacilityError, IngestItem,
+    IngestPolicy, IngestReport, LsdfError,
+};
+
+pub use lsdf_adal::{
+    Acl, Adal, AdalBuilder, AdalCounters, AdalError, BackendError, Credential, EntryMeta,
+    StorageBackend, TokenAuth,
+};
+
+pub use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig, DfsError, PlacementPolicy};
+
+pub use lsdf_metadata::{
+    DatasetId, DatasetRecord, Document, FieldType, MetadataError, NewDataset, ProjectStore,
+    Schema, SchemaBuilder, Value,
+};
+
+pub use lsdf_obs::{Clock, Counter, Gauge, Histogram, Registry, Span};
+
+pub use lsdf_storage::{Hsm, HsmError, MigrationPolicy, ObjectStore, StoreError};
+
+pub use lsdf_workflow::{
+    Actor, Director, Token, TriggerEngine, TriggerRule, Workflow, WorkflowError,
+};

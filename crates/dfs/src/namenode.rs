@@ -7,10 +7,10 @@
 //! from the closest replica.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use lsdf_obs::{Counter, Histogram, Registry};
 use parking_lot::{Mutex, RwLock};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -141,6 +141,47 @@ pub struct LocalityStats {
     pub remote: u64,
 }
 
+/// Registry handles for namenode-op and block-I/O accounting.
+struct DfsObs {
+    registry: Arc<Registry>,
+    writes: Counter,
+    reads: Counter,
+    stats: Counter,
+    lists: Counter,
+    deletes: Counter,
+    node_local: Counter,
+    rack_local: Counter,
+    remote: Counter,
+    rereplicated: Counter,
+    write_bytes: Histogram,
+    read_bytes: Histogram,
+    write_latency: Histogram,
+    read_latency: Histogram,
+}
+
+impl DfsObs {
+    fn new(registry: Arc<Registry>) -> Self {
+        let op = |name| registry.counter("dfs_ops_total", &[("op", name)]);
+        let loc = |name| registry.counter("dfs_block_reads_total", &[("locality", name)]);
+        DfsObs {
+            writes: op("write"),
+            reads: op("read"),
+            stats: op("stat"),
+            lists: op("list"),
+            deletes: op("delete"),
+            node_local: loc("node_local"),
+            rack_local: loc("rack_local"),
+            remote: loc("remote"),
+            rereplicated: registry.counter("dfs_rereplications_total", &[]),
+            write_bytes: registry.histogram("dfs_write_bytes", &[]),
+            read_bytes: registry.histogram("dfs_read_bytes", &[]),
+            write_latency: registry.histogram("dfs_op_latency_ns", &[("op", "write")]),
+            read_latency: registry.histogram("dfs_op_latency_ns", &[("op", "read")]),
+            registry,
+        }
+    }
+}
+
 /// The distributed filesystem: namenode state plus datanodes.
 pub struct Dfs {
     topology: ClusterTopology,
@@ -148,18 +189,29 @@ pub struct Dfs {
     nodes: Vec<Arc<DataNode>>,
     ns: RwLock<Namespace>,
     rng: Mutex<ChaCha8Rng>,
-    node_local: AtomicU64,
-    rack_local: AtomicU64,
-    remote: AtomicU64,
-    rereplicated: AtomicU64,
+    obs: DfsObs,
 }
 
 impl Dfs {
-    /// Builds a cluster of `topology.node_count()` empty datanodes.
+    /// Builds a cluster of `topology.node_count()` empty datanodes,
+    /// recording into a private obs registry.
     ///
     /// # Panics
     /// Panics if `replication` is zero or exceeds the node count.
     pub fn new(topology: ClusterTopology, config: DfsConfig) -> Self {
+        Self::with_registry(topology, config, Arc::new(Registry::new()))
+    }
+
+    /// Builds the cluster recording namenode ops, block-read locality,
+    /// and I/O sizes/latencies into a shared obs registry.
+    ///
+    /// # Panics
+    /// Panics if `replication` is zero or exceeds the node count.
+    pub fn with_registry(
+        topology: ClusterTopology,
+        config: DfsConfig,
+        registry: Arc<Registry>,
+    ) -> Self {
         assert!(config.replication >= 1, "replication must be >= 1");
         assert!(
             config.replication <= topology.node_count(),
@@ -182,11 +234,13 @@ impl Dfs {
                 blocks: HashMap::new(),
                 next_block: 0,
             }),
-            node_local: AtomicU64::new(0),
-            rack_local: AtomicU64::new(0),
-            remote: AtomicU64::new(0),
-            rereplicated: AtomicU64::new(0),
+            obs: DfsObs::new(registry),
         }
+    }
+
+    /// The obs registry this DFS records into.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs.registry
     }
 
     /// The cluster topology.
@@ -221,6 +275,7 @@ impl Dfs {
         data: &[u8],
         writer: Option<DfsNodeId>,
     ) -> Result<FileMeta, DfsError> {
+        let span = self.obs.registry.span(&self.obs.write_latency);
         {
             let ns = self.ns.read();
             if ns.files.contains_key(path) {
@@ -270,14 +325,19 @@ impl Dfs {
             );
             block_ids.push(id);
         }
-        let mut ns = self.ns.write();
-        ns.files.insert(
-            path.to_string(),
-            FileEntry {
-                blocks: block_ids.clone(),
-                size: data.len() as u64,
-            },
-        );
+        {
+            let mut ns = self.ns.write();
+            ns.files.insert(
+                path.to_string(),
+                FileEntry {
+                    blocks: block_ids.clone(),
+                    size: data.len() as u64,
+                },
+            );
+        }
+        self.obs.writes.inc();
+        self.obs.write_bytes.record(data.len() as u64);
+        span.finish();
         Ok(FileMeta {
             path: path.to_string(),
             size: data.len() as u64,
@@ -287,12 +347,16 @@ impl Dfs {
 
     /// Reads a whole file, choosing the closest live replica per block.
     pub fn read(&self, path: &str, reader: Option<DfsNodeId>) -> Result<Bytes, DfsError> {
+        let span = self.obs.registry.span(&self.obs.read_latency);
         let located = self.file_blocks(path)?;
         let mut out = Vec::with_capacity(located.iter().map(|b| b.size as usize).sum());
         for lb in &located {
             let data = self.read_block(lb, reader)?;
             out.extend_from_slice(&data);
         }
+        self.obs.reads.inc();
+        self.obs.read_bytes.record(out.len() as u64);
+        span.finish();
         Ok(Bytes::from(out))
     }
 
@@ -320,11 +384,11 @@ impl Dfs {
         for (rank, n) in candidates {
             if let Ok(data) = self.nodes[n.0 as usize].read_block(lb.id) {
                 let counter = match rank {
-                    0 => &self.node_local,
-                    1 => &self.rack_local,
-                    _ => &self.remote,
+                    0 => &self.obs.node_local,
+                    1 => &self.obs.rack_local,
+                    _ => &self.obs.remote,
                 };
-                counter.fetch_add(1, Ordering::Relaxed);
+                counter.inc();
                 return Ok(data);
             }
         }
@@ -389,6 +453,7 @@ impl Dfs {
             .files
             .get(path)
             .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        self.obs.stats.inc();
         Ok(FileMeta {
             path: path.to_string(),
             size: entry.size,
@@ -398,6 +463,7 @@ impl Dfs {
 
     /// Lists files under a prefix.
     pub fn list(&self, prefix: &str) -> Vec<FileMeta> {
+        self.obs.lists.inc();
         let ns = self.ns.read();
         ns.files
             .range(prefix.to_string()..)
@@ -431,6 +497,7 @@ impl Dfs {
                 let _ = self.nodes[n.0 as usize].delete_block(id);
             }
         }
+        self.obs.deletes.inc();
         Ok(())
     }
 
@@ -501,7 +568,7 @@ impl Dfs {
                         info.replicas.push(t);
                     }
                     created += 1;
-                    self.rereplicated.fetch_add(1, Ordering::Relaxed);
+                    self.obs.rereplicated.inc();
                 }
             }
             let _ = existing_all;
@@ -509,18 +576,19 @@ impl Dfs {
         created
     }
 
-    /// Read-locality counters.
+    /// Read-locality counters (compatibility view over the obs
+    /// registry's `dfs_block_reads_total{locality=..}` counters).
     pub fn locality_stats(&self) -> LocalityStats {
         LocalityStats {
-            node_local: self.node_local.load(Ordering::Relaxed),
-            rack_local: self.rack_local.load(Ordering::Relaxed),
-            remote: self.remote.load(Ordering::Relaxed),
+            node_local: self.obs.node_local.get(),
+            rack_local: self.obs.rack_local.get(),
+            remote: self.obs.remote.get(),
         }
     }
 
     /// Total replicas created by the replication monitor.
     pub fn rereplication_count(&self) -> u64 {
-        self.rereplicated.load(Ordering::Relaxed)
+        self.obs.rereplicated.get()
     }
 
     /// `(used bytes, capacity bytes)` across live nodes.
@@ -709,6 +777,39 @@ impl Dfs {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn registry_mirrors_ops_and_locality() {
+        let reg = Arc::new(Registry::new());
+        let fs = Dfs::with_registry(
+            ClusterTopology::new(2, 3),
+            DfsConfig {
+                block_size: 64,
+                replication: 2,
+                ..DfsConfig::default()
+            },
+            reg.clone(),
+        );
+        let data = vec![1u8; 200];
+        fs.write("/a/f1", &data, Some(DfsNodeId(0))).unwrap();
+        fs.read("/a/f1", Some(DfsNodeId(0))).unwrap();
+        fs.stat("/a/f1").unwrap();
+        fs.list("/a/");
+        assert_eq!(reg.counter_value("dfs_ops_total", &[("op", "write")]), 1);
+        assert_eq!(reg.counter_value("dfs_ops_total", &[("op", "read")]), 1);
+        assert_eq!(reg.counter_value("dfs_ops_total", &[("op", "stat")]), 1);
+        assert_eq!(reg.counter_value("dfs_ops_total", &[("op", "list")]), 1);
+        assert_eq!(reg.histogram("dfs_write_bytes", &[]).sum(), 200);
+        assert_eq!(reg.histogram("dfs_read_bytes", &[]).sum(), 200);
+        assert!(reg.histogram("dfs_op_latency_ns", &[("op", "read")]).count() >= 1);
+        // Locality counters flow through the registry and the compat view.
+        let stats = fs.locality_stats();
+        assert_eq!(
+            stats.node_local + stats.rack_local + stats.remote,
+            reg.counter_total("dfs_block_reads_total"),
+        );
+        assert_eq!(stats.node_local + stats.rack_local + stats.remote, 4);
+    }
 
     fn dfs(racks: u16, per_rack: u16, block: u64, repl: usize) -> Dfs {
         Dfs::new(

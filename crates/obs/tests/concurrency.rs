@@ -1,0 +1,76 @@
+//! Concurrency: many threads hammering the same registry handles must
+//! lose no increments and tear no histogram state.
+
+use std::sync::Arc;
+use std::thread;
+
+use lsdf_obs::Registry;
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let reg = Arc::new(Registry::new());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let reg = reg.clone();
+        handles.push(thread::spawn(move || {
+            // Each thread resolves its own handle: get-or-create must
+            // converge on the same underlying cell.
+            let c = reg.counter("stress_total", &[("kind", "inc")]);
+            let g = reg.gauge("stress_inflight", &[]);
+            for i in 0..PER_THREAD {
+                g.add(1);
+                c.inc();
+                // Mix in per-thread labels to exercise map growth.
+                if i % 1000 == 0 {
+                    reg.counter("stress_total", &[("kind", "labelled")])
+                        .inc();
+                }
+                g.add(-1);
+            }
+            let _ = t;
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        reg.counter_value("stress_total", &[("kind", "inc")]),
+        (THREADS as u64) * PER_THREAD
+    );
+    assert_eq!(
+        reg.counter_value("stress_total", &[("kind", "labelled")]),
+        (THREADS as u64) * (PER_THREAD / 1000)
+    );
+    assert_eq!(reg.gauge_value("stress_inflight", &[]), 0);
+    assert_eq!(
+        reg.counter_total("stress_total"),
+        (THREADS as u64) * (PER_THREAD + PER_THREAD / 1000)
+    );
+}
+
+#[test]
+fn concurrent_histogram_records_preserve_count_and_sum() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 5_000;
+    let reg = Arc::new(Registry::new());
+    let hist = reg.histogram("stress_lat_ns", &[]);
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let hist = hist.clone();
+        handles.push(thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                hist.record(t * PER_THREAD + i);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let n = THREADS * PER_THREAD;
+    assert_eq!(hist.count(), n);
+    assert_eq!(hist.sum(), n * (n - 1) / 2);
+    assert_eq!(hist.min(), 0);
+    assert_eq!(hist.max(), n - 1);
+}

@@ -1,0 +1,72 @@
+//! Property tests pinning down the histogram's quantile-error contract:
+//! for any data set and any quantile, the log2-bucketed estimate is
+//! at least the true nearest-rank quantile and less than twice it
+//! (exactly equal when the true quantile is 0 or 1).
+
+use lsdf_obs::Histogram;
+use proptest::prelude::*;
+
+/// True nearest-rank quantile with the same rank convention the
+/// histogram uses: rank = clamp(ceil(q * n), 1, n), value = sorted[rank-1].
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn quantile_estimate_is_within_2x(
+        mut values in prop::collection::vec(any::<u64>(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let truth = true_quantile(&values, q);
+        let est = h.quantile(q);
+        prop_assert!(est >= truth, "estimate {est} below true quantile {truth}");
+        if truth == 0 {
+            prop_assert_eq!(est, 0);
+        } else {
+            // est <= 2*truth - 1 < 2*truth (bucket upper bound), and the
+            // clamp to the observed max can only tighten it.
+            prop_assert!(
+                est <= truth.saturating_mul(2).saturating_sub(1),
+                "estimate {est} not within 2x of true quantile {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_sum_min_max_are_exact(
+        values in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), values.iter().copied().min().unwrap_or(0));
+        prop_assert_eq!(h.max(), values.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in prop::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+        }
+        // p100 is exactly the max (clamp makes this tight).
+        prop_assert_eq!(h.quantile(1.0), values.iter().copied().max().unwrap());
+    }
+}

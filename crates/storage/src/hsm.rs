@@ -13,6 +13,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use lsdf_obs::{Counter, Histogram, Registry};
+
 use crate::checksum::Digest;
 use crate::object::{ObjectStore, StoreError};
 
@@ -99,8 +101,33 @@ impl From<StoreError> for HsmError {
 struct HsmInner {
     catalog: HashMap<String, CatalogEntry>,
     seq: u64,
-    recalls: u64,
-    demotions: u64,
+}
+
+/// Registry handles for tier-transition accounting, labelled by the
+/// disk store's name so multi-HSM facilities stay distinguishable.
+struct HsmObs {
+    registry: Arc<Registry>,
+    puts: Counter,
+    demotions: Counter,
+    recalls: Counter,
+    demote_bytes: Histogram,
+    recall_bytes: Histogram,
+    recall_latency: Histogram,
+}
+
+impl HsmObs {
+    fn new(registry: Arc<Registry>, store: &str) -> Self {
+        let labels: [(&str, &str); 1] = [("store", store)];
+        HsmObs {
+            puts: registry.counter("hsm_puts_total", &labels),
+            demotions: registry.counter("hsm_demotions_total", &labels),
+            recalls: registry.counter("hsm_recalls_total", &labels),
+            demote_bytes: registry.histogram("hsm_demote_bytes", &labels),
+            recall_bytes: registry.histogram("hsm_recall_bytes", &labels),
+            recall_latency: registry.histogram("hsm_recall_latency_ns", &labels),
+            registry,
+        }
+    }
 }
 
 /// The tiering manager over a disk store and a tape store.
@@ -112,11 +139,12 @@ pub struct Hsm {
     /// Start demoting when disk usage exceeds this fraction.
     high_watermark: f64,
     policy: MigrationPolicy,
+    obs: HsmObs,
     inner: Mutex<HsmInner>,
 }
 
 impl Hsm {
-    /// Creates a tiering manager.
+    /// Creates a tiering manager recording into a private obs registry.
     ///
     /// # Panics
     /// Panics unless `0 < low <= high <= 1`.
@@ -127,23 +155,51 @@ impl Hsm {
         high_watermark: f64,
         policy: MigrationPolicy,
     ) -> Self {
+        Self::with_registry(
+            disk,
+            tape,
+            low_watermark,
+            high_watermark,
+            policy,
+            Arc::new(Registry::new()),
+        )
+    }
+
+    /// Creates a tiering manager recording tier transitions into a
+    /// shared obs registry (metrics labelled with the disk store name).
+    ///
+    /// # Panics
+    /// Panics unless `0 < low <= high <= 1`.
+    pub fn with_registry(
+        disk: Arc<ObjectStore>,
+        tape: Arc<ObjectStore>,
+        low_watermark: f64,
+        high_watermark: f64,
+        policy: MigrationPolicy,
+        registry: Arc<Registry>,
+    ) -> Self {
         assert!(
             0.0 < low_watermark && low_watermark <= high_watermark && high_watermark <= 1.0,
             "watermarks must satisfy 0 < low <= high <= 1"
         );
+        let obs = HsmObs::new(registry, disk.name());
         Hsm {
             disk,
             tape,
             low_watermark,
             high_watermark,
             policy,
+            obs,
             inner: Mutex::new(HsmInner {
                 catalog: HashMap::new(),
                 seq: 0,
-                recalls: 0,
-                demotions: 0,
             }),
         }
+    }
+
+    /// The obs registry this HSM records into.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs.registry
     }
 
     /// Ingests a new object onto the disk tier. If the tier is full,
@@ -152,6 +208,7 @@ impl Hsm {
     pub fn put(&self, key: &str, data: bytes::Bytes) -> Result<(), HsmError> {
         self.make_room(data.len() as u64)?;
         let meta = self.disk.put(key, data)?;
+        self.obs.puts.inc();
         let mut inner = self.inner.lock();
         inner.seq += 1;
         let seq = inner.seq;
@@ -208,10 +265,10 @@ impl Hsm {
         self.inner.lock().catalog.values().cloned().collect()
     }
 
-    /// `(demotions, recalls)` performed so far.
+    /// `(demotions, recalls)` performed so far (compatibility view over
+    /// the obs registry counters).
     pub fn counters(&self) -> (u64, u64) {
-        let i = self.inner.lock();
-        (i.demotions, i.recalls)
+        (self.obs.demotions.get(), self.obs.recalls.get())
     }
 
     /// Disk usage as a fraction of capacity.
@@ -311,6 +368,7 @@ impl Hsm {
                 .digest
         };
         let data = self.disk.get(key)?;
+        let size = data.len() as u64;
         let meta = self.tape.put(key, data)?;
         if meta.digest != expected {
             // Roll back the copy rather than lose the good replica.
@@ -318,8 +376,10 @@ impl Hsm {
             return Err(HsmError::IntegrityViolation(key.to_string()));
         }
         self.disk.delete(key)?;
+        self.obs.demotions.inc();
+        self.obs.demote_bytes.record(size);
+        self.obs.registry.event("hsm_demote", &[("key", key)]);
         let mut inner = self.inner.lock();
-        inner.demotions += 1;
         if let Some(e) = inner.catalog.get_mut(key) {
             e.tier = Tier::Tape;
         }
@@ -330,6 +390,7 @@ impl Hsm {
     /// is full, policy-chosen victims are demoted first to make room (the
     /// standard HSM space-management reaction to a promote).
     pub fn recall(&self, key: &str) -> Result<(), HsmError> {
+        let span = self.obs.registry.span(&self.obs.recall_latency);
         let expected = {
             let inner = self.inner.lock();
             inner
@@ -339,18 +400,24 @@ impl Hsm {
                 .digest
         };
         let data = self.tape.get(key)?;
-        self.make_room(data.len() as u64)?;
+        let size = data.len() as u64;
+        self.make_room(size)?;
         let meta = self.disk.put(key, data)?;
         if meta.digest != expected {
             let _ = self.disk.delete(key);
             return Err(HsmError::IntegrityViolation(key.to_string()));
         }
         self.tape.delete(key)?;
-        let mut inner = self.inner.lock();
-        inner.recalls += 1;
-        if let Some(e) = inner.catalog.get_mut(key) {
-            e.tier = Tier::Disk;
+        self.obs.recalls.inc();
+        self.obs.recall_bytes.record(size);
+        self.obs.registry.event("hsm_recall", &[("key", key)]);
+        {
+            let mut inner = self.inner.lock();
+            if let Some(e) = inner.catalog.get_mut(key) {
+                e.tier = Tier::Disk;
+            }
         }
+        span.finish();
         Ok(())
     }
 }
@@ -464,6 +531,35 @@ mod tests {
         assert!(matches!(hsm.get("nope"), Err(HsmError::NotFound(_))));
         assert!(matches!(hsm.tier_of("nope"), Err(HsmError::NotFound(_))));
         assert!(matches!(hsm.demote("nope"), Err(HsmError::NotFound(_))));
+    }
+
+    #[test]
+    fn registry_sees_tier_transitions() {
+        let disk = Arc::new(ObjectStore::new("disk", 1000));
+        let tape = Arc::new(ObjectStore::new("tape", u64::MAX));
+        let reg = Arc::new(Registry::new());
+        let hsm = Hsm::with_registry(
+            disk,
+            tape,
+            0.5,
+            0.8,
+            MigrationPolicy::OldestFirst,
+            reg.clone(),
+        );
+        for i in 0..9 {
+            hsm.put(&format!("o{i}"), blob(100)).unwrap();
+        }
+        hsm.run_migration().unwrap();
+        hsm.get("o0").unwrap(); // transparent recall
+        let labels: [(&str, &str); 1] = [("store", "disk")];
+        assert_eq!(reg.counter_value("hsm_demotions_total", &labels), 4);
+        assert_eq!(reg.counter_value("hsm_recalls_total", &labels), 1);
+        assert_eq!(reg.counter_value("hsm_puts_total", &labels), 9);
+        assert_eq!(reg.histogram("hsm_demote_bytes", &labels).sum(), 400);
+        assert_eq!(reg.histogram("hsm_recall_latency_ns", &labels).count(), 1);
+        // The compat view and the registry agree.
+        assert_eq!(hsm.counters(), (4, 1));
+        assert!(reg.events().iter().any(|e| e.name == "hsm_recall"));
     }
 
     #[test]

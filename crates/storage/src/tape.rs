@@ -10,7 +10,9 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
+use lsdf_obs::{Counter, Histogram, Registry};
 use lsdf_sim::{Resource, SimDuration, SimTime, Simulation, Tally};
 
 /// Direction of a tape request.
@@ -20,6 +22,16 @@ pub enum TapeOp {
     Archive,
     /// Tape → disk (recall).
     Recall,
+}
+
+impl TapeOp {
+    /// Lowercase label used in metrics and events.
+    pub fn name(self) -> &'static str {
+        match self {
+            TapeOp::Archive => "archive",
+            TapeOp::Recall => "recall",
+        }
+    }
 }
 
 /// Timing parameters of the library hardware.
@@ -74,6 +86,36 @@ struct TapeInner {
     archive_latency: Tally,
     bytes_archived: u128,
     bytes_recalled: u128,
+    obs: Option<TapeObs>,
+}
+
+/// Registry handles for tape accounting. Latencies are recorded in
+/// *virtual* nanoseconds (the library runs on `lsdf-sim` time), and
+/// events carry explicit sim timestamps so the shared clock is never
+/// flipped into virtual mode behind other subsystems' backs.
+#[derive(Clone)]
+struct TapeObs {
+    registry: Arc<Registry>,
+    mounts: Counter,
+    recall_ops: Counter,
+    archive_ops: Counter,
+    recall_latency_ns: Histogram,
+    archive_latency_ns: Histogram,
+}
+
+impl TapeObs {
+    fn new(registry: Arc<Registry>) -> Self {
+        TapeObs {
+            mounts: registry.counter("tape_mounts_total", &[]),
+            recall_ops: registry.counter("tape_ops_total", &[("op", "recall")]),
+            archive_ops: registry.counter("tape_ops_total", &[("op", "archive")]),
+            recall_latency_ns: registry
+                .histogram("tape_op_latency_ns", &[("op", "recall")]),
+            archive_latency_ns: registry
+                .histogram("tape_op_latency_ns", &[("op", "archive")]),
+            registry,
+        }
+    }
 }
 
 /// Handle to a simulated tape library (cheaply cloneable).
@@ -97,8 +139,17 @@ impl TapeLibrary {
                 archive_latency: Tally::new(),
                 bytes_archived: 0,
                 bytes_recalled: 0,
+                obs: None,
             })),
         }
+    }
+
+    /// Creates a library that additionally records mounts, op counts,
+    /// and sim-time latencies into a shared obs registry.
+    pub fn with_registry(params: TapeParams, registry: Arc<Registry>) -> Self {
+        let lib = Self::new(params);
+        lib.inner.borrow_mut().obs = Some(TapeObs::new(registry));
+        lib
     }
 
     /// Submits a request; `on_done` runs at completion inside the sim.
@@ -119,6 +170,15 @@ impl TapeLibrary {
             let robot = this.inner.borrow().robot.clone();
             let this2 = this.clone();
             robot.acquire(sim, move |sim| {
+                // The robot has the cartridge: this is a physical mount.
+                if let Some(obs) = this2.inner.borrow().obs.clone() {
+                    obs.mounts.inc();
+                    obs.registry.event_at(
+                        sim.now().as_nanos(),
+                        "tape_mount",
+                        &[("op", op.name())],
+                    );
+                }
                 let mount = this2.inner.borrow().params.mount;
                 let this3 = this2.clone();
                 sim.schedule_in(mount, move |sim| {
@@ -156,6 +216,19 @@ impl TapeLibrary {
                                 TapeOp::Archive => {
                                     inner.archive_latency.record(latency);
                                     inner.bytes_archived += u128::from(bytes);
+                                }
+                            }
+                            if let Some(obs) = &inner.obs {
+                                let lat_ns = finished.since(submitted).as_nanos();
+                                match op {
+                                    TapeOp::Recall => {
+                                        obs.recall_ops.inc();
+                                        obs.recall_latency_ns.record(lat_ns);
+                                    }
+                                    TapeOp::Archive => {
+                                        obs.archive_ops.inc();
+                                        obs.archive_latency_ns.record(lat_ns);
+                                    }
                                 }
                             }
                             inner.completed.push(completion.clone());
@@ -279,6 +352,30 @@ mod tests {
         assert_eq!(f.len(), 4);
         assert!((f[0] - 100.0).abs() < 1e-9, "{f:?}");
         assert!((f[3] - 280.0).abs() < 1e-9, "{f:?}");
+    }
+
+    #[test]
+    fn registry_records_mounts_and_sim_time_latency() {
+        let reg = Arc::new(Registry::new());
+        let lib = TapeLibrary::with_registry(params(), reg.clone());
+        let mut sim = Simulation::new();
+        lib.submit(&mut sim, TapeOp::Recall, 10_000_000_000, |_, _| {});
+        lib.submit(&mut sim, TapeOp::Archive, 0, |_, _| {});
+        sim.run();
+        assert_eq!(reg.counter_value("tape_mounts_total", &[]), 2);
+        assert_eq!(reg.counter_value("tape_ops_total", &[("op", "recall")]), 1);
+        assert_eq!(reg.counter_value("tape_ops_total", &[("op", "archive")]), 1);
+        // Latency is recorded in virtual (sim) nanoseconds: the unloaded
+        // recall takes exactly 200 simulated seconds.
+        let h = reg.histogram("tape_op_latency_ns", &[("op", "recall")]);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), SimDuration::from_secs(200).as_nanos());
+        let mounts: Vec<_> = reg
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "tape_mount")
+            .collect();
+        assert_eq!(mounts.len(), 2);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! concurrently on scoped threads.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
+use lsdf_obs::{Counter, Histogram, Registry};
 use parking_lot::Mutex;
 
 use crate::actor::{Actor, ActorError};
@@ -108,6 +110,27 @@ struct Channel {
     queue: VecDeque<Token>,
 }
 
+/// Registry handles for workflow execution metrics.
+struct WfObs {
+    registry: Arc<Registry>,
+    firings: Counter,
+    tokens: Counter,
+    runs: Counter,
+    run_latency: Histogram,
+}
+
+impl WfObs {
+    fn new(registry: &Arc<Registry>) -> Self {
+        WfObs {
+            firings: registry.counter("workflow_firings_total", &[]),
+            tokens: registry.counter("workflow_tokens_moved_total", &[]),
+            runs: registry.counter("workflow_runs_total", &[]),
+            run_latency: registry.histogram("workflow_run_latency_ns", &[]),
+            registry: Arc::clone(registry),
+        }
+    }
+}
+
 /// A workflow: actors plus channels.
 pub struct Workflow {
     actors: Vec<Box<dyn Actor>>,
@@ -120,6 +143,7 @@ pub struct Workflow {
     /// Sources that still have firings left.
     source_live: Vec<bool>,
     firing_budget: u64,
+    obs: Option<WfObs>,
 }
 
 impl Workflow {
@@ -132,12 +156,23 @@ impl Workflow {
             out_ch: Vec::new(),
             source_live: Vec::new(),
             firing_budget: 1_000_000,
+            obs: None,
         }
     }
 
     /// Sets the runaway-protection firing budget.
     pub fn with_firing_budget(mut self, budget: u64) -> Self {
         self.firing_budget = budget;
+        self
+    }
+
+    /// Publishes execution metrics (`workflow_firings_total`,
+    /// `workflow_tokens_moved_total`, `workflow_runs_total`,
+    /// `workflow_run_latency_ns`) into `registry`. Firing and token
+    /// counters advance as work happens, so partial progress before an
+    /// actor error is still visible.
+    pub fn with_registry(mut self, registry: &Arc<Registry>) -> Self {
+        self.obs = Some(WfObs::new(registry));
         self
     }
 
@@ -281,10 +316,20 @@ impl Workflow {
     /// Runs the workflow to quiescence under the given director.
     pub fn run(&mut self, director: Director) -> Result<RunStats, WorkflowError> {
         self.validate()?;
+        let span = self
+            .obs
+            .as_ref()
+            .map(|o| o.registry.span(&o.run_latency));
         let mut stats = RunStats::default();
         loop {
             let ready: Vec<usize> = (0..self.actors.len()).filter(|&a| self.ready(a)).collect();
             if ready.is_empty() {
+                if let Some(obs) = &self.obs {
+                    obs.runs.inc();
+                }
+                if let Some(span) = span {
+                    span.finish();
+                }
                 return Ok(stats);
             }
             stats.rounds += 1;
@@ -301,8 +346,15 @@ impl Workflow {
                         self.source_live[a] = false;
                     }
                     stats.firings += 1;
+                    if let Some(obs) = &self.obs {
+                        obs.firings.inc();
+                    }
                     if !firing.outputs.is_empty() {
-                        stats.tokens_moved += self.push_outputs(a, firing.outputs);
+                        let moved = self.push_outputs(a, firing.outputs);
+                        stats.tokens_moved += moved;
+                        if let Some(obs) = &self.obs {
+                            obs.tokens.add(moved);
+                        }
                     }
                 }
                 Director::Parallel => {
@@ -349,8 +401,15 @@ impl Workflow {
                             self.source_live[a] = false;
                         }
                         stats.firings += 1;
+                        if let Some(obs) = &self.obs {
+                            obs.firings.inc();
+                        }
                         if !firing.outputs.is_empty() {
-                            stats.tokens_moved += self.push_outputs(a, firing.outputs);
+                            let moved = self.push_outputs(a, firing.outputs);
+                            stats.tokens_moved += moved;
+                            if let Some(obs) = &self.obs {
+                                obs.tokens.add(moved);
+                            }
                         }
                     }
                 }
@@ -434,6 +493,24 @@ mod tests {
         let got: Vec<i64> = sink.lock().iter().map(|t| t.as_int().unwrap()).collect();
         assert_eq!(got, vec![0, 2, 6]); // i*i - i
         assert!(stats.firings >= 3 * 5);
+    }
+
+    #[test]
+    fn registry_counts_firings_and_tokens() {
+        let reg = Arc::new(Registry::new());
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let mut wf = Workflow::new().with_registry(&reg);
+        let src = wf.add(VecSource::new("src", ints(&[1, 2, 3])));
+        let out = wf.add(Collect::new("sink", sink));
+        wf.connect(src, 0, out, 0).unwrap();
+        let stats = wf.run(Director::Sequential).unwrap();
+        assert_eq!(reg.counter_value("workflow_firings_total", &[]), stats.firings);
+        assert_eq!(
+            reg.counter_value("workflow_tokens_moved_total", &[]),
+            stats.tokens_moved
+        );
+        assert_eq!(reg.counter_value("workflow_runs_total", &[]), 1);
+        assert_eq!(reg.histogram("workflow_run_latency_ns", &[]).count(), 1);
     }
 
     #[test]

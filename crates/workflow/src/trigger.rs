@@ -12,6 +12,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use lsdf_obs::Registry;
 use parking_lot::Mutex;
 
 use lsdf_metadata::{DatasetId, Document, MetadataEvent, ProjectStore, Value};
@@ -62,12 +63,34 @@ pub struct TriggerEngine {
     queue: Arc<Mutex<VecDeque<PendingRun>>>,
     director: Director,
     completed: Mutex<Vec<TriggerOutcome>>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl TriggerEngine {
     /// Creates an engine over `store` with the given rules and attaches
     /// the event subscription.
     pub fn new(store: Arc<ProjectStore>, rules: Vec<TriggerRule>, director: Director) -> Arc<Self> {
+        Self::build(store, rules, director, None)
+    }
+
+    /// Like [`TriggerEngine::new`], but every triggered workflow publishes
+    /// its firing/token metrics into `registry`, and the engine counts
+    /// triggered runs per step as `workflow_trigger_runs_total{step}`.
+    pub fn with_registry(
+        store: Arc<ProjectStore>,
+        rules: Vec<TriggerRule>,
+        director: Director,
+        registry: Arc<Registry>,
+    ) -> Arc<Self> {
+        Self::build(store, rules, director, Some(registry))
+    }
+
+    fn build(
+        store: Arc<ProjectStore>,
+        rules: Vec<TriggerRule>,
+        director: Director,
+        registry: Option<Arc<Registry>>,
+    ) -> Arc<Self> {
         let queue: Arc<Mutex<VecDeque<PendingRun>>> = Arc::new(Mutex::new(VecDeque::new()));
         let engine = Arc::new(TriggerEngine {
             store: store.clone(),
@@ -75,6 +98,7 @@ impl TriggerEngine {
             queue: queue.clone(),
             director,
             completed: Mutex::new(Vec::new()),
+            registry,
         });
         let tag_to_rule: Vec<(String, usize)> = engine
             .rules
@@ -114,6 +138,11 @@ impl TriggerEngine {
             let rule = &self.rules[run.rule_idx];
             let sink: Arc<Mutex<Vec<Token>>> = Arc::new(Mutex::new(Vec::new()));
             let mut wf = (rule.build)(run.dataset, sink.clone());
+            if let Some(reg) = &self.registry {
+                wf = wf.with_registry(reg);
+                reg.counter("workflow_trigger_runs_total", &[("step", &rule.step)])
+                    .inc();
+            }
             wf.run(self.director)?;
             // Interpret sink tokens as alternating key/value pairs.
             let tokens = sink.lock().clone();
@@ -286,6 +315,25 @@ mod tests {
         let rec = s.get(DatasetId(0)).unwrap();
         assert_eq!(rec.processing.len(), 2);
         assert!(rec.has_tag("qa-passed"));
+    }
+
+    #[test]
+    fn registry_counts_triggered_runs() {
+        let s = store();
+        let reg = Arc::new(Registry::new());
+        let engine = TriggerEngine::with_registry(
+            s.clone(),
+            vec![segmentation_rule()],
+            Director::Sequential,
+            reg.clone(),
+        );
+        s.tag(DatasetId(3), "needs-segmentation").unwrap();
+        engine.run_pending().unwrap();
+        assert_eq!(
+            reg.counter_value("workflow_trigger_runs_total", &[("step", "segmentation")]),
+            1
+        );
+        assert!(reg.counter_value("workflow_firings_total", &[]) >= 3);
     }
 
     #[test]

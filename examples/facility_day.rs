@@ -103,7 +103,7 @@ fn main() {
     let adal = facility.adal().clone();
     let cred = admin.clone();
     let zstore2 = zstore.clone();
-    let trigger = TriggerEngine::new(
+    let trigger = TriggerEngine::with_registry(
         zstore.clone(),
         vec![TriggerRule {
             step: "segmentation".into(),
@@ -130,6 +130,7 @@ fn main() {
             }),
         }],
         Director::Sequential,
+        facility.obs().clone(),
     );
     let mut microscope = HtmGenerator::new(2026, 96);
     for _ in 0..8 {
@@ -308,6 +309,13 @@ fn main() {
         .export_json("katrin", &eq("run", 0i64))
         .expect("export");
     println!("  sample JSON export (katrin run 0): {} bytes", json.len());
+
+    // ---- Observability: the facility-wide registry ----------------------
+    // Every subsystem above recorded into one shared lsdf-obs registry:
+    // ADAL ops and latencies, HSM tier transitions, DFS block locality,
+    // ingest outcomes per project, workflow firings. Export it whole.
+    println!("\n== metrics registry snapshot (lsdf-obs) ==");
+    println!("{}", facility.obs().to_json());
 
     // ---- Capacity projection (slide 14 outlook) -------------------------
     println!("\n== capacity projection (paper slide 5/14) ==");

@@ -1,0 +1,27 @@
+# Workspace task runner. `just check` is the gate a PR must pass.
+
+# Build, test, and lint the whole workspace.
+check:
+    cargo build --release
+    cargo test -q
+    cargo clippy --workspace -- -D warnings
+
+# Fast compile-only feedback.
+build:
+    cargo build --release
+
+# Run the full test suite.
+test:
+    cargo test -q
+
+# Lint with warnings promoted to errors.
+clippy:
+    cargo clippy --workspace -- -D warnings
+
+# Regenerate the paper-vs-measured experiment report (quick mode).
+report:
+    cargo run --release -p lsdf-bench --bin report -- --quick
+
+# The full facility-day example, registry snapshot included.
+day:
+    cargo run --release -p lsdf-examples --bin facility_day

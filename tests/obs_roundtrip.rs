@@ -1,0 +1,186 @@
+//! Observability round trip: run a facility_roundtrip-style workload,
+//! then assert the shared lsdf-obs registry reproduces every number the
+//! subsystems' compatibility views report — ADAL op counts, HSM tier
+//! transitions, DFS locality — and that the JSON export carries them.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use lsdf_core::prelude::*;
+use lsdf_dfs::{ClusterTopology, DfsConfig};
+use lsdf_metadata::zebrafish_schema;
+use lsdf_workloads::microscopy::HtmGenerator;
+
+fn facility(reg: Arc<Registry>) -> Facility {
+    Facility::builder()
+        .project(
+            zebrafish_schema(),
+            BackendChoice::ObjectStore { capacity: u64::MAX },
+        )
+        .project(
+            SchemaBuilder::new("genomics")
+                .required("sample", FieldType::Str)
+                .build()
+                .expect("schema builds"),
+            BackendChoice::Dfs,
+        )
+        .project(
+            SchemaBuilder::new("climate")
+                .required("year", FieldType::Int)
+                .indexed()
+                .build()
+                .expect("schema builds"),
+            BackendChoice::Hsm {
+                disk_capacity: 5_000,
+                low_watermark: 0.4,
+                high_watermark: 0.7,
+                policy: MigrationPolicy::OldestFirst,
+            },
+        )
+        .cluster(
+            ClusterTopology::new(2, 4),
+            DfsConfig {
+                block_size: 101 * 20,
+                replication: 2,
+                ..DfsConfig::default()
+            },
+        )
+        .registry(reg)
+        .build()
+        .expect("facility assembles")
+}
+
+/// Drives ingest across all three backend kinds plus direct ADAL reads,
+/// returning the per-path op counts the test later reconciles.
+fn run_workload(f: &Facility) -> (u64, u64) {
+    let admin = f.admin().clone();
+    // Microscopy images into the object store.
+    let mut gen = HtmGenerator::new(11, 32);
+    let mut ingested = 0u64;
+    for _ in 0..2 {
+        for (acq, img) in gen.next_fish() {
+            f.ingest(
+                &admin,
+                IngestItem {
+                    project: "zebrafish-htm".into(),
+                    key: acq.key(),
+                    data: img.encode(),
+                    metadata: Some(acq.document()),
+                },
+                IngestPolicy::default(),
+            )
+            .expect("ingest");
+            ingested += 1;
+        }
+    }
+    // Genomics reads onto the DFS.
+    f.ingest(
+        &admin,
+        IngestItem {
+            project: "genomics".into(),
+            key: "runs/r0".into(),
+            data: Bytes::from(vec![b'A'; 4040]),
+            metadata: Some(
+                [("sample".to_string(), Value::from("s0"))]
+                    .into_iter()
+                    .collect(),
+            ),
+        },
+        IngestPolicy::default(),
+    )
+    .expect("ingest");
+    ingested += 1;
+    // Climate grids through the HSM, forcing demotions.
+    for year in 0..8 {
+        f.ingest(
+            &admin,
+            IngestItem {
+                project: "climate".into(),
+                key: format!("grid/{year}"),
+                data: Bytes::from(vec![year as u8; 1000]),
+                metadata: Some(
+                    [("year".to_string(), Value::Int(year))].into_iter().collect(),
+                ),
+            },
+            IngestPolicy::default(),
+        )
+        .expect("ingest");
+        f.hsm("climate")
+            .expect("hsm-backed")
+            .run_migration()
+            .expect("migration");
+    }
+    ingested += 8;
+    // Reads back through the ADAL (some hitting tape recalls).
+    let mut gets = 0u64;
+    for year in 0..8 {
+        let path = format!("lsdf://climate/grid/{year}");
+        let data = f.adal().get(&admin, &path).expect("get");
+        assert_eq!(data.len(), 1000);
+        gets += 1;
+    }
+    let _ = f
+        .adal()
+        .get(&admin, "lsdf://genomics/runs/r0")
+        .expect("get");
+    gets += 1;
+    (ingested, gets)
+}
+
+#[test]
+fn registry_reconciles_with_every_compat_view() {
+    let reg = Arc::new(Registry::new());
+    let f = facility(reg.clone());
+    let (ingested, gets) = run_workload(&f);
+
+    // ADAL compat counters and the registry agree exactly.
+    let counters = f.adal().counters();
+    assert_eq!(counters.puts, ingested);
+    assert_eq!(counters.gets, gets);
+    assert_eq!(
+        reg.counter_value("adal_ops_total", &[("op", "put")]),
+        counters.puts
+    );
+    assert_eq!(
+        reg.counter_value("adal_ops_total", &[("op", "get")]),
+        counters.gets
+    );
+    assert_eq!(reg.counter_value("adal_denied_total", &[]), counters.denied);
+
+    // Ingest outcome counters sum to the items pushed.
+    assert_eq!(reg.counter_total("facility_ingest_total"), ingested);
+
+    // HSM tier transitions match the compat view.
+    let (demotions, recalls) = f.hsm("climate").expect("hsm").counters();
+    assert!(demotions > 0, "watermarks force demotions");
+    assert!(recalls > 0, "reads force recalls");
+    assert_eq!(
+        reg.counter_value("hsm_demotions_total", &[("store", "climate-disk")]),
+        demotions
+    );
+    assert_eq!(
+        reg.counter_value("hsm_recalls_total", &[("store", "climate-disk")]),
+        recalls
+    );
+
+    // DFS saw the genomics file, locality counters included.
+    let stats = f.dfs().locality_stats();
+    assert_eq!(
+        reg.counter_total("dfs_block_reads_total"),
+        stats.node_local + stats.rack_local + stats.remote
+    );
+
+    // Latency histograms populated with sane quantiles.
+    let put_lat = reg.histogram("adal_op_latency_ns", &[("op", "put")]);
+    assert_eq!(put_lat.count(), ingested);
+    assert!(put_lat.quantile(0.50) <= put_lat.quantile(0.95));
+    assert!(put_lat.quantile(0.95) <= put_lat.quantile(0.99));
+    assert!(put_lat.quantile(0.99) >= put_lat.min());
+
+    // The JSON export carries the counters and the quantiles.
+    let json = reg.to_json();
+    assert!(json.contains("\"adal_ops_total\""));
+    assert!(json.contains("\"facility_ingest_total\""));
+    assert!(json.contains("\"p95\""));
+    assert!(json.contains("\"hsm_demotions_total\""));
+}
