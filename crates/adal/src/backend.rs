@@ -45,8 +45,32 @@ pub enum BackendError {
     Unavailable(String),
     /// The backend does not support this operation by design.
     Unsupported(String),
+    /// A transient I/O fault (flaky datanode, injected fault, dropped
+    /// connection): retrying the same call may succeed.
+    TransientIo(String),
     /// Anything else, with context (reserved for external backends).
     Other(String),
+}
+
+impl BackendError {
+    /// True when retrying the same operation may succeed — the
+    /// classification the ADAL [`crate::RetryPolicy`] honours.
+    ///
+    /// Transient: [`BackendError::TransientIo`] (flaky hardware),
+    /// [`BackendError::Unavailable`] (replicas may re-replicate, an
+    /// outage may end) and [`BackendError::Integrity`] (a torn write or
+    /// corrupted read-back is repairable by redoing the transfer).
+    /// Everything else — `NotFound`, `AlreadyExists`, `NoSpace`,
+    /// `Unsupported`, `Other` — is deterministic and retrying is wasted
+    /// work.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            BackendError::TransientIo(_)
+                | BackendError::Unavailable(_)
+                | BackendError::Integrity(_)
+        )
+    }
 }
 
 impl std::fmt::Display for BackendError {
@@ -58,6 +82,7 @@ impl std::fmt::Display for BackendError {
             BackendError::Integrity(m) => write!(f, "integrity violation: {m}"),
             BackendError::Unavailable(m) => write!(f, "unavailable: {m}"),
             BackendError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            BackendError::TransientIo(m) => write!(f, "transient i/o fault: {m}"),
             BackendError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -88,6 +113,12 @@ impl From<DfsError> for BackendError {
             DfsError::NoSpace => BackendError::NoSpace("dfs".into()),
             DfsError::BlockUnavailable(b) => {
                 BackendError::Unavailable(format!("no live replica of {b:?}"))
+            }
+            // A flaky datanode dropping one I/O is retryable in place;
+            // other datanode-level failures mean the data cannot be
+            // served right now.
+            DfsError::DataNode(lsdf_dfs::DataNodeError::TransientIo(n)) => {
+                BackendError::TransientIo(format!("datanode {n:?} dropped the i/o"))
             }
             DfsError::DataNode(e) => BackendError::Unavailable(format!("datanode: {e}")),
         }
@@ -255,12 +286,9 @@ impl StorageBackend for HsmBackend {
             })
             .ok_or_else(|| BackendError::NotFound(key.to_string()))
     }
-    fn delete(&self, _key: &str) -> Result<(), BackendError> {
-        Err(BackendError::Unsupported(
-            "HSM-managed objects are immutable archives; deletion is a \
-             curation decision outside the data path"
-                .into(),
-        ))
+    fn delete(&self, key: &str) -> Result<(), BackendError> {
+        self.hsm.delete(key)?;
+        Ok(())
     }
     fn list(&self, prefix: &str) -> Result<Vec<EntryMeta>, BackendError> {
         let mut out: Vec<EntryMeta> = self
@@ -340,17 +368,34 @@ mod tests {
     }
 
     #[test]
-    fn object_and_dfs_support_delete_hsm_refuses() {
-        let bs = backends();
-        for b in &bs[..2] {
+    fn every_backend_supports_delete() {
+        for b in backends() {
             b.put("k", payload("v")).unwrap();
             b.delete("k").unwrap();
             assert!(!b.exists("k"), "{}", b.kind());
+            assert!(
+                matches!(b.delete("k"), Err(BackendError::NotFound(_))),
+                "{} double delete",
+                b.kind()
+            );
         }
-        let hsm = &bs[2];
-        hsm.put("k", payload("v")).unwrap();
-        assert!(matches!(hsm.delete("k"), Err(BackendError::Unsupported(_))));
-        assert!(hsm.exists("k"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(BackendError::TransientIo("x".into()).is_transient());
+        assert!(BackendError::Unavailable("x".into()).is_transient());
+        assert!(BackendError::Integrity("x".into()).is_transient());
+        assert!(!BackendError::NotFound("x".into()).is_transient());
+        assert!(!BackendError::AlreadyExists("x".into()).is_transient());
+        assert!(!BackendError::NoSpace("x".into()).is_transient());
+        assert!(!BackendError::Unsupported("x".into()).is_transient());
+        assert!(!BackendError::Other("x".into()).is_transient());
+        // The flaky-datanode error maps to the transient variant.
+        let e = BackendError::from(DfsError::DataNode(
+            lsdf_dfs::DataNodeError::TransientIo(lsdf_dfs::DfsNodeId(3)),
+        ));
+        assert!(matches!(e, BackendError::TransientIo(_)));
     }
 
     #[test]

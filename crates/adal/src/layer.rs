@@ -7,18 +7,42 @@
 //! its latency into `adal_op_latency_ns{op=..}`. The historical
 //! [`AdalCounters`] struct remains as a compatibility view computed
 //! from the registry counters.
+//!
+//! Projects mounted with [`Adal::mount_resilient`] additionally get the
+//! failure handling a 24/7 ingest facility needs:
+//!
+//! * transient backend errors are retried under a [`RetryPolicy`]
+//!   (bounded exponential backoff, jitter from a deterministic stream);
+//! * a per-project [`CircuitBreaker`] stops hammering a failing
+//!   backend and probes it half-open after a cool-down;
+//! * while the breaker is open, reads fail over to an optional replica
+//!   backend and writes are acknowledged into a bounded [`RedoJournal`]
+//!   that drains back to the primary on recovery;
+//! * every put can be read back and checksum-verified (torn-write
+//!   detection via `lsdf_storage::checksum`).
+//!
+//! All of it is observable: `adal_retries_total`,
+//! `adal_breaker_transitions_total{to=..}`, `adal_failover_reads_total`,
+//! `adal_journal_depth` and friends land in the shared registry, and
+//! [`Adal::health`] assembles a per-project [`HealthReport`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use lsdf_obs::{Counter, Histogram, Registry};
+use lsdf_obs::{Counter, Gauge, Histogram, Registry};
+use lsdf_sim::SimRng;
+use lsdf_storage::sha256;
 
 use crate::auth::{Access, Acl, AuthError, AuthProvider, Credential, TokenAuth};
 use crate::backend::{BackendError, EntryMeta, StorageBackend};
 use crate::path::{LsdfPath, PathError};
+use crate::resilience::{
+    BreakerState, BreakerTransition, CircuitBreaker, HealthReport, RedoJournal,
+    ResilienceConfig, RetryPolicy,
+};
 
 /// Errors surfaced by ADAL operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,11 +141,207 @@ impl OpMetrics {
     }
 }
 
+/// Cached per-project registry handles for the resilience machinery.
+struct ResilienceMetrics {
+    retries: Counter,
+    transient_observed: Counter,
+    retry_exhausted: Counter,
+    failover_reads: Counter,
+    journal_enqueued: Counter,
+    journal_drained: Counter,
+    journal_conflicts: Counter,
+    verify_failures: Counter,
+    replica_write_failures: Counter,
+    breaker_to_open: Counter,
+    breaker_to_half_open: Counter,
+    breaker_to_closed: Counter,
+    breaker_state: Gauge,
+    journal_depth: Gauge,
+    journal_bytes: Gauge,
+    backoff_ns: Histogram,
+}
+
+impl ResilienceMetrics {
+    fn new(reg: &Registry, project: &str) -> Self {
+        let labels: [(&str, &str); 1] = [("project", project)];
+        let transition =
+            |to| reg.counter("adal_breaker_transitions_total", &[("project", project), ("to", to)]);
+        ResilienceMetrics {
+            retries: reg.counter("adal_retries_total", &labels),
+            transient_observed: reg.counter("adal_transient_observed_total", &labels),
+            retry_exhausted: reg.counter("adal_retry_exhausted_total", &labels),
+            failover_reads: reg.counter("adal_failover_reads_total", &labels),
+            journal_enqueued: reg.counter("adal_journal_enqueued_total", &labels),
+            journal_drained: reg.counter("adal_journal_drained_total", &labels),
+            journal_conflicts: reg.counter("adal_journal_conflicts_total", &labels),
+            verify_failures: reg.counter("adal_write_verify_failures_total", &labels),
+            replica_write_failures: reg.counter("adal_replica_write_failures_total", &labels),
+            breaker_to_open: transition("open"),
+            breaker_to_half_open: transition("half_open"),
+            breaker_to_closed: transition("closed"),
+            breaker_state: reg.gauge("adal_breaker_state", &labels),
+            journal_depth: reg.gauge("adal_journal_depth", &labels),
+            journal_bytes: reg.gauge("adal_journal_bytes", &labels),
+            backoff_ns: reg.histogram("adal_retry_backoff_ns", &labels),
+        }
+    }
+}
+
+/// Resilience state attached to a mount by [`Adal::mount_resilient`].
+struct ResilientState {
+    replica: Option<Arc<dyn StorageBackend>>,
+    policy: RetryPolicy,
+    breaker: CircuitBreaker,
+    journal: RedoJournal,
+    verify_writes: bool,
+    rng: Mutex<SimRng>,
+    metrics: ResilienceMetrics,
+}
+
+impl ResilientState {
+    /// Publishes a breaker transition to counters, the state gauge and
+    /// the event ring.
+    fn note_transition(&self, obs: &Registry, project: &str, t: BreakerTransition) {
+        match t.to {
+            BreakerState::Open => self.metrics.breaker_to_open.inc(),
+            BreakerState::HalfOpen => self.metrics.breaker_to_half_open.inc(),
+            BreakerState::Closed => self.metrics.breaker_to_closed.inc(),
+        }
+        self.metrics.breaker_state.set(t.to.as_gauge());
+        obs.event(
+            "adal_breaker",
+            &[("project", project), ("from", t.from.name()), ("to", t.to.name())],
+        );
+    }
+
+    /// Asks the breaker for permission to call the primary.
+    fn acquire(&self, obs: &Registry, project: &str) -> bool {
+        let (ok, t) = self.breaker.try_acquire(obs.now_ns());
+        if let Some(t) = t {
+            self.note_transition(obs, project, t);
+        }
+        ok
+    }
+
+    /// Records a call outcome in the breaker.
+    fn record(&self, obs: &Registry, project: &str, success: bool) {
+        if let Some(t) = self.breaker.record(obs.now_ns(), success) {
+            self.note_transition(obs, project, t);
+        }
+    }
+
+    /// Mirrors the journal bounds into the depth/bytes gauges.
+    fn sync_journal_gauges(&self) {
+        self.metrics.journal_depth.set(self.journal.depth() as i64);
+        self.metrics.journal_bytes.set(self.journal.bytes() as i64);
+    }
+
+    /// Runs `call` under the retry policy: transient errors are retried
+    /// with recorded (not slept) backoff until the attempt budget is
+    /// spent or the breaker leaves the closed state; deterministic
+    /// errors return immediately and count as backend-healthy.
+    ///
+    /// Counter identity, asserted by the chaos soak:
+    /// `adal_transient_observed_total ==
+    ///  adal_retries_total + adal_retry_exhausted_total`.
+    fn with_retries<T>(
+        &self,
+        obs: &Registry,
+        project: &str,
+        mut call: impl FnMut() -> Result<T, BackendError>,
+    ) -> Result<T, BackendError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match call() {
+                Ok(v) => {
+                    self.record(obs, project, true);
+                    return Ok(v);
+                }
+                Err(e) if e.is_transient() => {
+                    self.metrics.transient_observed.inc();
+                    self.record(obs, project, false);
+                    let out_of_attempts = attempt + 1 >= self.policy.max_attempts;
+                    // A breaker our own failures just opened must not be
+                    // hammered by the rest of the retry budget.
+                    if out_of_attempts || self.breaker.state() == BreakerState::Open {
+                        self.metrics.retry_exhausted.inc();
+                        return Err(e);
+                    }
+                    let delay = self.policy.delay_ns(attempt, &mut self.rng.lock());
+                    self.metrics.backoff_ns.record(delay);
+                    self.metrics.retries.inc();
+                    attempt += 1;
+                }
+                Err(e) => {
+                    // The backend answered authoritatively: it is healthy,
+                    // the request is just wrong (NotFound, AlreadyExists…).
+                    self.record(obs, project, true);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One put attempt with optional read-back verification. A digest
+    /// mismatch (torn write) removes the bad copy and reports
+    /// [`BackendError::Integrity`] so the retry loop redoes the
+    /// transfer.
+    fn put_verified(
+        &self,
+        backend: &Arc<dyn StorageBackend>,
+        key: &str,
+        data: &Bytes,
+    ) -> Result<(), BackendError> {
+        backend.put(key, data.clone())?;
+        if !self.verify_writes {
+            return Ok(());
+        }
+        match backend.get(key) {
+            Ok(back) if sha256(&back) == sha256(data) => Ok(()),
+            Ok(_) => {
+                self.metrics.verify_failures.inc();
+                let _ = backend.delete(key);
+                Err(BackendError::Integrity(format!(
+                    "write verification failed for '{key}'"
+                )))
+            }
+            Err(e) => {
+                // Could not read our own write back: clean up and let the
+                // retry loop redo the transfer.
+                let _ = backend.delete(key);
+                if e.is_transient() {
+                    Err(e)
+                } else {
+                    Err(BackendError::Integrity(format!(
+                        "write verification read-back failed for '{key}': {e}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Best-effort copy of a successful write onto the replica.
+    fn replicate(&self, key: &str, data: &Bytes) {
+        if let Some(rep) = &self.replica {
+            if rep.put(key, data.clone()).is_err() {
+                self.metrics.replica_write_failures.inc();
+            }
+        }
+    }
+}
+
+/// One project mount: the primary backend plus optional resilience.
+#[derive(Clone)]
+struct Mount {
+    backend: Arc<dyn StorageBackend>,
+    resilience: Option<Arc<ResilientState>>,
+}
+
 /// The Abstract Data Access Layer.
 pub struct Adal {
     auth: Arc<dyn AuthProvider>,
     acl: Arc<Acl>,
-    mounts: RwLock<HashMap<String, Arc<dyn StorageBackend>>>,
+    mounts: RwLock<HashMap<String, Mount>>,
     obs: Arc<Registry>,
     ops: OpMetrics,
 }
@@ -170,12 +390,61 @@ impl Adal {
             "adal_mount",
             &[("project", project), ("backend", backend.kind())],
         );
-        self.mounts.write().insert(project.to_string(), backend);
+        self.mounts.write().insert(
+            project.to_string(),
+            Mount {
+                backend,
+                resilience: None,
+            },
+        );
+    }
+
+    /// Mounts a backend with the full resilience stack: retries for
+    /// transient errors, a circuit breaker, optional replica failover
+    /// for reads, and a redo journal for degraded writes. Successful
+    /// writes are also copied to `replica` (best effort), so the
+    /// replica can serve reads while the primary's breaker is open.
+    ///
+    /// Remounting replaces any previous mount for the project; the
+    /// resilience state (breaker, journal) starts fresh.
+    pub fn mount_resilient(
+        &self,
+        project: &str,
+        primary: Arc<dyn StorageBackend>,
+        replica: Option<Arc<dyn StorageBackend>>,
+        cfg: ResilienceConfig,
+    ) {
+        let metrics = ResilienceMetrics::new(&self.obs, project);
+        metrics.breaker_state.set(BreakerState::Closed.as_gauge());
+        let state = ResilientState {
+            replica,
+            breaker: CircuitBreaker::new(cfg.breaker),
+            journal: RedoJournal::new(cfg.journal_entries, cfg.journal_bytes),
+            verify_writes: cfg.verify_writes,
+            rng: Mutex::new(SimRng::seed_from_u64(cfg.seed).stream(project)),
+            policy: cfg.retry,
+            metrics,
+        };
+        self.obs.event(
+            "adal_mount",
+            &[
+                ("project", project),
+                ("backend", primary.kind()),
+                ("mode", "resilient"),
+            ],
+        );
+        self.mounts.write().insert(
+            project.to_string(),
+            Mount {
+                backend: primary,
+                resilience: Some(Arc::new(state)),
+            },
+        );
     }
 
     /// The backend kind currently serving a project.
     pub fn backend_kind(&self, project: &str) -> Option<&'static str> {
-        self.mounts.read().get(project).map(|b| b.kind())
+        self.mounts.read().get(project).map(|m| m.backend.kind())
     }
 
     /// Mounted project names, sorted.
@@ -190,7 +459,7 @@ impl Adal {
         cred: &Credential,
         path: &str,
         access: Access,
-    ) -> Result<(Arc<dyn StorageBackend>, LsdfPath), AdalError> {
+    ) -> Result<(Mount, LsdfPath), AdalError> {
         self.resolve_parsed(cred, LsdfPath::parse(path)?, access)
     }
 
@@ -199,7 +468,7 @@ impl Adal {
         cred: &Credential,
         parsed: LsdfPath,
         access: Access,
-    ) -> Result<(Arc<dyn StorageBackend>, LsdfPath), AdalError> {
+    ) -> Result<(Mount, LsdfPath), AdalError> {
         let principal = self.auth.authenticate(cred).inspect_err(|_| {
             self.ops.denied.inc();
         })?;
@@ -208,13 +477,13 @@ impl Adal {
             .inspect_err(|_| {
                 self.ops.denied.inc();
             })?;
-        let backend = self
+        let mount = self
             .mounts
             .read()
             .get(&parsed.project)
             .cloned()
             .ok_or_else(|| AdalError::NoMount(parsed.project.clone()))?;
-        Ok((backend, parsed))
+        Ok((mount, parsed))
     }
 
     /// Per-project operation breakdown, labelled by backend kind.
@@ -227,63 +496,420 @@ impl Adal {
             .inc();
     }
 
-    /// Stores an object at `lsdf://project/key`.
+    /// Stores an object at `lsdf://project/key`. On a resilient mount
+    /// the write is retried through transient faults, verified against
+    /// torn writes, and — when the backend is down — acknowledged into
+    /// the redo journal for later draining.
     pub fn put(&self, cred: &Credential, path: &str, data: Bytes) -> Result<(), AdalError> {
         let span = self.obs.span(&self.ops.put_latency);
-        let (backend, parsed) = self.resolve(cred, path, Access::Write)?;
+        let (mount, parsed) = self.resolve(cred, path, Access::Write)?;
         let len = data.len() as u64;
-        backend.put(&parsed.key, data)?;
+        match &mount.resilience {
+            Some(st) => {
+                self.resilient_put(st, &mount.backend, &parsed.project, &parsed.key, data)?
+            }
+            None => mount.backend.put(&parsed.key, data)?,
+        }
         self.ops.puts.inc();
         self.ops.put_bytes.record(len);
-        self.project_op(&parsed.project, backend.kind(), "put");
+        self.project_op(&parsed.project, mount.backend.kind(), "put");
         span.finish();
         Ok(())
     }
 
-    /// Fetches an object.
+    /// Fetches an object. On a resilient mount, journaled writes are
+    /// readable immediately (read-your-writes), transient faults are
+    /// retried, and an open breaker fails the read over to the replica.
     pub fn get(&self, cred: &Credential, path: &str) -> Result<Bytes, AdalError> {
         let span = self.obs.span(&self.ops.get_latency);
-        let (backend, parsed) = self.resolve(cred, path, Access::Read)?;
-        let data = backend.get(&parsed.key)?;
+        let (mount, parsed) = self.resolve(cred, path, Access::Read)?;
+        let data = match &mount.resilience {
+            Some(st) => {
+                self.resilient_get(st, &mount.backend, &parsed.project, &parsed.key)?
+            }
+            None => mount.backend.get(&parsed.key)?,
+        };
         self.ops.gets.inc();
         self.ops.get_bytes.record(data.len() as u64);
-        self.project_op(&parsed.project, backend.kind(), "get");
+        self.project_op(&parsed.project, mount.backend.kind(), "get");
         span.finish();
         Ok(data)
     }
 
-    /// Metadata for an object.
+    /// Metadata for an object (degrades like [`Adal::get`]).
     pub fn stat(&self, cred: &Credential, path: &str) -> Result<EntryMeta, AdalError> {
         let span = self.obs.span(&self.ops.stat_latency);
-        let (backend, parsed) = self.resolve(cred, path, Access::Read)?;
-        let meta = backend.stat(&parsed.key)?;
+        let (mount, parsed) = self.resolve(cred, path, Access::Read)?;
+        let meta = match &mount.resilience {
+            Some(st) => {
+                self.resilient_stat(st, &mount.backend, &parsed.project, &parsed.key)?
+            }
+            None => mount.backend.stat(&parsed.key)?,
+        };
         self.ops.stats.inc();
-        self.project_op(&parsed.project, backend.kind(), "stat");
+        self.project_op(&parsed.project, mount.backend.kind(), "stat");
         span.finish();
         Ok(meta)
     }
 
     /// Lists keys under `lsdf://project/prefix` (the prefix may be empty
     /// to list a whole project). Backend listing failures surface as
-    /// [`AdalError::Backend`].
+    /// [`AdalError::Backend`]. On a resilient mount the listing merges
+    /// journaled (acknowledged but not yet landed) writes.
     pub fn list(&self, cred: &Credential, path: &str) -> Result<Vec<EntryMeta>, AdalError> {
         let span = self.obs.span(&self.ops.list_latency);
-        let (backend, parsed) =
+        let (mount, parsed) =
             self.resolve_parsed(cred, LsdfPath::parse_prefix(path)?, Access::Read)?;
-        let entries = backend.list(&parsed.key)?;
+        let entries = match &mount.resilience {
+            Some(st) => {
+                self.resilient_list(st, &mount.backend, &parsed.project, &parsed.key)?
+            }
+            None => mount.backend.list(&parsed.key)?,
+        };
         self.ops.lists.inc();
-        self.project_op(&parsed.project, backend.kind(), "list");
+        self.project_op(&parsed.project, mount.backend.kind(), "list");
         span.finish();
         Ok(entries)
     }
 
-    /// Deletes an object (requires write access).
+    /// Deletes an object (requires write access). On a resilient mount a
+    /// delete first cancels any journaled write for the key.
     pub fn delete(&self, cred: &Credential, path: &str) -> Result<(), AdalError> {
-        let (backend, parsed) = self.resolve(cred, path, Access::Write)?;
-        backend.delete(&parsed.key)?;
+        let (mount, parsed) = self.resolve(cred, path, Access::Write)?;
+        match &mount.resilience {
+            Some(st) => {
+                self.resilient_delete(st, &mount.backend, &parsed.project, &parsed.key)?
+            }
+            None => mount.backend.delete(&parsed.key)?,
+        }
         self.ops.deletes.inc();
-        self.project_op(&parsed.project, backend.kind(), "delete");
+        self.project_op(&parsed.project, mount.backend.kind(), "delete");
         Ok(())
+    }
+
+    // ----- resilient operation paths -------------------------------------
+
+    fn resilient_put(
+        &self,
+        st: &ResilientState,
+        backend: &Arc<dyn StorageBackend>,
+        project: &str,
+        key: &str,
+        data: Bytes,
+    ) -> Result<(), BackendError> {
+        // Write-once applies to acknowledged-but-unlanded writes too.
+        if st.journal.lookup(key).is_some() {
+            return Err(BackendError::AlreadyExists(key.to_string()));
+        }
+        if !st.acquire(&self.obs, project) {
+            return self.journal_put(st, project, key, data);
+        }
+        match st.with_retries(&self.obs, project, || st.put_verified(backend, key, &data)) {
+            Ok(()) => {
+                st.replicate(key, &data);
+                self.drain_step(st, backend, project);
+                Ok(())
+            }
+            // Retry budget spent on transient faults (or the breaker
+            // opened): degrade to the journal rather than bounce the
+            // experiment's data.
+            Err(e) if e.is_transient() => self.journal_put(st, project, key, data),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Acknowledges a write into the redo journal (degraded-write path).
+    fn journal_put(
+        &self,
+        st: &ResilientState,
+        project: &str,
+        key: &str,
+        data: Bytes,
+    ) -> Result<(), BackendError> {
+        // The primary cannot be asked whether the key exists, but the
+        // replica holds a copy of every landed write: honour write-once
+        // as far as it can be checked.
+        if let Some(rep) = &st.replica {
+            if rep.exists(key) {
+                return Err(BackendError::AlreadyExists(key.to_string()));
+            }
+        }
+        if st.journal.push(key, data) {
+            st.metrics.journal_enqueued.inc();
+            st.sync_journal_gauges();
+            self.obs
+                .event("adal_journal_enqueue", &[("project", project), ("key", key)]);
+            Ok(())
+        } else {
+            // A full journal must NOT acknowledge: that would risk data
+            // loss the caller never hears about.
+            Err(BackendError::NoSpace(format!(
+                "redo journal for '{project}' is full"
+            )))
+        }
+    }
+
+    fn resilient_get(
+        &self,
+        st: &ResilientState,
+        backend: &Arc<dyn StorageBackend>,
+        project: &str,
+        key: &str,
+    ) -> Result<Bytes, BackendError> {
+        // Read-your-writes for journaled, acknowledged writes.
+        if let Some(data) = st.journal.lookup(key) {
+            return Ok(data);
+        }
+        if st.acquire(&self.obs, project) {
+            match st.with_retries(&self.obs, project, || backend.get(key)) {
+                Ok(data) => {
+                    self.drain_step(st, backend, project);
+                    return Ok(data);
+                }
+                Err(e) if e.is_transient() => { /* fall over to the replica */ }
+                Err(e) => return Err(e),
+            }
+        }
+        self.failover_read(st, project, key, |rep| rep.get(key))
+    }
+
+    fn resilient_stat(
+        &self,
+        st: &ResilientState,
+        backend: &Arc<dyn StorageBackend>,
+        project: &str,
+        key: &str,
+    ) -> Result<EntryMeta, BackendError> {
+        if let Some(data) = st.journal.lookup(key) {
+            return Ok(EntryMeta {
+                key: key.to_string(),
+                size: data.len() as u64,
+            });
+        }
+        if st.acquire(&self.obs, project) {
+            match st.with_retries(&self.obs, project, || backend.stat(key)) {
+                Ok(meta) => return Ok(meta),
+                Err(e) if e.is_transient() => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.failover_read(st, project, key, |rep| rep.stat(key))
+    }
+
+    fn resilient_list(
+        &self,
+        st: &ResilientState,
+        backend: &Arc<dyn StorageBackend>,
+        project: &str,
+        prefix: &str,
+    ) -> Result<Vec<EntryMeta>, BackendError> {
+        let landed = if st.acquire(&self.obs, project) {
+            match st.with_retries(&self.obs, project, || backend.list(prefix)) {
+                Ok(entries) => Ok(entries),
+                Err(e) if e.is_transient() => {
+                    self.failover_read(st, project, prefix, |rep| rep.list(prefix))
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            self.failover_read(st, project, prefix, |rep| rep.list(prefix))
+        }?;
+        // Merge acknowledged journal entries; the journal wins on key
+        // collisions (it is the newer acknowledged state).
+        let mut out: Vec<EntryMeta> = st
+            .journal
+            .entries_under(prefix)
+            .into_iter()
+            .map(|(key, size)| EntryMeta { key, size })
+            .collect();
+        let journaled: std::collections::HashSet<String> =
+            out.iter().map(|e| e.key.clone()).collect();
+        out.extend(landed.into_iter().filter(|e| !journaled.contains(&e.key)));
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        Ok(out)
+    }
+
+    fn resilient_delete(
+        &self,
+        st: &ResilientState,
+        backend: &Arc<dyn StorageBackend>,
+        project: &str,
+        key: &str,
+    ) -> Result<(), BackendError> {
+        // A journaled write never reached the primary or the replica:
+        // cancelling it completes the delete.
+        if st.journal.remove(key).is_some() {
+            st.sync_journal_gauges();
+            return Ok(());
+        }
+        if !st.acquire(&self.obs, project) {
+            return Err(BackendError::Unavailable(format!(
+                "backend for '{project}' is cooling down (breaker open)"
+            )));
+        }
+        st.with_retries(&self.obs, project, || backend.delete(key))?;
+        if let Some(rep) = &st.replica {
+            // Best effort: the replica copy may or may not exist.
+            let _ = rep.delete(key);
+        }
+        self.drain_step(st, backend, project);
+        Ok(())
+    }
+
+    /// Serves a read from the replica, counting the failover.
+    fn failover_read<T>(
+        &self,
+        st: &ResilientState,
+        project: &str,
+        key: &str,
+        read: impl FnOnce(&Arc<dyn StorageBackend>) -> Result<T, BackendError>,
+    ) -> Result<T, BackendError> {
+        let Some(rep) = &st.replica else {
+            return Err(BackendError::Unavailable(format!(
+                "backend for '{project}' is unavailable and no replica is mounted"
+            )));
+        };
+        let out = read(rep)?;
+        st.metrics.failover_reads.inc();
+        self.obs
+            .event("adal_failover_read", &[("project", project), ("key", key)]);
+        Ok(out)
+    }
+
+    /// Drains the redo journal while the breaker allows it. Called after
+    /// successful operations and by [`Adal::drain_journal`]; each landed
+    /// entry is verified and replicated like a live put.
+    fn drain_step(
+        &self,
+        st: &ResilientState,
+        backend: &Arc<dyn StorageBackend>,
+        project: &str,
+    ) -> usize {
+        let mut drained = 0;
+        loop {
+            if st.journal.depth() == 0 || !st.acquire(&self.obs, project) {
+                break;
+            }
+            let Some((key, data)) = st.journal.pop() else { break };
+            match st.with_retries(&self.obs, project, || st.put_verified(backend, &key, &data))
+            {
+                Ok(()) => {
+                    drained += 1;
+                    st.metrics.journal_drained.inc();
+                    st.replicate(&key, &data);
+                    self.obs
+                        .event("adal_journal_drain", &[("project", project), ("key", &key)]);
+                }
+                Err(BackendError::AlreadyExists(_)) => {
+                    // The key landed before the outage. Equal payload:
+                    // the drain is a no-op. Different payload: the
+                    // journal holds the acknowledged write — repair the
+                    // primary (covers torn residue left by a failed
+                    // verify cleanup).
+                    match backend.get(&key) {
+                        Ok(existing) if sha256(&existing) == sha256(&data) => {
+                            drained += 1;
+                            st.metrics.journal_drained.inc();
+                        }
+                        _ => {
+                            st.metrics.journal_conflicts.inc();
+                            self.obs.event(
+                                "adal_journal_conflict",
+                                &[("project", project), ("key", &key)],
+                            );
+                            let _ = backend.delete(&key);
+                            match st.with_retries(&self.obs, project, || {
+                                st.put_verified(backend, &key, &data)
+                            }) {
+                                Ok(()) => {
+                                    drained += 1;
+                                    st.metrics.journal_drained.inc();
+                                    st.replicate(&key, &data);
+                                }
+                                Err(_) => {
+                                    st.journal.requeue_front(key, data);
+                                    st.sync_journal_gauges();
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Transient exhaustion or the disk filling up: keep the
+                // entry and stop this pass.
+                Err(e) if e.is_transient() || matches!(e, BackendError::NoSpace(_)) => {
+                    st.journal.requeue_front(key, data);
+                    st.sync_journal_gauges();
+                    break;
+                }
+                Err(_) => {
+                    // Deterministic refusal (e.g. Unsupported): the entry
+                    // can never land — drop it as a conflict rather than
+                    // wedge the journal forever.
+                    st.metrics.journal_conflicts.inc();
+                    self.obs.event(
+                        "adal_journal_conflict",
+                        &[("project", project), ("key", &key)],
+                    );
+                }
+            }
+        }
+        if drained > 0 {
+            st.sync_journal_gauges();
+        }
+        drained
+    }
+
+    /// Explicitly drains a project's redo journal (e.g. from a recovery
+    /// loop after an outage ends). Returns entries landed. Plain mounts
+    /// and unknown projects drain nothing.
+    pub fn drain_journal(&self, project: &str) -> usize {
+        let mount = { self.mounts.read().get(project).cloned() };
+        match mount {
+            Some(Mount {
+                backend,
+                resilience: Some(st),
+            }) => self.drain_step(&st, &backend, project),
+            _ => 0,
+        }
+    }
+
+    /// Point-in-time health of one project's mount. Plain mounts report
+    /// a closed breaker and an empty journal.
+    pub fn health(&self, project: &str) -> Option<HealthReport> {
+        let mount = { self.mounts.read().get(project).cloned() }?;
+        Some(match &mount.resilience {
+            Some(st) => HealthReport {
+                project: project.to_string(),
+                backend: mount.backend.kind(),
+                breaker: st.breaker.state(),
+                failure_rate: st.breaker.failure_rate(),
+                has_replica: st.replica.is_some(),
+                journal_depth: st.journal.depth(),
+                journal_bytes: st.journal.bytes(),
+                retries: st.metrics.retries.get(),
+                failover_reads: st.metrics.failover_reads.get(),
+            },
+            None => HealthReport {
+                project: project.to_string(),
+                backend: mount.backend.kind(),
+                breaker: BreakerState::Closed,
+                failure_rate: 0.0,
+                has_replica: false,
+                journal_depth: 0,
+                journal_bytes: 0,
+                retries: 0,
+                failover_reads: 0,
+            },
+        })
+    }
+
+    /// Health of every mounted project, sorted by project name.
+    pub fn health_report(&self) -> Vec<HealthReport> {
+        self.projects()
+            .into_iter()
+            .filter_map(|p| self.health(&p))
+            .collect()
     }
 
     /// Counter snapshot (compatibility view over the obs registry).
@@ -530,5 +1156,285 @@ mod tests {
     fn projects_enumerated() {
         let (adal, _) = setup();
         assert_eq!(adal.projects(), vec!["katrin", "zebrafish"]);
+    }
+
+    // ----- resilience ----------------------------------------------------
+
+    use crate::resilience::BreakerConfig;
+
+    /// Test double: an object store whose next N primary calls fail with
+    /// a transient error, and whose next M puts are torn (stored
+    /// corrupted while still acknowledged).
+    struct ScriptedBackend {
+        inner: ObjectStoreBackend,
+        fail_budget: Mutex<u64>,
+        tear_budget: Mutex<u64>,
+    }
+
+    impl ScriptedBackend {
+        fn new(name: &str) -> Arc<Self> {
+            Arc::new(ScriptedBackend {
+                inner: ObjectStoreBackend::new(Arc::new(ObjectStore::new(name, u64::MAX))),
+                fail_budget: Mutex::new(0),
+                tear_budget: Mutex::new(0),
+            })
+        }
+        fn fail_next(&self, n: u64) {
+            *self.fail_budget.lock() = n;
+        }
+        fn tear_next(&self, n: u64) {
+            *self.tear_budget.lock() = n;
+        }
+        fn trip(&self, budget: &Mutex<u64>) -> bool {
+            let mut b = budget.lock();
+            if *b > 0 {
+                *b -= 1;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    impl StorageBackend for ScriptedBackend {
+        fn kind(&self) -> &'static str {
+            "scripted"
+        }
+        fn put(&self, key: &str, data: Bytes) -> Result<(), BackendError> {
+            if self.trip(&self.fail_budget) {
+                return Err(BackendError::TransientIo(format!("scripted put '{key}'")));
+            }
+            if self.trip(&self.tear_budget) {
+                let mut torn = data.to_vec();
+                torn[0] ^= 0xff;
+                return self.inner.put(key, Bytes::from(torn));
+            }
+            self.inner.put(key, data)
+        }
+        fn get(&self, key: &str) -> Result<Bytes, BackendError> {
+            if self.trip(&self.fail_budget) {
+                return Err(BackendError::TransientIo(format!("scripted get '{key}'")));
+            }
+            self.inner.get(key)
+        }
+        fn stat(&self, key: &str) -> Result<EntryMeta, BackendError> {
+            if self.trip(&self.fail_budget) {
+                return Err(BackendError::TransientIo(format!("scripted stat '{key}'")));
+            }
+            self.inner.stat(key)
+        }
+        fn delete(&self, key: &str) -> Result<(), BackendError> {
+            if self.trip(&self.fail_budget) {
+                return Err(BackendError::TransientIo(format!(
+                    "scripted delete '{key}'"
+                )));
+            }
+            self.inner.delete(key)
+        }
+        fn list(&self, prefix: &str) -> Result<Vec<EntryMeta>, BackendError> {
+            if self.trip(&self.fail_budget) {
+                return Err(BackendError::TransientIo(format!(
+                    "scripted list '{prefix}'"
+                )));
+            }
+            self.inner.list(prefix)
+        }
+    }
+
+    /// Resilient ADAL over a scripted primary + plain replica, with a
+    /// small breaker window and the registry pinned to virtual time so
+    /// cool-downs are test-controlled.
+    fn resilient_setup(
+        name: &str,
+    ) -> (Adal, Credential, Arc<ScriptedBackend>, Arc<dyn StorageBackend>) {
+        let auth = Arc::new(TokenAuth::new());
+        auth.register("tok", "garcia");
+        let acl = Arc::new(Acl::new());
+        acl.grant("garcia", "anka", true);
+        let reg = Arc::new(Registry::new());
+        reg.set_virtual_time_ns(1);
+        let adal = Adal::with_registry(auth, acl, reg);
+        let primary = ScriptedBackend::new(name);
+        let replica: Arc<dyn StorageBackend> = Arc::new(ObjectStoreBackend::new(Arc::new(
+            ObjectStore::new("replica", u64::MAX),
+        )));
+        let cfg = ResilienceConfig {
+            retry: RetryPolicy::new(2, 100, 1_000, 0),
+            breaker: BreakerConfig {
+                window: 4,
+                min_calls: 2,
+                failure_rate: 0.5,
+                cooldown_ns: 1_000,
+                half_open_probes: 1,
+            },
+            journal_entries: 2,
+            ..ResilienceConfig::default()
+        };
+        adal.mount_resilient("anka", primary.clone(), Some(replica.clone()), cfg);
+        (adal, Credential::Token("tok".into()), primary, replica)
+    }
+
+    #[test]
+    fn resilient_put_retries_through_transient_faults() {
+        let (adal, cred, primary, _) = resilient_setup("p1");
+        primary.fail_next(1);
+        adal.put(&cred, "lsdf://anka/run/f1", b("data")).unwrap();
+        assert_eq!(adal.get(&cred, "lsdf://anka/run/f1").unwrap(), b("data"));
+        let reg = adal.obs();
+        let p = [("project", "anka")];
+        assert_eq!(reg.counter_value("adal_retries_total", &p), 1);
+        assert_eq!(reg.counter_value("adal_transient_observed_total", &p), 1);
+        assert_eq!(reg.counter_value("adal_retry_exhausted_total", &p), 0);
+        // The retry schedule was recorded, not slept.
+        assert_eq!(reg.histogram("adal_retry_backoff_ns", &p).count(), 1);
+    }
+
+    #[test]
+    fn torn_write_detected_cleaned_and_retried() {
+        let (adal, cred, primary, _) = resilient_setup("p2");
+        primary.tear_next(1);
+        adal.put(&cred, "lsdf://anka/run/f1", b("payload")).unwrap();
+        // The torn first copy was detected via read-back checksum,
+        // deleted, and the retry landed the intact payload.
+        assert_eq!(adal.get(&cred, "lsdf://anka/run/f1").unwrap(), b("payload"));
+        let reg = adal.obs();
+        let p = [("project", "anka")];
+        assert_eq!(reg.counter_value("adal_write_verify_failures_total", &p), 1);
+        assert_eq!(reg.counter_value("adal_retries_total", &p), 1);
+    }
+
+    #[test]
+    fn breaker_opens_degrades_and_recovers() {
+        let (adal, cred, primary, _) = resilient_setup("p3");
+        let reg = adal.obs().clone();
+        let p = [("project", "anka")];
+
+        // A healthy write lands on primary and replica.
+        adal.put(&cred, "lsdf://anka/a", b("aa")).unwrap();
+
+        // Persistent failure: the retry budget (2 attempts) is spent,
+        // the breaker opens, and the acked write degrades to the journal.
+        primary.fail_next(u64::MAX / 2);
+        adal.put(&cred, "lsdf://anka/b", b("bb")).unwrap();
+        assert_eq!(reg.counter_value("adal_breaker_transitions_total", &[("project", "anka"), ("to", "open")]), 1);
+        assert_eq!(reg.counter_value("adal_journal_enqueued_total", &p), 1);
+        assert_eq!(reg.gauge_value("adal_journal_depth", &p), 1);
+        let h = adal.health("anka").unwrap();
+        assert_eq!(h.breaker, BreakerState::Open);
+        assert_eq!(h.journal_depth, 1);
+        assert!(h.has_replica);
+
+        // Counter identity: every observed transient is either retried
+        // or ends a retry loop.
+        assert_eq!(
+            reg.counter_value("adal_transient_observed_total", &p),
+            reg.counter_value("adal_retries_total", &p)
+                + reg.counter_value("adal_retry_exhausted_total", &p)
+        );
+
+        // Degraded reads: 'a' fails over to the replica, 'b' is served
+        // from the journal (read-your-writes), the listing merges both.
+        assert_eq!(adal.get(&cred, "lsdf://anka/a").unwrap(), b("aa"));
+        assert_eq!(reg.counter_value("adal_failover_reads_total", &p), 1);
+        assert_eq!(adal.get(&cred, "lsdf://anka/b").unwrap(), b("bb"));
+        assert_eq!(adal.stat(&cred, "lsdf://anka/b").unwrap().size, 2);
+        let listed = adal.list(&cred, "lsdf://anka/").unwrap();
+        assert_eq!(
+            listed.iter().map(|e| e.key.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+
+        // Write-once holds for journaled keys and for replica-landed keys.
+        assert!(matches!(
+            adal.put(&cred, "lsdf://anka/b", b("x")),
+            Err(AdalError::Backend(BackendError::AlreadyExists(_)))
+        ));
+        assert!(matches!(
+            adal.put(&cred, "lsdf://anka/a", b("x")),
+            Err(AdalError::Backend(BackendError::AlreadyExists(_)))
+        ));
+
+        // The journal is bounded (2 entries): one more degraded write
+        // fits, the next is refused rather than silently acked.
+        adal.put(&cred, "lsdf://anka/c", b("cc")).unwrap();
+        assert!(matches!(
+            adal.put(&cred, "lsdf://anka/d", b("dd")),
+            Err(AdalError::Backend(BackendError::NoSpace(_)))
+        ));
+
+        // Recovery: heal the backend, let the cool-down elapse, drain.
+        primary.fail_next(0);
+        reg.set_virtual_time_ns(10_000);
+        assert_eq!(adal.drain_journal("anka"), 2);
+        assert_eq!(reg.counter_value("adal_breaker_transitions_total", &[("project", "anka"), ("to", "half_open")]), 1);
+        assert_eq!(reg.counter_value("adal_breaker_transitions_total", &[("project", "anka"), ("to", "closed")]), 1);
+        assert_eq!(reg.gauge_value("adal_journal_depth", &p), 0);
+        let h = adal.health("anka").unwrap();
+        assert_eq!(h.breaker, BreakerState::Closed);
+        assert_eq!(h.journal_depth, 0);
+        // Journaled writes landed on the primary itself.
+        assert!(primary.inner.exists("b"));
+        assert!(primary.inner.exists("c"));
+        assert_eq!(adal.get(&cred, "lsdf://anka/b").unwrap(), b("bb"));
+    }
+
+    #[test]
+    fn open_breaker_read_without_replica_is_unavailable() {
+        let auth = Arc::new(TokenAuth::new());
+        auth.register("tok", "garcia");
+        let acl = Arc::new(Acl::new());
+        acl.grant("garcia", "anka", true);
+        let reg = Arc::new(Registry::new());
+        reg.set_virtual_time_ns(1);
+        let adal = Adal::with_registry(auth, acl, reg);
+        let primary = ScriptedBackend::new("p4");
+        let cfg = ResilienceConfig {
+            retry: RetryPolicy::new(2, 100, 1_000, 0),
+            breaker: BreakerConfig {
+                window: 4,
+                min_calls: 2,
+                failure_rate: 0.5,
+                cooldown_ns: 1_000,
+                half_open_probes: 1,
+            },
+            ..ResilienceConfig::default()
+        };
+        adal.mount_resilient("anka", primary.clone(), None, cfg);
+        let cred = Credential::Token("tok".into());
+        primary.fail_next(u64::MAX / 2);
+        // Acked into the journal even with no replica.
+        adal.put(&cred, "lsdf://anka/k", b("v")).unwrap();
+        // Journaled key still readable; anything else is honestly down.
+        assert_eq!(adal.get(&cred, "lsdf://anka/k").unwrap(), b("v"));
+        assert!(matches!(
+            adal.get(&cred, "lsdf://anka/other"),
+            Err(AdalError::Backend(BackendError::Unavailable(_)))
+        ));
+    }
+
+    #[test]
+    fn delete_cancels_journaled_write() {
+        let (adal, cred, primary, _) = resilient_setup("p5");
+        primary.fail_next(u64::MAX / 2);
+        adal.put(&cred, "lsdf://anka/tmp", b("t")).unwrap();
+        assert_eq!(adal.health("anka").unwrap().journal_depth, 1);
+        adal.delete(&cred, "lsdf://anka/tmp").unwrap();
+        assert_eq!(adal.health("anka").unwrap().journal_depth, 0);
+        // Nothing to drain once healed.
+        primary.fail_next(0);
+        adal.obs().set_virtual_time_ns(10_000);
+        assert_eq!(adal.drain_journal("anka"), 0);
+        assert!(!primary.inner.exists("tmp"));
+    }
+
+    #[test]
+    fn health_covers_plain_mounts_too() {
+        let (adal, _) = setup();
+        let h = adal.health("zebrafish").unwrap();
+        assert_eq!(h.breaker, BreakerState::Closed);
+        assert_eq!(h.journal_depth, 0);
+        assert!(!h.has_replica);
+        assert!(adal.health("nope").is_none());
+        assert_eq!(adal.health_report().len(), 2);
     }
 }

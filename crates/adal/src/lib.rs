@@ -11,7 +11,11 @@
 //! * [`TokenAuth`] / [`Acl`] — pluggable authentication and per-project
 //!   authorization;
 //! * [`Adal`] — the mount registry tying it together, with operation
-//!   counters used by the overhead experiment (E9).
+//!   counters used by the overhead experiment (E9);
+//! * [`RetryPolicy`] / [`CircuitBreaker`] / [`RedoJournal`] — the
+//!   resilience machinery behind [`Adal::mount_resilient`]: bounded
+//!   retries for transient faults, a per-backend breaker, replica
+//!   failover reads and journaled degraded writes.
 
 #![warn(missing_docs)]
 
@@ -19,6 +23,7 @@ mod auth;
 mod backend;
 mod layer;
 mod path;
+mod resilience;
 
 pub use auth::{Access, Acl, AuthError, AuthProvider, Credential, Principal, TokenAuth};
 pub use backend::{
@@ -26,3 +31,7 @@ pub use backend::{
 };
 pub use layer::{Adal, AdalBuilder, AdalCounters, AdalError};
 pub use path::{LsdfPath, PathError};
+pub use resilience::{
+    BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, HealthReport,
+    RedoJournal, ResilienceConfig, RetryPolicy,
+};

@@ -1,0 +1,567 @@
+//! Resilience machinery for the ADAL: bounded-backoff retries, a
+//! per-backend circuit breaker, and the redo journal behind degraded
+//! writes.
+//!
+//! The facility ingests around the clock (zebrafish screens, sequencers,
+//! KATRIN), so a disk array rebooting or a DFS datanode flapping must be
+//! a survivable event, not a crash propagated to the beamline. The
+//! pieces here are deliberately deterministic: backoff jitter draws from
+//! a named [`SimRng`] stream and the breaker cool-down runs on the obs
+//! registry clock, so a chaos run with a fixed seed (and a virtual
+//! clock) is bit-identical across executions.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use lsdf_sim::SimRng;
+
+/// Retry policy: bounded exponential backoff with additive jitter.
+///
+/// Attempt `k` (zero-based retry index) waits
+/// `min(base_delay_ns << k, max_delay_ns)` plus a uniform jitter draw in
+/// `[0, jitter_ns]`, the sum again capped at `max_delay_ns`. Because the
+/// jitter bound never exceeds the base delay (the constructor clamps
+/// it), the schedule is monotone non-decreasing — the property the
+/// resilience proptests pin down. Delays are *recorded*, not slept: the
+/// layer runs on simulated time and reports what it would have waited
+/// through `adal_retry_backoff_ns`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, including the first (>= 1).
+    pub max_attempts: u32,
+    /// First retry delay in nanoseconds (>= 1).
+    pub base_delay_ns: u64,
+    /// Upper bound for any single delay.
+    pub max_delay_ns: u64,
+    /// Jitter bound, clamped to `base_delay_ns` at construction.
+    pub jitter_ns: u64,
+}
+
+impl RetryPolicy {
+    /// Builds a policy.
+    ///
+    /// # Panics
+    /// Panics if `max_attempts == 0`, `base_delay_ns == 0`, or
+    /// `max_delay_ns < base_delay_ns`.
+    pub fn new(max_attempts: u32, base_delay_ns: u64, max_delay_ns: u64, jitter_ns: u64) -> Self {
+        assert!(max_attempts >= 1, "retry policy needs at least one attempt");
+        assert!(base_delay_ns >= 1, "base delay must be positive");
+        assert!(
+            max_delay_ns >= base_delay_ns,
+            "max delay must be >= base delay"
+        );
+        RetryPolicy {
+            max_attempts,
+            base_delay_ns,
+            max_delay_ns,
+            // Monotonicity of the schedule depends on jitter <= base.
+            jitter_ns: jitter_ns.min(base_delay_ns),
+        }
+    }
+
+    /// Delay before retry `retry_index` (0 = delay after the first
+    /// failed attempt), with jitter drawn from `rng`.
+    pub fn delay_ns(&self, retry_index: u32, rng: &mut SimRng) -> u64 {
+        let raw = self
+            .base_delay_ns
+            .checked_shl(retry_index)
+            .unwrap_or(self.max_delay_ns)
+            .min(self.max_delay_ns);
+        let jitter = rng.range_u64(0, self.jitter_ns.saturating_add(1));
+        raw.saturating_add(jitter).min(self.max_delay_ns)
+    }
+
+    /// The full backoff schedule (`max_attempts - 1` delays) for a
+    /// master seed, via the `"retry-backoff"` named stream. Used by the
+    /// determinism proptests and by reports.
+    pub fn schedule(&self, seed: u64) -> Vec<u64> {
+        let mut rng = SimRng::seed_from_u64(seed).stream("retry-backoff");
+        (0..self.max_attempts.saturating_sub(1))
+            .map(|k| self.delay_ns(k, &mut rng))
+            .collect()
+    }
+}
+
+impl Default for RetryPolicy {
+    /// 5 attempts, 1 ms base, 100 ms cap, 0.5 ms jitter.
+    fn default() -> Self {
+        RetryPolicy::new(5, 1_000_000, 100_000_000, 500_000)
+    }
+}
+
+/// Circuit-breaker states, in the classic closed → open → half-open
+/// cycle. The only path back to [`BreakerState::Closed`] runs through
+/// [`BreakerState::HalfOpen`] probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally; outcomes feed the failure-rate window.
+    Closed,
+    /// Calls are rejected until the cool-down elapses.
+    Open,
+    /// Trial calls allowed; successes close, any failure re-opens.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Metric label (`adal_breaker_transitions_total{to=..}`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Gauge encoding for `adal_breaker_state`: 0 closed, 1 half-open,
+    /// 2 open.
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding outcome window evaluated while closed.
+    pub window: usize,
+    /// Minimum outcomes in the window before the rate is evaluated.
+    pub min_calls: usize,
+    /// Failure rate (in `[0, 1]`) at which the breaker opens.
+    pub failure_rate: f64,
+    /// Nanoseconds (registry clock) the breaker stays open before
+    /// half-opening.
+    pub cooldown_ns: u64,
+    /// Consecutive half-open successes required to close.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    /// Window 16, min 8 calls, 50 % failure rate, 50 ms cool-down,
+    /// 2 probes.
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            min_calls: 8,
+            failure_rate: 0.5,
+            cooldown_ns: 50_000_000,
+            half_open_probes: 2,
+        }
+    }
+}
+
+/// A state transition observed by the breaker; the layer turns these
+/// into `adal_breaker_transitions_total` counters and events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// Previous state.
+    pub from: BreakerState,
+    /// New state.
+    pub to: BreakerState,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    window: VecDeque<bool>,
+    opened_at_ns: u64,
+    probe_successes: u32,
+}
+
+/// Per-backend circuit breaker (closed / open / half-open).
+///
+/// Time comes in as explicit `now_ns` arguments so the breaker follows
+/// whatever clock the caller runs on — wall time in production, virtual
+/// time in deterministic chaos runs.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`, `min_calls == 0`, `half_open_probes == 0`
+    /// or `failure_rate` is outside `[0, 1]`.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        assert!(cfg.window >= 1, "breaker window must be positive");
+        assert!(cfg.min_calls >= 1, "breaker min_calls must be positive");
+        assert!(cfg.half_open_probes >= 1, "breaker needs >= 1 probe");
+        assert!(
+            (0.0..=1.0).contains(&cfg.failure_rate),
+            "failure_rate must be in [0, 1]"
+        );
+        CircuitBreaker {
+            cfg,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                window: VecDeque::new(),
+                opened_at_ns: 0,
+                probe_successes: 0,
+            }),
+        }
+    }
+
+    /// Current state (may lag `try_acquire`'s cool-down check).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// Failure rate over the current closed-state window (0 when empty).
+    pub fn failure_rate(&self) -> f64 {
+        let inner = self.inner.lock();
+        if inner.window.is_empty() {
+            return 0.0;
+        }
+        let failures = inner.window.iter().filter(|ok| !**ok).count();
+        failures as f64 / inner.window.len() as f64
+    }
+
+    /// Asks permission for a call at `now_ns`. An open breaker whose
+    /// cool-down has elapsed transitions to half-open (reported in the
+    /// returned transition) and the call is allowed as a probe.
+    pub fn try_acquire(&self, now_ns: u64) -> (bool, Option<BreakerTransition>) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed | BreakerState::HalfOpen => (true, None),
+            BreakerState::Open => {
+                if now_ns.saturating_sub(inner.opened_at_ns) >= self.cfg.cooldown_ns {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_successes = 0;
+                    (
+                        true,
+                        Some(BreakerTransition {
+                            from: BreakerState::Open,
+                            to: BreakerState::HalfOpen,
+                        }),
+                    )
+                } else {
+                    (false, None)
+                }
+            }
+        }
+    }
+
+    /// Records the outcome of a permitted call at `now_ns`.
+    pub fn record(&self, now_ns: u64, success: bool) -> Option<BreakerTransition> {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                if inner.window.len() == self.cfg.window {
+                    inner.window.pop_front();
+                }
+                inner.window.push_back(success);
+                if inner.window.len() >= self.cfg.min_calls {
+                    let failures = inner.window.iter().filter(|ok| !**ok).count();
+                    let rate = failures as f64 / inner.window.len() as f64;
+                    if rate >= self.cfg.failure_rate {
+                        inner.state = BreakerState::Open;
+                        inner.opened_at_ns = now_ns;
+                        inner.window.clear();
+                        return Some(BreakerTransition {
+                            from: BreakerState::Closed,
+                            to: BreakerState::Open,
+                        });
+                    }
+                }
+                None
+            }
+            BreakerState::HalfOpen => {
+                if success {
+                    inner.probe_successes += 1;
+                    if inner.probe_successes >= self.cfg.half_open_probes {
+                        inner.state = BreakerState::Closed;
+                        inner.window.clear();
+                        return Some(BreakerTransition {
+                            from: BreakerState::HalfOpen,
+                            to: BreakerState::Closed,
+                        });
+                    }
+                    None
+                } else {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at_ns = now_ns;
+                    Some(BreakerTransition {
+                        from: BreakerState::HalfOpen,
+                        to: BreakerState::Open,
+                    })
+                }
+            }
+            // A late record against an open breaker (e.g. the breaker
+            // opened from another thread mid-call) is dropped.
+            BreakerState::Open => None,
+        }
+    }
+}
+
+struct JournalInner {
+    entries: VecDeque<(String, Bytes)>,
+    bytes: u64,
+}
+
+/// Bounded redo journal: writes accepted while a backend's breaker is
+/// open (or after retry exhaustion) queue here and drain on recovery.
+/// Acknowledged journal entries are readable through the layer
+/// (read-your-writes) until the drain lands them on the backend.
+pub struct RedoJournal {
+    cap_entries: usize,
+    cap_bytes: u64,
+    inner: Mutex<JournalInner>,
+}
+
+impl RedoJournal {
+    /// An empty journal bounded by entry count and total payload bytes.
+    ///
+    /// # Panics
+    /// Panics if either bound is zero.
+    pub fn new(cap_entries: usize, cap_bytes: u64) -> Self {
+        assert!(cap_entries >= 1, "journal needs capacity for an entry");
+        assert!(cap_bytes >= 1, "journal byte bound must be positive");
+        RedoJournal {
+            cap_entries,
+            cap_bytes,
+            inner: Mutex::new(JournalInner {
+                entries: VecDeque::new(),
+                bytes: 0,
+            }),
+        }
+    }
+
+    /// Queues a write. `false` means the journal is full (the write must
+    /// NOT be acknowledged) or the key is already queued.
+    pub fn push(&self, key: &str, data: Bytes) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.entries.len() >= self.cap_entries
+            || inner.bytes.saturating_add(data.len() as u64) > self.cap_bytes
+            || inner.entries.iter().any(|(k, _)| k == key)
+        {
+            return false;
+        }
+        inner.bytes += data.len() as u64;
+        inner.entries.push_back((key.to_string(), data));
+        true
+    }
+
+    /// The queued payload for `key`, if any (read-your-writes).
+    pub fn lookup(&self, key: &str) -> Option<Bytes> {
+        self.inner
+            .lock()
+            .entries
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, d)| d.clone())
+    }
+
+    /// Removes a queued write for `key` (a delete overtaking the redo).
+    pub fn remove(&self, key: &str) -> Option<Bytes> {
+        let mut inner = self.inner.lock();
+        let pos = inner.entries.iter().position(|(k, _)| k == key)?;
+        let (_, data) = inner.entries.remove(pos)?;
+        inner.bytes -= data.len() as u64;
+        Some(data)
+    }
+
+    /// Pops the oldest queued write for draining.
+    pub fn pop(&self) -> Option<(String, Bytes)> {
+        let mut inner = self.inner.lock();
+        let (key, data) = inner.entries.pop_front()?;
+        inner.bytes -= data.len() as u64;
+        Some((key, data))
+    }
+
+    /// Puts a popped entry back at the front (drain hit a failure).
+    pub fn requeue_front(&self, key: String, data: Bytes) {
+        let mut inner = self.inner.lock();
+        inner.bytes += data.len() as u64;
+        inner.entries.push_front((key, data));
+    }
+
+    /// Queued entry count.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Queued payload bytes.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    /// Queued keys under `prefix`, with payload sizes (for degraded
+    /// listings).
+    pub fn entries_under(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .entries
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, d)| (k.clone(), d.len() as u64))
+            .collect()
+    }
+}
+
+/// Configuration for a resilient mount
+/// ([`crate::Adal::mount_resilient`]).
+#[derive(Clone)]
+pub struct ResilienceConfig {
+    /// Retry policy for transient backend errors.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Redo-journal entry bound.
+    pub journal_entries: usize,
+    /// Redo-journal byte bound.
+    pub journal_bytes: u64,
+    /// Read every put back and compare digests (torn-write detection).
+    pub verify_writes: bool,
+    /// Master seed for the jitter stream (stream name = project).
+    pub seed: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            journal_entries: 1024,
+            journal_bytes: 64 * 1024 * 1024,
+            verify_writes: true,
+            seed: 42,
+        }
+    }
+}
+
+/// Point-in-time health of one project's backend, assembled by
+/// [`crate::Adal::health`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Project name.
+    pub project: String,
+    /// Backend kind label.
+    pub backend: &'static str,
+    /// Breaker state (always `Closed` for plain mounts).
+    pub breaker: BreakerState,
+    /// Failure rate over the breaker's current window.
+    pub failure_rate: f64,
+    /// Whether a failover replica is mounted.
+    pub has_replica: bool,
+    /// Queued redo-journal writes.
+    pub journal_depth: usize,
+    /// Queued redo-journal bytes.
+    pub journal_bytes: u64,
+    /// Retries performed for this project so far.
+    pub retries: u64,
+    /// Reads served from the replica so far.
+    pub failover_reads: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_until_capped() {
+        let p = RetryPolicy::new(6, 100, 1_000, 0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let delays: Vec<u64> = (0..5).map(|k| p.delay_ns(k, &mut rng)).collect();
+        assert_eq!(delays, vec![100, 200, 400, 800, 1_000]);
+    }
+
+    #[test]
+    fn backoff_schedule_is_monotone_and_deterministic() {
+        let p = RetryPolicy::new(8, 1_000, 50_000, 900);
+        let a = p.schedule(7);
+        let b = p.schedule(7);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0] <= w[1], "schedule must be non-decreasing: {a:?}");
+        }
+        assert!(a.iter().all(|d| *d <= 50_000));
+    }
+
+    #[test]
+    fn jitter_is_clamped_to_base() {
+        let p = RetryPolicy::new(3, 10, 1_000, 999);
+        assert_eq!(p.jitter_ns, 10);
+    }
+
+    #[test]
+    fn breaker_full_cycle() {
+        let cb = CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            min_calls: 2,
+            failure_rate: 0.5,
+            cooldown_ns: 100,
+            half_open_probes: 2,
+        });
+        assert_eq!(cb.state(), BreakerState::Closed);
+        assert!(cb.record(0, false).is_none(), "below min_calls");
+        let t = cb.record(1, false).expect("opens at 2/2 failures");
+        assert_eq!(t.to, BreakerState::Open);
+        // Rejected during cool-down.
+        let (ok, t) = cb.try_acquire(50);
+        assert!(!ok);
+        assert!(t.is_none());
+        // Half-opens after cool-down.
+        let (ok, t) = cb.try_acquire(101);
+        assert!(ok);
+        assert_eq!(t.unwrap().to, BreakerState::HalfOpen);
+        // One success is not enough; the second closes.
+        assert!(cb.record(102, true).is_none());
+        let t = cb.record(103, true).expect("closes after probes");
+        assert_eq!(t.from, BreakerState::HalfOpen);
+        assert_eq!(t.to, BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let cb = CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            min_calls: 1,
+            failure_rate: 0.5,
+            cooldown_ns: 10,
+            half_open_probes: 1,
+        });
+        cb.record(0, false);
+        assert_eq!(cb.state(), BreakerState::Open);
+        let (ok, _) = cb.try_acquire(20);
+        assert!(ok);
+        let t = cb.record(21, false).expect("probe failure reopens");
+        assert_eq!(t.to, BreakerState::Open);
+        // New cool-down runs from the reopen time.
+        assert!(!cb.try_acquire(25).0);
+        assert!(cb.try_acquire(31).0);
+    }
+
+    #[test]
+    fn journal_bounds_and_read_your_writes() {
+        let j = RedoJournal::new(2, 100);
+        assert!(j.push("a", Bytes::from_static(b"xx")));
+        assert!(!j.push("a", Bytes::from_static(b"yy")), "duplicate key");
+        assert!(j.push("b", Bytes::from_static(b"zz")));
+        assert!(!j.push("c", Bytes::from_static(b"ww")), "entry bound");
+        assert_eq!(j.lookup("a").unwrap(), Bytes::from_static(b"xx"));
+        assert_eq!(j.depth(), 2);
+        assert_eq!(j.bytes(), 4);
+        assert_eq!(j.remove("a").unwrap(), Bytes::from_static(b"xx"));
+        assert_eq!(j.depth(), 1);
+        let (k, d) = j.pop().unwrap();
+        assert_eq!(k, "b");
+        j.requeue_front(k, d);
+        assert_eq!(j.depth(), 1);
+        assert_eq!(j.bytes(), 2);
+    }
+
+    #[test]
+    fn journal_byte_bound_enforced() {
+        let j = RedoJournal::new(100, 3);
+        assert!(j.push("a", Bytes::from_static(b"ab")));
+        assert!(!j.push("b", Bytes::from_static(b"cd")), "byte bound");
+        assert!(j.push("c", Bytes::from_static(b"e")));
+    }
+}

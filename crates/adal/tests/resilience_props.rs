@@ -1,0 +1,103 @@
+//! Property tests for the ADAL resilience primitives.
+//!
+//! Pinned invariants:
+//! * a retry backoff schedule is monotone non-decreasing, bounded by
+//!   `max_delay_ns`, and bit-identical for a fixed seed;
+//! * the circuit breaker never jumps open → closed without passing
+//!   through half-open, regardless of the call/outcome sequence.
+
+use lsdf_adal::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
+use proptest::prelude::*;
+
+proptest! {
+    /// Backoff delays never shrink, never exceed the cap, and replay
+    /// exactly for the same seed.
+    #[test]
+    fn backoff_monotone_bounded_deterministic(
+        max_attempts in 1u32..=24,
+        base in 1u64..=1_000_000,
+        cap_factor in 1u64..=10_000,
+        jitter in 0u64..=2_000_000,
+        seed in any::<u64>(),
+    ) {
+        let max_delay = base.saturating_mul(cap_factor);
+        let policy = RetryPolicy::new(max_attempts, base, max_delay, jitter);
+        let schedule = policy.schedule(seed);
+        prop_assert_eq!(schedule.len(), (max_attempts - 1) as usize);
+        for pair in schedule.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "schedule must be monotone: {:?}", schedule);
+        }
+        for &d in &schedule {
+            prop_assert!(d <= max_delay, "delay {d} exceeds cap {max_delay}");
+            prop_assert!(d >= base.min(max_delay), "delay {d} below base");
+        }
+        prop_assert_eq!(schedule, policy.schedule(seed));
+    }
+
+    /// Different seeds are allowed to differ (and with jitter usually
+    /// do), but every seed respects the same bounds — this guards the
+    /// jitter draw itself against escaping `[0, jitter]`.
+    #[test]
+    fn backoff_jitter_stays_within_one_base_delay(
+        base in 1u64..=1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let cap = base.saturating_mul(1 << 10);
+        let policy = RetryPolicy::new(8, base, cap, u64::MAX);
+        for (k, d) in policy.schedule(seed).into_iter().enumerate() {
+            let raw = base.checked_shl(k as u32).unwrap_or(cap).min(cap);
+            // Jitter is clamped to base at construction.
+            prop_assert!(d >= raw && d <= raw.saturating_add(base).min(cap));
+        }
+    }
+
+    /// Drive a breaker with an arbitrary interleaving of acquire/record
+    /// events and random clock jumps: the open → closed edge must always
+    /// pass through half-open, and closed is only reached from half-open
+    /// by completing the probe quota.
+    #[test]
+    fn breaker_never_closes_without_half_open(
+        ops in proptest::collection::vec((any::<bool>(), any::<bool>(), 0u64..5_000), 1..200),
+        window in 2usize..=16,
+        min_calls in 1usize..=8,
+        probes in 1u32..=4,
+    ) {
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            window,
+            min_calls: min_calls.min(window),
+            failure_rate: 0.5,
+            cooldown_ns: 1_000,
+            half_open_probes: probes,
+        });
+        let mut now = 0u64;
+        let mut transitions = Vec::new();
+        for (do_acquire, success, dt) in ops {
+            now += dt;
+            if do_acquire {
+                let (_, t) = breaker.try_acquire(now);
+                if let Some(t) = t {
+                    transitions.push(t);
+                }
+            } else if let Some(t) = breaker.record(now, success) {
+                transitions.push(t);
+            }
+        }
+        for t in &transitions {
+            prop_assert_ne!(
+                (t.from, t.to),
+                (BreakerState::Open, BreakerState::Closed),
+                "open must never close directly"
+            );
+            if t.to == BreakerState::Closed {
+                prop_assert_eq!(t.from, BreakerState::HalfOpen);
+            }
+            if t.to == BreakerState::HalfOpen {
+                prop_assert_eq!(t.from, BreakerState::Open);
+            }
+        }
+        // Transitions chain: each one starts where the previous ended.
+        for pair in transitions.windows(2) {
+            prop_assert_eq!(pair[0].to, pair[1].from);
+        }
+    }
+}

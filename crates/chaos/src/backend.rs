@@ -1,0 +1,279 @@
+//! A `StorageBackend` wrapper that injects the faults a plan decides.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use lsdf_adal::{BackendError, EntryMeta, StorageBackend};
+use lsdf_obs::{Counter, Histogram, Registry};
+use lsdf_sim::SimRng;
+
+use crate::plan::{FaultDecision, FaultPlan};
+
+/// Per-backend injection state: the fault RNG stream and the op index,
+/// advanced together under one lock so concurrent callers still see a
+/// single deterministic fault sequence.
+struct InjectState {
+    rng: SimRng,
+    ops: u64,
+}
+
+/// Cached registry handles for the injection counters.
+struct ChaosObs {
+    outages: Counter,
+    transients: Counter,
+    torn_writes: Counter,
+    latency_spikes: Counter,
+    injected_latency: Histogram,
+}
+
+impl ChaosObs {
+    fn new(reg: &Registry, backend: &str) -> Self {
+        let fault = |f| reg.counter("chaos_injected_total", &[("backend", backend), ("fault", f)]);
+        ChaosObs {
+            outages: fault("outage"),
+            transients: fault("transient"),
+            torn_writes: fault("torn_write"),
+            latency_spikes: fault("latency_spike"),
+            injected_latency: reg.histogram("chaos_injected_latency_ns", &[("backend", backend)]),
+        }
+    }
+}
+
+/// Wraps a [`StorageBackend`] and injects faults per a [`FaultPlan`].
+///
+/// Injected failures surface as the errors real hardware produces —
+/// [`BackendError::Unavailable`] for scheduled outages,
+/// [`BackendError::TransientIo`] for probabilistic drops — and torn
+/// writes corrupt one payload byte while still acknowledging the call,
+/// exactly the failure a read-back checksum must catch. Every injection
+/// is counted in `chaos_injected_total{backend,fault}`; latency spikes
+/// additionally land in `chaos_injected_latency_ns{backend}`.
+pub struct FaultyBackend {
+    inner: Arc<dyn StorageBackend>,
+    name: String,
+    plan: FaultPlan,
+    state: Mutex<InjectState>,
+    obs: ChaosObs,
+}
+
+impl FaultyBackend {
+    /// Wraps `inner` under `plan`, drawing faults from the plan's RNG
+    /// stream for `name` and counting injections in `registry`.
+    pub fn new(
+        name: &str,
+        inner: Arc<dyn StorageBackend>,
+        plan: FaultPlan,
+        registry: &Registry,
+    ) -> Arc<Self> {
+        let rng = plan.stream(name);
+        Arc::new(FaultyBackend {
+            inner,
+            name: name.to_string(),
+            obs: ChaosObs::new(registry, name),
+            plan,
+            state: Mutex::new(InjectState { rng, ops: 0 }),
+        })
+    }
+
+    /// The injection name this backend counts faults under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operations seen so far (the outage-window clock).
+    pub fn ops_seen(&self) -> u64 {
+        self.state.lock().ops
+    }
+
+    /// Draws the fault decision for the next operation and counts the
+    /// non-tearing injections (torn writes are counted at the tear, so
+    /// an empty payload that cannot be torn is not over-counted).
+    fn next_decision(&self, is_write: bool) -> FaultDecision {
+        let mut st = self.state.lock();
+        let op = st.ops;
+        st.ops += 1;
+        let d = self.plan.decide(op, is_write, &mut st.rng);
+        if d.outage {
+            self.obs.outages.inc();
+        }
+        if d.transient {
+            self.obs.transients.inc();
+        }
+        if let Some(ns) = d.latency_ns {
+            self.obs.latency_spikes.inc();
+            self.obs.injected_latency.record(ns);
+        }
+        d
+    }
+
+    /// Maps a decision to the error it injects, if any.
+    fn gate(&self, d: &FaultDecision, op: &str, key: &str) -> Result<(), BackendError> {
+        if d.outage {
+            return Err(BackendError::Unavailable(format!(
+                "injected outage: {} {op} '{key}'",
+                self.name
+            )));
+        }
+        if d.transient {
+            return Err(BackendError::TransientIo(format!(
+                "injected fault: {} {op} '{key}'",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Flips one payload byte (torn write).
+    fn tear(&self, data: Bytes) -> Bytes {
+        if data.is_empty() {
+            return data;
+        }
+        let idx = {
+            let mut st = self.state.lock();
+            st.rng.index(data.len())
+        };
+        self.obs.torn_writes.inc();
+        let mut torn = data.to_vec();
+        torn[idx] ^= 0x01;
+        Bytes::from(torn)
+    }
+}
+
+impl StorageBackend for FaultyBackend {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+
+    fn put(&self, key: &str, data: Bytes) -> Result<(), BackendError> {
+        let d = self.next_decision(true);
+        self.gate(&d, "put", key)?;
+        let payload = if d.torn { self.tear(data) } else { data };
+        self.inner.put(key, payload)
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes, BackendError> {
+        let d = self.next_decision(false);
+        self.gate(&d, "get", key)?;
+        self.inner.get(key)
+    }
+
+    fn stat(&self, key: &str) -> Result<EntryMeta, BackendError> {
+        let d = self.next_decision(false);
+        self.gate(&d, "stat", key)?;
+        self.inner.stat(key)
+    }
+
+    fn delete(&self, key: &str) -> Result<(), BackendError> {
+        let d = self.next_decision(false);
+        self.gate(&d, "delete", key)?;
+        self.inner.delete(key)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<EntryMeta>, BackendError> {
+        let d = self.next_decision(false);
+        self.gate(&d, "list", prefix)?;
+        self.inner.list(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsdf_adal::ObjectStoreBackend;
+    use lsdf_storage::ObjectStore;
+
+    fn store(name: &str) -> Arc<dyn StorageBackend> {
+        Arc::new(ObjectStoreBackend::new(Arc::new(ObjectStore::new(
+            name,
+            u64::MAX,
+        ))))
+    }
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn quiet_plan_is_transparent() {
+        let reg = Registry::new();
+        let fb = FaultyBackend::new("disk", store("d"), FaultPlan::quiet(1), &reg);
+        fb.put("k", b("v")).unwrap();
+        assert_eq!(fb.get("k").unwrap(), b("v"));
+        assert_eq!(fb.stat("k").unwrap().size, 1);
+        assert_eq!(fb.list("").unwrap().len(), 1);
+        fb.delete("k").unwrap();
+        assert!(!fb.exists("k"));
+        assert_eq!(reg.counter_total("chaos_injected_total"), 0);
+        assert_eq!(fb.ops_seen(), 6); // exists() routes through stat()
+    }
+
+    #[test]
+    fn outage_window_fails_exactly_its_ops() {
+        let reg = Registry::new();
+        let plan = FaultPlan::quiet(1).outage(1, 3);
+        let fb = FaultyBackend::new("disk", store("d"), plan, &reg);
+        fb.put("a", b("1")).unwrap(); // op 0: before the window
+        assert!(matches!(
+            fb.put("b", b("2")), // op 1
+            Err(BackendError::Unavailable(_))
+        ));
+        assert!(matches!(fb.get("a"), Err(BackendError::Unavailable(_)))); // op 2
+        assert_eq!(fb.get("a").unwrap(), b("1")); // op 3: recovered
+        assert_eq!(
+            reg.counter_value(
+                "chaos_injected_total",
+                &[("backend", "disk"), ("fault", "outage")]
+            ),
+            2
+        );
+    }
+
+    #[test]
+    fn transient_faults_are_counted_and_reproducible() {
+        let run = || {
+            let reg = Registry::new();
+            let plan = FaultPlan::quiet(9).transient(0.5);
+            let fb = FaultyBackend::new("disk", store("d"), plan, &reg);
+            (0..64)
+                .map(|i| fb.put(&format!("k{i}"), b("x")).is_ok())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.iter().any(|ok| *ok));
+        assert!(a.iter().any(|ok| !*ok));
+    }
+
+    #[test]
+    fn torn_write_acknowledges_but_corrupts() {
+        let reg = Registry::new();
+        let inner = store("d");
+        let plan = FaultPlan::quiet(5).torn_writes(1.0);
+        let fb = FaultyBackend::new("disk", inner.clone(), plan, &reg);
+        fb.put("k", b("payload")).unwrap(); // acked!
+        let stored = inner.get("k").unwrap();
+        assert_ne!(stored, b("payload"));
+        assert_eq!(stored.len(), 7); // one byte flipped, not truncated
+        assert_eq!(
+            reg.counter_value(
+                "chaos_injected_total",
+                &[("backend", "disk"), ("fault", "torn_write")]
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn latency_spikes_recorded_without_failing() {
+        let reg = Registry::new();
+        let plan = FaultPlan::quiet(2).latency_spikes(1.0, 7_000);
+        let fb = FaultyBackend::new("disk", store("d"), plan, &reg);
+        fb.put("k", b("v")).unwrap();
+        assert_eq!(fb.get("k").unwrap(), b("v"));
+        let h = reg.histogram("chaos_injected_latency_ns", &[("backend", "disk")]);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 14_000);
+    }
+}

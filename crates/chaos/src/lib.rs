@@ -1,0 +1,30 @@
+//! # lsdf-chaos — facility-wide fault injection
+//!
+//! A 24/7 data facility earns its durability claims under failure, not
+//! in the happy path. This crate turns the failure model of the LSDF
+//! paper's environment (disk arrays stalling, tape robots wedging, GPFS
+//! nodes dropping I/O) into *seed-reproducible* injected faults:
+//!
+//! * [`FaultPlan`] — a declarative mix of probabilistic faults
+//!   (transient I/O errors, latency spikes, torn writes) and scheduled
+//!   full outages (windows in per-backend operation index space);
+//! * [`FaultyBackend`] — wraps any [`lsdf_adal::StorageBackend`] and
+//!   applies a plan to every call, counting each injection in the
+//!   shared `lsdf-obs` registry (`chaos_injected_total{backend,fault}`).
+//!
+//! All randomness flows from [`lsdf_sim::SimRng`] named streams, so a
+//! chaos run with a fixed seed injects the *same* faults at the *same*
+//! operations every time — failures become regression tests.
+//!
+//! Component-level hooks live next to the components they break:
+//! datanode flakiness is `lsdf_dfs::Dfs::set_node_flaky`, stuck tape
+//! mounts are `lsdf_storage::TapeLibrary::inject_stuck_mounts`. This
+//! crate covers the ADAL-facing backend path they all share.
+
+#![warn(missing_docs)]
+
+mod backend;
+mod plan;
+
+pub use backend::FaultyBackend;
+pub use plan::{FaultDecision, FaultPlan};

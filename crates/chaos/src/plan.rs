@@ -1,0 +1,197 @@
+//! Declarative fault plans: what to inject, how often, and when.
+
+use lsdf_sim::SimRng;
+
+/// A declarative mix of faults applied by [`crate::FaultyBackend`].
+///
+/// Probabilistic faults fire per operation with the configured rate,
+/// drawn from a deterministic RNG stream; scheduled outages are
+/// half-open windows `[start, end)` in the wrapped backend's own
+/// operation-index space (op 0 is its first call), so a plan describes
+/// the same failure timeline on every seeded run.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// RNG seed; the per-backend stream is derived from the backend name.
+    pub seed: u64,
+    /// Probability that an operation fails with a transient I/O error.
+    pub transient_rate: f64,
+    /// Probability that an operation is hit by a latency spike.
+    pub latency_spike_rate: f64,
+    /// Size of an injected latency spike, in nanoseconds.
+    pub latency_spike_ns: u64,
+    /// Probability that a `put` is torn: one payload byte is flipped
+    /// before it reaches the backend while the call still succeeds.
+    pub torn_write_rate: f64,
+    /// Scheduled full outages as `[start, end)` op-index windows; every
+    /// operation inside a window fails as unavailable.
+    pub outages: Vec<(u64, u64)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 42,
+            transient_rate: 0.0,
+            latency_spike_rate: 0.0,
+            latency_spike_ns: 0,
+            torn_write_rate: 0.0,
+            outages: Vec::new(),
+        }
+    }
+}
+
+/// What a plan decided to inject into one operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultDecision {
+    /// The op falls inside a scheduled outage window: fail unavailable.
+    pub outage: bool,
+    /// Fail the op with a transient I/O error.
+    pub transient: bool,
+    /// Tear the payload (writes only): flip a byte, still succeed.
+    pub torn: bool,
+    /// Latency spike to account against the op, if any.
+    pub latency_ns: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the identity wrapper).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the transient I/O error rate.
+    pub fn transient(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.transient_rate = rate;
+        self
+    }
+
+    /// Sets the latency spike rate and magnitude.
+    pub fn latency_spikes(mut self, rate: f64, spike_ns: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.latency_spike_rate = rate;
+        self.latency_spike_ns = spike_ns;
+        self
+    }
+
+    /// Sets the torn-write rate.
+    pub fn torn_writes(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.torn_write_rate = rate;
+        self
+    }
+
+    /// Schedules a full outage for ops in `[start, end)`.
+    pub fn outage(mut self, start: u64, end: u64) -> Self {
+        assert!(start < end, "outage window must be non-empty");
+        self.outages.push((start, end));
+        self
+    }
+
+    /// The RNG stream a backend named `name` draws its faults from.
+    pub fn stream(&self, name: &str) -> SimRng {
+        SimRng::seed_from_u64(self.seed).stream(name)
+    }
+
+    /// True when `op` falls inside a scheduled outage window.
+    pub fn in_outage(&self, op: u64) -> bool {
+        self.outages.iter().any(|&(s, e)| op >= s && op < e)
+    }
+
+    /// Decides the faults for operation number `op`.
+    ///
+    /// An outage pre-empts the probabilistic draws (no RNG is consumed
+    /// while a backend is down, so shifting an outage window does not
+    /// reshuffle the faults outside it — windows stay independently
+    /// tunable under a fixed seed). `is_write` gates torn writes.
+    pub fn decide(&self, op: u64, is_write: bool, rng: &mut SimRng) -> FaultDecision {
+        if self.in_outage(op) {
+            return FaultDecision {
+                outage: true,
+                ..FaultDecision::default()
+            };
+        }
+        let transient = self.transient_rate > 0.0 && rng.chance(self.transient_rate);
+        let torn = !transient
+            && is_write
+            && self.torn_write_rate > 0.0
+            && rng.chance(self.torn_write_rate);
+        let latency_ns = (self.latency_spike_rate > 0.0 && rng.chance(self.latency_spike_rate))
+            .then_some(self.latency_spike_ns);
+        FaultDecision {
+            outage: false,
+            transient,
+            torn,
+            latency_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_decides_nothing() {
+        let plan = FaultPlan::quiet(1);
+        let mut rng = plan.stream("b");
+        for op in 0..64 {
+            assert_eq!(plan.decide(op, true, &mut rng), FaultDecision::default());
+        }
+    }
+
+    #[test]
+    fn outage_windows_are_half_open() {
+        let plan = FaultPlan::quiet(1).outage(10, 20);
+        assert!(!plan.in_outage(9));
+        assert!(plan.in_outage(10));
+        assert!(plan.in_outage(19));
+        assert!(!plan.in_outage(20));
+    }
+
+    #[test]
+    fn decisions_are_seed_reproducible() {
+        let plan = FaultPlan::quiet(7)
+            .transient(0.3)
+            .torn_writes(0.2)
+            .latency_spikes(0.25, 5_000);
+        let run = || {
+            let mut rng = plan.stream("disk");
+            (0..256)
+                .map(|op| plan.decide(op, op % 2 == 0, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.iter().any(|d| d.transient));
+        assert!(a.iter().any(|d| d.torn));
+        assert!(a.iter().any(|d| d.latency_ns.is_some()));
+        // Different stream names draw different faults.
+        let mut other = plan.stream("tape");
+        let b: Vec<_> = (0..256)
+            .map(|op| plan.decide(op, op % 2 == 0, &mut other))
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn torn_writes_never_hit_reads() {
+        let plan = FaultPlan::quiet(3).torn_writes(1.0);
+        let mut rng = plan.stream("b");
+        for op in 0..32 {
+            let d = plan.decide(op, false, &mut rng);
+            assert!(!d.torn);
+        }
+        let d = plan.decide(32, true, &mut rng);
+        assert!(d.torn);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn rates_are_validated() {
+        let _ = FaultPlan::quiet(1).transient(1.5);
+    }
+}

@@ -5,7 +5,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use lsdf_adal::{
-    Acl, Adal, Credential, DfsBackend, HsmBackend, ObjectStoreBackend, TokenAuth,
+    Acl, Adal, Credential, DfsBackend, HsmBackend, ObjectStoreBackend, ResilienceConfig,
+    StorageBackend, TokenAuth,
 };
 use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
 use lsdf_metadata::{ProjectStore, Schema};
@@ -37,9 +38,17 @@ pub enum BackendChoice {
     Dfs,
 }
 
+/// One project entry: the primary backend plus optional resilience
+/// (replica backend choice and retry/breaker/journal configuration).
+struct ProjectSpec {
+    schema: Schema,
+    primary: BackendChoice,
+    resilience: Option<(BackendChoice, ResilienceConfig)>,
+}
+
 /// Builder for a [`Facility`].
 pub struct FacilityBuilder {
-    projects: Vec<(Schema, BackendChoice)>,
+    projects: Vec<ProjectSpec>,
     cluster: ClusterTopology,
     dfs_config: DfsConfig,
     admin_token: String,
@@ -69,7 +78,31 @@ impl FacilityBuilder {
 
     /// Adds a project with its metadata schema and backend choice.
     pub fn project(mut self, schema: Schema, backend: BackendChoice) -> Self {
-        self.projects.push((schema, backend));
+        self.projects.push(ProjectSpec {
+            schema,
+            primary: backend,
+            resilience: None,
+        });
+        self
+    }
+
+    /// Adds a project mounted through the full ADAL resilience stack:
+    /// retries, circuit breaker, replica failover reads and a redo
+    /// journal (see [`Adal::mount_resilient`]). The replica should be
+    /// an independent backend (a [`BackendChoice::Dfs`] replica shares
+    /// the facility-wide DFS namespace with any DFS primary).
+    pub fn resilient_project(
+        mut self,
+        schema: Schema,
+        primary: BackendChoice,
+        replica: BackendChoice,
+        cfg: ResilienceConfig,
+    ) -> Self {
+        self.projects.push(ProjectSpec {
+            schema,
+            primary,
+            resilience: Some((replica, cfg)),
+        });
         self
     }
 
@@ -107,42 +140,30 @@ impl FacilityBuilder {
 
         let mut stores = HashMap::new();
         let mut hsms = HashMap::new();
-        for (schema, backend) in self.projects {
-            let project = schema.name.clone();
+        for spec in self.projects {
+            let project = spec.schema.name.clone();
             if stores.contains_key(&project) {
                 return Err(FacilityError::DuplicateProject(project));
             }
-            match backend {
-                BackendChoice::ObjectStore { capacity } => {
-                    let store = Arc::new(ObjectStore::new(project.clone(), capacity));
-                    adal.mount(&project, Arc::new(ObjectStoreBackend::new(store)));
-                }
-                BackendChoice::Hsm {
-                    disk_capacity,
-                    low_watermark,
-                    high_watermark,
-                    policy,
-                } => {
-                    let disk = Arc::new(ObjectStore::new(format!("{project}-disk"), disk_capacity));
-                    let tape = Arc::new(ObjectStore::new(format!("{project}-tape"), u64::MAX));
-                    let hsm = Arc::new(Hsm::with_registry(
-                        disk,
-                        tape,
-                        low_watermark,
-                        high_watermark,
-                        policy,
-                        obs.clone(),
-                    ));
-                    adal.mount(&project, Arc::new(HsmBackend::new(hsm.clone())));
-                    hsms.insert(project.clone(), hsm);
-                }
-                BackendChoice::Dfs => {
-                    adal.mount(&project, Arc::new(DfsBackend::new(dfs.clone())));
+            let primary = make_backend(&project, spec.primary, &obs, &dfs, &mut hsms);
+            match spec.resilience {
+                None => adal.mount(&project, primary),
+                Some((replica_choice, cfg)) => {
+                    // The replica's stores carry a `-replica` suffix so
+                    // they never collide with the primary's.
+                    let replica = make_backend(
+                        &format!("{project}-replica"),
+                        replica_choice,
+                        &obs,
+                        &dfs,
+                        &mut hsms,
+                    );
+                    adal.mount_resilient(&project, primary, Some(replica), cfg);
                 }
             }
             // Admin gets full access to every project.
             acl.grant("admin", &project, true);
-            stores.insert(project, Arc::new(ProjectStore::new(schema)));
+            stores.insert(project, Arc::new(ProjectStore::new(spec.schema)));
         }
         Ok(Facility {
             adal,
@@ -160,6 +181,45 @@ impl FacilityBuilder {
 impl Default for FacilityBuilder {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Constructs the storage backend for one mount. `name` keys the
+/// underlying stores (and the [`Facility::hsm`] lookup for HSM mounts);
+/// resilient replicas pass a suffixed name so their stores stay
+/// distinct from the primary's.
+fn make_backend(
+    name: &str,
+    choice: BackendChoice,
+    obs: &Arc<Registry>,
+    dfs: &Arc<Dfs>,
+    hsms: &mut HashMap<String, Arc<Hsm>>,
+) -> Arc<dyn StorageBackend> {
+    match choice {
+        BackendChoice::ObjectStore { capacity } => {
+            let store = Arc::new(ObjectStore::new(name, capacity));
+            Arc::new(ObjectStoreBackend::new(store))
+        }
+        BackendChoice::Hsm {
+            disk_capacity,
+            low_watermark,
+            high_watermark,
+            policy,
+        } => {
+            let disk = Arc::new(ObjectStore::new(format!("{name}-disk"), disk_capacity));
+            let tape = Arc::new(ObjectStore::new(format!("{name}-tape"), u64::MAX));
+            let hsm = Arc::new(Hsm::with_registry(
+                disk,
+                tape,
+                low_watermark,
+                high_watermark,
+                policy,
+                obs.clone(),
+            ));
+            hsms.insert(name.to_string(), hsm.clone());
+            Arc::new(HsmBackend::new(hsm))
+        }
+        BackendChoice::Dfs => Arc::new(DfsBackend::new(dfs.clone())),
     }
 }
 
@@ -312,6 +372,47 @@ mod tests {
             reg.counter_value("hsm_puts_total", &[("store", "katrin-disk")]),
             1
         );
+    }
+
+    #[test]
+    fn resilient_project_mounts_with_replica_and_health() {
+        let f = Facility::builder()
+            .resilient_project(
+                zebrafish_schema(),
+                BackendChoice::ObjectStore { capacity: u64::MAX },
+                BackendChoice::ObjectStore { capacity: u64::MAX },
+                ResilienceConfig::default(),
+            )
+            .build()
+            .unwrap();
+        let admin = f.admin().clone();
+        f.adal()
+            .put(
+                &admin,
+                "lsdf://zebrafish-htm/a",
+                bytes::Bytes::from_static(b"x"),
+            )
+            .unwrap();
+        assert_eq!(
+            f.adal()
+                .get(&admin, "lsdf://zebrafish-htm/a")
+                .unwrap(),
+            bytes::Bytes::from_static(b"x")
+        );
+        let h = f.adal().health("zebrafish-htm").unwrap();
+        assert!(h.has_replica);
+        assert_eq!(h.breaker, lsdf_adal::BreakerState::Closed);
+        assert_eq!(h.journal_depth, 0);
+        // The write was replicated: re-putting the same key is refused
+        // by the replica-side write-once check even while degraded.
+        assert!(f
+            .adal()
+            .put(
+                &admin,
+                "lsdf://zebrafish-htm/a",
+                bytes::Bytes::from_static(b"y"),
+            )
+            .is_err());
     }
 
     #[test]

@@ -292,7 +292,9 @@ mod tests {
         assert_eq!(report.registered, 23);
         assert_eq!(report.rejected, 1);
         let reg = f.obs();
-        let labels = |o: &str| [("project", "zebrafish-htm"), ("outcome", o)];
+        fn labels(o: &str) -> [(&str, &str); 2] {
+            [("project", "zebrafish-htm"), ("outcome", o)]
+        }
         assert_eq!(
             reg.counter_value("facility_ingest_total", &labels("registered")),
             report.registered

@@ -11,8 +11,9 @@ pub use crate::{
 };
 
 pub use lsdf_adal::{
-    Acl, Adal, AdalBuilder, AdalCounters, AdalError, BackendError, Credential, EntryMeta,
-    StorageBackend, TokenAuth,
+    Acl, Adal, AdalBuilder, AdalCounters, AdalError, BackendError, BreakerConfig, BreakerState,
+    Credential, EntryMeta, HealthReport, ResilienceConfig, RetryPolicy, StorageBackend,
+    TokenAuth,
 };
 
 pub use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig, DfsError, PlacementPolicy};

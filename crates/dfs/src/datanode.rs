@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 use crate::cluster::DfsNodeId;
 
@@ -27,6 +29,9 @@ pub enum DataNodeError {
     },
     /// Block already stored here.
     DuplicateBlock(BlockId),
+    /// A flaky node dropped this I/O; the replica is intact and an
+    /// immediate retry may succeed (maps to a transient backend error).
+    TransientIo(DfsNodeId),
 }
 
 impl std::fmt::Display for DataNodeError {
@@ -38,6 +43,9 @@ impl std::fmt::Display for DataNodeError {
                 write!(f, "datanode {node:?} out of space ({free} free)")
             }
             DataNodeError::DuplicateBlock(b) => write!(f, "block {b:?} already stored"),
+            DataNodeError::TransientIo(n) => {
+                write!(f, "datanode {n:?} dropped the i/o (flaky)")
+            }
         }
     }
 }
@@ -50,11 +58,19 @@ struct DataNodeState {
     alive: bool,
 }
 
-/// One datanode: bounded block storage plus liveness.
+struct FlakyState {
+    rate: f64,
+    rng: ChaCha8Rng,
+}
+
+/// One datanode: bounded block storage plus liveness and an optional
+/// flaky mode (each I/O fails with a seeded probability) for fault
+/// injection — a softer failure than the binary [`DataNode::kill`].
 pub struct DataNode {
     id: DfsNodeId,
     capacity: u64,
     state: RwLock<DataNodeState>,
+    flaky: Mutex<Option<FlakyState>>,
 }
 
 impl DataNode {
@@ -68,6 +84,37 @@ impl DataNode {
                 used: 0,
                 alive: true,
             }),
+            flaky: Mutex::new(None),
+        }
+    }
+
+    /// Makes the node flaky: every subsequent block I/O independently
+    /// fails with probability `rate`, drawn from a ChaCha8 stream seeded
+    /// with `seed` (deterministic per node). `rate` is clamped to
+    /// `[0, 1]`.
+    pub fn set_flaky(&self, rate: f64, seed: u64) {
+        *self.flaky.lock() = Some(FlakyState {
+            rate: rate.clamp(0.0, 1.0),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        });
+    }
+
+    /// Clears flaky mode; the node serves I/O normally again.
+    pub fn clear_flaky(&self) {
+        *self.flaky.lock() = None;
+    }
+
+    /// True while flaky mode is active.
+    pub fn is_flaky(&self) -> bool {
+        self.flaky.lock().is_some()
+    }
+
+    /// Draws the flaky dice for one I/O.
+    fn flaky_drop(&self) -> bool {
+        let mut guard = self.flaky.lock();
+        match guard.as_mut() {
+            Some(f) => f.rng.gen::<f64>() < f.rate,
+            None => false,
         }
     }
 
@@ -113,6 +160,9 @@ impl DataNode {
         if !st.alive {
             return Err(DataNodeError::NodeDead(self.id));
         }
+        if self.flaky_drop() {
+            return Err(DataNodeError::TransientIo(self.id));
+        }
         if st.blocks.contains_key(&id) {
             return Err(DataNodeError::DuplicateBlock(id));
         }
@@ -133,6 +183,9 @@ impl DataNode {
         let st = self.state.read();
         if !st.alive {
             return Err(DataNodeError::NodeDead(self.id));
+        }
+        if self.flaky_drop() {
+            return Err(DataNodeError::TransientIo(self.id));
         }
         st.blocks
             .get(&id)
@@ -210,5 +263,35 @@ mod tests {
         assert!(n.has_block(BlockId(1)));
         n.revive();
         assert_eq!(n.read_block(BlockId(1)).unwrap(), Bytes::from_static(b"a"));
+    }
+
+    #[test]
+    fn flaky_node_drops_some_io_deterministically() {
+        let n = node(u64::MAX);
+        n.store_block(BlockId(0), Bytes::from_static(b"a")).unwrap();
+        n.set_flaky(0.5, 7);
+        assert!(n.is_flaky());
+        let outcomes: Vec<bool> = (0..64).map(|_| n.read_block(BlockId(0)).is_ok()).collect();
+        assert!(outcomes.iter().any(|ok| *ok), "rate 0.5 must pass some");
+        assert!(outcomes.iter().any(|ok| !*ok), "rate 0.5 must drop some");
+        // Same seed → same drop pattern.
+        let m = node(u64::MAX);
+        m.store_block(BlockId(0), Bytes::from_static(b"a")).unwrap();
+        m.set_flaky(0.5, 7);
+        let again: Vec<bool> = (0..64).map(|_| m.read_block(BlockId(0)).is_ok()).collect();
+        assert_eq!(outcomes, again);
+        n.clear_flaky();
+        assert!((0..32).all(|_| n.read_block(BlockId(0)).is_ok()));
+    }
+
+    #[test]
+    fn flaky_store_reports_transient_not_duplicate() {
+        let n = node(u64::MAX);
+        n.set_flaky(1.0, 1);
+        assert_eq!(
+            n.store_block(BlockId(1), Bytes::from_static(b"x")),
+            Err(DataNodeError::TransientIo(DfsNodeId(0)))
+        );
+        assert!(!n.has_block(BlockId(1)), "dropped store must not persist");
     }
 }

@@ -108,6 +108,7 @@ struct HsmInner {
 struct HsmObs {
     registry: Arc<Registry>,
     puts: Counter,
+    deletes: Counter,
     demotions: Counter,
     recalls: Counter,
     demote_bytes: Histogram,
@@ -120,6 +121,7 @@ impl HsmObs {
         let labels: [(&str, &str); 1] = [("store", store)];
         HsmObs {
             puts: registry.counter("hsm_puts_total", &labels),
+            deletes: registry.counter("hsm_deletes_total", &labels),
             demotions: registry.counter("hsm_demotions_total", &labels),
             recalls: registry.counter("hsm_recalls_total", &labels),
             demote_bytes: registry.histogram("hsm_demote_bytes", &labels),
@@ -248,6 +250,29 @@ impl Hsm {
             e.last_access_seq = seq;
         }
         Ok(data)
+    }
+
+    /// Deletes an object through the catalog, whichever tier holds it
+    /// (lifecycle curation: retention windows expiring, projects being
+    /// decommissioned). The catalog entry is removed only after the
+    /// owning store confirms the payload is gone.
+    pub fn delete(&self, key: &str) -> Result<(), HsmError> {
+        let tier = {
+            let inner = self.inner.lock();
+            inner
+                .catalog
+                .get(key)
+                .ok_or_else(|| HsmError::NotFound(key.to_string()))?
+                .tier
+        };
+        match tier {
+            Tier::Disk => self.disk.delete(key)?,
+            Tier::Tape => self.tape.delete(key)?,
+        };
+        self.inner.lock().catalog.remove(key);
+        self.obs.deletes.inc();
+        self.obs.registry.event("hsm_delete", &[("key", key)]);
+        Ok(())
     }
 
     /// Where the object currently lives.
@@ -531,6 +556,29 @@ mod tests {
         assert!(matches!(hsm.get("nope"), Err(HsmError::NotFound(_))));
         assert!(matches!(hsm.tier_of("nope"), Err(HsmError::NotFound(_))));
         assert!(matches!(hsm.demote("nope"), Err(HsmError::NotFound(_))));
+        assert!(matches!(hsm.delete("nope"), Err(HsmError::NotFound(_))));
+    }
+
+    #[test]
+    fn delete_works_on_both_tiers() {
+        let hsm = setup(1000, MigrationPolicy::OldestFirst);
+        hsm.put("disk-res", blob(100)).unwrap();
+        hsm.put("tape-res", blob(100)).unwrap();
+        hsm.demote("tape-res").unwrap();
+        hsm.delete("disk-res").unwrap();
+        hsm.delete("tape-res").unwrap();
+        assert!(matches!(hsm.get("disk-res"), Err(HsmError::NotFound(_))));
+        assert!(matches!(hsm.get("tape-res"), Err(HsmError::NotFound(_))));
+        assert!(hsm.catalog().is_empty());
+        assert_eq!(
+            hsm.obs()
+                .counter_value("hsm_deletes_total", &[("store", "disk")]),
+            2
+        );
+        // The key is reusable after deletion (write-once applies to live
+        // objects only).
+        hsm.put("disk-res", blob(10)).unwrap();
+        assert_eq!(hsm.get("disk-res").unwrap(), blob(10));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use lsdf_obs::{Counter, Histogram, Registry};
-use lsdf_sim::{Resource, SimDuration, SimTime, Simulation, Tally};
+use lsdf_sim::{Resource, SimDuration, SimRng, SimTime, Simulation, Tally};
 
 /// Direction of a tape request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +77,15 @@ pub struct TapeCompletion {
     pub queued_for: SimDuration,
 }
 
+/// Stuck-mount fault injection: with probability `rate`, a mount takes
+/// `extra` longer (the robot fumbling a cartridge exchange).
+struct StuckMounts {
+    rate: f64,
+    extra: SimDuration,
+    rng: SimRng,
+    count: u64,
+}
+
 struct TapeInner {
     params: TapeParams,
     drives: Resource,
@@ -86,6 +95,7 @@ struct TapeInner {
     archive_latency: Tally,
     bytes_archived: u128,
     bytes_recalled: u128,
+    stuck: Option<StuckMounts>,
     obs: Option<TapeObs>,
 }
 
@@ -97,6 +107,7 @@ struct TapeInner {
 struct TapeObs {
     registry: Arc<Registry>,
     mounts: Counter,
+    stuck_mounts: Counter,
     recall_ops: Counter,
     archive_ops: Counter,
     recall_latency_ns: Histogram,
@@ -107,6 +118,7 @@ impl TapeObs {
     fn new(registry: Arc<Registry>) -> Self {
         TapeObs {
             mounts: registry.counter("tape_mounts_total", &[]),
+            stuck_mounts: registry.counter("tape_stuck_mounts_total", &[]),
             recall_ops: registry.counter("tape_ops_total", &[("op", "recall")]),
             archive_ops: registry.counter("tape_ops_total", &[("op", "archive")]),
             recall_latency_ns: registry
@@ -139,6 +151,7 @@ impl TapeLibrary {
                 archive_latency: Tally::new(),
                 bytes_archived: 0,
                 bytes_recalled: 0,
+                stuck: None,
                 obs: None,
             })),
         }
@@ -150,6 +163,29 @@ impl TapeLibrary {
         let lib = Self::new(params);
         lib.inner.borrow_mut().obs = Some(TapeObs::new(registry));
         lib
+    }
+
+    /// Arms stuck-mount injection: each subsequent mount independently
+    /// takes `extra` longer with probability `rate` (clamped to
+    /// `[0, 1]`), drawn from `rng` — pass a named stream
+    /// (e.g. `master.stream("tape-stuck")`) for reproducible chaos runs.
+    pub fn inject_stuck_mounts(&self, rate: f64, extra: SimDuration, rng: SimRng) {
+        self.inner.borrow_mut().stuck = Some(StuckMounts {
+            rate: rate.clamp(0.0, 1.0),
+            extra,
+            rng,
+            count: 0,
+        });
+    }
+
+    /// Disarms stuck-mount injection.
+    pub fn clear_stuck_mounts(&self) {
+        self.inner.borrow_mut().stuck = None;
+    }
+
+    /// Stuck mounts injected so far (also in `tape_stuck_mounts_total`).
+    pub fn stuck_mount_count(&self) -> u64 {
+        self.inner.borrow().stuck.as_ref().map_or(0, |s| s.count)
     }
 
     /// Submits a request; `on_done` runs at completion inside the sim.
@@ -179,7 +215,34 @@ impl TapeLibrary {
                         &[("op", op.name())],
                     );
                 }
-                let mount = this2.inner.borrow().params.mount;
+                let mount = {
+                    let mut inner = this2.inner.borrow_mut();
+                    let base = inner.params.mount;
+                    // Stuck-mount fault: the robot fumbles the exchange
+                    // and holds the arm for the extra delay.
+                    let stuck_extra = inner.stuck.as_mut().and_then(|s| {
+                        if s.rng.chance(s.rate) {
+                            s.count += 1;
+                            Some(s.extra)
+                        } else {
+                            None
+                        }
+                    });
+                    match stuck_extra {
+                        Some(extra) => {
+                            if let Some(obs) = &inner.obs {
+                                obs.stuck_mounts.inc();
+                                obs.registry.event_at(
+                                    sim.now().as_nanos(),
+                                    "tape_stuck_mount",
+                                    &[("op", op.name())],
+                                );
+                            }
+                            base + extra
+                        }
+                        None => base,
+                    }
+                };
                 let this3 = this2.clone();
                 sim.schedule_in(mount, move |sim| {
                     // Robot freed after the exchange completes (clone the
@@ -376,6 +439,38 @@ mod tests {
             .filter(|e| e.name == "tape_mount")
             .collect();
         assert_eq!(mounts.len(), 2);
+    }
+
+    #[test]
+    fn stuck_mounts_delay_completions_deterministically() {
+        let run = |inject: bool| -> f64 {
+            let lib = TapeLibrary::new(params());
+            if inject {
+                lib.inject_stuck_mounts(
+                    1.0,
+                    SimDuration::from_secs(300),
+                    lsdf_sim::SimRng::seed_from_u64(11).stream("tape-stuck"),
+                );
+            }
+            let mut sim = Simulation::new();
+            let finish = Rc::new(RefCell::new(0.0));
+            {
+                let finish = finish.clone();
+                lib.submit(&mut sim, TapeOp::Recall, 0, move |s, _| {
+                    *finish.borrow_mut() = s.now().as_secs_f64();
+                });
+            }
+            sim.run();
+            let out = *finish.borrow();
+            if inject {
+                assert_eq!(lib.stuck_mount_count(), 1);
+            }
+            out
+        };
+        // 60 mount + 30 seek + 10 unmount = 100 s; stuck adds 300.
+        assert!((run(false) - 100.0).abs() < 1e-9);
+        assert!((run(true) - 400.0).abs() < 1e-9);
+        assert!((run(true) - 400.0).abs() < 1e-9, "same seed, same delay");
     }
 
     #[test]

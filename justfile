@@ -4,7 +4,7 @@
 check:
     cargo build --release
     cargo test -q
-    cargo clippy --workspace -- -D warnings
+    cargo clippy --workspace --all-targets -- -D warnings
 
 # Fast compile-only feedback.
 build:
@@ -16,7 +16,12 @@ test:
 
 # Lint with warnings promoted to errors.
 clippy:
-    cargo clippy --workspace -- -D warnings
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Seeded chaos: the 10k-op fault-injection soak plus the demo run.
+chaos:
+    cargo test -q -p lsdf-integration --test chaos_soak
+    cargo run --release -p lsdf-examples --bin chaos_run -- 42
 
 # Regenerate the paper-vs-measured experiment report (quick mode).
 report:

@@ -1,0 +1,288 @@
+//! Chaos soak: a seeded 10 000-op mixed workload against all three
+//! backend families (object store, DFS, HSM) with an active fault plan
+//! on every primary — transient I/O errors, torn writes, latency
+//! spikes, and a scheduled full outage per backend, plus a flaky DFS
+//! datanode mid-run.
+//!
+//! The durability contract under test:
+//! * zero data loss — every acknowledged put is readable afterwards
+//!   with a matching SHA-256, and reads of acked data never fail even
+//!   while a breaker is open (journal + replica failover);
+//! * every breaker opens and closes at least once;
+//! * the obs registry reconciles: observed transients equal retries
+//!   plus exhausted retry loops, journals drain to empty;
+//! * the whole run is bit-identical for a fixed seed (virtual clock,
+//!   named RNG streams everywhere).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use lsdf_adal::{
+    Acl, Adal, BreakerConfig, Credential, DfsBackend, HsmBackend, ObjectStoreBackend,
+    ResilienceConfig, RetryPolicy, StorageBackend, TokenAuth,
+};
+use lsdf_chaos::{FaultPlan, FaultyBackend};
+use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig, DfsNodeId};
+use lsdf_obs::Registry;
+use lsdf_sim::SimRng;
+use lsdf_storage::{sha256, Hsm, MigrationPolicy, ObjectStore};
+
+const PROJECTS: [&str; 3] = ["disk", "dfs", "hsm"];
+const OPS: u64 = 10_000;
+const MS: u64 = 1_000_000;
+
+fn replica(name: &str) -> Arc<dyn StorageBackend> {
+    Arc::new(ObjectStoreBackend::new(Arc::new(ObjectStore::new(
+        name,
+        u64::MAX,
+    ))))
+}
+
+/// Runs the soak and returns the registry JSON (the determinism
+/// witness). Panics on any violated invariant.
+fn run_soak(seed: u64) -> String {
+    let reg = Arc::new(Registry::new());
+    reg.set_virtual_time_ns(1);
+
+    let auth = Arc::new(TokenAuth::new());
+    auth.register("tok", "operator");
+    let acl = Arc::new(Acl::new());
+    for p in PROJECTS {
+        acl.grant("operator", p, true);
+    }
+    let adal = Adal::with_registry(auth, acl, reg.clone());
+    let cred = Credential::Token("tok".into());
+
+    // Primaries: one per backend family, each wrapped in a FaultyBackend.
+    let disk_inner: Arc<dyn StorageBackend> = Arc::new(ObjectStoreBackend::new(Arc::new(
+        ObjectStore::new("disk-primary", u64::MAX),
+    )));
+    let dfs = Arc::new(Dfs::with_registry(
+        ClusterTopology::new(2, 2),
+        DfsConfig {
+            block_size: 4096,
+            replication: 2,
+            ..DfsConfig::default()
+        },
+        reg.clone(),
+    ));
+    let dfs_inner: Arc<dyn StorageBackend> = Arc::new(DfsBackend::new(dfs.clone()));
+    let hsm = Arc::new(Hsm::with_registry(
+        Arc::new(ObjectStore::new("hsm-disk", 20_000)),
+        Arc::new(ObjectStore::new("hsm-tape", u64::MAX)),
+        0.5,
+        0.8,
+        MigrationPolicy::OldestFirst,
+        reg.clone(),
+    ));
+    let hsm_inner: Arc<dyn StorageBackend> = Arc::new(HsmBackend::new(hsm));
+
+    // Fault mix: probabilistic transients/tears/spikes everywhere plus a
+    // staggered scheduled outage per backend. Windows live in
+    // backend-local op-index space and sit early enough that every
+    // backend recovers well before the workload ends.
+    let plan = |outage: (u64, u64)| {
+        FaultPlan::quiet(seed)
+            .transient(0.04)
+            .torn_writes(0.02)
+            .latency_spikes(0.05, 2 * MS)
+            .outage(outage.0, outage.1)
+    };
+    let faulty = |name: &str,
+                  inner: Arc<dyn StorageBackend>,
+                  outage: (u64, u64)|
+     -> Arc<dyn StorageBackend> { FaultyBackend::new(name, inner, plan(outage), &reg) };
+    let primaries: [(&str, Arc<dyn StorageBackend>); 3] = [
+        ("disk", faulty("disk", disk_inner, (200, 240))),
+        ("dfs", faulty("dfs", dfs_inner, (400, 440))),
+        ("hsm", faulty("hsm", hsm_inner, (300, 340))),
+    ];
+    let cfg = ResilienceConfig {
+        retry: RetryPolicy::new(5, MS, 100 * MS, MS / 2),
+        breaker: BreakerConfig {
+            window: 16,
+            min_calls: 8,
+            failure_rate: 0.5,
+            cooldown_ns: 10 * MS,
+            half_open_probes: 2,
+        },
+        seed,
+        ..ResilienceConfig::default()
+    };
+    for (project, primary) in primaries {
+        adal.mount_resilient(
+            project,
+            primary,
+            Some(replica(&format!("{project}-replica"))),
+            cfg.clone(),
+        );
+    }
+
+    // The model: every ACKED put, by full path. BTreeMap so the final
+    // verification sweep is deterministic.
+    let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    // Sampling pools of acked keys, per project (deterministic order).
+    let mut pool: BTreeMap<&str, Vec<String>> = PROJECTS.iter().map(|p| (*p, vec![])).collect();
+    let mut seq: BTreeMap<&str, u64> = PROJECTS.iter().map(|p| (*p, 0)).collect();
+    let mut rng = SimRng::seed_from_u64(seed).stream("chaos-workload");
+    let mut acked_puts = 0u64;
+    let mut rejected_puts = 0u64;
+
+    for i in 0..OPS {
+        reg.set_virtual_time_ns(1 + i * MS);
+        if i == 6_000 {
+            dfs.set_node_flaky(DfsNodeId(0), 0.2, seed ^ 0x5bd1);
+        }
+        if i == 7_000 {
+            dfs.clear_node_flaky(DfsNodeId(0));
+        }
+        let project = PROJECTS[(i % 3) as usize];
+        let keys = pool.get_mut(project).unwrap();
+        let dice = rng.index(100);
+        match dice {
+            // 50 % puts: fresh write-once keys, random small payloads.
+            0..=49 => {
+                let n = seq.get_mut(project).unwrap();
+                let path = format!("lsdf://{project}/k/{:05}", *n);
+                *n += 1;
+                let len = rng.range_u64(1, 64) as usize;
+                let payload: Vec<u8> = (0..len).map(|_| rng.range_u64(0, 256) as u8).collect();
+                match adal.put(&cred, &path, Bytes::from(payload.clone())) {
+                    Ok(()) => {
+                        acked_puts += 1;
+                        keys.push(path.clone());
+                        model.insert(path, payload);
+                    }
+                    Err(_) => rejected_puts += 1,
+                }
+            }
+            // 30 % reads of acked data: must ALWAYS succeed, intact —
+            // journal, retries or replica failover notwithstanding.
+            50..=79 if !keys.is_empty() => {
+                let path = &keys[rng.index(keys.len())];
+                let data = adal
+                    .get(&cred, path)
+                    .unwrap_or_else(|e| panic!("acked read {path} failed at op {i}: {e}"));
+                assert_eq!(
+                    sha256(&data),
+                    sha256(&model[path.as_str()]),
+                    "payload corrupted for {path} at op {i}"
+                );
+            }
+            // 10 % stats.
+            80..=89 if !keys.is_empty() => {
+                let path = &keys[rng.index(keys.len())];
+                let meta = adal
+                    .stat(&cred, path)
+                    .unwrap_or_else(|e| panic!("acked stat {path} failed at op {i}: {e}"));
+                assert_eq!(meta.size, model[path.as_str()].len() as u64);
+            }
+            // 5 % listings: merged view covers every acked key.
+            90..=94 => {
+                let listed = adal
+                    .list(&cred, &format!("lsdf://{project}/k/"))
+                    .unwrap_or_else(|e| panic!("list on {project} failed at op {i}: {e}"));
+                assert!(
+                    listed.len() >= keys.len(),
+                    "listing lost acked keys on {project} at op {i}: {} < {}",
+                    listed.len(),
+                    keys.len()
+                );
+            }
+            // 5 % deletes of a random acked key.
+            _ if !keys.is_empty() => {
+                let idx = rng.index(keys.len());
+                let path = keys[idx].clone();
+                if adal.delete(&cred, &path).is_ok() {
+                    keys.swap_remove(idx);
+                    model.remove(&path);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Recovery: let every breaker cool down and drain the journals dry.
+    let mut t = 1 + OPS * MS;
+    for round in 0..500u64 {
+        t += 20 * MS;
+        reg.set_virtual_time_ns(t);
+        let all_empty = PROJECTS
+            .iter()
+            .map(|p| {
+                adal.drain_journal(p);
+                adal.health(p).unwrap().journal_depth
+            })
+            .all(|d| d == 0);
+        if all_empty {
+            break;
+        }
+        assert!(round < 499, "journals failed to drain after recovery");
+    }
+
+    // Zero data loss: every acked put is still readable, bit-for-bit.
+    for (path, payload) in &model {
+        let data = adal
+            .get(&cred, path)
+            .unwrap_or_else(|e| panic!("post-soak read lost {path}: {e}"));
+        assert_eq!(sha256(&data), sha256(payload), "post-soak corruption in {path}");
+    }
+    assert!(acked_puts > 1_000, "workload acked too few puts: {acked_puts}");
+    assert!(
+        rejected_puts < acked_puts,
+        "more rejections ({rejected_puts}) than acks ({acked_puts})"
+    );
+
+    // Observability reconciles. Per project: the retry identity, a full
+    // breaker cycle, and an empty journal.
+    for p in PROJECTS {
+        let l = [("project", p)];
+        assert_eq!(
+            reg.counter_value("adal_transient_observed_total", &l),
+            reg.counter_value("adal_retries_total", &l)
+                + reg.counter_value("adal_retry_exhausted_total", &l),
+            "retry identity broken for {p}"
+        );
+        for to in ["open", "half_open", "closed"] {
+            assert!(
+                reg.counter_value(
+                    "adal_breaker_transitions_total",
+                    &[("project", p), ("to", to)]
+                ) >= 1,
+                "breaker for {p} never went {to}"
+            );
+        }
+        assert_eq!(reg.gauge_value("adal_journal_depth", &l), 0);
+        assert_eq!(reg.gauge_value("adal_journal_bytes", &l), 0);
+        let h = adal.health(p).unwrap();
+        assert_eq!(h.journal_depth, 0);
+        // Every injected fault kind actually fired on this backend.
+        for fault in ["transient", "torn_write", "outage", "latency_spike"] {
+            assert!(
+                reg.counter_value("chaos_injected_total", &[("backend", p), ("fault", fault)])
+                    >= 1,
+                "no {fault} injected into {p}"
+            );
+        }
+    }
+    // Degradation paths were actually exercised facility-wide.
+    assert!(reg.counter_total("adal_failover_reads_total") >= 1);
+    assert!(reg.counter_total("adal_journal_enqueued_total") >= 1);
+    assert!(reg.counter_total("adal_journal_drained_total") >= 1);
+    assert!(reg.counter_total("adal_write_verify_failures_total") >= 1);
+    assert!(reg.counter_value("dfs_flaky_failures_total", &[]) >= 1);
+
+    reg.to_json()
+}
+
+#[test]
+fn chaos_soak_survives_and_reconciles() {
+    run_soak(7);
+}
+
+#[test]
+fn chaos_soak_is_bit_identical_for_a_fixed_seed() {
+    assert_eq!(run_soak(42), run_soak(42));
+}
