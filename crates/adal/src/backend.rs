@@ -138,6 +138,13 @@ impl From<HsmError> for BackendError {
 }
 
 /// The low-level unified interface to any LSDF storage component.
+///
+/// Every operation — including `list`, which historically returned a
+/// plain `Vec` — is fallible and returns a typed [`BackendError`], so
+/// the resilience layer can classify failures (see
+/// [`BackendError::is_transient`]) instead of guessing from sentinel
+/// values. Implementations must be `Send + Sync`: the ADAL shares one
+/// backend handle across mounts and sim callbacks.
 pub trait StorageBackend: Send + Sync {
     /// Backend kind label (for reporting).
     fn kind(&self) -> &'static str;

@@ -39,6 +39,8 @@ use lsdf_storage::sha256;
 use crate::auth::{Access, Acl, AuthError, AuthProvider, Credential, TokenAuth};
 use crate::backend::{BackendError, EntryMeta, StorageBackend};
 use crate::path::{LsdfPath, PathError};
+use lsdf_obs::names;
+
 use crate::resilience::{
     BreakerState, BreakerTransition, CircuitBreaker, HealthReport, RedoJournal,
     ResilienceConfig, RetryPolicy,
@@ -122,21 +124,21 @@ struct OpMetrics {
 
 impl OpMetrics {
     fn new(reg: &Registry) -> Self {
-        let op_counter = |op| reg.counter("adal_ops_total", &[("op", op)]);
-        let op_latency = |op| reg.histogram("adal_op_latency_ns", &[("op", op)]);
+        let op_counter = |op| reg.counter(names::ADAL_OPS_TOTAL, &[("op", op)]);
+        let op_latency = |op| reg.histogram(names::ADAL_OP_LATENCY_NS, &[("op", op)]);
         OpMetrics {
             puts: op_counter("put"),
             gets: op_counter("get"),
             stats: op_counter("stat"),
             lists: op_counter("list"),
             deletes: op_counter("delete"),
-            denied: reg.counter("adal_denied_total", &[]),
+            denied: reg.counter(names::ADAL_DENIED_TOTAL, &[]),
             put_latency: op_latency("put"),
             get_latency: op_latency("get"),
             stat_latency: op_latency("stat"),
             list_latency: op_latency("list"),
-            put_bytes: reg.histogram("adal_put_bytes", &[]),
-            get_bytes: reg.histogram("adal_get_bytes", &[]),
+            put_bytes: reg.histogram(names::ADAL_PUT_BYTES, &[]),
+            get_bytes: reg.histogram(names::ADAL_GET_BYTES, &[]),
         }
     }
 }
@@ -165,24 +167,24 @@ impl ResilienceMetrics {
     fn new(reg: &Registry, project: &str) -> Self {
         let labels: [(&str, &str); 1] = [("project", project)];
         let transition =
-            |to| reg.counter("adal_breaker_transitions_total", &[("project", project), ("to", to)]);
+            |to| reg.counter(names::ADAL_BREAKER_TRANSITIONS_TOTAL, &[("project", project), ("to", to)]);
         ResilienceMetrics {
-            retries: reg.counter("adal_retries_total", &labels),
-            transient_observed: reg.counter("adal_transient_observed_total", &labels),
-            retry_exhausted: reg.counter("adal_retry_exhausted_total", &labels),
-            failover_reads: reg.counter("adal_failover_reads_total", &labels),
-            journal_enqueued: reg.counter("adal_journal_enqueued_total", &labels),
-            journal_drained: reg.counter("adal_journal_drained_total", &labels),
-            journal_conflicts: reg.counter("adal_journal_conflicts_total", &labels),
-            verify_failures: reg.counter("adal_write_verify_failures_total", &labels),
-            replica_write_failures: reg.counter("adal_replica_write_failures_total", &labels),
+            retries: reg.counter(names::ADAL_RETRIES_TOTAL, &labels),
+            transient_observed: reg.counter(names::ADAL_TRANSIENT_OBSERVED_TOTAL, &labels),
+            retry_exhausted: reg.counter(names::ADAL_RETRY_EXHAUSTED_TOTAL, &labels),
+            failover_reads: reg.counter(names::ADAL_FAILOVER_READS_TOTAL, &labels),
+            journal_enqueued: reg.counter(names::ADAL_JOURNAL_ENQUEUED_TOTAL, &labels),
+            journal_drained: reg.counter(names::ADAL_JOURNAL_DRAINED_TOTAL, &labels),
+            journal_conflicts: reg.counter(names::ADAL_JOURNAL_CONFLICTS_TOTAL, &labels),
+            verify_failures: reg.counter(names::ADAL_WRITE_VERIFY_FAILURES_TOTAL, &labels),
+            replica_write_failures: reg.counter(names::ADAL_REPLICA_WRITE_FAILURES_TOTAL, &labels),
             breaker_to_open: transition("open"),
             breaker_to_half_open: transition("half_open"),
             breaker_to_closed: transition("closed"),
-            breaker_state: reg.gauge("adal_breaker_state", &labels),
-            journal_depth: reg.gauge("adal_journal_depth", &labels),
-            journal_bytes: reg.gauge("adal_journal_bytes", &labels),
-            backoff_ns: reg.histogram("adal_retry_backoff_ns", &labels),
+            breaker_state: reg.gauge(names::ADAL_BREAKER_STATE, &labels),
+            journal_depth: reg.gauge(names::ADAL_JOURNAL_DEPTH, &labels),
+            journal_bytes: reg.gauge(names::ADAL_JOURNAL_BYTES, &labels),
+            backoff_ns: reg.histogram(names::ADAL_RETRY_BACKOFF_NS, &labels),
         }
     }
 }
@@ -490,7 +492,7 @@ impl Adal {
     fn project_op(&self, project: &str, backend: &str, op: &str) {
         self.obs
             .counter(
-                "adal_project_ops_total",
+                names::ADAL_PROJECT_OPS_TOTAL,
                 &[("project", project), ("backend", backend), ("op", op)],
             )
             .inc();
@@ -1052,22 +1054,22 @@ mod tests {
         adal.get(&cred, "lsdf://zebrafish/raw/i1").unwrap();
         adal.stat(&cred, "lsdf://zebrafish/raw/i1").unwrap();
         let reg = adal.obs();
-        assert_eq!(reg.counter_value("adal_ops_total", &[("op", "put")]), 1);
-        assert_eq!(reg.counter_value("adal_ops_total", &[("op", "get")]), 1);
-        assert_eq!(reg.counter_value("adal_ops_total", &[("op", "stat")]), 1);
+        assert_eq!(reg.counter_value(names::ADAL_OPS_TOTAL, &[("op", "put")]), 1);
+        assert_eq!(reg.counter_value(names::ADAL_OPS_TOTAL, &[("op", "get")]), 1);
+        assert_eq!(reg.counter_value(names::ADAL_OPS_TOTAL, &[("op", "stat")]), 1);
         // Per-project breakdown carries the backend label.
         assert_eq!(
             reg.counter_value(
-                "adal_project_ops_total",
+                names::ADAL_PROJECT_OPS_TOTAL,
                 &[("project", "zebrafish"), ("backend", "object-store"), ("op", "put")],
             ),
             1
         );
         // Latency recorded per op.
-        let lat = reg.histogram("adal_op_latency_ns", &[("op", "put")]);
+        let lat = reg.histogram(names::ADAL_OP_LATENCY_NS, &[("op", "put")]);
         assert_eq!(lat.count(), 1);
         // Payload sizes recorded.
-        assert_eq!(reg.histogram("adal_put_bytes", &[]).sum(), 2);
+        assert_eq!(reg.histogram(names::ADAL_PUT_BYTES, &[]).sum(), 2);
     }
 
     #[test]
@@ -1093,7 +1095,7 @@ mod tests {
         adal.put(&cred, "lsdf://zebrafish/a", b("1")).unwrap();
         assert_eq!(adal.projects(), vec!["zebrafish"]);
         // The shared registry saw the op.
-        assert_eq!(reg.counter_value("adal_ops_total", &[("op", "put")]), 1);
+        assert_eq!(reg.counter_value(names::ADAL_OPS_TOTAL, &[("op", "put")]), 1);
     }
 
     #[test]
@@ -1282,11 +1284,11 @@ mod tests {
         assert_eq!(adal.get(&cred, "lsdf://anka/run/f1").unwrap(), b("data"));
         let reg = adal.obs();
         let p = [("project", "anka")];
-        assert_eq!(reg.counter_value("adal_retries_total", &p), 1);
-        assert_eq!(reg.counter_value("adal_transient_observed_total", &p), 1);
-        assert_eq!(reg.counter_value("adal_retry_exhausted_total", &p), 0);
+        assert_eq!(reg.counter_value(names::ADAL_RETRIES_TOTAL, &p), 1);
+        assert_eq!(reg.counter_value(names::ADAL_TRANSIENT_OBSERVED_TOTAL, &p), 1);
+        assert_eq!(reg.counter_value(names::ADAL_RETRY_EXHAUSTED_TOTAL, &p), 0);
         // The retry schedule was recorded, not slept.
-        assert_eq!(reg.histogram("adal_retry_backoff_ns", &p).count(), 1);
+        assert_eq!(reg.histogram(names::ADAL_RETRY_BACKOFF_NS, &p).count(), 1);
     }
 
     #[test]
@@ -1299,8 +1301,8 @@ mod tests {
         assert_eq!(adal.get(&cred, "lsdf://anka/run/f1").unwrap(), b("payload"));
         let reg = adal.obs();
         let p = [("project", "anka")];
-        assert_eq!(reg.counter_value("adal_write_verify_failures_total", &p), 1);
-        assert_eq!(reg.counter_value("adal_retries_total", &p), 1);
+        assert_eq!(reg.counter_value(names::ADAL_WRITE_VERIFY_FAILURES_TOTAL, &p), 1);
+        assert_eq!(reg.counter_value(names::ADAL_RETRIES_TOTAL, &p), 1);
     }
 
     #[test]
@@ -1316,9 +1318,9 @@ mod tests {
         // the breaker opens, and the acked write degrades to the journal.
         primary.fail_next(u64::MAX / 2);
         adal.put(&cred, "lsdf://anka/b", b("bb")).unwrap();
-        assert_eq!(reg.counter_value("adal_breaker_transitions_total", &[("project", "anka"), ("to", "open")]), 1);
-        assert_eq!(reg.counter_value("adal_journal_enqueued_total", &p), 1);
-        assert_eq!(reg.gauge_value("adal_journal_depth", &p), 1);
+        assert_eq!(reg.counter_value(names::ADAL_BREAKER_TRANSITIONS_TOTAL, &[("project", "anka"), ("to", "open")]), 1);
+        assert_eq!(reg.counter_value(names::ADAL_JOURNAL_ENQUEUED_TOTAL, &p), 1);
+        assert_eq!(reg.gauge_value(names::ADAL_JOURNAL_DEPTH, &p), 1);
         let h = adal.health("anka").unwrap();
         assert_eq!(h.breaker, BreakerState::Open);
         assert_eq!(h.journal_depth, 1);
@@ -1327,15 +1329,15 @@ mod tests {
         // Counter identity: every observed transient is either retried
         // or ends a retry loop.
         assert_eq!(
-            reg.counter_value("adal_transient_observed_total", &p),
-            reg.counter_value("adal_retries_total", &p)
-                + reg.counter_value("adal_retry_exhausted_total", &p)
+            reg.counter_value(names::ADAL_TRANSIENT_OBSERVED_TOTAL, &p),
+            reg.counter_value(names::ADAL_RETRIES_TOTAL, &p)
+                + reg.counter_value(names::ADAL_RETRY_EXHAUSTED_TOTAL, &p)
         );
 
         // Degraded reads: 'a' fails over to the replica, 'b' is served
         // from the journal (read-your-writes), the listing merges both.
         assert_eq!(adal.get(&cred, "lsdf://anka/a").unwrap(), b("aa"));
-        assert_eq!(reg.counter_value("adal_failover_reads_total", &p), 1);
+        assert_eq!(reg.counter_value(names::ADAL_FAILOVER_READS_TOTAL, &p), 1);
         assert_eq!(adal.get(&cred, "lsdf://anka/b").unwrap(), b("bb"));
         assert_eq!(adal.stat(&cred, "lsdf://anka/b").unwrap().size, 2);
         let listed = adal.list(&cred, "lsdf://anka/").unwrap();
@@ -1366,9 +1368,9 @@ mod tests {
         primary.fail_next(0);
         reg.set_virtual_time_ns(10_000);
         assert_eq!(adal.drain_journal("anka"), 2);
-        assert_eq!(reg.counter_value("adal_breaker_transitions_total", &[("project", "anka"), ("to", "half_open")]), 1);
-        assert_eq!(reg.counter_value("adal_breaker_transitions_total", &[("project", "anka"), ("to", "closed")]), 1);
-        assert_eq!(reg.gauge_value("adal_journal_depth", &p), 0);
+        assert_eq!(reg.counter_value(names::ADAL_BREAKER_TRANSITIONS_TOTAL, &[("project", "anka"), ("to", "half_open")]), 1);
+        assert_eq!(reg.counter_value(names::ADAL_BREAKER_TRANSITIONS_TOTAL, &[("project", "anka"), ("to", "closed")]), 1);
+        assert_eq!(reg.gauge_value(names::ADAL_JOURNAL_DEPTH, &p), 0);
         let h = adal.health("anka").unwrap();
         assert_eq!(h.breaker, BreakerState::Closed);
         assert_eq!(h.journal_depth, 0);

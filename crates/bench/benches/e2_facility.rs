@@ -15,7 +15,7 @@ fn bench_facility_flows(c: &mut Criterion) {
             &n_daq,
             |b, &n| {
                 b.iter(|| {
-                    let net = lsdf::build(n);
+                    let net = lsdf::build(n).expect("lsdf net builds");
                     let sim_net = NetSim::new(net.topology.clone());
                     let mut sim = Simulation::new();
                     for (i, &daq) in net.daq.iter().enumerate() {

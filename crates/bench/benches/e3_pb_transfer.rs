@@ -23,7 +23,7 @@ fn bench_pb_transfer(c: &mut Criterion) {
     });
     group.bench_function("simulated_pb_flow", |b| {
         b.iter(|| {
-            let net = lsdf::build(1);
+            let net = lsdf::build(1).expect("lsdf net builds");
             let sim_net = NetSim::with_efficiency(net.topology.clone(), 0.62);
             let mut sim = Simulation::new();
             sim_net

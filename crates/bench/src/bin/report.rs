@@ -3,6 +3,8 @@
 //!
 //! Usage: `cargo run --release -p lsdf-bench --bin report [--quick]`
 
+
+#![allow(clippy::print_stdout)] // binaries report to stdout by design
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     println!(

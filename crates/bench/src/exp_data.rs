@@ -18,6 +18,7 @@ use lsdf_workloads::imaging::count_cells;
 use lsdf_workloads::microscopy::{rates, HtmGenerator, Image};
 
 use crate::report::{fmt_bytes, fmt_secs, ExpReport, ExpRow};
+use lsdf_obs::names;
 
 fn zebrafish_facility() -> Facility {
     Facility::builder()
@@ -91,12 +92,12 @@ pub fn e1_ingest(quick: bool) -> ExpReport {
                 format!(
                     "{} registered, {} accepted",
                     f.obs().counter_value(
-                        "facility_ingest_total",
+                        names::FACILITY_INGEST_TOTAL,
                         &[("project", "zebrafish-htm"), ("outcome", "registered")],
                     ),
                     fmt_bytes(
                         f.obs()
-                            .histogram("facility_ingest_bytes", &[("project", "zebrafish-htm")])
+                            .histogram(names::FACILITY_INGEST_BYTES, &[("project", "zebrafish-htm")])
                             .sum() as f64
                     ),
                 ),
@@ -105,7 +106,7 @@ pub fn e1_ingest(quick: bool) -> ExpReport {
                 "registry: ingest latency p50/p95/p99",
                 "(from facility_ingest_latency_ns)",
                 {
-                    let lat = f.obs().histogram("facility_ingest_latency_ns", &[]);
+                    let lat = f.obs().histogram(names::FACILITY_INGEST_LATENCY_NS, &[]);
                     format!(
                         "{} / {} / {}",
                         fmt_secs(lat.quantile(0.50) as f64 / 1e9),

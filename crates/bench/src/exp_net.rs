@@ -20,7 +20,7 @@ pub fn e2_facility(quick: bool) -> ExpReport {
     let ibm = ArrayModel::lsdf_ibm();
     let ddn = ArrayModel::lsdf_ddn();
     let n_daq = if quick { 4 } else { 8 };
-    let net = facility_net::build(n_daq);
+    let net = facility_net::build(n_daq).expect("lsdf net builds");
     let sim_net = NetSim::new(net.topology.clone());
     let mut sim = Simulation::new();
     let delivered: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
@@ -82,7 +82,7 @@ pub fn e2_facility(quick: bool) -> ExpReport {
             ),
             {
                 // A 30-day steady-state campaign at the paper's rates.
-                let campaign = run_campaign(&CampaignConfig::lsdf_2011(30));
+                let campaign = run_campaign(&CampaignConfig::lsdf_2011(30)).expect("campaign runs");
                 let last = campaign.fill_curve.last().expect("samples");
                 ExpRow::new(
                     "30-day ingest campaign (virtual time)",
@@ -104,7 +104,7 @@ pub fn e3_pb_transfer(_quick: bool) -> ExpReport {
     let ideal = TransferModel::ideal(TEN_GBIT);
     let realistic = TransferModel::with_efficiency(TEN_GBIT, 0.62);
     // Cross-check against the flow-level simulator on the real topology.
-    let net = facility_net::build(1);
+    let net = facility_net::build(1).expect("lsdf net builds");
     let sim_net = NetSim::with_efficiency(net.topology.clone(), 0.62);
     let mut sim = Simulation::new();
     let done: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));

@@ -14,6 +14,7 @@ use lsdf_storage::{
 use lsdf_workloads::climate::ClimateModel;
 
 use crate::report::{fmt_bytes, fmt_secs, ExpReport, ExpRow};
+use lsdf_obs::names;
 
 /// E9: the unified access layer's overhead over direct backend access
 /// (slide 9: "need a unified access layer").
@@ -58,8 +59,8 @@ pub fn e9_adal(quick: bool) -> ExpReport {
     // The layer's own registry saw every op — regenerate the numbers
     // from it instead of the external stopwatch.
     let reg = adal.obs();
-    let put_lat = reg.histogram("adal_op_latency_ns", &[("op", "put")]);
-    let get_lat = reg.histogram("adal_op_latency_ns", &[("op", "get")]);
+    let put_lat = reg.histogram(names::ADAL_OP_LATENCY_NS, &[("op", "put")]);
+    let get_lat = reg.histogram(names::ADAL_OP_LATENCY_NS, &[("op", "get")]);
     ExpReport {
         id: "E9",
         title: "ADAL: unified access layer overhead (slide 9)",
@@ -84,8 +85,8 @@ pub fn e9_adal(quick: bool) -> ExpReport {
                 "counters match the workload",
                 format!(
                     "{} puts / {} gets",
-                    reg.counter_value("adal_ops_total", &[("op", "put")]),
-                    reg.counter_value("adal_ops_total", &[("op", "get")]),
+                    reg.counter_value(names::ADAL_OPS_TOTAL, &[("op", "put")]),
+                    reg.counter_value(names::ADAL_OPS_TOTAL, &[("op", "get")]),
                 ),
             ),
             ExpRow::new(

@@ -10,6 +10,7 @@ use lsdf_obs::{Counter, Histogram, Registry};
 use lsdf_sim::SimRng;
 
 use crate::plan::{FaultDecision, FaultPlan};
+use lsdf_obs::names;
 
 /// Per-backend injection state: the fault RNG stream and the op index,
 /// advanced together under one lock so concurrent callers still see a
@@ -30,13 +31,13 @@ struct ChaosObs {
 
 impl ChaosObs {
     fn new(reg: &Registry, backend: &str) -> Self {
-        let fault = |f| reg.counter("chaos_injected_total", &[("backend", backend), ("fault", f)]);
+        let fault = |f| reg.counter(names::CHAOS_INJECTED_TOTAL, &[("backend", backend), ("fault", f)]);
         ChaosObs {
             outages: fault("outage"),
             transients: fault("transient"),
             torn_writes: fault("torn_write"),
             latency_spikes: fault("latency_spike"),
-            injected_latency: reg.histogram("chaos_injected_latency_ns", &[("backend", backend)]),
+            injected_latency: reg.histogram(names::CHAOS_INJECTED_LATENCY_NS, &[("backend", backend)]),
         }
     }
 }
@@ -205,7 +206,7 @@ mod tests {
         assert_eq!(fb.list("").unwrap().len(), 1);
         fb.delete("k").unwrap();
         assert!(!fb.exists("k"));
-        assert_eq!(reg.counter_total("chaos_injected_total"), 0);
+        assert_eq!(reg.counter_total(names::CHAOS_INJECTED_TOTAL), 0);
         assert_eq!(fb.ops_seen(), 6); // exists() routes through stat()
     }
 
@@ -223,7 +224,7 @@ mod tests {
         assert_eq!(fb.get("a").unwrap(), b("1")); // op 3: recovered
         assert_eq!(
             reg.counter_value(
-                "chaos_injected_total",
+                names::CHAOS_INJECTED_TOTAL,
                 &[("backend", "disk"), ("fault", "outage")]
             ),
             2
@@ -258,7 +259,7 @@ mod tests {
         assert_eq!(stored.len(), 7); // one byte flipped, not truncated
         assert_eq!(
             reg.counter_value(
-                "chaos_injected_total",
+                names::CHAOS_INJECTED_TOTAL,
                 &[("backend", "disk"), ("fault", "torn_write")]
             ),
             1
@@ -272,7 +273,7 @@ mod tests {
         let fb = FaultyBackend::new("disk", store("d"), plan, &reg);
         fb.put("k", b("v")).unwrap();
         assert_eq!(fb.get("k").unwrap(), b("v"));
-        let h = reg.histogram("chaos_injected_latency_ns", &[("backend", "disk")]);
+        let h = reg.histogram(names::CHAOS_INJECTED_LATENCY_NS, &[("backend", "disk")]);
         assert_eq!(h.count(), 2);
         assert_eq!(h.sum(), 14_000);
     }

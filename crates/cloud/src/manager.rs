@@ -9,6 +9,8 @@ use std::sync::Arc;
 use lsdf_obs::{Counter, Gauge, Histogram, Registry};
 use lsdf_sim::{Resource, SimDuration, SimTime, Simulation, Tally};
 
+use lsdf_obs::names;
+
 use crate::types::{
     CloudError, CloudStats, DeploymentRecord, HostId, HostSpec, Placement, VmId, VmState,
     VmTemplate,
@@ -79,11 +81,11 @@ struct CloudObs {
 impl CloudObs {
     fn new(registry: Arc<Registry>) -> Self {
         CloudObs {
-            submitted: registry.counter("cloud_vms_total", &[("state", "submitted")]),
-            deployed: registry.counter("cloud_vms_total", &[("state", "deployed")]),
-            failed: registry.counter("cloud_vms_total", &[("state", "failed")]),
-            running: registry.gauge("cloud_vms_running", &[]),
-            deploy_latency: registry.histogram("cloud_deploy_latency_ns", &[]),
+            submitted: registry.counter(names::CLOUD_VMS_TOTAL, &[("state", "submitted")]),
+            deployed: registry.counter(names::CLOUD_VMS_TOTAL, &[("state", "deployed")]),
+            failed: registry.counter(names::CLOUD_VMS_TOTAL, &[("state", "failed")]),
+            running: registry.gauge(names::CLOUD_VMS_RUNNING, &[]),
+            deploy_latency: registry.histogram(names::CLOUD_DEPLOY_LATENCY_NS, &[]),
             registry,
         }
     }
@@ -208,8 +210,15 @@ impl CloudManager {
                     state: rec.state,
                 });
             }
+            let Some(host) = rec.host else {
+                // A Running VM without a host is an internal inconsistency;
+                // surface it instead of panicking.
+                return Err(CloudError::BadState {
+                    vm,
+                    state: rec.state,
+                });
+            };
             rec.state = VmState::Done;
-            let host = rec.host.expect("running VM must have a host");
             let (vcpus, mem, disk) = (rec.template.vcpus, rec.template.mem_mb, rec.template.disk_gb);
             let load = &mut inner.loads[host.0 as usize];
             load.cpu -= vcpus;
@@ -247,7 +256,9 @@ impl CloudManager {
                 .collect();
             let mut was_running = 0i64;
             for id in &failed {
-                let r = inner.vms.get_mut(id).expect("id from iteration");
+                let Some(r) = inner.vms.get_mut(id) else {
+                    continue;
+                };
                 if r.state == VmState::Running {
                     was_running += 1;
                 }
@@ -319,14 +330,16 @@ impl CloudManager {
                 let template = inner.vms[&vm].template.clone();
                 match Self::choose_host(&inner, &template) {
                     Some(host) => {
-                        let (id, on_running) =
-                            inner.pending.pop_front().expect("front checked above");
+                        let Some((id, on_running)) = inner.pending.pop_front() else {
+                            break;
+                        };
                         debug_assert_eq!(id, vm);
                         let load = &mut inner.loads[host.0 as usize];
                         load.cpu += template.vcpus;
                         load.mem += template.mem_mb;
                         load.disk += template.disk_gb;
                         load.vms += 1;
+                        // lint: allow(no_panic) -- vm was indexed from this map above
                         let rec = inner.vms.get_mut(&vm).expect("vm exists");
                         rec.state = VmState::Prolog;
                         rec.host = Some(host);
@@ -417,6 +430,7 @@ impl CloudManager {
                             running_at: sim.now(),
                             pending_for: rec
                                 .pending_until
+                                // lint: allow(no_panic) -- set at placement, strictly before this callback
                                 .expect("placed VM has pending_until")
                                 .since(rec.submitted),
                         };
@@ -606,15 +620,15 @@ mod tests {
             .submit(&mut sim, VmTemplate::small("t"), |_, _| {})
             .unwrap();
         sim.run();
-        assert_eq!(reg.counter_value("cloud_vms_total", &[("state", "submitted")]), 1);
-        assert_eq!(reg.counter_value("cloud_vms_total", &[("state", "deployed")]), 1);
-        assert_eq!(reg.gauge("cloud_vms_running", &[]).get(), 1);
+        assert_eq!(reg.counter_value(names::CLOUD_VMS_TOTAL, &[("state", "submitted")]), 1);
+        assert_eq!(reg.counter_value(names::CLOUD_VMS_TOTAL, &[("state", "deployed")]), 1);
+        assert_eq!(reg.gauge(names::CLOUD_VMS_RUNNING, &[]).get(), 1);
         // 4 GB at 1 GB/s = 4 s staging + 30 s boot = 34 s, in sim-time ns.
-        let lat = reg.histogram("cloud_deploy_latency_ns", &[]);
+        let lat = reg.histogram(names::CLOUD_DEPLOY_LATENCY_NS, &[]);
         assert_eq!(lat.count(), 1);
         assert_eq!(lat.sum(), SimDuration::from_secs(34).as_nanos());
         cloud.shutdown(&mut sim, vm).unwrap();
-        assert_eq!(reg.gauge("cloud_vms_running", &[]).get(), 0);
+        assert_eq!(reg.gauge(names::CLOUD_VMS_RUNNING, &[]).get(), 0);
         let names: Vec<String> = reg.events().into_iter().map(|e| e.name).collect();
         assert!(names.contains(&"vm_submit".to_string()));
         assert!(names.contains(&"vm_running".to_string()));

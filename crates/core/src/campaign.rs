@@ -13,6 +13,8 @@ use std::rc::Rc;
 
 use lsdf_net::lsdf::{build as build_facility_net, capacity};
 use lsdf_net::NetSim;
+
+use crate::error::LsdfError;
 use lsdf_sim::{SimDuration, SimTime, Simulation};
 
 /// Which storage system a community writes to.
@@ -111,13 +113,16 @@ pub struct CampaignResult {
 /// # Panics
 /// Panics if `days == 0`, a community has zero batches, or the config
 /// routes more communities than the facility has DAQ ports (one each).
-pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
+///
+/// # Errors
+/// Propagates facility-network construction failures as [`LsdfError::Net`].
+pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignResult, LsdfError> {
     assert!(config.days > 0, "campaign needs at least one day");
     assert!(
         config.communities.iter().all(|c| c.batches_per_day > 0),
         "each community needs at least one batch per day"
     );
-    let net = build_facility_net(config.communities.len());
+    let net = build_facility_net(config.communities.len())?;
     let sim_net = NetSim::with_efficiency(net.topology.clone(), config.efficiency);
     let mut sim = Simulation::new();
 
@@ -158,6 +163,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
                         .start_flow(s, daq, dst, batch_bytes, move |_, summary| {
                             *sink.borrow_mut() += u128::from(summary.bytes);
                         })
+                        // lint: allow(no_panic) -- sim callback; every DAQ is dual-homed so routes exist
                         .expect("facility routes exist");
                 });
             }
@@ -196,13 +202,13 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
         .map(|s| s.day);
     let delivered_bytes = *ibm.borrow() + *ddn.borrow();
     let produced_bytes = *produced.borrow();
-    CampaignResult {
+    Ok(CampaignResult {
         delivered_bytes,
         produced_bytes,
         in_flight_flows: in_flight,
         fill_curve,
         capacity_exhausted_on_day,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -212,7 +218,7 @@ mod tests {
     #[test]
     fn thirty_days_deliver_everything() {
         let config = CampaignConfig::lsdf_2011(30);
-        let r = run_campaign(&config);
+        let r = run_campaign(&config).expect("campaign runs");
         let expect: u128 = config
             .communities
             .iter()
@@ -226,7 +232,7 @@ mod tests {
 
     #[test]
     fn fill_curve_is_monotone_and_split_by_target() {
-        let r = run_campaign(&CampaignConfig::lsdf_2011(10));
+        let r = run_campaign(&CampaignConfig::lsdf_2011(10)).expect("campaign runs");
         for w in r.fill_curve.windows(2) {
             assert!(w[1].ibm_bytes >= w[0].ibm_bytes);
             assert!(w[1].ddn_bytes >= w[0].ddn_bytes);
@@ -244,7 +250,7 @@ mod tests {
         // the fill is pure arithmetic: 1.9 PB / 60.4 TB/day ~ day 32.
         let mut config = CampaignConfig::lsdf_2011(40);
         config.communities[0].daily_bytes = 60_000_000_000_000;
-        let r = run_campaign(&config);
+        let r = run_campaign(&config).expect("campaign runs");
         let day = r.capacity_exhausted_on_day.expect("must exhaust");
         assert!(
             (31..=33).contains(&day),
@@ -260,7 +266,7 @@ mod tests {
         // insight behind giving heavy experiments dedicated links.
         let mut config = CampaignConfig::lsdf_2011(10);
         config.communities[0].daily_bytes = 100_000_000_000_000;
-        let r = run_campaign(&config);
+        let r = run_campaign(&config).expect("campaign runs");
         let last = r.fill_curve.last().unwrap();
         let per_day = last.ibm_bytes as f64 / 10.0;
         assert!(per_day < 75.6e12, "delivery {per_day} must be under link rate");
@@ -275,7 +281,7 @@ mod tests {
         // in-flight flows at the horizon.
         let mut config = CampaignConfig::lsdf_2011(5);
         config.communities[0].daily_bytes = 200_000_000_000_000;
-        let r = run_campaign(&config);
+        let r = run_campaign(&config).expect("campaign runs");
         assert!(
             r.in_flight_flows > 0,
             "an oversubscribed uplink must leave flows in the air"
@@ -285,6 +291,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one day")]
     fn zero_days_rejected() {
-        run_campaign(&CampaignConfig::lsdf_2011(0));
+        let _ = run_campaign(&CampaignConfig::lsdf_2011(0));
     }
 }

@@ -6,6 +6,7 @@ use lsdf_adal::{AdalError, BackendError};
 use lsdf_cloud::CloudError;
 use lsdf_dfs::DfsError;
 use lsdf_metadata::MetadataError;
+use lsdf_net::TopologyError;
 use lsdf_storage::{HsmError, StoreError};
 use lsdf_workflow::WorkflowError;
 
@@ -89,6 +90,8 @@ pub enum LsdfError {
     Workflow(WorkflowError),
     /// Cloud/IaaS failure.
     Cloud(CloudError),
+    /// Network-topology failure.
+    Net(TopologyError),
     /// Facility-facade failure.
     Facility(FacilityError),
 }
@@ -104,6 +107,7 @@ impl std::fmt::Display for LsdfError {
             LsdfError::Metadata(e) => write!(f, "metadata: {e}"),
             LsdfError::Workflow(e) => write!(f, "workflow: {e}"),
             LsdfError::Cloud(e) => write!(f, "cloud: {e}"),
+            LsdfError::Net(e) => write!(f, "net: {e}"),
             LsdfError::Facility(e) => write!(f, "facility: {e}"),
         }
     }
@@ -149,6 +153,11 @@ impl From<WorkflowError> for LsdfError {
 impl From<CloudError> for LsdfError {
     fn from(e: CloudError) -> Self {
         LsdfError::Cloud(e)
+    }
+}
+impl From<TopologyError> for LsdfError {
+    fn from(e: TopologyError) -> Self {
+        LsdfError::Net(e)
     }
 }
 impl From<FacilityError> for LsdfError {

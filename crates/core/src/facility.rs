@@ -297,6 +297,7 @@ impl Facility {
 mod tests {
     use super::*;
     use lsdf_metadata::{zebrafish_schema, FieldType, SchemaBuilder};
+    use lsdf_obs::names;
 
     fn mini() -> Facility {
         Facility::builder()
@@ -367,9 +368,9 @@ mod tests {
             .put(&admin, "lsdf://katrin/obs1", bytes::Bytes::from_static(b"abc"))
             .unwrap();
         // The same put is visible at the ADAL layer and the HSM tier.
-        assert_eq!(reg.counter_value("adal_ops_total", &[("op", "put")]), 1);
+        assert_eq!(reg.counter_value(names::ADAL_OPS_TOTAL, &[("op", "put")]), 1);
         assert_eq!(
-            reg.counter_value("hsm_puts_total", &[("store", "katrin-disk")]),
+            reg.counter_value(names::HSM_PUTS_TOTAL, &[("store", "katrin-disk")]),
             1
         );
     }

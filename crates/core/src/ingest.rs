@@ -15,6 +15,7 @@ use lsdf_storage::sha256;
 
 use crate::error::FacilityError;
 use crate::facility::Facility;
+use lsdf_obs::names;
 
 /// One item arriving from an experiment DAQ.
 #[derive(Debug, Clone)]
@@ -73,12 +74,12 @@ impl Facility {
         policy: IngestPolicy,
     ) -> Result<Option<DatasetId>, FacilityError> {
         let store = self.store(&item.project)?.clone();
-        let latency = self.obs().histogram("facility_ingest_latency_ns", &[]);
+        let latency = self.obs().histogram(names::FACILITY_INGEST_LATENCY_NS, &[]);
         let span = self.obs().span(&latency);
         let outcome = |o: &str| {
             self.obs()
                 .counter(
-                    "facility_ingest_total",
+                    names::FACILITY_INGEST_TOTAL,
                     &[("project", &item.project), ("outcome", o)],
                 )
                 .inc();
@@ -118,7 +119,7 @@ impl Facility {
             return Err(e.into());
         }
         self.obs()
-            .histogram("facility_ingest_bytes", &[("project", &item.project)])
+            .histogram(names::FACILITY_INGEST_BYTES, &[("project", &item.project)])
             .record(size);
         let result = match doc {
             Some(basic) => {
@@ -296,14 +297,14 @@ mod tests {
             [("project", "zebrafish-htm"), ("outcome", o)]
         }
         assert_eq!(
-            reg.counter_value("facility_ingest_total", &labels("registered")),
+            reg.counter_value(names::FACILITY_INGEST_TOTAL, &labels("registered")),
             report.registered
         );
         assert_eq!(
-            reg.counter_value("facility_ingest_total", &labels("rejected")),
+            reg.counter_value(names::FACILITY_INGEST_TOTAL, &labels("rejected")),
             report.rejected
         );
-        let bytes = reg.histogram("facility_ingest_bytes", &[("project", "zebrafish-htm")]);
+        let bytes = reg.histogram(names::FACILITY_INGEST_BYTES, &[("project", "zebrafish-htm")]);
         assert_eq!(bytes.sum(), report.bytes);
         assert_eq!(bytes.count(), report.registered);
         // Ingest flowed through the shared ADAL counters too.

@@ -23,6 +23,7 @@ pub use lsdf_metadata::{
     Schema, SchemaBuilder, Value,
 };
 
+pub use lsdf_obs::names;
 pub use lsdf_obs::{Clock, Counter, Gauge, Histogram, Registry, Span};
 
 pub use lsdf_storage::{Hsm, HsmError, MigrationPolicy, ObjectStore, StoreError};

@@ -17,6 +17,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::cluster::{ClusterTopology, DfsNodeId, Locality};
 use crate::datanode::{BlockId, DataNode, DataNodeError};
+use lsdf_obs::names;
 
 /// Block-placement strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,8 +164,8 @@ struct DfsObs {
 
 impl DfsObs {
     fn new(registry: Arc<Registry>) -> Self {
-        let op = |name| registry.counter("dfs_ops_total", &[("op", name)]);
-        let loc = |name| registry.counter("dfs_block_reads_total", &[("locality", name)]);
+        let op = |name| registry.counter(names::DFS_OPS_TOTAL, &[("op", name)]);
+        let loc = |name| registry.counter(names::DFS_BLOCK_READS_TOTAL, &[("locality", name)]);
         DfsObs {
             writes: op("write"),
             reads: op("read"),
@@ -174,14 +175,14 @@ impl DfsObs {
             node_local: loc("node_local"),
             rack_local: loc("rack_local"),
             remote: loc("remote"),
-            rereplicated: registry.counter("dfs_rereplications_total", &[]),
-            flaky_failures: registry.counter("dfs_flaky_failures_total", &[]),
+            rereplicated: registry.counter(names::DFS_REREPLICATIONS_TOTAL, &[]),
+            flaky_failures: registry.counter(names::DFS_FLAKY_FAILURES_TOTAL, &[]),
             under_replicated_unrecoverable: registry
-                .gauge("dfs_under_replicated_unrecoverable", &[]),
-            write_bytes: registry.histogram("dfs_write_bytes", &[]),
-            read_bytes: registry.histogram("dfs_read_bytes", &[]),
-            write_latency: registry.histogram("dfs_op_latency_ns", &[("op", "write")]),
-            read_latency: registry.histogram("dfs_op_latency_ns", &[("op", "read")]),
+                .gauge(names::DFS_UNDER_REPLICATED_UNRECOVERABLE, &[]),
+            write_bytes: registry.histogram(names::DFS_WRITE_BYTES, &[]),
+            read_bytes: registry.histogram(names::DFS_READ_BYTES, &[]),
+            write_latency: registry.histogram(names::DFS_OP_LATENCY_NS, &[("op", "write")]),
+            read_latency: registry.histogram(names::DFS_OP_LATENCY_NS, &[("op", "read")]),
             registry,
         }
     }
@@ -856,18 +857,18 @@ mod tests {
         fs.read("/a/f1", Some(DfsNodeId(0))).unwrap();
         fs.stat("/a/f1").unwrap();
         fs.list("/a/");
-        assert_eq!(reg.counter_value("dfs_ops_total", &[("op", "write")]), 1);
-        assert_eq!(reg.counter_value("dfs_ops_total", &[("op", "read")]), 1);
-        assert_eq!(reg.counter_value("dfs_ops_total", &[("op", "stat")]), 1);
-        assert_eq!(reg.counter_value("dfs_ops_total", &[("op", "list")]), 1);
-        assert_eq!(reg.histogram("dfs_write_bytes", &[]).sum(), 200);
-        assert_eq!(reg.histogram("dfs_read_bytes", &[]).sum(), 200);
-        assert!(reg.histogram("dfs_op_latency_ns", &[("op", "read")]).count() >= 1);
+        assert_eq!(reg.counter_value(names::DFS_OPS_TOTAL, &[("op", "write")]), 1);
+        assert_eq!(reg.counter_value(names::DFS_OPS_TOTAL, &[("op", "read")]), 1);
+        assert_eq!(reg.counter_value(names::DFS_OPS_TOTAL, &[("op", "stat")]), 1);
+        assert_eq!(reg.counter_value(names::DFS_OPS_TOTAL, &[("op", "list")]), 1);
+        assert_eq!(reg.histogram(names::DFS_WRITE_BYTES, &[]).sum(), 200);
+        assert_eq!(reg.histogram(names::DFS_READ_BYTES, &[]).sum(), 200);
+        assert!(reg.histogram(names::DFS_OP_LATENCY_NS, &[("op", "read")]).count() >= 1);
         // Locality counters flow through the registry and the compat view.
         let stats = fs.locality_stats();
         assert_eq!(
             stats.node_local + stats.rack_local + stats.remote,
-            reg.counter_total("dfs_block_reads_total"),
+            reg.counter_total(names::DFS_BLOCK_READS_TOTAL),
         );
         assert_eq!(stats.node_local + stats.rack_local + stats.remote, 4);
     }
@@ -1024,7 +1025,7 @@ mod tests {
         assert_eq!(fs.unrecoverable_blocks(), 1);
         assert_eq!(
             fs.obs()
-                .gauge_value("dfs_under_replicated_unrecoverable", &[]),
+                .gauge_value(names::DFS_UNDER_REPLICATED_UNRECOVERABLE, &[]),
             1
         );
         // Free the space: the next pass repairs and clears the gauge.
@@ -1041,7 +1042,7 @@ mod tests {
         fs.set_node_flaky(DfsNodeId(0), 1.0, 9);
         // The read falls through to the healthy replica.
         assert_eq!(fs.read("/f", Some(DfsNodeId(0))).unwrap(), Bytes::from(data(100)));
-        assert!(fs.obs().counter_value("dfs_flaky_failures_total", &[]) >= 1);
+        assert!(fs.obs().counter_value(names::DFS_FLAKY_FAILURES_TOTAL, &[]) >= 1);
         fs.clear_node_flaky(DfsNodeId(0));
         fs.read("/f", Some(DfsNodeId(0))).unwrap();
         assert_eq!(fs.locality_stats().node_local, 1, "healthy again");

@@ -1,0 +1,117 @@
+//! The L2 debt baseline and its ratchet.
+//!
+//! `lint-baseline.json` records how many `no_panic` sites the workspace
+//! is currently allowed to contain. The ratchet is one-directional: a
+//! run fails when the live count exceeds the recorded baseline, and
+//! `--write-baseline` refuses to record a larger count than the file
+//! already holds. Debt can therefore only be paid down, never re-taken.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The recorded debt counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Baseline {
+    /// Allowed `no_panic` sites.
+    pub no_panic: usize,
+}
+
+/// Outcome of comparing a live count against the baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// `current <= baseline`: within the ratchet.
+    Ok,
+    /// `current > baseline`: new debt was introduced — fail.
+    Exceeded,
+}
+
+/// The ratchet decision. Pure so the property tests can hammer it:
+/// for every `(current, baseline)`, `current > baseline` is the one and
+/// only failing case.
+pub fn ratchet(current: usize, baseline: usize) -> Verdict {
+    if current > baseline {
+        Verdict::Exceeded
+    } else {
+        Verdict::Ok
+    }
+}
+
+/// The tightening rule for `--write-baseline`: the recorded value never
+/// increases. Pure for the same reason as [`ratchet`].
+pub fn tightened(current: usize, existing: Option<usize>) -> usize {
+    match existing {
+        Some(b) => current.min(b),
+        None => current,
+    }
+}
+
+/// Loads the baseline; `Ok(None)` when the file does not exist.
+pub fn load(path: &Path) -> io::Result<Option<Baseline>> {
+    let txt = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    parse(&txt)
+        .map(Some)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed lint-baseline.json"))
+}
+
+/// Writes the baseline in its canonical form.
+pub fn save(path: &Path, b: Baseline) -> io::Result<()> {
+    fs::write(path, render(b))
+}
+
+/// Renders the canonical file body.
+pub fn render(b: Baseline) -> String {
+    format!("{{\n  \"no_panic\": {}\n}}\n", b.no_panic)
+}
+
+/// Minimal parse of the flat `{"no_panic": N}` document. Hand-rolled so
+/// the linter stays dependency-free.
+pub fn parse(txt: &str) -> Option<Baseline> {
+    let key = "\"no_panic\"";
+    let at = txt.find(key)?;
+    let rest = txt[at + key.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok().map(|no_panic| Baseline { no_panic })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let b = Baseline { no_panic: 42 };
+        assert_eq!(parse(&render(b)), Some(b));
+    }
+
+    #[test]
+    fn ratchet_is_one_directional() {
+        assert_eq!(ratchet(5, 5), Verdict::Ok);
+        assert_eq!(ratchet(4, 5), Verdict::Ok);
+        assert_eq!(ratchet(6, 5), Verdict::Exceeded);
+        assert_eq!(ratchet(1, 0), Verdict::Exceeded);
+        assert_eq!(ratchet(0, 0), Verdict::Ok);
+    }
+
+    #[test]
+    fn tightening_never_raises() {
+        assert_eq!(tightened(10, None), 10);
+        assert_eq!(tightened(10, Some(7)), 7);
+        assert_eq!(tightened(5, Some(7)), 5);
+    }
+
+    #[test]
+    fn malformed_is_rejected() {
+        assert_eq!(parse("{}"), None);
+        assert_eq!(parse("{\"no_panic\": }"), None);
+        assert_eq!(parse("{\"no_panic\": \"x\"}"), None);
+    }
+}

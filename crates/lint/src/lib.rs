@@ -1,0 +1,574 @@
+//! `lsdf-lint` — facility-invariant static analysis for the LSDF
+//! workspace.
+//!
+//! The compiler cannot check the two promises the facility makes:
+//! seeded runs are bit-identical (all time from the obs registry clock,
+//! all randomness from named `lsdf-sim` streams) and every metric name
+//! agrees between increment sites, compat views, and the bench report.
+//! This crate enforces them mechanically, the way Rucio enforces naming
+//! conventions and the Superfacility programme verifies policy
+//! conformance — convention-only invariants rot at scale.
+//!
+//! Rules:
+//!
+//! * **L1 `determinism`** — no `Instant::now` / `SystemTime::now` /
+//!   `thread_rng` / `rand::random` / `from_entropy` outside the obs
+//!   clock internals, `lsdf-bench` (whose job is wall-clock
+//!   measurement), and test code.
+//! * **L2 `no_panic`** — no `unwrap` / `expect` / `panic!` /
+//!   `unreachable!` in non-test library code of the production crates.
+//!   Remaining debt is ratcheted through `lint-baseline.json`: the
+//!   count may only decrease.
+//! * **L3 `metric_names`** — no string-literal metric name at a
+//!   `counter(`/`gauge(`/`histogram(`/`*_value(`/`counter_total(` call
+//!   site; names live as consts in `lsdf_obs::names`, and every
+//!   declared const must be used somewhere.
+//! * **L4 `locks`** — no `std::sync::Mutex`/`RwLock` where the
+//!   workspace mandates `parking_lot`.
+//!
+//! Any rule can be waived per line with
+//! `// lint: allow(<rule>) -- <justification>` (trailing, or on the
+//! line directly above); the justification is mandatory.
+
+pub mod baseline;
+pub mod scan;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use scan::ScannedFile;
+
+/// The lint rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// L1: wall-clock / entropy use outside the allowlist.
+    Determinism,
+    /// L2: panicking calls in production library code (baselined).
+    NoPanic,
+    /// L3: string-literal metric names / unused declared names.
+    MetricNames,
+    /// L4: `std::sync` locks where `parking_lot` is mandated.
+    Locks,
+    /// Malformed `// lint: allow(...)` annotations.
+    Annotation,
+}
+
+impl Rule {
+    /// The rule name as it appears in diagnostics and annotations.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::NoPanic => "no_panic",
+            Rule::MetricNames => "metric_names",
+            Rule::Locks => "locks",
+            Rule::Annotation => "annotation",
+        }
+    }
+
+    /// Parses an annotation rule name.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "determinism" => Some(Rule::Determinism),
+            "no_panic" => Some(Rule::NoPanic),
+            "metric_names" => Some(Rule::MetricNames),
+            "locks" => Some(Rule::Locks),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: `path:line: rule: message`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// A metric-name const declared in `lsdf_obs::names`.
+#[derive(Clone, Debug)]
+pub struct NameConst {
+    /// Const identifier, e.g. `ADAL_OPS_TOTAL`.
+    pub ident: String,
+    /// The metric name string it carries.
+    pub value: String,
+    /// 1-based declaration line in the names module.
+    pub line: usize,
+}
+
+/// Linter configuration: scopes and allowlists.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workspace root.
+    pub root: PathBuf,
+    /// Relative path prefixes subject to L2 (production crate `src/`).
+    pub panic_free: Vec<String>,
+    /// Relative path prefixes exempt from L1 (clock internals and the
+    /// wall-clock bench harness).
+    pub determinism_allow: Vec<String>,
+    /// Relative path of the metric-name const module.
+    pub names_module: String,
+    /// Declared metric-name consts (parsed from `names_module`).
+    pub names: Vec<NameConst>,
+}
+
+impl Config {
+    /// The workspace policy: production crates per DESIGN.md, the obs
+    /// clock and `lsdf-bench` on the determinism allowlist.
+    pub fn for_workspace(root: &Path) -> io::Result<Config> {
+        let names_module = "crates/obs/src/names.rs".to_string();
+        let txt = fs::read_to_string(root.join(&names_module))?;
+        Ok(Config {
+            root: root.to_path_buf(),
+            panic_free: [
+                "adal", "dfs", "storage", "chaos", "core", "cloud", "workflow", "metadata",
+                "net",
+            ]
+            .iter()
+            .map(|c| format!("crates/{c}/src/"))
+            .collect(),
+            determinism_allow: vec![
+                "crates/obs/src/clock.rs".to_string(),
+                "crates/bench/".to_string(),
+            ],
+            names: parse_name_consts(&txt),
+            names_module,
+        })
+    }
+}
+
+/// Parses `pub const IDENT: &str = "value";` declarations.
+pub fn parse_name_consts(src: &str) -> Vec<NameConst> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let t = line.trim_start();
+        let Some(rest) = t.strip_prefix("pub const ") else {
+            continue;
+        };
+        let Some(colon) = rest.find(':') else { continue };
+        let ident = rest[..colon].trim().to_string();
+        if !rest[colon..].contains("&str") {
+            continue;
+        }
+        let Some(q1) = rest.find('"') else { continue };
+        let Some(q2) = rest[q1 + 1..].find('"') else { continue };
+        out.push(NameConst {
+            ident,
+            value: rest[q1 + 1..q1 + 1 + q2].to_string(),
+            line: i + 1,
+        });
+    }
+    out
+}
+
+/// The result of a full lint run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Hard violations (L1, L3, L4, malformed annotations) — always fatal.
+    pub violations: Vec<Diagnostic>,
+    /// L2 debt sites — compared against the baseline, not individually
+    /// fatal.
+    pub no_panic: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+const DETERMINISM_PATTERNS: &[&str] = &[
+    "Instant::now",
+    "SystemTime::now",
+    "thread_rng",
+    "rand::random",
+    "from_entropy",
+];
+
+const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!", "unreachable!"];
+
+const METRIC_CALLS: &[&str] = &[
+    ".counter(",
+    ".gauge(",
+    ".histogram(",
+    ".counter_value(",
+    ".gauge_value(",
+    ".counter_total(",
+];
+
+/// Lints one file's content. `rel` is the workspace-relative path used
+/// for scoping decisions; the content does not need to exist on disk
+/// (the fixture tests feed synthetic files through here).
+pub fn lint_file(rel: &str, content: &str, cfg: &Config) -> Report {
+    let scanned = scan::scan_file(content);
+    lint_scanned(rel, &scanned, cfg)
+}
+
+fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.ends_with("/build.rs")
+}
+
+/// Per-line allow state derived from annotations.
+struct Allows {
+    /// allowed[line][..] — rules waived on that 0-based line.
+    allowed: Vec<Vec<Rule>>,
+    /// Malformed annotations.
+    bad: Vec<Diagnostic>,
+}
+
+/// Parses `lint: allow(<rule>) -- <justification>` out of comment text.
+/// A trailing annotation waives its own line; a comment-only line
+/// waives the next line.
+fn collect_allows(rel: &str, file: &ScannedFile) -> Allows {
+    let n = file.lines.len();
+    let mut allowed: Vec<Vec<Rule>> = vec![Vec::new(); n];
+    let mut bad = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        // The annotation must be the whole comment (`// lint: allow(..)`),
+        // so prose or doc text that merely quotes the grammar is inert.
+        let comment = line.comment.trim_start();
+        let Some(after) = comment.strip_prefix("lint: allow(") else {
+            continue;
+        };
+        let Some(close) = after.find(')') else {
+            bad.push(Diagnostic {
+                path: rel.to_string(),
+                line: i + 1,
+                rule: Rule::Annotation,
+                message: "unterminated lint: allow(...) annotation".to_string(),
+            });
+            continue;
+        };
+        let rule_name = after[..close].trim();
+        let Some(rule) = Rule::parse(rule_name) else {
+            bad.push(Diagnostic {
+                path: rel.to_string(),
+                line: i + 1,
+                rule: Rule::Annotation,
+                message: format!("unknown lint rule in allow annotation: {rule_name:?}"),
+            });
+            continue;
+        };
+        let tail = after[close + 1..].trim_start();
+        if !tail.starts_with("--") || tail.trim_start_matches('-').trim().is_empty() {
+            bad.push(Diagnostic {
+                path: rel.to_string(),
+                line: i + 1,
+                rule: Rule::Annotation,
+                message: format!(
+                    "allow({}) needs a justification: `// lint: allow({}) -- why`",
+                    rule, rule
+                ),
+            });
+            continue;
+        }
+        let standalone = line.code.trim().is_empty();
+        let target = if standalone { i + 1 } else { i };
+        if target < n {
+            allowed[target].push(rule);
+        }
+    }
+    Allows { allowed, bad }
+}
+
+fn lint_scanned(rel: &str, file: &ScannedFile, cfg: &Config) -> Report {
+    let mut report = Report {
+        files_scanned: 1,
+        ..Report::default()
+    };
+    let allows = collect_allows(rel, file);
+    report.violations.extend(allows.bad.iter().cloned());
+
+    let test_path = is_test_path(rel);
+    let panic_scope = cfg.panic_free.iter().any(|p| rel.starts_with(p.as_str()));
+    let determinism_exempt = cfg
+        .determinism_allow
+        .iter()
+        .any(|p| rel.starts_with(p.as_str()));
+    let is_names_module = rel == cfg.names_module;
+
+    for (i, line) in file.lines.iter().enumerate() {
+        if test_path || line.is_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        let waived = |r: Rule| allows.allowed[i].contains(&r);
+
+        // L1 determinism.
+        if !determinism_exempt && !waived(Rule::Determinism) {
+            for pat in DETERMINISM_PATTERNS {
+                if code.contains(pat) {
+                    report.violations.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: i + 1,
+                        rule: Rule::Determinism,
+                        message: format!(
+                            "{pat} leaks wall-clock/entropy into a deterministic component; \
+                             use the obs registry clock or a named lsdf-sim stream"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // L2 panic-freedom (baselined).
+        if panic_scope && !waived(Rule::NoPanic) {
+            for pat in PANIC_PATTERNS {
+                let mut at = 0usize;
+                while let Some(p) = code[at..].find(pat) {
+                    report.no_panic.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: i + 1,
+                        rule: Rule::NoPanic,
+                        message: format!(
+                            "{} in production library code; return LsdfError instead",
+                            pat.trim_start_matches('.')
+                        ),
+                    });
+                    at += p + pat.len();
+                }
+            }
+        }
+
+        // L3 metric names: literal at a metric call site.
+        if !is_names_module && !waived(Rule::MetricNames) {
+            for call in METRIC_CALLS {
+                let mut at = 0usize;
+                while let Some(p) = code[at..].find(call) {
+                    let after = code[at + p + call.len()..].trim_start();
+                    let literal = if after.is_empty() {
+                        // Argument starts on a following line.
+                        file.lines
+                            .iter()
+                            .skip(i + 1)
+                            .take(2)
+                            .map(|l| l.code.trim_start())
+                            .find(|c| !c.is_empty())
+                            .is_some_and(|c| c.starts_with('"'))
+                    } else {
+                        after.starts_with('"')
+                    };
+                    if literal {
+                        report.violations.push(Diagnostic {
+                            path: rel.to_string(),
+                            line: i + 1,
+                            rule: Rule::MetricNames,
+                            message: format!(
+                                "string-literal metric name at {}\"...\"); declare it in \
+                                 lsdf_obs::names and use the const",
+                                call
+                            ),
+                        });
+                    }
+                    at += p + call.len();
+                }
+            }
+        }
+
+        // L4 lock discipline.
+        if !waived(Rule::Locks) {
+            let use_line = code.trim_start().starts_with("use std::sync::")
+                && (code.contains("Mutex") || code.contains("RwLock"));
+            if code.contains("std::sync::Mutex") || code.contains("std::sync::RwLock") || use_line
+            {
+                report.violations.push(Diagnostic {
+                    path: rel.to_string(),
+                    line: i + 1,
+                    rule: Rule::Locks,
+                    message: "std::sync lock where the workspace mandates parking_lot"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Recursively collects workspace `.rs` files, skipping build output,
+/// VCS metadata, and the linter's own (intentionally violating) fixture
+/// corpus.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Runs the full workspace lint: every file plus the unused-name check.
+pub fn run(cfg: &Config) -> io::Result<Report> {
+    let files = collect_rs_files(&cfg.root)?;
+    let mut report = Report::default();
+    let mut names_seen: BTreeSet<String> = BTreeSet::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&cfg.root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = fs::read_to_string(path)?;
+        let scanned = scan::scan_file(&content);
+        let sub = lint_scanned(&rel, &scanned, cfg);
+        report.violations.extend(sub.violations);
+        report.no_panic.extend(sub.no_panic);
+        report.files_scanned += 1;
+        // Record const-ident usage for the unused-name check (code
+        // text only, any file except the declaring module).
+        if rel != cfg.names_module {
+            for line in &scanned.lines {
+                for nc in &cfg.names {
+                    if !names_seen.contains(&nc.ident) && line.code.contains(nc.ident.as_str())
+                    {
+                        names_seen.insert(nc.ident.clone());
+                    }
+                }
+            }
+        }
+    }
+    // Unused / duplicate declared names.
+    let mut values = BTreeSet::new();
+    for nc in &cfg.names {
+        if !names_seen.contains(&nc.ident) {
+            report.violations.push(Diagnostic {
+                path: cfg.names_module.clone(),
+                line: nc.line,
+                rule: Rule::MetricNames,
+                message: format!(
+                    "declared metric name {} ({:?}) is never used — dead name or drifted \
+                     call site",
+                    nc.ident, nc.value
+                ),
+            });
+        }
+        if !values.insert(nc.value.clone()) {
+            report.violations.push(Diagnostic {
+                path: cfg.names_module.clone(),
+                line: nc.line,
+                rule: Rule::MetricNames,
+                message: format!("metric name {:?} is declared twice", nc.value),
+            });
+        }
+    }
+    report.violations.sort_by(|a, b| {
+        (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule))
+    });
+    report.no_panic.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+/// Finds the workspace root: the nearest ancestor (including `start`)
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(txt) = fs::read_to_string(&manifest) {
+            if txt.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg() -> Config {
+        Config {
+            root: PathBuf::from("."),
+            panic_free: vec!["crates/adal/src/".into()],
+            determinism_allow: vec!["crates/obs/src/clock.rs".into(), "crates/bench/".into()],
+            names_module: "crates/obs/src/names.rs".into(),
+            names: vec![NameConst {
+                ident: "ADAL_OPS_TOTAL".into(),
+                value: "adal_ops_total".into(),
+                line: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn annotation_waives_a_rule() {
+        let cfg = test_cfg();
+        let src = "fn f() { x.unwrap(); } // lint: allow(no_panic) -- invariant: set above\n";
+        let r = lint_file("crates/adal/src/x.rs", src, &cfg);
+        assert!(r.no_panic.is_empty());
+        // Without the justification the annotation itself is an error.
+        let bad = "fn f() { x.unwrap(); } // lint: allow(no_panic)\n";
+        let r = lint_file("crates/adal/src/x.rs", bad, &cfg);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, Rule::Annotation);
+    }
+
+    #[test]
+    fn standalone_annotation_waives_next_line() {
+        let cfg = test_cfg();
+        let src = "// lint: allow(no_panic) -- checked by caller\nfn f() { x.unwrap(); }\n";
+        let r = lint_file("crates/adal/src/x.rs", src, &cfg);
+        assert!(r.no_panic.is_empty());
+    }
+
+    #[test]
+    fn pattern_in_string_or_comment_does_not_fire() {
+        let cfg = test_cfg();
+        let src = "let s = \"Instant::now()\"; // Instant::now()\n";
+        let r = lint_file("crates/dfs/src/x.rs", src, &cfg);
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn multiline_metric_call_is_caught() {
+        let cfg = test_cfg();
+        let src = "reg.histogram(\n    \"facility_ingest_bytes\",\n    &[],\n);\n";
+        let r = lint_file("crates/core/src/x.rs", src, &cfg);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, Rule::MetricNames);
+    }
+
+    #[test]
+    fn parse_name_consts_reads_declarations() {
+        let src = "/// doc\npub const A_B: &str = \"a_b\";\npub const C: usize = 3;\n";
+        let names = parse_name_consts(src);
+        assert_eq!(names.len(), 1);
+        assert_eq!(names[0].ident, "A_B");
+        assert_eq!(names[0].value, "a_b");
+        assert_eq!(names[0].line, 2);
+    }
+}

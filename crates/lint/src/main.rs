@@ -1,0 +1,181 @@
+//! The `lsdf-lint` CLI: scans the workspace, prints
+//! `file:line: rule: message` diagnostics, and exits nonzero on
+//! violations. See the crate docs for the rule set.
+
+// A CLI reports on stdout by design.
+#![allow(clippy::print_stdout)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lsdf_lint::{baseline, find_workspace_root, run, Config, Report};
+
+const USAGE: &str = "\
+lsdf-lint — facility-invariant static analysis
+
+USAGE:
+    lsdf-lint [--root DIR] [--baseline FILE] [--json] [--write-baseline]
+
+OPTIONS:
+    --root DIR         Workspace root (default: nearest [workspace] ancestor)
+    --baseline FILE    L2 debt baseline (default: <root>/lint-baseline.json)
+    --json             Machine-readable output
+    --write-baseline   Record the current L2 debt (ratcheted: never increases)
+    --help             This text
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        baseline: None,
+        json: false,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root needs a directory")?,
+                ));
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline needs a file path")?,
+                ));
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn print_json(report: &Report, current: usize, allowed: usize, ok: bool) {
+    let mut out = String::from("{\n  \"violations\": [\n");
+    for (i, d) in report.violations.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+            json_escape(&d.path),
+            d.line,
+            d.rule,
+            json_escape(&d.message),
+            if i + 1 < report.violations.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"debt\": [\n");
+    for (i, d) in report.no_panic.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"line\": {}}}{}\n",
+            json_escape(&d.path),
+            d.line,
+            if i + 1 < report.no_panic.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"no_panic\": {{\"current\": {current}, \"baseline\": {allowed}, \"ok\": {ok}}},\n"
+    ));
+    out.push_str(&format!("  \"files_scanned\": {}\n}}\n", report.files_scanned));
+    print!("{out}");
+}
+
+fn real_main() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd).ok_or("no [workspace] Cargo.toml found upward")?
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+    let cfg = Config::for_workspace(&root).map_err(|e| format!("loading names module: {e}"))?;
+    let report = run(&cfg).map_err(|e| format!("scanning workspace: {e}"))?;
+    let current = report.no_panic.len();
+
+    let existing = baseline::load(&baseline_path).map_err(|e| e.to_string())?;
+    if args.write_baseline {
+        let value = baseline::tightened(current, existing.map(|b| b.no_panic));
+        baseline::save(&baseline_path, baseline::Baseline { no_panic: value })
+            .map_err(|e| e.to_string())?;
+        if !args.json {
+            println!(
+                "lsdf-lint: baseline written: no_panic = {value} ({} live sites)",
+                current
+            );
+        }
+    }
+    let allowed = if args.write_baseline {
+        baseline::tightened(current, existing.map(|b| b.no_panic))
+    } else {
+        existing.map(|b| b.no_panic).unwrap_or(0)
+    };
+    let debt_ok = baseline::ratchet(current, allowed) == baseline::Verdict::Ok;
+    let ok = report.violations.is_empty() && debt_ok;
+
+    if args.json {
+        print_json(&report, current, allowed, ok);
+        return Ok(ok);
+    }
+    for d in &report.violations {
+        println!("{d}");
+    }
+    if !debt_ok {
+        for d in &report.no_panic {
+            println!("{d}");
+        }
+        println!(
+            "lsdf-lint: FAIL — no_panic debt grew: {current} sites > baseline {allowed}; \
+             pay it down (or justify with `// lint: allow(no_panic) -- why`)"
+        );
+    } else if current < allowed {
+        println!(
+            "lsdf-lint: no_panic debt shrank ({current} < baseline {allowed}) — run \
+             `just lint-baseline` to ratchet the baseline down"
+        );
+    }
+    println!(
+        "lsdf-lint: {} files scanned, {} violations, no_panic debt {current}/{allowed} — {}",
+        report.files_scanned,
+        report.violations.len(),
+        if ok { "OK" } else { "FAIL" }
+    );
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("lsdf-lint: error: {e}");
+            print!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

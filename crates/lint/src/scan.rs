@@ -1,0 +1,339 @@
+//! A line/token-level scanner for Rust source.
+//!
+//! The scanner is deliberately not a parser: it classifies every byte
+//! of a file as code, comment, or string-literal content, tracks
+//! `#[cfg(test)]` item spans by brace counting, and hands the rules a
+//! per-line view where comments are stripped and string contents are
+//! blanked (the delimiting quotes are kept so call shapes like
+//! `.counter("` remain visible). That is enough to enforce the facility
+//! invariants without a syn-sized dependency, and it is immune to
+//! pattern text appearing inside strings or comments.
+
+/// One scanned source line.
+#[derive(Clone, Debug, Default)]
+pub struct Line {
+    /// Code text: comments removed, string-literal contents replaced by
+    /// spaces (quotes preserved), everything else verbatim.
+    pub code: String,
+    /// Concatenated comment text found on the line (without `//`/`/*`).
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]` or `#[test]`
+    /// item's braces (including the attribute line itself).
+    pub is_test: bool,
+}
+
+/// A fully scanned file.
+#[derive(Clone, Debug, Default)]
+pub struct ScannedFile {
+    /// Scanned lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scans `src`, classifying every byte and tracking test-item spans.
+pub fn scan_file(src: &str) -> ScannedFile {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut state = State::Code;
+
+    // cfg(test)/#[test] tracking: after such an attribute, the next `{`
+    // opens a test span that ends at the matching `}`.
+    let mut pending_test_attr = false;
+    let mut test_depth: Option<u32> = None;
+    let mut brace_depth: u32 = 0;
+
+    for raw in src.split('\n') {
+        let mut line = Line::default();
+        let bytes = raw.as_bytes();
+        let mut i = 0usize;
+        if state == State::LineComment {
+            state = State::Code; // line comments end at the newline
+        }
+        let mut escaped = false;
+        while i < bytes.len() {
+            let b = bytes[i];
+            match state {
+                State::Code => {
+                    if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        state = State::LineComment;
+                        i += 2;
+                        continue;
+                    }
+                    if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        state = State::BlockComment(1);
+                        line.code.push(' ');
+                        line.code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if b == b'"' {
+                        // Raw string? Look back over immediately preceding
+                        // `r` / `r#...#` introducers already emitted.
+                        let hashes = trailing_raw_intro(&line.code);
+                        if let Some(h) = hashes {
+                            state = State::RawStr(h);
+                        } else {
+                            state = State::Str;
+                            escaped = false;
+                        }
+                        line.code.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    if b == b'\'' {
+                        // Char literal vs lifetime: a char literal closes
+                        // with another quote within a few bytes.
+                        if is_char_literal(bytes, i) {
+                            state = State::Char;
+                            escaped = false;
+                            line.code.push('\'');
+                            i += 1;
+                            continue;
+                        }
+                        line.code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    line.code.push(b as char);
+                    i += 1;
+                }
+                State::LineComment => {
+                    line.comment.push(b as char);
+                    i += 1;
+                }
+                State::BlockComment(depth) => {
+                    if b == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        if depth == 1 {
+                            state = State::Code;
+                        } else {
+                            state = State::BlockComment(depth - 1);
+                        }
+                        line.code.push(' ');
+                        line.code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        state = State::BlockComment(depth + 1);
+                        i += 2;
+                        continue;
+                    }
+                    line.comment.push(b as char);
+                    line.code.push(' ');
+                    i += 1;
+                }
+                State::Str => {
+                    if escaped {
+                        escaped = false;
+                        line.code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                    if b == b'\\' {
+                        escaped = true;
+                        line.code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                    if b == b'"' {
+                        state = State::Code;
+                        line.code.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    line.code.push(' ');
+                    i += 1;
+                }
+                State::RawStr(h) => {
+                    if b == b'"' && closes_raw(bytes, i, h) {
+                        line.code.push('"');
+                        for _ in 0..h {
+                            line.code.push(' ');
+                        }
+                        i += 1 + h as usize;
+                        state = State::Code;
+                        continue;
+                    }
+                    line.code.push(' ');
+                    i += 1;
+                }
+                State::Char => {
+                    if escaped {
+                        escaped = false;
+                        line.code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                    if b == b'\\' {
+                        escaped = true;
+                        line.code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                    if b == b'\'' {
+                        state = State::Code;
+                        line.code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+        // Strings do not span lines in this scanner except raw strings
+        // and block comments; plain strings continue (multi-line string
+        // literals are legal Rust), so keep the state as-is.
+
+        // Test-span tracking on the stripped code.
+        let code = line.code.as_str();
+        let attr_here = code.contains("#[cfg(test)]")
+            || code.contains("#[cfg(all(test")
+            || code.contains("#[test]");
+        if attr_here {
+            pending_test_attr = true;
+        }
+        let in_test_before = test_depth.is_some() || pending_test_attr;
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    brace_depth += 1;
+                    if pending_test_attr {
+                        if test_depth.is_none() {
+                            test_depth = Some(brace_depth);
+                        }
+                        pending_test_attr = false;
+                    }
+                }
+                '}' => {
+                    if let Some(d) = test_depth {
+                        if brace_depth == d {
+                            test_depth = None;
+                        }
+                    }
+                    brace_depth = brace_depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+        }
+        line.is_test = in_test_before || test_depth.is_some();
+        lines.push(line);
+    }
+    ScannedFile { lines }
+}
+
+/// True when the code emitted so far ends with a raw-string introducer
+/// (`r`, `r#`, `br##`, ...); returns the hash count.
+fn trailing_raw_intro(code: &str) -> Option<u32> {
+    let bytes = code.as_bytes();
+    let mut i = bytes.len();
+    let mut hashes = 0u32;
+    while i > 0 && bytes[i - 1] == b'#' {
+        hashes += 1;
+        i -= 1;
+    }
+    if i > 0 && (bytes[i - 1] == b'r') {
+        // Avoid treating an identifier ending in `r` as an introducer.
+        let before = if i >= 2 { bytes[i - 2] as char } else { ' ' };
+        if !before.is_alphanumeric() && before != '_' {
+            return Some(hashes);
+        }
+        // `br"..."` byte raw string.
+        if before == 'b' {
+            let b2 = if i >= 3 { bytes[i - 3] as char } else { ' ' };
+            if !b2.is_alphanumeric() && b2 != '_' {
+                return Some(hashes);
+            }
+        }
+    }
+    if hashes > 0 {
+        // `#"` without `r` is not a raw string; fall through.
+        return None;
+    }
+    None
+}
+
+/// True when the `"` at `i` is followed by exactly `h` hashes (closing a
+/// raw string with `h` introducer hashes).
+fn closes_raw(bytes: &[u8], i: usize, h: u32) -> bool {
+    let mut n = 0u32;
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' && n < h {
+        n += 1;
+        j += 1;
+    }
+    n == h
+}
+
+/// Distinguishes `'a'` / `'\n'` char literals from `'a` lifetimes.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    if i + 1 >= bytes.len() {
+        return false;
+    }
+    if bytes[i + 1] == b'\\' {
+        return true;
+    }
+    // 'x' — a close quote within the next 2 bytes (ASCII) or after a
+    // short UTF-8 sequence.
+    for &b in &bytes[(i + 2)..bytes.len().min(i + 6)] {
+        if b == b'\'' {
+            return true;
+        }
+        if b == b' ' || b == b',' || b == b'>' || b == b')' {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = scan_file("let x = \"Instant::now()\"; // Instant::now()\n");
+        assert!(!f.lines[0].code.contains("Instant::now"));
+        assert!(f.lines[0].comment.contains("Instant::now"));
+        assert!(f.lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = scan_file("/* a\n.unwrap()\n*/ let y = 1;\n");
+        assert!(!f.lines[1].code.contains(".unwrap()"));
+        assert!(f.lines[2].code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn prod2() {}\n";
+        let f = scan_file(src);
+        assert!(!f.lines[0].is_test);
+        assert!(f.lines[1].is_test);
+        assert!(f.lines[3].is_test);
+        assert!(!f.lines[5].is_test);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan_file("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\n");
+        assert!(f.lines[0].code.contains("&'a str"));
+        assert!(!f.lines[1].code.contains('x'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scan_file("let s = r#\"panic!(\"no\")\"#;\nlet t = 1;\n");
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[1].code.contains("let t = 1;"));
+    }
+}

@@ -1,0 +1,101 @@
+//! The fixture corpus: one good and one violating file per rule. Each
+//! bad fixture must fire its rule (with the exact expected count) and
+//! each good fixture must scan clean — this is the linter's own
+//! conformance gate.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lsdf_lint::{lint_file, Config, NameConst, Report, Rule};
+
+fn fixture(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// A config that puts the synthetic fixture path in every scope.
+fn cfg() -> Config {
+    Config {
+        root: PathBuf::from("."),
+        panic_free: vec!["crates/adal/src/".to_string()],
+        determinism_allow: vec![
+            "crates/obs/src/clock.rs".to_string(),
+            "crates/bench/".to_string(),
+        ],
+        names_module: "crates/obs/src/names.rs".to_string(),
+        names: vec![
+            NameConst {
+                ident: "FOO_TOTAL".to_string(),
+                value: "foo_total".to_string(),
+                line: 1,
+            },
+            NameConst {
+                ident: "FOO_LATENCY_NS".to_string(),
+                value: "foo_latency_ns".to_string(),
+                line: 2,
+            },
+        ],
+    }
+}
+
+/// Lints a fixture as though it were production source in `lsdf-adal`.
+fn lint(rel: &str) -> Report {
+    lint_file("crates/adal/src/fixture.rs", &fixture(rel), &cfg())
+}
+
+fn count(report: &Report, rule: Rule) -> usize {
+    let hard = report.violations.iter().filter(|d| d.rule == rule).count();
+    if rule == Rule::NoPanic {
+        report.no_panic.len()
+    } else {
+        hard
+    }
+}
+
+#[test]
+fn determinism_fires_on_bad_and_not_on_good() {
+    let bad = lint("determinism/bad.rs");
+    assert_eq!(count(&bad, Rule::Determinism), 5, "{:#?}", bad.violations);
+    let good = lint("determinism/good.rs");
+    assert_eq!(count(&good, Rule::Determinism), 0, "{:#?}", good.violations);
+}
+
+#[test]
+fn no_panic_fires_on_bad_and_not_on_good() {
+    let bad = lint("no_panic/bad.rs");
+    assert_eq!(count(&bad, Rule::NoPanic), 4, "{:#?}", bad.no_panic);
+    let good = lint("no_panic/good.rs");
+    assert_eq!(count(&good, Rule::NoPanic), 0, "{:#?}", good.no_panic);
+    // The good fixture's annotation is well-formed.
+    assert!(good.violations.is_empty(), "{:#?}", good.violations);
+}
+
+#[test]
+fn metric_names_fires_on_bad_and_not_on_good() {
+    let bad = lint("metric_names/bad.rs");
+    assert_eq!(count(&bad, Rule::MetricNames), 4, "{:#?}", bad.violations);
+    let good = lint("metric_names/good.rs");
+    assert_eq!(count(&good, Rule::MetricNames), 0, "{:#?}", good.violations);
+}
+
+#[test]
+fn locks_fires_on_bad_and_not_on_good() {
+    let bad = lint("locks/bad.rs");
+    assert_eq!(count(&bad, Rule::Locks), 3, "{:#?}", bad.violations);
+    let good = lint("locks/good.rs");
+    assert_eq!(count(&good, Rule::Locks), 0, "{:#?}", good.violations);
+}
+
+#[test]
+fn bad_fixtures_fire_only_their_own_rule() {
+    // The determinism fixtures must not trip lock or metric rules, and
+    // vice versa — rules are independent.
+    let d = lint("determinism/bad.rs");
+    assert_eq!(count(&d, Rule::Locks), 0);
+    assert_eq!(count(&d, Rule::MetricNames), 0);
+    let l = lint("locks/bad.rs");
+    assert_eq!(count(&l, Rule::Determinism), 0);
+    assert_eq!(count(&l, Rule::MetricNames), 0);
+}

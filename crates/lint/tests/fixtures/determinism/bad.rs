@@ -1,0 +1,17 @@
+// Fixture: every line here that touches wall-clock time or ambient
+// entropy must trip rule L1 (determinism).
+use std::time::Instant;
+
+pub fn job_timing() -> u64 {
+    let t = Instant::now();
+    let _epoch = std::time::SystemTime::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn ambient_entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    let seeded = rand_chacha::ChaCha8Rng::from_entropy();
+    let _ = (rng.gen::<u64>(), seeded);
+    x
+}

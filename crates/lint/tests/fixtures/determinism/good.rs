@@ -1,0 +1,20 @@
+// Fixture: deterministic time and randomness — nothing here may trip
+// L1. Pattern text inside strings, comments, and test code is exempt.
+
+pub fn job_timing(clock: &lsdf_obs::Clock) -> u64 {
+    let started = clock.now_ns(); // not Instant::now(): virtual-time safe
+    clock.now_ns().saturating_sub(started)
+}
+
+pub fn seeded_choice(rng: &mut lsdf_sim::SimRng) -> u64 {
+    let doc = "call Instant::now() only in lsdf-bench";
+    doc.len() as u64 + rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _t = std::time::Instant::now();
+    }
+}

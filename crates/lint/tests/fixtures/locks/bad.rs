@@ -1,0 +1,12 @@
+// Fixture: std::sync locks where the workspace mandates parking_lot —
+// each use must trip rule L4 (locks).
+use std::sync::{Mutex, RwLock};
+
+pub struct Shared {
+    inner: std::sync::Mutex<Vec<u8>>,
+    index: std::sync::RwLock<u32>,
+}
+
+pub fn guard(m: &Mutex<u8>, r: &RwLock<u8>) -> u8 {
+    *m.lock().unwrap_or_else(|e| e.into_inner()) + *r.read().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,17 @@
+// Fixture: parking_lot locks, plus one justified std::sync use — no
+// L4 findings allowed.
+use parking_lot::{Mutex, RwLock};
+
+pub struct Shared {
+    inner: Mutex<Vec<u8>>,
+    index: RwLock<u32>,
+}
+
+// lint: allow(locks) -- this crate is dependency-free by design
+pub fn poison_tolerant(m: &std::sync::Mutex<u8>) -> u8 {
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn guard(s: &Shared) -> usize {
+    s.inner.lock().len() + *s.index.read() as usize
+}

@@ -1,0 +1,13 @@
+// Fixture: string-literal metric names at call sites — each call must
+// trip rule L3 (metric_names), including the multi-line form.
+
+pub fn record(reg: &lsdf_obs::Registry) {
+    reg.counter("foo_total", &[]).inc();
+    reg.gauge("foo_depth", &[]).add(1);
+    reg.histogram(
+        "foo_latency_ns",
+        &[("op", "put")],
+    )
+    .record(1);
+    let _ = reg.counter_value("foo_total", &[]);
+}

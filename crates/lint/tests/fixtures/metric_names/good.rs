@@ -1,0 +1,18 @@
+// Fixture: metric names via lsdf_obs::names consts — nothing here may
+// trip L3. Test code may use ad-hoc literal names.
+use lsdf_obs::names;
+
+pub fn record(reg: &lsdf_obs::Registry) {
+    reg.counter(names::FOO_TOTAL, &[]).inc();
+    reg.histogram(names::FOO_LATENCY_NS, &[("op", "put")]).record(1);
+    let _ = reg.counter_value(names::FOO_TOTAL, &[]);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ad_hoc_names_are_fine_in_tests() {
+        let reg = lsdf_obs::Registry::new();
+        reg.counter("scratch", &[]).inc();
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: panicking calls in production library code — each one must
+// trip rule L2 (no_panic).
+
+pub fn lookup(map: &std::collections::BTreeMap<u32, u32>, k: u32) -> u32 {
+    *map.get(&k).unwrap()
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("caller must pass digits")
+}
+
+pub fn dispatch(op: u8) -> u8 {
+    match op {
+        0 => 1,
+        1 => panic!("op 1 is not wired up"),
+        _ => unreachable!("ops are validated upstream"),
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: panic-free production code — error returns, test-only
+// unwraps, and one justified annotation. Nothing here may trip L2.
+
+pub fn lookup(map: &std::collections::BTreeMap<u32, u32>, k: u32) -> Option<u32> {
+    map.get(&k).copied()
+}
+
+pub fn parse(s: &str) -> Result<u64, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn first_shard(shards: &[u32]) -> u32 {
+    // lint: allow(no_panic) -- shards is non-empty by construction (see new())
+    shards.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        super::parse("7").unwrap();
+    }
+}

@@ -1,0 +1,35 @@
+//! Property tests for the L2 baseline ratchet: under no combination of
+//! live count and recorded baseline does the ratchet accept an
+//! increase, and `--write-baseline` can never raise the recorded value.
+
+use lsdf_lint::baseline::{parse, ratchet, render, tightened, Baseline, Verdict};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ratchet_never_accepts_a_count_increase(
+        current in 0usize..100_000,
+        baseline in 0usize..100_000,
+    ) {
+        let verdict = ratchet(current, baseline);
+        prop_assert_eq!(verdict == Verdict::Ok, current <= baseline);
+    }
+
+    #[test]
+    fn written_baseline_never_increases(
+        current in 0usize..100_000,
+        existing in 0usize..100_000,
+    ) {
+        let written = tightened(current, Some(existing));
+        prop_assert!(written <= existing, "ratchet loosened: {} -> {}", existing, written);
+        // Writing then re-checking at the same live count passes
+        // exactly when the run did not add debt beyond the old record.
+        prop_assert_eq!(ratchet(current, written) == Verdict::Ok, current <= existing);
+    }
+
+    #[test]
+    fn baseline_file_roundtrips(n in 0usize..1_000_000) {
+        let b = Baseline { no_panic: n };
+        prop_assert_eq!(parse(&render(b)), Some(b));
+    }
+}

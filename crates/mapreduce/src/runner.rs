@@ -9,11 +9,12 @@
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
 use lsdf_dfs::{Dfs, DfsError, DfsNodeId, LocatedBlock};
+use lsdf_obs::names;
 
 use crate::api::{Combiner, InputFormat, Mapper, Reducer};
 
@@ -113,7 +114,8 @@ pub struct JobStats {
     pub speculative_launched: u64,
     /// Speculative attempts that won the commit race.
     pub speculative_won: u64,
-    /// Wall-clock duration of the run.
+    /// Duration of the run per the DFS obs registry clock — wall time
+    /// normally, virtual time when the registry runs under `lsdf-sim`.
     pub wall: Duration,
 }
 
@@ -162,7 +164,12 @@ where
     C: Combiner<Key = M::Key, Value = M::Value>,
     R: Reducer<Key = M::Key, Value = M::Value>,
 {
-    let started = Instant::now();
+    // Job timing reads the obs registry clock shared with the DFS, not
+    // the wall clock, so a run under virtual time is bit-reproducible.
+    let clock = dfs.obs().clock().clone();
+    let job_latency = dfs.obs().histogram(names::MR_JOB_LATENCY_NS, &[]);
+    let jobs_total = dfs.obs().counter(names::MR_JOBS_TOTAL, &[]);
+    let started_ns = clock.now_ns();
     if config.workers.is_empty() {
         return Err(MrError::BadConfig("no workers".into()));
     }
@@ -461,6 +468,9 @@ where
         output.extend(part.expect("reduce partition missing"));
     }
 
+    let wall = Duration::from_nanos(clock.now_ns().saturating_sub(started_ns));
+    job_latency.record(wall.as_nanos() as u64);
+    jobs_total.inc();
     Ok(JobOutput {
         output,
         stats: JobStats {
@@ -476,7 +486,7 @@ where
             remote_maps: remote.into_inner(),
             speculative_launched: spec_launched.into_inner(),
             speculative_won: spec_won.into_inner(),
-            wall: started.elapsed(),
+            wall,
         },
     })
 }

@@ -117,6 +117,7 @@ impl SchemaBuilder {
     pub fn indexed(mut self) -> Self {
         self.fields
             .last_mut()
+            // lint: allow(no_panic) -- documented builder-misuse panic (see `# Panics` above)
             .expect("indexed() requires a preceding field")
             .indexed = true;
         self
@@ -203,6 +204,7 @@ pub fn zebrafish_schema() -> Schema {
         .indexed()
         .optional("concentration_um", FieldType::Float)
         .build()
+        // lint: allow(no_panic) -- constant field list with unique names; covered by tests
         .expect("static schema is well-formed")
 }
 

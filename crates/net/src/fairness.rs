@@ -75,8 +75,9 @@ pub fn max_min_rates(flows: &[Vec<LinkId>], capacity: &HashMap<LinkId, f64>) -> 
             frozen[i] = true;
             rates[i] = share;
             for &l in &flows[i] {
-                let r = remaining.get_mut(&l).expect("capacity entry vanished");
-                *r = (*r - share).max(0.0);
+                if let Some(r) = remaining.get_mut(&l) {
+                    *r = (*r - share).max(0.0);
+                }
             }
         }
     }

@@ -7,7 +7,7 @@
 
 use lsdf_sim::SimDuration;
 
-use crate::topology::{units, NodeId, NodeKind, Topology};
+use crate::topology::{units, NodeId, NodeKind, Topology, TopologyError};
 
 /// Node handles for the canonical LSDF facility topology.
 #[derive(Debug, Clone)]
@@ -57,23 +57,28 @@ pub mod capacity {
 /// routers, direct 10 GE connections from some institutes (the DAQ
 /// sources), 10 GE to both storage systems and the cluster, and a 10 GE
 /// WAN link to Heidelberg with metro latency.
-pub fn build(n_daq: usize) -> LsdfFacilityNet {
+///
+/// # Errors
+/// Returns [`TopologyError::DuplicateNode`] if a node name collides —
+/// unreachable for the fixed facility names, surfaced rather than
+/// panicked on so callers stay panic-free.
+pub fn build(n_daq: usize) -> Result<LsdfFacilityNet, TopologyError> {
     let mut t = Topology::new();
     let lan = SimDuration::from_micros(50);
     let wan = SimDuration::from_millis(3); // KIT <-> Heidelberg metro fibre
 
-    let r1 = t.add_node("router-1", NodeKind::Router).expect("fresh topology");
-    let r2 = t.add_node("router-2", NodeKind::Router).expect("fresh topology");
+    let r1 = t.add_node("router-1", NodeKind::Router)?;
+    let r2 = t.add_node("router-2", NodeKind::Router)?;
     // Redundant router interconnect.
     t.add_duplex(r1, r2, 2.0 * units::TEN_GBIT, lan);
 
-    let storage_ibm = t.add_node("storage-ibm", NodeKind::Storage).expect("fresh");
-    let storage_ddn = t.add_node("storage-ddn", NodeKind::Storage).expect("fresh");
-    let tape = t.add_node("tape-library", NodeKind::Storage).expect("fresh");
-    let cluster = t.add_node("hadoop-cluster", NodeKind::Compute).expect("fresh");
-    let login = t.add_node("login-heads", NodeKind::Gateway).expect("fresh");
-    let campus = t.add_node("kit-campus", NodeKind::External).expect("fresh");
-    let heidelberg = t.add_node("uni-heidelberg", NodeKind::External).expect("fresh");
+    let storage_ibm = t.add_node("storage-ibm", NodeKind::Storage)?;
+    let storage_ddn = t.add_node("storage-ddn", NodeKind::Storage)?;
+    let tape = t.add_node("tape-library", NodeKind::Storage)?;
+    let cluster = t.add_node("hadoop-cluster", NodeKind::Compute)?;
+    let login = t.add_node("login-heads", NodeKind::Gateway)?;
+    let campus = t.add_node("kit-campus", NodeKind::External)?;
+    let heidelberg = t.add_node("uni-heidelberg", NodeKind::External)?;
 
     for (node, bw) in [
         (storage_ibm, units::TEN_GBIT),
@@ -92,16 +97,14 @@ pub fn build(n_daq: usize) -> LsdfFacilityNet {
 
     let mut daq = Vec::with_capacity(n_daq);
     for i in 0..n_daq {
-        let d = t
-            .add_node(format!("daq-{i}"), NodeKind::Daq)
-            .expect("unique daq name");
+        let d = t.add_node(format!("daq-{i}"), NodeKind::Daq)?;
         // Experiments attach to alternating routers on direct 10 GE links.
         let r = if i % 2 == 0 { r1 } else { r2 };
         t.add_duplex(d, r, units::TEN_GBIT, lan);
         daq.push(d);
     }
 
-    LsdfFacilityNet {
+    Ok(LsdfFacilityNet {
         topology: t,
         daq,
         routers: (r1, r2),
@@ -112,7 +115,7 @@ pub fn build(n_daq: usize) -> LsdfFacilityNet {
         login,
         campus,
         heidelberg,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -136,7 +139,7 @@ mod tests {
 
     #[test]
     fn all_endpoints_are_mutually_reachable() {
-        let net = build(4);
+        let net = build(4).expect("lsdf net builds");
         let t = &net.topology;
         let endpoints = [
             net.daq[0],
@@ -158,14 +161,14 @@ mod tests {
 
     #[test]
     fn daq_to_storage_is_two_hops() {
-        let net = build(2);
+        let net = build(2).expect("lsdf net builds");
         let r = net.topology.route(net.daq[0], net.storage_ibm).unwrap();
         assert_eq!(r.len(), 2, "daq -> router -> storage");
     }
 
     #[test]
     fn daq_ingest_achieves_line_rate() {
-        let net = build(1);
+        let net = build(1).expect("lsdf net builds");
         let sim_net = NetSim::new(net.topology.clone());
         let mut sim = Simulation::new();
         let done = Rc::new(RefCell::new(0.0f64));
@@ -186,7 +189,7 @@ mod tests {
     fn redundant_routers_split_daq_load() {
         // Two DAQs on different routers can both reach the cluster, which
         // is dual-homed at 2x10GE; each flow should sustain 10 Gb/s.
-        let net = build(2);
+        let net = build(2).expect("lsdf net builds");
         let sim_net = NetSim::new(net.topology.clone());
         let mut sim = Simulation::new();
         let times: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));

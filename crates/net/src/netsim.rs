@@ -247,7 +247,9 @@ impl NetSim {
             }
 
             for (idx, id) in ids.iter().enumerate() {
-                let flow = inner.flows.get_mut(id).expect("flow vanished");
+                let Some(flow) = inner.flows.get_mut(id) else {
+                    continue;
+                };
                 flow.rate_bps = rates[idx];
                 if let Some(ev) = flow.completion.take() {
                     to_cancel.push(ev);
@@ -269,12 +271,11 @@ impl NetSim {
         for (id, at) in to_schedule {
             let this = self.clone();
             let ev = sim.schedule_at(at, move |s| this.finish(s, id));
-            self.inner
-                .borrow_mut()
-                .flows
-                .get_mut(&id)
-                .expect("flow vanished before completion scheduling")
-                .completion = Some(ev);
+            if let Some(flow) = self.inner.borrow_mut().flows.get_mut(&id) {
+                flow.completion = Some(ev);
+            } else {
+                sim.cancel(ev);
+            }
         }
     }
 

@@ -245,7 +245,14 @@ impl Topology {
         let mut route = Vec::new();
         let mut cur = dst;
         while cur != src {
-            let lid = prev[cur.0 as usize].expect("broken predecessor chain");
+            let Some(lid) = prev[cur.0 as usize] else {
+                // A hole in the predecessor chain means the search never
+                // reached `cur`; report it as unroutable rather than panic.
+                return Err(TopologyError::NoRoute {
+                    src: self.node(src).name.clone(),
+                    dst: self.node(dst).name.clone(),
+                });
+            };
             route.push(lid);
             cur = self.links[lid.0 as usize].from;
         }

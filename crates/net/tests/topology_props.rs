@@ -78,7 +78,7 @@ proptest! {
     /// In the duplex facility network, routing is symmetric in hop count.
     #[test]
     fn facility_routes_are_hop_symmetric(n_daq in 1usize..6) {
-        let net = lsdf::build(n_daq);
+        let net = lsdf::build(n_daq).expect("lsdf net builds");
         let t = &net.topology;
         let endpoints = [net.daq[0], net.storage_ibm, net.cluster, net.heidelberg, net.login];
         for &a in &endpoints {

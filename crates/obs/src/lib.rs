@@ -26,6 +26,7 @@
 mod clock;
 mod json;
 mod metric;
+pub mod names;
 mod registry;
 
 pub use clock::Clock;

@@ -1,0 +1,255 @@
+//! The facility metric-name registry: every metric name used by a
+//! production crate is declared here, once, as a `pub const`.
+//!
+//! This module is the single source of truth that `lsdf-lint` rule
+//! **L3 (metric-names)** enforces: increment sites, compat views, and
+//! the E1/E9 bench report must all refer to these consts instead of
+//! repeating string literals, so a typo'd name can no longer silently
+//! split one metric into two. The lint checks both directions — no
+//! string-literal names at call sites outside this crate, and no
+//! declared name that is never used.
+//!
+//! Naming convention (checked by the unit tests below):
+//!
+//! * `snake_case`, prefixed with the owning subsystem
+//!   (`adal_`, `dfs_`, `hsm_`, `tape_`, `cloud_`, `workflow_`,
+//!   `facility_`, `chaos_`, `mr_`);
+//! * monotonically increasing counters end in `_total`;
+//! * nanosecond latency histograms end in `_ns`;
+//! * byte-size histograms end in `_bytes`;
+//! * everything else is a gauge of current state.
+
+// --- ADAL: operation accounting (E9 overhead) -------------------------
+
+/// Operations served, labelled `op=put|get|stat|list|delete`.
+pub const ADAL_OPS_TOTAL: &str = "adal_ops_total";
+/// Per-op latency histogram, labelled `op=...`.
+pub const ADAL_OP_LATENCY_NS: &str = "adal_op_latency_ns";
+/// Per-project operation breakdown, labelled `project=..,backend=..,op=..`.
+pub const ADAL_PROJECT_OPS_TOTAL: &str = "adal_project_ops_total";
+/// Requests rejected by authentication / ACL checks.
+pub const ADAL_DENIED_TOTAL: &str = "adal_denied_total";
+/// Payload sizes of accepted `put`s.
+pub const ADAL_PUT_BYTES: &str = "adal_put_bytes";
+/// Payload sizes of served `get`s.
+pub const ADAL_GET_BYTES: &str = "adal_get_bytes";
+
+// --- ADAL: resilience machinery (labelled `project=...`) --------------
+
+/// Circuit-breaker transitions, labelled `project` and `to=open|half_open|closed`.
+pub const ADAL_BREAKER_TRANSITIONS_TOTAL: &str = "adal_breaker_transitions_total";
+/// Retry attempts issued by the retry policy.
+pub const ADAL_RETRIES_TOTAL: &str = "adal_retries_total";
+/// Transient backend errors observed (equals retries + exhausted loops).
+pub const ADAL_TRANSIENT_OBSERVED_TOTAL: &str = "adal_transient_observed_total";
+/// Retry loops that ran out of attempts.
+pub const ADAL_RETRY_EXHAUSTED_TOTAL: &str = "adal_retry_exhausted_total";
+/// Reads served from a replica after the primary failed.
+pub const ADAL_FAILOVER_READS_TOTAL: &str = "adal_failover_reads_total";
+/// Writes parked in the redo journal while the breaker was open.
+pub const ADAL_JOURNAL_ENQUEUED_TOTAL: &str = "adal_journal_enqueued_total";
+/// Journal entries successfully replayed to the primary.
+pub const ADAL_JOURNAL_DRAINED_TOTAL: &str = "adal_journal_drained_total";
+/// Journal replays that found a newer write and skipped themselves.
+pub const ADAL_JOURNAL_CONFLICTS_TOTAL: &str = "adal_journal_conflicts_total";
+/// Post-write SHA-256 verification failures.
+pub const ADAL_WRITE_VERIFY_FAILURES_TOTAL: &str = "adal_write_verify_failures_total";
+/// Replica writes that failed while the primary write succeeded.
+pub const ADAL_REPLICA_WRITE_FAILURES_TOTAL: &str = "adal_replica_write_failures_total";
+/// Breaker state gauge: 0 closed, 1 open, 2 half-open.
+pub const ADAL_BREAKER_STATE: &str = "adal_breaker_state";
+/// Entries currently parked in the redo journal.
+pub const ADAL_JOURNAL_DEPTH: &str = "adal_journal_depth";
+/// Bytes currently parked in the redo journal.
+pub const ADAL_JOURNAL_BYTES: &str = "adal_journal_bytes";
+/// Backoff sleeps taken between retry attempts.
+pub const ADAL_RETRY_BACKOFF_NS: &str = "adal_retry_backoff_ns";
+
+// --- Chaos / fault injection ------------------------------------------
+
+/// Faults injected, labelled `backend` and `fault=transient|torn|latency|outage`.
+pub const CHAOS_INJECTED_TOTAL: &str = "chaos_injected_total";
+/// Artificial latency added by the fault plan, labelled `backend`.
+pub const CHAOS_INJECTED_LATENCY_NS: &str = "chaos_injected_latency_ns";
+
+// --- Cloud (OpenNebula-like IaaS) -------------------------------------
+
+/// VM lifecycle counter, labelled `state=submitted|deployed|failed`.
+pub const CLOUD_VMS_TOTAL: &str = "cloud_vms_total";
+/// VMs currently running.
+pub const CLOUD_VMS_RUNNING: &str = "cloud_vms_running";
+/// Submit-to-running deploy latency.
+pub const CLOUD_DEPLOY_LATENCY_NS: &str = "cloud_deploy_latency_ns";
+
+// --- DFS (HDFS-like) ---------------------------------------------------
+
+/// Namenode operations, labelled `op=write|read|stat|list|delete`.
+pub const DFS_OPS_TOTAL: &str = "dfs_ops_total";
+/// Block reads, labelled `locality=node_local|rack_local|remote`.
+pub const DFS_BLOCK_READS_TOTAL: &str = "dfs_block_reads_total";
+/// Blocks re-replicated after node loss.
+pub const DFS_REREPLICATIONS_TOTAL: &str = "dfs_rereplications_total";
+/// Reads that failed on a flaky datanode before failover.
+pub const DFS_FLAKY_FAILURES_TOTAL: &str = "dfs_flaky_failures_total";
+/// Blocks that lost every replica and cannot be re-replicated.
+pub const DFS_UNDER_REPLICATED_UNRECOVERABLE: &str = "dfs_under_replicated_unrecoverable";
+/// File-write payload sizes.
+pub const DFS_WRITE_BYTES: &str = "dfs_write_bytes";
+/// File-read payload sizes.
+pub const DFS_READ_BYTES: &str = "dfs_read_bytes";
+/// Per-op latency histogram, labelled `op=write|read`.
+pub const DFS_OP_LATENCY_NS: &str = "dfs_op_latency_ns";
+
+// --- Facility ingest pipeline (E1) ------------------------------------
+
+/// Ingest outcomes, labelled `project` and `outcome=registered|stored|rejected`.
+pub const FACILITY_INGEST_TOTAL: &str = "facility_ingest_total";
+/// Accepted payload sizes, labelled `project`.
+pub const FACILITY_INGEST_BYTES: &str = "facility_ingest_bytes";
+/// End-to-end ingest latency (checksum + store + catalog).
+pub const FACILITY_INGEST_LATENCY_NS: &str = "facility_ingest_latency_ns";
+
+// --- HSM tiering (labelled `store=...`) -------------------------------
+
+/// Objects written into the HSM.
+pub const HSM_PUTS_TOTAL: &str = "hsm_puts_total";
+/// Objects deleted from the HSM (both tiers).
+pub const HSM_DELETES_TOTAL: &str = "hsm_deletes_total";
+/// Disk-to-tape demotions performed by the migration policy.
+pub const HSM_DEMOTIONS_TOTAL: &str = "hsm_demotions_total";
+/// Tape-to-disk recalls triggered by reads.
+pub const HSM_RECALLS_TOTAL: &str = "hsm_recalls_total";
+/// Bytes demoted to tape.
+pub const HSM_DEMOTE_BYTES: &str = "hsm_demote_bytes";
+/// Bytes recalled from tape.
+pub const HSM_RECALL_BYTES: &str = "hsm_recall_bytes";
+/// Recall latency including tape mount and wind time.
+pub const HSM_RECALL_LATENCY_NS: &str = "hsm_recall_latency_ns";
+
+// --- Tape library ------------------------------------------------------
+
+/// Cartridge mounts performed by the robot.
+pub const TAPE_MOUNTS_TOTAL: &str = "tape_mounts_total";
+/// Mounts that wedged and needed operator intervention (chaos hook).
+pub const TAPE_STUCK_MOUNTS_TOTAL: &str = "tape_stuck_mounts_total";
+/// Tape operations, labelled `op=recall|archive`.
+pub const TAPE_OPS_TOTAL: &str = "tape_ops_total";
+/// Per-op tape latency, labelled `op=recall|archive`.
+pub const TAPE_OP_LATENCY_NS: &str = "tape_op_latency_ns";
+
+// --- Workflow engine (Kepler-like) ------------------------------------
+
+/// Actor firings across all runs.
+pub const WORKFLOW_FIRINGS_TOTAL: &str = "workflow_firings_total";
+/// Tokens moved along workflow edges.
+pub const WORKFLOW_TOKENS_MOVED_TOTAL: &str = "workflow_tokens_moved_total";
+/// Completed workflow runs.
+pub const WORKFLOW_RUNS_TOTAL: &str = "workflow_runs_total";
+/// End-to-end run latency.
+pub const WORKFLOW_RUN_LATENCY_NS: &str = "workflow_run_latency_ns";
+/// Tag-trigger rule executions, labelled `step`.
+pub const WORKFLOW_TRIGGER_RUNS_TOTAL: &str = "workflow_trigger_runs_total";
+
+// --- MapReduce ---------------------------------------------------------
+
+/// Completed MapReduce jobs.
+pub const MR_JOBS_TOTAL: &str = "mr_jobs_total";
+/// End-to-end job latency per the registry clock (virtual-time safe).
+pub const MR_JOB_LATENCY_NS: &str = "mr_job_latency_ns";
+
+/// Every declared metric name, for exhaustiveness checks and the
+/// `lsdf-lint` unused-name rule's own tests.
+pub const ALL: &[&str] = &[
+    ADAL_OPS_TOTAL,
+    ADAL_OP_LATENCY_NS,
+    ADAL_PROJECT_OPS_TOTAL,
+    ADAL_DENIED_TOTAL,
+    ADAL_PUT_BYTES,
+    ADAL_GET_BYTES,
+    ADAL_BREAKER_TRANSITIONS_TOTAL,
+    ADAL_RETRIES_TOTAL,
+    ADAL_TRANSIENT_OBSERVED_TOTAL,
+    ADAL_RETRY_EXHAUSTED_TOTAL,
+    ADAL_FAILOVER_READS_TOTAL,
+    ADAL_JOURNAL_ENQUEUED_TOTAL,
+    ADAL_JOURNAL_DRAINED_TOTAL,
+    ADAL_JOURNAL_CONFLICTS_TOTAL,
+    ADAL_WRITE_VERIFY_FAILURES_TOTAL,
+    ADAL_REPLICA_WRITE_FAILURES_TOTAL,
+    ADAL_BREAKER_STATE,
+    ADAL_JOURNAL_DEPTH,
+    ADAL_JOURNAL_BYTES,
+    ADAL_RETRY_BACKOFF_NS,
+    CHAOS_INJECTED_TOTAL,
+    CHAOS_INJECTED_LATENCY_NS,
+    CLOUD_VMS_TOTAL,
+    CLOUD_VMS_RUNNING,
+    CLOUD_DEPLOY_LATENCY_NS,
+    DFS_OPS_TOTAL,
+    DFS_BLOCK_READS_TOTAL,
+    DFS_REREPLICATIONS_TOTAL,
+    DFS_FLAKY_FAILURES_TOTAL,
+    DFS_UNDER_REPLICATED_UNRECOVERABLE,
+    DFS_WRITE_BYTES,
+    DFS_READ_BYTES,
+    DFS_OP_LATENCY_NS,
+    FACILITY_INGEST_TOTAL,
+    FACILITY_INGEST_BYTES,
+    FACILITY_INGEST_LATENCY_NS,
+    HSM_PUTS_TOTAL,
+    HSM_DELETES_TOTAL,
+    HSM_DEMOTIONS_TOTAL,
+    HSM_RECALLS_TOTAL,
+    HSM_DEMOTE_BYTES,
+    HSM_RECALL_BYTES,
+    HSM_RECALL_LATENCY_NS,
+    TAPE_MOUNTS_TOTAL,
+    TAPE_STUCK_MOUNTS_TOTAL,
+    TAPE_OPS_TOTAL,
+    TAPE_OP_LATENCY_NS,
+    WORKFLOW_FIRINGS_TOTAL,
+    WORKFLOW_TOKENS_MOVED_TOTAL,
+    WORKFLOW_RUNS_TOTAL,
+    WORKFLOW_RUN_LATENCY_NS,
+    WORKFLOW_TRIGGER_RUNS_TOTAL,
+    MR_JOBS_TOTAL,
+    MR_JOB_LATENCY_NS,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for n in ALL {
+            assert!(seen.insert(n), "duplicate metric name: {n}");
+        }
+    }
+
+    #[test]
+    fn names_follow_the_convention() {
+        const PREFIXES: &[&str] = &[
+            "adal_",
+            "chaos_",
+            "cloud_",
+            "dfs_",
+            "facility_",
+            "hsm_",
+            "tape_",
+            "workflow_",
+            "mr_",
+        ];
+        for n in ALL {
+            assert!(
+                PREFIXES.iter().any(|p| n.starts_with(p)),
+                "{n} lacks a subsystem prefix"
+            );
+            assert!(
+                n.chars().all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit()),
+                "{n} is not snake_case"
+            );
+        }
+    }
+}

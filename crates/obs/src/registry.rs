@@ -2,6 +2,7 @@
 //! a bounded event log.
 
 use std::collections::{BTreeMap, VecDeque};
+// lint: allow(locks) -- lsdf-obs is dependency-free by design; std locks with poison-tolerant wrappers below
 use std::sync::{Mutex, PoisonError, RwLock};
 
 use crate::clock::Clock;
@@ -306,14 +307,17 @@ impl std::fmt::Debug for Span {
 
 // Poison-tolerant lock helpers: a panicked recorder should not take the
 // whole registry down with it.
+// lint: allow(locks) -- dependency-free crate: std guard types in signatures
 fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
     l.read().unwrap_or_else(PoisonError::into_inner)
 }
 
+// lint: allow(locks) -- dependency-free crate: std guard types in signatures
 fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
     l.write().unwrap_or_else(PoisonError::into_inner)
 }
 
+// lint: allow(locks) -- dependency-free crate: std guard types in signatures
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }

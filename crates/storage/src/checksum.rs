@@ -13,10 +13,11 @@ pub struct Digest(pub [u8; 32]);
 impl Digest {
     /// Hex rendering of the digest.
     pub fn to_hex(&self) -> String {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
         let mut s = String::with_capacity(64);
         for b in self.0 {
-            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
-            s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+            s.push(HEX[(b >> 4) as usize] as char);
+            s.push(HEX[(b & 0xf) as usize] as char);
         }
         s
     }
@@ -93,6 +94,7 @@ impl Sha256 {
         self.total_len = self
             .total_len
             .checked_add(data.len() as u64)
+            // lint: allow(no_panic) -- FIPS 180-4 caps messages below 2^64 bits; wrapping here would silently corrupt digests
             .expect("SHA-256 input exceeds 2^64 bits");
         if self.buf_len > 0 {
             let need = 64 - self.buf_len;

@@ -17,6 +17,7 @@ use lsdf_obs::{Counter, Histogram, Registry};
 
 use crate::checksum::Digest;
 use crate::object::{ObjectStore, StoreError};
+use lsdf_obs::names;
 
 /// Which tier currently holds an object's payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,13 +121,13 @@ impl HsmObs {
     fn new(registry: Arc<Registry>, store: &str) -> Self {
         let labels: [(&str, &str); 1] = [("store", store)];
         HsmObs {
-            puts: registry.counter("hsm_puts_total", &labels),
-            deletes: registry.counter("hsm_deletes_total", &labels),
-            demotions: registry.counter("hsm_demotions_total", &labels),
-            recalls: registry.counter("hsm_recalls_total", &labels),
-            demote_bytes: registry.histogram("hsm_demote_bytes", &labels),
-            recall_bytes: registry.histogram("hsm_recall_bytes", &labels),
-            recall_latency: registry.histogram("hsm_recall_latency_ns", &labels),
+            puts: registry.counter(names::HSM_PUTS_TOTAL, &labels),
+            deletes: registry.counter(names::HSM_DELETES_TOTAL, &labels),
+            demotions: registry.counter(names::HSM_DEMOTIONS_TOTAL, &labels),
+            recalls: registry.counter(names::HSM_RECALLS_TOTAL, &labels),
+            demote_bytes: registry.histogram(names::HSM_DEMOTE_BYTES, &labels),
+            recall_bytes: registry.histogram(names::HSM_RECALL_BYTES, &labels),
+            recall_latency: registry.histogram(names::HSM_RECALL_LATENCY_NS, &labels),
             registry,
         }
     }
@@ -572,7 +573,7 @@ mod tests {
         assert!(hsm.catalog().is_empty());
         assert_eq!(
             hsm.obs()
-                .counter_value("hsm_deletes_total", &[("store", "disk")]),
+                .counter_value(names::HSM_DELETES_TOTAL, &[("store", "disk")]),
             2
         );
         // The key is reusable after deletion (write-once applies to live
@@ -600,11 +601,11 @@ mod tests {
         hsm.run_migration().unwrap();
         hsm.get("o0").unwrap(); // transparent recall
         let labels: [(&str, &str); 1] = [("store", "disk")];
-        assert_eq!(reg.counter_value("hsm_demotions_total", &labels), 4);
-        assert_eq!(reg.counter_value("hsm_recalls_total", &labels), 1);
-        assert_eq!(reg.counter_value("hsm_puts_total", &labels), 9);
-        assert_eq!(reg.histogram("hsm_demote_bytes", &labels).sum(), 400);
-        assert_eq!(reg.histogram("hsm_recall_latency_ns", &labels).count(), 1);
+        assert_eq!(reg.counter_value(names::HSM_DEMOTIONS_TOTAL, &labels), 4);
+        assert_eq!(reg.counter_value(names::HSM_RECALLS_TOTAL, &labels), 1);
+        assert_eq!(reg.counter_value(names::HSM_PUTS_TOTAL, &labels), 9);
+        assert_eq!(reg.histogram(names::HSM_DEMOTE_BYTES, &labels).sum(), 400);
+        assert_eq!(reg.histogram(names::HSM_RECALL_LATENCY_NS, &labels).count(), 1);
         // The compat view and the registry agree.
         assert_eq!(hsm.counters(), (4, 1));
         assert!(reg.events().iter().any(|e| e.name == "hsm_recall"));

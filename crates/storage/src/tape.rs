@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use lsdf_obs::{Counter, Histogram, Registry};
 use lsdf_sim::{Resource, SimDuration, SimRng, SimTime, Simulation, Tally};
+use lsdf_obs::names;
 
 /// Direction of a tape request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,14 +118,14 @@ struct TapeObs {
 impl TapeObs {
     fn new(registry: Arc<Registry>) -> Self {
         TapeObs {
-            mounts: registry.counter("tape_mounts_total", &[]),
-            stuck_mounts: registry.counter("tape_stuck_mounts_total", &[]),
-            recall_ops: registry.counter("tape_ops_total", &[("op", "recall")]),
-            archive_ops: registry.counter("tape_ops_total", &[("op", "archive")]),
+            mounts: registry.counter(names::TAPE_MOUNTS_TOTAL, &[]),
+            stuck_mounts: registry.counter(names::TAPE_STUCK_MOUNTS_TOTAL, &[]),
+            recall_ops: registry.counter(names::TAPE_OPS_TOTAL, &[("op", "recall")]),
+            archive_ops: registry.counter(names::TAPE_OPS_TOTAL, &[("op", "archive")]),
             recall_latency_ns: registry
-                .histogram("tape_op_latency_ns", &[("op", "recall")]),
+                .histogram(names::TAPE_OP_LATENCY_NS, &[("op", "recall")]),
             archive_latency_ns: registry
-                .histogram("tape_op_latency_ns", &[("op", "archive")]),
+                .histogram(names::TAPE_OP_LATENCY_NS, &[("op", "archive")]),
             registry,
         }
     }
@@ -425,12 +426,12 @@ mod tests {
         lib.submit(&mut sim, TapeOp::Recall, 10_000_000_000, |_, _| {});
         lib.submit(&mut sim, TapeOp::Archive, 0, |_, _| {});
         sim.run();
-        assert_eq!(reg.counter_value("tape_mounts_total", &[]), 2);
-        assert_eq!(reg.counter_value("tape_ops_total", &[("op", "recall")]), 1);
-        assert_eq!(reg.counter_value("tape_ops_total", &[("op", "archive")]), 1);
+        assert_eq!(reg.counter_value(names::TAPE_MOUNTS_TOTAL, &[]), 2);
+        assert_eq!(reg.counter_value(names::TAPE_OPS_TOTAL, &[("op", "recall")]), 1);
+        assert_eq!(reg.counter_value(names::TAPE_OPS_TOTAL, &[("op", "archive")]), 1);
         // Latency is recorded in virtual (sim) nanoseconds: the unloaded
         // recall takes exactly 200 simulated seconds.
-        let h = reg.histogram("tape_op_latency_ns", &[("op", "recall")]);
+        let h = reg.histogram(names::TAPE_OP_LATENCY_NS, &[("op", "recall")]);
         assert_eq!(h.count(), 1);
         assert_eq!(h.max(), SimDuration::from_secs(200).as_nanos());
         let mounts: Vec<_> = reg

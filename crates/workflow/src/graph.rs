@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 
 use crate::actor::{Actor, ActorError};
 use crate::token::Token;
+use lsdf_obs::names;
 
 /// Identifies an actor within a workflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -58,6 +59,9 @@ pub enum WorkflowError {
     },
     /// An actor firing failed.
     Actor(ActorError),
+    /// An internal scheduler invariant was violated (a bug, not a user
+    /// error) — surfaced instead of panicking.
+    Internal(&'static str),
     /// The run exceeded the firing budget (runaway workflow).
     FiringBudgetExceeded(u64),
 }
@@ -78,6 +82,7 @@ impl std::fmt::Display for WorkflowError {
                 if *input { "input" } else { "output" }
             ),
             WorkflowError::Actor(e) => write!(f, "{e}"),
+            WorkflowError::Internal(what) => write!(f, "internal invariant violated: {what}"),
             WorkflowError::FiringBudgetExceeded(n) => {
                 write!(f, "workflow exceeded {n} firings")
             }
@@ -122,10 +127,10 @@ struct WfObs {
 impl WfObs {
     fn new(registry: &Arc<Registry>) -> Self {
         WfObs {
-            firings: registry.counter("workflow_firings_total", &[]),
-            tokens: registry.counter("workflow_tokens_moved_total", &[]),
-            runs: registry.counter("workflow_runs_total", &[]),
-            run_latency: registry.histogram("workflow_run_latency_ns", &[]),
+            firings: registry.counter(names::WORKFLOW_FIRINGS_TOTAL, &[]),
+            tokens: registry.counter(names::WORKFLOW_TOKENS_MOVED_TOTAL, &[]),
+            runs: registry.counter(names::WORKFLOW_RUNS_TOTAL, &[]),
+            run_latency: registry.histogram(names::WORKFLOW_RUN_LATENCY_NS, &[]),
             registry: Arc::clone(registry),
         }
     }
@@ -284,16 +289,21 @@ impl Workflow {
     }
 
     /// Pops one token per input port for `actor`.
-    fn take_inputs(&mut self, a: usize) -> Vec<Token> {
-        let chs: Vec<usize> = self.in_ch[a].iter().map(|c| c.expect("validated")).collect();
-        chs.iter()
-            .map(|&c| {
+    fn take_inputs(&mut self, a: usize) -> Result<Vec<Token>, WorkflowError> {
+        let mut chs = Vec::with_capacity(self.in_ch[a].len());
+        for ch in &self.in_ch[a] {
+            chs.push(ch.ok_or(WorkflowError::Internal("fired actor has an unwired input port"))?);
+        }
+        let mut tokens = Vec::with_capacity(chs.len());
+        for c in chs {
+            tokens.push(
                 self.channels[c]
                     .queue
                     .pop_front()
-                    .expect("ready() guaranteed a token")
-            })
-            .collect()
+                    .ok_or(WorkflowError::Internal("ready() promised a token on every input"))?,
+            );
+        }
+        Ok(tokens)
     }
 
     /// Pushes a firing's outputs onto downstream channels. Returns tokens
@@ -339,7 +349,7 @@ impl Workflow {
                     let inputs = if self.in_ch[a].is_empty() {
                         Vec::new()
                     } else {
-                        self.take_inputs(a)
+                        self.take_inputs(a)?
                     };
                     let firing = self.actors[a].fire(&inputs)?;
                     if self.in_ch[a].is_empty() && !firing.more {
@@ -364,7 +374,7 @@ impl Workflow {
                         let inputs = if self.in_ch[a].is_empty() {
                             Vec::new()
                         } else {
-                            self.take_inputs(a)
+                            self.take_inputs(a)?
                         };
                         work.push((a, inputs));
                     }
@@ -392,7 +402,7 @@ impl Workflow {
                             });
                         }
                     })
-                    .expect("actor thread panicked");
+                    .map_err(|_| WorkflowError::Internal("actor thread panicked"))?;
                     let mut results = results.into_inner();
                     results.sort_by_key(|(i, _)| *i);
                     for (a, r) in results {
@@ -504,13 +514,13 @@ mod tests {
         let out = wf.add(Collect::new("sink", sink));
         wf.connect(src, 0, out, 0).unwrap();
         let stats = wf.run(Director::Sequential).unwrap();
-        assert_eq!(reg.counter_value("workflow_firings_total", &[]), stats.firings);
+        assert_eq!(reg.counter_value(names::WORKFLOW_FIRINGS_TOTAL, &[]), stats.firings);
         assert_eq!(
-            reg.counter_value("workflow_tokens_moved_total", &[]),
+            reg.counter_value(names::WORKFLOW_TOKENS_MOVED_TOTAL, &[]),
             stats.tokens_moved
         );
-        assert_eq!(reg.counter_value("workflow_runs_total", &[]), 1);
-        assert_eq!(reg.histogram("workflow_run_latency_ns", &[]).count(), 1);
+        assert_eq!(reg.counter_value(names::WORKFLOW_RUNS_TOTAL, &[]), 1);
+        assert_eq!(reg.histogram(names::WORKFLOW_RUN_LATENCY_NS, &[]).count(), 1);
     }
 
     #[test]

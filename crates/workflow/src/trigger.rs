@@ -19,6 +19,7 @@ use lsdf_metadata::{DatasetId, Document, MetadataEvent, ProjectStore, Value};
 
 use crate::graph::{Director, Workflow, WorkflowError};
 use crate::token::Token;
+use lsdf_obs::names;
 
 /// What a rule's workflow produced for one dataset.
 #[derive(Debug, Clone)]
@@ -140,7 +141,7 @@ impl TriggerEngine {
             let mut wf = (rule.build)(run.dataset, sink.clone());
             if let Some(reg) = &self.registry {
                 wf = wf.with_registry(reg);
-                reg.counter("workflow_trigger_runs_total", &[("step", &rule.step)])
+                reg.counter(names::WORKFLOW_TRIGGER_RUNS_TOTAL, &[("step", &rule.step)])
                     .inc();
             }
             wf.run(self.director)?;
@@ -330,10 +331,10 @@ mod tests {
         s.tag(DatasetId(3), "needs-segmentation").unwrap();
         engine.run_pending().unwrap();
         assert_eq!(
-            reg.counter_value("workflow_trigger_runs_total", &[("step", "segmentation")]),
+            reg.counter_value(names::WORKFLOW_TRIGGER_RUNS_TOTAL, &[("step", "segmentation")]),
             1
         );
-        assert!(reg.counter_value("workflow_firings_total", &[]) >= 3);
+        assert!(reg.counter_value(names::WORKFLOW_FIRINGS_TOTAL, &[]) >= 3);
     }
 
     #[test]

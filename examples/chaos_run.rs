@@ -8,6 +8,8 @@
 //! The same seed always produces the same faults, the same retries and
 //! the same report — paste a failing seed into a test and it replays.
 
+
+#![allow(clippy::print_stdout)] // binaries report to stdout by design
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -19,6 +21,7 @@ use lsdf_chaos::{FaultPlan, FaultyBackend};
 use lsdf_obs::Registry;
 use lsdf_sim::SimRng;
 use lsdf_storage::ObjectStore;
+use lsdf_obs::names;
 
 const MS: u64 = 1_000_000;
 
@@ -106,7 +109,7 @@ fn main() {
     println!("  failover reads     : {}", h.failover_reads);
     println!(
         "  injected faults    : {}",
-        reg.counter_total("chaos_injected_total")
+        reg.counter_total(names::CHAOS_INJECTED_TOTAL)
     );
     assert_eq!(h.journal_depth, 0, "journal must drain after recovery");
     // Zero data loss: every acked put is still readable.

@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --release -p lsdf-examples --bin facility_day`
 
+
+#![allow(clippy::print_stdout)] // binaries report to stdout by design
 use lsdf_core::planner::{lsdf_2011_communities, project_growth};
 use lsdf_core::{
     AutoTagRule, BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy, PolicyEngine,

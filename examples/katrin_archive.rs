@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --release -p lsdf-examples --bin katrin_archive`
 
+
+#![allow(clippy::print_stdout)] // binaries report to stdout by design
 use std::cell::RefCell;
 use std::rc::Rc;
 

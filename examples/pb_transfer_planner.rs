@@ -6,6 +6,8 @@
 //!
 //! Run with: `cargo run --release -p lsdf-examples --bin pb_transfer_planner`
 
+
+#![allow(clippy::print_stdout)] // binaries report to stdout by design
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -74,7 +76,7 @@ fn main() {
 
     // --- Cross-check with the flow-level facility simulation -----------
     println!("\n== flow-level simulation cross-check ==");
-    let net = lsdf::build(2);
+    let net = lsdf::build(2).expect("lsdf net builds");
     let sim_net = NetSim::with_efficiency(net.topology.clone(), 0.62);
     let mut sim = Simulation::new();
     let done: Rc<RefCell<Option<f64>>> = Rc::new(RefCell::new(None));

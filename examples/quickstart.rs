@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run -p lsdf-examples --bin quickstart`
 
+
+#![allow(clippy::print_stdout)] // binaries report to stdout by design
 use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy};
 use lsdf_metadata::query::{eq, has_tag};
 use lsdf_metadata::zebrafish_schema;

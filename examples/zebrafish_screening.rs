@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --release -p lsdf-examples --bin zebrafish_screening`
 
+
+#![allow(clippy::print_stdout)] // binaries report to stdout by design
 use std::time::Instant;
 
 use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy};
@@ -31,7 +33,7 @@ fn main() {
 
     // --- Acquisition + ingest ---------------------------------------
     let mut microscope = HtmGenerator::new(2026, EDGE);
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // lint: allow(determinism) -- demo prints real wall-clock runtime; results are seeded
     let mut items = Vec::new();
     for _ in 0..FISH {
         for (acq, img) in microscope.next_fish() {
@@ -44,7 +46,7 @@ fn main() {
         }
     }
     let gen_time = t0.elapsed();
-    let t1 = Instant::now();
+    let t1 = Instant::now(); // lint: allow(determinism) -- demo prints real wall-clock runtime; results are seeded
     let report = facility.ingest_batch(&admin, items, IngestPolicy::default());
     let ingest_time = t1.elapsed();
     println!(
@@ -101,7 +103,7 @@ fn main() {
     let browser = DataBrowser::new(&facility, admin.clone());
 
     // The screening protocol segments the in-focus 488 nm channel.
-    let t2 = Instant::now();
+    let t2 = Instant::now(); // lint: allow(determinism) -- demo prints real wall-clock runtime; results are seeded
     let selected = browser
         .tag_matching(
             "zebrafish-htm",

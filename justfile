@@ -1,10 +1,11 @@
 # Workspace task runner. `just check` is the gate a PR must pass.
 
-# Build, test, and lint the whole workspace.
+# Build, test, lint (clippy + lsdf-lint) the whole workspace.
 check:
     cargo build --release
     cargo test -q
     cargo clippy --workspace --all-targets -- -D warnings
+    cargo run --release -p lsdf-lint
 
 # Fast compile-only feedback.
 build:
@@ -17,6 +18,16 @@ test:
 # Lint with warnings promoted to errors.
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Facility-invariant static analysis (determinism, metric names,
+# panic-freedom ratchet, lock discipline).
+lint:
+    cargo run --release -p lsdf-lint
+
+# Regenerate lint-baseline.json from the current no_panic debt (the
+# ratchet refuses to record a larger count than the file already holds).
+lint-baseline:
+    cargo run --release -p lsdf-lint -- --write-baseline
 
 # Seeded chaos: the 10k-op fault-injection soak plus the demo run.
 chaos:

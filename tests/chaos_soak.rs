@@ -28,6 +28,7 @@ use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig, DfsNodeId};
 use lsdf_obs::Registry;
 use lsdf_sim::SimRng;
 use lsdf_storage::{sha256, Hsm, MigrationPolicy, ObjectStore};
+use lsdf_obs::names;
 
 const PROJECTS: [&str; 3] = ["disk", "dfs", "hsm"];
 const OPS: u64 = 10_000;
@@ -240,39 +241,39 @@ fn run_soak(seed: u64) -> String {
     for p in PROJECTS {
         let l = [("project", p)];
         assert_eq!(
-            reg.counter_value("adal_transient_observed_total", &l),
-            reg.counter_value("adal_retries_total", &l)
-                + reg.counter_value("adal_retry_exhausted_total", &l),
+            reg.counter_value(names::ADAL_TRANSIENT_OBSERVED_TOTAL, &l),
+            reg.counter_value(names::ADAL_RETRIES_TOTAL, &l)
+                + reg.counter_value(names::ADAL_RETRY_EXHAUSTED_TOTAL, &l),
             "retry identity broken for {p}"
         );
         for to in ["open", "half_open", "closed"] {
             assert!(
                 reg.counter_value(
-                    "adal_breaker_transitions_total",
+                    names::ADAL_BREAKER_TRANSITIONS_TOTAL,
                     &[("project", p), ("to", to)]
                 ) >= 1,
                 "breaker for {p} never went {to}"
             );
         }
-        assert_eq!(reg.gauge_value("adal_journal_depth", &l), 0);
-        assert_eq!(reg.gauge_value("adal_journal_bytes", &l), 0);
+        assert_eq!(reg.gauge_value(names::ADAL_JOURNAL_DEPTH, &l), 0);
+        assert_eq!(reg.gauge_value(names::ADAL_JOURNAL_BYTES, &l), 0);
         let h = adal.health(p).unwrap();
         assert_eq!(h.journal_depth, 0);
         // Every injected fault kind actually fired on this backend.
         for fault in ["transient", "torn_write", "outage", "latency_spike"] {
             assert!(
-                reg.counter_value("chaos_injected_total", &[("backend", p), ("fault", fault)])
+                reg.counter_value(names::CHAOS_INJECTED_TOTAL, &[("backend", p), ("fault", fault)])
                     >= 1,
                 "no {fault} injected into {p}"
             );
         }
     }
     // Degradation paths were actually exercised facility-wide.
-    assert!(reg.counter_total("adal_failover_reads_total") >= 1);
-    assert!(reg.counter_total("adal_journal_enqueued_total") >= 1);
-    assert!(reg.counter_total("adal_journal_drained_total") >= 1);
-    assert!(reg.counter_total("adal_write_verify_failures_total") >= 1);
-    assert!(reg.counter_value("dfs_flaky_failures_total", &[]) >= 1);
+    assert!(reg.counter_total(names::ADAL_FAILOVER_READS_TOTAL) >= 1);
+    assert!(reg.counter_total(names::ADAL_JOURNAL_ENQUEUED_TOTAL) >= 1);
+    assert!(reg.counter_total(names::ADAL_JOURNAL_DRAINED_TOTAL) >= 1);
+    assert!(reg.counter_total(names::ADAL_WRITE_VERIFY_FAILURES_TOTAL) >= 1);
+    assert!(reg.counter_value(names::DFS_FLAKY_FAILURES_TOTAL, &[]) >= 1);
 
     reg.to_json()
 }

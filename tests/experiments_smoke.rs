@@ -63,7 +63,7 @@ fn e2_facility_capacity_and_throughput() {
         ArrayModel::lsdf_ibm().capacity_bytes + ArrayModel::lsdf_ddn().capacity_bytes,
         1_900 * TB
     );
-    let net = lsdf_net_topo::build(2);
+    let net = lsdf_net_topo::build(2).expect("lsdf net builds");
     let sim_net = NetSim::new(net.topology.clone());
     let mut sim = Simulation::new();
     let done = Rc::new(RefCell::new(0u32));

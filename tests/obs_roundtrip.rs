@@ -10,6 +10,7 @@ use lsdf_core::prelude::*;
 use lsdf_dfs::{ClusterTopology, DfsConfig};
 use lsdf_metadata::zebrafish_schema;
 use lsdf_workloads::microscopy::HtmGenerator;
+use lsdf_obs::names;
 
 fn facility(reg: Arc<Registry>) -> Facility {
     Facility::builder()
@@ -138,40 +139,40 @@ fn registry_reconciles_with_every_compat_view() {
     assert_eq!(counters.puts, ingested);
     assert_eq!(counters.gets, gets);
     assert_eq!(
-        reg.counter_value("adal_ops_total", &[("op", "put")]),
+        reg.counter_value(names::ADAL_OPS_TOTAL, &[("op", "put")]),
         counters.puts
     );
     assert_eq!(
-        reg.counter_value("adal_ops_total", &[("op", "get")]),
+        reg.counter_value(names::ADAL_OPS_TOTAL, &[("op", "get")]),
         counters.gets
     );
-    assert_eq!(reg.counter_value("adal_denied_total", &[]), counters.denied);
+    assert_eq!(reg.counter_value(names::ADAL_DENIED_TOTAL, &[]), counters.denied);
 
     // Ingest outcome counters sum to the items pushed.
-    assert_eq!(reg.counter_total("facility_ingest_total"), ingested);
+    assert_eq!(reg.counter_total(names::FACILITY_INGEST_TOTAL), ingested);
 
     // HSM tier transitions match the compat view.
     let (demotions, recalls) = f.hsm("climate").expect("hsm").counters();
     assert!(demotions > 0, "watermarks force demotions");
     assert!(recalls > 0, "reads force recalls");
     assert_eq!(
-        reg.counter_value("hsm_demotions_total", &[("store", "climate-disk")]),
+        reg.counter_value(names::HSM_DEMOTIONS_TOTAL, &[("store", "climate-disk")]),
         demotions
     );
     assert_eq!(
-        reg.counter_value("hsm_recalls_total", &[("store", "climate-disk")]),
+        reg.counter_value(names::HSM_RECALLS_TOTAL, &[("store", "climate-disk")]),
         recalls
     );
 
     // DFS saw the genomics file, locality counters included.
     let stats = f.dfs().locality_stats();
     assert_eq!(
-        reg.counter_total("dfs_block_reads_total"),
+        reg.counter_total(names::DFS_BLOCK_READS_TOTAL),
         stats.node_local + stats.rack_local + stats.remote
     );
 
     // Latency histograms populated with sane quantiles.
-    let put_lat = reg.histogram("adal_op_latency_ns", &[("op", "put")]);
+    let put_lat = reg.histogram(names::ADAL_OP_LATENCY_NS, &[("op", "put")]);
     assert_eq!(put_lat.count(), ingested);
     assert!(put_lat.quantile(0.50) <= put_lat.quantile(0.95));
     assert!(put_lat.quantile(0.95) <= put_lat.quantile(0.99));
