@@ -33,8 +33,9 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
 use lsdf_obs::{Counter, Gauge, Histogram, Registry};
+use lsdf_pool::WorkerPool;
 use lsdf_sim::SimRng;
-use lsdf_storage::sha256;
+use lsdf_storage::{sha256, Digest};
 
 use crate::auth::{Access, Acl, AuthError, AuthProvider, Credential, TokenAuth};
 use crate::backend::{BackendError, EntryMeta, StorageBackend};
@@ -284,8 +285,10 @@ impl ResilientState {
         }
     }
 
-    /// One put attempt with optional read-back verification. A digest
-    /// mismatch (torn write) removes the bad copy and reports
+    /// One put attempt with optional read-back verification. The
+    /// payload's expected digest is computed once by the caller and
+    /// reused across retries — only the read-back is hashed here. A
+    /// digest mismatch (torn write) removes the bad copy and reports
     /// [`BackendError::Integrity`] so the retry loop redoes the
     /// transfer.
     fn put_verified(
@@ -293,13 +296,14 @@ impl ResilientState {
         backend: &Arc<dyn StorageBackend>,
         key: &str,
         data: &Bytes,
+        digest: &Digest,
     ) -> Result<(), BackendError> {
         backend.put(key, data.clone())?;
         if !self.verify_writes {
             return Ok(());
         }
         match backend.get(key) {
-            Ok(back) if sha256(&back) == sha256(data) => Ok(()),
+            Ok(back) if sha256(&back) == *digest => Ok(()),
             Ok(_) => {
                 self.metrics.verify_failures.inc();
                 let _ = backend.delete(key);
@@ -346,6 +350,7 @@ pub struct Adal {
     mounts: RwLock<HashMap<String, Mount>>,
     obs: Arc<Registry>,
     ops: OpMetrics,
+    pool: WorkerPool,
 }
 
 impl Adal {
@@ -357,11 +362,25 @@ impl Adal {
         Self::with_registry(auth, acl, Arc::new(Registry::new()))
     }
 
-    /// Creates an ADAL recording into `registry`.
+    /// Creates an ADAL recording into `registry`, with the serial
+    /// (single-worker) pool; use [`Adal::builder`] to enable parallel
+    /// replica fan-out.
     pub fn with_registry(
         auth: Arc<dyn AuthProvider>,
         acl: Arc<Acl>,
         registry: Arc<Registry>,
+    ) -> Self {
+        Self::with_pool(auth, acl, registry, WorkerPool::serial())
+    }
+
+    /// Creates an ADAL recording into `registry` whose resilient writes
+    /// fan primary and replica puts out over `pool`. Results are
+    /// identical for every worker count; only wall-clock time changes.
+    pub fn with_pool(
+        auth: Arc<dyn AuthProvider>,
+        acl: Arc<Acl>,
+        registry: Arc<Registry>,
+        pool: WorkerPool,
     ) -> Self {
         let ops = OpMetrics::new(&registry);
         Adal {
@@ -370,6 +389,7 @@ impl Adal {
             mounts: RwLock::new(HashMap::new()),
             obs: registry,
             ops,
+            pool,
         }
     }
 
@@ -381,6 +401,11 @@ impl Adal {
     /// The obs registry this layer records into.
     pub fn obs(&self) -> &Arc<Registry> {
         &self.obs
+    }
+
+    /// The worker pool used for resilient replica fan-out.
+    pub fn pool(&self) -> WorkerPool {
+        self.pool
     }
 
     /// Mounts a backend under a project name. Remounting replaces the
@@ -606,9 +631,52 @@ impl Adal {
         if !st.acquire(&self.obs, project) {
             return self.journal_put(st, project, key, data);
         }
-        match st.with_retries(&self.obs, project, || st.put_verified(backend, key, &data)) {
+        // Hash once per payload; retries and verification reuse the
+        // digest (it is only consulted when verify_writes is on).
+        let digest = if st.verify_writes {
+            sha256(&data)
+        } else {
+            Digest([0; 32])
+        };
+        let primary = match (&st.replica, self.pool.is_parallel()) {
+            // Parallel fan-out: the replica copy streams concurrently
+            // with the primary's verified write.
+            (Some(rep), true) => {
+                let (primary, replica) = self.pool.join(
+                    || {
+                        st.with_retries(&self.obs, project, || {
+                            st.put_verified(backend, key, &data, &digest)
+                        })
+                    },
+                    || rep.put(key, data.clone()),
+                );
+                match (&primary, replica) {
+                    // Same best-effort accounting as the serial
+                    // replicate() path.
+                    (Ok(()), Err(_)) => st.metrics.replica_write_failures.inc(),
+                    // The primary write failed: withdraw the speculative
+                    // replica copy so failover reads and the journal's
+                    // replica-side write-once check cannot observe an
+                    // unacknowledged write.
+                    (Err(_), Ok(())) => {
+                        let _ = rep.delete(key);
+                    }
+                    _ => {}
+                }
+                primary
+            }
+            _ => {
+                let out = st.with_retries(&self.obs, project, || {
+                    st.put_verified(backend, key, &data, &digest)
+                });
+                if out.is_ok() {
+                    st.replicate(key, &data);
+                }
+                out
+            }
+        };
+        match primary {
             Ok(()) => {
-                st.replicate(key, &data);
                 self.drain_step(st, backend, project);
                 Ok(())
             }
@@ -793,8 +861,12 @@ impl Adal {
                 break;
             }
             let Some((key, data)) = st.journal.pop() else { break };
-            match st.with_retries(&self.obs, project, || st.put_verified(backend, &key, &data))
-            {
+            // One hash per journal entry, shared by the landing attempt,
+            // the conflict comparison, and the repair re-put.
+            let digest = sha256(&data);
+            match st.with_retries(&self.obs, project, || {
+                st.put_verified(backend, &key, &data, &digest)
+            }) {
                 Ok(()) => {
                     drained += 1;
                     st.metrics.journal_drained.inc();
@@ -809,7 +881,7 @@ impl Adal {
                     // primary (covers torn residue left by a failed
                     // verify cleanup).
                     match backend.get(&key) {
-                        Ok(existing) if sha256(&existing) == sha256(&data) => {
+                        Ok(existing) if sha256(&existing) == digest => {
                             drained += 1;
                             st.metrics.journal_drained.inc();
                         }
@@ -821,7 +893,7 @@ impl Adal {
                             );
                             let _ = backend.delete(&key);
                             match st.with_retries(&self.obs, project, || {
-                                st.put_verified(backend, &key, &data)
+                                st.put_verified(backend, &key, &data, &digest)
                             }) {
                                 Ok(()) => {
                                     drained += 1;
@@ -945,6 +1017,7 @@ pub struct AdalBuilder {
     acl: Option<Arc<Acl>>,
     mounts: Vec<(String, Arc<dyn StorageBackend>)>,
     registry: Option<Arc<Registry>>,
+    workers: Option<usize>,
 }
 
 impl AdalBuilder {
@@ -978,6 +1051,14 @@ impl AdalBuilder {
         self
     }
 
+    /// Sets the worker-pool width for resilient replica fan-out.
+    /// Defaults to the `LSDF_WORKERS` environment variable (unset =
+    /// serial). Results are identical for every worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
     /// Builds the layer and applies the mounts.
     pub fn build(self) -> Adal {
         let auth = self
@@ -985,7 +1066,11 @@ impl AdalBuilder {
             .unwrap_or_else(|| Arc::new(TokenAuth::new()) as Arc<dyn AuthProvider>);
         let acl = self.acl.unwrap_or_else(|| Arc::new(Acl::new()));
         let registry = self.registry.unwrap_or_default();
-        let adal = Adal::with_registry(auth, acl, registry);
+        let pool = self
+            .workers
+            .map(WorkerPool::new)
+            .unwrap_or_else(WorkerPool::from_env);
+        let adal = Adal::with_pool(auth, acl, registry, pool);
         for (project, backend) in self.mounts {
             adal.mount(&project, backend);
         }

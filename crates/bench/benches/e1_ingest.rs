@@ -14,39 +14,44 @@ fn bench_ingest(c: &mut Criterion) {
         let fish: Vec<_> = gen.next_fish();
         let bytes: u64 = fish.iter().map(|(_, img)| img.encode().len() as u64).sum();
         group.throughput(Throughput::Bytes(bytes));
-        group.bench_with_input(
-            BenchmarkId::new("one_fish_24_images", edge),
-            &fish,
-            |b, fish| {
-                b.iter_batched(
-                    || {
-                        let f = Facility::builder()
-                            .project(
-                                zebrafish_schema(),
-                                BackendChoice::ObjectStore { capacity: u64::MAX },
-                            )
-                            .build()
-                            .expect("facility");
-                        let items: Vec<IngestItem> = fish
-                            .iter()
-                            .map(|(acq, img)| IngestItem {
-                                project: "zebrafish-htm".into(),
-                                key: acq.key(),
-                                data: img.encode(),
-                                metadata: Some(acq.document()),
-                            })
-                            .collect();
-                        (f, items)
-                    },
-                    |(f, items)| {
-                        let admin = f.admin().clone();
-                        let report = f.ingest_batch(&admin, items, IngestPolicy::default());
-                        assert_eq!(report.registered, 24);
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            },
-        );
+        // workers = 1 is the serial pipeline; workers = 4 exercises the
+        // pooled fan-out (identical results, different wall clock).
+        for &workers in &[1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("one_fish_24_images_w{workers}"), edge),
+                &fish,
+                |b, fish| {
+                    b.iter_batched(
+                        || {
+                            let f = Facility::builder()
+                                .project(
+                                    zebrafish_schema(),
+                                    BackendChoice::ObjectStore { capacity: u64::MAX },
+                                )
+                                .workers(workers)
+                                .build()
+                                .expect("facility");
+                            let items: Vec<IngestItem> = fish
+                                .iter()
+                                .map(|(acq, img)| IngestItem {
+                                    project: "zebrafish-htm".into(),
+                                    key: acq.key(),
+                                    data: img.encode(),
+                                    metadata: Some(acq.document()),
+                                })
+                                .collect();
+                            (f, items)
+                        },
+                        |(f, items)| {
+                            let admin = f.admin().clone();
+                            let report = f.ingest_batch(&admin, items, IngestPolicy::default());
+                            assert_eq!(report.registered, 24);
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
     }
     group.finish();
 }

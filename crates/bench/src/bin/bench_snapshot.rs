@@ -1,0 +1,262 @@
+//! `bench_snapshot` — machine-readable throughput baselines.
+//!
+//! Emits `BENCH_E1.json` (parallel ingest pipeline: ops/s, bytes/s,
+//! latency p50/p99 from the obs registry, per worker count) and
+//! `BENCH_E3.json` (PB transfer flow: simulated days, effective rate,
+//! ADAL op latency quantiles) at the workspace root. The committed
+//! copies are the regression baseline; CI runs `--check`, which
+//! re-measures quick-mode E1 and fails when throughput falls below
+//! half the committed figure.
+//!
+//! Usage:
+//!   bench_snapshot [--quick|--full]   write both snapshot files
+//!   bench_snapshot --check            compare against committed E1
+//!
+//! Wall-clock numbers are machine-dependent by nature; every snapshot
+//! embeds `cores` (detected parallelism) so readers can judge how much
+//! pool speedup the host could physically express. On a single-core
+//! host workers > 1 cannot beat serial — the interesting regression
+//! signal is the serial ops/s and the absence of parallel *slowdown*
+//! beyond lock overhead.
+
+#![allow(clippy::print_stdout)] // binaries report to stdout by design
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use bytes::Bytes;
+
+use lsdf_adal::Credential;
+use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy};
+use lsdf_metadata::zebrafish_schema;
+use lsdf_net::units::{PB, TEN_GBIT};
+use lsdf_net::{lsdf, NetSim, TransferModel};
+use lsdf_obs::names;
+use lsdf_sim::Simulation;
+use lsdf_workloads::microscopy::HtmGenerator;
+
+const E1_WORKER_COUNTS: [usize; 2] = [1, 4];
+
+fn workspace_root() -> PathBuf {
+    // crates/bench -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn detected_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+struct E1Run {
+    workers: usize,
+    ops_per_s: f64,
+    bytes_per_s: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+fn e1_items(n_fish: usize, edge: u32) -> Vec<IngestItem> {
+    let mut gen = HtmGenerator::new(1, edge);
+    let mut items = Vec::new();
+    for _ in 0..n_fish {
+        for (acq, img) in gen.next_fish() {
+            items.push(IngestItem {
+                project: "zebrafish-htm".into(),
+                key: acq.key(),
+                data: img.encode(),
+                metadata: Some(acq.document()),
+            });
+        }
+    }
+    items
+}
+
+fn e1_run(workers: usize, n_fish: usize, edge: u32) -> E1Run {
+    let f = Facility::builder()
+        .project(
+            zebrafish_schema(),
+            BackendChoice::ObjectStore { capacity: u64::MAX },
+        )
+        .workers(workers)
+        .build()
+        .expect("facility assembles");
+    let admin = f.admin().clone();
+    let items = e1_items(n_fish, edge);
+    let n = items.len() as f64;
+    let total_bytes: u64 = items.iter().map(|i| i.data.len() as u64).sum();
+    let t = Instant::now();
+    let report = f.ingest_batch(&admin, items, IngestPolicy::default());
+    let wall = t.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(report.registered as f64, n, "bench batch must fully register");
+    let lat = f.obs().histogram(names::FACILITY_INGEST_LATENCY_NS, &[]);
+    E1Run {
+        workers,
+        ops_per_s: n / wall,
+        bytes_per_s: total_bytes as f64 / wall,
+        p50_ns: lat.quantile(0.50),
+        p99_ns: lat.quantile(0.99),
+    }
+}
+
+fn e1_json(mode: &str, runs: &[E1Run]) -> String {
+    let serial = runs
+        .iter()
+        .find(|r| r.workers == 1)
+        .expect("serial run present");
+    let four = runs.iter().find(|r| r.workers == 4);
+    let speedup = four.map(|r| r.ops_per_s / serial.ops_per_s.max(1e-9));
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"E1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"cores\": {},\n", detected_cores()));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"ops_per_s\": {:.1}, \"bytes_per_s\": {:.1}, \
+             \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+            r.workers,
+            r.ops_per_s,
+            r.bytes_per_s,
+            r.p50_ns,
+            r.p99_ns,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup_4w\": {}\n",
+        speedup.map_or("null".to_string(), |s| format!("{s:.3}"))
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn e3_json(mode: &str) -> String {
+    // Flow-level simulation of one petabyte Karlsruhe -> Heidelberg at
+    // the paper's measured 62 % link efficiency.
+    let net = lsdf::build(1).expect("lsdf net builds");
+    let sim_net = NetSim::with_efficiency(net.topology.clone(), 0.62);
+    let mut sim = Simulation::new();
+    sim_net
+        .start_flow(&mut sim, net.storage_ibm, net.heidelberg, PB, |_, _| {})
+        .expect("route");
+    let end = sim.run();
+    let sim_days = end.as_nanos() as f64 / 1e9 / 86_400.0;
+    let analytic_days = TransferModel::with_efficiency(TEN_GBIT, 0.62).days_for_bytes(PB);
+
+    // ADAL op latency under a small wall-clocked put/get burst.
+    let ops = if mode == "full" { 2_000u64 } else { 400 };
+    let f = Facility::builder()
+        .project(
+            zebrafish_schema(),
+            BackendChoice::ObjectStore { capacity: u64::MAX },
+        )
+        .build()
+        .expect("facility assembles");
+    let admin: Credential = f.admin().clone();
+    let payload = Bytes::from(vec![0xA5u8; 4096]);
+    let t = Instant::now();
+    for i in 0..ops {
+        let path = format!("lsdf://zebrafish-htm/e3/{i:06}");
+        f.adal()
+            .put(&admin, &path, payload.clone())
+            .expect("bench put");
+        let _ = f.adal().get(&admin, &path).expect("bench get");
+    }
+    let wall = t.elapsed().as_secs_f64().max(1e-9);
+    let put_lat = f.obs().histogram(names::ADAL_OP_LATENCY_NS, &[("op", "put")]);
+    let get_lat = f.obs().histogram(names::ADAL_OP_LATENCY_NS, &[("op", "get")]);
+    format!(
+        "{{\n  \"experiment\": \"E3\",\n  \"mode\": \"{mode}\",\n  \"cores\": {},\n  \
+         \"pb_flow_sim_days\": {sim_days:.3},\n  \"pb_flow_analytic_days\": {analytic_days:.3},\n  \
+         \"adal_ops\": {},\n  \"adal_ops_per_s\": {:.1},\n  \
+         \"adal_put_p50_ns\": {},\n  \"adal_put_p99_ns\": {},\n  \
+         \"adal_get_p50_ns\": {},\n  \"adal_get_p99_ns\": {}\n}}\n",
+        detected_cores(),
+        ops * 2,
+        (ops * 2) as f64 / wall,
+        put_lat.quantile(0.50),
+        put_lat.quantile(0.99),
+        get_lat.quantile(0.50),
+        get_lat.quantile(0.99),
+    )
+}
+
+/// Pulls every `"ops_per_s": <num>` value out of a snapshot JSON. The
+/// workspace has no JSON dependency; the format above is ours, so a
+/// field-anchored scan is exact.
+fn parse_ops_per_s(json: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    let needle = "\"ops_per_s\": ";
+    let mut rest = json;
+    while let Some(at) = rest.find(needle) {
+        rest = &rest[at + needle.len()..];
+        let end = rest
+            .find(|c: char| c != '.' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn check_against_baseline(root: &Path) -> Result<(), String> {
+    let path = root.join("BENCH_E1.json");
+    let baseline = std::fs::read_to_string(&path)
+        .map_err(|e| format!("no committed baseline at {}: {e}", path.display()))?;
+    let base_ops = parse_ops_per_s(&baseline);
+    let base_serial = *base_ops
+        .first()
+        .ok_or("baseline has no ops_per_s entries")?;
+    let current = e1_run(1, 10, 64);
+    println!(
+        "bench-smoke: serial ingest {:.1} ops/s vs committed {:.1} ops/s",
+        current.ops_per_s, base_serial
+    );
+    if current.ops_per_s < base_serial / 2.0 {
+        return Err(format!(
+            "ingest throughput regressed more than 2x: {:.1} ops/s < {:.1}/2 ops/s",
+            current.ops_per_s, base_serial
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    if args.iter().any(|a| a == "--check") {
+        if let Err(msg) = check_against_baseline(&root) {
+            eprintln!("bench-smoke FAILED: {msg}");
+            std::process::exit(1);
+        }
+        println!("bench-smoke OK");
+        return;
+    }
+    let full = args.iter().any(|a| a == "--full");
+    let mode = if full { "full" } else { "quick" };
+    let (n_fish, edge) = if full { (60, 256) } else { (10, 64) };
+
+    let runs: Vec<E1Run> = E1_WORKER_COUNTS
+        .iter()
+        .map(|&w| e1_run(w, n_fish, edge))
+        .collect();
+    let e1 = e1_json(mode, &runs);
+    let e1_path = root.join("BENCH_E1.json");
+    std::fs::write(&e1_path, &e1).expect("writing BENCH_E1.json");
+    println!("wrote {}", e1_path.display());
+    print!("{e1}");
+
+    let e3 = e3_json(mode);
+    let e3_path = root.join("BENCH_E3.json");
+    std::fs::write(&e3_path, &e3).expect("writing BENCH_E3.json");
+    println!("wrote {}", e3_path.display());
+    print!("{e3}");
+}

@@ -267,6 +267,14 @@ mod tests {
     }
 
     #[test]
+    fn faulty_backend_is_send_sync() {
+        // The worker pool fans ADAL puts across threads; a chaos-wrapped
+        // backend must stay shareable or pooled soaks cannot compile.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FaultyBackend>();
+    }
+
+    #[test]
     fn latency_spikes_recorded_without_failing() {
         let reg = Registry::new();
         let plan = FaultPlan::quiet(2).latency_spikes(1.0, 7_000);

@@ -11,9 +11,11 @@ use lsdf_adal::{
 use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
 use lsdf_metadata::{ProjectStore, Schema};
 use lsdf_obs::Registry;
+use lsdf_pool::WorkerPool;
 use lsdf_storage::{Hsm, MigrationPolicy, ObjectStore};
 
 use crate::error::FacilityError;
+use crate::ingest::IngestObs;
 
 /// Which storage component backs a project's data.
 #[derive(Debug, Clone)]
@@ -53,6 +55,7 @@ pub struct FacilityBuilder {
     dfs_config: DfsConfig,
     admin_token: String,
     registry: Option<Arc<Registry>>,
+    workers: Option<usize>,
 }
 
 impl FacilityBuilder {
@@ -65,7 +68,18 @@ impl FacilityBuilder {
             dfs_config: DfsConfig::default(),
             admin_token: "admin-token".to_string(),
             registry: None,
+            workers: None,
         }
+    }
+
+    /// Sets the worker-pool width for the parallel data path (batch
+    /// ingest fan-out and ADAL replica writes). Defaults to the
+    /// `LSDF_WORKERS` environment variable; unset means serial. Results
+    /// are bit-identical for every worker count — only wall-clock time
+    /// changes.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
     }
 
     /// Supplies an external metrics registry. Every subsystem the builder
@@ -122,6 +136,10 @@ impl FacilityBuilder {
     /// Assembles the facility.
     pub fn build(self) -> Result<Facility, FacilityError> {
         let obs = self.registry.unwrap_or_else(|| Arc::new(Registry::new()));
+        let pool = self
+            .workers
+            .map(WorkerPool::new)
+            .unwrap_or_else(WorkerPool::from_env);
         let auth = Arc::new(TokenAuth::new());
         auth.register(&self.admin_token, "admin");
         let acl = Arc::new(Acl::new());
@@ -130,6 +148,7 @@ impl FacilityBuilder {
                 .auth(auth.clone())
                 .acl(acl.clone())
                 .registry(obs.clone())
+                .workers(pool.workers())
                 .build(),
         );
         let dfs = Arc::new(Dfs::with_registry(
@@ -165,6 +184,9 @@ impl FacilityBuilder {
             acl.grant("admin", &project, true);
             stores.insert(project, Arc::new(ProjectStore::new(spec.schema)));
         }
+        // Resolve every ingest metric handle once, so the steady-state
+        // ingest hot path never touches the registry maps.
+        let ingest_obs = IngestObs::new(&obs, stores.keys());
         Ok(Facility {
             adal,
             auth,
@@ -174,6 +196,8 @@ impl FacilityBuilder {
             hsms,
             admin: Credential::Token(self.admin_token),
             obs,
+            pool,
+            ingest_obs,
         })
     }
 }
@@ -233,6 +257,8 @@ pub struct Facility {
     hsms: HashMap<String, Arc<Hsm>>,
     admin: Credential,
     obs: Arc<Registry>,
+    pool: WorkerPool,
+    ingest_obs: IngestObs,
 }
 
 impl Facility {
@@ -256,6 +282,16 @@ impl Facility {
     /// The shared analysis cluster's DFS.
     pub fn dfs(&self) -> &Arc<Dfs> {
         &self.dfs
+    }
+
+    /// The worker pool driving the parallel data path.
+    pub fn pool(&self) -> WorkerPool {
+        self.pool
+    }
+
+    /// Cached ingest metric handles (resolved once at build time).
+    pub(crate) fn ingest_obs(&self) -> &IngestObs {
+        &self.ingest_obs
     }
 
     /// A project's metadata store.

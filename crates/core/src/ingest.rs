@@ -7,15 +7,82 @@
 //! off, the bytes land in storage but no catalog entry exists, and
 //! experiment E14 measures exactly how much data becomes unfindable.
 
+use std::collections::HashMap;
+
 use bytes::Bytes;
 
 use lsdf_adal::Credential;
 use lsdf_metadata::{DatasetId, Document, NewDataset};
+use lsdf_obs::{Counter, Histogram, Registry};
 use lsdf_storage::sha256;
 
 use crate::error::FacilityError;
 use crate::facility::Facility;
 use lsdf_obs::names;
+
+/// Per-project ingest metric handles, resolved once at facility build.
+pub(crate) struct ProjectIngestObs {
+    registered: Counter,
+    stored_unregistered: Counter,
+    rejected: Counter,
+    bytes: Histogram,
+}
+
+impl ProjectIngestObs {
+    fn outcome(&self, o: Outcome) -> &Counter {
+        match o {
+            Outcome::Registered => &self.registered,
+            Outcome::StoredUnregistered => &self.stored_unregistered,
+            Outcome::Rejected => &self.rejected,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Outcome {
+    Registered,
+    StoredUnregistered,
+    Rejected,
+}
+
+/// Cached ingest metric handles: the registry maps are touched once
+/// per project at construction, never on the per-item hot path.
+pub(crate) struct IngestObs {
+    latency: Histogram,
+    projects: HashMap<String, ProjectIngestObs>,
+}
+
+impl IngestObs {
+    /// Resolves the latency histogram plus every per-project outcome
+    /// counter and byte histogram for the given project names.
+    pub(crate) fn new<'a>(
+        registry: &Registry,
+        projects: impl Iterator<Item = &'a String>,
+    ) -> Self {
+        let per_project = |project: &str| {
+            let outcome = |o: &str| {
+                registry.counter(
+                    names::FACILITY_INGEST_TOTAL,
+                    &[("project", project), ("outcome", o)],
+                )
+            };
+            ProjectIngestObs {
+                registered: outcome("registered"),
+                stored_unregistered: outcome("stored_unregistered"),
+                rejected: outcome("rejected"),
+                bytes: registry.histogram(names::FACILITY_INGEST_BYTES, &[("project", project)]),
+            }
+        };
+        IngestObs {
+            latency: registry.histogram(names::FACILITY_INGEST_LATENCY_NS, &[]),
+            projects: projects.map(|p| (p.clone(), per_project(p))).collect(),
+        }
+    }
+
+    fn project(&self, project: &str) -> Option<&ProjectIngestObs> {
+        self.projects.get(project)
+    }
+}
 
 /// One item arriving from an experiment DAQ.
 #[derive(Debug, Clone)]
@@ -74,16 +141,14 @@ impl Facility {
         policy: IngestPolicy,
     ) -> Result<Option<DatasetId>, FacilityError> {
         let store = self.store(&item.project)?.clone();
-        let latency = self.obs().histogram(names::FACILITY_INGEST_LATENCY_NS, &[]);
-        let span = self.obs().span(&latency);
-        let outcome = |o: &str| {
-            self.obs()
-                .counter(
-                    names::FACILITY_INGEST_TOTAL,
-                    &[("project", &item.project), ("outcome", o)],
-                )
-                .inc();
-        };
+        // Metric handles were cached at facility build: the hot path
+        // only bumps atomics, never the registry maps.
+        let pm = self
+            .ingest_obs()
+            .project(&item.project)
+            .ok_or_else(|| FacilityError::UnknownProject(item.project.clone()))?;
+        let span = self.obs().span(&self.ingest_obs().latency);
+        let outcome = |o: Outcome| pm.outcome(o).inc();
         // Validate metadata *before* the payload lands, so enforcement
         // never leaves orphan bytes.
         let doc = match &item.metadata {
@@ -91,7 +156,7 @@ impl Facility {
                 Ok(()) => Some(doc.clone()),
                 Err(e) => {
                     if policy.enforce_metadata {
-                        outcome("rejected");
+                        outcome(Outcome::Rejected);
                         return Err(FacilityError::MetadataRequired {
                             key: item.key,
                             reason: e.to_string(),
@@ -102,7 +167,7 @@ impl Facility {
             },
             None => {
                 if policy.enforce_metadata {
-                    outcome("rejected");
+                    outcome(Outcome::Rejected);
                     return Err(FacilityError::MetadataRequired {
                         key: item.key,
                         reason: "no metadata supplied".to_string(),
@@ -115,15 +180,13 @@ impl Facility {
         let location = format!("lsdf://{}/{}", item.project, item.key);
         let size = item.data.len() as u64;
         if let Err(e) = self.adal().put(cred, &location, item.data) {
-            outcome("rejected");
+            outcome(Outcome::Rejected);
             return Err(e.into());
         }
-        self.obs()
-            .histogram(names::FACILITY_INGEST_BYTES, &[("project", &item.project)])
-            .record(size);
+        pm.bytes.record(size);
         let result = match doc {
             Some(basic) => {
-                outcome("registered");
+                outcome(Outcome::Registered);
                 let id = store.insert(NewDataset {
                     name: item.key,
                     location,
@@ -134,7 +197,7 @@ impl Facility {
                 Ok(Some(id))
             }
             None => {
-                outcome("stored_unregistered");
+                outcome(Outcome::StoredUnregistered);
                 Ok(None)
             }
         };
@@ -143,25 +206,38 @@ impl Facility {
     }
 
     /// Ingests a batch, tallying outcomes instead of failing fast.
+    ///
+    /// Items fan out across the facility's worker pool (see
+    /// [`crate::facility::FacilityBuilder::workers`]); per-item
+    /// outcomes are merged back in submission order, so the report —
+    /// and the metrics it mirrors — are bit-identical to the serial
+    /// path at every worker count.
     pub fn ingest_batch(
         &self,
         cred: &Credential,
         items: Vec<IngestItem>,
         policy: IngestPolicy,
     ) -> IngestReport {
-        let mut report = IngestReport::default();
-        for item in items {
+        let outcomes = self.pool().run(items, |_, item| {
             let size = item.data.len() as u64;
             match self.ingest(cred, item, policy) {
-                Ok(Some(_)) => {
+                Ok(Some(_)) => (Outcome::Registered, size),
+                Ok(None) => (Outcome::StoredUnregistered, size),
+                Err(_) => (Outcome::Rejected, 0),
+            }
+        });
+        let mut report = IngestReport::default();
+        for (outcome, size) in outcomes {
+            match outcome {
+                Outcome::Registered => {
                     report.registered += 1;
                     report.bytes += size;
                 }
-                Ok(None) => {
+                Outcome::StoredUnregistered => {
                     report.stored_unregistered += 1;
                     report.bytes += size;
                 }
-                Err(_) => report.rejected += 1,
+                Outcome::Rejected => report.rejected += 1,
             }
         }
         report

@@ -18,6 +18,7 @@
 mod cluster;
 mod datanode;
 mod namenode;
+pub mod shard;
 
 pub use cluster::{ClusterTopology, DfsNodeId, Locality, RackId};
 pub use datanode::{BlockId, DataNode, DataNodeError};

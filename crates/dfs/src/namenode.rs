@@ -6,7 +6,8 @@
 //! each block replicated (default 3×) across fault domains, reads served
 //! from the closest replica.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -17,7 +18,13 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::cluster::{ClusterTopology, DfsNodeId, Locality};
 use crate::datanode::{BlockId, DataNode, DataNodeError};
+use crate::shard::ShardedMap;
 use lsdf_obs::names;
+
+/// Shard count for the namenode block map. Dense block ids stripe over
+/// the shards by their low bits, so 16 shards give 16-way write
+/// concurrency on the block-map hot path without a config knob.
+const BLOCK_MAP_SHARDS: usize = 16;
 
 /// Block-placement strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,12 +132,6 @@ struct BlockInfo {
     replicas: Vec<DfsNodeId>,
 }
 
-struct Namespace {
-    files: BTreeMap<String, FileEntry>,
-    blocks: HashMap<BlockId, BlockInfo>,
-    next_block: u64,
-}
-
 /// Read-locality counters (experiments E4/E12).
 #[derive(Debug, Default)]
 pub struct LocalityStats {
@@ -154,6 +155,7 @@ struct DfsObs {
     rack_local: Counter,
     remote: Counter,
     rereplicated: Counter,
+    store_retries: Counter,
     flaky_failures: Counter,
     under_replicated_unrecoverable: Gauge,
     write_bytes: Histogram,
@@ -176,6 +178,7 @@ impl DfsObs {
             rack_local: loc("rack_local"),
             remote: loc("remote"),
             rereplicated: registry.counter(names::DFS_REREPLICATIONS_TOTAL, &[]),
+            store_retries: registry.counter(names::DFS_STORE_RETRY_TOTAL, &[]),
             flaky_failures: registry.counter(names::DFS_FLAKY_FAILURES_TOTAL, &[]),
             under_replicated_unrecoverable: registry
                 .gauge(names::DFS_UNDER_REPLICATED_UNRECOVERABLE, &[]),
@@ -189,11 +192,19 @@ impl DfsObs {
 }
 
 /// The distributed filesystem: namenode state plus datanodes.
+///
+/// Namenode state is split for concurrency: the file namespace keeps
+/// one `RwLock` (directory ops are rare and cheap), block ids come from
+/// a lock-free atomic, and the block map is striped over
+/// [`BLOCK_MAP_SHARDS`] independently locked shards so concurrent
+/// writers touching different blocks do not serialize.
 pub struct Dfs {
     topology: ClusterTopology,
     config: DfsConfig,
     nodes: Vec<Arc<DataNode>>,
-    ns: RwLock<Namespace>,
+    files: RwLock<BTreeMap<String, FileEntry>>,
+    blocks: ShardedMap<BlockInfo>,
+    next_block: AtomicU64,
     rng: Mutex<ChaCha8Rng>,
     obs: DfsObs,
 }
@@ -235,11 +246,9 @@ impl Dfs {
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(config.seed)),
             config,
             nodes,
-            ns: RwLock::new(Namespace {
-                files: BTreeMap::new(),
-                blocks: HashMap::new(),
-                next_block: 0,
-            }),
+            files: RwLock::new(BTreeMap::new()),
+            blocks: ShardedMap::new(BLOCK_MAP_SHARDS),
+            next_block: AtomicU64::new(0),
             obs: DfsObs::new(registry),
         }
     }
@@ -282,11 +291,8 @@ impl Dfs {
         writer: Option<DfsNodeId>,
     ) -> Result<FileMeta, DfsError> {
         let span = self.obs.registry.span(&self.obs.write_latency);
-        {
-            let ns = self.ns.read();
-            if ns.files.contains_key(path) {
-                return Err(DfsError::FileExists(path.to_string()));
-            }
+        if self.files.read().contains_key(path) {
+            return Err(DfsError::FileExists(path.to_string()));
         }
         let mut block_ids = Vec::new();
         let chunks: Vec<&[u8]> = if data.is_empty() {
@@ -295,12 +301,7 @@ impl Dfs {
             data.chunks(self.config.block_size as usize).collect()
         };
         for chunk in chunks {
-            let id = {
-                let mut ns = self.ns.write();
-                let id = BlockId(ns.next_block);
-                ns.next_block += 1;
-                id
-            };
+            let id = BlockId(self.next_block.fetch_add(1, Ordering::Relaxed));
             let targets = self.choose_targets(writer, self.config.replication);
             if targets.is_empty() {
                 // Roll back blocks written so far.
@@ -322,8 +323,7 @@ impl Dfs {
                 self.drop_blocks(&block_ids);
                 return Err(DfsError::NoSpace);
             }
-            let mut ns = self.ns.write();
-            ns.blocks.insert(
+            self.blocks.insert(
                 id,
                 BlockInfo {
                     size: payload.len() as u64,
@@ -333,8 +333,15 @@ impl Dfs {
             block_ids.push(id);
         }
         {
-            let mut ns = self.ns.write();
-            ns.files.insert(
+            let mut files = self.files.write();
+            // Re-check under the write lock: a concurrent writer may have
+            // committed the same path since the optimistic check above.
+            if files.contains_key(path) {
+                drop(files);
+                self.drop_blocks(&block_ids);
+                return Err(DfsError::FileExists(path.to_string()));
+            }
+            files.insert(
                 path.to_string(),
                 FileEntry {
                     blocks: block_ids.clone(),
@@ -437,34 +444,39 @@ impl Dfs {
 
     /// Locates a file's blocks.
     pub fn file_blocks(&self, path: &str) -> Result<Vec<LocatedBlock>, DfsError> {
-        let ns = self.ns.read();
-        let entry = ns
-            .files
-            .get(path)
-            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        let block_ids = {
+            let files = self.files.read();
+            files
+                .get(path)
+                .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?
+                .blocks
+                .clone()
+        };
         let mut offset = 0;
-        Ok(entry
-            .blocks
-            .iter()
-            .map(|&id| {
-                let info = &ns.blocks[&id];
-                let lb = LocatedBlock {
-                    id,
-                    size: info.size,
-                    offset,
-                    replicas: info.replicas.clone(),
-                };
-                offset += info.size;
-                lb
-            })
-            .collect())
+        let mut out = Vec::with_capacity(block_ids.len());
+        for id in block_ids {
+            // A block can only vanish if the file was deleted between the
+            // namespace read and here; surface that as unavailability.
+            let Some((size, replicas)) =
+                self.blocks.read(id, |info| (info.size, info.replicas.clone()))
+            else {
+                return Err(DfsError::BlockUnavailable(id));
+            };
+            out.push(LocatedBlock {
+                id,
+                size,
+                offset,
+                replicas,
+            });
+            offset += size;
+        }
+        Ok(out)
     }
 
     /// File metadata.
     pub fn stat(&self, path: &str) -> Result<FileMeta, DfsError> {
-        let ns = self.ns.read();
-        let entry = ns
-            .files
+        let files = self.files.read();
+        let entry = files
             .get(path)
             .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
         self.obs.stats.inc();
@@ -478,8 +490,8 @@ impl Dfs {
     /// Lists files under a prefix.
     pub fn list(&self, prefix: &str) -> Vec<FileMeta> {
         self.obs.lists.inc();
-        let ns = self.ns.read();
-        ns.files
+        let files = self.files.read();
+        files
             .range(prefix.to_string()..)
             .take_while(|(p, _)| p.starts_with(prefix))
             .map(|(p, e)| FileMeta {
@@ -492,23 +504,16 @@ impl Dfs {
 
     /// Deletes a file and its block replicas.
     pub fn delete(&self, path: &str) -> Result<(), DfsError> {
-        let blocks = {
-            let mut ns = self.ns.write();
-            let entry = ns
-                .files
-                .remove(path)
-                .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
-            let mut replica_map = Vec::new();
-            for id in &entry.blocks {
-                if let Some(info) = ns.blocks.remove(id) {
-                    replica_map.push((*id, info.replicas));
+        let entry = self
+            .files
+            .write()
+            .remove(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        for id in &entry.blocks {
+            if let Some(info) = self.blocks.remove(*id) {
+                for n in info.replicas {
+                    let _ = self.nodes[n.0 as usize].delete_block(*id);
                 }
-            }
-            replica_map
-        };
-        for (id, replicas) in blocks {
-            for n in replicas {
-                let _ = self.nodes[n.0 as usize].delete_block(id);
             }
         }
         self.obs.deletes.inc();
@@ -540,38 +545,40 @@ impl Dfs {
 
     /// Blocks whose live replica count is below target.
     pub fn under_replicated(&self) -> Vec<BlockId> {
-        let ns = self.ns.read();
-        let mut out: Vec<BlockId> = ns
-            .blocks
-            .iter()
-            .filter(|(_, info)| {
-                info.replicas
-                    .iter()
-                    .filter(|n| self.nodes[n.0 as usize].is_alive())
-                    .count()
-                    < self.config.replication
-            })
-            .map(|(&id, _)| id)
-            .collect();
+        let mut out = self.blocks.fold(Vec::new(), |mut acc, id, info| {
+            let live = info
+                .replicas
+                .iter()
+                .filter(|n| self.nodes[n.0 as usize].is_alive())
+                .count();
+            if live < self.config.replication {
+                acc.push(id);
+            }
+            acc
+        });
         out.sort_unstable();
         out
     }
 
     /// Replication monitor pass: for every under-replicated block, copy
     /// from a live replica to fresh targets that have room for it.
-    /// Blocks that cannot reach target replication this pass — no
-    /// readable live source, or no candidate node with enough free
-    /// capacity — are counted into the
-    /// `dfs_under_replicated_unrecoverable` gauge instead of being
+    /// A target whose `store_block` fails (flaky node, capacity raced
+    /// away) is excluded and the placement retried on another node,
+    /// counted in `dfs_store_retry_total`. Blocks that cannot reach
+    /// target replication this pass — no readable live source, or no
+    /// candidate node left that can accept the copy — are counted into
+    /// the `dfs_under_replicated_unrecoverable` gauge instead of being
     /// silently retried forever. Returns new replicas created.
+    ///
+    /// Each block's repair touches only that block's shard of the block
+    /// map, so monitor passes run concurrently with foreground writes
+    /// to other blocks.
     pub fn re_replicate(&self) -> usize {
         let todo = self.under_replicated();
         let mut created = 0;
         let mut unrecoverable: i64 = 0;
         for id in todo {
-            let (data, existing_live) = {
-                let ns = self.ns.read();
-                let Some(info) = ns.blocks.get(&id) else { continue };
+            let Some((data, existing_live)) = self.blocks.read(id, |info| {
                 let live: Vec<DfsNodeId> = info
                     .replicas
                     .iter()
@@ -583,40 +590,46 @@ impl Dfs {
                 let data = live
                     .iter()
                     .find_map(|n| self.nodes[n.0 as usize].read_block(id).ok());
-                let Some(data) = data else {
-                    unrecoverable += 1;
-                    continue;
-                };
                 (data, live)
+            }) else {
+                continue;
+            };
+            let Some(data) = data else {
+                unrecoverable += 1;
+                continue;
             };
             let missing = self.config.replication - existing_live.len();
             let mut stuck = false;
             for _ in 0..missing {
-                let current: Vec<DfsNodeId> = {
-                    let ns = self.ns.read();
-                    ns.blocks[&id].replicas.clone()
-                };
-                let target = self.pick_new_target(&current, data.len() as u64);
-                let Some(t) = target else {
-                    stuck = true;
-                    break;
-                };
-                if self.nodes[t.0 as usize].store_block(id, data.clone()).is_ok() {
-                    let mut ns = self.ns.write();
-                    if let Some(info) = ns.blocks.get_mut(&id) {
-                        // Drop dead replicas from the map now that we have
-                        // fresh copies; keep list = live ∪ {new}.
-                        info.replicas.retain(|n| self.nodes[n.0 as usize].is_alive());
-                        info.replicas.push(t);
+                // Exclude current replica holders plus every target that
+                // already failed the store this round.
+                let mut exclude = self
+                    .blocks
+                    .read(id, |info| info.replicas.clone())
+                    .unwrap_or_default();
+                let mut placed = None;
+                while let Some(t) = self.pick_new_target(&exclude, data.len() as u64) {
+                    if self.nodes[t.0 as usize].store_block(id, data.clone()).is_ok() {
+                        placed = Some(t);
+                        break;
                     }
-                    created += 1;
-                    self.obs.rereplicated.inc();
-                } else {
-                    // Capacity raced away or the target dropped the
-                    // store; count the block as stuck for this pass.
+                    // The chosen target dropped the store: count the miss
+                    // and retry on a different node instead of giving up.
+                    self.obs.store_retries.inc();
+                    exclude.push(t);
+                }
+                let Some(t) = placed else {
                     stuck = true;
                     break;
-                }
+                };
+                let _ = self.blocks.write(id, |info| {
+                    // Drop dead replicas from the map now that we have
+                    // fresh copies; keep list = live ∪ {new}.
+                    info.replicas.retain(|n| self.nodes[n.0 as usize].is_alive());
+                    info.replicas.push(t);
+                });
+                created += 1;
+                self.obs.rereplicated.inc();
             }
             if stuck {
                 unrecoverable += 1;
@@ -702,24 +715,25 @@ impl Dfs {
                 return moved;
             };
             // Pick a block on src whose other replicas avoid dst.
-            let candidate: Option<(BlockId, u64)> = {
-                let ns = self.ns.read();
-                ns.blocks
-                    .iter()
-                    .filter(|(id, info)| {
-                        info.replicas.contains(&src)
-                            && !info.replicas.contains(&dst)
-                            && self.nodes[src.0 as usize].has_block(**id)
-                    })
-                    .map(|(&id, info)| (id, info.size))
+            let candidate: Option<(BlockId, u64)> =
+                self.blocks.fold(None, |best, id, info| {
+                    if !(info.replicas.contains(&src)
+                        && !info.replicas.contains(&dst)
+                        && self.nodes[src.0 as usize].has_block(id))
+                    {
+                        return best;
+                    }
                     // Prefer the largest block that still fits the gap, so
                     // the balancer converges instead of ping-ponging.
-                    .filter(|&(_, size)| {
-                        let dst_used = self.nodes[dst.0 as usize].used();
-                        (dst_used + size) as f64 <= hi_cut.max(size as f64)
-                    })
-                    .max_by_key(|&(_, size)| size)
-            };
+                    let dst_used = self.nodes[dst.0 as usize].used();
+                    if (dst_used + info.size) as f64 > hi_cut.max(info.size as f64) {
+                        return best;
+                    }
+                    match best {
+                        Some((_, sz)) if sz >= info.size => best,
+                        _ => Some((id, info.size)),
+                    }
+                });
             let Some((block, _)) = candidate else {
                 return moved;
             };
@@ -729,22 +743,18 @@ impl Dfs {
             if self.nodes[dst.0 as usize].store_block(block, data).is_err() {
                 return moved;
             }
-            {
-                let mut ns = self.ns.write();
-                if let Some(info) = ns.blocks.get_mut(&block) {
-                    info.replicas.retain(|&n| n != src);
-                    info.replicas.push(dst);
-                }
-            }
+            let _ = self.blocks.write(block, |info| {
+                info.replicas.retain(|&n| n != src);
+                info.replicas.push(dst);
+            });
             let _ = self.nodes[src.0 as usize].delete_block(block);
             moved += 1;
         }
     }
 
     fn drop_blocks(&self, ids: &[BlockId]) {
-        let mut ns = self.ns.write();
         for id in ids {
-            if let Some(info) = ns.blocks.remove(id) {
+            if let Some(info) = self.blocks.remove(*id) {
                 for n in info.replicas {
                     let _ = self.nodes[n.0 as usize].delete_block(*id);
                 }
@@ -1033,6 +1043,68 @@ mod tests {
         assert_eq!(fs.re_replicate(), 1);
         assert_eq!(fs.unrecoverable_blocks(), 0);
         assert!(fs.under_replicated().is_empty());
+    }
+
+    #[test]
+    fn re_replicate_counts_store_retry_when_only_target_is_flaky() {
+        // 3 nodes, replication 2: after killing one replica there is
+        // exactly one spare. Making it flaky forces the store to fail,
+        // which must be counted as a retry (and then unrecoverable,
+        // since no other candidate exists) — not silently dropped.
+        let fs = dfs(1, 3, 100, 2);
+        fs.write("/f", &data(100), Some(DfsNodeId(0))).unwrap();
+        let lb = &fs.file_blocks("/f").unwrap()[0];
+        let spare = fs
+            .topology()
+            .nodes()
+            .find(|n| !lb.replicas.contains(n))
+            .unwrap();
+        fs.set_node_flaky(spare, 1.0, 11);
+        fs.kill_node(lb.replicas[1]);
+        assert_eq!(fs.re_replicate(), 0);
+        assert!(fs.obs().counter_value(names::DFS_STORE_RETRY_TOTAL, &[]) >= 1);
+        assert_eq!(fs.unrecoverable_blocks(), 1);
+        // Healthy again: the next pass places the replica and clears the
+        // gauge.
+        fs.clear_node_flaky(spare);
+        assert_eq!(fs.re_replicate(), 1);
+        assert_eq!(fs.unrecoverable_blocks(), 0);
+        assert!(fs.under_replicated().is_empty());
+    }
+
+    #[test]
+    fn re_replicate_retries_on_another_node_after_store_failure() {
+        // 4 nodes, replication 2, one flaky spare: whenever placement
+        // picks the flaky spare first, the repair must fall through to
+        // the healthy spare instead of leaving the block stuck. Sweep a
+        // few seeds so both pick orders are exercised deterministically.
+        let mut saw_retry = false;
+        for seed in 0..16u64 {
+            let fs = Dfs::new(
+                ClusterTopology::new(1, 4),
+                DfsConfig {
+                    block_size: 100,
+                    replication: 2,
+                    node_capacity: u64::MAX,
+                    placement: PlacementPolicy::RackAware,
+                    seed,
+                },
+            );
+            fs.write("/f", &data(100), Some(DfsNodeId(0))).unwrap();
+            let lb = &fs.file_blocks("/f").unwrap()[0];
+            let spares: Vec<DfsNodeId> = fs
+                .topology()
+                .nodes()
+                .filter(|n| !lb.replicas.contains(n))
+                .collect();
+            fs.set_node_flaky(spares[0], 1.0, 13);
+            fs.kill_node(lb.replicas[1]);
+            assert_eq!(fs.re_replicate(), 1, "seed {seed}: repair must succeed");
+            assert!(fs.under_replicated().is_empty(), "seed {seed}");
+            assert_eq!(fs.unrecoverable_blocks(), 0, "seed {seed}");
+            saw_retry |= fs.obs().counter_value(names::DFS_STORE_RETRY_TOTAL, &[]) >= 1;
+        }
+        assert!(saw_retry, "some seed must have hit the flaky spare first");
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //!   site; names live as consts in `lsdf_obs::names`, and every
 //!   declared const must be used somewhere.
 //! * **L4 `locks`** — no `std::sync::Mutex`/`RwLock` where the
-//!   workspace mandates `parking_lot`.
+//!   workspace mandates `parking_lot`, and no ad-hoc per-shard lock
+//!   vectors (`Vec<Mutex<..>>` / `Vec<RwLock<..>>`) outside the
+//!   sanctioned shard module: sharded state goes through
+//!   `lsdf_dfs::shard::ShardedMap` so the lock discipline (one shard
+//!   lock at a time, deterministic folds) lives in one place.
 //!
 //! Any rule can be waived per line with
 //! `// lint: allow(<rule>) -- <justification>` (trailing, or on the
@@ -126,6 +130,10 @@ pub struct Config {
     /// Relative path prefixes exempt from L1 (clock internals and the
     /// wall-clock bench harness).
     pub determinism_allow: Vec<String>,
+    /// Relative paths allowed to hold the per-shard lock-vector pattern
+    /// (`Vec<Mutex<..>>` / `Vec<RwLock<..>>`); everywhere else L4 points
+    /// at `lsdf_dfs::shard::ShardedMap`.
+    pub shard_allow: Vec<String>,
     /// Relative path of the metric-name const module.
     pub names_module: String,
     /// Declared metric-name consts (parsed from `names_module`).
@@ -142,7 +150,7 @@ impl Config {
             root: root.to_path_buf(),
             panic_free: [
                 "adal", "dfs", "storage", "chaos", "core", "cloud", "workflow", "metadata",
-                "net",
+                "net", "pool",
             ]
             .iter()
             .map(|c| format!("crates/{c}/src/"))
@@ -151,6 +159,7 @@ impl Config {
                 "crates/obs/src/clock.rs".to_string(),
                 "crates/bench/".to_string(),
             ],
+            shard_allow: vec!["crates/dfs/src/shard.rs".to_string()],
             names: parse_name_consts(&txt),
             names_module,
         })
@@ -398,6 +407,20 @@ fn lint_scanned(rel: &str, file: &ScannedFile, cfg: &Config) -> Report {
                         .to_string(),
                 });
             }
+            // Per-shard lock vectors belong to the sanctioned shard
+            // module regardless of which lock type they stripe.
+            let shard_allowed = cfg.shard_allow.iter().any(|p| rel == p.as_str());
+            let norm = code.replace("parking_lot::", "");
+            if !shard_allowed && (norm.contains("Vec<Mutex<") || norm.contains("Vec<RwLock<")) {
+                report.violations.push(Diagnostic {
+                    path: rel.to_string(),
+                    line: i + 1,
+                    rule: Rule::Locks,
+                    message: "ad-hoc per-shard lock vector; use lsdf_dfs::shard::ShardedMap \
+                              so lock discipline stays in one audited module"
+                        .to_string(),
+                });
+            }
         }
     }
     report
@@ -515,6 +538,7 @@ mod tests {
             root: PathBuf::from("."),
             panic_free: vec!["crates/adal/src/".into()],
             determinism_allow: vec!["crates/obs/src/clock.rs".into(), "crates/bench/".into()],
+            shard_allow: vec!["crates/dfs/src/shard.rs".into()],
             names_module: "crates/obs/src/names.rs".into(),
             names: vec![NameConst {
                 ident: "ADAL_OPS_TOTAL".into(),
@@ -560,6 +584,20 @@ mod tests {
         let r = lint_file("crates/core/src/x.rs", src, &cfg);
         assert_eq!(r.violations.len(), 1);
         assert_eq!(r.violations[0].rule, Rule::MetricNames);
+    }
+
+    #[test]
+    fn shard_lock_vector_flagged_outside_sanctioned_module() {
+        let cfg = test_cfg();
+        let src = "pub struct S { shards: Vec<RwLock<u8>> }\n\
+                   pub struct T { shards: Vec<parking_lot::Mutex<u8>> }\n";
+        let r = lint_file("crates/adal/src/x.rs", src, &cfg);
+        let locks: Vec<_> = r.violations.iter().filter(|d| d.rule == Rule::Locks).collect();
+        assert_eq!(locks.len(), 2, "{:#?}", r.violations);
+        assert!(locks[0].message.contains("ShardedMap"));
+        // The same source inside the sanctioned shard module is clean.
+        let r = lint_file("crates/dfs/src/shard.rs", src, &cfg);
+        assert!(r.violations.is_empty(), "{:#?}", r.violations);
     }
 
     #[test]

@@ -10,3 +10,8 @@ pub struct Shared {
 pub fn guard(m: &Mutex<u8>, r: &RwLock<u8>) -> u8 {
     *m.lock().unwrap_or_else(|e| e.into_inner()) + *r.read().unwrap_or_else(|e| e.into_inner())
 }
+
+pub struct AdHocShards {
+    // A private shard array outside lsdf_dfs::shard must also fire L4.
+    stripes: Vec<parking_lot::RwLock<Vec<u8>>>,
+}

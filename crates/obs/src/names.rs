@@ -89,6 +89,9 @@ pub const DFS_OPS_TOTAL: &str = "dfs_ops_total";
 pub const DFS_BLOCK_READS_TOTAL: &str = "dfs_block_reads_total";
 /// Blocks re-replicated after node loss.
 pub const DFS_REREPLICATIONS_TOTAL: &str = "dfs_rereplications_total";
+/// Re-replication stores that failed on the chosen target and were
+/// retried on another node.
+pub const DFS_STORE_RETRY_TOTAL: &str = "dfs_store_retry_total";
 /// Reads that failed on a flaky datanode before failover.
 pub const DFS_FLAKY_FAILURES_TOTAL: &str = "dfs_flaky_failures_total";
 /// Blocks that lost every replica and cannot be re-replicated.
@@ -188,6 +191,7 @@ pub const ALL: &[&str] = &[
     DFS_OPS_TOTAL,
     DFS_BLOCK_READS_TOTAL,
     DFS_REREPLICATIONS_TOTAL,
+    DFS_STORE_RETRY_TOTAL,
     DFS_FLAKY_FAILURES_TOTAL,
     DFS_UNDER_REPLICATED_UNRECOVERABLE,
     DFS_WRITE_BYTES,

@@ -38,6 +38,16 @@ chaos:
 report:
     cargo run --release -p lsdf-bench --bin report -- --quick
 
+# Re-measure the throughput baselines (BENCH_E1.json / BENCH_E3.json at
+# the workspace root). Commit the refreshed files to move the baseline.
+bench-snapshot:
+    cargo run --release -p lsdf-bench --bin bench_snapshot
+
+# CI smoke: quick-mode ingest throughput must stay within 2x of the
+# committed BENCH_E1.json baseline.
+bench-smoke:
+    cargo run --release -p lsdf-bench --bin bench_snapshot -- --check
+
 # The full facility-day example, registry snapshot included.
 day:
     cargo run --release -p lsdf-examples --bin facility_day

@@ -1,0 +1,130 @@
+//! Parallel ingest determinism: the facility promise that the worker
+//! pool is *observationally invisible*.
+//!
+//! A batch ingest fanned across 4 or 8 workers must produce, for the
+//! same input:
+//! * the same [`IngestReport`] (outcomes merged in submission order),
+//! * a byte-identical obs registry JSON snapshot (all counters and
+//!   histograms are order-independent sums under the virtual clock),
+//!
+//! as the serial run. This is the contract that lets `LSDF_WORKERS` be
+//! a pure throughput knob — flipping it can never change what an
+//! experiment observes, only how fast it observes it.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy, IngestReport};
+use lsdf_dfs::{ClusterTopology, DfsConfig};
+use lsdf_metadata::{zebrafish_schema, Document, FieldType, SchemaBuilder, Value};
+use lsdf_obs::Registry;
+use lsdf_sim::SimRng;
+use lsdf_workloads::microscopy::HtmGenerator;
+
+/// Builds the facility: one object-store project (zebrafish HTM) and
+/// one DFS-backed project (katrin), both recording into `reg`.
+fn facility(reg: Arc<Registry>, workers: usize) -> Facility {
+    Facility::builder()
+        .project(
+            zebrafish_schema(),
+            BackendChoice::ObjectStore { capacity: u64::MAX },
+        )
+        .project(
+            SchemaBuilder::new("katrin")
+                .required("run", FieldType::Int)
+                .build()
+                .unwrap(),
+            BackendChoice::Dfs,
+        )
+        .cluster(
+            ClusterTopology::new(2, 2),
+            DfsConfig {
+                block_size: 1024,
+                replication: 2,
+                ..DfsConfig::default()
+            },
+        )
+        .registry(reg)
+        .workers(workers)
+        .build()
+        .unwrap()
+}
+
+/// A seeded mixed batch: microscopy items with valid metadata, DFS
+/// spectrometer runs, plus deliberately bad items (schema-invalid and
+/// missing metadata) so every outcome arm is exercised.
+fn batch(seed: u64) -> Vec<IngestItem> {
+    let mut rng = SimRng::seed_from_u64(seed).stream("parallel-ingest");
+    let mut items = Vec::new();
+    let mut gen = HtmGenerator::new(5, 32);
+    for (acq, img) in gen.next_fish() {
+        items.push(IngestItem {
+            project: "zebrafish-htm".to_string(),
+            key: acq.key(),
+            data: img.encode(),
+            metadata: Some(acq.document()),
+        });
+    }
+    for run in 0..40i64 {
+        let len = rng.range_u64(1, 4096) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| rng.range_u64(0, 256) as u8).collect();
+        let mut doc = Document::new();
+        doc.insert("run".to_string(), Value::Int(run));
+        items.push(IngestItem {
+            project: "katrin".to_string(),
+            key: format!("run/{run:04}"),
+            data: Bytes::from(payload),
+            metadata: Some(doc),
+        });
+    }
+    // Poison a deterministic handful: wrong schema, missing metadata,
+    // unknown project — rejected at three different pipeline stages.
+    items[3].metadata = Some(Document::new());
+    items[11].metadata = None;
+    items[17].project = "no-such-project".to_string();
+    items
+}
+
+/// Runs one ingest with the given pool width and returns the merged
+/// report plus the registry JSON witness.
+fn run(workers: usize, seed: u64) -> (IngestReport, String) {
+    let reg = Arc::new(Registry::new());
+    reg.set_virtual_time_ns(1);
+    let f = facility(reg.clone(), workers);
+    let admin = f.admin().clone();
+    let report = f.ingest_batch(&admin, batch(seed), IngestPolicy::default());
+    (report, reg.to_json())
+}
+
+#[test]
+fn pooled_ingest_is_bit_identical_to_serial() {
+    let (serial_report, serial_json) = run(1, 97);
+    // The batch actually exercises both sides of the pipeline.
+    assert!(serial_report.registered > 0, "{serial_report:?}");
+    assert!(serial_report.rejected > 0, "{serial_report:?}");
+    for workers in [4usize, 8] {
+        let (report, json) = run(workers, 97);
+        assert_eq!(serial_report, report, "report drifted at workers={workers}");
+        assert_eq!(
+            serial_json, json,
+            "registry JSON drifted at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn pooled_ingest_report_matches_item_count() {
+    let items = batch(97);
+    let n = items.len() as u64;
+    let reg = Arc::new(Registry::new());
+    reg.set_virtual_time_ns(1);
+    let f = facility(reg, 4);
+    let admin = f.admin().clone();
+    let report = f.ingest_batch(&admin, items, IngestPolicy::default());
+    assert_eq!(
+        report.registered + report.stored_unregistered + report.rejected,
+        n,
+        "every submitted item must be accounted for exactly once: {report:?}"
+    );
+}
