@@ -13,6 +13,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use lsdf_dfs::{Dfs, DfsError};
+use lsdf_obs::TraceCtx;
 use lsdf_storage::{Hsm, HsmError, ObjectStore, StoreError};
 
 /// Metadata returned by `stat`.
@@ -163,6 +164,40 @@ pub trait StorageBackend: Send + Sync {
     fn exists(&self, key: &str) -> bool {
         self.stat(key).is_ok()
     }
+
+    // --- traced variants ------------------------------------------------
+    //
+    // Backends that can attribute internal work to a causal trace (DFS
+    // block placement, HSM tape staging, chaos fault injection)
+    // override these to attach child spans/events to `ctx`. The
+    // defaults ignore the ctx and delegate, so plain backends keep
+    // working and untraced call paths (a disabled ctx) cost nothing.
+
+    /// Traced [`StorageBackend::put`].
+    fn put_traced(&self, ctx: &TraceCtx, key: &str, data: Bytes) -> Result<(), BackendError> {
+        let _ = ctx;
+        self.put(key, data)
+    }
+    /// Traced [`StorageBackend::get`].
+    fn get_traced(&self, ctx: &TraceCtx, key: &str) -> Result<Bytes, BackendError> {
+        let _ = ctx;
+        self.get(key)
+    }
+    /// Traced [`StorageBackend::stat`].
+    fn stat_traced(&self, ctx: &TraceCtx, key: &str) -> Result<EntryMeta, BackendError> {
+        let _ = ctx;
+        self.stat(key)
+    }
+    /// Traced [`StorageBackend::delete`].
+    fn delete_traced(&self, ctx: &TraceCtx, key: &str) -> Result<(), BackendError> {
+        let _ = ctx;
+        self.delete(key)
+    }
+    /// Traced [`StorageBackend::list`].
+    fn list_traced(&self, ctx: &TraceCtx, prefix: &str) -> Result<Vec<EntryMeta>, BackendError> {
+        let _ = ctx;
+        self.list(prefix)
+    }
 }
 
 /// Adapter: the in-memory object store (stand-in for the GPFS arrays).
@@ -257,6 +292,13 @@ impl StorageBackend for DfsBackend {
             })
             .collect())
     }
+    fn put_traced(&self, ctx: &TraceCtx, key: &str, data: Bytes) -> Result<(), BackendError> {
+        self.dfs.write_traced(key, &data, None, ctx)?;
+        Ok(())
+    }
+    fn get_traced(&self, ctx: &TraceCtx, key: &str) -> Result<Bytes, BackendError> {
+        Ok(self.dfs.read_traced(key, None, ctx)?)
+    }
 }
 
 /// Adapter: the HSM (disk + tape tiering).
@@ -310,6 +352,9 @@ impl StorageBackend for HsmBackend {
             .collect();
         out.sort_by(|a, b| a.key.cmp(&b.key));
         Ok(out)
+    }
+    fn get_traced(&self, ctx: &TraceCtx, key: &str) -> Result<Bytes, BackendError> {
+        Ok(self.hsm.get_traced(key, ctx)?)
     }
 }
 

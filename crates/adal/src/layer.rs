@@ -32,7 +32,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
-use lsdf_obs::{Counter, Gauge, Histogram, Registry};
+use lsdf_obs::{Counter, Gauge, Histogram, Registry, TraceCtx, Tracer};
 use lsdf_pool::WorkerPool;
 use lsdf_sim::SimRng;
 use lsdf_storage::{sha256, Digest};
@@ -202,34 +202,38 @@ struct ResilientState {
 }
 
 impl ResilientState {
-    /// Publishes a breaker transition to counters, the state gauge and
-    /// the event ring.
-    fn note_transition(&self, obs: &Registry, project: &str, t: BreakerTransition) {
+    /// Publishes a breaker transition to counters, the state gauge, the
+    /// event ring, and — when a trace is live — the causal trace.
+    fn note_transition(&self, obs: &Registry, ctx: &TraceCtx, project: &str, t: BreakerTransition) {
         match t.to {
             BreakerState::Open => self.metrics.breaker_to_open.inc(),
             BreakerState::HalfOpen => self.metrics.breaker_to_half_open.inc(),
             BreakerState::Closed => self.metrics.breaker_to_closed.inc(),
         }
         self.metrics.breaker_state.set(t.to.as_gauge());
+        ctx.event(
+            names::ADAL_BREAKER_TRANSITION_EVENT,
+            &[("project", project), ("from", t.from.name()), ("to", t.to.name())],
+        );
         obs.event(
-            "adal_breaker",
+            names::ADAL_BREAKER_LOG_EVENT,
             &[("project", project), ("from", t.from.name()), ("to", t.to.name())],
         );
     }
 
     /// Asks the breaker for permission to call the primary.
-    fn acquire(&self, obs: &Registry, project: &str) -> bool {
+    fn acquire(&self, obs: &Registry, ctx: &TraceCtx, project: &str) -> bool {
         let (ok, t) = self.breaker.try_acquire(obs.now_ns());
         if let Some(t) = t {
-            self.note_transition(obs, project, t);
+            self.note_transition(obs, ctx, project, t);
         }
         ok
     }
 
     /// Records a call outcome in the breaker.
-    fn record(&self, obs: &Registry, project: &str, success: bool) {
+    fn record(&self, obs: &Registry, ctx: &TraceCtx, project: &str, success: bool) {
         if let Some(t) = self.breaker.record(obs.now_ns(), success) {
-            self.note_transition(obs, project, t);
+            self.note_transition(obs, ctx, project, t);
         }
     }
 
@@ -244,41 +248,59 @@ impl ResilientState {
     /// spent or the breaker leaves the closed state; deterministic
     /// errors return immediately and count as backend-healthy.
     ///
+    /// Each attempt runs inside its own `adal_attempt` child span of
+    /// `ctx`; retries and exhaustion are mirrored onto the trace as
+    /// events next to their counters.
+    ///
     /// Counter identity, asserted by the chaos soak:
     /// `adal_transient_observed_total ==
     ///  adal_retries_total + adal_retry_exhausted_total`.
     fn with_retries<T>(
         &self,
         obs: &Registry,
+        ctx: &TraceCtx,
         project: &str,
-        mut call: impl FnMut() -> Result<T, BackendError>,
+        mut call: impl FnMut(&TraceCtx) -> Result<T, BackendError>,
     ) -> Result<T, BackendError> {
         let mut attempt: u32 = 0;
         loop {
-            match call() {
+            let attempt_span = ctx.child(names::ADAL_ATTEMPT_SPAN);
+            if attempt_span.is_enabled() {
+                attempt_span.add_field("attempt", &attempt.to_string());
+            }
+            let out = call(&attempt_span);
+            attempt_span.finish();
+            match out {
                 Ok(v) => {
-                    self.record(obs, project, true);
+                    self.record(obs, ctx, project, true);
                     return Ok(v);
                 }
                 Err(e) if e.is_transient() => {
                     self.metrics.transient_observed.inc();
-                    self.record(obs, project, false);
+                    self.record(obs, ctx, project, false);
                     let out_of_attempts = attempt + 1 >= self.policy.max_attempts;
                     // A breaker our own failures just opened must not be
                     // hammered by the rest of the retry budget.
                     if out_of_attempts || self.breaker.state() == BreakerState::Open {
                         self.metrics.retry_exhausted.inc();
+                        ctx.event(names::ADAL_RETRY_EXHAUSTED_EVENT, &[("project", project)]);
                         return Err(e);
                     }
                     let delay = self.policy.delay_ns(attempt, &mut self.rng.lock());
                     self.metrics.backoff_ns.record(delay);
                     self.metrics.retries.inc();
+                    if ctx.is_enabled() {
+                        ctx.event(
+                            names::ADAL_RETRY_EVENT,
+                            &[("project", project), ("delay_ns", &delay.to_string())],
+                        );
+                    }
                     attempt += 1;
                 }
                 Err(e) => {
                     // The backend answered authoritatively: it is healthy,
                     // the request is just wrong (NotFound, AlreadyExists…).
-                    self.record(obs, project, true);
+                    self.record(obs, ctx, project, true);
                     return Err(e);
                 }
             }
@@ -293,20 +315,21 @@ impl ResilientState {
     /// transfer.
     fn put_verified(
         &self,
+        ctx: &TraceCtx,
         backend: &Arc<dyn StorageBackend>,
         key: &str,
         data: &Bytes,
         digest: &Digest,
     ) -> Result<(), BackendError> {
-        backend.put(key, data.clone())?;
+        backend.put_traced(ctx, key, data.clone())?;
         if !self.verify_writes {
             return Ok(());
         }
-        match backend.get(key) {
+        match backend.get_traced(ctx, key) {
             Ok(back) if sha256(&back) == *digest => Ok(()),
             Ok(_) => {
                 self.metrics.verify_failures.inc();
-                let _ = backend.delete(key);
+                let _ = backend.delete_traced(ctx, key);
                 Err(BackendError::Integrity(format!(
                     "write verification failed for '{key}'"
                 )))
@@ -314,7 +337,7 @@ impl ResilientState {
             Err(e) => {
                 // Could not read our own write back: clean up and let the
                 // retry loop redo the transfer.
-                let _ = backend.delete(key);
+                let _ = backend.delete_traced(ctx, key);
                 if e.is_transient() {
                     Err(e)
                 } else {
@@ -351,6 +374,7 @@ pub struct Adal {
     obs: Arc<Registry>,
     ops: OpMetrics,
     pool: WorkerPool,
+    tracer: Option<Tracer>,
 }
 
 impl Adal {
@@ -390,6 +414,7 @@ impl Adal {
             obs: registry,
             ops,
             pool,
+            tracer: None,
         }
     }
 
@@ -408,13 +433,33 @@ impl Adal {
         self.pool
     }
 
+    /// The causal tracer, if one is attached.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Attaches a causal tracer: from here on every operation mints a
+    /// root trace (subject to the tracer's sampling mode).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Mints the root trace context for one operation, or a disabled
+    /// context when no tracer is attached.
+    fn trace_root(&self, name: &'static str, key: &str) -> TraceCtx {
+        match &self.tracer {
+            Some(t) => t.root(name, key),
+            None => TraceCtx::disabled(),
+        }
+    }
+
     /// Mounts a backend under a project name. Remounting replaces the
     /// previous backend (used for transparent technology migrations —
     /// slide 6: "transparent access over background storage and
     /// technology changes").
     pub fn mount(&self, project: &str, backend: Arc<dyn StorageBackend>) {
         self.obs.event(
-            "adal_mount",
+            names::ADAL_MOUNT_LOG_EVENT,
             &[("project", project), ("backend", backend.kind())],
         );
         self.mounts.write().insert(
@@ -453,7 +498,7 @@ impl Adal {
             metrics,
         };
         self.obs.event(
-            "adal_mount",
+            names::ADAL_MOUNT_LOG_EVENT,
             &[
                 ("project", project),
                 ("backend", primary.kind()),
@@ -528,19 +573,57 @@ impl Adal {
     /// torn writes, and — when the backend is down — acknowledged into
     /// the redo journal for later draining.
     pub fn put(&self, cred: &Credential, path: &str, data: Bytes) -> Result<(), AdalError> {
+        let trace = self.trace_root(names::ADAL_PUT_SPAN, path);
+        self.put_with_trace(trace, cred, path, data)
+    }
+
+    /// [`Adal::put`] attached to a live parent trace (e.g. a pool task
+    /// inside a batch ingest): the operation becomes a child span of
+    /// `parent` instead of minting a new root. With a disabled parent
+    /// this behaves exactly like [`Adal::put`].
+    pub fn put_traced(
+        &self,
+        parent: &TraceCtx,
+        cred: &Credential,
+        path: &str,
+        data: Bytes,
+    ) -> Result<(), AdalError> {
+        let trace = if parent.is_enabled() {
+            let t = parent.child(names::ADAL_PUT_SPAN);
+            t.add_field("path", path);
+            t
+        } else {
+            self.trace_root(names::ADAL_PUT_SPAN, path)
+        };
+        self.put_with_trace(trace, cred, path, data)
+    }
+
+    fn put_with_trace(
+        &self,
+        trace: TraceCtx,
+        cred: &Credential,
+        path: &str,
+        data: Bytes,
+    ) -> Result<(), AdalError> {
         let span = self.obs.span(&self.ops.put_latency);
         let (mount, parsed) = self.resolve(cred, path, Access::Write)?;
         let len = data.len() as u64;
         match &mount.resilience {
-            Some(st) => {
-                self.resilient_put(st, &mount.backend, &parsed.project, &parsed.key, data)?
-            }
-            None => mount.backend.put(&parsed.key, data)?,
+            Some(st) => self.resilient_put(
+                &trace,
+                st,
+                &mount.backend,
+                &parsed.project,
+                &parsed.key,
+                data,
+            )?,
+            None => mount.backend.put_traced(&trace, &parsed.key, data)?,
         }
         self.ops.puts.inc();
         self.ops.put_bytes.record(len);
         self.project_op(&parsed.project, mount.backend.kind(), "put");
         span.finish();
+        trace.finish();
         Ok(())
     }
 
@@ -548,34 +631,73 @@ impl Adal {
     /// readable immediately (read-your-writes), transient faults are
     /// retried, and an open breaker fails the read over to the replica.
     pub fn get(&self, cred: &Credential, path: &str) -> Result<Bytes, AdalError> {
+        let trace = self.trace_root(names::ADAL_GET_SPAN, path);
+        self.get_with_trace(trace, cred, path)
+    }
+
+    /// [`Adal::get`] attached to a live parent trace; see
+    /// [`Adal::put_traced`] for the nesting rules.
+    pub fn get_traced(
+        &self,
+        parent: &TraceCtx,
+        cred: &Credential,
+        path: &str,
+    ) -> Result<Bytes, AdalError> {
+        let trace = if parent.is_enabled() {
+            let t = parent.child(names::ADAL_GET_SPAN);
+            t.add_field("path", path);
+            t
+        } else {
+            self.trace_root(names::ADAL_GET_SPAN, path)
+        };
+        self.get_with_trace(trace, cred, path)
+    }
+
+    fn get_with_trace(
+        &self,
+        trace: TraceCtx,
+        cred: &Credential,
+        path: &str,
+    ) -> Result<Bytes, AdalError> {
         let span = self.obs.span(&self.ops.get_latency);
         let (mount, parsed) = self.resolve(cred, path, Access::Read)?;
         let data = match &mount.resilience {
-            Some(st) => {
-                self.resilient_get(st, &mount.backend, &parsed.project, &parsed.key)?
-            }
-            None => mount.backend.get(&parsed.key)?,
+            Some(st) => self.resilient_get(
+                &trace,
+                st,
+                &mount.backend,
+                &parsed.project,
+                &parsed.key,
+            )?,
+            None => mount.backend.get_traced(&trace, &parsed.key)?,
         };
         self.ops.gets.inc();
         self.ops.get_bytes.record(data.len() as u64);
         self.project_op(&parsed.project, mount.backend.kind(), "get");
         span.finish();
+        trace.finish();
         Ok(data)
     }
 
     /// Metadata for an object (degrades like [`Adal::get`]).
     pub fn stat(&self, cred: &Credential, path: &str) -> Result<EntryMeta, AdalError> {
+        let trace = self.trace_root(names::ADAL_STAT_SPAN, path);
         let span = self.obs.span(&self.ops.stat_latency);
         let (mount, parsed) = self.resolve(cred, path, Access::Read)?;
         let meta = match &mount.resilience {
-            Some(st) => {
-                self.resilient_stat(st, &mount.backend, &parsed.project, &parsed.key)?
-            }
-            None => mount.backend.stat(&parsed.key)?,
+            Some(st) => self.resilient_stat(
+                &trace,
+                st,
+                &mount.backend,
+                &parsed.project,
+                &parsed.key,
+            )?,
+            None => mount.backend.stat_traced(&trace, &parsed.key)?,
         };
         self.ops.stats.inc();
         self.project_op(&parsed.project, mount.backend.kind(), "stat");
         span.finish();
+        trace.finish();
         Ok(meta)
     }
 
@@ -584,33 +706,45 @@ impl Adal {
     /// [`AdalError::Backend`]. On a resilient mount the listing merges
     /// journaled (acknowledged but not yet landed) writes.
     pub fn list(&self, cred: &Credential, path: &str) -> Result<Vec<EntryMeta>, AdalError> {
+        let trace = self.trace_root(names::ADAL_LIST_SPAN, path);
         let span = self.obs.span(&self.ops.list_latency);
         let (mount, parsed) =
             self.resolve_parsed(cred, LsdfPath::parse_prefix(path)?, Access::Read)?;
         let entries = match &mount.resilience {
-            Some(st) => {
-                self.resilient_list(st, &mount.backend, &parsed.project, &parsed.key)?
-            }
-            None => mount.backend.list(&parsed.key)?,
+            Some(st) => self.resilient_list(
+                &trace,
+                st,
+                &mount.backend,
+                &parsed.project,
+                &parsed.key,
+            )?,
+            None => mount.backend.list_traced(&trace, &parsed.key)?,
         };
         self.ops.lists.inc();
         self.project_op(&parsed.project, mount.backend.kind(), "list");
         span.finish();
+        trace.finish();
         Ok(entries)
     }
 
     /// Deletes an object (requires write access). On a resilient mount a
     /// delete first cancels any journaled write for the key.
     pub fn delete(&self, cred: &Credential, path: &str) -> Result<(), AdalError> {
+        let trace = self.trace_root(names::ADAL_DELETE_SPAN, path);
         let (mount, parsed) = self.resolve(cred, path, Access::Write)?;
         match &mount.resilience {
-            Some(st) => {
-                self.resilient_delete(st, &mount.backend, &parsed.project, &parsed.key)?
-            }
-            None => mount.backend.delete(&parsed.key)?,
+            Some(st) => self.resilient_delete(
+                &trace,
+                st,
+                &mount.backend,
+                &parsed.project,
+                &parsed.key,
+            )?,
+            None => mount.backend.delete_traced(&trace, &parsed.key)?,
         }
         self.ops.deletes.inc();
         self.project_op(&parsed.project, mount.backend.kind(), "delete");
+        trace.finish();
         Ok(())
     }
 
@@ -618,6 +752,7 @@ impl Adal {
 
     fn resilient_put(
         &self,
+        ctx: &TraceCtx,
         st: &ResilientState,
         backend: &Arc<dyn StorageBackend>,
         project: &str,
@@ -628,8 +763,8 @@ impl Adal {
         if st.journal.lookup(key).is_some() {
             return Err(BackendError::AlreadyExists(key.to_string()));
         }
-        if !st.acquire(&self.obs, project) {
-            return self.journal_put(st, project, key, data);
+        if !st.acquire(&self.obs, ctx, project) {
+            return self.journal_put(ctx, st, project, key, data);
         }
         // Hash once per payload; retries and verification reuse the
         // digest (it is only consulted when verify_writes is on).
@@ -638,17 +773,32 @@ impl Adal {
         } else {
             Digest([0; 32])
         };
+        // Both legs' child spans are reserved here, serially and in a
+        // fixed order, BEFORE any parallel hand-off: the trace tree is
+        // therefore identical at every worker count.
+        let primary_ctx = ctx.child(names::ADAL_PRIMARY_PUT_SPAN);
+        let replica_ctx = if st.replica.is_some() {
+            ctx.child(names::ADAL_REPLICA_PUT_SPAN)
+        } else {
+            TraceCtx::disabled()
+        };
         let primary = match (&st.replica, self.pool.is_parallel()) {
             // Parallel fan-out: the replica copy streams concurrently
             // with the primary's verified write.
             (Some(rep), true) => {
                 let (primary, replica) = self.pool.join(
                     || {
-                        st.with_retries(&self.obs, project, || {
-                            st.put_verified(backend, key, &data, &digest)
-                        })
+                        let out = st.with_retries(&self.obs, &primary_ctx, project, |actx| {
+                            st.put_verified(actx, backend, key, &data, &digest)
+                        });
+                        primary_ctx.finish();
+                        out
                     },
-                    || rep.put(key, data.clone()),
+                    || {
+                        let out = rep.put(key, data.clone());
+                        replica_ctx.finish();
+                        out
+                    },
                 );
                 match (&primary, replica) {
                     // Same best-effort accounting as the serial
@@ -666,24 +816,26 @@ impl Adal {
                 primary
             }
             _ => {
-                let out = st.with_retries(&self.obs, project, || {
-                    st.put_verified(backend, key, &data, &digest)
+                let out = st.with_retries(&self.obs, &primary_ctx, project, |actx| {
+                    st.put_verified(actx, backend, key, &data, &digest)
                 });
+                primary_ctx.finish();
                 if out.is_ok() {
                     st.replicate(key, &data);
                 }
+                replica_ctx.finish();
                 out
             }
         };
         match primary {
             Ok(()) => {
-                self.drain_step(st, backend, project);
+                self.drain_step(ctx, st, backend, project);
                 Ok(())
             }
             // Retry budget spent on transient faults (or the breaker
             // opened): degrade to the journal rather than bounce the
             // experiment's data.
-            Err(e) if e.is_transient() => self.journal_put(st, project, key, data),
+            Err(e) if e.is_transient() => self.journal_put(ctx, st, project, key, data),
             Err(e) => Err(e),
         }
     }
@@ -691,6 +843,7 @@ impl Adal {
     /// Acknowledges a write into the redo journal (degraded-write path).
     fn journal_put(
         &self,
+        ctx: &TraceCtx,
         st: &ResilientState,
         project: &str,
         key: &str,
@@ -707,8 +860,12 @@ impl Adal {
         if st.journal.push(key, data) {
             st.metrics.journal_enqueued.inc();
             st.sync_journal_gauges();
+            ctx.event(
+                names::ADAL_JOURNAL_ENQUEUE_EVENT,
+                &[("project", project), ("key", key)],
+            );
             self.obs
-                .event("adal_journal_enqueue", &[("project", project), ("key", key)]);
+                .event(names::ADAL_JOURNAL_ENQUEUE_EVENT, &[("project", project), ("key", key)]);
             Ok(())
         } else {
             // A full journal must NOT acknowledge: that would risk data
@@ -721,6 +878,7 @@ impl Adal {
 
     fn resilient_get(
         &self,
+        ctx: &TraceCtx,
         st: &ResilientState,
         backend: &Arc<dyn StorageBackend>,
         project: &str,
@@ -730,21 +888,22 @@ impl Adal {
         if let Some(data) = st.journal.lookup(key) {
             return Ok(data);
         }
-        if st.acquire(&self.obs, project) {
-            match st.with_retries(&self.obs, project, || backend.get(key)) {
+        if st.acquire(&self.obs, ctx, project) {
+            match st.with_retries(&self.obs, ctx, project, |actx| backend.get_traced(actx, key)) {
                 Ok(data) => {
-                    self.drain_step(st, backend, project);
+                    self.drain_step(ctx, st, backend, project);
                     return Ok(data);
                 }
                 Err(e) if e.is_transient() => { /* fall over to the replica */ }
                 Err(e) => return Err(e),
             }
         }
-        self.failover_read(st, project, key, |rep| rep.get(key))
+        self.failover_read(ctx, st, project, key, |rep| rep.get(key))
     }
 
     fn resilient_stat(
         &self,
+        ctx: &TraceCtx,
         st: &ResilientState,
         backend: &Arc<dyn StorageBackend>,
         project: &str,
@@ -756,33 +915,36 @@ impl Adal {
                 size: data.len() as u64,
             });
         }
-        if st.acquire(&self.obs, project) {
-            match st.with_retries(&self.obs, project, || backend.stat(key)) {
+        if st.acquire(&self.obs, ctx, project) {
+            match st.with_retries(&self.obs, ctx, project, |actx| backend.stat_traced(actx, key)) {
                 Ok(meta) => return Ok(meta),
                 Err(e) if e.is_transient() => {}
                 Err(e) => return Err(e),
             }
         }
-        self.failover_read(st, project, key, |rep| rep.stat(key))
+        self.failover_read(ctx, st, project, key, |rep| rep.stat(key))
     }
 
     fn resilient_list(
         &self,
+        ctx: &TraceCtx,
         st: &ResilientState,
         backend: &Arc<dyn StorageBackend>,
         project: &str,
         prefix: &str,
     ) -> Result<Vec<EntryMeta>, BackendError> {
-        let landed = if st.acquire(&self.obs, project) {
-            match st.with_retries(&self.obs, project, || backend.list(prefix)) {
+        let landed = if st.acquire(&self.obs, ctx, project) {
+            match st.with_retries(&self.obs, ctx, project, |actx| {
+                backend.list_traced(actx, prefix)
+            }) {
                 Ok(entries) => Ok(entries),
                 Err(e) if e.is_transient() => {
-                    self.failover_read(st, project, prefix, |rep| rep.list(prefix))
+                    self.failover_read(ctx, st, project, prefix, |rep| rep.list(prefix))
                 }
                 Err(e) => Err(e),
             }
         } else {
-            self.failover_read(st, project, prefix, |rep| rep.list(prefix))
+            self.failover_read(ctx, st, project, prefix, |rep| rep.list(prefix))
         }?;
         // Merge acknowledged journal entries; the journal wins on key
         // collisions (it is the newer acknowledged state).
@@ -801,6 +963,7 @@ impl Adal {
 
     fn resilient_delete(
         &self,
+        ctx: &TraceCtx,
         st: &ResilientState,
         backend: &Arc<dyn StorageBackend>,
         project: &str,
@@ -812,23 +975,26 @@ impl Adal {
             st.sync_journal_gauges();
             return Ok(());
         }
-        if !st.acquire(&self.obs, project) {
+        if !st.acquire(&self.obs, ctx, project) {
             return Err(BackendError::Unavailable(format!(
                 "backend for '{project}' is cooling down (breaker open)"
             )));
         }
-        st.with_retries(&self.obs, project, || backend.delete(key))?;
+        st.with_retries(&self.obs, ctx, project, |actx| {
+            backend.delete_traced(actx, key)
+        })?;
         if let Some(rep) = &st.replica {
             // Best effort: the replica copy may or may not exist.
             let _ = rep.delete(key);
         }
-        self.drain_step(st, backend, project);
+        self.drain_step(ctx, st, backend, project);
         Ok(())
     }
 
     /// Serves a read from the replica, counting the failover.
     fn failover_read<T>(
         &self,
+        ctx: &TraceCtx,
         st: &ResilientState,
         project: &str,
         key: &str,
@@ -841,8 +1007,12 @@ impl Adal {
         };
         let out = read(rep)?;
         st.metrics.failover_reads.inc();
+        ctx.event(
+            names::ADAL_FAILOVER_READ_EVENT,
+            &[("project", project), ("key", key)],
+        );
         self.obs
-            .event("adal_failover_read", &[("project", project), ("key", key)]);
+            .event(names::ADAL_FAILOVER_READ_EVENT, &[("project", project), ("key", key)]);
         Ok(out)
     }
 
@@ -851,28 +1021,29 @@ impl Adal {
     /// entry is verified and replicated like a live put.
     fn drain_step(
         &self,
+        ctx: &TraceCtx,
         st: &ResilientState,
         backend: &Arc<dyn StorageBackend>,
         project: &str,
     ) -> usize {
         let mut drained = 0;
         loop {
-            if st.journal.depth() == 0 || !st.acquire(&self.obs, project) {
+            if st.journal.depth() == 0 || !st.acquire(&self.obs, ctx, project) {
                 break;
             }
             let Some((key, data)) = st.journal.pop() else { break };
             // One hash per journal entry, shared by the landing attempt,
             // the conflict comparison, and the repair re-put.
             let digest = sha256(&data);
-            match st.with_retries(&self.obs, project, || {
-                st.put_verified(backend, &key, &data, &digest)
+            match st.with_retries(&self.obs, ctx, project, |actx| {
+                st.put_verified(actx, backend, &key, &data, &digest)
             }) {
                 Ok(()) => {
                     drained += 1;
                     st.metrics.journal_drained.inc();
                     st.replicate(&key, &data);
                     self.obs
-                        .event("adal_journal_drain", &[("project", project), ("key", &key)]);
+                        .event(names::ADAL_JOURNAL_DRAIN_LOG_EVENT, &[("project", project), ("key", &key)]);
                 }
                 Err(BackendError::AlreadyExists(_)) => {
                     // The key landed before the outage. Equal payload:
@@ -880,7 +1051,7 @@ impl Adal {
                     // journal holds the acknowledged write — repair the
                     // primary (covers torn residue left by a failed
                     // verify cleanup).
-                    match backend.get(&key) {
+                    match backend.get_traced(ctx, &key) {
                         Ok(existing) if sha256(&existing) == digest => {
                             drained += 1;
                             st.metrics.journal_drained.inc();
@@ -888,12 +1059,12 @@ impl Adal {
                         _ => {
                             st.metrics.journal_conflicts.inc();
                             self.obs.event(
-                                "adal_journal_conflict",
+                                names::ADAL_JOURNAL_CONFLICT_LOG_EVENT,
                                 &[("project", project), ("key", &key)],
                             );
-                            let _ = backend.delete(&key);
-                            match st.with_retries(&self.obs, project, || {
-                                st.put_verified(backend, &key, &data, &digest)
+                            let _ = backend.delete_traced(ctx, &key);
+                            match st.with_retries(&self.obs, ctx, project, |actx| {
+                                st.put_verified(actx, backend, &key, &data, &digest)
                             }) {
                                 Ok(()) => {
                                     drained += 1;
@@ -922,7 +1093,7 @@ impl Adal {
                     // wedge the journal forever.
                     st.metrics.journal_conflicts.inc();
                     self.obs.event(
-                        "adal_journal_conflict",
+                        names::ADAL_JOURNAL_CONFLICT_LOG_EVENT,
                         &[("project", project), ("key", &key)],
                     );
                 }
@@ -943,7 +1114,15 @@ impl Adal {
             Some(Mount {
                 backend,
                 resilience: Some(st),
-            }) => self.drain_step(&st, &backend, project),
+            }) => {
+                let trace = self.trace_root(names::ADAL_DRAIN_SPAN, project);
+                let drained = self.drain_step(&trace, &st, &backend, project);
+                if trace.is_enabled() {
+                    trace.add_field("drained", &drained.to_string());
+                }
+                trace.finish();
+                drained
+            }
             _ => 0,
         }
     }
@@ -1018,6 +1197,7 @@ pub struct AdalBuilder {
     mounts: Vec<(String, Arc<dyn StorageBackend>)>,
     registry: Option<Arc<Registry>>,
     workers: Option<usize>,
+    tracer: Option<Tracer>,
 }
 
 impl AdalBuilder {
@@ -1059,6 +1239,13 @@ impl AdalBuilder {
         self
     }
 
+    /// Attaches a causal tracer: every operation mints a root trace,
+    /// subject to the tracer's sampling mode.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Builds the layer and applies the mounts.
     pub fn build(self) -> Adal {
         let auth = self
@@ -1070,7 +1257,8 @@ impl AdalBuilder {
             .workers
             .map(WorkerPool::new)
             .unwrap_or_else(WorkerPool::from_env);
-        let adal = Adal::with_pool(auth, acl, registry, pool);
+        let mut adal = Adal::with_pool(auth, acl, registry, pool);
+        adal.tracer = self.tracer;
         for (project, backend) in self.mounts {
             adal.mount(&project, backend);
         }
@@ -1512,6 +1700,61 @@ mod tests {
         adal.obs().set_virtual_time_ns(10_000);
         assert_eq!(adal.drain_journal("anka"), 0);
         assert!(!primary.inner.exists("tmp"));
+    }
+
+    #[test]
+    fn traced_put_records_attempts_and_retry_events() {
+        use lsdf_obs::{TraceConfig, Tracer};
+        let auth = Arc::new(TokenAuth::new());
+        auth.register("tok", "garcia");
+        let acl = Arc::new(Acl::new());
+        acl.grant("garcia", "anka", true);
+        let reg = Arc::new(Registry::new());
+        reg.set_virtual_time_ns(1);
+        let tracer = Tracer::new(&reg, TraceConfig::full());
+        let adal = Adal::builder()
+            .auth(auth)
+            .acl(acl)
+            .registry(reg.clone())
+            .tracer(tracer.clone())
+            .build();
+        let primary = ScriptedBackend::new("tp");
+        let replica: Arc<dyn StorageBackend> = Arc::new(ObjectStoreBackend::new(Arc::new(
+            ObjectStore::new("replica-t", u64::MAX),
+        )));
+        let cfg = ResilienceConfig {
+            retry: RetryPolicy::new(3, 100, 1_000, 0),
+            ..ResilienceConfig::default()
+        };
+        adal.mount_resilient("anka", primary.clone(), Some(replica), cfg);
+        let cred = Credential::Token("tok".into());
+        primary.fail_next(1);
+        adal.put(&cred, "lsdf://anka/k1", b("payload")).unwrap();
+        let traces = tracer.traces();
+        assert_eq!(traces.len(), 1);
+        let root = &traces[0].root;
+        assert_eq!(root.name, names::ADAL_PUT_SPAN);
+        // Both fan-out legs were reserved serially, in a fixed order.
+        assert_eq!(root.children[0].name, names::ADAL_PRIMARY_PUT_SPAN);
+        assert_eq!(root.children[1].name, names::ADAL_REPLICA_PUT_SPAN);
+        // The transient fault cost one extra attempt and one retry event.
+        let attempts = root.children[0]
+            .children
+            .iter()
+            .filter(|c| c.name == names::ADAL_ATTEMPT_SPAN)
+            .count();
+        assert_eq!(attempts, 2);
+        let mut retries = 0;
+        root.for_each_event(&mut |_, e| {
+            if e.name == names::ADAL_RETRY_EVENT {
+                retries += 1;
+            }
+        });
+        assert_eq!(retries, 1);
+        assert_eq!(
+            reg.counter_value(names::ADAL_RETRIES_TOTAL, &[("project", "anka")]),
+            1
+        );
     }
 
     #[test]

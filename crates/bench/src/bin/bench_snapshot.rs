@@ -1,16 +1,20 @@
 //! `bench_snapshot` — machine-readable throughput baselines.
 //!
 //! Emits `BENCH_E1.json` (parallel ingest pipeline: ops/s, bytes/s,
-//! latency p50/p99 from the obs registry, per worker count) and
+//! latency p50/p99 from the obs registry, per worker count),
 //! `BENCH_E3.json` (PB transfer flow: simulated days, effective rate,
-//! ADAL op latency quantiles) at the workspace root. The committed
-//! copies are the regression baseline; CI runs `--check`, which
-//! re-measures quick-mode E1 and fails when throughput falls below
-//! half the committed figure.
+//! ADAL op latency quantiles), and `BENCH_TRACE.json` (the same ingest
+//! workload with causal tracing off / sampled / full, measuring the
+//! tracing tax) at the workspace root. The committed copies are the
+//! regression baseline; CI runs `--check`, which re-measures quick-mode
+//! E1 (failing when throughput falls below half the committed figure)
+//! and re-measures the tracing tax (failing when full tracing costs
+//! more than 2x the untraced run).
 //!
 //! Usage:
-//!   bench_snapshot [--quick|--full]   write both snapshot files
-//!   bench_snapshot --check            compare against committed E1
+//!   bench_snapshot [--quick|--full]   write the snapshot files
+//!   bench_snapshot --check            compare against committed E1 +
+//!                                     assert the tracing-overhead bound
 //!
 //! Wall-clock numbers are machine-dependent by nature; every snapshot
 //! embeds `cores` (detected parallelism) so readers can judge how much
@@ -31,7 +35,7 @@ use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy};
 use lsdf_metadata::zebrafish_schema;
 use lsdf_net::units::{PB, TEN_GBIT};
 use lsdf_net::{lsdf, NetSim, TransferModel};
-use lsdf_obs::names;
+use lsdf_obs::{names, TraceConfig};
 use lsdf_sim::Simulation;
 use lsdf_workloads::microscopy::HtmGenerator;
 
@@ -188,6 +192,98 @@ fn e3_json(mode: &str) -> String {
     )
 }
 
+struct TraceRun {
+    tracing: &'static str,
+    ops_per_s: f64,
+    traces_retained: u64,
+}
+
+/// One ingest run of the E1 workload under the given tracing mode.
+fn trace_run(
+    tracing: &'static str,
+    config: Option<TraceConfig>,
+    n_fish: usize,
+    edge: u32,
+) -> TraceRun {
+    let mut builder = Facility::builder().project(
+        zebrafish_schema(),
+        BackendChoice::ObjectStore { capacity: u64::MAX },
+    );
+    if let Some(cfg) = config {
+        builder = builder.tracing(cfg);
+    }
+    let f = builder.build().expect("facility assembles");
+    let admin = f.admin().clone();
+    let items = e1_items(n_fish, edge);
+    let n = items.len() as f64;
+    let t = Instant::now();
+    let report = f.ingest_batch(&admin, items, IngestPolicy::default());
+    let wall = t.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(report.registered as f64, n, "bench batch must fully register");
+    TraceRun {
+        tracing,
+        ops_per_s: n / wall,
+        traces_retained: f.obs().gauge_value(names::TRACE_RETAINED, &[]) as u64,
+    }
+}
+
+/// Sampling rate for the middle variant: 5 % of roots, in ppm.
+const SAMPLED_PPM: u32 = 50_000;
+
+fn trace_runs(n_fish: usize, edge: u32) -> Vec<TraceRun> {
+    vec![
+        trace_run("off", None, n_fish, edge),
+        trace_run("sampled", Some(TraceConfig::sampled(SAMPLED_PPM)), n_fish, edge),
+        trace_run("full", Some(TraceConfig::full()), n_fish, edge),
+    ]
+}
+
+fn trace_json(mode: &str, runs: &[TraceRun]) -> String {
+    let off = runs.iter().find(|r| r.tracing == "off").expect("off run");
+    let full = runs.iter().find(|r| r.tracing == "full").expect("full run");
+    let overhead = off.ops_per_s / full.ops_per_s.max(1e-9);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"trace_overhead\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"cores\": {},\n", detected_cores()));
+    out.push_str(&format!("  \"sampled_ppm\": {SAMPLED_PPM},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"tracing\": \"{}\", \"ops_per_s\": {:.1}, \"traces_retained\": {}}}{}\n",
+            r.tracing,
+            r.ops_per_s,
+            r.traces_retained,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"full_overhead_x\": {overhead:.3}\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// The tracing-tax bound CI enforces: a fully-traced ingest must keep
+/// at least half the untraced throughput (full tracing < 2x slowdown).
+fn check_trace_overhead() -> Result<(), String> {
+    let runs = trace_runs(10, 64);
+    let off = runs[0].ops_per_s;
+    let full = runs[2].ops_per_s;
+    println!(
+        "bench-smoke: ingest untraced {:.1} ops/s, fully traced {:.1} ops/s ({:.2}x overhead)",
+        off,
+        full,
+        off / full.max(1e-9)
+    );
+    if full < off / 2.0 {
+        return Err(format!(
+            "full tracing costs more than 2x: {full:.1} ops/s < {off:.1}/2 ops/s"
+        ));
+    }
+    Ok(())
+}
+
 /// Pulls every `"ops_per_s": <num>` value out of a snapshot JSON. The
 /// workspace has no JSON dependency; the format above is ours, so a
 /// field-anchored scan is exact.
@@ -233,7 +329,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let root = workspace_root();
     if args.iter().any(|a| a == "--check") {
-        if let Err(msg) = check_against_baseline(&root) {
+        if let Err(msg) = check_against_baseline(&root).and_then(|()| check_trace_overhead()) {
             eprintln!("bench-smoke FAILED: {msg}");
             std::process::exit(1);
         }
@@ -259,4 +355,10 @@ fn main() {
     std::fs::write(&e3_path, &e3).expect("writing BENCH_E3.json");
     println!("wrote {}", e3_path.display());
     print!("{e3}");
+
+    let trace = trace_json(mode, &trace_runs(n_fish, edge));
+    let trace_path = root.join("BENCH_TRACE.json");
+    std::fs::write(&trace_path, &trace).expect("writing BENCH_TRACE.json");
+    println!("wrote {}", trace_path.display());
+    print!("{trace}");
 }

@@ -6,7 +6,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use lsdf_adal::{BackendError, EntryMeta, StorageBackend};
-use lsdf_obs::{Counter, Histogram, Registry};
+use lsdf_obs::{Counter, Histogram, Registry, TraceCtx};
 use lsdf_sim::SimRng;
 
 use crate::plan::{FaultDecision, FaultPlan};
@@ -126,6 +126,37 @@ impl FaultyBackend {
         Ok(())
     }
 
+    /// Mirrors the non-tearing injection counters onto the trace, so a
+    /// trace's `chaos_fault` events reconcile 1:1 with
+    /// `chaos_injected_total` when every operation is traced.
+    fn trace_decision(&self, ctx: &TraceCtx, d: &FaultDecision) {
+        if !ctx.is_enabled() {
+            return;
+        }
+        if d.outage {
+            ctx.event(
+                names::CHAOS_FAULT_EVENT,
+                &[("backend", self.name.as_str()), ("fault", "outage")],
+            );
+        }
+        if d.transient {
+            ctx.event(
+                names::CHAOS_FAULT_EVENT,
+                &[("backend", self.name.as_str()), ("fault", "transient")],
+            );
+        }
+        if let Some(ns) = d.latency_ns {
+            ctx.event(
+                names::CHAOS_FAULT_EVENT,
+                &[
+                    ("backend", self.name.as_str()),
+                    ("fault", "latency_spike"),
+                    ("latency_ns", &ns.to_string()),
+                ],
+            );
+        }
+    }
+
     /// Flips one payload byte (torn write).
     fn tear(&self, data: Bytes) -> Bytes {
         if data.is_empty() {
@@ -176,6 +207,54 @@ impl StorageBackend for FaultyBackend {
         let d = self.next_decision(false);
         self.gate(&d, "list", prefix)?;
         self.inner.list(prefix)
+    }
+
+    fn put_traced(&self, ctx: &TraceCtx, key: &str, data: Bytes) -> Result<(), BackendError> {
+        let d = self.next_decision(true);
+        self.trace_decision(ctx, &d);
+        self.gate(&d, "put", key)?;
+        let payload = if d.torn {
+            // tear() silently skips empty payloads; only an actual flip
+            // is counted, so only an actual flip is traced.
+            if !data.is_empty() && ctx.is_enabled() {
+                ctx.event(
+                    names::CHAOS_FAULT_EVENT,
+                    &[("backend", self.name.as_str()), ("fault", "torn_write")],
+                );
+            }
+            self.tear(data)
+        } else {
+            data
+        };
+        self.inner.put_traced(ctx, key, payload)
+    }
+
+    fn get_traced(&self, ctx: &TraceCtx, key: &str) -> Result<Bytes, BackendError> {
+        let d = self.next_decision(false);
+        self.trace_decision(ctx, &d);
+        self.gate(&d, "get", key)?;
+        self.inner.get_traced(ctx, key)
+    }
+
+    fn stat_traced(&self, ctx: &TraceCtx, key: &str) -> Result<EntryMeta, BackendError> {
+        let d = self.next_decision(false);
+        self.trace_decision(ctx, &d);
+        self.gate(&d, "stat", key)?;
+        self.inner.stat_traced(ctx, key)
+    }
+
+    fn delete_traced(&self, ctx: &TraceCtx, key: &str) -> Result<(), BackendError> {
+        let d = self.next_decision(false);
+        self.trace_decision(ctx, &d);
+        self.gate(&d, "delete", key)?;
+        self.inner.delete_traced(ctx, key)
+    }
+
+    fn list_traced(&self, ctx: &TraceCtx, prefix: &str) -> Result<Vec<EntryMeta>, BackendError> {
+        let d = self.next_decision(false);
+        self.trace_decision(ctx, &d);
+        self.gate(&d, "list", prefix)?;
+        self.inner.list_traced(ctx, prefix)
     }
 }
 

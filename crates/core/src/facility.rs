@@ -10,7 +10,7 @@ use lsdf_adal::{
 };
 use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
 use lsdf_metadata::{ProjectStore, Schema};
-use lsdf_obs::Registry;
+use lsdf_obs::{FacilityHealth, Registry, SloMonitor, SloRule, TraceConfig, Tracer};
 use lsdf_pool::WorkerPool;
 use lsdf_storage::{Hsm, MigrationPolicy, ObjectStore};
 
@@ -56,6 +56,8 @@ pub struct FacilityBuilder {
     admin_token: String,
     registry: Option<Arc<Registry>>,
     workers: Option<usize>,
+    tracing: Option<TraceConfig>,
+    slo_rules: Option<Vec<SloRule>>,
 }
 
 impl FacilityBuilder {
@@ -69,7 +71,25 @@ impl FacilityBuilder {
             admin_token: "admin-token".to_string(),
             registry: None,
             workers: None,
+            tracing: None,
+            slo_rules: None,
         }
+    }
+
+    /// Enables causal tracing: every ADAL operation and batch ingest
+    /// mints a trace (subject to `config`'s sampling mode), retrievable
+    /// through [`Facility::tracer`].
+    pub fn tracing(mut self, config: TraceConfig) -> Self {
+        self.tracing = Some(config);
+        self
+    }
+
+    /// Installs declarative SLO rules evaluated by
+    /// [`Facility::facility_health`]. Without this call the facility
+    /// monitors the default rule set (see [`SloMonitor::with_defaults`]).
+    pub fn slo(mut self, rules: Vec<SloRule>) -> Self {
+        self.slo_rules = Some(rules);
+        self
     }
 
     /// Sets the worker-pool width for the parallel data path (batch
@@ -143,14 +163,20 @@ impl FacilityBuilder {
         let auth = Arc::new(TokenAuth::new());
         auth.register(&self.admin_token, "admin");
         let acl = Arc::new(Acl::new());
-        let adal = Arc::new(
-            Adal::builder()
-                .auth(auth.clone())
-                .acl(acl.clone())
-                .registry(obs.clone())
-                .workers(pool.workers())
-                .build(),
-        );
+        let tracer = self.tracing.map(|cfg| Tracer::new(&obs, cfg));
+        let slo = match self.slo_rules {
+            Some(rules) => SloMonitor::new(rules),
+            None => SloMonitor::with_defaults(),
+        };
+        let mut adal_builder = Adal::builder()
+            .auth(auth.clone())
+            .acl(acl.clone())
+            .registry(obs.clone())
+            .workers(pool.workers());
+        if let Some(t) = &tracer {
+            adal_builder = adal_builder.tracer(t.clone());
+        }
+        let adal = Arc::new(adal_builder.build());
         let dfs = Arc::new(Dfs::with_registry(
             self.cluster,
             self.dfs_config,
@@ -198,6 +224,8 @@ impl FacilityBuilder {
             obs,
             pool,
             ingest_obs,
+            tracer,
+            slo,
         })
     }
 }
@@ -259,6 +287,8 @@ pub struct Facility {
     obs: Arc<Registry>,
     pool: WorkerPool,
     ingest_obs: IngestObs,
+    tracer: Option<Tracer>,
+    slo: SloMonitor,
 }
 
 impl Facility {
@@ -292,6 +322,24 @@ impl Facility {
     /// Cached ingest metric handles (resolved once at build time).
     pub(crate) fn ingest_obs(&self) -> &IngestObs {
         &self.ingest_obs
+    }
+
+    /// The causal tracer, when the facility was built with
+    /// [`FacilityBuilder::tracing`].
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// The installed SLO monitor.
+    pub fn slo(&self) -> &SloMonitor {
+        &self.slo
+    }
+
+    /// Evaluates the SLO rules against the current registry state and
+    /// returns the facility health report, including per-project
+    /// accounting (ops, bytes, tape mounts, violations).
+    pub fn facility_health(&self) -> FacilityHealth {
+        self.slo.evaluate(&self.obs)
     }
 
     /// A project's metadata store.

@@ -13,7 +13,7 @@ use bytes::Bytes;
 
 use lsdf_adal::Credential;
 use lsdf_metadata::{DatasetId, Document, NewDataset};
-use lsdf_obs::{Counter, Histogram, Registry};
+use lsdf_obs::{Counter, Histogram, Registry, TraceCtx};
 use lsdf_storage::sha256;
 
 use crate::error::FacilityError;
@@ -140,6 +140,19 @@ impl Facility {
         item: IngestItem,
         policy: IngestPolicy,
     ) -> Result<Option<DatasetId>, FacilityError> {
+        self.ingest_traced(&TraceCtx::disabled(), cred, item, policy)
+    }
+
+    /// [`Facility::ingest`] with an explicit trace context: the ADAL
+    /// put (and everything below it — retries, breaker transitions,
+    /// DFS placement, HSM staging) attaches as children of `ctx`.
+    pub fn ingest_traced(
+        &self,
+        ctx: &TraceCtx,
+        cred: &Credential,
+        item: IngestItem,
+        policy: IngestPolicy,
+    ) -> Result<Option<DatasetId>, FacilityError> {
         let store = self.store(&item.project)?.clone();
         // Metric handles were cached at facility build: the hot path
         // only bumps atomics, never the registry maps.
@@ -179,7 +192,7 @@ impl Facility {
         let digest = sha256(&item.data);
         let location = format!("lsdf://{}/{}", item.project, item.key);
         let size = item.data.len() as u64;
-        if let Err(e) = self.adal().put(cred, &location, item.data) {
+        if let Err(e) = self.adal().put_traced(ctx, cred, &location, item.data) {
             outcome(Outcome::Rejected);
             return Err(e.into());
         }
@@ -218,14 +231,23 @@ impl Facility {
         items: Vec<IngestItem>,
         policy: IngestPolicy,
     ) -> IngestReport {
-        let outcomes = self.pool().run(items, |_, item| {
+        let trace = match self.tracer() {
+            Some(t) => {
+                let root = t.root(names::FACILITY_INGEST_BATCH_SPAN, "batch");
+                root.add_field("items", &items.len().to_string());
+                root
+            }
+            None => TraceCtx::disabled(),
+        };
+        let outcomes = self.pool().run_traced(&trace, items, |_, item, ctx| {
             let size = item.data.len() as u64;
-            match self.ingest(cred, item, policy) {
+            match self.ingest_traced(ctx, cred, item, policy) {
                 Ok(Some(_)) => (Outcome::Registered, size),
                 Ok(None) => (Outcome::StoredUnregistered, size),
                 Err(_) => (Outcome::Rejected, 0),
             }
         });
+        trace.finish();
         let mut report = IngestReport::default();
         for (outcome, size) in outcomes {
             match outcome {
@@ -385,6 +407,45 @@ mod tests {
         assert_eq!(bytes.count(), report.registered);
         // Ingest flowed through the shared ADAL counters too.
         assert_eq!(f.adal().counters().puts, report.registered);
+    }
+
+    #[test]
+    fn traced_batch_produces_nested_trace_and_health_report() {
+        use lsdf_obs::TraceConfig;
+        let f = Facility::builder()
+            .project(
+                zebrafish_schema(),
+                BackendChoice::ObjectStore { capacity: u64::MAX },
+            )
+            .tracing(TraceConfig::full())
+            .build()
+            .unwrap();
+        let admin = f.admin().clone();
+        let batch = items(1);
+        let n = batch.len();
+        let report = f.ingest_batch(&admin, batch, IngestPolicy::default());
+        assert_eq!(report.registered as usize, n);
+        let tracer = f.tracer().expect("tracing was enabled");
+        let traces = tracer.traces();
+        assert_eq!(traces.len(), 1, "one batch => one trace");
+        let root = &traces[0].root;
+        assert_eq!(root.name, names::FACILITY_INGEST_BATCH_SPAN);
+        assert_eq!(root.children.len(), n, "one pool task per item");
+        for task in &root.children {
+            assert_eq!(task.name, names::POOL_TASK_SPAN);
+            assert_eq!(task.children[0].name, names::ADAL_PUT_SPAN);
+        }
+        // Health: default rules pass on a healthy facility, and the
+        // accounting sees the project's ops and bytes.
+        let health = f.facility_health();
+        assert!(health.healthy, "no SLO violated: {:?}", health.rules);
+        let acct = health
+            .projects
+            .iter()
+            .find(|p| p.project == "zebrafish-htm")
+            .expect("project accounted");
+        assert_eq!(acct.bytes, report.bytes);
+        assert!(acct.ops >= report.registered);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use lsdf_obs::{Counter, Gauge, Histogram, Registry};
+use lsdf_obs::{Counter, Gauge, Histogram, Registry, TraceCtx};
 use parking_lot::{Mutex, RwLock};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -290,6 +290,21 @@ impl Dfs {
         data: &[u8],
         writer: Option<DfsNodeId>,
     ) -> Result<FileMeta, DfsError> {
+        self.write_traced(path, data, writer, &TraceCtx::disabled())
+    }
+
+    /// [`Dfs::write`] attributed to a causal trace: a `dfs_write` child
+    /// span with one `dfs_block_placed` event per block recording the
+    /// block id and how many replicas landed.
+    pub fn write_traced(
+        &self,
+        path: &str,
+        data: &[u8],
+        writer: Option<DfsNodeId>,
+        ctx: &TraceCtx,
+    ) -> Result<FileMeta, DfsError> {
+        let tspan = ctx.child(names::DFS_WRITE_SPAN);
+        tspan.add_field("path", path);
         let span = self.obs.registry.span(&self.obs.write_latency);
         if self.files.read().contains_key(path) {
             return Err(DfsError::FileExists(path.to_string()));
@@ -323,6 +338,13 @@ impl Dfs {
                 self.drop_blocks(&block_ids);
                 return Err(DfsError::NoSpace);
             }
+            tspan.event(
+                names::DFS_BLOCK_PLACED_EVENT,
+                &[
+                    ("block", &id.0.to_string()),
+                    ("replicas", &placed.len().to_string()),
+                ],
+            );
             self.blocks.insert(
                 id,
                 BlockInfo {
@@ -361,6 +383,19 @@ impl Dfs {
 
     /// Reads a whole file, choosing the closest live replica per block.
     pub fn read(&self, path: &str, reader: Option<DfsNodeId>) -> Result<Bytes, DfsError> {
+        self.read_traced(path, reader, &TraceCtx::disabled())
+    }
+
+    /// [`Dfs::read`] attributed to a causal trace via a `dfs_read`
+    /// child span.
+    pub fn read_traced(
+        &self,
+        path: &str,
+        reader: Option<DfsNodeId>,
+        ctx: &TraceCtx,
+    ) -> Result<Bytes, DfsError> {
+        let tspan = ctx.child(names::DFS_READ_SPAN);
+        tspan.add_field("path", path);
         let span = self.obs.registry.span(&self.obs.read_latency);
         let located = self.file_blocks(path)?;
         let mut out = Vec::with_capacity(located.iter().map(|b| b.size as usize).sum());
@@ -574,6 +609,14 @@ impl Dfs {
     /// map, so monitor passes run concurrently with foreground writes
     /// to other blocks.
     pub fn re_replicate(&self) -> usize {
+        self.re_replicate_traced(&TraceCtx::disabled())
+    }
+
+    /// [`Dfs::re_replicate`] attributed to a causal trace: a
+    /// `dfs_re_replicate` child span with one `dfs_block_rereplicated`
+    /// event per replica created.
+    pub fn re_replicate_traced(&self, ctx: &TraceCtx) -> usize {
+        let tspan = ctx.child(names::DFS_RE_REPLICATE_SPAN);
         let todo = self.under_replicated();
         let mut created = 0;
         let mut unrecoverable: i64 = 0;
@@ -630,12 +673,17 @@ impl Dfs {
                 });
                 created += 1;
                 self.obs.rereplicated.inc();
+                tspan.event(
+                    names::DFS_BLOCK_REREPLICATED_EVENT,
+                    &[("block", &id.0.to_string()), ("target", &t.0.to_string())],
+                );
             }
             if stuck {
                 unrecoverable += 1;
             }
         }
         self.obs.under_replicated_unrecoverable.set(unrecoverable);
+        tspan.add_field("created", &created.to_string());
         created
     }
 

@@ -21,8 +21,10 @@
 //!   count may only decrease.
 //! * **L3 `metric_names`** — no string-literal metric name at a
 //!   `counter(`/`gauge(`/`histogram(`/`*_value(`/`counter_total(` call
-//!   site; names live as consts in `lsdf_obs::names`, and every
-//!   declared const must be used somewhere.
+//!   site, and no string-literal span/event name at a trace call site
+//!   (`child(`/`child_at(`/`root(`/`event(`/`event_at(`); names live
+//!   as consts in `lsdf_obs::names`, and every declared const must be
+//!   used somewhere.
 //! * **L4 `locks`** — no `std::sync::Mutex`/`RwLock` where the
 //!   workspace mandates `parking_lot`, and no ad-hoc per-shard lock
 //!   vectors (`Vec<Mutex<..>>` / `Vec<RwLock<..>>`) outside the
@@ -221,6 +223,17 @@ const METRIC_CALLS: &[&str] = &[
     ".counter_total(",
 ];
 
+/// Span/trace call sites whose name argument must also be a
+/// `lsdf_obs::names` const: `TraceCtx::child`/`child_at`,
+/// `Tracer::root`, and `TraceCtx::event`/`event_at`.
+const SPAN_CALLS: &[&str] = &[
+    ".child(",
+    ".child_at(",
+    ".root(",
+    ".event(",
+    ".event_at(",
+];
+
 /// Lints one file's content. `rel` is the workspace-relative path used
 /// for scoping decisions; the content does not need to exist on disk
 /// (the fixture tests feed synthetic files through here).
@@ -358,37 +371,40 @@ fn lint_scanned(rel: &str, file: &ScannedFile, cfg: &Config) -> Report {
             }
         }
 
-        // L3 metric names: literal at a metric call site.
+        // L3 metric names: literal at a metric or span call site.
         if !is_names_module && !waived(Rule::MetricNames) {
-            for call in METRIC_CALLS {
-                let mut at = 0usize;
-                while let Some(p) = code[at..].find(call) {
-                    let after = code[at + p + call.len()..].trim_start();
-                    let literal = if after.is_empty() {
-                        // Argument starts on a following line.
-                        file.lines
-                            .iter()
-                            .skip(i + 1)
-                            .take(2)
-                            .map(|l| l.code.trim_start())
-                            .find(|c| !c.is_empty())
-                            .is_some_and(|c| c.starts_with('"'))
-                    } else {
-                        after.starts_with('"')
-                    };
-                    if literal {
-                        report.violations.push(Diagnostic {
-                            path: rel.to_string(),
-                            line: i + 1,
-                            rule: Rule::MetricNames,
-                            message: format!(
-                                "string-literal metric name at {}\"...\"); declare it in \
-                                 lsdf_obs::names and use the const",
-                                call
-                            ),
-                        });
+            let call_sets: [(&[&str], &str); 2] =
+                [(METRIC_CALLS, "metric"), (SPAN_CALLS, "span")];
+            for (calls, kind) in call_sets {
+                for call in calls {
+                    let mut at = 0usize;
+                    while let Some(p) = code[at..].find(call) {
+                        let after = code[at + p + call.len()..].trim_start();
+                        let literal = if after.is_empty() {
+                            // Argument starts on a following line.
+                            file.lines
+                                .iter()
+                                .skip(i + 1)
+                                .take(2)
+                                .map(|l| l.code.trim_start())
+                                .find(|c| !c.is_empty())
+                                .is_some_and(|c| c.starts_with('"'))
+                        } else {
+                            after.starts_with('"')
+                        };
+                        if literal {
+                            report.violations.push(Diagnostic {
+                                path: rel.to_string(),
+                                line: i + 1,
+                                rule: Rule::MetricNames,
+                                message: format!(
+                                    "string-literal {kind} name at {call}\"...\"); declare \
+                                     it in lsdf_obs::names and use the const"
+                                ),
+                            });
+                        }
+                        at += p + call.len();
                     }
-                    at += p + call.len();
                 }
             }
         }
@@ -584,6 +600,27 @@ mod tests {
         let r = lint_file("crates/core/src/x.rs", src, &cfg);
         assert_eq!(r.violations.len(), 1);
         assert_eq!(r.violations[0].rule, Rule::MetricNames);
+    }
+
+    #[test]
+    fn span_name_literals_are_caught_and_consts_pass() {
+        let cfg = test_cfg();
+        let bad = "let span = ctx.child(\"adal_put\");\n\
+                   let root = tracer.root(\n    \"pool_task\",\n    key,\n);\n\
+                   ctx.event(\"chaos_fault\", &[]);\n";
+        let r = lint_file("crates/adal/src/x.rs", bad, &cfg);
+        let spans: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|d| d.rule == Rule::MetricNames)
+            .collect();
+        assert_eq!(spans.len(), 3, "{:#?}", r.violations);
+        assert!(spans[0].message.contains("span name"));
+        let good = "let span = ctx.child(names::ADAL_PUT_SPAN);\n\
+                    let root = tracer.root(names::POOL_TASK_SPAN, key);\n\
+                    ctx.event(names::CHAOS_FAULT_EVENT, &[]);\n";
+        let r = lint_file("crates/adal/src/x.rs", good, &cfg);
+        assert!(r.violations.is_empty(), "{:#?}", r.violations);
     }
 
     #[test]

@@ -82,6 +82,19 @@ fn metric_names_fires_on_bad_and_not_on_good() {
 }
 
 #[test]
+fn span_names_fire_on_bad_and_not_on_good() {
+    let bad = lint("span_names/bad.rs");
+    assert_eq!(count(&bad, Rule::MetricNames), 5, "{:#?}", bad.violations);
+    assert!(
+        bad.violations.iter().all(|d| d.message.contains("span name")),
+        "{:#?}",
+        bad.violations
+    );
+    let good = lint("span_names/good.rs");
+    assert_eq!(count(&good, Rule::MetricNames), 0, "{:#?}", good.violations);
+}
+
+#[test]
 fn locks_fires_on_bad_and_not_on_good() {
     let bad = lint("locks/bad.rs");
     assert_eq!(count(&bad, Rule::Locks), 4, "{:#?}", bad.violations);

@@ -1,0 +1,16 @@
+// Fixture: string-literal span/event names at trace call sites — each
+// call must trip rule L3 (metric_names), including the multi-line form.
+
+pub fn traced(tracer: &lsdf_obs::Tracer, ctx: &lsdf_obs::TraceCtx) {
+    let root = tracer.root("adal_put", "key");
+    let child = ctx.child("adal_attempt");
+    let late = ctx.child_at(
+        "tape_mount",
+        42,
+    );
+    ctx.event("chaos_fault", &[("fault", "outage")]);
+    ctx.event_at("adal_retry", 7, &[]);
+    late.finish();
+    child.finish();
+    root.finish();
+}

@@ -1,0 +1,22 @@
+// Fixture: span/event names via lsdf_obs::names consts — nothing here
+// may trip L3. Test code may use ad-hoc literal names.
+use lsdf_obs::names;
+
+pub fn traced(tracer: &lsdf_obs::Tracer, ctx: &lsdf_obs::TraceCtx) {
+    let root = tracer.root(names::ADAL_PUT_SPAN, "key");
+    let child = ctx.child(names::ADAL_ATTEMPT_SPAN);
+    ctx.event(names::CHAOS_FAULT_EVENT, &[("fault", "outage")]);
+    ctx.event_at(names::ADAL_RETRY_EVENT, 7, &[]);
+    child.finish();
+    root.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ad_hoc_span_names_are_fine_in_tests() {
+        let reg = std::sync::Arc::new(lsdf_obs::Registry::new());
+        let tracer = lsdf_obs::Tracer::new(&reg, lsdf_obs::TraceConfig::full());
+        tracer.root("scratch", "k").finish();
+    }
+}

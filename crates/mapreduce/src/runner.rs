@@ -5,6 +5,14 @@
 //! cluster: map tasks preferentially run where a replica of their block
 //! lives (node-local > rack-local > remote), stragglers are duplicated
 //! once the pending queue drains, and the first finished attempt commits.
+//!
+//! Task→node assignment is **planned deterministically** before the
+//! executor threads start: workers claim their best pending task by
+//! locality rank in canonical round-robin order. Threads still race over
+//! which attempt they drive (work conservation, speculation), but block
+//! reads and locality accounting are attributed to the planned node, so
+//! the obs registry sees an identical schedule on every run no matter
+//! how the OS interleaves the threads (lint rule L1).
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -189,6 +197,60 @@ where
     let n_tasks = tasks.len();
     let n_reducers = config.reducers;
 
+    // How far `worker` sits from a task's data (0 node-local, 1
+    // rack-local, 2 remote); locality-blind scheduling flattens it.
+    let rank_for = |worker: DfsNodeId, t: &MapTaskDesc| -> u8 {
+        if !config.locality_aware || t.block.replicas.contains(&worker) {
+            0
+        } else if t
+            .block
+            .replicas
+            .iter()
+            .any(|&r| dfs.topology().same_rack(r, worker))
+        {
+            1
+        } else {
+            2
+        }
+    };
+
+    // Deterministic schedule: round-robin over the workers in config
+    // order, each claiming its best unclaimed task by locality rank —
+    // the same greedy pick the executors race over, made canonical.
+    let plan: Vec<DfsNodeId> = {
+        let mut owner: Vec<Option<DfsNodeId>> = vec![None; n_tasks];
+        let mut left = n_tasks;
+        while left > 0 {
+            for &worker in &config.workers {
+                if left == 0 {
+                    break;
+                }
+                let mut best: Option<(u8, usize)> = None;
+                for (i, t) in tasks.iter().enumerate() {
+                    if owner[i].is_some() {
+                        continue;
+                    }
+                    let rank = rank_for(worker, t);
+                    match best {
+                        Some((br, _)) if br <= rank => {}
+                        _ => best = Some((rank, i)),
+                    }
+                    if rank == 0 && config.locality_aware {
+                        break;
+                    }
+                }
+                if let Some((_, i)) = best {
+                    owner[i] = Some(worker);
+                    left -= 1;
+                }
+            }
+        }
+        owner
+            .into_iter()
+            .map(|o| o.expect("every task planned"))
+            .collect()
+    };
+
     let board = Mutex::new(Board {
         states: vec![TaskState::Pending; n_tasks],
         pending: n_tasks,
@@ -214,6 +276,8 @@ where
     crossbeam::thread::scope(|scope| {
         for &worker in &config.workers {
             let tasks = &tasks;
+            let plan = &plan;
+            let rank_for = &rank_for;
             let board = &board;
             let board_cv = &board_cv;
             let committed = &committed;
@@ -245,36 +309,27 @@ where
                         if b.done == tasks.len() {
                             Pick::Exit
                         } else if b.pending > 0 {
-                            // Rank pending tasks by locality for this worker.
-                            let mut best: Option<(u8, usize)> = None;
+                            // Own planned tasks first (the deterministic
+                            // schedule), else steal the best-ranked
+                            // pending task for work conservation.
+                            let mut own: Option<usize> = None;
+                            let mut steal: Option<(u8, usize)> = None;
                             for (i, t) in tasks.iter().enumerate() {
                                 if b.states[i] != TaskState::Pending {
                                     continue;
                                 }
-                                let rank = if !config.locality_aware
-                                    || t.block.replicas.contains(&worker)
-                                {
-                                    0
-                                } else if t
-                                    .block
-                                    .replicas
-                                    .iter()
-                                    .any(|&r| dfs.topology().same_rack(r, worker))
-                                {
-                                    1
-                                } else {
-                                    2
-                                };
-                                match best {
-                                    Some((br, _)) if br <= rank => {}
-                                    _ => best = Some((rank, i)),
-                                }
-                                if rank == 0 && config.locality_aware {
+                                if plan[i] == worker {
+                                    own = Some(i);
                                     break;
                                 }
+                                let rank = rank_for(worker, t);
+                                match steal {
+                                    Some((br, _)) if br <= rank => {}
+                                    _ => steal = Some((rank, i)),
+                                }
                             }
-                            match best {
-                                Some((_, i)) => {
+                            match own.or(steal.map(|(_, i)| i)) {
+                                Some(i) => {
                                     b.states[i] = TaskState::Running { attempts: 1 };
                                     b.pending -= 1;
                                     Pick::Task(i, false)
@@ -317,7 +372,12 @@ where
                             if let Some(d) = slow {
                                 std::thread::sleep(d);
                             }
-                            let data = match dfs.read_block(&t.block, Some(worker)) {
+                            // The node this attempt runs on: the planned
+                            // owner for first attempts, the idle
+                            // executor's own node for speculative
+                            // duplicates (a second attempt elsewhere).
+                            let node = if is_spec { worker } else { plan[i] };
+                            let data = match dfs.read_block(&t.block, Some(node)) {
                                 Ok(d) => d,
                                 Err(_) => {
                                     // Requeue on read failure.
@@ -329,13 +389,13 @@ where
                                     continue;
                                 }
                             };
-                            let loc = if t.block.replicas.contains(&worker) {
+                            let loc = if t.block.replicas.contains(&node) {
                                 TaskLocality::NodeLocal
                             } else if t
                                 .block
                                 .replicas
                                 .iter()
-                                .any(|&r| dfs.topology().same_rack(r, worker))
+                                .any(|&r| dfs.topology().same_rack(r, node))
                             {
                                 TaskLocality::RackLocal
                             } else {

@@ -197,6 +197,39 @@ fn locality_aware_scheduling_runs_maps_node_local() {
 }
 
 #[test]
+fn locality_stats_are_deterministic_across_runs() {
+    // Task→node assignment is planned before the executors start, so the
+    // locality split must not depend on how the OS schedules the worker
+    // threads — the racy-counter regression behind the facility-level
+    // determinism witness (`determinism_double_run`).
+    let run_once = || {
+        let dfs = cluster(2, 2, 160);
+        let (data, _) = corpus();
+        dfs.write("/corpus", &data, None).unwrap();
+        let out = run_job(
+            &dfs,
+            &["/corpus".to_string()],
+            &WordCountMap,
+            no_combiner::<WordCountMap>(),
+            &SumReduce,
+            &JobConfig::on_cluster(&dfs, 2),
+        )
+        .unwrap();
+        let s = out.stats;
+        (
+            s.node_local_maps,
+            s.rack_local_maps,
+            s.remote_maps,
+            s.bytes_read,
+        )
+    };
+    let first = run_once();
+    for attempt in 0..10 {
+        assert_eq!(first, run_once(), "locality split diverged on run {attempt}");
+    }
+}
+
+#[test]
 fn speculative_execution_beats_a_straggler() {
     let dfs = cluster(1, 4, 640);
     let (data, expect) = corpus();

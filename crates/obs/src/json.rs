@@ -106,7 +106,7 @@ fn push_map(out: &mut String, pairs: &[(String, String)]) {
 
 /// Formats an `f64` as a JSON number (never NaN/Inf in practice — means
 /// of empty histograms are 0.0 — but guard anyway).
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v}");
         // `{}` renders integral floats without a decimal point; keep the
@@ -123,7 +123,7 @@ fn fmt_f64(v: f64) -> String {
 
 /// JSON string literal with escaping for quotes, backslashes, and
 /// control characters.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

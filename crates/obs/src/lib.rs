@@ -28,7 +28,11 @@ mod json;
 mod metric;
 pub mod names;
 mod registry;
+mod slo;
+mod trace;
 
 pub use clock::Clock;
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{Event, MetricId, Registry, RegistrySnapshot, Span};
+pub use slo::{Cmp, FacilityHealth, ProjectAccount, Quantile, RuleOutcome, Selector, SloMonitor, SloRule};
+pub use trace::{SampleMode, SpanRecord, TraceConfig, TraceCtx, TraceEvent, TraceId, TraceRecord, Tracer};

@@ -13,7 +13,7 @@
 //!
 //! * `snake_case`, prefixed with the owning subsystem
 //!   (`adal_`, `dfs_`, `hsm_`, `tape_`, `cloud_`, `workflow_`,
-//!   `facility_`, `chaos_`, `mr_`);
+//!   `facility_`, `chaos_`, `mr_`, `pool_`, `trace_`);
 //! * monotonically increasing counters end in `_total`;
 //! * nanosecond latency histograms end in `_ns`;
 //! * byte-size histograms end in `_bytes`;
@@ -160,6 +160,100 @@ pub const MR_JOBS_TOTAL: &str = "mr_jobs_total";
 /// End-to-end job latency per the registry clock (virtual-time safe).
 pub const MR_JOB_LATENCY_NS: &str = "mr_job_latency_ns";
 
+// --- Causal tracing: tracer metrics -----------------------------------
+
+/// Trace roots minted (counts even when sampling rejects the root).
+pub const TRACE_ROOTS_TOTAL: &str = "trace_roots_total";
+/// Trace roots accepted by the sampler.
+pub const TRACE_SAMPLED_TOTAL: &str = "trace_sampled_total";
+/// Traces currently retained in the bounded store.
+pub const TRACE_RETAINED: &str = "trace_retained";
+
+// --- Causal tracing: span names (rule L3 covers `TraceCtx::child` /
+// --- `Tracer::root` call sites just like metric calls) -----------------
+
+/// Root span of an ADAL `put`.
+pub const ADAL_PUT_SPAN: &str = "adal_put";
+/// Root span of an ADAL `get`.
+pub const ADAL_GET_SPAN: &str = "adal_get";
+/// Root span of an ADAL `stat`.
+pub const ADAL_STAT_SPAN: &str = "adal_stat";
+/// Root span of an ADAL `list`.
+pub const ADAL_LIST_SPAN: &str = "adal_list";
+/// Root span of an ADAL `delete`.
+pub const ADAL_DELETE_SPAN: &str = "adal_delete";
+/// Root span of an explicit journal drain.
+pub const ADAL_DRAIN_SPAN: &str = "adal_drain";
+/// One attempt inside the retry loop, field `attempt=0..`.
+pub const ADAL_ATTEMPT_SPAN: &str = "adal_attempt";
+/// Primary-backend leg of a resilient put fan-out.
+pub const ADAL_PRIMARY_PUT_SPAN: &str = "adal_primary_put";
+/// Replica leg of a resilient put fan-out (bare by design: serial and
+/// pooled runs must render it identically).
+pub const ADAL_REPLICA_PUT_SPAN: &str = "adal_replica_put";
+/// One work item executing on a pool worker.
+pub const POOL_TASK_SPAN: &str = "pool_task";
+/// Root span over a whole `Facility::ingest_batch` call.
+pub const FACILITY_INGEST_BATCH_SPAN: &str = "facility_ingest_batch";
+/// DFS file write (chunk + place + store).
+pub const DFS_WRITE_SPAN: &str = "dfs_write";
+/// DFS file read (locate + fetch blocks).
+pub const DFS_READ_SPAN: &str = "dfs_read";
+/// DFS re-replication sweep after node loss.
+pub const DFS_RE_REPLICATE_SPAN: &str = "dfs_re_replicate";
+/// HSM tape-to-disk staging performed inside a `get`.
+pub const HSM_STAGE_SPAN: &str = "hsm_stage";
+/// Tape-library request from submit to completion.
+pub const TAPE_REQUEST_SPAN: &str = "tape_request";
+/// Cartridge mount inside a tape request (same name as the registry
+/// event the robot already emits).
+pub const TAPE_MOUNT_SPAN: &str = "tape_mount";
+
+// --- Causal tracing: trace-event names --------------------------------
+
+/// Retry scheduled after a transient error, field `delay_ns`.
+pub const ADAL_RETRY_EVENT: &str = "adal_retry";
+/// Retry loop gave up (attempts exhausted or breaker open).
+pub const ADAL_RETRY_EXHAUSTED_EVENT: &str = "adal_retry_exhausted";
+/// Circuit-breaker state change, fields `project`, `to`.
+pub const ADAL_BREAKER_TRANSITION_EVENT: &str = "adal_breaker_transition";
+/// Write parked in the redo journal, fields `project`, `key`.
+pub const ADAL_JOURNAL_ENQUEUE_EVENT: &str = "adal_journal_enqueue";
+/// Read served from the replica after the primary failed.
+pub const ADAL_FAILOVER_READ_EVENT: &str = "adal_failover_read";
+/// Fault injected by a chaos plan, fields `backend`, `fault`.
+pub const CHAOS_FAULT_EVENT: &str = "chaos_fault";
+/// DFS block placed on its replica set, fields `block`, `replicas`.
+pub const DFS_BLOCK_PLACED_EVENT: &str = "dfs_block_placed";
+/// DFS block copied to a fresh node during re-replication.
+pub const DFS_BLOCK_REREPLICATED_EVENT: &str = "dfs_block_rereplicated";
+
+// --- Registry event log: structured event names -----------------------
+
+/// Circuit-breaker state change in the registry event log.
+pub const ADAL_BREAKER_LOG_EVENT: &str = "adal_breaker";
+/// Backend mounted (or remounted) under a project prefix.
+pub const ADAL_MOUNT_LOG_EVENT: &str = "adal_mount";
+/// Journal entry replayed against the recovered primary.
+pub const ADAL_JOURNAL_DRAIN_LOG_EVENT: &str = "adal_journal_drain";
+/// Journal replay found the key already written; entry dropped.
+pub const ADAL_JOURNAL_CONFLICT_LOG_EVENT: &str = "adal_journal_conflict";
+/// HSM object deleted from disk + catalog.
+pub const HSM_DELETE_LOG_EVENT: &str = "hsm_delete";
+/// HSM object demoted disk → tape.
+pub const HSM_DEMOTE_LOG_EVENT: &str = "hsm_demote";
+/// HSM object recalled tape → disk.
+pub const HSM_RECALL_LOG_EVENT: &str = "hsm_recall";
+
+// --- SLO monitor -------------------------------------------------------
+
+/// SLO evaluation passes performed by the monitor.
+pub const FACILITY_SLO_EVALUATIONS_TOTAL: &str = "facility_slo_evaluations_total";
+/// Individual rule violations observed across all evaluations.
+pub const FACILITY_SLO_VIOLATIONS_TOTAL: &str = "facility_slo_violations_total";
+/// 1 while the latest evaluation passed every rule, else 0.
+pub const FACILITY_SLO_HEALTHY: &str = "facility_slo_healthy";
+
 /// Every declared metric name, for exhaustiveness checks and the
 /// `lsdf-lint` unused-name rule's own tests.
 pub const ALL: &[&str] = &[
@@ -218,6 +312,44 @@ pub const ALL: &[&str] = &[
     WORKFLOW_TRIGGER_RUNS_TOTAL,
     MR_JOBS_TOTAL,
     MR_JOB_LATENCY_NS,
+    TRACE_ROOTS_TOTAL,
+    TRACE_SAMPLED_TOTAL,
+    TRACE_RETAINED,
+    ADAL_PUT_SPAN,
+    ADAL_GET_SPAN,
+    ADAL_STAT_SPAN,
+    ADAL_LIST_SPAN,
+    ADAL_DELETE_SPAN,
+    ADAL_DRAIN_SPAN,
+    ADAL_ATTEMPT_SPAN,
+    ADAL_PRIMARY_PUT_SPAN,
+    ADAL_REPLICA_PUT_SPAN,
+    POOL_TASK_SPAN,
+    FACILITY_INGEST_BATCH_SPAN,
+    DFS_WRITE_SPAN,
+    DFS_READ_SPAN,
+    DFS_RE_REPLICATE_SPAN,
+    HSM_STAGE_SPAN,
+    TAPE_REQUEST_SPAN,
+    TAPE_MOUNT_SPAN,
+    ADAL_RETRY_EVENT,
+    ADAL_RETRY_EXHAUSTED_EVENT,
+    ADAL_BREAKER_TRANSITION_EVENT,
+    ADAL_JOURNAL_ENQUEUE_EVENT,
+    ADAL_FAILOVER_READ_EVENT,
+    CHAOS_FAULT_EVENT,
+    DFS_BLOCK_PLACED_EVENT,
+    DFS_BLOCK_REREPLICATED_EVENT,
+    ADAL_BREAKER_LOG_EVENT,
+    ADAL_MOUNT_LOG_EVENT,
+    ADAL_JOURNAL_DRAIN_LOG_EVENT,
+    ADAL_JOURNAL_CONFLICT_LOG_EVENT,
+    HSM_DELETE_LOG_EVENT,
+    HSM_DEMOTE_LOG_EVENT,
+    HSM_RECALL_LOG_EVENT,
+    FACILITY_SLO_EVALUATIONS_TOTAL,
+    FACILITY_SLO_VIOLATIONS_TOTAL,
+    FACILITY_SLO_HEALTHY,
 ];
 
 #[cfg(test)]
@@ -244,6 +376,8 @@ mod tests {
             "tape_",
             "workflow_",
             "mr_",
+            "pool_",
+            "trace_",
         ];
         for n in ALL {
             assert!(

@@ -1,0 +1,726 @@
+//! SLO monitoring: declarative rules over registry snapshots, producing
+//! a [`FacilityHealth`] report with per-project accounting.
+//!
+//! The LSDF paper's facility is run against advertised operating
+//! points, with a project database accounting for what each scientific
+//! community consumes. This module is that loop in miniature: a
+//! [`SloMonitor`] holds parsed [`SloRule`]s and evaluates them against
+//! a [`Registry`] snapshot on demand, yielding a report that says
+//! whether the facility currently holds its promises and what each
+//! project did to the stack.
+//!
+//! Rule grammar (one rule per string):
+//!
+//! ```text
+//! p50|p95|p99(<hist>{k=v,...}) <|<= <number>     quantile bound
+//! gauge(<gauge>{k=v,...}) ==|<=|< <number>       gauge bound
+//! rate(<counter> / <counter>) <|<= <number>      windowed error rate
+//! ```
+//!
+//! The label block is optional. `rate` divides the *deltas* of the two
+//! counter totals (summed across label sets) since the previous
+//! evaluation — the first evaluation and idle windows (denominator
+//! delta 0) report 0.0. A metric that does not exist yet evaluates as
+//! 0, so rules hold vacuously before traffic arrives. Evaluation is a
+//! pure function of the snapshot plus the monitor's window state:
+//! deterministic for deterministic runs.
+
+// lint: allow(locks) -- dependency-free crate: std guard types with poison-tolerant wrapper below
+use std::sync::{Mutex, PoisonError};
+
+use crate::json::{escape, fmt_f64};
+use crate::names;
+use crate::registry::{MetricId, Registry, RegistrySnapshot};
+
+// lint: allow(locks) -- dependency-free crate: std guard types in signatures
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Which quantile a quantile rule reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quantile {
+    /// Median.
+    P50,
+    /// 95th percentile.
+    P95,
+    /// 99th percentile.
+    P99,
+}
+
+/// What a rule measures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Selector {
+    /// A histogram quantile, e.g. `p99(adal_op_latency_ns{op=put})`.
+    HistQuantile {
+        /// Which quantile.
+        q: Quantile,
+        /// Histogram name.
+        name: String,
+        /// Label filter (exact id match).
+        labels: Vec<(String, String)>,
+    },
+    /// A gauge value, e.g. `gauge(dfs_under_replicated_unrecoverable)`.
+    GaugeValue {
+        /// Gauge name.
+        name: String,
+        /// Label filter (exact id match).
+        labels: Vec<(String, String)>,
+    },
+    /// A windowed counter ratio, e.g.
+    /// `rate(adal_retry_exhausted_total / adal_ops_total)`. Totals are
+    /// summed across label sets.
+    Rate {
+        /// Numerator counter name.
+        numerator: String,
+        /// Denominator counter name.
+        denominator: String,
+    },
+}
+
+/// Comparison against the threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// Observed strictly below threshold.
+    Lt,
+    /// Observed at or below threshold.
+    Le,
+    /// Observed equal to threshold.
+    Eq,
+}
+
+/// One parsed SLO rule: selector, comparison, threshold.
+#[derive(Clone, Debug)]
+pub struct SloRule {
+    text: String,
+    selector: Selector,
+    cmp: Cmp,
+    threshold: f64,
+}
+
+fn parse_labels(block: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    for pair in block.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("label `{pair}` is not `key=value`"))?;
+        labels.push((k.trim().to_string(), v.trim().to_string()));
+    }
+    labels.sort();
+    Ok(labels)
+}
+
+/// `name` or `name{k=v,...}` → (name, sorted labels).
+fn parse_metric_ref(s: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let s = s.trim();
+    match s.split_once('{') {
+        None => Ok((s.to_string(), Vec::new())),
+        Some((name, rest)) => {
+            let block = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unclosed label block in `{s}`"))?;
+            Ok((name.trim().to_string(), parse_labels(block)?))
+        }
+    }
+}
+
+impl SloRule {
+    /// Parses one rule from the grammar in the module docs.
+    pub fn parse(text: &str) -> Result<SloRule, String> {
+        let t = text.trim();
+        let open = t
+            .find('(')
+            .ok_or_else(|| format!("`{t}`: missing `(` after selector"))?;
+        let close = t
+            .rfind(')')
+            .ok_or_else(|| format!("`{t}`: missing `)` closing the selector"))?;
+        if close < open {
+            return Err(format!("`{t}`: mismatched parentheses"));
+        }
+        let head = t[..open].trim();
+        let arg = &t[open + 1..close];
+        let rest = t[close + 1..].trim();
+        let (cmp, num) = if let Some(r) = rest.strip_prefix("<=") {
+            (Cmp::Le, r)
+        } else if let Some(r) = rest.strip_prefix("==") {
+            (Cmp::Eq, r)
+        } else if let Some(r) = rest.strip_prefix('<') {
+            (Cmp::Lt, r)
+        } else {
+            return Err(format!("`{t}`: expected `<`, `<=`, or `==` after selector"));
+        };
+        let threshold: f64 = num
+            .trim()
+            .parse()
+            .map_err(|e| format!("`{t}`: bad threshold: {e}"))?;
+        let selector = match head {
+            "p50" | "p95" | "p99" => {
+                let q = match head {
+                    "p50" => Quantile::P50,
+                    "p95" => Quantile::P95,
+                    _ => Quantile::P99,
+                };
+                let (name, labels) = parse_metric_ref(arg)?;
+                Selector::HistQuantile { q, name, labels }
+            }
+            "gauge" => {
+                let (name, labels) = parse_metric_ref(arg)?;
+                Selector::GaugeValue { name, labels }
+            }
+            "rate" => {
+                let (numerator, denominator) = arg
+                    .split_once('/')
+                    .ok_or_else(|| format!("`{t}`: rate needs `numerator / denominator`"))?;
+                let (numerator, nl) = parse_metric_ref(numerator)?;
+                let (denominator, dl) = parse_metric_ref(denominator)?;
+                if !nl.is_empty() || !dl.is_empty() {
+                    return Err(format!(
+                        "`{t}`: rate counters are summed across labels; no label block allowed"
+                    ));
+                }
+                Selector::Rate {
+                    numerator,
+                    denominator,
+                }
+            }
+            other => return Err(format!("`{t}`: unknown selector `{other}`")),
+        };
+        Ok(SloRule {
+            text: t.to_string(),
+            selector,
+            cmp,
+            threshold,
+        })
+    }
+
+    /// The rule's source text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The project this rule is scoped to, when its label filter names
+    /// one — used to attribute violations in the per-project accounts.
+    pub fn project(&self) -> Option<&str> {
+        let labels = match &self.selector {
+            Selector::HistQuantile { labels, .. } => labels,
+            Selector::GaugeValue { labels, .. } => labels,
+            Selector::Rate { .. } => return None,
+        };
+        labels
+            .iter()
+            .find(|(k, _)| k == "project")
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn compare(&self, observed: f64) -> bool {
+        match self.cmp {
+            Cmp::Lt => observed < self.threshold,
+            Cmp::Le => observed <= self.threshold,
+            Cmp::Eq => observed == self.threshold,
+        }
+    }
+}
+
+fn metric_id(name: &str, labels: &[(String, String)]) -> MetricId {
+    // Labels arrive sorted from `parse_labels`; MetricId sorts again.
+    let as_refs: Vec<(&str, &str)> = labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    MetricId::new(name, &as_refs)
+}
+
+fn counter_total(snap: &RegistrySnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .filter(|(id, _)| id.name == name)
+        .map(|(_, v)| v)
+        .sum()
+}
+
+/// The outcome of one rule in one evaluation.
+#[derive(Clone, Debug)]
+pub struct RuleOutcome {
+    /// Rule source text.
+    pub rule: String,
+    /// True when the rule held.
+    pub ok: bool,
+    /// The value the selector observed.
+    pub observed: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+}
+
+/// What one project did to the facility, per the registry.
+#[derive(Clone, Debug)]
+pub struct ProjectAccount {
+    /// Project name (the ADAL mount / ingest label).
+    pub project: String,
+    /// ADAL operations served for the project.
+    pub ops: u64,
+    /// Bytes ingested for the project.
+    pub bytes: u64,
+    /// Tape movements (demotions + recalls) on the project's HSM store.
+    pub tape_mounts: u64,
+    /// Rules scoped to this project that failed in this evaluation.
+    pub violations: u64,
+}
+
+/// One SLO evaluation: overall verdict, per-rule outcomes, per-project
+/// accounts.
+#[derive(Clone, Debug)]
+pub struct FacilityHealth {
+    /// Evaluation timestamp (registry clock).
+    pub t_ns: u64,
+    /// True when every rule held.
+    pub healthy: bool,
+    /// Per-rule outcomes, in rule order.
+    pub rules: Vec<RuleOutcome>,
+    /// Per-project accounts, sorted by project name.
+    pub projects: Vec<ProjectAccount>,
+}
+
+impl FacilityHealth {
+    /// Renders the report as a small JSON document (same hand-rolled,
+    /// deterministic style as the registry exporter).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\n  \"t_ns\": {},\n  \"healthy\": {},\n  \"rules\": [",
+            self.t_ns, self.healthy
+        ));
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"ok\": {}, \"observed\": {}, \"threshold\": {}}}",
+                escape(&r.rule),
+                r.ok,
+                fmt_f64(r.observed),
+                fmt_f64(r.threshold)
+            ));
+        }
+        if !self.rules.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"projects\": [");
+        for (i, p) in self.projects.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"project\": {}, \"ops\": {}, \"bytes\": {}, \
+                 \"tape_mounts\": {}, \"violations\": {}}}",
+                escape(&p.project),
+                p.ops,
+                p.bytes,
+                p.tape_mounts,
+                p.violations
+            ));
+        }
+        if !self.projects.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Evaluates a fixed rule set against registry snapshots, carrying the
+/// window state `rate` rules need between evaluations.
+pub struct SloMonitor {
+    rules: Vec<SloRule>,
+    /// Previous (numerator, denominator) totals per rule index; `None`
+    /// until the rule's first evaluation.
+    windows: Mutex<Vec<Option<(u64, u64)>>>,
+}
+
+impl SloMonitor {
+    /// A monitor over `rules`.
+    pub fn new(rules: Vec<SloRule>) -> Self {
+        let windows = Mutex::new(vec![None; rules.len()]);
+        SloMonitor { rules, windows }
+    }
+
+    /// The facility's baseline rule set: no block may ever become
+    /// unrecoverable.
+    pub fn with_defaults() -> Self {
+        let rule = format!("gauge({}) == 0", names::DFS_UNDER_REPLICATED_UNRECOVERABLE);
+        SloMonitor::new(vec![SloRule::parse(&rule).expect("default rule parses")])
+    }
+
+    /// The rules this monitor evaluates.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Evaluates every rule against a fresh snapshot of `registry`,
+    /// updating the monitor's own metrics
+    /// (`facility_slo_evaluations_total`, `facility_slo_violations_total`,
+    /// `facility_slo_healthy`).
+    pub fn evaluate(&self, registry: &Registry) -> FacilityHealth {
+        let snap = registry.snapshot();
+        let t_ns = registry.now_ns();
+        let mut windows = lock(&self.windows);
+        let mut outcomes = Vec::with_capacity(self.rules.len());
+        for (i, rule) in self.rules.iter().enumerate() {
+            let observed = match &rule.selector {
+                Selector::HistQuantile { q, name, labels } => {
+                    let id = metric_id(name, labels);
+                    snap.histograms
+                        .iter()
+                        .find(|(hid, _)| *hid == id)
+                        .map_or(0.0, |(_, h)| match q {
+                            Quantile::P50 => h.p50 as f64,
+                            Quantile::P95 => h.p95 as f64,
+                            Quantile::P99 => h.p99 as f64,
+                        })
+                }
+                Selector::GaugeValue { name, labels } => {
+                    let id = metric_id(name, labels);
+                    snap.gauges
+                        .iter()
+                        .find(|(gid, _)| *gid == id)
+                        .map_or(0.0, |(_, v)| *v as f64)
+                }
+                Selector::Rate {
+                    numerator,
+                    denominator,
+                } => {
+                    let num = counter_total(&snap, numerator);
+                    let den = counter_total(&snap, denominator);
+                    let prev = windows[i].replace((num, den));
+                    match prev {
+                        Some((pn, pd)) => {
+                            let dn = num.saturating_sub(pn);
+                            let dd = den.saturating_sub(pd);
+                            if dd == 0 {
+                                0.0
+                            } else {
+                                dn as f64 / dd as f64
+                            }
+                        }
+                        None => 0.0,
+                    }
+                }
+            };
+            outcomes.push(RuleOutcome {
+                rule: rule.text.clone(),
+                ok: rule.compare(observed),
+                observed,
+                threshold: rule.threshold,
+            });
+        }
+        drop(windows);
+
+        let healthy = outcomes.iter().all(|o| o.ok);
+        let violations = outcomes.iter().filter(|o| !o.ok).count() as u64;
+        registry
+            .counter(names::FACILITY_SLO_EVALUATIONS_TOTAL, &[])
+            .inc();
+        registry
+            .counter(names::FACILITY_SLO_VIOLATIONS_TOTAL, &[])
+            .add(violations);
+        registry
+            .gauge(names::FACILITY_SLO_HEALTHY, &[])
+            .set(i64::from(healthy));
+
+        FacilityHealth {
+            t_ns,
+            healthy,
+            rules: outcomes,
+            projects: project_accounts(&snap, &self.rules),
+        }
+    }
+}
+
+/// Builds per-project accounts from a snapshot: projects are discovered
+/// from `adal_project_ops_total` and `facility_ingest_bytes` labels;
+/// tape movement is attributed through the facility naming convention
+/// that a project's HSM disk tier is called `<project>-disk`.
+fn project_accounts(snap: &RegistrySnapshot, rules: &[SloRule]) -> Vec<ProjectAccount> {
+    let mut projects = std::collections::BTreeSet::new();
+    for (id, _) in &snap.counters {
+        if id.name == names::ADAL_PROJECT_OPS_TOTAL {
+            if let Some((_, p)) = id.labels.iter().find(|(k, _)| k == "project") {
+                projects.insert(p.clone());
+            }
+        }
+    }
+    for (id, _) in &snap.histograms {
+        if id.name == names::FACILITY_INGEST_BYTES {
+            if let Some((_, p)) = id.labels.iter().find(|(k, _)| k == "project") {
+                projects.insert(p.clone());
+            }
+        }
+    }
+    projects
+        .into_iter()
+        .map(|project| {
+            let ops = snap
+                .counters
+                .iter()
+                .filter(|(id, _)| {
+                    id.name == names::ADAL_PROJECT_OPS_TOTAL
+                        && id.labels.contains(&("project".to_string(), project.clone()))
+                })
+                .map(|(_, v)| v)
+                .sum();
+            let bytes = snap
+                .histograms
+                .iter()
+                .filter(|(id, _)| {
+                    id.name == names::FACILITY_INGEST_BYTES
+                        && id.labels.contains(&("project".to_string(), project.clone()))
+                })
+                .map(|(_, h)| h.sum)
+                .sum();
+            let store = ("store".to_string(), format!("{project}-disk"));
+            let tape_mounts = snap
+                .counters
+                .iter()
+                .filter(|(id, _)| {
+                    (id.name == names::HSM_DEMOTIONS_TOTAL || id.name == names::HSM_RECALLS_TOTAL)
+                        && id.labels.contains(&store)
+                })
+                .map(|(_, v)| v)
+                .sum();
+            let violations = rules
+                .iter()
+                .zip(evaluated_flags(snap, rules))
+                .filter(|(r, ok)| !ok && r.project() == Some(project.as_str()))
+                .count() as u64;
+            ProjectAccount {
+                project,
+                ops,
+                bytes,
+                tape_mounts,
+                violations,
+            }
+        })
+        .collect()
+}
+
+/// Re-derives pass/fail per rule for attribution, without touching the
+/// rate windows (rate rules never carry a project label, so attribution
+/// only needs the stateless selectors — rate rules report `true` here).
+fn evaluated_flags(snap: &RegistrySnapshot, rules: &[SloRule]) -> Vec<bool> {
+    rules
+        .iter()
+        .map(|rule| match &rule.selector {
+            Selector::HistQuantile { q, name, labels } => {
+                let id = metric_id(name, labels);
+                let observed = snap
+                    .histograms
+                    .iter()
+                    .find(|(hid, _)| *hid == id)
+                    .map_or(0.0, |(_, h)| match q {
+                        Quantile::P50 => h.p50 as f64,
+                        Quantile::P95 => h.p95 as f64,
+                        Quantile::P99 => h.p99 as f64,
+                    });
+                rule.compare(observed)
+            }
+            Selector::GaugeValue { name, labels } => {
+                let id = metric_id(name, labels);
+                let observed = snap
+                    .gauges
+                    .iter()
+                    .find(|(gid, _)| *gid == id)
+                    .map_or(0.0, |(_, v)| *v as f64);
+                rule.compare(observed)
+            }
+            Selector::Rate { .. } => true,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_selector_forms() {
+        let q = SloRule::parse("p99(adal_op_latency_ns{op=put}) < 1000000").unwrap();
+        assert_eq!(
+            q.selector,
+            Selector::HistQuantile {
+                q: Quantile::P99,
+                name: "adal_op_latency_ns".into(),
+                labels: vec![("op".into(), "put".into())],
+            }
+        );
+        assert_eq!(q.cmp, Cmp::Lt);
+        assert_eq!(q.threshold, 1_000_000.0);
+
+        let g = SloRule::parse("gauge(dfs_under_replicated_unrecoverable) == 0").unwrap();
+        assert_eq!(
+            g.selector,
+            Selector::GaugeValue {
+                name: "dfs_under_replicated_unrecoverable".into(),
+                labels: vec![],
+            }
+        );
+        assert_eq!(g.cmp, Cmp::Eq);
+
+        let r = SloRule::parse("rate(adal_retry_exhausted_total / adal_ops_total) <= 0.05")
+            .unwrap();
+        assert_eq!(
+            r.selector,
+            Selector::Rate {
+                numerator: "adal_retry_exhausted_total".into(),
+                denominator: "adal_ops_total".into(),
+            }
+        );
+        assert_eq!(r.cmp, Cmp::Le);
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        for bad in [
+            "p99 adal_op_latency_ns < 5",
+            "p42(x) < 5",
+            "gauge(x) > 5",
+            "gauge(x{unclosed) == 0",
+            "rate(a) < 0.5",
+            "rate(a{l=1} / b) < 0.5",
+            "gauge(x) == banana",
+        ] {
+            assert!(SloRule::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn gauge_rule_flips_and_recovers() {
+        let r = Registry::new();
+        r.set_virtual_time_ns(1);
+        let monitor = SloMonitor::with_defaults();
+        let report = monitor.evaluate(&r);
+        assert!(report.healthy, "vacuously healthy before traffic");
+        r.gauge(names::DFS_UNDER_REPLICATED_UNRECOVERABLE, &[]).set(3);
+        let report = monitor.evaluate(&r);
+        assert!(!report.healthy);
+        assert!(!report.rules[0].ok);
+        assert_eq!(report.rules[0].observed, 3.0);
+        r.gauge(names::DFS_UNDER_REPLICATED_UNRECOVERABLE, &[]).set(0);
+        let report = monitor.evaluate(&r);
+        assert!(report.healthy, "recovers once the gauge clears");
+        assert_eq!(r.counter_value(names::FACILITY_SLO_EVALUATIONS_TOTAL, &[]), 3);
+        assert_eq!(r.counter_value(names::FACILITY_SLO_VIOLATIONS_TOTAL, &[]), 1);
+        assert_eq!(r.gauge_value(names::FACILITY_SLO_HEALTHY, &[]), 1);
+    }
+
+    #[test]
+    fn quantile_rule_reads_snapshot_quantiles() {
+        let r = Registry::new();
+        let h = r.histogram(names::ADAL_OP_LATENCY_NS, &[("op", "put")]);
+        for _ in 0..50 {
+            h.record(10);
+            h.record(1_000_000);
+        }
+        let tight =
+            SloMonitor::new(vec![SloRule::parse(
+                &format!("p50({}{{op=put}}) < 100", names::ADAL_OP_LATENCY_NS),
+            )
+            .unwrap()]);
+        assert!(tight.evaluate(&r).healthy);
+        let strict =
+            SloMonitor::new(vec![SloRule::parse(
+                &format!("p99({}{{op=put}}) < 100", names::ADAL_OP_LATENCY_NS),
+            )
+            .unwrap()]);
+        assert!(!strict.evaluate(&r).healthy, "p99 sees the outlier");
+    }
+
+    #[test]
+    fn rate_rule_is_windowed() {
+        let r = Registry::new();
+        let errs = r.counter(names::ADAL_RETRY_EXHAUSTED_TOTAL, &[("project", "p")]);
+        let ops = r.counter(names::ADAL_OPS_TOTAL, &[("op", "put")]);
+        let monitor = SloMonitor::new(vec![SloRule::parse(&format!(
+            "rate({} / {}) < 0.5",
+            names::ADAL_RETRY_EXHAUSTED_TOTAL,
+            names::ADAL_OPS_TOTAL
+        ))
+        .unwrap()]);
+        // First window: no previous totals -> 0.0.
+        assert!(monitor.evaluate(&r).healthy);
+        ops.add(10);
+        errs.add(9);
+        let report = monitor.evaluate(&r);
+        assert!(!report.healthy);
+        assert_eq!(report.rules[0].observed, 0.9);
+        // Next window is clean: only deltas count.
+        ops.add(10);
+        assert!(monitor.evaluate(&r).healthy);
+        // Idle window: denominator delta 0 -> vacuously ok.
+        assert!(monitor.evaluate(&r).healthy);
+    }
+
+    #[test]
+    fn project_accounts_aggregate_and_attribute() {
+        let r = Registry::new();
+        r.counter(
+            names::ADAL_PROJECT_OPS_TOTAL,
+            &[("project", "screening"), ("backend", "disk"), ("op", "put")],
+        )
+        .add(7);
+        r.counter(
+            names::ADAL_PROJECT_OPS_TOTAL,
+            &[("project", "screening"), ("backend", "disk"), ("op", "get")],
+        )
+        .add(3);
+        r.counter(
+            names::ADAL_PROJECT_OPS_TOTAL,
+            &[("project", "katrin"), ("backend", "tape"), ("op", "put")],
+        )
+        .add(2);
+        r.histogram(names::FACILITY_INGEST_BYTES, &[("project", "screening")])
+            .record(4096);
+        r.counter(names::HSM_RECALLS_TOTAL, &[("store", "katrin-disk")])
+            .add(5);
+        r.gauge(names::ADAL_BREAKER_STATE, &[("project", "screening")])
+            .set(1);
+        let monitor = SloMonitor::new(vec![SloRule::parse(&format!(
+            "gauge({}{{project=screening}}) == 0",
+            names::ADAL_BREAKER_STATE
+        ))
+        .unwrap()]);
+        let report = monitor.evaluate(&r);
+        assert!(!report.healthy);
+        assert_eq!(report.projects.len(), 2);
+        let katrin = &report.projects[0];
+        assert_eq!(katrin.project, "katrin");
+        assert_eq!(katrin.ops, 2);
+        assert_eq!(katrin.tape_mounts, 5);
+        assert_eq!(katrin.violations, 0);
+        let screening = &report.projects[1];
+        assert_eq!(screening.project, "screening");
+        assert_eq!(screening.ops, 10);
+        assert_eq!(screening.bytes, 4096);
+        assert_eq!(screening.violations, 1);
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_balanced() {
+        let r = Registry::new();
+        r.set_virtual_time_ns(42);
+        r.counter(
+            names::ADAL_PROJECT_OPS_TOTAL,
+            &[("project", "p\"q"), ("backend", "b"), ("op", "put")],
+        )
+        .inc();
+        let monitor = SloMonitor::with_defaults();
+        let json = monitor.evaluate(&r).to_json();
+        assert_eq!(json, monitor.evaluate(&r).to_json());
+        assert!(json.contains("\"t_ns\": 42"), "{json}");
+        assert!(json.contains("\"healthy\": true"), "{json}");
+        assert!(json.contains("p\\\"q"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

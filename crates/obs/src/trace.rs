@@ -1,0 +1,858 @@
+//! Deterministic causal tracing: every ADAL operation can mint a
+//! [`TraceId`], and the components it fans out to (retry loops, circuit
+//! breakers, pool workers, DFS block placement, HSM staging, tape
+//! mounts, chaos injections) attach child spans and events through an
+//! explicit [`TraceCtx`] threaded down the call path.
+//!
+//! Determinism rules (the same rules the rest of the facility obeys):
+//!
+//! * all timestamps come from the registry [`Clock`] — under a virtual
+//!   clock a seeded run produces bit-identical traces;
+//! * sampling is a pure hash of the trace id and the configured seed —
+//!   never wall entropy, so lint rule L1 holds;
+//! * a child span reserves its slot in the parent at **creation** time
+//!   (creation sites are serial) and fills it at finish, so the tree
+//!   shape never depends on which pool worker finished first;
+//! * trace ids are hashes of (seed, span name, key, clock), never a
+//!   shared counter, so they are independent of scheduling order.
+//!
+//! Storage is a bounded map ordered by `(start_ns, trace_id)`; when the
+//! capacity is exceeded the oldest traces are evicted first, which is
+//! insertion-order independent. Two consumers sit on top: a
+//! chrome://tracing JSON exporter ([`Tracer::export_chrome`]) and a
+//! text tree renderer for the slowest traces
+//! ([`Tracer::render_slowest`]).
+
+use std::collections::BTreeMap;
+// lint: allow(locks) -- dependency-free crate: std guard types with poison-tolerant wrapper below
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::clock::Clock;
+use crate::json::escape;
+use crate::metric::{Counter, Gauge};
+use crate::names;
+use crate::registry::Registry;
+
+/// Poison-tolerant lock: a panicked holder cannot have corrupted the
+/// trace tree invariants (slot indices are assigned before user code
+/// runs), so we keep serving the data we have.
+// lint: allow(locks) -- dependency-free crate: std guard types in signatures
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// splitmix64 finalizer — the deterministic hash behind trace ids and
+/// sampling decisions.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the bytes, then finalized with [`mix`].
+fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix(h)
+}
+
+/// Identity of one causal trace (one root ADAL operation and everything
+/// it fanned out to).
+///
+/// Derived by hashing `(sampling seed, root span name, key, clock)` —
+/// never an allocation counter — so the id is identical at any worker
+/// count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A point-in-time occurrence inside a span (a retry decision, a
+/// breaker transition, an injected fault).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Timestamp from the registry clock, nanoseconds.
+    pub t_ns: u64,
+    /// Event name (a `lsdf_obs::names` const).
+    pub name: &'static str,
+    /// Structured fields.
+    pub fields: Vec<(String, String)>,
+}
+
+/// A completed span: one timed stretch of work attributed to a trace.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Span name (a `lsdf_obs::names` const).
+    pub name: &'static str,
+    /// Start timestamp, nanoseconds (registry clock).
+    pub start_ns: u64,
+    /// End timestamp, nanoseconds (registry clock).
+    pub end_ns: u64,
+    /// Structured fields attached while the span was live.
+    pub fields: Vec<(String, String)>,
+    /// Point events recorded inside this span, in recording order.
+    pub events: Vec<TraceEvent>,
+    /// Child spans in creation order (creation sites are serial, so
+    /// this order is identical at any worker count).
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds (0 when the clock did not advance).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Total spans in this subtree, the span itself included.
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(SpanRecord::span_count).sum::<usize>()
+    }
+
+    /// Depth-first walk over the subtree's events.
+    pub fn for_each_event(&self, f: &mut impl FnMut(&SpanRecord, &TraceEvent)) {
+        for e in &self.events {
+            f(self, e);
+        }
+        for c in &self.children {
+            c.for_each_event(f);
+        }
+    }
+}
+
+/// An in-flight span: the slot vector lets children finish in any
+/// order while the record keeps creation order.
+struct SpanBuild {
+    name: &'static str,
+    start_ns: u64,
+    fields: Vec<(String, String)>,
+    events: Vec<TraceEvent>,
+    children: Vec<Option<SpanRecord>>,
+}
+
+impl SpanBuild {
+    fn new(name: &'static str, start_ns: u64) -> Self {
+        SpanBuild {
+            name,
+            start_ns,
+            fields: Vec::new(),
+            events: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    fn into_record(self, end_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name: self.name,
+            start_ns: self.start_ns,
+            end_ns,
+            fields: self.fields,
+            events: self.events,
+            // A `None` slot is a child that never finished (e.g. a sim
+            // callback that was never scheduled); it is dropped rather
+            // than exported half-built.
+            children: self.children.into_iter().flatten().collect(),
+        }
+    }
+}
+
+type SpanCell = Arc<Mutex<Option<SpanBuild>>>;
+
+/// Where a finished span's record goes.
+enum Parent {
+    /// This ctx is the trace root: the record lands in the tracer store.
+    Root {
+        /// Key the root was minted for (stored alongside the trace).
+        key: String,
+    },
+    /// A child: the record fills `slot` in the parent's build.
+    Span {
+        /// The parent's in-flight cell.
+        cell: SpanCell,
+        /// Slot reserved at creation time.
+        slot: usize,
+    },
+}
+
+struct CtxInner {
+    tracer: Tracer,
+    trace_id: TraceId,
+    cell: SpanCell,
+    parent: Parent,
+}
+
+/// The handle a traced call path carries: spans and events attach to
+/// the trace through it.
+///
+/// A disabled ctx ([`TraceCtx::disabled`], or anything derived from
+/// one) is a no-op on every method — the untraced hot path costs one
+/// `Option` check. The ctx is owned and `Send`: children can be moved
+/// into pool workers and `'static` simulation callbacks. Dropping a
+/// ctx finishes its span at the current clock reading, so early error
+/// returns still produce complete trees.
+pub struct TraceCtx {
+    inner: Option<CtxInner>,
+}
+
+impl TraceCtx {
+    /// A no-op ctx for untraced call paths.
+    pub fn disabled() -> Self {
+        TraceCtx { inner: None }
+    }
+
+    /// False for [`TraceCtx::disabled`] (and for children of a finished
+    /// parent).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The trace this ctx belongs to, if enabled.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.inner.as_ref().map(|i| i.trace_id)
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.tracer.inner.clock.now_ns())
+    }
+
+    /// Opens a child span at the current clock reading. `name` must be
+    /// a `lsdf_obs::names` const (enforced by lint rule L3).
+    pub fn child(&self, name: &'static str) -> TraceCtx {
+        self.child_at(name, self.now_ns())
+    }
+
+    /// Opens a child span at an explicit timestamp (simulation-driven
+    /// components pass `sim.now`). The child's slot in the parent is
+    /// reserved here, under the parent lock, so creation order — not
+    /// completion order — fixes the tree shape.
+    pub fn child_at(&self, name: &'static str, t_ns: u64) -> TraceCtx {
+        let Some(inner) = &self.inner else {
+            return TraceCtx::disabled();
+        };
+        let slot = {
+            let mut guard = lock(&inner.cell);
+            let Some(build) = guard.as_mut() else {
+                // The parent already finished (late sim callback): the
+                // child traces nothing rather than dangling.
+                return TraceCtx::disabled();
+            };
+            build.children.push(None);
+            build.children.len() - 1
+        };
+        TraceCtx {
+            inner: Some(CtxInner {
+                tracer: inner.tracer.clone(),
+                trace_id: inner.trace_id,
+                cell: Arc::new(Mutex::new(Some(SpanBuild::new(name, t_ns)))),
+                parent: Parent::Span {
+                    cell: Arc::clone(&inner.cell),
+                    slot,
+                },
+            }),
+        }
+    }
+
+    /// Attaches a structured field to this span.
+    pub fn add_field(&self, key: &str, value: &str) {
+        let Some(inner) = &self.inner else { return };
+        if let Some(build) = lock(&inner.cell).as_mut() {
+            build.fields.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Records a point event at the current clock reading.
+    pub fn event(&self, name: &'static str, fields: &[(&str, &str)]) {
+        self.event_at(self.now_ns(), name, fields);
+    }
+
+    /// Records a point event at an explicit timestamp.
+    pub fn event_at(&self, t_ns: u64, name: &'static str, fields: &[(&str, &str)]) {
+        let Some(inner) = &self.inner else { return };
+        if let Some(build) = lock(&inner.cell).as_mut() {
+            build.events.push(TraceEvent {
+                t_ns,
+                name,
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Finishes the span at the current clock reading.
+    pub fn finish(mut self) {
+        let t = self.now_ns();
+        self.finish_inner(t);
+    }
+
+    /// Finishes the span at an explicit timestamp.
+    pub fn finish_at(mut self, t_ns: u64) {
+        self.finish_inner(t_ns);
+    }
+
+    fn finish_inner(&mut self, t_ns: u64) {
+        let Some(inner) = self.inner.take() else { return };
+        let Some(build) = lock(&inner.cell).take() else {
+            return;
+        };
+        let record = build.into_record(t_ns);
+        match inner.parent {
+            Parent::Span { cell, slot } => {
+                if let Some(parent) = lock(&cell).as_mut() {
+                    parent.children[slot] = Some(record);
+                }
+                // Parent already finished: the late child is dropped —
+                // deterministically, since schedules are deterministic.
+            }
+            Parent::Root { key } => inner.tracer.store_root(inner.trace_id, key, record),
+        }
+    }
+}
+
+impl Drop for TraceCtx {
+    fn drop(&mut self) {
+        let t = self.now_ns();
+        self.finish_inner(t);
+    }
+}
+
+/// How roots are selected for retention.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampleMode {
+    /// Trace nothing (mint disabled ctxs — the overhead floor).
+    Off,
+    /// Keep roots whose id hashes under `ppm` parts-per-million. The
+    /// decision is a pure function of (trace id, seed): deterministic,
+    /// scheduling-independent.
+    Ratio(u32),
+    /// Trace every root.
+    Full,
+}
+
+/// Tracer construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Sampling mode.
+    pub mode: SampleMode,
+    /// Retained-trace bound; oldest `(start_ns, trace_id)` evicted first.
+    pub capacity: usize,
+    /// Seed folded into trace ids and sampling decisions.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            mode: SampleMode::Full,
+            capacity: 1024,
+            seed: 0,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Full tracing with the default capacity.
+    pub fn full() -> Self {
+        TraceConfig::default()
+    }
+
+    /// Tracing disabled (minting only counts roots).
+    pub fn off() -> Self {
+        TraceConfig {
+            mode: SampleMode::Off,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Seeded ratio sampling, `ppm` parts-per-million of roots kept.
+    pub fn sampled(ppm: u32) -> Self {
+        TraceConfig {
+            mode: SampleMode::Ratio(ppm),
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Overrides the retained-trace bound.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the sampling/id seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One retained trace: its id, the key the root was minted for, and
+/// the completed span tree.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// Trace identity.
+    pub trace_id: TraceId,
+    /// Root key (e.g. the ADAL path).
+    pub key: String,
+    /// Root span with all attached children.
+    pub root: SpanRecord,
+}
+
+struct TracerInner {
+    clock: Clock,
+    config: TraceConfig,
+    store: Mutex<BTreeMap<(u64, u64), TraceRecord>>,
+    roots: Counter,
+    sampled: Counter,
+    retained: Gauge,
+}
+
+/// The trace store and root-minting factory. Cheap to clone (shared
+/// interior, like [`crate::Registry`] handles).
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// A tracer on `registry`'s clock, counting
+    /// `trace_roots_total` / `trace_sampled_total` and mirroring the
+    /// retained-trace count into the `trace_retained` gauge.
+    pub fn new(registry: &Registry, config: TraceConfig) -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                clock: registry.clock().clone(),
+                config,
+                store: Mutex::new(BTreeMap::new()),
+                roots: registry.counter(names::TRACE_ROOTS_TOTAL, &[]),
+                sampled: registry.counter(names::TRACE_SAMPLED_TOTAL, &[]),
+                retained: registry.gauge(names::TRACE_RETAINED, &[]),
+            }),
+        }
+    }
+
+    /// The configuration this tracer runs with.
+    pub fn config(&self) -> TraceConfig {
+        self.inner.config
+    }
+
+    /// Mints a trace root for one operation on `key`. Returns a
+    /// disabled ctx when sampling rejects the root. `name` must be a
+    /// `lsdf_obs::names` const (enforced by lint rule L3).
+    pub fn root(&self, name: &'static str, key: &str) -> TraceCtx {
+        self.inner.roots.inc();
+        if self.inner.config.mode == SampleMode::Off {
+            return TraceCtx::disabled();
+        }
+        let now = self.inner.clock.now_ns();
+        let seed = self.inner.config.seed;
+        let mut h = mix(seed);
+        h = mix(h ^ hash_str(name));
+        h = mix(h ^ hash_str(key));
+        h = mix(h ^ now);
+        let id = TraceId(h);
+        if let SampleMode::Ratio(ppm) = self.inner.config.mode {
+            if mix(id.0 ^ seed) % 1_000_000 >= u64::from(ppm) {
+                return TraceCtx::disabled();
+            }
+        }
+        self.inner.sampled.inc();
+        let mut build = SpanBuild::new(name, now);
+        build.fields.push(("key".to_string(), key.to_string()));
+        TraceCtx {
+            inner: Some(CtxInner {
+                tracer: self.clone(),
+                trace_id: id,
+                cell: Arc::new(Mutex::new(Some(build))),
+                parent: Parent::Root {
+                    key: key.to_string(),
+                },
+            }),
+        }
+    }
+
+    fn store_root(&self, id: TraceId, key: String, root: SpanRecord) {
+        let mut store = lock(&self.inner.store);
+        store.insert(
+            (root.start_ns, id.0),
+            TraceRecord {
+                trace_id: id,
+                key,
+                root,
+            },
+        );
+        while store.len() > self.inner.config.capacity {
+            // Oldest (start_ns, id) first: the retained set is the same
+            // regardless of completion/insertion order.
+            store.pop_first();
+        }
+        self.inner.retained.set(store.len() as i64);
+    }
+
+    /// Retained traces in `(start_ns, trace_id)` order.
+    pub fn traces(&self) -> Vec<TraceRecord> {
+        lock(&self.inner.store).values().cloned().collect()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        lock(&self.inner.store).len()
+    }
+
+    /// True when no trace is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every retained trace.
+    pub fn clear(&self) {
+        lock(&self.inner.store).clear();
+        self.inner.retained.set(0);
+    }
+
+    /// Exports every retained trace as chrome://tracing JSON (the
+    /// "Trace Event Format": complete `ph:"X"` events for spans,
+    /// instant `ph:"i"` events for point events). Timestamps are
+    /// microseconds with fixed three-decimal nanosecond precision, so
+    /// the export is byte-stable for a given trace set.
+    pub fn export_chrome(&self) -> String {
+        let traces = self.traces();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for (i, tr) in traces.iter().enumerate() {
+            let tid = i + 1;
+            emit_chrome_span(&mut out, &mut first, tr, &tr.root, tid);
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Renders the `n` slowest traces (by root duration, ties broken by
+    /// start time then id) as an indented text tree — the operator's
+    /// quick look before opening the chrome export.
+    pub fn render_slowest(&self, n: usize) -> String {
+        let mut traces = self.traces();
+        traces.sort_by(|a, b| {
+            b.root
+                .duration_ns()
+                .cmp(&a.root.duration_ns())
+                .then(a.root.start_ns.cmp(&b.root.start_ns))
+                .then(a.trace_id.cmp(&b.trace_id))
+        });
+        let mut out = String::new();
+        for tr in traces.iter().take(n) {
+            out.push_str(&format!(
+                "trace {} key={} {} ({} spans)\n",
+                tr.trace_id,
+                tr.key,
+                fmt_dur(tr.root.duration_ns()),
+                tr.root.span_count()
+            ));
+            render_span(&mut out, &tr.root, 1);
+        }
+        out
+    }
+}
+
+/// `ns` as fixed-point microseconds (`123.456`), the chrome `ts` unit.
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Human-readable duration for the text renderer.
+fn fmt_dur(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{}.{:03}ms", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+    } else {
+        format!("{}us", fmt_us(ns))
+    }
+}
+
+fn push_args(out: &mut String, extra: &[(&str, &str)], fields: &[(String, String)]) {
+    out.push_str("\"args\":{");
+    let mut first = true;
+    for (k, v) in extra {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{}:{}", escape(k), escape(v)));
+    }
+    for (k, v) in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{}:{}", escape(k), escape(v)));
+    }
+    out.push('}');
+}
+
+fn emit_chrome_span(
+    out: &mut String,
+    first: &mut bool,
+    tr: &TraceRecord,
+    span: &SpanRecord,
+    tid: usize,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let id = tr.trace_id.to_string();
+    out.push_str(&format!(
+        "\n{{\"name\":{},\"cat\":\"lsdf\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},",
+        escape(span.name),
+        fmt_us(span.start_ns),
+        fmt_us(span.duration_ns()),
+        tid
+    ));
+    push_args(out, &[("trace_id", &id)], &span.fields);
+    out.push('}');
+    for e in &span.events {
+        out.push_str(&format!(
+            ",\n{{\"name\":{},\"cat\":\"lsdf\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"pid\":1,\"tid\":{},",
+            escape(e.name),
+            fmt_us(e.t_ns),
+            tid
+        ));
+        push_args(out, &[("trace_id", &id)], &e.fields);
+        out.push('}');
+    }
+    for c in &span.children {
+        emit_chrome_span(out, first, tr, c, tid);
+    }
+}
+
+fn render_span(out: &mut String, span: &SpanRecord, depth: usize) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&format!("{pad}{} {}", span.name, fmt_dur(span.duration_ns())));
+    for (k, v) in &span.fields {
+        out.push_str(&format!(" {k}={v}"));
+    }
+    out.push('\n');
+    for e in &span.events {
+        out.push_str(&format!("{pad}  ! {} @{}us", e.name, fmt_us(e.t_ns)));
+        for (k, v) in &e.fields {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+    }
+    for c in &span.children {
+        render_span(out, c, depth + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> Registry {
+        let r = Registry::new();
+        r.set_virtual_time_ns(1_000);
+        r
+    }
+
+    #[test]
+    fn root_child_event_tree() {
+        let r = reg();
+        let tracer = Tracer::new(&r, TraceConfig::full());
+        let root = tracer.root("op_a", "k/1");
+        r.set_virtual_time_ns(2_000);
+        let c1 = root.child("step_one");
+        c1.add_field("attempt", "0");
+        c1.event("hiccup", &[("why", "io")]);
+        r.set_virtual_time_ns(3_000);
+        c1.finish();
+        let c2 = root.child("step_two");
+        r.set_virtual_time_ns(4_000);
+        c2.finish();
+        root.finish();
+
+        let traces = tracer.traces();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.key, "k/1");
+        assert_eq!(t.root.name, "op_a");
+        assert_eq!(t.root.start_ns, 1_000);
+        assert_eq!(t.root.end_ns, 4_000);
+        assert_eq!(t.root.children.len(), 2);
+        assert_eq!(t.root.children[0].name, "step_one");
+        assert_eq!(t.root.children[0].events.len(), 1);
+        assert_eq!(t.root.children[0].fields, vec![("attempt".into(), "0".into())]);
+        assert_eq!(t.root.children[1].name, "step_two");
+        assert_eq!(t.root.span_count(), 3);
+    }
+
+    #[test]
+    fn children_keep_creation_order_regardless_of_finish_order() {
+        let r = reg();
+        let tracer = Tracer::new(&r, TraceConfig::full());
+        let root = tracer.root("op_a", "k");
+        let a = root.child("first");
+        let b = root.child("second");
+        b.finish(); // out of order on purpose
+        a.finish();
+        root.finish();
+        let t = &tracer.traces()[0];
+        assert_eq!(t.root.children[0].name, "first");
+        assert_eq!(t.root.children[1].name, "second");
+    }
+
+    #[test]
+    fn disabled_ctx_is_a_noop_everywhere() {
+        let ctx = TraceCtx::disabled();
+        assert!(!ctx.is_enabled());
+        assert!(ctx.trace_id().is_none());
+        let child = ctx.child("anything");
+        assert!(!child.is_enabled());
+        child.event("e", &[]);
+        child.add_field("k", "v");
+        child.finish();
+        ctx.finish();
+    }
+
+    #[test]
+    fn off_mode_mints_disabled_roots_but_counts_them() {
+        let r = reg();
+        let tracer = Tracer::new(&r, TraceConfig::off());
+        let ctx = tracer.root("op_a", "k");
+        assert!(!ctx.is_enabled());
+        ctx.finish();
+        assert_eq!(r.counter_value(names::TRACE_ROOTS_TOTAL, &[]), 1);
+        assert_eq!(r.counter_value(names::TRACE_SAMPLED_TOTAL, &[]), 0);
+        assert!(tracer.is_empty());
+    }
+
+    #[test]
+    fn ratio_sampling_is_deterministic_and_partial() {
+        let r = reg();
+        let tracer = Tracer::new(&r, TraceConfig::sampled(500_000).seed(7));
+        let decide = |key: &str| tracer.root("op_a", key).is_enabled();
+        let first: Vec<bool> = (0..64).map(|i| decide(&format!("k/{i}"))).collect();
+        let second: Vec<bool> = (0..64).map(|i| decide(&format!("k/{i}"))).collect();
+        assert_eq!(first, second, "sampling must be a pure hash");
+        assert!(first.iter().any(|s| *s));
+        assert!(first.iter().any(|s| !*s));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let r = reg();
+        let tracer = Tracer::new(&r, TraceConfig::full().capacity(2));
+        for i in 0..5u64 {
+            r.set_virtual_time_ns(1_000 + i * 100);
+            tracer.root("op_a", &format!("k/{i}")).finish();
+        }
+        let keys: Vec<String> = tracer.traces().into_iter().map(|t| t.key).collect();
+        assert_eq!(keys, vec!["k/3", "k/4"]);
+        assert_eq!(r.gauge_value(names::TRACE_RETAINED, &[]), 2);
+    }
+
+    #[test]
+    fn dropping_a_ctx_finishes_it() {
+        let r = reg();
+        let tracer = Tracer::new(&r, TraceConfig::full());
+        {
+            let root = tracer.root("op_a", "k");
+            let _child = root.child("step_one");
+            // Both dropped here (error-path shape).
+        }
+        let t = &tracer.traces()[0];
+        assert_eq!(t.root.children.len(), 1);
+    }
+
+    #[test]
+    fn late_child_of_a_finished_parent_is_dropped() {
+        let r = reg();
+        let tracer = Tracer::new(&r, TraceConfig::full());
+        let root = tracer.root("op_a", "k");
+        let child = root.child("step_one");
+        root.finish();
+        // The parent is gone; finishing the child must not panic and
+        // must not resurrect the trace.
+        child.finish();
+        assert_eq!(tracer.traces()[0].root.children.len(), 0);
+        // A grandchild minted through the orphaned child also vanishes
+        // with it — the trace stays a tree rooted in the store.
+        let root2 = tracer.root("op_a", "k2");
+        let c = root2.child("step_one");
+        root2.finish();
+        c.child("grand").finish();
+        c.finish();
+        assert_eq!(tracer.traces()[1].root.children.len(), 0);
+    }
+
+    #[test]
+    fn chrome_export_shape_and_determinism() {
+        let build = || {
+            let r = reg();
+            let tracer = Tracer::new(&r, TraceConfig::full());
+            let root = tracer.root("op_a", "k\"quoted\"");
+            let c = root.child("step_one");
+            c.event("hiccup", &[("delay_ns", "42")]);
+            r.set_virtual_time_ns(5_500);
+            c.finish();
+            root.finish();
+            tracer.export_chrome()
+        };
+        let json = build();
+        assert_eq!(json, build(), "export must be byte-stable");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}\n"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":4.500"));
+        assert!(json.contains("k\\\"quoted\\\""));
+        // Balanced braces/brackets — cheap structural validity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON braces"
+        );
+    }
+
+    #[test]
+    fn render_slowest_orders_by_duration() {
+        let r = reg();
+        let tracer = Tracer::new(&r, TraceConfig::full());
+        let slow = tracer.root("op_a", "slow");
+        let s = slow.child("step_one");
+        r.set_virtual_time_ns(10_000_000);
+        s.finish();
+        slow.finish();
+        let fast = tracer.root("op_a", "fast");
+        fast.finish();
+        let text = tracer.render_slowest(2);
+        let slow_at = text.find("key=slow").expect("slow trace rendered");
+        let fast_at = text.find("key=fast").expect("fast trace rendered");
+        assert!(slow_at < fast_at, "slowest first:\n{text}");
+        assert!(text.contains("step_one"));
+        assert_eq!(tracer.render_slowest(1).matches("trace ").count(), 1);
+    }
+
+    #[test]
+    fn trace_ids_do_not_depend_on_mint_order() {
+        let r = reg();
+        let tracer = Tracer::new(&r, TraceConfig::full());
+        let a1 = tracer.root("op_a", "x").trace_id().unwrap();
+        let b1 = tracer.root("op_b", "y").trace_id().unwrap();
+        let tracer2 = Tracer::new(&r, TraceConfig::full());
+        let b2 = tracer2.root("op_b", "y").trace_id().unwrap();
+        let a2 = tracer2.root("op_a", "x").trace_id().unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_ne!(a1, b1);
+    }
+}

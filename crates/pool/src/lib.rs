@@ -25,6 +25,8 @@
 use parking_lot::Mutex;
 use std::thread;
 
+use lsdf_obs::{names, TraceCtx};
+
 /// Environment variable consulted by [`WorkerPool::from_env`]; holds the
 /// worker count for facility data paths (default 1 = serial).
 pub const WORKERS_ENV: &str = "LSDF_WORKERS";
@@ -138,6 +140,40 @@ impl WorkerPool {
         out
     }
 
+    /// [`WorkerPool::run`] with causal tracing: each item executes
+    /// inside its own `pool_task` child span of `parent`.
+    ///
+    /// The child spans are reserved **serially, in index order, before
+    /// any worker thread sees the queue**, so the trace tree (child
+    /// order included) is bit-identical for every worker count; only
+    /// the recorded timestamps can differ, and under a virtual clock
+    /// even those agree.
+    pub fn run_traced<T, R, F>(&self, parent: &TraceCtx, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T, &TraceCtx) -> R + Sync,
+    {
+        if !parent.is_enabled() {
+            let disabled = TraceCtx::disabled();
+            return self.run(items, |i, t| f(i, t, &disabled));
+        }
+        let tagged: Vec<(T, TraceCtx)> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let span = parent.child(names::POOL_TASK_SPAN);
+                span.add_field("idx", &i.to_string());
+                (t, span)
+            })
+            .collect();
+        self.run(tagged, |i, (t, span)| {
+            let out = f(i, t, &span);
+            span.finish();
+            out
+        })
+    }
+
     /// Evaluates `fa` and `fb`, concurrently when the pool is parallel,
     /// and returns both results as `(a, b)`.
     ///
@@ -213,6 +249,44 @@ mod tests {
         };
         assert_eq!(serial_total, 5050);
         assert_eq!(serial_total, par_total);
+    }
+
+    #[test]
+    fn run_traced_trees_are_worker_count_invariant() {
+        use lsdf_obs::{Registry, TraceConfig, Tracer};
+        use std::sync::Arc;
+        let tree = |workers: usize| {
+            let reg = Arc::new(Registry::new());
+            reg.set_virtual_time_ns(7);
+            let tracer = Tracer::new(&reg, TraceConfig::full());
+            let root = tracer.root(names::POOL_TASK_SPAN, "batch");
+            let out =
+                WorkerPool::new(workers).run_traced(&root, (0..32u64).collect(), |i, x, ctx| {
+                    assert!(ctx.is_enabled());
+                    (i as u64) * 100 + x
+                });
+            root.finish();
+            (out, tracer.export_chrome())
+        };
+        let (out1, trace1) = tree(1);
+        for workers in [4usize, 8] {
+            let (out, trace) = tree(workers);
+            assert_eq!(out1, out, "workers={workers}");
+            assert_eq!(trace1, trace, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn run_traced_disabled_parent_is_transparent() {
+        let out = WorkerPool::new(4).run_traced(
+            &lsdf_obs::TraceCtx::disabled(),
+            vec![1u32, 2, 3],
+            |_, x, ctx| {
+                assert!(!ctx.is_enabled());
+                x * 2
+            },
+        );
+        assert_eq!(out, vec![2, 4, 6]);
     }
 
     #[test]

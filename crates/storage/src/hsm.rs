@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use lsdf_obs::{Counter, Histogram, Registry};
+use lsdf_obs::{Counter, Histogram, Registry, TraceCtx};
 
 use crate::checksum::Digest;
 use crate::object::{ObjectStore, StoreError};
@@ -232,6 +232,13 @@ impl Hsm {
     /// Reads an object; a tape-resident object is transparently recalled
     /// to disk first (and stays there — recall implies promotion).
     pub fn get(&self, key: &str) -> Result<bytes::Bytes, HsmError> {
+        self.get_traced(key, &TraceCtx::disabled())
+    }
+
+    /// [`Hsm::get`] with causal tracing: when the object is tape-resident
+    /// the staging (recall) leg is recorded as a child span so a slow read
+    /// is attributable to the tape tier rather than the disk array.
+    pub fn get_traced(&self, key: &str, ctx: &TraceCtx) -> Result<bytes::Bytes, HsmError> {
         let tier = {
             let mut inner = self.inner.lock();
             let entry = inner
@@ -241,7 +248,11 @@ impl Hsm {
             entry.tier
         };
         if tier == Tier::Tape {
+            let stage = ctx.child(names::HSM_STAGE_SPAN);
+            stage.add_field("key", key);
+            stage.add_field("store", self.disk.name());
             self.recall(key)?;
+            stage.finish();
         }
         let data = self.disk.get(key)?;
         let mut inner = self.inner.lock();
@@ -272,7 +283,7 @@ impl Hsm {
         };
         self.inner.lock().catalog.remove(key);
         self.obs.deletes.inc();
-        self.obs.registry.event("hsm_delete", &[("key", key)]);
+        self.obs.registry.event(names::HSM_DELETE_LOG_EVENT, &[("key", key)]);
         Ok(())
     }
 
@@ -404,7 +415,7 @@ impl Hsm {
         self.disk.delete(key)?;
         self.obs.demotions.inc();
         self.obs.demote_bytes.record(size);
-        self.obs.registry.event("hsm_demote", &[("key", key)]);
+        self.obs.registry.event(names::HSM_DEMOTE_LOG_EVENT, &[("key", key)]);
         let mut inner = self.inner.lock();
         if let Some(e) = inner.catalog.get_mut(key) {
             e.tier = Tier::Tape;
@@ -436,7 +447,7 @@ impl Hsm {
         self.tape.delete(key)?;
         self.obs.recalls.inc();
         self.obs.recall_bytes.record(size);
-        self.obs.registry.event("hsm_recall", &[("key", key)]);
+        self.obs.registry.event(names::HSM_RECALL_LOG_EVENT, &[("key", key)]);
         {
             let mut inner = self.inner.lock();
             if let Some(e) = inner.catalog.get_mut(key) {

@@ -12,7 +12,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use lsdf_obs::{Counter, Histogram, Registry};
+use lsdf_obs::{Counter, Histogram, Registry, TraceCtx};
 use lsdf_sim::{Resource, SimDuration, SimRng, SimTime, Simulation, Tally};
 use lsdf_obs::names;
 
@@ -197,7 +197,26 @@ impl TapeLibrary {
         bytes: u64,
         on_done: impl FnOnce(&mut Simulation, TapeCompletion) + 'static,
     ) {
+        self.submit_traced(sim, op, bytes, &TraceCtx::disabled(), on_done);
+    }
+
+    /// [`TapeLibrary::submit`] with causal tracing: the whole request
+    /// (queue wait included) becomes a `tape_request` child span and the
+    /// robot's cartridge exchange a nested `tape_mount` span, both
+    /// timestamped in sim time so a recall trace shows exactly where the
+    /// minutes went.
+    pub fn submit_traced(
+        &self,
+        sim: &mut Simulation,
+        op: TapeOp,
+        bytes: u64,
+        ctx: &TraceCtx,
+        on_done: impl FnOnce(&mut Simulation, TapeCompletion) + 'static,
+    ) {
         let submitted = sim.now();
+        let req_span = ctx.child_at(names::TAPE_REQUEST_SPAN, submitted.as_nanos());
+        req_span.add_field("op", op.name());
+        req_span.add_field("bytes", &bytes.to_string());
         let this = self.clone();
         let drives = self.inner.borrow().drives.clone();
         drives.acquire(sim, move |sim| {
@@ -216,6 +235,8 @@ impl TapeLibrary {
                         &[("op", op.name())],
                     );
                 }
+                let mount_span = req_span.child_at(names::TAPE_MOUNT_SPAN, sim.now().as_nanos());
+                mount_span.add_field("op", op.name());
                 let mount = {
                     let mut inner = this2.inner.borrow_mut();
                     let base = inner.params.mount;
@@ -239,6 +260,7 @@ impl TapeLibrary {
                                     &[("op", op.name())],
                                 );
                             }
+                            mount_span.add_field("stuck", "true");
                             base + extra
                         }
                         None => base,
@@ -246,6 +268,7 @@ impl TapeLibrary {
                 };
                 let this3 = this2.clone();
                 sim.schedule_in(mount, move |sim| {
+                    mount_span.finish_at(sim.now().as_nanos());
                     // Robot freed after the exchange completes (clone the
                     // handle out so no RefCell borrow spans the release).
                     let robot = this3.inner.borrow().robot.clone();
@@ -299,6 +322,7 @@ impl TapeLibrary {
                             inner.drives.clone()
                         };
                         drives.release(sim);
+                        req_span.finish_at(finished.as_nanos());
                         on_done(sim, completion);
                     });
                 });
@@ -485,6 +509,31 @@ mod tests {
         assert_eq!(lib.archive_latency().count(), 1);
         assert_eq!(lib.recall_latency().count(), 1);
         assert_eq!(lib.completions().len(), 2);
+    }
+
+    #[test]
+    fn traced_recall_records_request_and_mount_spans() {
+        use lsdf_obs::{TraceConfig, Tracer};
+        let reg = Arc::new(Registry::new());
+        let tracer = Tracer::new(&reg, TraceConfig::full());
+        let lib = TapeLibrary::new(params());
+        let mut sim = Simulation::new();
+        let root = tracer.root(names::HSM_STAGE_SPAN, "recall-test");
+        lib.submit_traced(&mut sim, TapeOp::Recall, 0, &root, |_, _| {});
+        sim.run();
+        root.finish();
+        let traces = tracer.traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].root.children.len(), 1);
+        let req = &traces[0].root.children[0];
+        assert_eq!(req.name, names::TAPE_REQUEST_SPAN);
+        // 60 mount + 30 seek + 0 stream + 10 unmount = 100 sim-seconds.
+        assert_eq!(req.duration_ns(), SimDuration::from_secs(100).as_nanos());
+        assert_eq!(req.children.len(), 1);
+        let mount = &req.children[0];
+        assert_eq!(mount.name, names::TAPE_MOUNT_SPAN);
+        assert_eq!(mount.duration_ns(), SimDuration::from_secs(60).as_nanos());
+        assert_eq!(mount.start_ns, req.start_ns, "mount starts when the drive is granted");
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Seeded chaos run: a resilient ADAL mount over a fault-injected
-//! object store, driven through an outage, then a JSON obs report.
+//! object store, driven through an outage with full causal tracing on,
+//! then a JSON obs report, the slowest traces, and a facility-health
+//! verdict.
 //!
 //! ```text
 //! cargo run -p lsdf-examples --bin chaos_run -- [seed]
@@ -7,6 +9,8 @@
 //!
 //! The same seed always produces the same faults, the same retries and
 //! the same report — paste a failing seed into a test and it replays.
+//! Artifacts land under `target/`: `chaos-trace.json` (open it at
+//! chrome://tracing) and `facility-health.json` (the final SLO report).
 
 
 #![allow(clippy::print_stdout)] // binaries report to stdout by design
@@ -18,10 +22,9 @@ use lsdf_adal::{
     Acl, Adal, Credential, ObjectStoreBackend, ResilienceConfig, StorageBackend, TokenAuth,
 };
 use lsdf_chaos::{FaultPlan, FaultyBackend};
-use lsdf_obs::Registry;
+use lsdf_obs::{names, Registry, SloMonitor, SloRule, TraceConfig, Tracer};
 use lsdf_sim::SimRng;
 use lsdf_storage::ObjectStore;
-use lsdf_obs::names;
 
 const MS: u64 = 1_000_000;
 
@@ -39,8 +42,21 @@ fn main() {
     auth.register("tok", "operator");
     let acl = Arc::new(Acl::new());
     acl.grant("operator", "screening", true);
-    let adal = Adal::with_registry(auth, acl, reg.clone());
+    // Full causal tracing: every ADAL op mints a trace whose children
+    // record retries, breaker flips, and injected faults.
+    let tracer = Tracer::new(&reg, TraceConfig::full().capacity(4096).seed(seed));
+    let adal = Adal::builder()
+        .auth(auth)
+        .acl(acl)
+        .registry(reg.clone())
+        .tracer(tracer.clone())
+        .build();
     let cred = Credential::Token("tok".into());
+
+    // The SLO under watch: the screening project's breaker stays closed.
+    let rule = format!("gauge({}{{project=screening}}) == 0", names::ADAL_BREAKER_STATE);
+    let monitor = SloMonitor::new(vec![SloRule::parse(&rule).expect("rule parses")]);
+    let mut violated_evals = 0u64;
 
     // Primary disk array wrapped in a fault plan: 5 % transient errors,
     // 2 % torn writes, and a hard outage for backend ops 60..90.
@@ -87,6 +103,9 @@ fn main() {
                 ok_gets += 1;
             }
         }
+        if !monitor.evaluate(&reg).healthy {
+            violated_evals += 1;
+        }
     }
 
     // Recovery: cool the breaker down and drain the redo journal.
@@ -117,6 +136,29 @@ fn main() {
         adal.get(&cred, path).expect("acked write lost");
     }
     println!("  data loss          : none ({} keys verified)", acked.len());
+
+    // The SLO flipped to violated while the breaker was open, and the
+    // facility is demonstrably healthy again after recovery.
+    let health = monitor.evaluate(&reg);
+    assert!(
+        violated_evals >= 1,
+        "the outage must flip the breaker SLO at least once"
+    );
+    assert!(health.healthy, "facility must be healthy after recovery");
+    println!("  slo violations     : {violated_evals} evaluations during the outage");
+    println!("  facility health    : healthy again after recovery");
+
+    println!("\n--- slowest traces ---");
+    println!("{}", tracer.render_slowest(3));
+
+    std::fs::create_dir_all("target").expect("create target dir");
+    let trace_path = "target/chaos-trace.json";
+    std::fs::write(trace_path, tracer.export_chrome()).expect("write chrome trace");
+    println!("wrote {trace_path} (open at chrome://tracing)");
+    let health_path = "target/facility-health.json";
+    std::fs::write(health_path, health.to_json()).expect("write health report");
+    println!("wrote {health_path}");
+
     println!("\n--- obs report (JSON) ---");
     println!("{}", reg.to_json());
 }
