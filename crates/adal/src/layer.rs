@@ -106,6 +106,35 @@ pub struct AdalCounters {
     pub denied: u64,
 }
 
+/// The operation kinds [`Adal::classify`] understands — the same set
+/// the per-op counters track, as a type instead of a string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `put` — store an object.
+    Put,
+    /// `get` — fetch an object.
+    Get,
+    /// `stat` — metadata for one object.
+    Stat,
+    /// `list` — enumerate a prefix.
+    List,
+    /// `delete` — remove an object.
+    Delete,
+}
+
+/// How the multi-tenant front door should treat a request, derived
+/// from the operation and the backend serving the project. The
+/// admission layer maps each class onto a QoS lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// Latency-sensitive read-side traffic (`get`/`stat`/`list`).
+    InteractiveRead,
+    /// Throughput-bound write-side traffic (`put`/`delete`).
+    BulkWrite,
+    /// Read-side traffic on an HSM mount, where a cold read winds tape.
+    TapeRecall,
+}
+
 /// Cached registry handles for the hot path — resolved once at
 /// construction so operations only touch atomics.
 struct OpMetrics {
@@ -568,6 +597,30 @@ impl Adal {
             .inc();
     }
 
+    /// Per-project latency view — the per-tenant histogram the admission
+    /// governor's SLO rules read to find the project breaching its p99.
+    fn project_op_latency(&self, project: &str, dt_ns: u64) {
+        self.obs
+            .histogram(names::ADAL_PROJECT_OP_LATENCY_NS, &[("project", project)])
+            .record(dt_ns);
+    }
+
+    /// Classifies an operation into the admission lane it should ride:
+    /// read-side ops are interactive unless the project sits on an HSM
+    /// mount (where a read may wind tape); write-side ops are bulk.
+    pub fn classify(&self, op: OpKind, project: &str) -> RequestClass {
+        match op {
+            OpKind::Put | OpKind::Delete => RequestClass::BulkWrite,
+            OpKind::Get | OpKind::Stat | OpKind::List => {
+                if self.backend_kind(project) == Some("hsm") {
+                    RequestClass::TapeRecall
+                } else {
+                    RequestClass::InteractiveRead
+                }
+            }
+        }
+    }
+
     /// Stores an object at `lsdf://project/key`. On a resilient mount
     /// the write is retried through transient faults, verified against
     /// torn writes, and — when the backend is down — acknowledged into
@@ -622,7 +675,8 @@ impl Adal {
         self.ops.puts.inc();
         self.ops.put_bytes.record(len);
         self.project_op(&parsed.project, mount.backend.kind(), "put");
-        span.finish();
+        let dt = span.finish();
+        self.project_op_latency(&parsed.project, dt);
         trace.finish();
         Ok(())
     }
@@ -674,7 +728,8 @@ impl Adal {
         self.ops.gets.inc();
         self.ops.get_bytes.record(data.len() as u64);
         self.project_op(&parsed.project, mount.backend.kind(), "get");
-        span.finish();
+        let dt = span.finish();
+        self.project_op_latency(&parsed.project, dt);
         trace.finish();
         Ok(data)
     }
@@ -696,7 +751,8 @@ impl Adal {
         };
         self.ops.stats.inc();
         self.project_op(&parsed.project, mount.backend.kind(), "stat");
-        span.finish();
+        let dt = span.finish();
+        self.project_op_latency(&parsed.project, dt);
         trace.finish();
         Ok(meta)
     }
@@ -722,7 +778,8 @@ impl Adal {
         };
         self.ops.lists.inc();
         self.project_op(&parsed.project, mount.backend.kind(), "list");
-        span.finish();
+        let dt = span.finish();
+        self.project_op_latency(&parsed.project, dt);
         trace.finish();
         Ok(entries)
     }

@@ -29,7 +29,7 @@ pub use auth::{Access, Acl, AuthError, AuthProvider, Credential, Principal, Toke
 pub use backend::{
     BackendError, DfsBackend, EntryMeta, HsmBackend, ObjectStoreBackend, StorageBackend,
 };
-pub use layer::{Adal, AdalBuilder, AdalCounters, AdalError};
+pub use layer::{Adal, AdalBuilder, AdalCounters, AdalError, OpKind, RequestClass};
 pub use path::{LsdfPath, PathError};
 pub use resilience::{
     BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, HealthReport,

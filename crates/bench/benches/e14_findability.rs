@@ -1,16 +1,16 @@
 //! E14 bench: findability audit cost and ingest-enforcement overhead.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy};
+use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy, ProjectSpec};
 use lsdf_metadata::zebrafish_schema;
 use lsdf_workloads::microscopy::HtmGenerator;
 
 fn facility_with(n_fish: usize, miss_every: usize) -> Facility {
     let f = Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
+        ))
         .build()
         .expect("facility");
     let admin = f.admin().clone();
@@ -58,10 +58,10 @@ fn bench_findability(c: &mut Criterion) {
     group.bench_function("enforced_ingest_24_images", |b| {
         b.iter(|| {
             let f = Facility::builder()
-                .project(
+                .tenant(ProjectSpec::new(
                     zebrafish_schema(),
                     BackendChoice::ObjectStore { capacity: u64::MAX },
-                )
+                ))
                 .build()
                 .expect("facility");
             let admin = f.admin().clone();

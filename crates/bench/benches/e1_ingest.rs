@@ -2,7 +2,7 @@
 //! the hot path behind the 200k-images/day claim.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy};
+use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy, ProjectSpec};
 use lsdf_metadata::zebrafish_schema;
 use lsdf_workloads::microscopy::HtmGenerator;
 
@@ -24,10 +24,10 @@ fn bench_ingest(c: &mut Criterion) {
                     b.iter_batched(
                         || {
                             let f = Facility::builder()
-                                .project(
+                                .tenant(ProjectSpec::new(
                                     zebrafish_schema(),
                                     BackendChoice::ObjectStore { capacity: u64::MAX },
-                                )
+                                ))
                                 .workers(workers)
                                 .build()
                                 .expect("facility");

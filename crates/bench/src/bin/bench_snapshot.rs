@@ -31,7 +31,8 @@ use std::time::Instant;
 use bytes::Bytes;
 
 use lsdf_adal::Credential;
-use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy};
+use lsdf_core::prelude::QuotaSpec;
+use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy, ProjectSpec};
 use lsdf_metadata::zebrafish_schema;
 use lsdf_net::units::{PB, TEN_GBIT};
 use lsdf_net::{lsdf, NetSim, TransferModel};
@@ -58,10 +59,19 @@ fn detected_cores() -> usize {
 
 struct E1Run {
     workers: usize,
+    admission: &'static str,
     ops_per_s: f64,
     bytes_per_s: f64,
     p50_ns: u64,
     p99_ns: u64,
+}
+
+/// A finite per-project quota sized to admit the whole bench batch:
+/// the admission front door runs its full token-bucket accounting on
+/// every item without shedding any, so the row prices the admission
+/// overhead rather than the shed path.
+fn bench_quota() -> QuotaSpec {
+    QuotaSpec::per_second(1_000_000, 1 << 40)
 }
 
 fn e1_items(n_fish: usize, edge: u32) -> Vec<IngestItem> {
@@ -80,12 +90,17 @@ fn e1_items(n_fish: usize, edge: u32) -> Vec<IngestItem> {
     items
 }
 
-fn e1_run(workers: usize, n_fish: usize, edge: u32) -> E1Run {
+fn e1_run(workers: usize, n_fish: usize, edge: u32, quota: Option<QuotaSpec>) -> E1Run {
+    let admission = if quota.is_some() { "quota" } else { "unlimited" };
+    let mut spec = ProjectSpec::new(
+        zebrafish_schema(),
+        BackendChoice::ObjectStore { capacity: u64::MAX },
+    );
+    if let Some(q) = quota {
+        spec = spec.quota(q);
+    }
     let f = Facility::builder()
-        .project(
-            zebrafish_schema(),
-            BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
+        .tenant(spec)
         .workers(workers)
         .build()
         .expect("facility assembles");
@@ -100,6 +115,7 @@ fn e1_run(workers: usize, n_fish: usize, edge: u32) -> E1Run {
     let lat = f.obs().histogram(names::FACILITY_INGEST_LATENCY_NS, &[]);
     E1Run {
         workers,
+        admission,
         ops_per_s: n / wall,
         bytes_per_s: total_bytes as f64 / wall,
         p50_ns: lat.quantile(0.50),
@@ -112,19 +128,30 @@ fn e1_json(mode: &str, runs: &[E1Run]) -> String {
         .iter()
         .find(|r| r.workers == 1)
         .expect("serial run present");
-    let four = runs.iter().find(|r| r.workers == 4);
+    let four = runs
+        .iter()
+        .find(|r| r.workers == 4 && r.admission == "unlimited");
     let speedup = four.map(|r| r.ops_per_s / serial.ops_per_s.max(1e-9));
+    let four_admitted = runs
+        .iter()
+        .find(|r| r.workers == 4 && r.admission == "quota");
+    let admission_overhead = match (four, four_admitted) {
+        (Some(base), Some(adm)) => Some(base.ops_per_s / adm.ops_per_s.max(1e-9)),
+        _ => None,
+    };
+    let cores = detected_cores();
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"experiment\": \"E1\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
-    out.push_str(&format!("  \"cores\": {},\n", detected_cores()));
+    out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workers\": {}, \"ops_per_s\": {:.1}, \"bytes_per_s\": {:.1}, \
-             \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+            "    {{\"workers\": {}, \"admission\": \"{}\", \"ops_per_s\": {:.1}, \
+             \"bytes_per_s\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
             r.workers,
+            r.admission,
             r.ops_per_s,
             r.bytes_per_s,
             r.p50_ns,
@@ -134,9 +161,27 @@ fn e1_json(mode: &str, runs: &[E1Run]) -> String {
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"speedup_4w\": {}\n",
+        "  \"speedup_4w\": {},\n",
         speedup.map_or("null".to_string(), |s| format!("{s:.3}"))
     ));
+    out.push_str(&format!(
+        "  \"admission_overhead_4w\": {},\n",
+        admission_overhead.map_or("null".to_string(), |s| format!("{s:.3}"))
+    ));
+    // Keep the trajectory honest: on a single-core host a sub-1.0
+    // speedup is pool overhead, not an ingest regression.
+    let note = if cores == 1 {
+        "Measured on a 1-core host: workers > 1 cannot beat serial here, so \
+         speedup_4w < 1.0 reflects pool coordination overhead, not an ingest \
+         regression; the enforced signal is the serial ops/s floor. The \
+         admission=quota row runs the same batch through a finite token-bucket \
+         quota sized to admit everything, pricing the admission front door."
+    } else {
+        "speedup_4w compares the unlimited rows; the admission=quota row runs \
+         the same batch through a finite token-bucket quota sized to admit \
+         everything, pricing the admission front door."
+    };
+    out.push_str(&format!("  \"note\": \"{note}\"\n"));
     out.push_str("}\n");
     out
 }
@@ -157,10 +202,10 @@ fn e3_json(mode: &str) -> String {
     // ADAL op latency under a small wall-clocked put/get burst.
     let ops = if mode == "full" { 2_000u64 } else { 400 };
     let f = Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
+        ))
         .build()
         .expect("facility assembles");
     let admin: Credential = f.admin().clone();
@@ -205,10 +250,10 @@ fn trace_run(
     n_fish: usize,
     edge: u32,
 ) -> TraceRun {
-    let mut builder = Facility::builder().project(
+    let mut builder = Facility::builder().tenant(ProjectSpec::new(
         zebrafish_schema(),
         BackendChoice::ObjectStore { capacity: u64::MAX },
-    );
+    ));
     if let Some(cfg) = config {
         builder = builder.tracing(cfg);
     }
@@ -311,7 +356,7 @@ fn check_against_baseline(root: &Path) -> Result<(), String> {
     let base_serial = *base_ops
         .first()
         .ok_or("baseline has no ops_per_s entries")?;
-    let current = e1_run(1, 10, 64);
+    let current = e1_run(1, 10, 64, None);
     println!(
         "bench-smoke: serial ingest {:.1} ops/s vs committed {:.1} ops/s",
         current.ops_per_s, base_serial
@@ -340,10 +385,11 @@ fn main() {
     let mode = if full { "full" } else { "quick" };
     let (n_fish, edge) = if full { (60, 256) } else { (10, 64) };
 
-    let runs: Vec<E1Run> = E1_WORKER_COUNTS
+    let mut runs: Vec<E1Run> = E1_WORKER_COUNTS
         .iter()
-        .map(|&w| e1_run(w, n_fish, edge))
+        .map(|&w| e1_run(w, n_fish, edge, None))
         .collect();
+    runs.push(e1_run(4, n_fish, edge, Some(bench_quota())));
     let e1 = e1_json(mode, &runs);
     let e1_path = root.join("BENCH_E1.json");
     std::fs::write(&e1_path, &e1).expect("writing BENCH_E1.json");

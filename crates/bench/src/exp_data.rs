@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy};
+use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy, ProjectSpec};
 use lsdf_metadata::query::{eq, ge, has_tag};
 use lsdf_metadata::{
     dataset, zebrafish_schema, CrossQuery, Federation, FieldType, ProjectStore, SchemaBuilder,
@@ -22,10 +22,10 @@ use lsdf_obs::names;
 
 fn zebrafish_facility() -> Facility {
     Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
+        ))
         .build()
         .expect("facility assembles")
 }

@@ -117,7 +117,7 @@ impl<'a> DataBrowser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::facility::BackendChoice;
+    use crate::facility::{BackendChoice, ProjectSpec};
     use crate::ingest::{IngestItem, IngestPolicy};
     use lsdf_metadata::query::{eq, has_tag};
     use lsdf_metadata::zebrafish_schema;
@@ -125,10 +125,10 @@ mod tests {
 
     fn facility_with_data(n_fish: usize) -> Facility {
         let f = Facility::builder()
-            .project(
+            .tenant(ProjectSpec::new(
                 zebrafish_schema(),
                 BackendChoice::ObjectStore { capacity: u64::MAX },
-            )
+            ))
             .build()
             .unwrap();
         let admin = f.admin().clone();

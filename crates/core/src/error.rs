@@ -3,6 +3,7 @@
 //! subsystem error converts into with `?`.
 
 use lsdf_adal::{AdalError, BackendError};
+use lsdf_admission::AdmissionError;
 use lsdf_cloud::CloudError;
 use lsdf_dfs::DfsError;
 use lsdf_metadata::MetadataError;
@@ -31,6 +32,9 @@ pub enum FacilityError {
         /// Why validation failed.
         reason: String,
     },
+    /// Request shed (or refused) by the multi-tenant admission front
+    /// door; the typed error carries `retry_after_ns`.
+    Admission(AdmissionError),
 }
 
 impl std::fmt::Display for FacilityError {
@@ -44,6 +48,7 @@ impl std::fmt::Display for FacilityError {
             FacilityError::MetadataRequired { key, reason } => {
                 write!(f, "ingest of '{key}' rejected: {reason}")
             }
+            FacilityError::Admission(e) => write!(f, "{e}"),
         }
     }
 }
@@ -63,6 +68,11 @@ impl From<MetadataError> for FacilityError {
 impl From<WorkflowError> for FacilityError {
     fn from(e: WorkflowError) -> Self {
         FacilityError::Workflow(e)
+    }
+}
+impl From<AdmissionError> for FacilityError {
+    fn from(e: AdmissionError) -> Self {
+        FacilityError::Admission(e)
     }
 }
 
@@ -94,6 +104,8 @@ pub enum LsdfError {
     Net(TopologyError),
     /// Facility-facade failure.
     Facility(FacilityError),
+    /// Request shed by the multi-tenant admission front door.
+    Admission(AdmissionError),
 }
 
 impl std::fmt::Display for LsdfError {
@@ -109,6 +121,7 @@ impl std::fmt::Display for LsdfError {
             LsdfError::Cloud(e) => write!(f, "cloud: {e}"),
             LsdfError::Net(e) => write!(f, "net: {e}"),
             LsdfError::Facility(e) => write!(f, "facility: {e}"),
+            LsdfError::Admission(e) => write!(f, "admission: {e}"),
         }
     }
 }
@@ -165,6 +178,11 @@ impl From<FacilityError> for LsdfError {
         LsdfError::Facility(e)
     }
 }
+impl From<AdmissionError> for LsdfError {
+    fn from(e: AdmissionError) -> Self {
+        LsdfError::Admission(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -181,5 +199,24 @@ mod tests {
         }
         let e: LsdfError = FacilityError::UnknownProject("p".into()).into();
         assert!(e.to_string().contains("unknown project"));
+    }
+
+    #[test]
+    fn admission_sheds_lift_without_stringification() {
+        fn front_door() -> Result<(), LsdfError> {
+            Err(AdmissionError::Rejected {
+                project: "katrin".into(),
+                lane: lsdf_admission::Lane::Bulk,
+                retry_after_ns: 250,
+            })?
+        }
+        match front_door() {
+            Err(LsdfError::Admission(AdmissionError::Rejected {
+                retry_after_ns, ..
+            })) => assert_eq!(retry_after_ns, 250),
+            other => panic!("expected typed admission error, got {other:?}"),
+        }
+        let e: FacilityError = AdmissionError::UnknownProject("p".into()).into();
+        assert!(matches!(e, FacilityError::Admission(_)));
     }
 }

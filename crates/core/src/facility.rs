@@ -8,6 +8,7 @@ use lsdf_adal::{
     Acl, Adal, Credential, DfsBackend, HsmBackend, ObjectStoreBackend, ResilienceConfig,
     StorageBackend, TokenAuth,
 };
+use lsdf_admission::{AdmissionController, AdmissionError, Lane, QuotaSpec, Ticket};
 use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
 use lsdf_metadata::{ProjectStore, Schema};
 use lsdf_obs::{FacilityHealth, Registry, SloMonitor, SloRule, TraceConfig, Tracer};
@@ -16,6 +17,7 @@ use lsdf_storage::{Hsm, MigrationPolicy, ObjectStore};
 
 use crate::error::FacilityError;
 use crate::ingest::IngestObs;
+use crate::session::ProjectSession;
 
 /// Which storage component backs a project's data.
 #[derive(Debug, Clone)]
@@ -40,12 +42,62 @@ pub enum BackendChoice {
     Dfs,
 }
 
-/// One project entry: the primary backend plus optional resilience
-/// (replica backend choice and retry/breaker/journal configuration).
-struct ProjectSpec {
+/// Declarative description of one tenant project, consumed by
+/// [`FacilityBuilder::tenant`]: the metadata schema, the backend
+/// serving the data, optional resilience (replica + retry/breaker/
+/// journal configuration), the admission [`QuotaSpec`] the front door
+/// enforces, and the QoS [`Lane`] the project's bulk traffic rides.
+pub struct ProjectSpec {
     schema: Schema,
-    primary: BackendChoice,
+    backend: BackendChoice,
     resilience: Option<(BackendChoice, ResilienceConfig)>,
+    quota: QuotaSpec,
+    lane: Lane,
+}
+
+impl ProjectSpec {
+    /// A plain tenant: `schema` names the project, `backend` serves
+    /// its bytes. Defaults: unlimited quota, bulk-ingest lane, no
+    /// resilience.
+    pub fn new(schema: Schema, backend: BackendChoice) -> Self {
+        ProjectSpec {
+            schema,
+            backend,
+            resilience: None,
+            quota: QuotaSpec::unlimited(),
+            lane: Lane::Bulk,
+        }
+    }
+
+    /// Mounts the project through the full ADAL resilience stack:
+    /// retries, circuit breaker, replica failover reads and a redo
+    /// journal (see [`Adal::mount_resilient`]). The replica should be
+    /// an independent backend (a [`BackendChoice::Dfs`] replica shares
+    /// the facility-wide DFS namespace with any DFS primary).
+    pub fn resilient(mut self, replica: BackendChoice, cfg: ResilienceConfig) -> Self {
+        self.resilience = Some((replica, cfg));
+        self
+    }
+
+    /// Installs the admission quota the front door enforces for this
+    /// tenant (default: [`QuotaSpec::unlimited`]).
+    pub fn quota(mut self, quota: QuotaSpec) -> Self {
+        self.quota = quota;
+        self
+    }
+
+    /// The QoS lane the tenant's bulk (write-side) traffic rides
+    /// (default: [`Lane::Bulk`]). Read-side traffic is classified per
+    /// request, so this only moves writes.
+    pub fn lane(mut self, lane: Lane) -> Self {
+        self.lane = lane;
+        self
+    }
+
+    /// The project name (the schema's name).
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
 }
 
 /// Builder for a [`Facility`].
@@ -110,34 +162,32 @@ impl FacilityBuilder {
         self
     }
 
-    /// Adds a project with its metadata schema and backend choice.
-    pub fn project(mut self, schema: Schema, backend: BackendChoice) -> Self {
-        self.projects.push(ProjectSpec {
-            schema,
-            primary: backend,
-            resilience: None,
-        });
+    /// Adds a tenant project from its declarative [`ProjectSpec`]:
+    /// schema, backend, optional resilience, admission quota and QoS
+    /// lane, all in one description.
+    pub fn tenant(mut self, spec: ProjectSpec) -> Self {
+        self.projects.push(spec);
         self
     }
 
-    /// Adds a project mounted through the full ADAL resilience stack:
-    /// retries, circuit breaker, replica failover reads and a redo
-    /// journal (see [`Adal::mount_resilient`]). The replica should be
-    /// an independent backend (a [`BackendChoice::Dfs`] replica shares
-    /// the facility-wide DFS namespace with any DFS primary).
+    /// Adds a project with its metadata schema and backend choice.
+    #[deprecated(note = "use `tenant(ProjectSpec::new(schema, backend))`")]
+    pub fn project(self, schema: Schema, backend: BackendChoice) -> Self {
+        self.tenant(ProjectSpec::new(schema, backend))
+    }
+
+    /// Adds a project mounted through the full ADAL resilience stack.
+    #[deprecated(
+        note = "use `tenant(ProjectSpec::new(schema, primary).resilient(replica, cfg))`"
+    )]
     pub fn resilient_project(
-        mut self,
+        self,
         schema: Schema,
         primary: BackendChoice,
         replica: BackendChoice,
         cfg: ResilienceConfig,
     ) -> Self {
-        self.projects.push(ProjectSpec {
-            schema,
-            primary,
-            resilience: Some((replica, cfg)),
-        });
-        self
+        self.tenant(ProjectSpec::new(schema, primary).resilient(replica, cfg))
     }
 
     /// Overrides the compute-cluster shape.
@@ -183,14 +233,16 @@ impl FacilityBuilder {
             obs.clone(),
         ));
 
+        let admission = Arc::new(AdmissionController::new(obs.clone()));
         let mut stores = HashMap::new();
         let mut hsms = HashMap::new();
+        let mut lanes = HashMap::new();
         for spec in self.projects {
             let project = spec.schema.name.clone();
             if stores.contains_key(&project) {
                 return Err(FacilityError::DuplicateProject(project));
             }
-            let primary = make_backend(&project, spec.primary, &obs, &dfs, &mut hsms);
+            let primary = make_backend(&project, spec.backend, &obs, &dfs, &mut hsms);
             match spec.resilience {
                 None => adal.mount(&project, primary),
                 Some((replica_choice, cfg)) => {
@@ -208,6 +260,8 @@ impl FacilityBuilder {
             }
             // Admin gets full access to every project.
             acl.grant("admin", &project, true);
+            admission.register(&project, spec.quota);
+            lanes.insert(project.clone(), spec.lane);
             stores.insert(project, Arc::new(ProjectStore::new(spec.schema)));
         }
         // Resolve every ingest metric handle once, so the steady-state
@@ -226,6 +280,8 @@ impl FacilityBuilder {
             ingest_obs,
             tracer,
             slo,
+            admission,
+            lanes,
         })
     }
 }
@@ -289,6 +345,8 @@ pub struct Facility {
     ingest_obs: IngestObs,
     tracer: Option<Tracer>,
     slo: SloMonitor,
+    admission: Arc<AdmissionController>,
+    lanes: HashMap<String, Lane>,
 }
 
 impl Facility {
@@ -342,6 +400,64 @@ impl Facility {
         self.slo.evaluate(&self.obs)
     }
 
+    /// The multi-tenant admission front door.
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
+    }
+
+    /// One governor step: evaluates the SLO rules and feeds the report
+    /// to the admission governor, which throttles (halves the refill
+    /// rate of) each project attributed a violation and restores full
+    /// rate once the project is healthy again. Returns the report.
+    pub fn govern(&self) -> FacilityHealth {
+        let health = self.facility_health();
+        self.admission.observe(&health);
+        health
+    }
+
+    /// The QoS lane a project's bulk (write-side) traffic rides.
+    pub(crate) fn default_lane(&self, project: &str) -> Lane {
+        self.lanes.get(project).copied().unwrap_or(Lane::Bulk)
+    }
+
+    /// Serial admission decision for one ingest item, made on the
+    /// caller thread in submission order (never inside pool workers)
+    /// so decisions are identical at every worker count. Unknown
+    /// projects keep their legacy `FacilityError::UnknownProject`.
+    pub(crate) fn admit_ingest(
+        &self,
+        project: &str,
+        bytes: u64,
+    ) -> Result<Ticket, FacilityError> {
+        match self
+            .admission
+            .admit(project, self.default_lane(project), bytes)
+        {
+            Ok(t) => Ok(t),
+            Err(AdmissionError::UnknownProject(p)) => Err(FacilityError::UnknownProject(p)),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Opens a session on `project` under the admin credential: the
+    /// handle every tenant-facing operation hangs off.
+    pub fn session(&self, project: &str) -> Result<ProjectSession<'_>, FacilityError> {
+        self.session_as(project, self.admin.clone())
+    }
+
+    /// Opens a session on `project` under a caller-supplied credential
+    /// (register + grant the user first).
+    pub fn session_as(
+        &self,
+        project: &str,
+        cred: Credential,
+    ) -> Result<ProjectSession<'_>, FacilityError> {
+        if !self.stores.contains_key(project) {
+            return Err(FacilityError::UnknownProject(project.to_string()));
+        }
+        Ok(ProjectSession::new(self, project.to_string(), cred))
+    }
+
     /// A project's metadata store.
     pub fn store(&self, project: &str) -> Result<&Arc<ProjectStore>, FacilityError> {
         self.stores
@@ -383,24 +499,25 @@ mod tests {
     use lsdf_metadata::{zebrafish_schema, FieldType, SchemaBuilder};
     use lsdf_obs::names;
 
+    fn katrin_schema() -> Schema {
+        SchemaBuilder::new("katrin")
+            .required("run", FieldType::Int)
+            .build()
+            .unwrap()
+    }
+
     fn mini() -> Facility {
         Facility::builder()
-            .project(
+            .tenant(ProjectSpec::new(
                 zebrafish_schema(),
                 BackendChoice::ObjectStore { capacity: u64::MAX },
-            )
-            .project(
-                SchemaBuilder::new("katrin")
-                    .required("run", FieldType::Int)
-                    .build()
-                    .unwrap(),
-                BackendChoice::Hsm {
-                    disk_capacity: 10_000,
-                    low_watermark: 0.5,
-                    high_watermark: 0.8,
-                    policy: MigrationPolicy::OldestFirst,
-                },
-            )
+            ))
+            .tenant(ProjectSpec::new(katrin_schema(), BackendChoice::Hsm {
+                disk_capacity: 10_000,
+                low_watermark: 0.5,
+                high_watermark: 0.8,
+                policy: MigrationPolicy::OldestFirst,
+            }))
             .cluster(ClusterTopology::new(2, 2), DfsConfig {
                 block_size: 1024,
                 replication: 2,
@@ -426,22 +543,16 @@ mod tests {
     fn facility_shares_one_registry_across_subsystems() {
         let reg = Arc::new(Registry::new());
         let f = Facility::builder()
-            .project(
+            .tenant(ProjectSpec::new(
                 zebrafish_schema(),
                 BackendChoice::ObjectStore { capacity: u64::MAX },
-            )
-            .project(
-                SchemaBuilder::new("katrin")
-                    .required("run", FieldType::Int)
-                    .build()
-                    .unwrap(),
-                BackendChoice::Hsm {
-                    disk_capacity: 10_000,
-                    low_watermark: 0.5,
-                    high_watermark: 0.8,
-                    policy: MigrationPolicy::OldestFirst,
-                },
-            )
+            ))
+            .tenant(ProjectSpec::new(katrin_schema(), BackendChoice::Hsm {
+                disk_capacity: 10_000,
+                low_watermark: 0.5,
+                high_watermark: 0.8,
+                policy: MigrationPolicy::OldestFirst,
+            }))
             .registry(reg.clone())
             .build()
             .unwrap();
@@ -462,11 +573,15 @@ mod tests {
     #[test]
     fn resilient_project_mounts_with_replica_and_health() {
         let f = Facility::builder()
-            .resilient_project(
-                zebrafish_schema(),
-                BackendChoice::ObjectStore { capacity: u64::MAX },
-                BackendChoice::ObjectStore { capacity: u64::MAX },
-                ResilienceConfig::default(),
+            .tenant(
+                ProjectSpec::new(
+                    zebrafish_schema(),
+                    BackendChoice::ObjectStore { capacity: u64::MAX },
+                )
+                .resilient(
+                    BackendChoice::ObjectStore { capacity: u64::MAX },
+                    ResilienceConfig::default(),
+                ),
             )
             .build()
             .unwrap();
@@ -503,16 +618,104 @@ mod tests {
     #[test]
     fn duplicate_projects_rejected() {
         let r = Facility::builder()
-            .project(
+            .tenant(ProjectSpec::new(
                 zebrafish_schema(),
                 BackendChoice::ObjectStore { capacity: 1 },
-            )
-            .project(
+            ))
+            .tenant(ProjectSpec::new(
                 zebrafish_schema(),
                 BackendChoice::ObjectStore { capacity: 1 },
-            )
+            ))
             .build();
         assert!(matches!(r, Err(FacilityError::DuplicateProject(_))));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_shims_still_compile_and_run() {
+        let f = Facility::builder()
+            .project(
+                zebrafish_schema(),
+                BackendChoice::ObjectStore { capacity: u64::MAX },
+            )
+            .resilient_project(
+                katrin_schema(),
+                BackendChoice::ObjectStore { capacity: u64::MAX },
+                BackendChoice::ObjectStore { capacity: u64::MAX },
+                ResilienceConfig::default(),
+            )
+            .build()
+            .unwrap();
+        assert_eq!(f.projects(), vec!["katrin", "zebrafish-htm"]);
+        // Shim-registered projects get an unlimited quota: never shed.
+        assert_eq!(
+            f.admission().quota("katrin"),
+            Some(QuotaSpec::unlimited())
+        );
+        assert!(f.adal().health("katrin").unwrap().has_replica);
+    }
+
+    #[test]
+    fn session_puts_gets_and_reports_usage() {
+        let f = mini();
+        let s = f.session("katrin").unwrap();
+        assert_eq!(s.project(), "katrin");
+        let ticket = s.put("run1", bytes::Bytes::from_static(b"spectra")).unwrap();
+        assert_eq!(ticket.wait_ns, 0, "unlimited quota never waits");
+        assert_eq!(
+            s.get("run1").unwrap(),
+            bytes::Bytes::from_static(b"spectra")
+        );
+        let usage = s.usage();
+        assert_eq!(usage.admitted, 2);
+        assert_eq!(usage.shed, 0);
+        assert_eq!(usage.bytes, 7);
+        assert!(
+            !s.health().expect("mount reports health").has_replica,
+            "plain mount has no replica"
+        );
+        assert!(matches!(
+            f.session("nope"),
+            Err(FacilityError::UnknownProject(_))
+        ));
+    }
+
+    #[test]
+    fn session_sheds_puts_beyond_quota_with_typed_retry() {
+        let f = Facility::builder()
+            .tenant(
+                ProjectSpec::new(
+                    zebrafish_schema(),
+                    BackendChoice::ObjectStore { capacity: u64::MAX },
+                )
+                .quota(QuotaSpec::per_second(7, 1 << 20).queue_depth(0))
+                .lane(Lane::Bulk),
+            )
+            .build()
+            .unwrap();
+        let s = f.session("zebrafish-htm").unwrap();
+        // The bulk lane's bucket mounts full (7 tokens); with no queue
+        // the eighth put in the same instant is shed.
+        for i in 0..7 {
+            s.put(&format!("k{i}"), bytes::Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        let err = s.put("k7", bytes::Bytes::from_static(b"x")).unwrap_err();
+        match err {
+            FacilityError::Admission(AdmissionError::Rejected {
+                project,
+                lane,
+                retry_after_ns,
+            }) => {
+                assert_eq!(project, "zebrafish-htm");
+                assert_eq!(lane, Lane::Bulk);
+                assert!(retry_after_ns > 0);
+            }
+            other => panic!("expected typed admission shed, got {other:?}"),
+        }
+        // The shed put never reached storage.
+        assert!(s.get("k7").is_err());
+        assert_eq!(s.usage().shed, 1);
     }
 
     #[test]

@@ -107,6 +107,9 @@ pub struct IngestReport {
     pub stored_unregistered: u64,
     /// Items rejected.
     pub rejected: u64,
+    /// Items shed at the admission front door before touching storage
+    /// (quota exhausted or queue full); retry later.
+    pub shed: u64,
     /// Payload bytes accepted into storage.
     pub bytes: u64,
 }
@@ -134,18 +137,27 @@ impl Facility {
     /// Outcomes feed the registry as
     /// `facility_ingest_total{project,outcome}` plus a
     /// `facility_ingest_bytes{project}` histogram for accepted payloads.
+    ///
+    /// The item passes the admission front door first: a project over
+    /// its quota gets [`FacilityError::Admission`] with `retry_after_ns`
+    /// before any byte reaches storage.
     pub fn ingest(
         &self,
         cred: &Credential,
         item: IngestItem,
         policy: IngestPolicy,
     ) -> Result<Option<DatasetId>, FacilityError> {
+        self.admit_ingest(&item.project, item.data.len() as u64)?;
         self.ingest_traced(&TraceCtx::disabled(), cred, item, policy)
     }
 
     /// [`Facility::ingest`] with an explicit trace context: the ADAL
     /// put (and everything below it — retries, breaker transitions,
     /// DFS placement, HSM staging) attaches as children of `ctx`.
+    ///
+    /// Admission is *not* checked here — callers either went through
+    /// [`Facility::ingest`] or the batch pre-pass, both of which admit
+    /// before this runs.
     pub fn ingest_traced(
         &self,
         ctx: &TraceCtx,
@@ -220,7 +232,13 @@ impl Facility {
 
     /// Ingests a batch, tallying outcomes instead of failing fast.
     ///
-    /// Items fan out across the facility's worker pool (see
+    /// Admission runs as a serial pre-pass on the caller thread, in
+    /// submission order, *before* the pool fan-out: token-bucket
+    /// decisions (admit / wait / shed) therefore never depend on worker
+    /// interleaving. Shed items are tallied in [`IngestReport::shed`]
+    /// and never reach storage.
+    ///
+    /// Admitted items fan out across the facility's worker pool (see
     /// [`crate::facility::FacilityBuilder::workers`]); per-item
     /// outcomes are merged back in submission order, so the report —
     /// and the metrics it mirrors — are bit-identical to the serial
@@ -239,16 +257,44 @@ impl Facility {
             }
             None => TraceCtx::disabled(),
         };
-        let outcomes = self.pool().run_traced(&trace, items, |_, item, ctx| {
-            let size = item.data.len() as u64;
-            match self.ingest_traced(ctx, cred, item, policy) {
-                Ok(Some(_)) => (Outcome::Registered, size),
-                Ok(None) => (Outcome::StoredUnregistered, size),
-                Err(_) => (Outcome::Rejected, 0),
-            }
-        });
+        // Serial admission pre-pass: deterministic at any worker count.
+        let mut shed = 0u64;
+        let admitted: Vec<(IngestItem, u64)> = items
+            .into_iter()
+            .filter_map(|item| {
+                match self.admit_ingest(&item.project, item.data.len() as u64) {
+                    Ok(ticket) => Some((item, ticket.wait_ns)),
+                    // Unknown projects fall through to the pool so the
+                    // per-item pipeline reports them as rejected, exactly
+                    // as before admission existed.
+                    Err(FacilityError::UnknownProject(_)) => Some((item, 0)),
+                    Err(_) => {
+                        shed += 1;
+                        None
+                    }
+                }
+            })
+            .collect();
+        let outcomes = self
+            .pool()
+            .run_traced(&trace, admitted, |_, (item, wait_ns), ctx| {
+                if wait_ns > 0 && ctx.is_enabled() {
+                    let span = ctx.child(names::ADMISSION_WAIT_SPAN);
+                    span.add_field("wait_ns", &wait_ns.to_string());
+                    span.finish_at(self.obs().now_ns() + wait_ns);
+                }
+                let size = item.data.len() as u64;
+                match self.ingest_traced(ctx, cred, item, policy) {
+                    Ok(Some(_)) => (Outcome::Registered, size),
+                    Ok(None) => (Outcome::StoredUnregistered, size),
+                    Err(_) => (Outcome::Rejected, 0),
+                }
+            });
         trace.finish();
-        let mut report = IngestReport::default();
+        let mut report = IngestReport {
+            shed,
+            ..IngestReport::default()
+        };
         for (outcome, size) in outcomes {
             match outcome {
                 Outcome::Registered => {
@@ -269,17 +315,17 @@ impl Facility {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::facility::BackendChoice;
+    use crate::facility::{BackendChoice, ProjectSpec};
     use lsdf_metadata::query::eq;
     use lsdf_metadata::zebrafish_schema;
     use lsdf_workloads::microscopy::HtmGenerator;
 
     fn facility() -> Facility {
         Facility::builder()
-            .project(
+            .tenant(ProjectSpec::new(
                 zebrafish_schema(),
                 BackendChoice::ObjectStore { capacity: u64::MAX },
-            )
+            ))
             .build()
             .unwrap()
     }
@@ -413,10 +459,10 @@ mod tests {
     fn traced_batch_produces_nested_trace_and_health_report() {
         use lsdf_obs::TraceConfig;
         let f = Facility::builder()
-            .project(
+            .tenant(ProjectSpec::new(
                 zebrafish_schema(),
                 BackendChoice::ObjectStore { capacity: u64::MAX },
-            )
+            ))
             .tracing(TraceConfig::full())
             .build()
             .unwrap();
@@ -446,6 +492,53 @@ mod tests {
             .expect("project accounted");
         assert_eq!(acct.bytes, report.bytes);
         assert!(acct.ops >= report.registered);
+    }
+
+    #[test]
+    fn quota_limited_batch_sheds_and_traces_admission_waits() {
+        use lsdf_obs::TraceConfig;
+        let f = Facility::builder()
+            .tenant(
+                ProjectSpec::new(
+                    zebrafish_schema(),
+                    BackendChoice::ObjectStore { capacity: u64::MAX },
+                )
+                // Bulk-lane bucket mounts full at 7 tokens; a queue of
+                // 2 admits two more with simulated waits, then sheds.
+                .quota(lsdf_admission::QuotaSpec::per_second(7, 1 << 20).queue_depth(2)),
+            )
+            .tracing(TraceConfig::full())
+            .build()
+            .unwrap();
+        let admin = f.admin().clone();
+        let batch = items(1); // 24 items in one instant
+        let report = f.ingest_batch(&admin, batch, IngestPolicy::default());
+        assert_eq!(report.registered, 9, "7 burst + 2 queued");
+        assert_eq!(report.shed, 15);
+        assert_eq!(report.rejected, 0);
+        let reg = f.obs();
+        let labels = [("project", "zebrafish-htm"), ("lane", "bulk")];
+        assert_eq!(
+            reg.counter_value(names::ADMISSION_ADMITTED_TOTAL, &labels),
+            9
+        );
+        assert_eq!(reg.counter_value(names::ADMISSION_SHED_TOTAL, &labels), 15);
+        // The two queued admissions carry admission_wait spans parented
+        // under their pool tasks; burst admissions (wait 0) do not.
+        let traces = f.tracer().unwrap().traces();
+        let root = &traces[0].root;
+        assert_eq!(root.children.len(), 9, "only admitted items reach the pool");
+        let mut waits = 0;
+        for task in &root.children {
+            let span_names: Vec<&str> = task.children.iter().map(|c| c.name).collect();
+            if span_names.first() == Some(&names::ADMISSION_WAIT_SPAN) {
+                waits += 1;
+                assert!(span_names.contains(&names::ADAL_PUT_SPAN));
+            } else {
+                assert_eq!(span_names.first(), Some(&names::ADAL_PUT_SPAN));
+            }
+        }
+        assert_eq!(waits, 2, "exactly the queued admissions record a wait");
     }
 
     #[test]

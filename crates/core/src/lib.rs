@@ -6,6 +6,9 @@
 //! * [`Facility`] / [`FacilityBuilder`] — wires per-project storage
 //!   backends (object store, HSM, DFS) behind the [ADAL](lsdf_adal),
 //!   creates the per-project metadata stores, and manages users/ACLs;
+//! * [`ProjectSpec`] / [`ProjectSession`] — the multi-tenant front
+//!   door: tenants register with quotas and a QoS lane, then operate
+//!   through a session handle that passes admission before the ADAL;
 //! * [`IngestItem`] / [`Facility::ingest`] — the checksum → store →
 //!   register pipeline, with metadata-at-ingest enforcement (the
 //!   "invisible data is lost data" control, experiment E14);
@@ -26,11 +29,13 @@ mod ingest;
 pub mod planner;
 mod policy;
 pub mod prelude;
+mod session;
 
 pub use browser::{DataBrowser, FindabilityReport};
 pub use error::{FacilityError, LsdfError};
-pub use facility::{BackendChoice, Facility, FacilityBuilder};
+pub use facility::{BackendChoice, Facility, FacilityBuilder, ProjectSpec};
 pub use ingest::{IngestItem, IngestPolicy, IngestReport};
+pub use session::ProjectSession;
 pub use campaign::{
     run_campaign, CampaignCommunity, CampaignConfig, CampaignResult, FillSample, StorageTarget,
 };

@@ -84,7 +84,7 @@ impl PolicyEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::facility::{BackendChoice, Facility};
+    use crate::facility::{BackendChoice, Facility, ProjectSpec};
     use crate::ingest::{IngestItem, IngestPolicy};
     use lsdf_metadata::query::{eq, has_tag};
     use lsdf_metadata::zebrafish_schema;
@@ -93,10 +93,10 @@ mod tests {
 
     fn facility() -> Facility {
         Facility::builder()
-            .project(
+            .tenant(ProjectSpec::new(
                 zebrafish_schema(),
                 BackendChoice::ObjectStore { capacity: u64::MAX },
-            )
+            ))
             .build()
             .unwrap()
     }

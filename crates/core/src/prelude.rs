@@ -7,13 +7,17 @@
 
 pub use crate::{
     BackendChoice, DataBrowser, Facility, FacilityBuilder, FacilityError, IngestItem,
-    IngestPolicy, IngestReport, LsdfError,
+    IngestPolicy, IngestReport, LsdfError, ProjectSession, ProjectSpec,
 };
 
 pub use lsdf_adal::{
     Acl, Adal, AdalBuilder, AdalCounters, AdalError, BackendError, BreakerConfig, BreakerState,
-    Credential, EntryMeta, HealthReport, ResilienceConfig, RetryPolicy, StorageBackend,
-    TokenAuth,
+    Credential, EntryMeta, HealthReport, OpKind, RequestClass, ResilienceConfig, RetryPolicy,
+    StorageBackend, TokenAuth,
+};
+
+pub use lsdf_admission::{
+    AdmissionController, AdmissionError, Lane, ProjectUsage, QuotaSpec, Ticket,
 };
 
 pub use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig, DfsError, PlacementPolicy};

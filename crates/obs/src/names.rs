@@ -12,8 +12,8 @@
 //! Naming convention (checked by the unit tests below):
 //!
 //! * `snake_case`, prefixed with the owning subsystem
-//!   (`adal_`, `dfs_`, `hsm_`, `tape_`, `cloud_`, `workflow_`,
-//!   `facility_`, `chaos_`, `mr_`, `pool_`, `trace_`);
+//!   (`adal_`, `admission_`, `dfs_`, `hsm_`, `tape_`, `cloud_`,
+//!   `workflow_`, `facility_`, `chaos_`, `mr_`, `pool_`, `trace_`);
 //! * monotonically increasing counters end in `_total`;
 //! * nanosecond latency histograms end in `_ns`;
 //! * byte-size histograms end in `_bytes`;
@@ -33,6 +33,9 @@ pub const ADAL_DENIED_TOTAL: &str = "adal_denied_total";
 pub const ADAL_PUT_BYTES: &str = "adal_put_bytes";
 /// Payload sizes of served `get`s.
 pub const ADAL_GET_BYTES: &str = "adal_get_bytes";
+/// Per-project op latency histogram, labelled `project=...` — the
+/// per-tenant view the admission governor's SLO rules read.
+pub const ADAL_PROJECT_OP_LATENCY_NS: &str = "adal_project_op_latency_ns";
 
 // --- ADAL: resilience machinery (labelled `project=...`) --------------
 
@@ -245,6 +248,28 @@ pub const HSM_DEMOTE_LOG_EVENT: &str = "hsm_demote";
 /// HSM object recalled tape → disk.
 pub const HSM_RECALL_LOG_EVENT: &str = "hsm_recall";
 
+// --- Admission control (multi-tenant front door) ----------------------
+
+/// Requests admitted past the front door, labelled `project`, `lane`.
+pub const ADMISSION_ADMITTED_TOTAL: &str = "admission_admitted_total";
+/// Requests shed at the front door, labelled `project`, `lane`.
+pub const ADMISSION_SHED_TOTAL: &str = "admission_shed_total";
+/// Requests currently borrowing ahead of their token budget (the
+/// virtual queue depth), labelled `project`, `lane`.
+pub const ADMISSION_QUEUE_DEPTH: &str = "admission_queue_depth";
+/// Simulated wait before an admitted request may proceed, labelled
+/// `project`, `lane`.
+pub const ADMISSION_WAIT_NS: &str = "admission_wait_ns";
+/// Current governor throttle level for a project (0 = full rate,
+/// each level halves the refill rate), labelled `project`.
+pub const ADMISSION_THROTTLE_LEVEL: &str = "admission_throttle_level";
+/// Governor state transitions, labelled `project`, `to=throttled|cleared`.
+pub const ADMISSION_GOVERNOR_TRANSITIONS_TOTAL: &str = "admission_governor_transitions_total";
+/// Span recording the simulated admission wait under the op root.
+pub const ADMISSION_WAIT_SPAN: &str = "admission_wait";
+/// Governor decision in the registry event log.
+pub const ADMISSION_GOVERNOR_LOG_EVENT: &str = "admission_governor";
+
 // --- SLO monitor -------------------------------------------------------
 
 /// SLO evaluation passes performed by the monitor.
@@ -263,6 +288,7 @@ pub const ALL: &[&str] = &[
     ADAL_DENIED_TOTAL,
     ADAL_PUT_BYTES,
     ADAL_GET_BYTES,
+    ADAL_PROJECT_OP_LATENCY_NS,
     ADAL_BREAKER_TRANSITIONS_TOTAL,
     ADAL_RETRIES_TOTAL,
     ADAL_TRANSIENT_OBSERVED_TOTAL,
@@ -347,6 +373,14 @@ pub const ALL: &[&str] = &[
     HSM_DELETE_LOG_EVENT,
     HSM_DEMOTE_LOG_EVENT,
     HSM_RECALL_LOG_EVENT,
+    ADMISSION_ADMITTED_TOTAL,
+    ADMISSION_SHED_TOTAL,
+    ADMISSION_QUEUE_DEPTH,
+    ADMISSION_WAIT_NS,
+    ADMISSION_THROTTLE_LEVEL,
+    ADMISSION_GOVERNOR_TRANSITIONS_TOTAL,
+    ADMISSION_WAIT_SPAN,
+    ADMISSION_GOVERNOR_LOG_EVENT,
     FACILITY_SLO_EVALUATIONS_TOTAL,
     FACILITY_SLO_VIOLATIONS_TOTAL,
     FACILITY_SLO_HEALTHY,
@@ -368,6 +402,7 @@ mod tests {
     fn names_follow_the_convention() {
         const PREFIXES: &[&str] = &[
             "adal_",
+            "admission_",
             "chaos_",
             "cloud_",
             "dfs_",

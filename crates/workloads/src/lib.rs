@@ -16,7 +16,9 @@
 //! * [`climate`] — daily climate grids with seasonal cycle and warming
 //!   trend, the archival workload (slide 14);
 //! * [`anka`] — ANKA synchrotron tomography: phantom projection
-//!   (Radon transform), sinogram encoding, backprojection (slide 14).
+//!   (Radon transform), sinogram encoding, backprojection (slide 14);
+//! * [`tenants`] — a deterministic fleet of tenant projects (with an
+//!   optional flooder) for multi-tenant admission soaks.
 
 #![warn(missing_docs)]
 
@@ -26,4 +28,5 @@ pub mod genomics;
 pub mod imaging;
 pub mod katrin;
 pub mod microscopy;
+pub mod tenants;
 pub mod volume;

@@ -1,0 +1,192 @@
+//! A fleet of simulated tenant projects for multi-tenancy soaks.
+//!
+//! The facility serves "many experiments with very different data
+//! rates" (paper, slide 4). This module generates that population:
+//! N tenant projects, each with its own seeded RNG stream emitting
+//! schema-conformant ingest items round by round, plus an optional
+//! *flooder* — one tenant whose per-round volume is multiplied to
+//! model a runaway DAQ. Everything is deterministic in the fleet seed:
+//! the same seed and round sequence produce byte-identical payloads,
+//! keys and metadata regardless of who consumes them or in how many
+//! threads.
+
+use bytes::Bytes;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use lsdf_metadata::{Document, FieldType, Schema, SchemaBuilder, Value};
+
+/// One ingest-shaped operation emitted by the fleet. Carries everything
+/// the facility's `IngestItem` needs without depending on `lsdf-core`.
+#[derive(Debug, Clone)]
+pub struct TenantOp {
+    /// Target project (one of [`TenantFleet::project_names`]).
+    pub project: String,
+    /// Storage key, unique across the whole run.
+    pub key: String,
+    /// Payload bytes.
+    pub data: Bytes,
+    /// Metadata conforming to [`tenant_schema`].
+    pub doc: Document,
+}
+
+/// The metadata schema every fleet tenant registers under: a run
+/// number, a per-run sequence number, and the emitting instrument.
+pub fn tenant_schema(project: &str) -> Schema {
+    SchemaBuilder::new(project)
+        .required("run", FieldType::Int)
+        .required("seq", FieldType::Int)
+        .optional("instrument", FieldType::Str)
+        .build()
+        .expect("tenant schema is statically valid")
+}
+
+/// Deterministic generator for a population of tenant projects.
+pub struct TenantFleet {
+    seed: u64,
+    tenants: usize,
+    ops_per_round: u64,
+    payload_min: usize,
+    payload_max: usize,
+}
+
+impl TenantFleet {
+    /// A fleet of `tenants` projects seeded by `seed`, each emitting
+    /// [`TenantFleet::ops_per_round`] items per round with payloads of
+    /// 256–2048 bytes.
+    pub fn new(seed: u64, tenants: usize) -> Self {
+        assert!(tenants > 0, "a fleet needs at least one tenant");
+        TenantFleet {
+            seed,
+            tenants,
+            ops_per_round: 2,
+            payload_min: 256,
+            payload_max: 2048,
+        }
+    }
+
+    /// Overrides how many items each tenant emits per round.
+    pub fn ops_per_round(mut self, ops: u64) -> Self {
+        self.ops_per_round = ops;
+        self
+    }
+
+    /// Overrides the payload size range (inclusive min, exclusive max).
+    pub fn payload_range(mut self, min: usize, max: usize) -> Self {
+        assert!(min < max);
+        self.payload_min = min;
+        self.payload_max = max;
+        self
+    }
+
+    /// Number of tenants in the fleet.
+    pub fn tenants(&self) -> usize {
+        self.tenants
+    }
+
+    /// Canonical project name of tenant `idx`.
+    pub fn project_name(&self, idx: usize) -> String {
+        format!("tenant-{idx:04}")
+    }
+
+    /// Every project name, in tenant order.
+    pub fn project_names(&self) -> Vec<String> {
+        (0..self.tenants).map(|i| self.project_name(i)).collect()
+    }
+
+    /// The ops tenant `idx` emits in `round`, multiplied by `volume`
+    /// (1 for a well-behaved tenant, large for a flooder). Each
+    /// (tenant, round) pair owns an independent RNG stream, so one
+    /// tenant's volume never perturbs another tenant's bytes and a
+    /// flooded run emits the victims' exact no-flood payloads.
+    pub fn tenant_round(&self, idx: usize, round: u64, volume: u64) -> Vec<TenantOp> {
+        let project = self.project_name(idx);
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ round.rotate_left(17),
+        );
+        let count = self.ops_per_round * volume;
+        let mut ops = Vec::with_capacity(count as usize);
+        for seq in 0..count {
+            let mut data = vec![0u8; rng.gen_range(self.payload_min..self.payload_max)];
+            rng.fill_bytes(&mut data);
+            let doc: Document = [
+                ("run".to_string(), Value::Int(round as i64)),
+                ("seq".to_string(), Value::Int(seq as i64)),
+                (
+                    "instrument".to_string(),
+                    Value::Str(format!("daq-{idx:04}")),
+                ),
+            ]
+            .into_iter()
+            .collect();
+            ops.push(TenantOp {
+                key: format!("r{round:06}/s{seq:06}"),
+                data: Bytes::from(data),
+                doc,
+                project: project.clone(),
+            });
+        }
+        ops
+    }
+
+    /// One full round across the fleet, in tenant order. `flooder`
+    /// names the tenant index whose volume is multiplied by
+    /// `flood_multiplier`; pass `(0, 1)`-style multiplier 1 for a
+    /// baseline round with no flood.
+    pub fn round(&self, round: u64, flooder: usize, flood_multiplier: u64) -> Vec<TenantOp> {
+        let mut ops = Vec::new();
+        for idx in 0..self.tenants {
+            let volume = if idx == flooder { flood_multiplier } else { 1 };
+            ops.extend(self.tenant_round(idx, round, volume));
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_rounds_are_deterministic() {
+        let a = TenantFleet::new(9, 5).round(3, 0, 10);
+        let b = TenantFleet::new(9, 5).round(3, 0, 10);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.project, y.project);
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.data, y.data);
+        }
+    }
+
+    #[test]
+    fn flood_multiplies_only_the_flooder_and_keeps_victim_bytes() {
+        let fleet = TenantFleet::new(4, 3);
+        let calm = fleet.round(0, 1, 1);
+        let flood = fleet.round(0, 1, 25);
+        let count = |ops: &[TenantOp], p: &str| ops.iter().filter(|o| o.project == p).count();
+        assert_eq!(count(&flood, "tenant-0001"), 25 * count(&calm, "tenant-0001"));
+        assert_eq!(count(&flood, "tenant-0000"), count(&calm, "tenant-0000"));
+        // Victims' payloads are byte-identical with and without the flood.
+        let victim = |ops: &[TenantOp]| {
+            ops.iter()
+                .filter(|o| o.project == "tenant-0002")
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        let (a, b) = (victim(&calm), victim(&flood));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.data, y.data);
+        }
+    }
+
+    #[test]
+    fn ops_validate_against_the_tenant_schema() {
+        let fleet = TenantFleet::new(1, 2);
+        let schema = tenant_schema("tenant-0001");
+        for op in fleet.tenant_round(1, 0, 1) {
+            schema.validate(&op.doc).expect("fleet metadata conforms");
+        }
+    }
+}

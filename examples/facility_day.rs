@@ -12,6 +12,7 @@
 use lsdf_core::planner::{lsdf_2011_communities, project_growth};
 use lsdf_core::{
     AutoTagRule, BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy, PolicyEngine,
+    ProjectSpec,
 };
 use lsdf_dfs::{ClusterTopology, DfsConfig};
 use lsdf_mapreduce::{run_job, JobConfig};
@@ -33,18 +34,18 @@ use lsdf_workloads::microscopy::{HtmGenerator, Image};
 fn main() {
     // ---- Assemble the facility with all five communities -------------
     let facility = Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
-        .project(
+        ))
+        .tenant(ProjectSpec::new(
             SchemaBuilder::new("genomics")
                 .required("sample", FieldType::Str)
                 .build()
                 .expect("schema"),
             BackendChoice::Dfs,
-        )
-        .project(
+        ))
+        .tenant(ProjectSpec::new(
             SchemaBuilder::new("katrin")
                 .required("run", FieldType::Int)
                 .indexed()
@@ -56,8 +57,8 @@ fn main() {
                 high_watermark: 0.7,
                 policy: MigrationPolicy::OldestFirst,
             },
-        )
-        .project(
+        ))
+        .tenant(ProjectSpec::new(
             SchemaBuilder::new("climate")
                 .required("day", FieldType::Int)
                 .indexed()
@@ -69,8 +70,8 @@ fn main() {
                 high_watermark: 0.7,
                 policy: MigrationPolicy::OldestFirst,
             },
-        )
-        .project(
+        ))
+        .tenant(ProjectSpec::new(
             SchemaBuilder::new("anka")
                 .required("scan", FieldType::Int)
                 .indexed()
@@ -78,7 +79,7 @@ fn main() {
                 .build()
                 .expect("schema"),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
+        ))
         .cluster(
             ClusterTopology::new(2, 4),
             DfsConfig {

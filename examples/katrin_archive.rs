@@ -10,7 +10,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy};
+use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy, ProjectSpec};
 use lsdf_metadata::{FieldType, SchemaBuilder, Value};
 use lsdf_sim::Simulation;
 use lsdf_storage::{MigrationPolicy, TapeLibrary, TapeOp, TapeParams, Tier};
@@ -29,7 +29,7 @@ fn main() {
         .build()
         .expect("schema builds");
     let facility = Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             schema,
             BackendChoice::Hsm {
                 // Small disk tier so migration actually happens.
@@ -38,7 +38,7 @@ fn main() {
                 high_watermark: 0.75,
                 policy: MigrationPolicy::OldestFirst,
             },
-        )
+        ))
         .build()
         .expect("facility assembles");
     let admin = facility.admin().clone();

@@ -6,7 +6,7 @@
 
 
 #![allow(clippy::print_stdout)] // binaries report to stdout by design
-use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy};
+use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy, ProjectSpec};
 use lsdf_metadata::query::{eq, has_tag};
 use lsdf_metadata::zebrafish_schema;
 use lsdf_workflow::{
@@ -18,10 +18,10 @@ use lsdf_workloads::microscopy::{HtmGenerator, Image};
 fn main() {
     // 1. Assemble the facility: one project, object-store backed.
     let facility = Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
+        ))
         .build()
         .expect("facility assembles");
     let admin = facility.admin().clone();

@@ -9,7 +9,7 @@
 #![allow(clippy::print_stdout)] // binaries report to stdout by design
 use std::time::Instant;
 
-use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy};
+use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy, ProjectSpec};
 use lsdf_metadata::query::{eq, ge, has_tag};
 use lsdf_metadata::{zebrafish_schema, Value};
 use lsdf_workflow::{
@@ -23,10 +23,10 @@ const EDGE: u32 = 128; // scaled-down image edge (full size: 2000)
 
 fn main() {
     let facility = Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
+        ))
         .build()
         .expect("facility assembles");
     let admin = facility.admin().clone();

@@ -34,6 +34,11 @@ chaos:
     cargo test -q -p lsdf-integration --test chaos_soak
     cargo run --release -p lsdf-examples --bin chaos_run -- 42
 
+# Full-scale tenant-isolation soak: thousands of tenants, one of them
+# chaos-flooded, victims' p99 pinned (CI runs the reduced default).
+soak-tenants:
+    LSDF_SOAK_TENANTS=2000 cargo test -q --release -p lsdf-integration --test tenant_soak
+
 # Regenerate the paper-vs-measured experiment report (quick mode).
 report:
     cargo run --release -p lsdf-bench --bin report -- --quick

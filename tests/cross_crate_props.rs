@@ -1,7 +1,7 @@
 //! Cross-crate property tests: invariants that only hold when several
 //! subsystems compose correctly.
 
-use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy};
+use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy, ProjectSpec};
 use lsdf_metadata::query::eq;
 use lsdf_metadata::{zebrafish_schema, Value};
 use lsdf_storage::sha256;
@@ -10,10 +10,10 @@ use proptest::prelude::*;
 
 fn facility() -> Facility {
     Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
+        ))
         .build()
         .expect("facility assembles")
 }

@@ -185,7 +185,7 @@ fn determinism_double_run() {
 /// Runs a fully-traced facility ingest batch under virtual time and
 /// returns the chrome://tracing JSON export.
 fn run_traced_ingest(seed: u64, workers: usize) -> String {
-    use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy};
+    use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy, ProjectSpec};
     use lsdf_metadata::zebrafish_schema;
     use lsdf_obs::TraceConfig;
     use lsdf_workloads::microscopy::HtmGenerator;
@@ -193,10 +193,10 @@ fn run_traced_ingest(seed: u64, workers: usize) -> String {
     let reg = Arc::new(Registry::new());
     reg.set_virtual_time_ns(42);
     let f = Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
+        ))
         .registry(reg.clone())
         .workers(workers)
         .tracing(TraceConfig::full().seed(seed))

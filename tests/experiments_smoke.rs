@@ -8,7 +8,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use lsdf_core::planner::{lsdf_2011_communities, plan_processing, project_growth};
-use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy};
+use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy, ProjectSpec};
 use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
 use lsdf_mapreduce::{no_combiner, run_job, InputFormat, JobConfig};
 use lsdf_metadata::query::eq;
@@ -27,10 +27,10 @@ use lsdf_workloads::volume::{MipMapper, MipReducer, Volume};
 #[test]
 fn e1_ingest_rate_shape() {
     let f = Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
+        ))
         .build()
         .unwrap();
     let admin = f.admin().clone();
@@ -306,10 +306,10 @@ fn e13_tape_latency_shape() {
 #[test]
 fn e14_findability_shape() {
     let f = Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
+        ))
         .build()
         .unwrap();
     let admin = f.admin().clone();
@@ -338,10 +338,10 @@ fn e14_findability_shape() {
     // With enforcement the same instrument loses nothing (rejects force
     // the operator to fix the metadata feed).
     let f2 = Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
+        ))
         .build()
         .unwrap();
     let admin2 = f2.admin().clone();

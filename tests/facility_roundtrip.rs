@@ -2,7 +2,7 @@
 //! metadata → workflow trigger → processing → query → fetch, the full
 //! slide-10 architecture in motion.
 
-use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy};
+use lsdf_core::{BackendChoice, DataBrowser, Facility, IngestItem, IngestPolicy, ProjectSpec};
 use lsdf_dfs::{ClusterTopology, DfsConfig};
 use lsdf_mapreduce::{run_job, JobConfig};
 use lsdf_metadata::query::{eq, has_tag};
@@ -20,18 +20,18 @@ use lsdf_workloads::microscopy::{HtmGenerator, Image};
 
 fn facility() -> Facility {
     Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
-        .project(
+        ))
+        .tenant(ProjectSpec::new(
             SchemaBuilder::new("genomics")
                 .required("sample", FieldType::Str)
                 .build()
                 .expect("schema builds"),
             BackendChoice::Dfs,
-        )
-        .project(
+        ))
+        .tenant(ProjectSpec::new(
             SchemaBuilder::new("climate")
                 .required("year", FieldType::Int)
                 .indexed()
@@ -43,7 +43,7 @@ fn facility() -> Facility {
                 high_watermark: 0.7,
                 policy: MigrationPolicy::OldestFirst,
             },
-        )
+        ))
         .cluster(
             ClusterTopology::new(2, 4),
             DfsConfig {

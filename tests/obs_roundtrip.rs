@@ -14,18 +14,18 @@ use lsdf_obs::names;
 
 fn facility(reg: Arc<Registry>) -> Facility {
     Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
-        .project(
+        ))
+        .tenant(ProjectSpec::new(
             SchemaBuilder::new("genomics")
                 .required("sample", FieldType::Str)
                 .build()
                 .expect("schema builds"),
             BackendChoice::Dfs,
-        )
-        .project(
+        ))
+        .tenant(ProjectSpec::new(
             SchemaBuilder::new("climate")
                 .required("year", FieldType::Int)
                 .indexed()
@@ -37,7 +37,7 @@ fn facility(reg: Arc<Registry>) -> Facility {
                 high_watermark: 0.7,
                 policy: MigrationPolicy::OldestFirst,
             },
-        )
+        ))
         .cluster(
             ClusterTopology::new(2, 4),
             DfsConfig {

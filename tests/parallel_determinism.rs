@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy, IngestReport};
+use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy, IngestReport, ProjectSpec};
 use lsdf_dfs::{ClusterTopology, DfsConfig};
 use lsdf_metadata::{zebrafish_schema, Document, FieldType, SchemaBuilder, Value};
 use lsdf_obs::Registry;
@@ -26,17 +26,17 @@ use lsdf_workloads::microscopy::HtmGenerator;
 /// one DFS-backed project (katrin), both recording into `reg`.
 fn facility(reg: Arc<Registry>, workers: usize) -> Facility {
     Facility::builder()
-        .project(
+        .tenant(ProjectSpec::new(
             zebrafish_schema(),
             BackendChoice::ObjectStore { capacity: u64::MAX },
-        )
-        .project(
+        ))
+        .tenant(ProjectSpec::new(
             SchemaBuilder::new("katrin")
                 .required("run", FieldType::Int)
                 .build()
                 .unwrap(),
             BackendChoice::Dfs,
-        )
+        ))
         .cluster(
             ClusterTopology::new(2, 2),
             DfsConfig {
