@@ -1,15 +1,21 @@
 //! `bench_snapshot` — machine-readable throughput baselines.
 //!
 //! Emits `BENCH_E1.json` (parallel ingest pipeline: ops/s, bytes/s,
-//! latency p50/p99 from the obs registry, per worker count),
-//! `BENCH_E3.json` (PB transfer flow: simulated days, effective rate,
-//! ADAL op latency quantiles), and `BENCH_TRACE.json` (the same ingest
-//! workload with causal tracing off / sampled / full, measuring the
-//! tracing tax) at the workspace root. The committed copies are the
-//! regression baseline; CI runs `--check`, which re-measures quick-mode
-//! E1 (failing when throughput falls below half the committed figure)
-//! and re-measures the tracing tax (failing when full tracing costs
-//! more than 2x the untraced run).
+//! latency p50/p99 from the obs registry, per worker count, with and
+//! without the crash-durability WAL), `BENCH_E3.json` (PB transfer
+//! flow: simulated days, effective rate, ADAL op latency quantiles),
+//! `BENCH_TRACE.json` (the same ingest workload with causal tracing
+//! off / sampled / full, measuring the tracing tax), and
+//! `BENCH_RECOVERY.json` (namenode kill-and-restart: recovery wall
+//! time vs namespace size up to one million files) at the workspace
+//! root. The committed copies are the regression baseline; CI runs
+//! `--check`, which re-measures quick-mode E1 (failing when throughput
+//! falls below half the committed figure), re-measures the tracing tax
+//! (failing when full tracing costs more than 2x the untraced run),
+//! bounds the WAL ingest tax at 1.5x, and re-runs a reduced recovery
+//! (failing when the replay rate falls below a quarter of the
+//! committed 100k-file row, or when the committed file has lost its
+//! million-file row).
 //!
 //! Usage:
 //!   bench_snapshot [--quick|--full]   write the snapshot files
@@ -26,6 +32,7 @@
 #![allow(clippy::print_stdout)] // binaries report to stdout by design
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
@@ -33,7 +40,10 @@ use bytes::Bytes;
 use lsdf_adal::Credential;
 use lsdf_core::prelude::QuotaSpec;
 use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy, ProjectSpec};
+use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
+use lsdf_durability::{ComponentDurability, DurabilityConfig, DurableStore};
 use lsdf_metadata::zebrafish_schema;
+use lsdf_obs::Registry;
 use lsdf_net::units::{PB, TEN_GBIT};
 use lsdf_net::{lsdf, NetSim, TransferModel};
 use lsdf_obs::{names, TraceConfig};
@@ -60,6 +70,7 @@ fn detected_cores() -> usize {
 struct E1Run {
     workers: usize,
     admission: &'static str,
+    durability: &'static str,
     ops_per_s: f64,
     bytes_per_s: f64,
     p50_ns: u64,
@@ -90,7 +101,7 @@ fn e1_items(n_fish: usize, edge: u32) -> Vec<IngestItem> {
     items
 }
 
-fn e1_run(workers: usize, n_fish: usize, edge: u32, quota: Option<QuotaSpec>) -> E1Run {
+fn e1_run(workers: usize, n_fish: usize, edge: u32, quota: Option<QuotaSpec>, wal: bool) -> E1Run {
     let admission = if quota.is_some() { "quota" } else { "unlimited" };
     let mut spec = ProjectSpec::new(
         zebrafish_schema(),
@@ -99,11 +110,13 @@ fn e1_run(workers: usize, n_fish: usize, edge: u32, quota: Option<QuotaSpec>) ->
     if let Some(q) = quota {
         spec = spec.quota(q);
     }
-    let f = Facility::builder()
-        .tenant(spec)
-        .workers(workers)
-        .build()
-        .expect("facility assembles");
+    let mut builder = Facility::builder().tenant(spec).workers(workers);
+    if wal {
+        // Full crash durability: every registered dataset commits a
+        // metadata WAL record before the ack.
+        builder = builder.durability(DurableStore::new(), DurabilityConfig::default());
+    }
+    let f = builder.build().expect("facility assembles");
     let admin = f.admin().clone();
     let items = e1_items(n_fish, edge);
     let n = items.len() as f64;
@@ -116,6 +129,7 @@ fn e1_run(workers: usize, n_fish: usize, edge: u32, quota: Option<QuotaSpec>) ->
     E1Run {
         workers,
         admission,
+        durability: if wal { "wal" } else { "off" },
         ops_per_s: n / wall,
         bytes_per_s: total_bytes as f64 / wall,
         p50_ns: lat.quantile(0.50),
@@ -126,15 +140,19 @@ fn e1_run(workers: usize, n_fish: usize, edge: u32, quota: Option<QuotaSpec>) ->
 fn e1_json(mode: &str, runs: &[E1Run]) -> String {
     let serial = runs
         .iter()
-        .find(|r| r.workers == 1)
+        .find(|r| r.workers == 1 && r.durability == "off")
         .expect("serial run present");
     let four = runs
         .iter()
-        .find(|r| r.workers == 4 && r.admission == "unlimited");
+        .find(|r| r.workers == 4 && r.admission == "unlimited" && r.durability == "off");
     let speedup = four.map(|r| r.ops_per_s / serial.ops_per_s.max(1e-9));
     let four_admitted = runs
         .iter()
         .find(|r| r.workers == 4 && r.admission == "quota");
+    let serial_wal = runs
+        .iter()
+        .find(|r| r.workers == 1 && r.durability == "wal");
+    let wal_overhead = serial_wal.map(|r| serial.ops_per_s / r.ops_per_s.max(1e-9));
     let admission_overhead = match (four, four_admitted) {
         (Some(base), Some(adm)) => Some(base.ops_per_s / adm.ops_per_s.max(1e-9)),
         _ => None,
@@ -148,10 +166,12 @@ fn e1_json(mode: &str, runs: &[E1Run]) -> String {
     out.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workers\": {}, \"admission\": \"{}\", \"ops_per_s\": {:.1}, \
+            "    {{\"workers\": {}, \"admission\": \"{}\", \"durability\": \"{}\", \
+             \"ops_per_s\": {:.1}, \
              \"bytes_per_s\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
             r.workers,
             r.admission,
+            r.durability,
             r.ops_per_s,
             r.bytes_per_s,
             r.p50_ns,
@@ -168,6 +188,10 @@ fn e1_json(mode: &str, runs: &[E1Run]) -> String {
         "  \"admission_overhead_4w\": {},\n",
         admission_overhead.map_or("null".to_string(), |s| format!("{s:.3}"))
     ));
+    out.push_str(&format!(
+        "  \"wal_overhead_1w\": {},\n",
+        wal_overhead.map_or("null".to_string(), |s| format!("{s:.3}"))
+    ));
     // Keep the trajectory honest: on a single-core host a sub-1.0
     // speedup is pool overhead, not an ingest regression.
     let note = if cores == 1 {
@@ -175,11 +199,17 @@ fn e1_json(mode: &str, runs: &[E1Run]) -> String {
          speedup_4w < 1.0 reflects pool coordination overhead, not an ingest \
          regression; the enforced signal is the serial ops/s floor. The \
          admission=quota row runs the same batch through a finite token-bucket \
-         quota sized to admit everything, pricing the admission front door."
+         quota sized to admit everything, pricing the admission front door. The \
+         durability=wal row commits every registered dataset to the metadata \
+         write-ahead log before the ack; wal_overhead_1w is its serial tax \
+         (CI bounds it at 1.5x)."
     } else {
         "speedup_4w compares the unlimited rows; the admission=quota row runs \
          the same batch through a finite token-bucket quota sized to admit \
-         everything, pricing the admission front door."
+         everything, pricing the admission front door. The durability=wal row \
+         commits every registered dataset to the metadata write-ahead log \
+         before the ack; wal_overhead_1w is its serial tax (CI bounds it at \
+         1.5x)."
     };
     out.push_str(&format!("  \"note\": \"{note}\"\n"));
     out.push_str("}\n");
@@ -235,6 +265,104 @@ fn e3_json(mode: &str) -> String {
         get_lat.quantile(0.50),
         get_lat.quantile(0.99),
     )
+}
+
+const RECOVERY_FILE_COUNTS: [u64; 3] = [10_000, 100_000, 1_000_000];
+
+struct RecoveryRun {
+    n_files: u64,
+    write_s: f64,
+    recover_ms: f64,
+    replayed: u64,
+    snapshot_loaded: bool,
+    wal_mb: f64,
+}
+
+/// Kill-and-restart a durable namenode carrying `n_files` single-block
+/// files. A checkpoint is taken at the halfway mark, so recovery is
+/// the steady-state shape: install the checkpoint, replay the back
+/// half of the WAL. Asserts bit-identical recovery before reporting.
+fn recovery_run(n_files: u64) -> RecoveryRun {
+    let reg = Arc::new(Registry::new());
+    let disk = DurableStore::new();
+    let cfg = DurabilityConfig::default();
+    let dfs = Dfs::with_durability(
+        ClusterTopology::new(2, 4),
+        DfsConfig {
+            block_size: 4096,
+            replication: 2,
+            ..DfsConfig::default()
+        },
+        reg.clone(),
+        Some(ComponentDurability::open(&disk, "dfs", &reg, &cfg)),
+    );
+    let payload = [0xA5u8; 64];
+    let t = Instant::now();
+    for i in 0..n_files {
+        dfs.write(&format!("/bench/{i:07}"), &payload, None)
+            .expect("bench write");
+        if i == n_files / 2 {
+            dfs.checkpoint();
+        }
+    }
+    let write_s = t.elapsed().as_secs_f64();
+    let digest = dfs.namespace_digest();
+    let wal_mb = disk.durable_bytes() as f64 / 1e6;
+    dfs.crash(n_files ^ 0x5bd1e995);
+    let t = Instant::now();
+    let stats = dfs.recover();
+    let recover_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        dfs.namespace_digest(),
+        digest,
+        "recovery must be bit-identical at n_files={n_files}"
+    );
+    RecoveryRun {
+        n_files,
+        write_s,
+        recover_ms,
+        replayed: stats.replayed,
+        snapshot_loaded: stats.snapshot_loaded,
+        wal_mb,
+    }
+}
+
+fn recovery_json(mode: &str, runs: &[RecoveryRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"recovery\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"cores\": {},\n", detected_cores()));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let per_record_ns = if r.replayed > 0 {
+            r.recover_ms * 1e6 / r.replayed as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "    {{\"n_files\": {}, \"write_s\": {:.3}, \"recover_ms\": {:.3}, \
+             \"replayed\": {}, \"replay_ns_per_record\": {:.1}, \
+             \"snapshot_loaded\": {}, \"wal_mb\": {:.1}}}{}\n",
+            r.n_files,
+            r.write_s,
+            r.recover_ms,
+            r.replayed,
+            per_record_ns,
+            r.snapshot_loaded,
+            r.wal_mb,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"note\": \"Namenode kill-and-restart: single-block files, checkpoint at the \
+         halfway mark, so each row recovers by installing the checkpoint and replaying \
+         the back half of the WAL. recover_ms is wall time of Dfs::recover(); recovery \
+         is asserted bit-identical (namespace digest) before the row is reported.\"\n",
+    );
+    out.push_str("}\n");
+    out
 }
 
 struct TraceRun {
@@ -329,6 +457,77 @@ fn check_trace_overhead() -> Result<(), String> {
     Ok(())
 }
 
+/// The WAL ingest-tax bound CI enforces: serial ingest with the
+/// crash-durability WAL on must keep at least two-thirds of the
+/// WAL-off throughput (overhead < 1.5x). Best-of-two per side damps
+/// wall-clock noise on the short smoke batch.
+fn check_wal_overhead() -> Result<(), String> {
+    let best = |wal: bool| {
+        (0..2)
+            .map(|_| e1_run(1, 10, 64, None, wal).ops_per_s)
+            .fold(0.0f64, f64::max)
+    };
+    let off = best(false);
+    let wal = best(true);
+    let overhead = off / wal.max(1e-9);
+    println!(
+        "bench-smoke: serial ingest wal-off {off:.1} ops/s, wal-on {wal:.1} ops/s \
+         ({overhead:.2}x overhead)"
+    );
+    if overhead > 1.5 {
+        return Err(format!(
+            "WAL ingest overhead exceeds 1.5x: {wal:.1} ops/s vs {off:.1} ops/s"
+        ));
+    }
+    Ok(())
+}
+
+/// Parses the first float after `needle` in `text`.
+fn parse_field(text: &str, needle: &str) -> Result<f64, String> {
+    let at = text
+        .find(needle)
+        .ok_or_else(|| format!("field {needle:?} missing"))?;
+    let rest = &text[at + needle.len()..];
+    let end = rest
+        .find(|c: char| c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|e| format!("field {needle:?} unparseable: {e}"))
+}
+
+/// Reduced recovery smoke: the committed baseline must keep its
+/// million-file row, and a re-measured 100k-file kill-and-restart must
+/// replay within 4x of the committed per-record rate (recovery is also
+/// asserted bit-identical inside the run itself).
+fn check_recovery_baseline(root: &Path) -> Result<(), String> {
+    let path = root.join("BENCH_RECOVERY.json");
+    let baseline = std::fs::read_to_string(&path)
+        .map_err(|e| format!("no committed baseline at {}: {e}", path.display()))?;
+    if !baseline.contains("\"n_files\": 1000000,") {
+        return Err("committed BENCH_RECOVERY.json lost its million-file row".to_string());
+    }
+    let committed_row = baseline
+        .lines()
+        .find(|l| l.contains("\"n_files\": 100000,"))
+        .ok_or("committed BENCH_RECOVERY.json has no 100k-file row")?;
+    let committed_ns = parse_field(committed_row, "\"replay_ns_per_record\": ")?;
+    let r = recovery_run(100_000);
+    let current_ns = r.recover_ms * 1e6 / (r.replayed.max(1)) as f64;
+    println!(
+        "bench-smoke: 100k-file recovery {:.1} ms ({current_ns:.0} ns/record vs committed \
+         {committed_ns:.0} ns/record)",
+        r.recover_ms
+    );
+    if current_ns > committed_ns * 4.0 {
+        return Err(format!(
+            "recovery replay regressed more than 4x: {current_ns:.0} ns/record vs \
+             committed {committed_ns:.0}"
+        ));
+    }
+    Ok(())
+}
+
 /// Pulls every `"ops_per_s": <num>` value out of a snapshot JSON. The
 /// workspace has no JSON dependency; the format above is ours, so a
 /// field-anchored scan is exact.
@@ -356,7 +555,7 @@ fn check_against_baseline(root: &Path) -> Result<(), String> {
     let base_serial = *base_ops
         .first()
         .ok_or("baseline has no ops_per_s entries")?;
-    let current = e1_run(1, 10, 64, None);
+    let current = e1_run(1, 10, 64, None, false);
     println!(
         "bench-smoke: serial ingest {:.1} ops/s vs committed {:.1} ops/s",
         current.ops_per_s, base_serial
@@ -374,7 +573,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let root = workspace_root();
     if args.iter().any(|a| a == "--check") {
-        if let Err(msg) = check_against_baseline(&root).and_then(|()| check_trace_overhead()) {
+        if let Err(msg) = check_against_baseline(&root)
+            .and_then(|()| check_trace_overhead())
+            .and_then(|()| check_wal_overhead())
+            .and_then(|()| check_recovery_baseline(&root))
+        {
             eprintln!("bench-smoke FAILED: {msg}");
             std::process::exit(1);
         }
@@ -387,9 +590,10 @@ fn main() {
 
     let mut runs: Vec<E1Run> = E1_WORKER_COUNTS
         .iter()
-        .map(|&w| e1_run(w, n_fish, edge, None))
+        .map(|&w| e1_run(w, n_fish, edge, None, false))
         .collect();
-    runs.push(e1_run(4, n_fish, edge, Some(bench_quota())));
+    runs.push(e1_run(4, n_fish, edge, Some(bench_quota()), false));
+    runs.push(e1_run(1, n_fish, edge, None, true));
     let e1 = e1_json(mode, &runs);
     let e1_path = root.join("BENCH_E1.json");
     std::fs::write(&e1_path, &e1).expect("writing BENCH_E1.json");
@@ -407,4 +611,14 @@ fn main() {
     std::fs::write(&trace_path, &trace).expect("writing BENCH_TRACE.json");
     println!("wrote {}", trace_path.display());
     print!("{trace}");
+
+    // Recovery scales to the million-file row in every mode: the
+    // committed baseline must always carry it for the smoke check.
+    let recovery_runs: Vec<RecoveryRun> =
+        RECOVERY_FILE_COUNTS.iter().map(|&n| recovery_run(n)).collect();
+    let recovery = recovery_json(mode, &recovery_runs);
+    let recovery_path = root.join("BENCH_RECOVERY.json");
+    std::fs::write(&recovery_path, &recovery).expect("writing BENCH_RECOVERY.json");
+    println!("wrote {}", recovery_path.display());
+    print!("{recovery}");
 }

@@ -27,4 +27,4 @@ mod backend;
 mod plan;
 
 pub use backend::FaultyBackend;
-pub use plan::{FaultDecision, FaultPlan};
+pub use plan::{CrashPoint, FaultDecision, FaultPlan};

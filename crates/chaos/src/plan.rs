@@ -2,13 +2,30 @@
 
 use lsdf_sim::SimRng;
 
+/// A scheduled kill-and-restart point for the facility's stateful
+/// services (namenode + metadata stores), in virtual time.
+///
+/// Unlike the per-operation fault axes, a crash is a process-level
+/// event: volatile state is wiped, an in-flight WAL frame is torn, and
+/// the service must recover from its durable log. The seed picks the
+/// tear point so every run reproduces the same torn tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Virtual time (ns) at which the crash fires.
+    pub at_ns: u64,
+    /// Seed for the torn-frame tear point.
+    pub seed: u64,
+}
+
 /// A declarative mix of faults applied by [`crate::FaultyBackend`].
 ///
 /// Probabilistic faults fire per operation with the configured rate,
 /// drawn from a deterministic RNG stream; scheduled outages are
 /// half-open windows `[start, end)` in the wrapped backend's own
 /// operation-index space (op 0 is its first call), so a plan describes
-/// the same failure timeline on every seeded run.
+/// the same failure timeline on every seeded run. Scheduled crashes
+/// ([`FaultPlan::crash_at`]) live in virtual-time space instead and are
+/// polled by the driver via [`FaultPlan::crashes_due`].
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     /// RNG seed; the per-backend stream is derived from the backend name.
@@ -25,6 +42,9 @@ pub struct FaultPlan {
     /// Scheduled full outages as `[start, end)` op-index windows; every
     /// operation inside a window fails as unavailable.
     pub outages: Vec<(u64, u64)>,
+    /// Scheduled kill-and-restart points in virtual time, sorted by
+    /// [`CrashPoint::at_ns`].
+    pub crashes: Vec<CrashPoint>,
 }
 
 impl Default for FaultPlan {
@@ -36,6 +56,7 @@ impl Default for FaultPlan {
             latency_spike_ns: 0,
             torn_write_rate: 0.0,
             outages: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 }
@@ -89,6 +110,28 @@ impl FaultPlan {
         assert!(start < end, "outage window must be non-empty");
         self.outages.push((start, end));
         self
+    }
+
+    /// Schedules a kill-and-restart of the facility's stateful services
+    /// at virtual time `at_ns`; `seed` picks the torn-frame tear point.
+    /// Points are kept sorted so [`FaultPlan::crashes_due`] replays them
+    /// in timeline order regardless of insertion order.
+    pub fn crash_at(mut self, at_ns: u64, seed: u64) -> Self {
+        self.crashes.push(CrashPoint { at_ns, seed });
+        self.crashes.sort_by_key(|c| (c.at_ns, c.seed));
+        self
+    }
+
+    /// Crash points that fire in the half-open window `(after_ns,
+    /// now_ns]` — the driver polls this at batch boundaries with the
+    /// previous poll's `now_ns` as `after_ns`, so each point fires
+    /// exactly once per run.
+    pub fn crashes_due(&self, after_ns: u64, now_ns: u64) -> Vec<CrashPoint> {
+        self.crashes
+            .iter()
+            .filter(|c| c.at_ns > after_ns && c.at_ns <= now_ns)
+            .copied()
+            .collect()
     }
 
     /// The RNG stream a backend named `name` draws its faults from.
@@ -193,5 +236,39 @@ mod tests {
     #[should_panic(expected = "rate must be in")]
     fn rates_are_validated() {
         let _ = FaultPlan::quiet(1).transient(1.5);
+    }
+
+    #[test]
+    fn crash_schedule_fires_each_point_exactly_once() {
+        let plan = FaultPlan::quiet(1)
+            .crash_at(30_000, 7)
+            .crash_at(10_000, 5)
+            .crash_at(20_000, 6);
+        // Kept sorted regardless of insertion order.
+        let times: Vec<u64> = plan.crashes.iter().map(|c| c.at_ns).collect();
+        assert_eq!(times, vec![10_000, 20_000, 30_000]);
+        // Polling with the previous poll's now as `after` partitions
+        // the timeline: every point fires exactly once.
+        let mut fired = Vec::new();
+        let mut last = 0;
+        for now in [5_000u64, 10_000, 25_000, 25_000, 100_000] {
+            fired.extend(plan.crashes_due(last, now));
+            last = now;
+        }
+        assert_eq!(
+            fired,
+            vec![
+                CrashPoint { at_ns: 10_000, seed: 5 },
+                CrashPoint { at_ns: 20_000, seed: 6 },
+                CrashPoint { at_ns: 30_000, seed: 7 },
+            ]
+        );
+        // Window is half-open: a point exactly at `after_ns` is not due.
+        assert!(plan.crashes_due(10_000, 10_000).is_empty());
+    }
+
+    #[test]
+    fn quiet_plan_schedules_no_crashes() {
+        assert!(FaultPlan::quiet(1).crashes_due(0, u64::MAX).is_empty());
     }
 }

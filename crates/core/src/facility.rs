@@ -10,8 +10,9 @@ use lsdf_adal::{
 };
 use lsdf_admission::{AdmissionController, AdmissionError, Lane, QuotaSpec, Ticket};
 use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
+use lsdf_durability::{ComponentDurability, DurabilityConfig, DurableStore};
 use lsdf_metadata::{ProjectStore, Schema};
-use lsdf_obs::{FacilityHealth, Registry, SloMonitor, SloRule, TraceConfig, Tracer};
+use lsdf_obs::{names, FacilityHealth, Registry, SloMonitor, SloRule, TraceConfig, TraceCtx, Tracer};
 use lsdf_pool::WorkerPool;
 use lsdf_storage::{Hsm, MigrationPolicy, ObjectStore};
 
@@ -110,6 +111,7 @@ pub struct FacilityBuilder {
     workers: Option<usize>,
     tracing: Option<TraceConfig>,
     slo_rules: Option<Vec<SloRule>>,
+    durability: Option<(DurableStore, DurabilityConfig)>,
 }
 
 impl FacilityBuilder {
@@ -125,7 +127,19 @@ impl FacilityBuilder {
             workers: None,
             tracing: None,
             slo_rules: None,
+            durability: None,
         }
+    }
+
+    /// Makes the facility's stateful services (DFS namenode, per-project
+    /// metadata stores) crash-durable: every acked mutation is committed
+    /// to a per-component WAL in `store` before returning, checkpoints
+    /// are taken by [`Facility::run_durability_reconciler`], and any
+    /// state already in `store` (a previous incarnation's checkpoint +
+    /// WAL) is recovered during [`FacilityBuilder::build`].
+    pub fn durability(mut self, store: DurableStore, cfg: DurabilityConfig) -> Self {
+        self.durability = Some((store, cfg));
+        self
     }
 
     /// Enables causal tracing: every ADAL operation and batch ingest
@@ -227,10 +241,15 @@ impl FacilityBuilder {
             adal_builder = adal_builder.tracer(t.clone());
         }
         let adal = Arc::new(adal_builder.build());
-        let dfs = Arc::new(Dfs::with_registry(
+        let dfs_durability = self
+            .durability
+            .as_ref()
+            .map(|(store, cfg)| ComponentDurability::open(store, "dfs", &obs, cfg));
+        let dfs = Arc::new(Dfs::with_durability(
             self.cluster,
             self.dfs_config,
             obs.clone(),
+            dfs_durability,
         ));
 
         let admission = Arc::new(AdmissionController::new(obs.clone()));
@@ -262,7 +281,13 @@ impl FacilityBuilder {
             acl.grant("admin", &project, true);
             admission.register(&project, spec.quota);
             lanes.insert(project.clone(), spec.lane);
-            stores.insert(project, Arc::new(ProjectStore::new(spec.schema)));
+            let meta_durability = self.durability.as_ref().map(|(store, cfg)| {
+                ComponentDurability::open(store, &format!("meta-{project}"), &obs, cfg)
+            });
+            stores.insert(
+                project,
+                Arc::new(ProjectStore::with_durability(spec.schema, meta_durability)),
+            );
         }
         // Resolve every ingest metric handle once, so the steady-state
         // ingest hot path never touches the registry maps.
@@ -282,6 +307,7 @@ impl FacilityBuilder {
             slo,
             admission,
             lanes,
+            durability: self.durability,
         })
     }
 }
@@ -347,6 +373,65 @@ pub struct Facility {
     slo: SloMonitor,
     admission: Arc<AdmissionController>,
     lanes: HashMap<String, Lane>,
+    durability: Option<(DurableStore, DurabilityConfig)>,
+}
+
+/// What one component replayed during [`Facility::crash_restart`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentRecovery {
+    /// Component name (`"dfs"` or `"meta-<project>"`).
+    pub component: String,
+    /// A verified checkpoint was loaded as the replay base.
+    pub snapshot_loaded: bool,
+    /// WAL records applied during replay.
+    pub replayed: u64,
+    /// WAL records skipped (effect already present).
+    pub skipped: u64,
+    /// Log segments that ended in a torn (un-acked) frame.
+    pub torn_tails: u64,
+}
+
+/// Per-component recovery outcome of one kill-and-restart cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// One entry per stateful component, DFS first, then the metadata
+    /// stores in project order.
+    pub components: Vec<ComponentRecovery>,
+}
+
+impl RecoveryReport {
+    /// Total WAL records replayed across components.
+    pub fn total_replayed(&self) -> u64 {
+        self.components.iter().map(|c| c.replayed).sum()
+    }
+
+    /// Total torn (discarded, never-acked) frames across components.
+    pub fn total_torn_tails(&self) -> u64 {
+        self.components.iter().map(|c| c.torn_tails).sum()
+    }
+
+    /// Renders the report as a stable JSON document (the restart-soak
+    /// CI artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"components\": [\n");
+        for (i, c) in self.components.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"component\": \"{}\", \"snapshot_loaded\": {}, \"replayed\": {}, \"skipped\": {}, \"torn_tails\": {}}}{}\n",
+                c.component,
+                c.snapshot_loaded,
+                c.replayed,
+                c.skipped,
+                c.torn_tails,
+                if i + 1 < self.components.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"total_replayed\": {},\n  \"total_torn_tails\": {}\n}}\n",
+            self.total_replayed(),
+            self.total_torn_tails()
+        ));
+        out
+    }
 }
 
 impl Facility {
@@ -413,6 +498,96 @@ impl Facility {
         let health = self.facility_health();
         self.admission.observe(&health);
         health
+    }
+
+    /// True when the facility was built with
+    /// [`FacilityBuilder::durability`].
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durable store backing every component's WAL + checkpoints,
+    /// when the facility is durable.
+    pub fn durable_store(&self) -> Option<&DurableStore> {
+        self.durability.as_ref().map(|(s, _)| s)
+    }
+
+    /// One background-reconciler sweep: checkpoints every stateful
+    /// component whose WAL has crossed the configured record threshold
+    /// (rotate → snapshot → persist → truncate old segments). Returns
+    /// the number of checkpoints taken. A non-durable facility returns
+    /// zero.
+    pub fn run_durability_reconciler(&self) -> usize {
+        let mut taken = 0;
+        if self.dfs.maybe_checkpoint() {
+            taken += 1;
+        }
+        for p in self.projects() {
+            if self.stores[&p].maybe_checkpoint() {
+                taken += 1;
+            }
+        }
+        taken
+    }
+
+    /// Kills and restarts the facility's stateful services in place:
+    /// the namenode and every metadata store lose all volatile state
+    /// (with an in-flight WAL frame torn at a seed-picked offset), then
+    /// recover from their durable logs — checkpoint install plus
+    /// idempotent WAL replay. Datanodes model separate machines and
+    /// keep their block bytes.
+    ///
+    /// Emits a `recovery_replay` root span (when tracing is on) with a
+    /// `chaos_crash` event and one `recovery_component` child span per
+    /// recovered component. A non-durable facility returns an empty
+    /// report and loses nothing, because nothing is wiped.
+    pub fn crash_restart(&self, seed: u64) -> RecoveryReport {
+        if self.durability.is_none() {
+            return RecoveryReport::default();
+        }
+        let root = self
+            .tracer
+            .as_ref()
+            .map_or_else(TraceCtx::disabled, |t| {
+                t.root(names::RECOVERY_REPLAY_SPAN, "restart")
+            });
+        root.event(names::CHAOS_CRASH_LOG_EVENT, &[("seed", &seed.to_string())]);
+        // One process, one death: every stateful service crashes
+        // together, each tearing its own in-flight frame.
+        self.dfs.crash(seed);
+        let projects = self.projects();
+        for (i, p) in projects.iter().enumerate() {
+            self.stores[p].crash(seed.wrapping_add(i as u64 + 1));
+        }
+        let mut components = Vec::with_capacity(projects.len() + 1);
+        {
+            let span = root.child(names::RECOVERY_COMPONENT_SPAN);
+            span.add_field("component", "dfs");
+            let s = self.dfs.recover();
+            span.finish();
+            components.push(ComponentRecovery {
+                component: "dfs".to_string(),
+                snapshot_loaded: s.snapshot_loaded,
+                replayed: s.replayed,
+                skipped: s.skipped,
+                torn_tails: s.torn_tails,
+            });
+        }
+        for p in &projects {
+            let span = root.child(names::RECOVERY_COMPONENT_SPAN);
+            span.add_field("component", &format!("meta-{p}"));
+            let s = self.stores[p].recover();
+            span.finish();
+            components.push(ComponentRecovery {
+                component: format!("meta-{p}"),
+                snapshot_loaded: s.snapshot_loaded,
+                replayed: s.replayed,
+                skipped: s.skipped,
+                torn_tails: s.torn_tails,
+            });
+        }
+        root.finish();
+        RecoveryReport { components }
     }
 
     /// The QoS lane a project's bulk (write-side) traffic rides.
@@ -716,6 +891,146 @@ mod tests {
         // The shed put never reached storage.
         assert!(s.get("k7").is_err());
         assert_eq!(s.usage().shed, 1);
+    }
+
+    fn zf_ds(name: &str, fish: i64) -> lsdf_metadata::NewDataset {
+        lsdf_metadata::NewDataset {
+            name: name.to_string(),
+            location: format!("lsdf://zebrafish-htm/raw/{name}"),
+            size_bytes: 9,
+            checksum_hex: String::new(),
+            basic: [
+                ("fish_id".to_string(), lsdf_metadata::Value::Int(fish)),
+                ("image_index".to_string(), lsdf_metadata::Value::Int(0)),
+                ("focus_um".to_string(), lsdf_metadata::Value::Float(10.0)),
+                (
+                    "wavelength_nm".to_string(),
+                    lsdf_metadata::Value::Float(488.0),
+                ),
+                ("well".to_string(), lsdf_metadata::Value::from("A1")),
+                ("acquired_at".to_string(), lsdf_metadata::Value::Time(fish)),
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn durable_facility_crash_restart_recovers_bit_identically() {
+        let disk = DurableStore::new();
+        let cfg = DurabilityConfig {
+            checkpoint_every: 4,
+            ..DurabilityConfig::default()
+        };
+        let f = Facility::builder()
+            .tenant(ProjectSpec::new(zebrafish_schema(), BackendChoice::Dfs))
+            .cluster(ClusterTopology::new(2, 2), DfsConfig {
+                block_size: 1024,
+                replication: 2,
+                ..DfsConfig::default()
+            })
+            .durability(disk.clone(), cfg)
+            .tracing(TraceConfig::full())
+            .build()
+            .unwrap();
+        assert!(f.is_durable());
+        assert!(f.durable_store().is_some());
+        let admin = f.admin().clone();
+        f.adal()
+            .put(
+                &admin,
+                "lsdf://zebrafish-htm/a",
+                bytes::Bytes::from_static(b"payload-a"),
+            )
+            .unwrap();
+        f.adal()
+            .put(
+                &admin,
+                "lsdf://zebrafish-htm/b",
+                bytes::Bytes::from_static(b"payload-b"),
+            )
+            .unwrap();
+        let store = f.store("zebrafish-htm").unwrap().clone();
+        store.insert(zf_ds("img-0", 1)).unwrap();
+        store.insert(zf_ds("img-1", 2)).unwrap();
+        let dfs_digest = f.dfs().namespace_digest();
+        let meta_digest = store.catalog_digest();
+
+        let report = f.crash_restart(42);
+        assert_eq!(report.components.len(), 2, "dfs + one metadata store");
+        assert_eq!(report.components[0].component, "dfs");
+        assert_eq!(report.components[1].component, "meta-zebrafish-htm");
+        assert!(report.total_torn_tails() >= 2, "each component tears a frame");
+        assert!(report.total_replayed() > 0);
+        // Bit-identical namespaces, and the acked data is still readable.
+        assert_eq!(f.dfs().namespace_digest(), dfs_digest);
+        assert_eq!(store.catalog_digest(), meta_digest);
+        assert_eq!(
+            f.adal().get(&admin, "lsdf://zebrafish-htm/a").unwrap(),
+            bytes::Bytes::from_static(b"payload-a")
+        );
+        assert_eq!(store.get_by_name("img-1").unwrap().size_bytes, 9);
+        // The report renders as the CI artifact.
+        let json = report.to_json();
+        assert!(json.contains("\"component\": \"dfs\""));
+        assert!(json.contains("\"total_replayed\""));
+        // The restart minted a recovery_replay trace with per-component
+        // child spans and the chaos_crash event.
+        let traces = f.tracer().unwrap().traces();
+        let recovery = traces
+            .iter()
+            .find(|t| t.root.name == names::RECOVERY_REPLAY_SPAN)
+            .expect("recovery span recorded");
+        assert_eq!(recovery.root.children.len(), 2, "one child span per component");
+        assert!(recovery
+            .root
+            .events
+            .iter()
+            .any(|e| e.name == names::CHAOS_CRASH_LOG_EVENT));
+    }
+
+    #[test]
+    fn reconciler_checkpoints_when_thresholds_cross() {
+        let disk = DurableStore::new();
+        let cfg = DurabilityConfig {
+            checkpoint_every: 2,
+            ..DurabilityConfig::default()
+        };
+        let f = Facility::builder()
+            .tenant(ProjectSpec::new(zebrafish_schema(), BackendChoice::Dfs))
+            .cluster(ClusterTopology::new(2, 2), DfsConfig {
+                block_size: 1024,
+                replication: 2,
+                ..DfsConfig::default()
+            })
+            .durability(disk, cfg)
+            .build()
+            .unwrap();
+        assert_eq!(f.run_durability_reconciler(), 0, "nothing to checkpoint yet");
+        let store = f.store("zebrafish-htm").unwrap();
+        store.insert(zf_ds("img-0", 1)).unwrap();
+        store.insert(zf_ds("img-1", 2)).unwrap();
+        assert_eq!(f.run_durability_reconciler(), 1, "metadata store crossed");
+        assert_eq!(store.wal_records_since_checkpoint(), 0);
+    }
+
+    #[test]
+    fn non_durable_facility_crash_restart_is_a_no_op() {
+        let f = mini();
+        assert!(!f.is_durable());
+        assert!(f.durable_store().is_none());
+        assert_eq!(f.run_durability_reconciler(), 0);
+        let admin = f.admin().clone();
+        f.adal()
+            .put(&admin, "lsdf://katrin/run1", bytes::Bytes::from_static(b"x"))
+            .unwrap();
+        let report = f.crash_restart(7);
+        assert!(report.components.is_empty());
+        // Nothing was wiped.
+        assert_eq!(
+            f.adal().get(&admin, "lsdf://katrin/run1").unwrap(),
+            bytes::Bytes::from_static(b"x")
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ mod session;
 
 pub use browser::{DataBrowser, FindabilityReport};
 pub use error::{FacilityError, LsdfError};
-pub use facility::{BackendChoice, Facility, FacilityBuilder, ProjectSpec};
+pub use facility::{
+    BackendChoice, ComponentRecovery, Facility, FacilityBuilder, ProjectSpec, RecoveryReport,
+};
 pub use ingest::{IngestItem, IngestPolicy, IngestReport};
 pub use session::ProjectSession;
 pub use campaign::{

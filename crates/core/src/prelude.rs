@@ -6,9 +6,14 @@
 //! metrics registry — without hunting through eight crates' namespaces.
 
 pub use crate::{
-    BackendChoice, DataBrowser, Facility, FacilityBuilder, FacilityError, IngestItem,
-    IngestPolicy, IngestReport, LsdfError, ProjectSession, ProjectSpec,
+    BackendChoice, ComponentRecovery, DataBrowser, Facility, FacilityBuilder, FacilityError,
+    IngestItem, IngestPolicy, IngestReport, LsdfError, ProjectSession, ProjectSpec,
+    RecoveryReport,
 };
+
+pub use lsdf_chaos::{CrashPoint, FaultPlan};
+
+pub use lsdf_durability::{DurabilityConfig, DurableStore};
 
 pub use lsdf_adal::{
     Acl, Adal, AdalBuilder, AdalCounters, AdalError, BackendError, BreakerConfig, BreakerState,

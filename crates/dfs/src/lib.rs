@@ -19,9 +19,11 @@ mod cluster;
 mod datanode;
 mod namenode;
 pub mod shard;
+mod wal;
 
 pub use cluster::{ClusterTopology, DfsNodeId, Locality, RackId};
 pub use datanode::{BlockId, DataNode, DataNodeError};
 pub use namenode::{
-    Dfs, DfsConfig, DfsError, FileMeta, LocalityStats, LocatedBlock, PlacementPolicy,
+    Dfs, DfsConfig, DfsError, DfsRecoveryStats, FileMeta, LocalityStats, LocatedBlock,
+    PlacementPolicy,
 };

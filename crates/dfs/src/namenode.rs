@@ -19,7 +19,10 @@ use rand_chacha::ChaCha8Rng;
 use crate::cluster::{ClusterTopology, DfsNodeId, Locality};
 use crate::datanode::{BlockId, DataNode, DataNodeError};
 use crate::shard::ShardedMap;
+use crate::wal::{BlockEntry, DfsSnapshot, DfsWalRecord};
+use lsdf_durability::ComponentDurability;
 use lsdf_obs::names;
+use lsdf_storage::sha256;
 
 /// Shard count for the namenode block map. Dense block ids stripe over
 /// the shards by their low bits, so 16 shards give 16-way write
@@ -207,6 +210,20 @@ pub struct Dfs {
     next_block: AtomicU64,
     rng: Mutex<ChaCha8Rng>,
     obs: DfsObs,
+    durability: Option<ComponentDurability>,
+}
+
+/// What one namenode recovery pass replayed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DfsRecoveryStats {
+    /// A verified checkpoint was loaded as the replay base.
+    pub snapshot_loaded: bool,
+    /// WAL records replayed over the base.
+    pub replayed: u64,
+    /// Replayed records whose effect was already present.
+    pub skipped: u64,
+    /// Segments that ended in a torn (never-acked) frame.
+    pub torn_tails: u64,
 }
 
 impl Dfs {
@@ -229,6 +246,23 @@ impl Dfs {
         config: DfsConfig,
         registry: Arc<Registry>,
     ) -> Self {
+        Self::with_durability(topology, config, registry, None)
+    }
+
+    /// Builds the cluster with an optional durability handle: when
+    /// `Some`, every acked namespace mutation is committed to the WAL
+    /// before it returns, and any state already present on the handle's
+    /// durable store (checkpoint + WAL segments from a previous
+    /// incarnation) is recovered before this returns.
+    ///
+    /// # Panics
+    /// Panics if `replication` is zero or exceeds the node count.
+    pub fn with_durability(
+        topology: ClusterTopology,
+        config: DfsConfig,
+        registry: Arc<Registry>,
+        durability: Option<ComponentDurability>,
+    ) -> Self {
         assert!(config.replication >= 1, "replication must be >= 1");
         assert!(
             config.replication <= topology.node_count(),
@@ -241,7 +275,7 @@ impl Dfs {
             .nodes()
             .map(|id| Arc::new(DataNode::new(id, config.node_capacity)))
             .collect();
-        Dfs {
+        let fs = Dfs {
             topology,
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(config.seed)),
             config,
@@ -250,7 +284,13 @@ impl Dfs {
             blocks: ShardedMap::new(BLOCK_MAP_SHARDS),
             next_block: AtomicU64::new(0),
             obs: DfsObs::new(registry),
+            durability,
+        };
+        if fs.durability.is_some() {
+            // Re-open from disk state: a fresh store replays nothing.
+            fs.recover();
         }
+        fs
     }
 
     /// The obs registry this DFS records into.
@@ -310,6 +350,8 @@ impl Dfs {
             return Err(DfsError::FileExists(path.to_string()));
         }
         let mut block_ids = Vec::new();
+        let mut entries: Vec<BlockEntry> = Vec::new();
+        let mut max_id: Option<u64> = None;
         let chunks: Vec<&[u8]> = if data.is_empty() {
             Vec::new()
         } else {
@@ -317,10 +359,12 @@ impl Dfs {
         };
         for chunk in chunks {
             let id = BlockId(self.next_block.fetch_add(1, Ordering::Relaxed));
+            max_id = Some(id.0);
             let targets = self.choose_targets(writer, self.config.replication);
             if targets.is_empty() {
                 // Roll back blocks written so far.
                 self.drop_blocks(&block_ids);
+                self.log_rolled_back_alloc(max_id);
                 return Err(DfsError::NoSpace);
             }
             let payload = Bytes::copy_from_slice(chunk);
@@ -336,6 +380,7 @@ impl Dfs {
             }
             if placed.is_empty() {
                 self.drop_blocks(&block_ids);
+                self.log_rolled_back_alloc(max_id);
                 return Err(DfsError::NoSpace);
             }
             tspan.event(
@@ -345,6 +390,9 @@ impl Dfs {
                     ("replicas", &placed.len().to_string()),
                 ],
             );
+            if self.durability.is_some() {
+                entries.push((id, payload.len() as u64, placed.clone()));
+            }
             self.blocks.insert(
                 id,
                 BlockInfo {
@@ -361,6 +409,7 @@ impl Dfs {
             if files.contains_key(path) {
                 drop(files);
                 self.drop_blocks(&block_ids);
+                self.log_rolled_back_alloc(max_id);
                 return Err(DfsError::FileExists(path.to_string()));
             }
             files.insert(
@@ -370,6 +419,18 @@ impl Dfs {
                     size: data.len() as u64,
                 },
             );
+            // Commit to the WAL under the namespace lock so log order
+            // agrees with namespace order for same-path commit/delete
+            // races; the write is only acked once the record is synced.
+            if let Some(d) = &self.durability {
+                let record = DfsWalRecord::FileCommit {
+                    path: path.to_string(),
+                    size: data.len() as u64,
+                    watermark: max_id.map_or(0, |m| m + 1),
+                    blocks: entries,
+                };
+                d.log(&record.encode());
+            }
         }
         self.obs.writes.inc();
         self.obs.write_bytes.record(data.len() as u64);
@@ -538,12 +599,32 @@ impl Dfs {
     }
 
     /// Deletes a file and its block replicas.
+    ///
+    /// Replica cleanup is best-effort by design: a replica list only
+    /// names *live* holders (re-replication prunes dead nodes), so a
+    /// node that was down at delete time can revive still holding the
+    /// block's bytes. Those bytes are unreachable — the namespace and
+    /// block map no longer reference the id — and only cost space on
+    /// the revived node.
     pub fn delete(&self, path: &str) -> Result<(), DfsError> {
-        let entry = self
-            .files
-            .write()
-            .remove(path)
-            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+        let entry = {
+            let mut files = self.files.write();
+            let entry = files
+                .remove(path)
+                .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?;
+            // Log under the namespace lock (see `write_traced`); the
+            // record carries the block ids so replay can clear the block
+            // map even when a checkpoint captured blocks but not the
+            // file entry.
+            if let Some(d) = &self.durability {
+                let record = DfsWalRecord::Delete {
+                    path: path.to_string(),
+                    blocks: entry.blocks.clone(),
+                };
+                d.log(&record.encode());
+            }
+            entry
+        };
         for id in &entry.blocks {
             if let Some(info) = self.blocks.remove(*id) {
                 for n in info.replicas {
@@ -665,14 +746,26 @@ impl Dfs {
                     stuck = true;
                     break;
                 };
-                let _ = self.blocks.write(id, |info| {
+                let new_replicas = self.blocks.write(id, |info| {
                     // Drop dead replicas from the map now that we have
                     // fresh copies; keep list = live ∪ {new}.
                     info.replicas.retain(|n| self.nodes[n.0 as usize].is_alive());
                     info.replicas.push(t);
+                    info.replicas.clone()
                 });
+                let Some(new_replicas) = new_replicas else {
+                    // The owning file was deleted while we were copying:
+                    // the map entry is gone, so the fresh copy on `t`
+                    // would leak. Drop it and move to the next block.
+                    let _ = self.nodes[t.0 as usize].delete_block(id);
+                    break;
+                };
                 created += 1;
                 self.obs.rereplicated.inc();
+                if let Some(d) = &self.durability {
+                    let record = DfsWalRecord::ReplicaSet { block: id, replicas: new_replicas };
+                    d.log(&record.encode());
+                }
                 tspan.event(
                     names::DFS_BLOCK_REREPLICATED_EVENT,
                     &[("block", &id.0.to_string()), ("target", &t.0.to_string())],
@@ -791,12 +884,190 @@ impl Dfs {
             if self.nodes[dst.0 as usize].store_block(block, data).is_err() {
                 return moved;
             }
-            let _ = self.blocks.write(block, |info| {
+            let new_replicas = self.blocks.write(block, |info| {
                 info.replicas.retain(|&n| n != src);
                 info.replicas.push(dst);
+                info.replicas.clone()
             });
+            let Some(new_replicas) = new_replicas else {
+                // Deleted out from under the balancer: drop the copy we
+                // just made rather than leaking it on `dst`.
+                let _ = self.nodes[dst.0 as usize].delete_block(block);
+                continue;
+            };
+            if let Some(d) = &self.durability {
+                let record = DfsWalRecord::ReplicaSet { block, replicas: new_replicas };
+                d.log(&record.encode());
+            }
             let _ = self.nodes[src.0 as usize].delete_block(block);
             moved += 1;
+        }
+    }
+
+    // --- Durability: snapshot, crash, recovery ------------------------
+
+    /// True when this namenode commits mutations to a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// WAL records committed since the last checkpoint (reconciler
+    /// cadence input; 0 when not durable).
+    pub fn wal_records_since_checkpoint(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, ComponentDurability::records_since_checkpoint)
+    }
+
+    fn snapshot(&self) -> DfsSnapshot {
+        let files: Vec<(String, u64, Vec<BlockId>)> = {
+            let guard = self.files.read();
+            guard
+                .iter()
+                .map(|(p, e)| (p.clone(), e.size, e.blocks.clone()))
+                .collect()
+        };
+        // Walk blocks through the file table: only committed (referenced)
+        // blocks enter the snapshot, in canonical path order.
+        let mut blocks = Vec::new();
+        for (_, _, ids) in &files {
+            for &id in ids {
+                if let Some(entry) =
+                    self.blocks.read(id, |info| (id, info.size, info.replicas.clone()))
+                {
+                    blocks.push(entry);
+                }
+            }
+        }
+        DfsSnapshot {
+            next_block: self.next_block.load(Ordering::Relaxed),
+            files,
+            blocks,
+        }
+    }
+
+    /// Hex SHA-256 of the canonical namespace encoding: file table,
+    /// referenced block map, allocator watermark. Two namenodes with
+    /// equal digests have bit-identical namespaces.
+    pub fn namespace_digest(&self) -> String {
+        sha256(&self.snapshot().encode()).to_hex()
+    }
+
+    /// Takes a checkpoint now (rotate WAL → snapshot → persist →
+    /// truncate old segments). Returns the checkpoint's content hash,
+    /// or `None` when the namenode is not durable.
+    pub fn checkpoint(&self) -> Option<String> {
+        let d = self.durability.as_ref()?;
+        Some(d.checkpoint_with(|| self.snapshot().encode()))
+    }
+
+    /// Checkpoints only when the configured record threshold has been
+    /// reached; returns whether one was taken.
+    pub fn maybe_checkpoint(&self) -> bool {
+        match &self.durability {
+            Some(d) if d.should_checkpoint() => {
+                d.checkpoint_with(|| self.snapshot().encode());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Simulates a namenode crash: every volatile structure (file table,
+    /// block map, allocator) is wiped, and the WAL device tears a
+    /// never-acked in-flight frame chosen by `seed`. Datanodes are
+    /// separate machines and keep their blocks. Call [`Dfs::recover`]
+    /// to re-open from disk state.
+    pub fn crash(&self, seed: u64) {
+        if let Some(d) = &self.durability {
+            d.crash_torn(seed);
+        }
+        self.files.write().clear();
+        self.blocks.clear();
+        self.next_block.store(0, Ordering::Relaxed);
+    }
+
+    /// Recovers the namespace from the durable store: loads the latest
+    /// verified checkpoint, then replays the committed WAL suffix
+    /// idempotently. A namenode without durability returns zeroed stats.
+    pub fn recover(&self) -> DfsRecoveryStats {
+        let Some(d) = &self.durability else {
+            return DfsRecoveryStats::default();
+        };
+        let recovered = d.recover();
+        let mut stats = DfsRecoveryStats {
+            torn_tails: recovered.torn_tails,
+            ..DfsRecoveryStats::default()
+        };
+        if let Some(snap) = recovered.snapshot.as_deref().and_then(DfsSnapshot::decode) {
+            stats.snapshot_loaded = true;
+            self.next_block.fetch_max(snap.next_block, Ordering::Relaxed);
+            for (id, size, replicas) in snap.blocks {
+                self.blocks.insert(id, BlockInfo { size, replicas });
+            }
+            let mut files = self.files.write();
+            for (path, size, blocks) in snap.files {
+                files.insert(path, FileEntry { blocks, size });
+            }
+        }
+        for payload in &recovered.records {
+            stats.replayed += 1;
+            match DfsWalRecord::decode(payload) {
+                Some(rec) => {
+                    if !self.apply_record(rec) {
+                        stats.skipped += 1;
+                    }
+                }
+                // Undecodable committed records cannot occur (we wrote
+                // them); count defensively rather than panic.
+                None => stats.skipped += 1,
+            }
+        }
+        d.note_skipped(stats.skipped);
+        stats
+    }
+
+    /// Applies one replayed record; returns `false` when its effect was
+    /// already present (idempotent skip).
+    fn apply_record(&self, rec: DfsWalRecord) -> bool {
+        match rec {
+            DfsWalRecord::FileCommit { path, size, watermark, blocks } => {
+                self.next_block.fetch_max(watermark, Ordering::Relaxed);
+                let mut files = self.files.write();
+                if files.contains_key(&path) {
+                    return false;
+                }
+                let ids: Vec<BlockId> = blocks.iter().map(|(id, _, _)| *id).collect();
+                for (id, bsize, replicas) in blocks {
+                    self.blocks.insert(id, BlockInfo { size: bsize, replicas });
+                }
+                files.insert(path, FileEntry { blocks: ids, size });
+                true
+            }
+            DfsWalRecord::Delete { path, blocks } => {
+                let had_file = self.files.write().remove(&path).is_some();
+                let mut had_blocks = false;
+                for id in blocks {
+                    had_blocks |= self.blocks.remove(id).is_some();
+                }
+                had_file || had_blocks
+            }
+            DfsWalRecord::ReplicaSet { block, replicas } => self
+                .blocks
+                .write(block, |info| info.replicas = replicas)
+                .is_some(),
+            DfsWalRecord::Alloc { watermark } => {
+                self.next_block.fetch_max(watermark, Ordering::Relaxed);
+                true
+            }
+        }
+    }
+
+    /// Logs an `Alloc` watermark for ids consumed by a rolled-back
+    /// write, so the recovered allocator matches the live one.
+    fn log_rolled_back_alloc(&self, max_id: Option<u64>) {
+        if let (Some(d), Some(m)) = (&self.durability, max_id) {
+            d.log(&DfsWalRecord::Alloc { watermark: m + 1 }.encode());
         }
     }
 
@@ -1220,6 +1491,104 @@ mod tests {
         assert_eq!(used, 0);
         // A smaller file fits.
         fs.write("/ok", &data(200), None).unwrap();
+    }
+
+    fn durable_dfs(store: &lsdf_durability::DurableStore, checkpoint_every: u64) -> Dfs {
+        let reg = Arc::new(Registry::new());
+        let cfg = lsdf_durability::DurabilityConfig {
+            checkpoint_every,
+            ..lsdf_durability::DurabilityConfig::default()
+        };
+        Dfs::with_durability(
+            ClusterTopology::new(2, 3),
+            DfsConfig {
+                block_size: 100,
+                replication: 2,
+                node_capacity: u64::MAX,
+                placement: PlacementPolicy::RackAware,
+                seed: 17,
+            },
+            reg.clone(),
+            Some(ComponentDurability::open(store, "dfs", &reg, &cfg)),
+        )
+    }
+
+    #[test]
+    fn crash_recover_is_bit_identical() {
+        let store = lsdf_durability::DurableStore::new();
+        let fs = durable_dfs(&store, 3);
+        fs.write("/exp/a", &data(250), Some(DfsNodeId(0))).unwrap();
+        fs.write("/exp/b", &data(90), None).unwrap();
+        fs.write("/exp/c", &data(410), Some(DfsNodeId(3))).unwrap();
+        assert!(fs.maybe_checkpoint(), "threshold reached");
+        fs.delete("/exp/b").unwrap();
+        fs.write("/exp/d", &data(120), None).unwrap();
+        let digest = fs.namespace_digest();
+        let files_before: Vec<FileMeta> = fs.list("/");
+
+        fs.crash(99);
+        assert!(fs.list("/").is_empty(), "volatile state wiped");
+        let stats = fs.recover();
+        assert!(stats.snapshot_loaded);
+        assert!(stats.torn_tails >= 1, "crash tears an in-flight frame");
+        assert_eq!(fs.namespace_digest(), digest);
+        assert_eq!(fs.list("/"), files_before);
+        // Data survives: datanodes kept their blocks.
+        assert_eq!(fs.read("/exp/a", None).unwrap(), Bytes::from(data(250)));
+        assert_eq!(fs.read("/exp/d", None).unwrap(), Bytes::from(data(120)));
+        // The allocator watermark is bit-identical too: the next write
+        // must not reuse ids (which would clobber surviving blocks).
+        fs.write("/exp/e", &data(50), None).unwrap();
+        assert_eq!(fs.read("/exp/c", None).unwrap(), Bytes::from(data(410)));
+    }
+
+    #[test]
+    fn rolled_back_write_preserves_allocator_watermark() {
+        let store = lsdf_durability::DurableStore::new();
+        let fs = durable_dfs(&store, 1_000);
+        fs.write("/a", &data(100), None).unwrap();
+        // A duplicate-path write allocates ids, then rolls back.
+        assert!(fs.write("/a", &data(300), None).is_err());
+        let before = fs.next_block.load(Ordering::Relaxed);
+        let digest = fs.namespace_digest();
+        fs.crash(3);
+        fs.recover();
+        assert_eq!(fs.next_block.load(Ordering::Relaxed), before);
+        assert_eq!(fs.namespace_digest(), digest);
+    }
+
+    #[test]
+    fn delete_then_recover_yields_identical_under_replicated_set() {
+        let store = lsdf_durability::DurableStore::new();
+        let fs = durable_dfs(&store, 1_000);
+        fs.write("/keep", &data(300), Some(DfsNodeId(0))).unwrap();
+        fs.write("/drop", &data(200), Some(DfsNodeId(1))).unwrap();
+        fs.delete("/drop").unwrap();
+        fs.kill_node(DfsNodeId(0));
+        let before = fs.under_replicated();
+        assert!(!before.is_empty());
+        fs.crash(7);
+        fs.recover();
+        // No leaked /drop blocks may reappear in the recovered map, and
+        // the surviving under-replication must match exactly.
+        assert_eq!(fs.under_replicated(), before);
+        assert_eq!(fs.blocks.len(), 3, "only /keep's blocks survive");
+    }
+
+    #[test]
+    fn re_replicate_ignores_blocks_of_deleted_files() {
+        // Direct regression for the leak: simulate the interleaving by
+        // deleting the map entry between the under-replication scan and
+        // the repair write via a pre-removed entry.
+        let fs = dfs(1, 3, 100, 2);
+        fs.write("/f", &data(100), Some(DfsNodeId(0))).unwrap();
+        let lb = &fs.file_blocks("/f").unwrap()[0];
+        fs.kill_node(lb.replicas[1]);
+        // Delete the file: the under-replicated set is now empty and a
+        // later re_replicate pass must not resurrect anything.
+        fs.delete("/f").unwrap();
+        assert_eq!(fs.re_replicate(), 0);
+        assert!(fs.under_replicated().is_empty());
     }
 
     #[test]

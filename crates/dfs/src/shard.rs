@@ -89,6 +89,14 @@ impl<V> ShardedMap<V> {
         acc
     }
 
+    /// Removes every entry (crash simulation wipes volatile namenode
+    /// state before recovery rebuilds it), one shard at a time.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()

@@ -1,0 +1,186 @@
+//! Content-addressed checkpoints with an atomically replaced manifest.
+//!
+//! A checkpoint is a full canonical snapshot of a component's state,
+//! stored in a device named by the SHA-256 of its bytes
+//! (`<name>-ckpt-<hex>`). The manifest device (`<name>-manifest`)
+//! points at the current checkpoint hash and the WAL epoch from which
+//! replay must start; it is replaced atomically (write-temp + rename in
+//! a real filesystem, [`MemDisk::set`] here), so recovery always sees
+//! either the old pair or the new pair, never a half-written one.
+//! Content addressing gives a free integrity check: a blob whose hash
+//! does not match its name is ignored and recovery falls back to pure
+//! WAL replay from epoch 0.
+//!
+//! [`MemDisk::set`]: crate::device::MemDisk::set
+
+use crate::codec::{Dec, Enc};
+use crate::device::DurableStore;
+use lsdf_obs::names;
+use lsdf_obs::{Counter, Histogram, Registry};
+use lsdf_storage::sha256;
+use std::sync::Arc;
+
+/// The durable pointer at the root of recovery.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Hex SHA-256 of the current checkpoint blob, if one exists.
+    pub ckpt_hex: Option<String>,
+    /// WAL segments at or above this epoch must be replayed over the
+    /// checkpoint.
+    pub wal_epoch: u64,
+}
+
+const MANIFEST_VERSION: u8 = 1;
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(MANIFEST_VERSION);
+        e.u64(self.wal_epoch);
+        match &self.ckpt_hex {
+            Some(hex) => {
+                e.u8(1);
+                e.str(hex);
+            }
+            None => e.u8(0),
+        }
+        e.finish()
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut d = Dec::new(bytes);
+        if d.u8()? != MANIFEST_VERSION {
+            return None;
+        }
+        let wal_epoch = d.u64()?;
+        let ckpt_hex = match d.u8()? {
+            0 => None,
+            1 => Some(d.str()?),
+            _ => return None,
+        };
+        Some(Self { ckpt_hex, wal_epoch })
+    }
+}
+
+struct CkptObs {
+    taken: Counter,
+    bytes: Histogram,
+    truncated: Counter,
+}
+
+/// Saves and loads content-addressed checkpoints for one component.
+pub struct CheckpointStore {
+    store: DurableStore,
+    name: String,
+    obs: CkptObs,
+}
+
+impl CheckpointStore {
+    /// Opens the checkpoint namespace for component `name`.
+    pub fn open(store: DurableStore, name: &str, registry: &Arc<Registry>) -> Self {
+        let labels = &[("log", name)];
+        let obs = CkptObs {
+            taken: registry.counter(names::CKPT_TAKEN_TOTAL, labels),
+            bytes: registry.histogram(names::CKPT_BYTES, labels),
+            truncated: registry.counter(names::CKPT_SEGMENTS_TRUNCATED_TOTAL, labels),
+        };
+        Self { store, name: name.to_string(), obs }
+    }
+
+    fn blob_device(&self, hex: &str) -> String {
+        format!("{}-ckpt-{hex}", self.name)
+    }
+
+    fn manifest_device(&self) -> String {
+        format!("{}-manifest", self.name)
+    }
+
+    /// Writes a checkpoint blob, atomically repoints the manifest at it
+    /// (with `wal_epoch` as the replay floor), and garbage-collects
+    /// superseded blobs. Returns the new checkpoint's hex hash.
+    pub fn save(&self, snapshot: &[u8], wal_epoch: u64) -> String {
+        let hex = sha256(snapshot).to_hex();
+        self.store.open(&self.blob_device(&hex)).set(snapshot);
+        let manifest = Manifest { ckpt_hex: Some(hex.clone()), wal_epoch };
+        self.store.open(&self.manifest_device()).set(&manifest.encode());
+        // Older blobs are unreachable once the manifest points elsewhere.
+        let keep = self.blob_device(&hex);
+        for dev in self.store.names_with_prefix(&format!("{}-ckpt-", self.name)) {
+            if dev != keep {
+                self.store.remove(&dev);
+            }
+        }
+        self.obs.taken.inc();
+        self.obs.bytes.record(snapshot.len() as u64);
+        hex
+    }
+
+    /// Records how many WAL segments the caller truncated after this
+    /// checkpoint landed.
+    pub fn note_truncated(&self, segments: u64) {
+        self.obs.truncated.add(segments);
+    }
+
+    /// Loads the manifest and, if it names a checkpoint, the verified
+    /// blob. A missing manifest yields the default (epoch 0, no blob); a
+    /// blob that is missing or fails its hash check is dropped so the
+    /// caller replays the WAL from the manifest epoch with no base state
+    /// (idempotent replay makes that safe when segments still exist).
+    pub fn load(&self) -> (Manifest, Option<Vec<u8>>) {
+        let Some(dev) = self.store.get(&self.manifest_device()) else {
+            return (Manifest::default(), None);
+        };
+        let Some(manifest) = Manifest::decode(&dev.read()) else {
+            return (Manifest::default(), None);
+        };
+        let blob = manifest.ckpt_hex.as_ref().and_then(|hex| {
+            let bytes = self.store.get(&self.blob_device(hex))?.read();
+            (sha256(&bytes).to_hex() == *hex).then_some(bytes)
+        });
+        (manifest, blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> Arc<Registry> {
+        Arc::new(Registry::new())
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_gc() {
+        let store = DurableStore::new();
+        let ckpts = CheckpointStore::open(store.clone(), "t", &registry());
+        let h1 = ckpts.save(b"state-v1", 1);
+        let h2 = ckpts.save(b"state-v2", 2);
+        assert_ne!(h1, h2);
+        let (m, blob) = ckpts.load();
+        assert_eq!(m.wal_epoch, 2);
+        assert_eq!(m.ckpt_hex.as_deref(), Some(h2.as_str()));
+        assert_eq!(blob.as_deref(), Some(&b"state-v2"[..]));
+        // Superseded blob was garbage-collected.
+        assert_eq!(store.names_with_prefix("t-ckpt-").len(), 1);
+    }
+
+    #[test]
+    fn missing_manifest_is_epoch_zero() {
+        let store = DurableStore::new();
+        let ckpts = CheckpointStore::open(store, "t", &registry());
+        let (m, blob) = ckpts.load();
+        assert_eq!(m, Manifest::default());
+        assert!(blob.is_none());
+    }
+
+    #[test]
+    fn corrupt_blob_is_rejected() {
+        let store = DurableStore::new();
+        let ckpts = CheckpointStore::open(store.clone(), "t", &registry());
+        let hex = ckpts.save(b"good", 3);
+        store.open(&format!("t-ckpt-{hex}")).set(b"tampered");
+        let (m, blob) = ckpts.load();
+        assert_eq!(m.wal_epoch, 3);
+        assert!(blob.is_none());
+    }
+}

@@ -152,7 +152,7 @@ impl Config {
             root: root.to_path_buf(),
             panic_free: [
                 "adal", "dfs", "storage", "chaos", "core", "cloud", "workflow", "metadata",
-                "net", "pool",
+                "net", "pool", "durability",
             ]
             .iter()
             .map(|c| format!("crates/{c}/src/"))

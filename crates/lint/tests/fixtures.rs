@@ -95,6 +95,16 @@ fn span_names_fire_on_bad_and_not_on_good() {
 }
 
 #[test]
+fn durability_names_fire_on_bad_and_not_on_good() {
+    // The wal_* / ckpt_* / recovery_* name families introduced with the
+    // crash-durability work follow the same L3 contract: consts only.
+    let bad = lint("durability_names/bad.rs");
+    assert_eq!(count(&bad, Rule::MetricNames), 6, "{:#?}", bad.violations);
+    let good = lint("durability_names/good.rs");
+    assert_eq!(count(&good, Rule::MetricNames), 0, "{:#?}", good.violations);
+}
+
+#[test]
 fn locks_fires_on_bad_and_not_on_good() {
     let bad = lint("locks/bad.rs");
     assert_eq!(count(&bad, Rule::Locks), 4, "{:#?}", bad.violations);

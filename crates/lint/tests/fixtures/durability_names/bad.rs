@@ -1,0 +1,16 @@
+// Fixture: string-literal durability names at call sites — each call
+// must trip rule L3 (metric_names), spans and events included.
+
+pub fn record(reg: &lsdf_obs::Registry, tracer: &lsdf_obs::Tracer) {
+    reg.counter("wal_appends_total", &[("log", "dfs")]).inc();
+    reg.histogram("wal_fsync_latency_ns", &[]).record(50_000);
+    reg.counter(
+        "ckpt_taken_total",
+        &[("log", "dfs")],
+    )
+    .inc();
+    let _ = reg.counter_value("recovery_runs_total", &[]);
+    let root = tracer.root("recovery_replay", "restart");
+    root.event("chaos_crash", &[("seed", "7")]);
+    root.finish();
+}

@@ -1,0 +1,26 @@
+// Fixture: durability metric/span names (wal_*, ckpt_*, recovery_*)
+// via lsdf_obs::names consts — nothing here may trip L3.
+use lsdf_obs::names;
+
+pub fn record(reg: &lsdf_obs::Registry, tracer: &lsdf_obs::Tracer) {
+    let labels = &[("log", "dfs")];
+    reg.counter(names::WAL_APPENDS_TOTAL, labels).inc();
+    reg.counter(names::WAL_FSYNCS_TOTAL, labels).inc();
+    reg.histogram(names::WAL_FSYNC_LATENCY_NS, labels).record(50_000);
+    reg.counter(names::CKPT_TAKEN_TOTAL, labels).inc();
+    reg.histogram(names::RECOVERY_LATENCY_NS, labels).record(20_000);
+    let root = tracer.root(names::RECOVERY_REPLAY_SPAN, "restart");
+    root.event(names::CHAOS_CRASH_LOG_EVENT, &[("seed", "7")]);
+    let child = root.child(names::RECOVERY_COMPONENT_SPAN);
+    child.finish();
+    root.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ad_hoc_names_are_fine_in_tests() {
+        let reg = lsdf_obs::Registry::new();
+        reg.counter("wal_scratch", &[]).inc();
+    }
+}

@@ -25,6 +25,7 @@ mod record;
 mod schema;
 mod store;
 mod value;
+mod wal;
 
 pub use events::{MetadataEvent, Subscriber};
 pub use federation::{dataset, CrossQuery, CrossQueryResult, Federation, UnifiedCatalog};
@@ -32,5 +33,5 @@ pub use index::{FieldIndex, TagIndex};
 pub use query::Predicate;
 pub use record::{DatasetId, DatasetRecord, ProcessingResult};
 pub use schema::{zebrafish_schema, Document, FieldDef, Schema, SchemaBuilder, SchemaError};
-pub use store::{MetadataError, NewDataset, ProjectStore};
+pub use store::{MetaRecoveryStats, MetadataError, NewDataset, ProjectStore};
 pub use value::{FieldType, Value};

@@ -13,6 +13,9 @@ use crate::query::Predicate;
 use crate::record::{DatasetId, DatasetRecord, ProcessingResult};
 use crate::schema::{Document, Schema, SchemaError};
 use crate::value::Value;
+use crate::wal::{MetaSnapshot, MetaWalRecord};
+use lsdf_durability::ComponentDurability;
+use lsdf_storage::sha256;
 
 /// Errors from store operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +74,19 @@ struct StoreState {
     subscribers: Vec<Subscriber>,
 }
 
+/// What one metadata-store recovery pass replayed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetaRecoveryStats {
+    /// A verified checkpoint was loaded as the replay base.
+    pub snapshot_loaded: bool,
+    /// WAL records applied during replay.
+    pub replayed: u64,
+    /// WAL records skipped because their effect was already present.
+    pub skipped: u64,
+    /// Log segments that ended in a torn (un-acked) frame.
+    pub torn_tails: u64,
+}
+
 /// A single project's metadata repository.
 pub struct ProjectStore {
     project: String,
@@ -79,16 +95,26 @@ pub struct ProjectStore {
     /// Records touched by query execution — the cost metric for E7/E8.
     scanned: AtomicU64,
     queries: AtomicU64,
+    durability: Option<ComponentDurability>,
 }
 
 impl ProjectStore {
     /// Creates an empty store for `schema`.
     pub fn new(schema: Schema) -> Self {
+        Self::with_durability(schema, None)
+    }
+
+    /// Creates a store with an optional durability handle: when `Some`,
+    /// every acked mutation is committed to the WAL before returning,
+    /// and any existing state in the durable store (checkpoint + WAL
+    /// segments from a previous incarnation) is recovered before this
+    /// returns.
+    pub fn with_durability(schema: Schema, durability: Option<ComponentDurability>) -> Self {
         let field_indexes = schema
             .indexed_fields()
             .map(|f| (f.to_string(), FieldIndex::new()))
             .collect();
-        ProjectStore {
+        let store = ProjectStore {
             project: schema.name.clone(),
             schema,
             state: RwLock::new(StoreState {
@@ -100,7 +126,12 @@ impl ProjectStore {
             }),
             scanned: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            durability,
+        };
+        if store.durability.is_some() {
+            store.recover();
         }
+        store
     }
 
     /// The project name (same as the schema name).
@@ -144,6 +175,18 @@ impl ProjectStore {
                 return Err(MetadataError::DuplicateName(new.name));
             }
             let id = DatasetId(st.records.len() as u64);
+            // Logged under the namespace lock so log order agrees with
+            // id-assignment order (ids are dense insertion indexes).
+            if let Some(d) = &self.durability {
+                let rec = MetaWalRecord::Insert {
+                    name: new.name.clone(),
+                    location: new.location.clone(),
+                    size_bytes: new.size_bytes,
+                    checksum_hex: new.checksum_hex.clone(),
+                    basic: new.basic.clone(),
+                };
+                d.log(&rec.encode());
+            }
             for (field, idx) in st.field_indexes.iter_mut() {
                 if let Some(v) = new.basic.get(field) {
                     idx.insert(v, id);
@@ -217,6 +260,17 @@ impl ProjectStore {
                 .get_mut(id.0 as usize)
                 .ok_or(MetadataError::NotFound(id))?;
             let seq = rec.processing.len() as u32 + 1;
+            if let Some(d) = &self.durability {
+                let log_rec = MetaWalRecord::AppendProcessing {
+                    id,
+                    step: step.to_string(),
+                    params: params.clone(),
+                    results: results.clone(),
+                    derived_keys: derived_keys.clone(),
+                    seq,
+                };
+                d.log(&log_rec.encode());
+            }
             rec.processing.push(ProcessingResult {
                 step: step.to_string(),
                 params,
@@ -248,6 +302,9 @@ impl ProjectStore {
                 .ok_or(MetadataError::NotFound(id))?;
             let added = rec.tags.insert(tag.to_string());
             if added {
+                if let Some(d) = &self.durability {
+                    d.log(&MetaWalRecord::Tag { id, tag: tag.to_string() }.encode());
+                }
                 st.tag_index.insert(tag, id);
             }
             (added, st.subscribers.clone())
@@ -275,6 +332,9 @@ impl ProjectStore {
                 .ok_or(MetadataError::NotFound(id))?;
             let removed = rec.tags.remove(tag);
             if removed {
+                if let Some(d) = &self.durability {
+                    d.log(&MetaWalRecord::Untag { id, tag: tag.to_string() }.encode());
+                }
                 st.tag_index.remove(tag, id);
             }
             (removed, st.subscribers.clone())
@@ -402,6 +462,188 @@ impl ProjectStore {
             .records
             .get(id.0 as usize)
             .and_then(|r| r.basic.get(field).cloned())
+    }
+
+    // --- Durability: snapshot, crash, recovery ------------------------
+
+    /// True when mutations are committed to a WAL before acking.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// WAL records committed since the last checkpoint (reconciler
+    /// scheduling input).
+    pub fn wal_records_since_checkpoint(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, ComponentDurability::records_since_checkpoint)
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let records = self.state.read().records.clone();
+        MetaSnapshot { records }.encode()
+    }
+
+    /// SHA-256 over the canonical catalog snapshot: two stores with the
+    /// same logical catalog produce the same digest, bit for bit.
+    pub fn catalog_digest(&self) -> String {
+        sha256(&self.snapshot()).to_hex()
+    }
+
+    /// Takes a checkpoint now (rotate WAL → snapshot → persist →
+    /// truncate old segments). Returns the checkpoint's content hash,
+    /// or `None` on a non-durable store.
+    pub fn checkpoint(&self) -> Option<String> {
+        let d = self.durability.as_ref()?;
+        Some(d.checkpoint_with(|| self.snapshot()))
+    }
+
+    /// Checkpoints when enough WAL records have accumulated; returns
+    /// whether a checkpoint was taken.
+    pub fn maybe_checkpoint(&self) -> bool {
+        match &self.durability {
+            Some(d) if d.should_checkpoint() => {
+                d.checkpoint_with(|| self.snapshot());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Simulates a store crash: the in-memory catalog (records, name
+    /// map, every secondary index) is wiped and an in-flight, never-
+    /// acked WAL frame is torn. Subscribers survive — they model the
+    /// restarted process re-registering its triggers, not durable
+    /// state. Call [`ProjectStore::recover`] to rebuild.
+    pub fn crash(&self, seed: u64) {
+        if let Some(d) = &self.durability {
+            d.crash_torn(seed);
+        }
+        let mut st = self.state.write();
+        st.records.clear();
+        st.by_name.clear();
+        for idx in st.field_indexes.values_mut() {
+            *idx = FieldIndex::new();
+        }
+        st.tag_index = TagIndex::new();
+    }
+
+    /// Rebuilds the catalog from the durable store: installs the latest
+    /// verified checkpoint, then replays the committed WAL suffix
+    /// idempotently. A store without durability returns zeroed stats.
+    pub fn recover(&self) -> MetaRecoveryStats {
+        let Some(d) = &self.durability else {
+            return MetaRecoveryStats::default();
+        };
+        let recovered = d.recover();
+        let mut stats = MetaRecoveryStats {
+            torn_tails: recovered.torn_tails,
+            ..MetaRecoveryStats::default()
+        };
+        if let Some(snap) = recovered.snapshot.as_deref().and_then(MetaSnapshot::decode) {
+            stats.snapshot_loaded = true;
+            self.install_snapshot(snap);
+        }
+        for payload in &recovered.records {
+            match MetaWalRecord::decode(payload) {
+                Some(rec) => {
+                    if self.apply_record(rec) {
+                        stats.replayed += 1;
+                    } else {
+                        stats.skipped += 1;
+                    }
+                }
+                None => stats.skipped += 1,
+            }
+        }
+        d.note_skipped(stats.skipped);
+        stats
+    }
+
+    /// Installs a checkpoint snapshot, rebuilding every derived
+    /// structure (name map, field indexes, tag index) from the records.
+    fn install_snapshot(&self, snap: MetaSnapshot) {
+        let mut st = self.state.write();
+        st.by_name.clear();
+        for idx in st.field_indexes.values_mut() {
+            *idx = FieldIndex::new();
+        }
+        st.tag_index = TagIndex::new();
+        st.records = snap.records;
+        let StoreState { records, by_name, field_indexes, tag_index, .. } = &mut *st;
+        for r in records.iter() {
+            by_name.insert(r.name.clone(), r.id);
+            for (field, idx) in field_indexes.iter_mut() {
+                if let Some(v) = r.basic.get(field) {
+                    idx.insert(v, r.id);
+                }
+            }
+            for t in &r.tags {
+                tag_index.insert(t, r.id);
+            }
+        }
+    }
+
+    /// Applies one replayed WAL record; `false` when its effect is
+    /// already present (idempotent skip). Replay emits no events: the
+    /// recovered catalog is a reconstruction, not new activity.
+    fn apply_record(&self, rec: MetaWalRecord) -> bool {
+        let mut st = self.state.write();
+        match rec {
+            MetaWalRecord::Insert { name, location, size_bytes, checksum_hex, basic } => {
+                if st.by_name.contains_key(&name) {
+                    return false;
+                }
+                let id = DatasetId(st.records.len() as u64);
+                for (field, idx) in st.field_indexes.iter_mut() {
+                    if let Some(v) = basic.get(field) {
+                        idx.insert(v, id);
+                    }
+                }
+                st.by_name.insert(name.clone(), id);
+                st.records.push(DatasetRecord {
+                    id,
+                    name,
+                    location,
+                    size_bytes,
+                    checksum_hex,
+                    basic,
+                    processing: Vec::new(),
+                    tags: Default::default(),
+                });
+                true
+            }
+            MetaWalRecord::Tag { id, tag } => {
+                let Some(rec) = st.records.get_mut(id.0 as usize) else {
+                    return false;
+                };
+                let added = rec.tags.insert(tag.clone());
+                if added {
+                    st.tag_index.insert(&tag, id);
+                }
+                added
+            }
+            MetaWalRecord::Untag { id, tag } => {
+                let Some(rec) = st.records.get_mut(id.0 as usize) else {
+                    return false;
+                };
+                let removed = rec.tags.remove(&tag);
+                if removed {
+                    st.tag_index.remove(&tag, id);
+                }
+                removed
+            }
+            MetaWalRecord::AppendProcessing { id, step, params, results, derived_keys, seq } => {
+                let Some(rec) = st.records.get_mut(id.0 as usize) else {
+                    return false;
+                };
+                if rec.processing.len() as u32 >= seq {
+                    return false;
+                }
+                rec.processing.push(ProcessingResult { step, params, results, derived_keys, seq });
+                true
+            }
+        }
     }
 }
 
@@ -602,6 +844,120 @@ mod tests {
         assert_eq!(hits.len(), 48);
         let (_, scanned) = store.query_stats();
         assert_eq!(scanned, 48);
+    }
+
+    fn durable_store(
+        store: &lsdf_durability::DurableStore,
+        checkpoint_every: u64,
+    ) -> ProjectStore {
+        let reg = Arc::new(lsdf_obs::Registry::new());
+        let cfg = lsdf_durability::DurabilityConfig {
+            checkpoint_every,
+            ..lsdf_durability::DurabilityConfig::default()
+        };
+        ProjectStore::with_durability(
+            zebrafish_schema(),
+            Some(lsdf_durability::ComponentDurability::open(
+                store,
+                "meta-zebrafish",
+                &reg,
+                &cfg,
+            )),
+        )
+    }
+
+    #[test]
+    fn crash_recover_is_bit_identical() {
+        let disk = lsdf_durability::DurableStore::new();
+        let store = durable_store(&disk, 3);
+        for i in 0..3 {
+            store
+                .insert(new_ds(&format!("img-{i:05}"), zf_doc(i, 0, 488.0)))
+                .unwrap();
+        }
+        assert!(store.maybe_checkpoint(), "threshold reached");
+        store.tag(DatasetId(0), "needs-processing").unwrap();
+        store
+            .append_processing(
+                DatasetId(1),
+                "segmentation",
+                Document::new(),
+                [("cells".to_string(), Value::Int(42))].into_iter().collect(),
+                vec!["seg/img-00001".into()],
+            )
+            .unwrap();
+        store.tag(DatasetId(2), "raw").unwrap();
+        store.untag(DatasetId(2), "raw").unwrap();
+        let digest = store.catalog_digest();
+        let all_before = store.all();
+
+        store.crash(99);
+        assert!(store.is_empty(), "volatile catalog wiped");
+        let stats = store.recover();
+        assert!(stats.snapshot_loaded);
+        assert!(stats.torn_tails >= 1, "crash tears an in-flight frame");
+        assert_eq!(store.catalog_digest(), digest);
+        assert_eq!(store.all(), all_before);
+        // Derived structures are rebuilt, not just the records: the
+        // name map, tag index, and field indexes all answer correctly.
+        assert_eq!(store.get_by_name("img-00001").unwrap().id, DatasetId(1));
+        assert_eq!(store.ids_with_tag("needs-processing"), vec![DatasetId(0)]);
+        assert!(store.ids_with_tag("raw").is_empty());
+        let hits = store.query(&eq("fish_id", 1i64));
+        assert_eq!(hits.len(), 1);
+        let (_, scanned) = store.query_stats();
+        assert_eq!(scanned, 1, "field index answers after recovery");
+    }
+
+    #[test]
+    fn replay_without_checkpoint_reassigns_dense_ids() {
+        let disk = lsdf_durability::DurableStore::new();
+        let store = durable_store(&disk, 1_000);
+        let a = store.insert(new_ds("a", zf_doc(1, 0, 488.0))).unwrap();
+        let b = store.insert(new_ds("b", zf_doc(2, 0, 561.0))).unwrap();
+        store.crash(5);
+        let stats = store.recover();
+        assert!(!stats.snapshot_loaded);
+        assert_eq!(stats.replayed, 2);
+        assert_eq!(store.get_by_name("a").unwrap().id, a);
+        assert_eq!(store.get_by_name("b").unwrap().id, b);
+        // The next insert continues the dense id sequence.
+        let c = store.insert(new_ds("c", zf_doc(3, 0, 488.0))).unwrap();
+        assert_eq!(c, DatasetId(2));
+    }
+
+    #[test]
+    fn processing_seq_replay_is_idempotent_across_checkpoint_race() {
+        let disk = lsdf_durability::DurableStore::new();
+        let store = durable_store(&disk, 1_000);
+        let id = store.insert(new_ds("a", zf_doc(1, 0, 488.0))).unwrap();
+        store
+            .append_processing(id, "seg", Document::new(), Document::new(), vec![])
+            .unwrap();
+        // Checkpoint captures the processing result; its WAL record is
+        // gone (truncated), but a second result lands in the new segment.
+        store.checkpoint().unwrap();
+        store
+            .append_processing(id, "seg", Document::new(), Document::new(), vec![])
+            .unwrap();
+        let digest = store.catalog_digest();
+        store.crash(11);
+        let stats = store.recover();
+        assert!(stats.snapshot_loaded);
+        assert_eq!(store.catalog_digest(), digest);
+        assert_eq!(store.get(id).unwrap().processing.len(), 2);
+        assert_eq!(store.get(id).unwrap().latest_processing("seg").unwrap().seq, 2);
+    }
+
+    #[test]
+    fn non_durable_store_recovery_is_a_no_op() {
+        let store = store_with(2);
+        assert!(!store.is_durable());
+        assert_eq!(store.wal_records_since_checkpoint(), 0);
+        assert_eq!(store.checkpoint(), None);
+        assert!(!store.maybe_checkpoint());
+        assert_eq!(store.recover(), MetaRecoveryStats::default());
+        assert_eq!(store.len(), 2, "recover leaves a non-durable store alone");
     }
 
     #[test]

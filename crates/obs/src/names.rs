@@ -13,7 +13,8 @@
 //!
 //! * `snake_case`, prefixed with the owning subsystem
 //!   (`adal_`, `admission_`, `dfs_`, `hsm_`, `tape_`, `cloud_`,
-//!   `workflow_`, `facility_`, `chaos_`, `mr_`, `pool_`, `trace_`);
+//!   `workflow_`, `facility_`, `chaos_`, `mr_`, `pool_`, `trace_`,
+//!   `wal_`, `ckpt_`, `recovery_`);
 //! * monotonically increasing counters end in `_total`;
 //! * nanosecond latency histograms end in `_ns`;
 //! * byte-size histograms end in `_bytes`;
@@ -270,6 +271,46 @@ pub const ADMISSION_WAIT_SPAN: &str = "admission_wait";
 /// Governor decision in the registry event log.
 pub const ADMISSION_GOVERNOR_LOG_EVENT: &str = "admission_governor";
 
+// --- Durability: write-ahead log (labelled `log=<component>`) ---------
+
+/// Records appended (and synced) to a component's WAL.
+pub const WAL_APPENDS_TOTAL: &str = "wal_appends_total";
+/// Framed record sizes written to the WAL.
+pub const WAL_APPEND_BYTES: &str = "wal_append_bytes";
+/// Accounted device fsyncs (one per `group_commit` records).
+pub const WAL_FSYNCS_TOTAL: &str = "wal_fsyncs_total";
+/// Modeled latency charged per accounted fsync.
+pub const WAL_FSYNC_LATENCY_NS: &str = "wal_fsync_latency_ns";
+/// Segments found ending in a torn (partial/corrupt) frame at replay.
+pub const WAL_TORN_TAIL_TOTAL: &str = "wal_torn_tail_total";
+
+// --- Durability: checkpoints ------------------------------------------
+
+/// Checkpoints taken by the reconciler.
+pub const CKPT_TAKEN_TOTAL: &str = "ckpt_taken_total";
+/// Checkpoint snapshot sizes.
+pub const CKPT_BYTES: &str = "ckpt_bytes";
+/// WAL segments truncated after a checkpoint landed.
+pub const CKPT_SEGMENTS_TRUNCATED_TOTAL: &str = "ckpt_segments_truncated_total";
+
+// --- Durability: recovery ---------------------------------------------
+
+/// Recovery passes performed (initial open + every crash-restart).
+pub const RECOVERY_RUNS_TOTAL: &str = "recovery_runs_total";
+/// WAL records replayed over checkpoints during recovery.
+pub const RECOVERY_REPLAYED_RECORDS_TOTAL: &str = "recovery_replayed_records_total";
+/// Replayed records skipped because their effect was already present.
+pub const RECOVERY_SKIPPED_RECORDS_TOTAL: &str = "recovery_skipped_records_total";
+/// Modeled recovery latency (manifest load + replay).
+pub const RECOVERY_LATENCY_NS: &str = "recovery_latency_ns";
+/// Root span over a full facility crash-restart.
+pub const RECOVERY_REPLAY_SPAN: &str = "recovery_replay";
+/// Per-component recovery leg under the restart root.
+pub const RECOVERY_COMPONENT_SPAN: &str = "recovery_component";
+/// Component crash injected by the chaos crash schedule, in the
+/// registry event log.
+pub const CHAOS_CRASH_LOG_EVENT: &str = "chaos_crash";
+
 // --- SLO monitor -------------------------------------------------------
 
 /// SLO evaluation passes performed by the monitor.
@@ -381,6 +422,21 @@ pub const ALL: &[&str] = &[
     ADMISSION_GOVERNOR_TRANSITIONS_TOTAL,
     ADMISSION_WAIT_SPAN,
     ADMISSION_GOVERNOR_LOG_EVENT,
+    WAL_APPENDS_TOTAL,
+    WAL_APPEND_BYTES,
+    WAL_FSYNCS_TOTAL,
+    WAL_FSYNC_LATENCY_NS,
+    WAL_TORN_TAIL_TOTAL,
+    CKPT_TAKEN_TOTAL,
+    CKPT_BYTES,
+    CKPT_SEGMENTS_TRUNCATED_TOTAL,
+    RECOVERY_RUNS_TOTAL,
+    RECOVERY_REPLAYED_RECORDS_TOTAL,
+    RECOVERY_SKIPPED_RECORDS_TOTAL,
+    RECOVERY_LATENCY_NS,
+    RECOVERY_REPLAY_SPAN,
+    RECOVERY_COMPONENT_SPAN,
+    CHAOS_CRASH_LOG_EVENT,
     FACILITY_SLO_EVALUATIONS_TOTAL,
     FACILITY_SLO_VIOLATIONS_TOTAL,
     FACILITY_SLO_HEALTHY,
@@ -413,6 +469,9 @@ mod tests {
             "mr_",
             "pool_",
             "trace_",
+            "wal_",
+            "ckpt_",
+            "recovery_",
         ];
         for n in ALL {
             assert!(

@@ -39,17 +39,26 @@ chaos:
 soak-tenants:
     LSDF_SOAK_TENANTS=2000 cargo test -q --release -p lsdf-integration --test tenant_soak
 
+# Restart-under-chaos soak: seeded kill-and-restart mid-ingest, replay-
+# identical recovery, zero acked-write loss, worker-invariant registry.
+# Writes the per-crash recovery reports to target/restart-soak-report.json.
+soak-restart:
+    LSDF_RESTART_REPORT=target/restart-soak-report.json cargo test -q --release -p lsdf-integration --test restart_soak
+
 # Regenerate the paper-vs-measured experiment report (quick mode).
 report:
     cargo run --release -p lsdf-bench --bin report -- --quick
 
-# Re-measure the throughput baselines (BENCH_E1.json / BENCH_E3.json at
-# the workspace root). Commit the refreshed files to move the baseline.
+# Re-measure the throughput baselines (BENCH_E1.json / BENCH_E3.json /
+# BENCH_TRACE.json / BENCH_RECOVERY.json at the workspace root). Commit
+# the refreshed files to move the baseline.
 bench-snapshot:
     cargo run --release -p lsdf-bench --bin bench_snapshot
 
 # CI smoke: quick-mode ingest throughput must stay within 2x of the
-# committed BENCH_E1.json baseline.
+# committed BENCH_E1.json baseline, the WAL ingest tax within 1.5x, and
+# a 100k-file recovery within 4x of the committed BENCH_RECOVERY.json
+# replay rate (which must keep its million-file row).
 bench-smoke:
     cargo run --release -p lsdf-bench --bin bench_snapshot -- --check
 
