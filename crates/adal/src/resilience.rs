@@ -13,7 +13,7 @@
 use std::collections::VecDeque;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use lsdf_sync::{ranks, OrderedMutex};
 
 use lsdf_sim::SimRng;
 
@@ -179,7 +179,7 @@ struct BreakerInner {
 /// time in deterministic chaos runs.
 pub struct CircuitBreaker {
     cfg: BreakerConfig,
-    inner: Mutex<BreakerInner>,
+    breaker: OrderedMutex<BreakerInner>,
 }
 
 impl CircuitBreaker {
@@ -198,7 +198,7 @@ impl CircuitBreaker {
         );
         CircuitBreaker {
             cfg,
-            inner: Mutex::new(BreakerInner {
+            breaker: OrderedMutex::new(ranks::ADAL_BREAKER, BreakerInner {
                 state: BreakerState::Closed,
                 window: VecDeque::new(),
                 opened_at_ns: 0,
@@ -209,12 +209,12 @@ impl CircuitBreaker {
 
     /// Current state (may lag `try_acquire`'s cool-down check).
     pub fn state(&self) -> BreakerState {
-        self.inner.lock().state
+        self.breaker.lock().state
     }
 
     /// Failure rate over the current closed-state window (0 when empty).
     pub fn failure_rate(&self) -> f64 {
-        let inner = self.inner.lock();
+        let inner = self.breaker.lock();
         if inner.window.is_empty() {
             return 0.0;
         }
@@ -226,7 +226,7 @@ impl CircuitBreaker {
     /// cool-down has elapsed transitions to half-open (reported in the
     /// returned transition) and the call is allowed as a probe.
     pub fn try_acquire(&self, now_ns: u64) -> (bool, Option<BreakerTransition>) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.breaker.lock();
         match inner.state {
             BreakerState::Closed | BreakerState::HalfOpen => (true, None),
             BreakerState::Open => {
@@ -249,7 +249,7 @@ impl CircuitBreaker {
 
     /// Records the outcome of a permitted call at `now_ns`.
     pub fn record(&self, now_ns: u64, success: bool) -> Option<BreakerTransition> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.breaker.lock();
         match inner.state {
             BreakerState::Closed => {
                 if inner.window.len() == self.cfg.window {
@@ -311,7 +311,7 @@ struct JournalInner {
 pub struct RedoJournal {
     cap_entries: usize,
     cap_bytes: u64,
-    inner: Mutex<JournalInner>,
+    journal: OrderedMutex<JournalInner>,
 }
 
 impl RedoJournal {
@@ -325,7 +325,7 @@ impl RedoJournal {
         RedoJournal {
             cap_entries,
             cap_bytes,
-            inner: Mutex::new(JournalInner {
+            journal: OrderedMutex::new(ranks::ADAL_JOURNAL, JournalInner {
                 entries: VecDeque::new(),
                 bytes: 0,
             }),
@@ -335,7 +335,7 @@ impl RedoJournal {
     /// Queues a write. `false` means the journal is full (the write must
     /// NOT be acknowledged) or the key is already queued.
     pub fn push(&self, key: &str, data: Bytes) -> bool {
-        let mut inner = self.inner.lock();
+        let mut inner = self.journal.lock();
         if inner.entries.len() >= self.cap_entries
             || inner.bytes.saturating_add(data.len() as u64) > self.cap_bytes
             || inner.entries.iter().any(|(k, _)| k == key)
@@ -349,7 +349,7 @@ impl RedoJournal {
 
     /// The queued payload for `key`, if any (read-your-writes).
     pub fn lookup(&self, key: &str) -> Option<Bytes> {
-        self.inner
+        self.journal
             .lock()
             .entries
             .iter()
@@ -360,7 +360,7 @@ impl RedoJournal {
 
     /// Removes a queued write for `key` (a delete overtaking the redo).
     pub fn remove(&self, key: &str) -> Option<Bytes> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.journal.lock();
         let pos = inner.entries.iter().position(|(k, _)| k == key)?;
         let (_, data) = inner.entries.remove(pos)?;
         inner.bytes -= data.len() as u64;
@@ -369,7 +369,7 @@ impl RedoJournal {
 
     /// Pops the oldest queued write for draining.
     pub fn pop(&self) -> Option<(String, Bytes)> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.journal.lock();
         let (key, data) = inner.entries.pop_front()?;
         inner.bytes -= data.len() as u64;
         Some((key, data))
@@ -377,25 +377,25 @@ impl RedoJournal {
 
     /// Puts a popped entry back at the front (drain hit a failure).
     pub fn requeue_front(&self, key: String, data: Bytes) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.journal.lock();
         inner.bytes += data.len() as u64;
         inner.entries.push_front((key, data));
     }
 
     /// Queued entry count.
     pub fn depth(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.journal.lock().entries.len()
     }
 
     /// Queued payload bytes.
     pub fn bytes(&self) -> u64 {
-        self.inner.lock().bytes
+        self.journal.lock().bytes
     }
 
     /// Queued keys under `prefix`, with payload sizes (for degraded
     /// listings).
     pub fn entries_under(&self, prefix: &str) -> Vec<(String, u64)> {
-        self.inner
+        self.journal
             .lock()
             .entries
             .iter()

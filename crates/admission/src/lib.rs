@@ -33,7 +33,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use lsdf_obs::{names, Counter, FacilityHealth, Gauge, Histogram, Registry};
-use parking_lot::{Mutex, RwLock};
+use lsdf_sync::{ranks, OrderedMutex, OrderedRwLock};
 
 /// Nanoseconds per second — the token-bucket refill denominator.
 const NANOS_PER_SEC: u128 = 1_000_000_000;
@@ -359,7 +359,7 @@ impl ProjectMetrics {
 }
 
 struct ProjectEntry {
-    state: Mutex<ProjectState>,
+    state: OrderedMutex<ProjectState>,
     metrics: ProjectMetrics,
 }
 
@@ -368,7 +368,7 @@ struct ProjectEntry {
 /// passes [`AdmissionController::admit`] before touching ADAL.
 pub struct AdmissionController {
     obs: Arc<Registry>,
-    projects: RwLock<HashMap<String, Arc<ProjectEntry>>>,
+    projects: OrderedRwLock<HashMap<String, Arc<ProjectEntry>>>,
 }
 
 impl AdmissionController {
@@ -376,7 +376,7 @@ impl AdmissionController {
     pub fn new(obs: Arc<Registry>) -> AdmissionController {
         AdmissionController {
             obs,
-            projects: RwLock::new(HashMap::new()),
+            projects: OrderedRwLock::new(ranks::ADMISSION_PROJECTS, HashMap::new()),
         }
     }
 
@@ -392,7 +392,7 @@ impl AdmissionController {
             usage: ProjectUsage::default(),
         };
         let entry = Arc::new(ProjectEntry {
-            state: Mutex::new(state),
+            state: OrderedMutex::new(ranks::ADMISSION_PROJECT_STATE, state),
             metrics: ProjectMetrics::new(&self.obs, project),
         });
         self.projects.write().insert(project.to_string(), entry);

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use lsdf_obs::{Counter, Gauge, Histogram, Registry, TraceCtx};
-use parking_lot::{Mutex, RwLock};
+use lsdf_sync::{ranks, OrderedMutex, OrderedRwLock};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -205,10 +205,10 @@ pub struct Dfs {
     topology: ClusterTopology,
     config: DfsConfig,
     nodes: Vec<Arc<DataNode>>,
-    files: RwLock<BTreeMap<String, FileEntry>>,
+    files: OrderedRwLock<BTreeMap<String, FileEntry>>,
     blocks: ShardedMap<BlockInfo>,
     next_block: AtomicU64,
-    rng: Mutex<ChaCha8Rng>,
+    rng: OrderedMutex<ChaCha8Rng>,
     obs: DfsObs,
     durability: Option<ComponentDurability>,
 }
@@ -277,10 +277,10 @@ impl Dfs {
             .collect();
         let fs = Dfs {
             topology,
-            rng: Mutex::new(ChaCha8Rng::seed_from_u64(config.seed)),
+            rng: OrderedMutex::new(ranks::DFS_RNG, ChaCha8Rng::seed_from_u64(config.seed)),
             config,
             nodes,
-            files: RwLock::new(BTreeMap::new()),
+            files: OrderedRwLock::new(ranks::DFS_FILES, BTreeMap::new()),
             blocks: ShardedMap::new(BLOCK_MAP_SHARDS),
             next_block: AtomicU64::new(0),
             obs: DfsObs::new(registry),

@@ -14,18 +14,21 @@
 //! Shards use `BTreeMap` internally and [`ShardedMap::fold`] visits
 //! shards in index order, so whole-map scans are deterministic.
 //!
-//! This module is the one sanctioned home for the `Vec<RwLock<..>>`
-//! per-shard pattern; `lsdf-lint` L4 flags it anywhere else.
+//! Every stripe carries the single `DFS_BLOCK_SHARD` rank from the
+//! `lsdf_sync::ranks` manifest — the one sanctioned shared-rank family.
+//! The runtime witness's same-rank check then *enforces* the
+//! one-stripe-at-a-time discipline instead of trusting this comment,
+//! and lint L4/L5 flag ad-hoc lock vectors anywhere else.
 
 use std::collections::BTreeMap;
 
-use parking_lot::RwLock;
+use lsdf_sync::{ranks, OrderedRwLock};
 
 use crate::datanode::BlockId;
 
 /// A block-id-keyed map striped over independently locked shards.
 pub struct ShardedMap<V> {
-    shards: Vec<RwLock<BTreeMap<BlockId, V>>>,
+    shards: Vec<OrderedRwLock<BTreeMap<BlockId, V>>>,
     mask: u64,
 }
 
@@ -35,7 +38,7 @@ impl<V> ShardedMap<V> {
     pub fn new(shards: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
         let mut v = Vec::with_capacity(n);
-        v.resize_with(n, || RwLock::new(BTreeMap::new()));
+        v.resize_with(n, || OrderedRwLock::new(ranks::DFS_BLOCK_SHARD, BTreeMap::new()));
         ShardedMap {
             shards: v,
             mask: (n as u64) - 1,
@@ -47,7 +50,7 @@ impl<V> ShardedMap<V> {
         self.shards.len()
     }
 
-    fn shard(&self, id: BlockId) -> &RwLock<BTreeMap<BlockId, V>> {
+    fn shard(&self, id: BlockId) -> &OrderedRwLock<BTreeMap<BlockId, V>> {
         &self.shards[(id.0 & self.mask) as usize]
     }
 

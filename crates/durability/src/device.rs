@@ -16,7 +16,7 @@
 //! all live here under distinct names, which is what lets a facility be
 //! re-opened "from disk" after a crash.
 
-use parking_lot::Mutex;
+use lsdf_sync::{ranks, OrderedMutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -29,15 +29,20 @@ struct DiskState {
 }
 
 /// One simulated append-mostly file on stable storage.
-#[derive(Default)]
 pub struct MemDisk {
-    state: Mutex<DiskState>,
+    state: OrderedMutex<DiskState>,
+}
+
+impl Default for MemDisk {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MemDisk {
     /// Creates an empty device.
     pub fn new() -> Self {
-        Self::default()
+        Self { state: OrderedMutex::new(ranks::MEMDISK_STATE, DiskState::default()) }
     }
 
     /// Stages bytes in the write cache (not yet durable).
@@ -105,15 +110,21 @@ impl MemDisk {
 
 /// A flat, named-device directory: the "disk" a facility re-opens after
 /// a crash. Cloning shares the underlying devices.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct DurableStore {
-    devices: Arc<Mutex<BTreeMap<String, Arc<MemDisk>>>>,
+    devices: Arc<OrderedMutex<BTreeMap<String, Arc<MemDisk>>>>,
+}
+
+impl Default for DurableStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DurableStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        Self::default()
+        Self { devices: Arc::new(OrderedMutex::new(ranks::DURABLE_DEVICES, BTreeMap::new())) }
     }
 
     /// Opens (creating if absent) the device with the given name.

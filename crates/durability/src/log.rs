@@ -40,7 +40,7 @@ use crate::crc::crc32;
 use crate::device::{DurableStore, MemDisk};
 use lsdf_obs::names;
 use lsdf_obs::{Counter, Histogram, Registry};
-use parking_lot::Mutex;
+use lsdf_sync::{ranks, OrderedMutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -84,7 +84,7 @@ struct WalObs {
 pub struct DurableLog {
     store: DurableStore,
     name: String,
-    active: Mutex<ActiveSegment>,
+    active: OrderedMutex<ActiveSegment>,
     records: AtomicU64,
     cfg: WalConfig,
     obs: WalObs,
@@ -133,7 +133,7 @@ impl DurableLog {
         Self {
             store,
             name: name.to_string(),
-            active: Mutex::new(ActiveSegment { epoch, dev }),
+            active: OrderedMutex::new(ranks::WAL_ACTIVE, ActiveSegment { epoch, dev }),
             records: AtomicU64::new(0),
             cfg,
             obs,

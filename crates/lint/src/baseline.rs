@@ -1,8 +1,9 @@
-//! The L2 debt baseline and its ratchet.
+//! The debt baselines and their ratchet.
 //!
-//! `lint-baseline.json` records how many `no_panic` sites the workspace
-//! is currently allowed to contain. The ratchet is one-directional: a
-//! run fails when the live count exceeds the recorded baseline, and
+//! `lint-baseline.json` records how many `no_panic` sites (L2) and raw
+//! `raw_locks` construction sites (L5) the workspace is currently
+//! allowed to contain. The ratchet is one-directional per counter: a
+//! run fails when a live count exceeds its recorded baseline, and
 //! `--write-baseline` refuses to record a larger count than the file
 //! already holds. Debt can therefore only be paid down, never re-taken.
 
@@ -15,6 +16,9 @@ use std::path::Path;
 pub struct Baseline {
     /// Allowed `no_panic` sites.
     pub no_panic: usize,
+    /// Allowed raw `parking_lot` lock constructions outside
+    /// `crates/sync/` (pre-`OrderedMutex` legacy and `Condvar` sites).
+    pub raw_locks: usize,
 }
 
 /// Outcome of comparing a live count against the baseline.
@@ -65,13 +69,13 @@ pub fn save(path: &Path, b: Baseline) -> io::Result<()> {
 
 /// Renders the canonical file body.
 pub fn render(b: Baseline) -> String {
-    format!("{{\n  \"no_panic\": {}\n}}\n", b.no_panic)
+    format!(
+        "{{\n  \"no_panic\": {},\n  \"raw_locks\": {}\n}}\n",
+        b.no_panic, b.raw_locks
+    )
 }
 
-/// Minimal parse of the flat `{"no_panic": N}` document. Hand-rolled so
-/// the linter stays dependency-free.
-pub fn parse(txt: &str) -> Option<Baseline> {
-    let key = "\"no_panic\"";
+fn parse_count(txt: &str, key: &str) -> Option<usize> {
     let at = txt.find(key)?;
     let rest = txt[at + key.len()..].trim_start();
     let rest = rest.strip_prefix(':')?.trim_start();
@@ -79,7 +83,22 @@ pub fn parse(txt: &str) -> Option<Baseline> {
     if digits.is_empty() {
         return None;
     }
-    digits.parse().ok().map(|no_panic| Baseline { no_panic })
+    digits.parse().ok()
+}
+
+/// Minimal parse of the flat `{"no_panic": N, "raw_locks": M}`
+/// document. Hand-rolled so the linter stays dependency-free. A file
+/// predating the `raw_locks` counter parses with that debt at 0 — the
+/// strictest reading, so the ratchet can only be loosened by an
+/// explicit `--write-baseline`.
+pub fn parse(txt: &str) -> Option<Baseline> {
+    let no_panic = parse_count(txt, "\"no_panic\"")?;
+    let raw_locks = if txt.contains("\"raw_locks\"") {
+        parse_count(txt, "\"raw_locks\"")?
+    } else {
+        0
+    };
+    Some(Baseline { no_panic, raw_locks })
 }
 
 #[cfg(test)]
@@ -88,7 +107,7 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let b = Baseline { no_panic: 42 };
+        let b = Baseline { no_panic: 42, raw_locks: 7 };
         assert_eq!(parse(&render(b)), Some(b));
     }
 
@@ -109,9 +128,18 @@ mod tests {
     }
 
     #[test]
+    fn legacy_single_counter_file_parses_with_zero_raw_locks() {
+        assert_eq!(
+            parse("{\n  \"no_panic\": 12\n}\n"),
+            Some(Baseline { no_panic: 12, raw_locks: 0 })
+        );
+    }
+
+    #[test]
     fn malformed_is_rejected() {
         assert_eq!(parse("{}"), None);
         assert_eq!(parse("{\"no_panic\": }"), None);
         assert_eq!(parse("{\"no_panic\": \"x\"}"), None);
+        assert_eq!(parse("{\"no_panic\": 3, \"raw_locks\": }"), None);
     }
 }

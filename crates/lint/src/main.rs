@@ -7,6 +7,7 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use lsdf_lint::{baseline, find_workspace_root, run, Config, Report};
 
@@ -18,9 +19,9 @@ USAGE:
 
 OPTIONS:
     --root DIR         Workspace root (default: nearest [workspace] ancestor)
-    --baseline FILE    L2 debt baseline (default: <root>/lint-baseline.json)
-    --json             Machine-readable output
-    --write-baseline   Record the current L2 debt (ratcheted: never increases)
+    --baseline FILE    Debt baseline (default: <root>/lint-baseline.json)
+    --json             Machine-readable output (stable ordering)
+    --write-baseline   Record the current debt (ratcheted: never increases)
     --help             This text
 ";
 
@@ -74,7 +75,14 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-fn print_json(report: &Report, current: usize, allowed: usize, ok: bool) {
+/// One ratcheted counter's live/allowed state.
+struct Ratchet {
+    current: usize,
+    allowed: usize,
+    ok: bool,
+}
+
+fn print_json(report: &Report, no_panic: &Ratchet, raw_locks: &Ratchet, ok: bool, wall_ms: u128) {
     let mut out = String::from("{\n  \"violations\": [\n");
     for (i, d) in report.violations.iter().enumerate() {
         out.push_str(&format!(
@@ -95,14 +103,31 @@ fn print_json(report: &Report, current: usize, allowed: usize, ok: bool) {
             if i + 1 < report.no_panic.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n  \"raw_locks\": [\n");
+    for (i, d) in report.raw_locks.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"line\": {}}}{}\n",
+            json_escape(&d.path),
+            d.line,
+            if i + 1 < report.raw_locks.len() { "," } else { "" }
+        ));
+    }
     out.push_str(&format!(
-        "  ],\n  \"no_panic\": {{\"current\": {current}, \"baseline\": {allowed}, \"ok\": {ok}}},\n"
+        "  ],\n  \"no_panic\": {{\"current\": {}, \"baseline\": {}, \"ok\": {}}},\n",
+        no_panic.current, no_panic.allowed, no_panic.ok
     ));
+    out.push_str(&format!(
+        "  \"lock_order\": {{\"current\": {}, \"baseline\": {}, \"ok\": {}}},\n",
+        raw_locks.current, raw_locks.allowed, raw_locks.ok
+    ));
+    out.push_str(&format!("  \"ok\": {ok},\n"));
+    out.push_str(&format!("  \"wall_ms\": {wall_ms},\n"));
     out.push_str(&format!("  \"files_scanned\": {}\n}}\n", report.files_scanned));
     print!("{out}");
 }
 
 fn real_main() -> Result<bool, String> {
+    let started = Instant::now();
     let args = parse_args()?;
     let root = match args.root {
         Some(r) => r,
@@ -114,55 +139,92 @@ fn real_main() -> Result<bool, String> {
     let baseline_path = args
         .baseline
         .unwrap_or_else(|| root.join("lint-baseline.json"));
-    let cfg = Config::for_workspace(&root).map_err(|e| format!("loading names module: {e}"))?;
+    let cfg =
+        Config::for_workspace(&root).map_err(|e| format!("loading registry modules: {e}"))?;
     let report = run(&cfg).map_err(|e| format!("scanning workspace: {e}"))?;
-    let current = report.no_panic.len();
+    let live = baseline::Baseline {
+        no_panic: report.no_panic.len(),
+        raw_locks: report.raw_locks.len(),
+    };
 
     let existing = baseline::load(&baseline_path).map_err(|e| e.to_string())?;
+    let tightened = baseline::Baseline {
+        no_panic: baseline::tightened(live.no_panic, existing.map(|b| b.no_panic)),
+        raw_locks: baseline::tightened(live.raw_locks, existing.map(|b| b.raw_locks)),
+    };
     if args.write_baseline {
-        let value = baseline::tightened(current, existing.map(|b| b.no_panic));
-        baseline::save(&baseline_path, baseline::Baseline { no_panic: value })
-            .map_err(|e| e.to_string())?;
+        baseline::save(&baseline_path, tightened).map_err(|e| e.to_string())?;
         if !args.json {
             println!(
-                "lsdf-lint: baseline written: no_panic = {value} ({} live sites)",
-                current
+                "lsdf-lint: baseline written: no_panic = {} ({} live), raw_locks = {} ({} live)",
+                tightened.no_panic, live.no_panic, tightened.raw_locks, live.raw_locks
             );
         }
     }
     let allowed = if args.write_baseline {
-        baseline::tightened(current, existing.map(|b| b.no_panic))
+        tightened
     } else {
-        existing.map(|b| b.no_panic).unwrap_or(0)
+        existing.unwrap_or(baseline::Baseline { no_panic: 0, raw_locks: 0 })
     };
-    let debt_ok = baseline::ratchet(current, allowed) == baseline::Verdict::Ok;
-    let ok = report.violations.is_empty() && debt_ok;
+    let mk = |current: usize, allowed: usize| Ratchet {
+        current,
+        allowed,
+        ok: baseline::ratchet(current, allowed) == baseline::Verdict::Ok,
+    };
+    let no_panic = mk(live.no_panic, allowed.no_panic);
+    let raw_locks = mk(live.raw_locks, allowed.raw_locks);
+    let ok = report.violations.is_empty() && no_panic.ok && raw_locks.ok;
+    let wall_ms = started.elapsed().as_millis();
 
     if args.json {
-        print_json(&report, current, allowed, ok);
+        print_json(&report, &no_panic, &raw_locks, ok, wall_ms);
         return Ok(ok);
     }
     for d in &report.violations {
         println!("{d}");
     }
-    if !debt_ok {
+    if !no_panic.ok {
         for d in &report.no_panic {
             println!("{d}");
         }
         println!(
-            "lsdf-lint: FAIL — no_panic debt grew: {current} sites > baseline {allowed}; \
-             pay it down (or justify with `// lint: allow(no_panic) -- why`)"
+            "lsdf-lint: FAIL — no_panic debt grew: {} sites > baseline {}; pay it down \
+             (or justify with `// lint: allow(no_panic) -- why`)",
+            no_panic.current, no_panic.allowed
         );
-    } else if current < allowed {
+    } else if no_panic.current < no_panic.allowed {
         println!(
-            "lsdf-lint: no_panic debt shrank ({current} < baseline {allowed}) — run \
-             `just lint-baseline` to ratchet the baseline down"
+            "lsdf-lint: no_panic debt shrank ({} < baseline {}) — run \
+             `just lint-baseline` to ratchet the baseline down",
+            no_panic.current, no_panic.allowed
+        );
+    }
+    if !raw_locks.ok {
+        for d in &report.raw_locks {
+            println!("{d}");
+        }
+        println!(
+            "lsdf-lint: FAIL — raw_locks debt grew: {} sites > baseline {}; construct \
+             lsdf_sync::OrderedMutex/OrderedRwLock with a declared rank instead",
+            raw_locks.current, raw_locks.allowed
+        );
+    } else if raw_locks.current < raw_locks.allowed {
+        println!(
+            "lsdf-lint: raw_locks debt shrank ({} < baseline {}) — run \
+             `just lint-baseline` to ratchet the baseline down",
+            raw_locks.current, raw_locks.allowed
         );
     }
     println!(
-        "lsdf-lint: {} files scanned, {} violations, no_panic debt {current}/{allowed} — {}",
+        "lsdf-lint: {} files scanned in {} ms, {} violations, no_panic debt {}/{}, \
+         raw_locks debt {}/{} — {}",
         report.files_scanned,
+        wall_ms,
         report.violations.len(),
+        no_panic.current,
+        no_panic.allowed,
+        raw_locks.current,
+        raw_locks.allowed,
         if ok { "OK" } else { "FAIL" }
     );
     Ok(ok)

@@ -6,7 +6,8 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use lsdf_lint::{lint_file, Config, NameConst, Report, Rule};
+use lsdf_lint::lockorder::parse_rank_consts;
+use lsdf_lint::{lint_file, lint_files, Config, NameConst, Report, Rule};
 
 fn fixture(rel: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -24,7 +25,6 @@ fn cfg() -> Config {
             "crates/obs/src/clock.rs".to_string(),
             "crates/bench/".to_string(),
         ],
-        shard_allow: vec!["crates/dfs/src/shard.rs".to_string()],
         names_module: "crates/obs/src/names.rs".to_string(),
         names: vec![
             NameConst {
@@ -38,6 +38,11 @@ fn cfg() -> Config {
                 line: 2,
             },
         ],
+        ranks_module: "crates/sync/src/ranks.rs".to_string(),
+        ranks: parse_rank_consts(
+            "pub const OUTER: LockRank = rank(10, \"outer\");\n\
+             pub const INNER: LockRank = rank(20, \"inner\");\n",
+        ),
     }
 }
 
@@ -48,10 +53,9 @@ fn lint(rel: &str) -> Report {
 
 fn count(report: &Report, rule: Rule) -> usize {
     let hard = report.violations.iter().filter(|d| d.rule == rule).count();
-    if rule == Rule::NoPanic {
-        report.no_panic.len()
-    } else {
-        hard
+    match rule {
+        Rule::NoPanic => report.no_panic.len(),
+        _ => hard,
     }
 }
 
@@ -79,6 +83,15 @@ fn metric_names_fires_on_bad_and_not_on_good() {
     assert_eq!(count(&bad, Rule::MetricNames), 4, "{:#?}", bad.violations);
     let good = lint("metric_names/good.rs");
     assert_eq!(count(&good, Rule::MetricNames), 0, "{:#?}", good.violations);
+}
+
+#[test]
+fn metric_names_multiline_lookahead_sees_past_comments_and_waivers() {
+    // Two literals hide several comment lines below their call site —
+    // past any fixed lookahead window — and one continuation line
+    // carries its own waiver, which must be honored.
+    let r = lint("metric_names/multiline.rs");
+    assert_eq!(count(&r, Rule::MetricNames), 2, "{:#?}", r.violations);
 }
 
 #[test]
@@ -113,6 +126,67 @@ fn locks_fires_on_bad_and_not_on_good() {
 }
 
 #[test]
+fn lock_order_good_fixture_is_clean() {
+    let good = lint("lock_order/good.rs");
+    assert_eq!(count(&good, Rule::LockOrder), 0, "{:#?}", good.violations);
+    assert!(good.raw_locks.is_empty(), "{:#?}", good.raw_locks);
+}
+
+#[test]
+fn lock_order_bad_fixture_fires_every_detection_direction() {
+    let bad = lint("lock_order/bad.rs");
+    let order: Vec<_> = bad
+        .violations
+        .iter()
+        .filter(|d| d.rule == Rule::LockOrder)
+        .collect();
+    // One rank inversion, one same-rank nesting, the self-loop cycle it
+    // implies, one unranked construction, one undeclared rank.
+    assert_eq!(order.len(), 5, "{:#?}", order);
+    let has = |needle: &str| order.iter().filter(|d| d.message.contains(needle)).count();
+    assert_eq!(has("inversion"), 2, "{:#?}", order);
+    assert_eq!(has("cycle"), 1, "{:#?}", order);
+    assert_eq!(has("without a rank"), 1, "{:#?}", order);
+    assert_eq!(has("not declared"), 1, "{:#?}", order);
+    // The raw parking_lot construction is ratcheted debt, not a hard
+    // violation.
+    assert_eq!(bad.raw_locks.len(), 1, "{:#?}", bad.raw_locks);
+}
+
+#[test]
+fn lock_order_waived_edges_still_close_cycles_across_files() {
+    // File A nests OUTER -> INNER (legal); file B nests INNER -> OUTER
+    // under a per-line waiver. The waiver silences the inversion report
+    // but the combined graph still has the 10 <-> 20 cycle.
+    let files = vec![
+        (
+            "crates/adal/src/cycle_a.rs".to_string(),
+            fixture("lock_order/cycle_a.rs"),
+        ),
+        (
+            "crates/adal/src/cycle_b.rs".to_string(),
+            fixture("lock_order/cycle_b.rs"),
+        ),
+    ];
+    let r = lint_files(&files, &cfg());
+    let order: Vec<_> = r
+        .violations
+        .iter()
+        .filter(|d| d.rule == Rule::LockOrder)
+        .collect();
+    assert_eq!(order.len(), 1, "{:#?}", r.violations);
+    assert!(order[0].message.contains("cycle"), "{:#?}", order);
+    assert!(order[0].message.contains("outer(10)"), "{:#?}", order);
+    assert!(order[0].message.contains("inner(20)"), "{:#?}", order);
+    // Each file alone is clean: the waiver covers B's inversion and A
+    // is legal, so only the combination reveals the deadlock.
+    let a = lint_file("crates/adal/src/cycle_a.rs", &fixture("lock_order/cycle_a.rs"), &cfg());
+    assert_eq!(count(&a, Rule::LockOrder), 0, "{:#?}", a.violations);
+    let b = lint_file("crates/adal/src/cycle_b.rs", &fixture("lock_order/cycle_b.rs"), &cfg());
+    assert_eq!(count(&b, Rule::LockOrder), 0, "{:#?}", b.violations);
+}
+
+#[test]
 fn bad_fixtures_fire_only_their_own_rule() {
     // The determinism fixtures must not trip lock or metric rules, and
     // vice versa — rules are independent.
@@ -122,4 +196,8 @@ fn bad_fixtures_fire_only_their_own_rule() {
     let l = lint("locks/bad.rs");
     assert_eq!(count(&l, Rule::Determinism), 0);
     assert_eq!(count(&l, Rule::MetricNames), 0);
+    let o = lint("lock_order/bad.rs");
+    assert_eq!(count(&o, Rule::Determinism), 0);
+    assert_eq!(count(&o, Rule::Locks), 0);
+    assert_eq!(count(&o, Rule::MetricNames), 0);
 }

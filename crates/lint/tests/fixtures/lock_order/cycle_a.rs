@@ -1,0 +1,25 @@
+//! L5 fixture (cycle, file A): nests OUTER -> INNER, which the declared
+//! order permits. Legal on its own — the deadlock only appears when
+//! combined with cycle_b.rs's waived inversion.
+
+use lsdf_sync::{ranks, OrderedMutex};
+
+pub struct Up {
+    lo: OrderedMutex<u32>,
+    hi: OrderedMutex<u32>,
+}
+
+impl Up {
+    pub fn new() -> Self {
+        Self {
+            lo: OrderedMutex::new(ranks::OUTER, 0),
+            hi: OrderedMutex::new(ranks::INNER, 0),
+        }
+    }
+
+    pub fn climb(&self) -> u32 {
+        let g = self.lo.lock();
+        let h = self.hi.lock();
+        *g + *h
+    }
+}

@@ -1,0 +1,27 @@
+//! L5 fixture (cycle, file B): nests INNER -> OUTER under a per-line
+//! waiver. The waiver silences the inversion report — but combined with
+//! cycle_a.rs the acquisition graph has a 10 <-> 20 cycle, and cycle
+//! detection ignores waivers: two individually-waived inversions still
+//! deadlock each other.
+
+use lsdf_sync::{ranks, OrderedMutex};
+
+pub struct Down {
+    lo: OrderedMutex<u32>,
+    hi: OrderedMutex<u32>,
+}
+
+impl Down {
+    pub fn new() -> Self {
+        Self {
+            lo: OrderedMutex::new(ranks::OUTER, 0),
+            hi: OrderedMutex::new(ranks::INNER, 0),
+        }
+    }
+
+    pub fn descend(&self) -> u32 {
+        let h = self.hi.lock();
+        let g = self.lo.lock(); // lint: allow(lock_order) -- fixture: deliberately waived inversion
+        *h + *g
+    }
+}

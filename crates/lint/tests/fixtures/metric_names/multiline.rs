@@ -1,0 +1,30 @@
+//! L3 fixture: multi-line call sites. Two literals sit several
+//! comment-only lines below their call — past any fixed lookahead
+//! window — and must still be flagged; one continuation line carries
+//! its own waiver and must be honored.
+
+pub fn deep_metric_literal(reg: &Registry) {
+    reg.histogram(
+        // The argument hides behind comment lines that a fixed
+        // two-line lookahead would stop at.
+        // Still the linter must find it.
+        "facility_ingest_bytes",
+        &[],
+    );
+}
+
+pub fn deep_span_literal(tracer: &Tracer) {
+    let _root = tracer.root(
+        // Same shape for span names.
+        // The literal is four lines down.
+        // Keep looking.
+        "pool_task",
+        7,
+    );
+}
+
+pub fn waived_continuation(reg: &Registry) {
+    reg.counter(
+        "foo_total", // lint: allow(metric_names) -- fixture: sanctioned literal on the continuation line
+    );
+}

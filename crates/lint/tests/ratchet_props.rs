@@ -1,6 +1,7 @@
-//! Property tests for the L2 baseline ratchet: under no combination of
-//! live count and recorded baseline does the ratchet accept an
-//! increase, and `--write-baseline` can never raise the recorded value.
+//! Property tests for the debt-baseline ratchet: under no combination
+//! of live counts and recorded baseline does the ratchet accept an
+//! increase, and `--write-baseline` can never raise a recorded value —
+//! for either counter independently.
 
 use lsdf_lint::baseline::{parse, ratchet, render, tightened, Baseline, Verdict};
 use proptest::prelude::*;
@@ -28,8 +29,37 @@ proptest! {
     }
 
     #[test]
-    fn baseline_file_roundtrips(n in 0usize..1_000_000) {
-        let b = Baseline { no_panic: n };
+    fn baseline_file_roundtrips(n in 0usize..1_000_000, m in 0usize..1_000_000) {
+        let b = Baseline { no_panic: n, raw_locks: m };
         prop_assert_eq!(parse(&render(b)), Some(b));
+    }
+
+    #[test]
+    fn counters_ratchet_independently(
+        live_np in 0usize..10_000,
+        live_rl in 0usize..10_000,
+        base_np in 0usize..10_000,
+        base_rl in 0usize..10_000,
+    ) {
+        // A run is within the ratchet iff BOTH counters are within it:
+        // paying down no_panic debt can never buy raw_locks headroom.
+        let np_ok = ratchet(live_np, base_np) == Verdict::Ok;
+        let rl_ok = ratchet(live_rl, base_rl) == Verdict::Ok;
+        prop_assert_eq!(np_ok && rl_ok, live_np <= base_np && live_rl <= base_rl);
+        // And tightening tightens each coordinate separately.
+        let written = Baseline {
+            no_panic: tightened(live_np, Some(base_np)),
+            raw_locks: tightened(live_rl, Some(base_rl)),
+        };
+        prop_assert!(written.no_panic <= base_np);
+        prop_assert!(written.raw_locks <= base_rl);
+        prop_assert_eq!(ratchet(live_np, written.no_panic) == Verdict::Ok, live_np <= base_np);
+        prop_assert_eq!(ratchet(live_rl, written.raw_locks) == Verdict::Ok, live_rl <= base_rl);
+    }
+
+    #[test]
+    fn legacy_files_parse_as_zero_raw_locks(n in 0usize..1_000_000) {
+        let legacy = format!("{{\n  \"no_panic\": {n}\n}}\n");
+        prop_assert_eq!(parse(&legacy), Some(Baseline { no_panic: n, raw_locks: 0 }));
     }
 }

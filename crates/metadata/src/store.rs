@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use lsdf_sync::{ranks, OrderedRwLock};
 
 use crate::events::{MetadataEvent, Subscriber};
 use crate::index::{FieldIndex, TagIndex};
@@ -91,7 +91,7 @@ pub struct MetaRecoveryStats {
 pub struct ProjectStore {
     project: String,
     schema: Schema,
-    state: RwLock<StoreState>,
+    state: OrderedRwLock<StoreState>,
     /// Records touched by query execution — the cost metric for E7/E8.
     scanned: AtomicU64,
     queries: AtomicU64,
@@ -117,7 +117,7 @@ impl ProjectStore {
         let store = ProjectStore {
             project: schema.name.clone(),
             schema,
-            state: RwLock::new(StoreState {
+            state: OrderedRwLock::new(ranks::META_STATE, StoreState {
                 records: Vec::new(),
                 by_name: HashMap::new(),
                 field_indexes,

@@ -18,8 +18,9 @@
 //! * **Labels are first-class.** A metric identity is its name plus a
 //!   sorted label set (`("project", "zebrafish")`, `("op", "put")`),
 //!   so per-project / per-backend breakdowns fall out of the same API.
-//! * **No dependencies.** The crate is `std`-only; JSON is rendered by
-//!   hand so the bench report works in hermetic builds.
+//! * **Minimal dependencies.** The crate depends only on `lsdf-sync`
+//!   (whose rank-ordered locks every facility crate uses); JSON is
+//!   rendered by hand so the bench report works in hermetic builds.
 
 #![warn(missing_docs)]
 

@@ -2,8 +2,8 @@
 //! a bounded event log.
 
 use std::collections::{BTreeMap, VecDeque};
-// lint: allow(locks) -- lsdf-obs is dependency-free by design; std locks with poison-tolerant wrappers below
-use std::sync::{Mutex, PoisonError, RwLock};
+
+use lsdf_sync::{ranks, OrderedMutex, OrderedRwLock};
 
 use crate::clock::Clock;
 use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
@@ -78,10 +78,10 @@ pub struct Event {
 /// the hot path is purely atomic.
 pub struct Registry {
     clock: Clock,
-    counters: RwLock<BTreeMap<MetricId, Counter>>,
-    gauges: RwLock<BTreeMap<MetricId, Gauge>>,
-    histograms: RwLock<BTreeMap<MetricId, Histogram>>,
-    events: Mutex<VecDeque<Event>>,
+    counters: OrderedRwLock<BTreeMap<MetricId, Counter>>,
+    gauges: OrderedRwLock<BTreeMap<MetricId, Gauge>>,
+    histograms: OrderedRwLock<BTreeMap<MetricId, Histogram>>,
+    events: OrderedMutex<VecDeque<Event>>,
 }
 
 impl Registry {
@@ -89,10 +89,10 @@ impl Registry {
     pub fn new() -> Self {
         Registry {
             clock: Clock::new(),
-            counters: RwLock::new(BTreeMap::new()),
-            gauges: RwLock::new(BTreeMap::new()),
-            histograms: RwLock::new(BTreeMap::new()),
-            events: Mutex::new(VecDeque::new()),
+            counters: OrderedRwLock::new(ranks::OBS_COUNTERS, BTreeMap::new()),
+            gauges: OrderedRwLock::new(ranks::OBS_GAUGES, BTreeMap::new()),
+            histograms: OrderedRwLock::new(ranks::OBS_HISTOGRAMS, BTreeMap::new()),
+            events: OrderedMutex::new(ranks::OBS_EVENTS, VecDeque::new()),
         }
     }
 
@@ -115,45 +115,45 @@ impl Registry {
     /// Get-or-create the counter `name{labels}`.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let id = MetricId::new(name, labels);
-        if let Some(c) = read(&self.counters).get(&id) {
+        if let Some(c) = self.counters.read().get(&id) {
             return c.clone();
         }
-        write(&self.counters).entry(id).or_default().clone()
+        self.counters.write().entry(id).or_default().clone()
     }
 
     /// Get-or-create the gauge `name{labels}`.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let id = MetricId::new(name, labels);
-        if let Some(g) = read(&self.gauges).get(&id) {
+        if let Some(g) = self.gauges.read().get(&id) {
             return g.clone();
         }
-        write(&self.gauges).entry(id).or_default().clone()
+        self.gauges.write().entry(id).or_default().clone()
     }
 
     /// Get-or-create the histogram `name{labels}`.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         let id = MetricId::new(name, labels);
-        if let Some(h) = read(&self.histograms).get(&id) {
+        if let Some(h) = self.histograms.read().get(&id) {
             return h.clone();
         }
-        write(&self.histograms).entry(id).or_default().clone()
+        self.histograms.write().entry(id).or_default().clone()
     }
 
     /// Current value of a counter, or 0 when it does not exist.
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
         let id = MetricId::new(name, labels);
-        read(&self.counters).get(&id).map(Counter::get).unwrap_or(0)
+        self.counters.read().get(&id).map(Counter::get).unwrap_or(0)
     }
 
     /// Current value of a gauge, or 0 when it does not exist.
     pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> i64 {
         let id = MetricId::new(name, labels);
-        read(&self.gauges).get(&id).map(Gauge::get).unwrap_or(0)
+        self.gauges.read().get(&id).map(Gauge::get).unwrap_or(0)
     }
 
     /// Sum of a counter across all label sets sharing `name`.
     pub fn counter_total(&self, name: &str) -> u64 {
-        read(&self.counters)
+        self.counters.read()
             .iter()
             .filter(|(id, _)| id.name == name)
             .map(|(_, c)| c.get())
@@ -180,7 +180,7 @@ impl Registry {
     /// their own virtual timeline (e.g. a DES run) that should not flip
     /// the shared clock into virtual mode.
     pub fn event_at(&self, t_ns: u64, name: &str, fields: &[(&str, &str)]) {
-        let mut ring = lock(&self.events);
+        let mut ring = self.events.lock();
         if ring.len() == EVENT_CAPACITY {
             ring.pop_front();
         }
@@ -196,21 +196,21 @@ impl Registry {
 
     /// All retained events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        lock(&self.events).iter().cloned().collect()
+        self.events.lock().iter().cloned().collect()
     }
 
     /// A point-in-time copy of every metric and event.
     pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot {
-            counters: read(&self.counters)
+            counters: self.counters.read()
                 .iter()
                 .map(|(id, c)| (id.clone(), c.get()))
                 .collect(),
-            gauges: read(&self.gauges)
+            gauges: self.gauges.read()
                 .iter()
                 .map(|(id, g)| (id.clone(), g.get()))
                 .collect(),
-            histograms: read(&self.histograms)
+            histograms: self.histograms.read()
                 .iter()
                 .map(|(id, h)| (id.clone(), h.snapshot()))
                 .collect(),
@@ -235,10 +235,10 @@ impl Default for Registry {
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Registry")
-            .field("counters", &read(&self.counters).len())
-            .field("gauges", &read(&self.gauges).len())
-            .field("histograms", &read(&self.histograms).len())
-            .field("events", &lock(&self.events).len())
+            .field("counters", &self.counters.read().len())
+            .field("gauges", &self.gauges.read().len())
+            .field("histograms", &self.histograms.read().len())
+            .field("events", &self.events.lock().len())
             .finish()
     }
 }
@@ -303,23 +303,6 @@ impl std::fmt::Debug for Span {
             .field("elapsed_ns", &self.elapsed_ns())
             .finish()
     }
-}
-
-// Poison-tolerant lock helpers: a panicked recorder should not take the
-// whole registry down with it.
-// lint: allow(locks) -- dependency-free crate: std guard types in signatures
-fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
-    l.read().unwrap_or_else(PoisonError::into_inner)
-}
-
-// lint: allow(locks) -- dependency-free crate: std guard types in signatures
-fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    l.write().unwrap_or_else(PoisonError::into_inner)
-}
-
-// lint: allow(locks) -- dependency-free crate: std guard types in signatures
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 #[cfg(test)]

@@ -25,17 +25,11 @@
 //! pure function of the snapshot plus the monitor's window state:
 //! deterministic for deterministic runs.
 
-// lint: allow(locks) -- dependency-free crate: std guard types with poison-tolerant wrapper below
-use std::sync::{Mutex, PoisonError};
+use lsdf_sync::{ranks, OrderedMutex};
 
 use crate::json::{escape, fmt_f64};
 use crate::names;
 use crate::registry::{MetricId, Registry, RegistrySnapshot};
-
-// lint: allow(locks) -- dependency-free crate: std guard types in signatures
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// Which quantile a quantile rule reads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -337,13 +331,13 @@ pub struct SloMonitor {
     rules: Vec<SloRule>,
     /// Previous (numerator, denominator) totals per rule index; `None`
     /// until the rule's first evaluation.
-    windows: Mutex<Vec<Option<(u64, u64)>>>,
+    windows: OrderedMutex<Vec<Option<(u64, u64)>>>,
 }
 
 impl SloMonitor {
     /// A monitor over `rules`.
     pub fn new(rules: Vec<SloRule>) -> Self {
-        let windows = Mutex::new(vec![None; rules.len()]);
+        let windows = OrderedMutex::new(ranks::OBS_SLO_WINDOWS, vec![None; rules.len()]);
         SloMonitor { rules, windows }
     }
 
@@ -366,7 +360,7 @@ impl SloMonitor {
     pub fn evaluate(&self, registry: &Registry) -> FacilityHealth {
         let snap = registry.snapshot();
         let t_ns = registry.now_ns();
-        let mut windows = lock(&self.windows);
+        let mut windows = self.windows.lock();
         let mut outcomes = Vec::with_capacity(self.rules.len());
         for (i, rule) in self.rules.iter().enumerate() {
             let observed = match &rule.selector {

@@ -24,22 +24,15 @@
 //! ([`Tracer::render_slowest`]).
 
 use std::collections::BTreeMap;
-// lint: allow(locks) -- dependency-free crate: std guard types with poison-tolerant wrapper below
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
+
+use lsdf_sync::{ranks, OrderedMutex};
 
 use crate::clock::Clock;
 use crate::json::escape;
 use crate::metric::{Counter, Gauge};
 use crate::names;
 use crate::registry::Registry;
-
-/// Poison-tolerant lock: a panicked holder cannot have corrupted the
-/// trace tree invariants (slot indices are assigned before user code
-/// runs), so we keep serving the data we have.
-// lint: allow(locks) -- dependency-free crate: std guard types in signatures
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// splitmix64 finalizer — the deterministic hash behind trace ids and
 /// sampling decisions.
@@ -163,7 +156,7 @@ impl SpanBuild {
     }
 }
 
-type SpanCell = Arc<Mutex<Option<SpanBuild>>>;
+type SpanCell = Arc<OrderedMutex<Option<SpanBuild>>>;
 
 /// Where a finished span's record goes.
 enum Parent {
@@ -239,7 +232,7 @@ impl TraceCtx {
             return TraceCtx::disabled();
         };
         let slot = {
-            let mut guard = lock(&inner.cell);
+            let mut guard = inner.cell.lock();
             let Some(build) = guard.as_mut() else {
                 // The parent already finished (late sim callback): the
                 // child traces nothing rather than dangling.
@@ -252,7 +245,7 @@ impl TraceCtx {
             inner: Some(CtxInner {
                 tracer: inner.tracer.clone(),
                 trace_id: inner.trace_id,
-                cell: Arc::new(Mutex::new(Some(SpanBuild::new(name, t_ns)))),
+                cell: Arc::new(OrderedMutex::new(ranks::OBS_SPAN_CELL, Some(SpanBuild::new(name, t_ns)))),
                 parent: Parent::Span {
                     cell: Arc::clone(&inner.cell),
                     slot,
@@ -264,7 +257,7 @@ impl TraceCtx {
     /// Attaches a structured field to this span.
     pub fn add_field(&self, key: &str, value: &str) {
         let Some(inner) = &self.inner else { return };
-        if let Some(build) = lock(&inner.cell).as_mut() {
+        if let Some(build) = inner.cell.lock().as_mut() {
             build.fields.push((key.to_string(), value.to_string()));
         }
     }
@@ -277,7 +270,7 @@ impl TraceCtx {
     /// Records a point event at an explicit timestamp.
     pub fn event_at(&self, t_ns: u64, name: &'static str, fields: &[(&str, &str)]) {
         let Some(inner) = &self.inner else { return };
-        if let Some(build) = lock(&inner.cell).as_mut() {
+        if let Some(build) = inner.cell.lock().as_mut() {
             build.events.push(TraceEvent {
                 t_ns,
                 name,
@@ -302,13 +295,13 @@ impl TraceCtx {
 
     fn finish_inner(&mut self, t_ns: u64) {
         let Some(inner) = self.inner.take() else { return };
-        let Some(build) = lock(&inner.cell).take() else {
+        let Some(build) = inner.cell.lock().take() else {
             return;
         };
         let record = build.into_record(t_ns);
         match inner.parent {
             Parent::Span { cell, slot } => {
-                if let Some(parent) = lock(&cell).as_mut() {
+                if let Some(parent) = cell.lock().as_mut() {
                     parent.children[slot] = Some(record);
                 }
                 // Parent already finished: the late child is dropped —
@@ -410,7 +403,7 @@ pub struct TraceRecord {
 struct TracerInner {
     clock: Clock,
     config: TraceConfig,
-    store: Mutex<BTreeMap<(u64, u64), TraceRecord>>,
+    store: OrderedMutex<BTreeMap<(u64, u64), TraceRecord>>,
     roots: Counter,
     sampled: Counter,
     retained: Gauge,
@@ -432,7 +425,7 @@ impl Tracer {
             inner: Arc::new(TracerInner {
                 clock: registry.clock().clone(),
                 config,
-                store: Mutex::new(BTreeMap::new()),
+                store: OrderedMutex::new(ranks::OBS_TRACE_STORE, BTreeMap::new()),
                 roots: registry.counter(names::TRACE_ROOTS_TOTAL, &[]),
                 sampled: registry.counter(names::TRACE_SAMPLED_TOTAL, &[]),
                 retained: registry.gauge(names::TRACE_RETAINED, &[]),
@@ -472,7 +465,7 @@ impl Tracer {
             inner: Some(CtxInner {
                 tracer: self.clone(),
                 trace_id: id,
-                cell: Arc::new(Mutex::new(Some(build))),
+                cell: Arc::new(OrderedMutex::new(ranks::OBS_SPAN_CELL, Some(build))),
                 parent: Parent::Root {
                     key: key.to_string(),
                 },
@@ -481,7 +474,7 @@ impl Tracer {
     }
 
     fn store_root(&self, id: TraceId, key: String, root: SpanRecord) {
-        let mut store = lock(&self.inner.store);
+        let mut store = self.inner.store.lock();
         store.insert(
             (root.start_ns, id.0),
             TraceRecord {
@@ -500,12 +493,12 @@ impl Tracer {
 
     /// Retained traces in `(start_ns, trace_id)` order.
     pub fn traces(&self) -> Vec<TraceRecord> {
-        lock(&self.inner.store).values().cloned().collect()
+        self.inner.store.lock().values().cloned().collect()
     }
 
     /// Number of retained traces.
     pub fn len(&self) -> usize {
-        lock(&self.inner.store).len()
+        self.inner.store.lock().len()
     }
 
     /// True when no trace is retained.
@@ -515,7 +508,7 @@ impl Tracer {
 
     /// Drops every retained trace.
     pub fn clear(&self) {
-        lock(&self.inner.store).clear();
+        self.inner.store.lock().clear();
         self.inner.retained.set(0);
     }
 

@@ -22,7 +22,7 @@
 //! without `'static` bounds and guarantees worker panics propagate to
 //! the caller instead of being swallowed.
 
-use parking_lot::Mutex;
+use lsdf_sync::{ranks, OrderedMutex};
 use std::thread;
 
 use lsdf_obs::{names, TraceCtx};
@@ -100,7 +100,7 @@ impl WorkerPool {
             return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
         let threads = self.workers.min(n);
-        let queue = Mutex::new(items.into_iter().enumerate());
+        let queue = OrderedMutex::new(ranks::POOL_QUEUE, items.into_iter().enumerate());
         let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         thread::scope(|scope| {

@@ -1,0 +1,138 @@
+//! The facility lock-rank manifest — the single place a lock's position
+//! in the global acquisition order is declared, mirroring the
+//! `lsdf_obs::names` registry for metric names.
+//!
+//! Rules of the manifest:
+//!
+//! * higher id = inner lock (acquired later); ids are unique;
+//! * gaps are deliberate — new locks slot between existing ranks
+//!   without renumbering;
+//! * every const here must be used by exactly one `OrderedMutex` /
+//!   `OrderedRwLock` construction site family (lint L5 flags unused or
+//!   duplicated ranks);
+//! * two locks may share a rank const only if they are *the same
+//!   striped family* and never nest with each other — the `ShardedMap`
+//!   stripes are the one sanctioned case.
+//!
+//! The declared partial order encodes the real call topology:
+//! admission gates a request, the namespace commits it, the commit is
+//! WAL-logged, the WAL hits a device; observability is innermost
+//! because every layer may record while holding its own lock.
+
+use crate::{rank, LockRank};
+
+/// `lsdf_pool::WorkerPool` work-queue mutex. Acquired and released
+/// standalone (the guard never survives into the task closure), so it
+/// ranks below everything the tasks themselves lock.
+pub const POOL_QUEUE: LockRank = rank(50, "pool_queue");
+
+/// Admission controller's project table (`AdmissionController::projects`).
+pub const ADMISSION_PROJECTS: LockRank = rank(100, "admission_projects");
+
+/// Per-project admission state (`ProjectEntry::state`); locked while
+/// the project table read guard is still held.
+pub const ADMISSION_PROJECT_STATE: LockRank = rank(110, "admission_project_state");
+
+/// ADAL circuit-breaker state (`CircuitBreaker::breaker`). Leaf lock.
+pub const ADAL_BREAKER: LockRank = rank(200, "adal_breaker");
+
+/// ADAL redo-journal queue (`RedoJournal::journal`). Leaf lock.
+pub const ADAL_JOURNAL: LockRank = rank(210, "adal_journal");
+
+/// The namenode namespace map (`Dfs::files`): held across block
+/// allocation and the WAL append that commits a mutation.
+pub const DFS_FILES: LockRank = rank(300, "dfs_files");
+
+/// One `ShardedMap` block-table stripe. All stripes share this rank:
+/// the map's discipline is one stripe at a time, and the witness's
+/// same-rank check enforces exactly that.
+pub const DFS_BLOCK_SHARD: LockRank = rank(310, "dfs_block_shard");
+
+/// The namenode's seeded placement RNG (`Dfs::rng`). Leaf lock.
+pub const DFS_RNG: LockRank = rank(320, "dfs_rng");
+
+/// Per-project metadata store state (`ProjectStore::state`): held
+/// across the WAL append that commits an insert.
+pub const META_STATE: LockRank = rank(400, "meta_state");
+
+/// The WAL's active segment (`DurableLog::active`): held across device
+/// appends and segment rotation.
+pub const WAL_ACTIVE: LockRank = rank(500, "wal_active");
+
+/// The durable-store device directory (`DurableStore::devices`); held
+/// while interrogating individual devices.
+pub const DURABLE_DEVICES: LockRank = rank(510, "durable_devices");
+
+/// One simulated device's staged/synced image (`MemDisk::state`).
+/// Innermost of the durability stack.
+pub const MEMDISK_STATE: LockRank = rank(520, "memdisk_state");
+
+/// SLO monitor window state (`SloMonitor::windows`); held across
+/// registry reads and metric updates, so it ranks below the registry
+/// tables.
+pub const OBS_SLO_WINDOWS: LockRank = rank(840, "obs_slo_windows");
+
+/// One in-flight trace span cell (`SpanCell`). All cells share this
+/// rank: a cell guard is always released before the parent/store lock
+/// is taken, so cells never nest.
+pub const OBS_SPAN_CELL: LockRank = rank(850, "obs_span_cell");
+
+/// The tracer's retained-trace store (`TracerInner::store`).
+pub const OBS_TRACE_STORE: LockRank = rank(860, "obs_trace_store");
+
+/// Registry counter table (`Registry::counters`). The obs locks are
+/// the innermost of the whole facility — any layer may touch the
+/// registry while holding its own locks — and are ordered among
+/// themselves in snapshot-assembly order.
+pub const OBS_COUNTERS: LockRank = rank(900, "obs_counters");
+
+/// Registry gauge table (`Registry::gauges`).
+pub const OBS_GAUGES: LockRank = rank(910, "obs_gauges");
+
+/// Registry histogram table (`Registry::histograms`).
+pub const OBS_HISTOGRAMS: LockRank = rank(920, "obs_histograms");
+
+/// Registry event log (`Registry::events`); innermost obs lock because
+/// snapshots read it after the three metric tables.
+pub const OBS_EVENTS: LockRank = rank(930, "obs_events");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_ids_are_unique_and_names_match_style() {
+        let all: &[LockRank] = &[
+            POOL_QUEUE,
+            ADMISSION_PROJECTS,
+            ADMISSION_PROJECT_STATE,
+            ADAL_BREAKER,
+            ADAL_JOURNAL,
+            DFS_FILES,
+            DFS_BLOCK_SHARD,
+            DFS_RNG,
+            META_STATE,
+            WAL_ACTIVE,
+            DURABLE_DEVICES,
+            MEMDISK_STATE,
+            OBS_SLO_WINDOWS,
+            OBS_SPAN_CELL,
+            OBS_TRACE_STORE,
+            OBS_COUNTERS,
+            OBS_GAUGES,
+            OBS_HISTOGRAMS,
+            OBS_EVENTS,
+        ];
+        let mut ids: Vec<u16> = all.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len(), "duplicate rank id in manifest");
+        for r in all {
+            assert!(
+                r.name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "rank name {:?} must be snake_case",
+                r.name
+            );
+        }
+    }
+}

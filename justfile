@@ -20,12 +20,20 @@ clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
 # Facility-invariant static analysis (determinism, metric names,
-# panic-freedom ratchet, lock discipline).
+# panic-freedom ratchet, lock discipline, lock-order analysis).
 lint:
     cargo run --release -p lsdf-lint
 
-# Regenerate lint-baseline.json from the current no_panic debt (the
-# ratchet refuses to record a larger count than the file already holds).
+# Machine-readable lint report (stable ordering) at
+# target/lint-report.json; CI uploads it as an artifact.
+lint-json:
+    mkdir -p target
+    cargo run --release -p lsdf-lint -- --json > target/lint-report.json || true
+    cat target/lint-report.json
+
+# Regenerate lint-baseline.json from the current no_panic / raw_locks
+# debt (the ratchet refuses to record larger counts than the file
+# already holds).
 lint-baseline:
     cargo run --release -p lsdf-lint -- --write-baseline
 

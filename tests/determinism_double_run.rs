@@ -173,6 +173,14 @@ fn run_soak(seed: u64) -> String {
 
 #[test]
 fn determinism_double_run() {
+    // The integration crate enables lsdf-sync's `lock-order` feature,
+    // so this double run doubles as proof that the runtime lock-order
+    // witness does not perturb determinism — but only if it is actually
+    // armed. Check, don't assume.
+    assert!(
+        lsdf_sync::witness_enabled(),
+        "integration tests must build with the lock-order witness enabled"
+    );
     let first = run_soak(0x15df_2011);
     let second = run_soak(0x15df_2011);
     assert_eq!(first, second, "same seed must export identical registries");
