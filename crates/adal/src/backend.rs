@@ -10,11 +10,9 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
-
-use lsdf_dfs::{Dfs, DfsError};
+use lsdf_dfs::{Dfs, DfsError, StagedFile};
 use lsdf_obs::TraceCtx;
-use lsdf_storage::{Hsm, HsmError, ObjectStore, StoreError};
+use lsdf_storage::{Hsm, HsmError, ObjectStore, Payload, StoreError};
 
 /// Metadata returned by `stat`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,10 +147,12 @@ impl From<HsmError> for BackendError {
 pub trait StorageBackend: Send + Sync {
     /// Backend kind label (for reporting).
     fn kind(&self) -> &'static str;
-    /// Stores `data` under `key` (write-once).
-    fn put(&self, key: &str, data: Bytes) -> Result<(), BackendError>;
+    /// Stores `data` under `key` (write-once). The payload handle is a
+    /// refcounted view — implementations must not copy the bytes on the
+    /// success path, and a memoized digest travels with the handle.
+    fn put(&self, key: &str, data: Payload) -> Result<(), BackendError>;
     /// Fetches the payload under `key`.
-    fn get(&self, key: &str) -> Result<Bytes, BackendError>;
+    fn get(&self, key: &str) -> Result<Payload, BackendError>;
     /// Metadata for `key`.
     fn stat(&self, key: &str) -> Result<EntryMeta, BackendError>;
     /// Deletes `key` (lifecycle management).
@@ -174,12 +174,12 @@ pub trait StorageBackend: Send + Sync {
     // working and untraced call paths (a disabled ctx) cost nothing.
 
     /// Traced [`StorageBackend::put`].
-    fn put_traced(&self, ctx: &TraceCtx, key: &str, data: Bytes) -> Result<(), BackendError> {
+    fn put_traced(&self, ctx: &TraceCtx, key: &str, data: Payload) -> Result<(), BackendError> {
         let _ = ctx;
         self.put(key, data)
     }
     /// Traced [`StorageBackend::get`].
-    fn get_traced(&self, ctx: &TraceCtx, key: &str) -> Result<Bytes, BackendError> {
+    fn get_traced(&self, ctx: &TraceCtx, key: &str) -> Result<Payload, BackendError> {
         let _ = ctx;
         self.get(key)
     }
@@ -198,6 +198,43 @@ pub trait StorageBackend: Send + Sync {
         let _ = ctx;
         self.list(prefix)
     }
+
+    // --- batched staged puts --------------------------------------------
+    //
+    // Backends whose commit step serialises on shared metadata (the DFS
+    // namenode) override these so a batch of N puts pays one metadata
+    // lock and one WAL group commit instead of N. Backends without a
+    // staged protocol just commit immediately; the defaults make
+    // `stage + commit` exactly equivalent to `put`.
+
+    /// Stages a put, deferring any commit step that serialises on
+    /// shared metadata. Default: commits immediately via
+    /// [`StorageBackend::put_traced`].
+    fn stage_put_traced(
+        &self,
+        ctx: &TraceCtx,
+        key: &str,
+        data: Payload,
+    ) -> Result<StagedPut, BackendError> {
+        self.put_traced(ctx, key, data).map(|()| StagedPut::Committed)
+    }
+
+    /// Commits a batch of staged puts; results are in batch order. A
+    /// staged put is only durable/acknowledgeable once this returns Ok
+    /// for it. Default: everything was already committed at stage time.
+    fn commit_staged_traced(&self, staged: Vec<StagedPut>) -> Vec<Result<(), BackendError>> {
+        staged.into_iter().map(|_| Ok(())).collect()
+    }
+}
+
+/// A put staged by [`StorageBackend::stage_put_traced`], awaiting
+/// [`StorageBackend::commit_staged_traced`].
+pub enum StagedPut {
+    /// The backend has no staged protocol; the put already committed.
+    Committed,
+    /// A DFS file with blocks placed, awaiting its batched namespace
+    /// commit.
+    Dfs(StagedFile),
 }
 
 /// Adapter: the in-memory object store (stand-in for the GPFS arrays).
@@ -216,11 +253,11 @@ impl StorageBackend for ObjectStoreBackend {
     fn kind(&self) -> &'static str {
         "object-store"
     }
-    fn put(&self, key: &str, data: Bytes) -> Result<(), BackendError> {
+    fn put(&self, key: &str, data: Payload) -> Result<(), BackendError> {
         self.store.put(key, data)?;
         Ok(())
     }
-    fn get(&self, key: &str) -> Result<Bytes, BackendError> {
+    fn get(&self, key: &str) -> Result<Payload, BackendError> {
         Ok(self.store.get(key)?)
     }
     fn stat(&self, key: &str) -> Result<EntryMeta, BackendError> {
@@ -263,12 +300,13 @@ impl StorageBackend for DfsBackend {
     fn kind(&self) -> &'static str {
         "dfs"
     }
-    fn put(&self, key: &str, data: Bytes) -> Result<(), BackendError> {
-        self.dfs.write(key, &data, None)?;
+    fn put(&self, key: &str, data: Payload) -> Result<(), BackendError> {
+        self.dfs
+            .write_payload_traced(key, &data, None, &TraceCtx::disabled())?;
         Ok(())
     }
-    fn get(&self, key: &str) -> Result<Bytes, BackendError> {
-        Ok(self.dfs.read(key, None)?)
+    fn get(&self, key: &str) -> Result<Payload, BackendError> {
+        Ok(Payload::new(self.dfs.read(key, None)?))
     }
     fn stat(&self, key: &str) -> Result<EntryMeta, BackendError> {
         let m = self.dfs.stat(key)?;
@@ -292,12 +330,43 @@ impl StorageBackend for DfsBackend {
             })
             .collect())
     }
-    fn put_traced(&self, ctx: &TraceCtx, key: &str, data: Bytes) -> Result<(), BackendError> {
-        self.dfs.write_traced(key, &data, None, ctx)?;
+    fn put_traced(&self, ctx: &TraceCtx, key: &str, data: Payload) -> Result<(), BackendError> {
+        self.dfs.write_payload_traced(key, &data, None, ctx)?;
         Ok(())
     }
-    fn get_traced(&self, ctx: &TraceCtx, key: &str) -> Result<Bytes, BackendError> {
-        Ok(self.dfs.read_traced(key, None, ctx)?)
+    fn get_traced(&self, ctx: &TraceCtx, key: &str) -> Result<Payload, BackendError> {
+        Ok(Payload::new(self.dfs.read_traced(key, None, ctx)?))
+    }
+    fn stage_put_traced(
+        &self,
+        ctx: &TraceCtx,
+        key: &str,
+        data: Payload,
+    ) -> Result<StagedPut, BackendError> {
+        Ok(StagedPut::Dfs(
+            self.dfs.stage_write_traced(key, &data, None, ctx)?,
+        ))
+    }
+    fn commit_staged_traced(&self, staged: Vec<StagedPut>) -> Vec<Result<(), BackendError>> {
+        // Batch every DFS staged file into one namenode commit,
+        // preserving batch order in the results.
+        let mut results: Vec<Option<Result<(), BackendError>>> =
+            staged.iter().map(|_| None).collect();
+        let mut files = Vec::new();
+        let mut slots = Vec::new();
+        for (i, s) in staged.into_iter().enumerate() {
+            match s {
+                StagedPut::Committed => results[i] = Some(Ok(())),
+                StagedPut::Dfs(f) => {
+                    files.push(f);
+                    slots.push(i);
+                }
+            }
+        }
+        for (i, r) in slots.into_iter().zip(self.dfs.commit_files_batch(files)) {
+            results[i] = Some(r.map(|_| ()).map_err(BackendError::from));
+        }
+        results.into_iter().map(|r| r.unwrap_or(Ok(()))).collect()
     }
 }
 
@@ -317,11 +386,11 @@ impl StorageBackend for HsmBackend {
     fn kind(&self) -> &'static str {
         "hsm"
     }
-    fn put(&self, key: &str, data: Bytes) -> Result<(), BackendError> {
+    fn put(&self, key: &str, data: Payload) -> Result<(), BackendError> {
         self.hsm.put(key, data)?;
         Ok(())
     }
-    fn get(&self, key: &str) -> Result<Bytes, BackendError> {
+    fn get(&self, key: &str) -> Result<Payload, BackendError> {
         Ok(self.hsm.get(key)?)
     }
     fn stat(&self, key: &str) -> Result<EntryMeta, BackendError> {
@@ -353,7 +422,7 @@ impl StorageBackend for HsmBackend {
         out.sort_by(|a, b| a.key.cmp(&b.key));
         Ok(out)
     }
-    fn get_traced(&self, ctx: &TraceCtx, key: &str) -> Result<Bytes, BackendError> {
+    fn get_traced(&self, ctx: &TraceCtx, key: &str) -> Result<Payload, BackendError> {
         Ok(self.hsm.get_traced(key, ctx)?)
     }
 }
@@ -361,11 +430,12 @@ impl StorageBackend for HsmBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use lsdf_dfs::{ClusterTopology, DfsConfig};
     use lsdf_storage::MigrationPolicy;
 
-    fn payload(s: &str) -> Bytes {
-        Bytes::copy_from_slice(s.as_bytes())
+    fn payload(s: &str) -> Payload {
+        Payload::new(Bytes::copy_from_slice(s.as_bytes()))
     }
 
     fn backends() -> Vec<Box<dyn StorageBackend>> {
@@ -431,6 +501,42 @@ mod tests {
                 b.kind()
             );
         }
+    }
+
+    #[test]
+    fn staged_puts_commit_in_one_batch_on_every_backend() {
+        let ctx = TraceCtx::disabled();
+        for b in backends() {
+            let s1 = b.stage_put_traced(&ctx, "s/1", payload("a")).unwrap();
+            let s2 = b.stage_put_traced(&ctx, "s/2", payload("b")).unwrap();
+            let results = b.commit_staged_traced(vec![s1, s2]);
+            assert!(results.iter().all(|r| r.is_ok()), "{}", b.kind());
+            assert_eq!(b.get("s/1").unwrap(), payload("a"), "{}", b.kind());
+            assert_eq!(b.get("s/2").unwrap(), payload("b"), "{}", b.kind());
+        }
+    }
+
+    #[test]
+    fn dfs_batch_commit_detects_conflicts_at_commit_time() {
+        let dfs = Arc::new(Dfs::new(
+            ClusterTopology::new(1, 3),
+            DfsConfig {
+                block_size: 64,
+                replication: 2,
+                ..DfsConfig::default()
+            },
+        ));
+        let b = DfsBackend::new(dfs);
+        let ctx = TraceCtx::disabled();
+        // Both stages pass the optimistic namespace check; the batched
+        // commit's re-check under the write lock catches the duplicate
+        // and rolls back the loser's blocks.
+        let s1 = b.stage_put_traced(&ctx, "dup", payload("one")).unwrap();
+        let s2 = b.stage_put_traced(&ctx, "dup", payload("two")).unwrap();
+        let r = b.commit_staged_traced(vec![s1, s2]);
+        assert!(r[0].is_ok());
+        assert!(matches!(&r[1], Err(BackendError::AlreadyExists(_))));
+        assert_eq!(b.get("dup").unwrap(), payload("one"));
     }
 
     #[test]

@@ -32,13 +32,13 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
-use lsdf_obs::{Counter, Gauge, Histogram, Registry, TraceCtx, Tracer};
+use lsdf_obs::{Counter, Gauge, Histogram, Registry, Span, TraceCtx, Tracer};
 use lsdf_pool::WorkerPool;
 use lsdf_sim::SimRng;
-use lsdf_storage::{sha256, Digest};
+use lsdf_storage::Payload;
 
 use crate::auth::{Access, Acl, AuthError, AuthProvider, Credential, TokenAuth};
-use crate::backend::{BackendError, EntryMeta, StorageBackend};
+use crate::backend::{BackendError, EntryMeta, StagedPut, StorageBackend};
 use crate::path::{LsdfPath, PathError};
 use lsdf_obs::names;
 
@@ -337,25 +337,26 @@ impl ResilientState {
     }
 
     /// One put attempt with optional read-back verification. The
-    /// payload's expected digest is computed once by the caller and
-    /// reused across retries — only the read-back is hashed here. A
-    /// digest mismatch (torn write) removes the bad copy and reports
-    /// [`BackendError::Integrity`] so the retry loop redoes the
+    /// read-back is compared against the source payload with
+    /// [`Payload::content_eq`] — an identical shared buffer verifies in
+    /// O(1), a substituted (torn) buffer fails the byte comparison, and
+    /// neither side is hashed. A mismatch removes the bad copy and
+    /// reports [`BackendError::Integrity`] so the retry loop redoes the
     /// transfer.
     fn put_verified(
         &self,
         ctx: &TraceCtx,
         backend: &Arc<dyn StorageBackend>,
         key: &str,
-        data: &Bytes,
-        digest: &Digest,
+        data: &Payload,
     ) -> Result<(), BackendError> {
+        // lint: allow(payload_copy) -- Payload handle clone: refcount bump
         backend.put_traced(ctx, key, data.clone())?;
         if !self.verify_writes {
             return Ok(());
         }
         match backend.get_traced(ctx, key) {
-            Ok(back) if sha256(&back) == *digest => Ok(()),
+            Ok(back) if back.content_eq(data) => Ok(()),
             Ok(_) => {
                 self.metrics.verify_failures.inc();
                 let _ = backend.delete_traced(ctx, key);
@@ -378,9 +379,12 @@ impl ResilientState {
         }
     }
 
-    /// Best-effort copy of a successful write onto the replica.
-    fn replicate(&self, key: &str, data: &Bytes) {
+    /// Best-effort copy of a successful write onto the replica. The
+    /// clone is a refcount bump sharing one payload handle (and its
+    /// memoized digest) with the primary copy.
+    fn replicate(&self, key: &str, data: &Payload) {
         if let Some(rep) = &self.replica {
+            // lint: allow(payload_copy) -- Payload handle clone: refcount bump
             if rep.put(key, data.clone()).is_err() {
                 self.metrics.replica_write_failures.inc();
             }
@@ -393,6 +397,21 @@ impl ResilientState {
 struct Mount {
     backend: Arc<dyn StorageBackend>,
     resilience: Option<Arc<ResilientState>>,
+}
+
+/// A put staged by [`Adal::put_stage_traced`], carrying everything
+/// needed to finalize it — the deferred backend commit (if any) plus
+/// the latency span and per-project accounting that
+/// [`Adal::commit_staged`] completes in batch order. The trace span
+/// closes at stage time, while its parent (e.g. a pool task span) is
+/// still open — a trace child finishing after its parent is dropped.
+pub struct PendingPut {
+    backend: Arc<dyn StorageBackend>,
+    staged: Option<StagedPut>,
+    project: String,
+    kind: &'static str,
+    len: u64,
+    span: Span,
 }
 
 /// The Abstract Data Access Layer.
@@ -625,9 +644,14 @@ impl Adal {
     /// the write is retried through transient faults, verified against
     /// torn writes, and — when the backend is down — acknowledged into
     /// the redo journal for later draining.
-    pub fn put(&self, cred: &Credential, path: &str, data: Bytes) -> Result<(), AdalError> {
+    pub fn put(
+        &self,
+        cred: &Credential,
+        path: &str,
+        data: impl Into<Payload>,
+    ) -> Result<(), AdalError> {
         let trace = self.trace_root(names::ADAL_PUT_SPAN, path);
-        self.put_with_trace(trace, cred, path, data)
+        self.put_with_trace(trace, cred, path, data.into())
     }
 
     /// [`Adal::put`] attached to a live parent trace (e.g. a pool task
@@ -639,7 +663,7 @@ impl Adal {
         parent: &TraceCtx,
         cred: &Credential,
         path: &str,
-        data: Bytes,
+        data: impl Into<Payload>,
     ) -> Result<(), AdalError> {
         let trace = if parent.is_enabled() {
             let t = parent.child(names::ADAL_PUT_SPAN);
@@ -648,7 +672,7 @@ impl Adal {
         } else {
             self.trace_root(names::ADAL_PUT_SPAN, path)
         };
-        self.put_with_trace(trace, cred, path, data)
+        self.put_with_trace(trace, cred, path, data.into())
     }
 
     fn put_with_trace(
@@ -656,7 +680,7 @@ impl Adal {
         trace: TraceCtx,
         cred: &Credential,
         path: &str,
-        data: Bytes,
+        data: Payload,
     ) -> Result<(), AdalError> {
         let span = self.obs.span(&self.ops.put_latency);
         let (mount, parsed) = self.resolve(cred, path, Access::Write)?;
@@ -679,6 +703,109 @@ impl Adal {
         self.project_op_latency(&parsed.project, dt);
         trace.finish();
         Ok(())
+    }
+
+    /// Stages a put for a later batched commit: resolution, admission
+    /// of resilient writes, and block placement happen now (safely in a
+    /// pool worker); the metadata commit that serialises on shared
+    /// state is deferred to [`Adal::commit_staged`]. A write staged
+    /// here is **not** acknowledgeable until its commit returns Ok.
+    pub fn put_stage_traced(
+        &self,
+        parent: &TraceCtx,
+        cred: &Credential,
+        path: &str,
+        data: impl Into<Payload>,
+    ) -> Result<PendingPut, AdalError> {
+        let trace = if parent.is_enabled() {
+            let t = parent.child(names::ADAL_PUT_SPAN);
+            t.add_field("path", path);
+            t
+        } else {
+            self.trace_root(names::ADAL_PUT_SPAN, path)
+        };
+        let span = self.obs.span(&self.ops.put_latency);
+        let (mount, parsed) = self.resolve(cred, path, Access::Write)?;
+        let data = data.into();
+        let len = data.len() as u64;
+        let staged = match &mount.resilience {
+            // The resilient path commits (or journals) eagerly: its
+            // fan-out, retries, and journaling are self-contained and
+            // its ack point is unchanged.
+            Some(st) => {
+                self.resilient_put(
+                    &trace,
+                    st,
+                    &mount.backend,
+                    &parsed.project,
+                    &parsed.key,
+                    data,
+                )?;
+                None
+            }
+            None => Some(mount.backend.stage_put_traced(&trace, &parsed.key, data)?),
+        };
+        trace.finish();
+        Ok(PendingPut {
+            backend: mount.backend.clone(),
+            staged,
+            project: parsed.project,
+            kind: mount.backend.kind(),
+            len,
+            span,
+        })
+    }
+
+    /// Commits a batch of staged puts, grouping them per backend so a
+    /// whole N-file batch pays one namenode lock and one WAL group
+    /// commit. Results are in batch order; per-put success metrics and
+    /// spans are finalized here, serially, in batch order.
+    pub fn commit_staged(&self, pending: Vec<PendingPut>) -> Vec<Result<(), AdalError>> {
+        let mut outcomes: Vec<Option<Result<(), BackendError>>> =
+            pending.iter().map(|_| None).collect();
+        let mut finalize = Vec::with_capacity(pending.len());
+        // Group deferred commits by backend instance, preserving order.
+        type CommitGroup = (Arc<dyn StorageBackend>, Vec<usize>, Vec<StagedPut>);
+        let mut groups: Vec<CommitGroup> = Vec::new();
+        for (i, p) in pending.into_iter().enumerate() {
+            match p.staged {
+                None => outcomes[i] = Some(Ok(())),
+                Some(s) => {
+                    if let Some((_, idxs, batch)) = groups
+                        .iter_mut()
+                        .find(|(b, _, _)| Arc::ptr_eq(b, &p.backend))
+                    {
+                        idxs.push(i);
+                        batch.push(s);
+                    } else {
+                        groups.push((p.backend.clone(), vec![i], vec![s]));
+                    }
+                }
+            }
+            finalize.push((p.project, p.kind, p.len, p.span));
+        }
+        for (backend, idxs, batch) in groups {
+            for (i, r) in idxs.into_iter().zip(backend.commit_staged_traced(batch)) {
+                outcomes[i] = Some(r);
+            }
+        }
+        outcomes
+            .into_iter()
+            .zip(finalize)
+            .map(|(outcome, (project, kind, len, span))| {
+                match outcome.unwrap_or(Ok(())) {
+                    Ok(()) => {
+                        self.ops.puts.inc();
+                        self.ops.put_bytes.record(len);
+                        self.project_op(&project, kind, "put");
+                        let dt = span.finish();
+                        self.project_op_latency(&project, dt);
+                        Ok(())
+                    }
+                    Err(e) => Err(AdalError::Backend(e)),
+                }
+            })
+            .collect()
     }
 
     /// Fetches an object. On a resilient mount, journaled writes are
@@ -724,7 +851,8 @@ impl Adal {
                 &parsed.key,
             )?,
             None => mount.backend.get_traced(&trace, &parsed.key)?,
-        };
+        }
+        .into_bytes();
         self.ops.gets.inc();
         self.ops.get_bytes.record(data.len() as u64);
         self.project_op(&parsed.project, mount.backend.kind(), "get");
@@ -814,7 +942,7 @@ impl Adal {
         backend: &Arc<dyn StorageBackend>,
         project: &str,
         key: &str,
-        data: Bytes,
+        data: Payload,
     ) -> Result<(), BackendError> {
         // Write-once applies to acknowledged-but-unlanded writes too.
         if st.journal.lookup(key).is_some() {
@@ -823,13 +951,9 @@ impl Adal {
         if !st.acquire(&self.obs, ctx, project) {
             return self.journal_put(ctx, st, project, key, data);
         }
-        // Hash once per payload; retries and verification reuse the
-        // digest (it is only consulted when verify_writes is on).
-        let digest = if st.verify_writes {
-            sha256(&data)
-        } else {
-            Digest([0; 32])
-        };
+        // No hashing here: read-back verification compares payload
+        // content directly, and the catalog/object-store digest is
+        // memoized on the shared handle.
         // Both legs' child spans are reserved here, serially and in a
         // fixed order, BEFORE any parallel hand-off: the trace tree is
         // therefore identical at every worker count.
@@ -840,18 +964,20 @@ impl Adal {
             TraceCtx::disabled()
         };
         let primary = match (&st.replica, self.pool.is_parallel()) {
-            // Parallel fan-out: the replica copy streams concurrently
-            // with the primary's verified write.
+            // Parallel fan-out: the replica leg shares the payload
+            // handle (refcount bump, shared digest cell) and streams
+            // concurrently with the primary's verified write.
             (Some(rep), true) => {
                 let (primary, replica) = self.pool.join(
                     || {
                         let out = st.with_retries(&self.obs, &primary_ctx, project, |actx| {
-                            st.put_verified(actx, backend, key, &data, &digest)
+                            st.put_verified(actx, backend, key, &data)
                         });
                         primary_ctx.finish();
                         out
                     },
                     || {
+                        // lint: allow(payload_copy) -- Payload handle clone: refcount bump
                         let out = rep.put(key, data.clone());
                         replica_ctx.finish();
                         out
@@ -874,7 +1000,7 @@ impl Adal {
             }
             _ => {
                 let out = st.with_retries(&self.obs, &primary_ctx, project, |actx| {
-                    st.put_verified(actx, backend, key, &data, &digest)
+                    st.put_verified(actx, backend, key, &data)
                 });
                 primary_ctx.finish();
                 if out.is_ok() {
@@ -904,7 +1030,7 @@ impl Adal {
         st: &ResilientState,
         project: &str,
         key: &str,
-        data: Bytes,
+        data: Payload,
     ) -> Result<(), BackendError> {
         // The primary cannot be asked whether the key exists, but the
         // replica holds a copy of every landed write: honour write-once
@@ -940,7 +1066,7 @@ impl Adal {
         backend: &Arc<dyn StorageBackend>,
         project: &str,
         key: &str,
-    ) -> Result<Bytes, BackendError> {
+    ) -> Result<Payload, BackendError> {
         // Read-your-writes for journaled, acknowledged writes.
         if let Some(data) = st.journal.lookup(key) {
             return Ok(data);
@@ -1089,11 +1215,11 @@ impl Adal {
                 break;
             }
             let Some((key, data)) = st.journal.pop() else { break };
-            // One hash per journal entry, shared by the landing attempt,
-            // the conflict comparison, and the repair re-put.
-            let digest = sha256(&data);
+            // Zero hashes per journal entry: the landing attempt, the
+            // conflict comparison, and the repair re-put all compare
+            // payload content directly.
             match st.with_retries(&self.obs, ctx, project, |actx| {
-                st.put_verified(actx, backend, &key, &data, &digest)
+                st.put_verified(actx, backend, &key, &data)
             }) {
                 Ok(()) => {
                     drained += 1;
@@ -1109,7 +1235,7 @@ impl Adal {
                     // primary (covers torn residue left by a failed
                     // verify cleanup).
                     match backend.get_traced(ctx, &key) {
-                        Ok(existing) if sha256(&existing) == digest => {
+                        Ok(existing) if existing.content_eq(&data) => {
                             drained += 1;
                             st.metrics.journal_drained.inc();
                         }
@@ -1121,7 +1247,7 @@ impl Adal {
                             );
                             let _ = backend.delete_traced(ctx, &key);
                             match st.with_retries(&self.obs, ctx, project, |actx| {
-                                st.put_verified(actx, backend, &key, &data, &digest)
+                                st.put_verified(actx, backend, &key, &data)
                             }) {
                                 Ok(()) => {
                                     drained += 1;
@@ -1532,18 +1658,21 @@ mod tests {
         fn kind(&self) -> &'static str {
             "scripted"
         }
-        fn put(&self, key: &str, data: Bytes) -> Result<(), BackendError> {
+        fn put(&self, key: &str, data: Payload) -> Result<(), BackendError> {
             if self.trip(&self.fail_budget) {
                 return Err(BackendError::TransientIo(format!("scripted put '{key}'")));
             }
             if self.trip(&self.tear_budget) {
+                // Torn write: mutate a private copy — the shared buffer
+                // is immutable — and store it as a fresh payload with a
+                // fresh digest cell.
                 let mut torn = data.to_vec();
                 torn[0] ^= 0xff;
-                return self.inner.put(key, Bytes::from(torn));
+                return self.inner.put(key, Payload::from(torn));
             }
             self.inner.put(key, data)
         }
-        fn get(&self, key: &str) -> Result<Bytes, BackendError> {
+        fn get(&self, key: &str) -> Result<Payload, BackendError> {
             if self.trip(&self.fail_budget) {
                 return Err(BackendError::TransientIo(format!("scripted get '{key}'")));
             }

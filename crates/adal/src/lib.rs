@@ -27,9 +27,10 @@ mod resilience;
 
 pub use auth::{Access, Acl, AuthError, AuthProvider, Credential, Principal, TokenAuth};
 pub use backend::{
-    BackendError, DfsBackend, EntryMeta, HsmBackend, ObjectStoreBackend, StorageBackend,
+    BackendError, DfsBackend, EntryMeta, HsmBackend, ObjectStoreBackend, StagedPut,
+    StorageBackend,
 };
-pub use layer::{Adal, AdalBuilder, AdalCounters, AdalError, OpKind, RequestClass};
+pub use layer::{Adal, AdalBuilder, AdalCounters, AdalError, OpKind, PendingPut, RequestClass};
 pub use path::{LsdfPath, PathError};
 pub use resilience::{
     BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, HealthReport,

@@ -12,7 +12,7 @@
 
 use std::collections::VecDeque;
 
-use bytes::Bytes;
+use lsdf_storage::Payload;
 use lsdf_sync::{ranks, OrderedMutex};
 
 use lsdf_sim::SimRng;
@@ -300,7 +300,7 @@ impl CircuitBreaker {
 }
 
 struct JournalInner {
-    entries: VecDeque<(String, Bytes)>,
+    entries: VecDeque<(String, Payload)>,
     bytes: u64,
 }
 
@@ -334,7 +334,7 @@ impl RedoJournal {
 
     /// Queues a write. `false` means the journal is full (the write must
     /// NOT be acknowledged) or the key is already queued.
-    pub fn push(&self, key: &str, data: Bytes) -> bool {
+    pub fn push(&self, key: &str, data: Payload) -> bool {
         let mut inner = self.journal.lock();
         if inner.entries.len() >= self.cap_entries
             || inner.bytes.saturating_add(data.len() as u64) > self.cap_bytes
@@ -348,7 +348,7 @@ impl RedoJournal {
     }
 
     /// The queued payload for `key`, if any (read-your-writes).
-    pub fn lookup(&self, key: &str) -> Option<Bytes> {
+    pub fn lookup(&self, key: &str) -> Option<Payload> {
         self.journal
             .lock()
             .entries
@@ -359,7 +359,7 @@ impl RedoJournal {
     }
 
     /// Removes a queued write for `key` (a delete overtaking the redo).
-    pub fn remove(&self, key: &str) -> Option<Bytes> {
+    pub fn remove(&self, key: &str) -> Option<Payload> {
         let mut inner = self.journal.lock();
         let pos = inner.entries.iter().position(|(k, _)| k == key)?;
         let (_, data) = inner.entries.remove(pos)?;
@@ -368,7 +368,7 @@ impl RedoJournal {
     }
 
     /// Pops the oldest queued write for draining.
-    pub fn pop(&self) -> Option<(String, Bytes)> {
+    pub fn pop(&self) -> Option<(String, Payload)> {
         let mut inner = self.journal.lock();
         let (key, data) = inner.entries.pop_front()?;
         inner.bytes -= data.len() as u64;
@@ -376,7 +376,7 @@ impl RedoJournal {
     }
 
     /// Puts a popped entry back at the front (drain hit a failure).
-    pub fn requeue_front(&self, key: String, data: Bytes) {
+    pub fn requeue_front(&self, key: String, data: Payload) {
         let mut inner = self.journal.lock();
         inner.bytes += data.len() as u64;
         inner.entries.push_front((key, data));
@@ -464,6 +464,10 @@ pub struct HealthReport {
 mod tests {
     use super::*;
 
+    fn pay(b: &'static [u8]) -> Payload {
+        Payload::new(bytes::Bytes::from_static(b))
+    }
+
     #[test]
     fn backoff_doubles_until_capped() {
         let p = RetryPolicy::new(6, 100, 1_000, 0);
@@ -541,14 +545,14 @@ mod tests {
     #[test]
     fn journal_bounds_and_read_your_writes() {
         let j = RedoJournal::new(2, 100);
-        assert!(j.push("a", Bytes::from_static(b"xx")));
-        assert!(!j.push("a", Bytes::from_static(b"yy")), "duplicate key");
-        assert!(j.push("b", Bytes::from_static(b"zz")));
-        assert!(!j.push("c", Bytes::from_static(b"ww")), "entry bound");
-        assert_eq!(j.lookup("a").unwrap(), Bytes::from_static(b"xx"));
+        assert!(j.push("a", pay(b"xx")));
+        assert!(!j.push("a", pay(b"yy")), "duplicate key");
+        assert!(j.push("b", pay(b"zz")));
+        assert!(!j.push("c", pay(b"ww")), "entry bound");
+        assert_eq!(j.lookup("a").unwrap(), pay(b"xx"));
         assert_eq!(j.depth(), 2);
         assert_eq!(j.bytes(), 4);
-        assert_eq!(j.remove("a").unwrap(), Bytes::from_static(b"xx"));
+        assert_eq!(j.remove("a").unwrap(), pay(b"xx"));
         assert_eq!(j.depth(), 1);
         let (k, d) = j.pop().unwrap();
         assert_eq!(k, "b");
@@ -560,8 +564,8 @@ mod tests {
     #[test]
     fn journal_byte_bound_enforced() {
         let j = RedoJournal::new(100, 3);
-        assert!(j.push("a", Bytes::from_static(b"ab")));
-        assert!(!j.push("b", Bytes::from_static(b"cd")), "byte bound");
-        assert!(j.push("c", Bytes::from_static(b"e")));
+        assert!(j.push("a", pay(b"ab")));
+        assert!(!j.push("b", pay(b"cd")), "byte bound");
+        assert!(j.push("c", pay(b"e")));
     }
 }

@@ -50,7 +50,9 @@ use lsdf_obs::{names, TraceConfig};
 use lsdf_sim::Simulation;
 use lsdf_workloads::microscopy::HtmGenerator;
 
-const E1_WORKER_COUNTS: [usize; 2] = [1, 4];
+// Serial first: the committed file's first ops_per_s entry is the
+// smoke check's serial floor.
+const E1_WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn workspace_root() -> PathBuf {
     // crates/bench -> crates -> workspace root.
@@ -180,6 +182,25 @@ fn e1_json(mode: &str, runs: &[E1Run]) -> String {
         ));
     }
     out.push_str("  ],\n");
+    // Per-worker-count scaling curve (unlimited, no WAL), speedup vs
+    // the serial row: the zero-copy batched path's headline artifact.
+    out.push_str("  \"scaling\": {");
+    let mut first = true;
+    for r in runs
+        .iter()
+        .filter(|r| r.admission == "unlimited" && r.durability == "off")
+    {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!(
+            "\"{}\": {:.3}",
+            r.workers,
+            r.ops_per_s / serial.ops_per_s.max(1e-9)
+        ));
+    }
+    out.push_str("},\n");
     out.push_str(&format!(
         "  \"speedup_4w\": {},\n",
         speedup.map_or("null".to_string(), |s| format!("{s:.3}"))
@@ -555,9 +576,14 @@ fn check_against_baseline(root: &Path) -> Result<(), String> {
     let base_serial = *base_ops
         .first()
         .ok_or("baseline has no ops_per_s entries")?;
-    let current = e1_run(1, 10, 64, None, false);
+    // Best of three: the gate is about regressions in the code, not
+    // scheduler noise on a busy single-core runner.
+    let current = (0..3)
+        .map(|_| e1_run(1, 10, 64, None, false))
+        .max_by(|a, b| a.ops_per_s.total_cmp(&b.ops_per_s))
+        .ok_or("no measurement")?;
     println!(
-        "bench-smoke: serial ingest {:.1} ops/s vs committed {:.1} ops/s",
+        "bench-smoke: serial ingest {:.1} ops/s (best of 3) vs committed {:.1} ops/s",
         current.ops_per_s, base_serial
     );
     if current.ops_per_s < base_serial / 2.0 {
@@ -565,6 +591,29 @@ fn check_against_baseline(root: &Path) -> Result<(), String> {
             "ingest throughput regressed more than 2x: {:.1} ops/s < {:.1}/2 ops/s",
             current.ops_per_s, base_serial
         ));
+    }
+    // The zero-copy batched path must actually scale where the host
+    // can express it: on >= 4 cores, 4 workers must beat serial by 2x.
+    // A 1-core host cannot run this gate honestly (workers > 1 cannot
+    // beat serial there), so it stays on the serial-floor check alone.
+    let cores = detected_cores();
+    if cores >= 4 {
+        let parallel = (0..3)
+            .map(|_| e1_run(4, 10, 64, None, false))
+            .max_by(|a, b| a.ops_per_s.total_cmp(&b.ops_per_s))
+            .ok_or("no measurement")?;
+        let speedup = parallel.ops_per_s / current.ops_per_s.max(1e-9);
+        println!(
+            "bench-smoke: 4-worker ingest {:.1} ops/s, speedup {:.2}x on {} cores",
+            parallel.ops_per_s, speedup, cores
+        );
+        if speedup < 2.0 {
+            return Err(format!(
+                "4 workers only {speedup:.2}x serial on a {cores}-core host (need >= 2x)"
+            ));
+        }
+    } else {
+        println!("bench-smoke: {cores} core(s) detected, skipping the 4-worker scaling gate");
     }
     Ok(())
 }

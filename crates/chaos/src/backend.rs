@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
+use lsdf_storage::Payload;
 use parking_lot::Mutex;
 
 use lsdf_adal::{BackendError, EntryMeta, StorageBackend};
@@ -157,8 +157,12 @@ impl FaultyBackend {
         }
     }
 
-    /// Flips one payload byte (torn write).
-    fn tear(&self, data: Bytes) -> Bytes {
+    /// Flips one payload byte (torn write). The shared buffer is
+    /// immutable, so the flip happens on a private copy returned as a
+    /// *fresh* payload: its new digest cell cannot inherit the
+    /// original's memoized digest, which is exactly what lets read-back
+    /// verification catch the tear.
+    fn tear(&self, data: Payload) -> Payload {
         if data.is_empty() {
             return data;
         }
@@ -169,7 +173,7 @@ impl FaultyBackend {
         self.obs.torn_writes.inc();
         let mut torn = data.to_vec();
         torn[idx] ^= 0x01;
-        Bytes::from(torn)
+        Payload::from(torn)
     }
 }
 
@@ -178,14 +182,14 @@ impl StorageBackend for FaultyBackend {
         self.inner.kind()
     }
 
-    fn put(&self, key: &str, data: Bytes) -> Result<(), BackendError> {
+    fn put(&self, key: &str, data: Payload) -> Result<(), BackendError> {
         let d = self.next_decision(true);
         self.gate(&d, "put", key)?;
         let payload = if d.torn { self.tear(data) } else { data };
         self.inner.put(key, payload)
     }
 
-    fn get(&self, key: &str) -> Result<Bytes, BackendError> {
+    fn get(&self, key: &str) -> Result<Payload, BackendError> {
         let d = self.next_decision(false);
         self.gate(&d, "get", key)?;
         self.inner.get(key)
@@ -209,7 +213,7 @@ impl StorageBackend for FaultyBackend {
         self.inner.list(prefix)
     }
 
-    fn put_traced(&self, ctx: &TraceCtx, key: &str, data: Bytes) -> Result<(), BackendError> {
+    fn put_traced(&self, ctx: &TraceCtx, key: &str, data: Payload) -> Result<(), BackendError> {
         let d = self.next_decision(true);
         self.trace_decision(ctx, &d);
         self.gate(&d, "put", key)?;
@@ -229,7 +233,7 @@ impl StorageBackend for FaultyBackend {
         self.inner.put_traced(ctx, key, payload)
     }
 
-    fn get_traced(&self, ctx: &TraceCtx, key: &str) -> Result<Bytes, BackendError> {
+    fn get_traced(&self, ctx: &TraceCtx, key: &str) -> Result<Payload, BackendError> {
         let d = self.next_decision(false);
         self.trace_decision(ctx, &d);
         self.gate(&d, "get", key)?;
@@ -271,8 +275,8 @@ mod tests {
         ))))
     }
 
-    fn b(s: &str) -> Bytes {
-        Bytes::copy_from_slice(s.as_bytes())
+    fn b(s: &str) -> Payload {
+        Payload::from(s.as_bytes().to_vec())
     }
 
     #[test]
@@ -343,6 +347,31 @@ mod tests {
             ),
             1
         );
+    }
+
+    #[test]
+    fn torn_write_mutates_a_private_copy_never_the_shared_buffer() {
+        // The zero-copy invariant under chaos: the caller's Payload
+        // handle is shared with replicas and the catalog, so a torn
+        // write must corrupt its own copy — the shared buffer and its
+        // memoized digest cell stay pristine.
+        let reg = Registry::new();
+        let inner = store("d");
+        let plan = FaultPlan::quiet(5).torn_writes(1.0);
+        let fb = FaultyBackend::new("disk", inner.clone(), plan, &reg);
+        let original = b("payload");
+        let caller_handle = original.clone(); // e.g. the replica's handle
+        let digest_before = caller_handle.digest();
+        fb.put("k", original).unwrap();
+        assert_eq!(caller_handle, b("payload"), "shared buffer was mutated");
+        assert_eq!(
+            caller_handle.digest(),
+            digest_before,
+            "memoized digest cell poisoned by the torn copy"
+        );
+        let stored = inner.get("k").unwrap();
+        assert_ne!(stored, caller_handle);
+        assert_ne!(stored.digest(), digest_before, "tear got its own digest cell");
     }
 
     #[test]

@@ -11,14 +11,15 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 
-use lsdf_adal::Credential;
-use lsdf_metadata::{DatasetId, Document, NewDataset};
-use lsdf_obs::{Counter, Histogram, Registry, TraceCtx};
-use lsdf_storage::sha256;
+use lsdf_adal::{Credential, PendingPut};
+use lsdf_metadata::{DatasetId, Document, NewDataset, ProjectStore};
+use lsdf_obs::{Counter, Histogram, Registry, Span, TraceCtx};
+use lsdf_storage::Payload;
 
 use crate::error::FacilityError;
 use crate::facility::Facility;
 use lsdf_obs::names;
+use std::sync::Arc;
 
 /// Per-project ingest metric handles, resolved once at facility build.
 pub(crate) struct ProjectIngestObs {
@@ -129,6 +130,25 @@ impl Default for IngestPolicy {
     }
 }
 
+/// One batch item staged through the ADAL, plus everything needed to
+/// finalize it (catalog entry, metrics, latency span) once the batched
+/// commit lands.
+struct StagedIngest {
+    pending: PendingPut,
+    fin: IngestFinalize,
+}
+
+struct IngestFinalize {
+    store: Arc<ProjectStore>,
+    project: String,
+    key: String,
+    location: String,
+    size: u64,
+    checksum_hex: String,
+    doc: Option<Document>,
+    span: Span,
+}
+
 impl Facility {
     /// Ingests one item: checksums the payload, stores it through the
     /// ADAL, and registers the dataset in the project's metadata store.
@@ -201,10 +221,13 @@ impl Facility {
                 None
             }
         };
-        let digest = sha256(&item.data);
+        // One SHA-256 per acked payload: the memoized digest travels
+        // with the handle, so the object store / replica reuse it.
+        let data: Payload = item.data.into();
+        let digest = data.digest();
         let location = format!("lsdf://{}/{}", item.project, item.key);
-        let size = item.data.len() as u64;
-        if let Err(e) = self.adal().put_traced(ctx, cred, &location, item.data) {
+        let size = data.len() as u64;
+        if let Err(e) = self.adal().put_traced(ctx, cred, &location, data) {
             outcome(Outcome::Rejected);
             return Err(e.into());
         }
@@ -228,6 +251,142 @@ impl Facility {
         };
         span.finish();
         result
+    }
+
+    /// Stages one batch item: metadata validation, the single payload
+    /// hash, and ADAL staging (placement / resilient fan-out) happen
+    /// here, safely inside a pool worker; the metadata commit and
+    /// catalog insert wait for [`Facility::ingest_finalize`]. Failure
+    /// metrics are recorded exactly as on the eager path.
+    fn ingest_stage_traced(
+        &self,
+        ctx: &TraceCtx,
+        cred: &Credential,
+        item: IngestItem,
+        policy: IngestPolicy,
+    ) -> Result<StagedIngest, FacilityError> {
+        let store = self.store(&item.project)?.clone();
+        let pm = self
+            .ingest_obs()
+            .project(&item.project)
+            .ok_or_else(|| FacilityError::UnknownProject(item.project.clone()))?;
+        let span = self.obs().span(&self.ingest_obs().latency);
+        let doc = match &item.metadata {
+            Some(doc) => match store.schema().validate(doc) {
+                Ok(()) => Some(doc.clone()),
+                Err(e) => {
+                    if policy.enforce_metadata {
+                        pm.outcome(Outcome::Rejected).inc();
+                        return Err(FacilityError::MetadataRequired {
+                            key: item.key,
+                            reason: e.to_string(),
+                        });
+                    }
+                    None
+                }
+            },
+            None => {
+                if policy.enforce_metadata {
+                    pm.outcome(Outcome::Rejected).inc();
+                    return Err(FacilityError::MetadataRequired {
+                        key: item.key,
+                        reason: "no metadata supplied".to_string(),
+                    });
+                }
+                None
+            }
+        };
+        // The one hash per acked payload, memoized on the shared handle.
+        let data: Payload = item.data.into();
+        let digest = data.digest();
+        let location = format!("lsdf://{}/{}", item.project, item.key);
+        let size = data.len() as u64;
+        let pending = match self.adal().put_stage_traced(ctx, cred, &location, data) {
+            Ok(p) => p,
+            Err(e) => {
+                pm.outcome(Outcome::Rejected).inc();
+                return Err(e.into());
+            }
+        };
+        Ok(StagedIngest {
+            pending,
+            fin: IngestFinalize {
+                store,
+                project: item.project,
+                key: item.key,
+                location,
+                size,
+                checksum_hex: digest.to_hex(),
+                doc,
+                span,
+            },
+        })
+    }
+
+    /// Commits a batch of staged items — one ADAL batched commit (one
+    /// namenode lock, one WAL group commit for a DFS mount) — then
+    /// finalizes catalog entries and metrics serially in submission
+    /// order. An item is acked (counted in the report) only after its
+    /// commit returned Ok.
+    fn ingest_finalize(
+        &self,
+        staged: Vec<Result<StagedIngest, FacilityError>>,
+    ) -> Vec<(Outcome, u64)> {
+        let mut fins: Vec<Result<IngestFinalize, ()>> = Vec::with_capacity(staged.len());
+        let mut pendings = Vec::new();
+        for r in staged {
+            match r {
+                Ok(s) => {
+                    pendings.push(s.pending);
+                    fins.push(Ok(s.fin));
+                }
+                Err(_) => fins.push(Err(())),
+            }
+        }
+        let mut commits = self.adal().commit_staged(pendings).into_iter();
+        fins.into_iter()
+            .map(|f| {
+                let Ok(fin) = f else {
+                    return (Outcome::Rejected, 0);
+                };
+                let committed = matches!(commits.next(), Some(Ok(())));
+                let pm = self.ingest_obs().project(&fin.project);
+                if !committed {
+                    if let Some(pm) = pm {
+                        pm.outcome(Outcome::Rejected).inc();
+                    }
+                    return (Outcome::Rejected, 0);
+                }
+                if let Some(pm) = pm {
+                    pm.bytes.record(fin.size);
+                }
+                let out = match fin.doc {
+                    Some(basic) => {
+                        if let Some(pm) = pm {
+                            pm.outcome(Outcome::Registered).inc();
+                        }
+                        match fin.store.insert(NewDataset {
+                            name: fin.key,
+                            location: fin.location,
+                            size_bytes: fin.size,
+                            checksum_hex: fin.checksum_hex,
+                            basic,
+                        }) {
+                            Ok(_) => (Outcome::Registered, fin.size),
+                            Err(_) => (Outcome::Rejected, 0),
+                        }
+                    }
+                    None => {
+                        if let Some(pm) = pm {
+                            pm.outcome(Outcome::StoredUnregistered).inc();
+                        }
+                        (Outcome::StoredUnregistered, fin.size)
+                    }
+                };
+                fin.span.finish();
+                out
+            })
+            .collect()
     }
 
     /// Ingests a batch, tallying outcomes instead of failing fast.
@@ -275,7 +434,10 @@ impl Facility {
                 }
             })
             .collect();
-        let outcomes = self
+        // Workers stage items (validation, hashing, block placement);
+        // the metadata commits that serialise on shared state happen
+        // below, batched, after the fan-out.
+        let staged = self
             .pool()
             .run_traced(&trace, admitted, |_, (item, wait_ns), ctx| {
                 if wait_ns > 0 && ctx.is_enabled() {
@@ -283,13 +445,9 @@ impl Facility {
                     span.add_field("wait_ns", &wait_ns.to_string());
                     span.finish_at(self.obs().now_ns() + wait_ns);
                 }
-                let size = item.data.len() as u64;
-                match self.ingest_traced(ctx, cred, item, policy) {
-                    Ok(Some(_)) => (Outcome::Registered, size),
-                    Ok(None) => (Outcome::StoredUnregistered, size),
-                    Err(_) => (Outcome::Rejected, 0),
-                }
+                self.ingest_stage_traced(ctx, cred, item, policy)
             });
+        let outcomes = self.ingest_finalize(staged);
         trace.finish();
         let mut report = IngestReport {
             shed,

@@ -8,6 +8,7 @@ use bytes::Bytes;
 
 use lsdf_adal::{Credential, HealthReport, OpKind, RequestClass};
 use lsdf_admission::{Lane, ProjectUsage, Ticket};
+use lsdf_storage::Payload;
 
 use crate::error::FacilityError;
 use crate::facility::Facility;
@@ -55,7 +56,8 @@ impl<'a> ProjectSession<'a> {
     /// the admission [`Ticket`] (simulated wait + queue depth); a shed
     /// request surfaces as [`FacilityError::Admission`] with
     /// `retry_after_ns`, before any byte reaches storage.
-    pub fn put(&self, key: &str, data: Bytes) -> Result<Ticket, FacilityError> {
+    pub fn put(&self, key: &str, data: impl Into<Payload>) -> Result<Ticket, FacilityError> {
+        let data = data.into();
         let class = self.facility.adal().classify(OpKind::Put, &self.project);
         let ticket =
             self.facility

@@ -25,5 +25,5 @@ pub use cluster::{ClusterTopology, DfsNodeId, Locality, RackId};
 pub use datanode::{BlockId, DataNode, DataNodeError};
 pub use namenode::{
     Dfs, DfsConfig, DfsError, DfsRecoveryStats, FileMeta, LocalityStats, LocatedBlock,
-    PlacementPolicy,
+    PlacementPolicy, StagedFile,
 };

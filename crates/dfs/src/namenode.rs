@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use lsdf_obs::{Counter, Gauge, Histogram, Registry, TraceCtx};
+use lsdf_obs::{Counter, Gauge, Histogram, Registry, Span, TraceCtx};
 use lsdf_sync::{ranks, OrderedMutex, OrderedRwLock};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -22,7 +22,7 @@ use crate::shard::ShardedMap;
 use crate::wal::{BlockEntry, DfsSnapshot, DfsWalRecord};
 use lsdf_durability::ComponentDurability;
 use lsdf_obs::names;
-use lsdf_storage::sha256;
+use lsdf_storage::{sha256, Payload};
 
 /// Shard count for the namenode block map. Dense block ids stripe over
 /// the shards by their low bits, so 16 shards give 16-way write
@@ -112,6 +112,27 @@ pub struct LocatedBlock {
     pub offset: u64,
     /// Nodes holding replicas.
     pub replicas: Vec<DfsNodeId>,
+}
+
+/// A file staged on the datanodes but not yet committed: its blocks
+/// are placed and registered in the block map, while the namespace
+/// entry and WAL record wait for [`Dfs::commit_files_batch`]. Produced
+/// by [`Dfs::stage_write_traced`]; holds the write-latency span so the
+/// recorded latency covers stage + commit, like the single-file path.
+pub struct StagedFile {
+    path: String,
+    size: u64,
+    max_id: Option<u64>,
+    block_ids: Vec<BlockId>,
+    entries: Vec<BlockEntry>,
+    span: Span,
+}
+
+impl StagedFile {
+    /// The path this staged file will commit under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
 }
 
 /// File metadata.
@@ -324,6 +345,9 @@ impl Dfs {
 
     /// Writes a file (write-once). `writer` is the node issuing the write,
     /// if it is part of the cluster — the first replica lands there.
+    ///
+    /// Legacy `&[u8]` entry point: copies the slice into an owned
+    /// payload once. The zero-copy path is [`Dfs::write_payload_traced`].
     pub fn write(
         &self,
         path: &str,
@@ -343,6 +367,39 @@ impl Dfs {
         writer: Option<DfsNodeId>,
         ctx: &TraceCtx,
     ) -> Result<FileMeta, DfsError> {
+        self.write_payload_traced(path, &Payload::from(data), writer, ctx)
+    }
+
+    /// Zero-copy write: blocks are views into the shared payload buffer
+    /// (no per-chunk copy), and the namespace commit goes through
+    /// [`Dfs::commit_files_batch`] with a batch of one.
+    pub fn write_payload_traced(
+        &self,
+        path: &str,
+        data: &Payload,
+        writer: Option<DfsNodeId>,
+        ctx: &TraceCtx,
+    ) -> Result<FileMeta, DfsError> {
+        let staged = self.stage_write_traced(path, data, writer, ctx)?;
+        self.commit_files_batch(vec![staged])
+            .pop()
+            .unwrap_or(Err(DfsError::NoSpace))
+    }
+
+    /// Places a file's blocks on the datanodes without committing the
+    /// namespace entry: everything in a write except the `files` map
+    /// insert and the WAL record, which happen in
+    /// [`Dfs::commit_files_batch`] — one lock acquisition and one WAL
+    /// group commit for a whole batch of staged files.
+    ///
+    /// Block chunks are zero-copy views into `data`'s buffer.
+    pub fn stage_write_traced(
+        &self,
+        path: &str,
+        data: &Payload,
+        writer: Option<DfsNodeId>,
+        ctx: &TraceCtx,
+    ) -> Result<StagedFile, DfsError> {
         let tspan = ctx.child(names::DFS_WRITE_SPAN);
         tspan.add_field("path", path);
         let span = self.obs.registry.span(&self.obs.write_latency);
@@ -352,12 +409,10 @@ impl Dfs {
         let mut block_ids = Vec::new();
         let mut entries: Vec<BlockEntry> = Vec::new();
         let mut max_id: Option<u64> = None;
-        let chunks: Vec<&[u8]> = if data.is_empty() {
-            Vec::new()
-        } else {
-            data.chunks(self.config.block_size as usize).collect()
-        };
-        for chunk in chunks {
+        let block_size = self.config.block_size as usize;
+        let mut start = 0usize;
+        while start < data.len() {
+            let end = usize::min(start + block_size, data.len());
             let id = BlockId(self.next_block.fetch_add(1, Ordering::Relaxed));
             max_id = Some(id.0);
             let targets = self.choose_targets(writer, self.config.replication);
@@ -367,10 +422,13 @@ impl Dfs {
                 self.log_rolled_back_alloc(max_id);
                 return Err(DfsError::NoSpace);
             }
-            let payload = Bytes::copy_from_slice(chunk);
+            // A view into the shared payload buffer — refcount bump per
+            // replica, zero copies.
+            let chunk = data.slice_bytes(start..end);
             let mut placed = Vec::new();
             for t in targets {
-                match self.nodes[t.0 as usize].store_block(id, payload.clone()) {
+                // lint: allow(payload_copy) -- Bytes view clone: refcount bump
+                match self.nodes[t.0 as usize].store_block(id, chunk.clone()) {
                     Ok(()) => placed.push(t),
                     Err(DataNodeError::TransientIo(_)) => {
                         self.obs.flaky_failures.inc();
@@ -391,55 +449,99 @@ impl Dfs {
                 ],
             );
             if self.durability.is_some() {
-                entries.push((id, payload.len() as u64, placed.clone()));
+                entries.push((id, chunk.len() as u64, placed.clone()));
             }
             self.blocks.insert(
                 id,
                 BlockInfo {
-                    size: payload.len() as u64,
+                    size: chunk.len() as u64,
                     replicas: placed,
                 },
             );
             block_ids.push(id);
+            start = end;
         }
-        {
-            let mut files = self.files.write();
-            // Re-check under the write lock: a concurrent writer may have
-            // committed the same path since the optimistic check above.
-            if files.contains_key(path) {
-                drop(files);
-                self.drop_blocks(&block_ids);
-                self.log_rolled_back_alloc(max_id);
-                return Err(DfsError::FileExists(path.to_string()));
-            }
-            files.insert(
-                path.to_string(),
-                FileEntry {
-                    blocks: block_ids.clone(),
-                    size: data.len() as u64,
-                },
-            );
-            // Commit to the WAL under the namespace lock so log order
-            // agrees with namespace order for same-path commit/delete
-            // races; the write is only acked once the record is synced.
-            if let Some(d) = &self.durability {
-                let record = DfsWalRecord::FileCommit {
-                    path: path.to_string(),
-                    size: data.len() as u64,
-                    watermark: max_id.map_or(0, |m| m + 1),
-                    blocks: entries,
-                };
-                d.log(&record.encode());
-            }
-        }
-        self.obs.writes.inc();
-        self.obs.write_bytes.record(data.len() as u64);
-        span.finish();
-        Ok(FileMeta {
+        Ok(StagedFile {
             path: path.to_string(),
             size: data.len() as u64,
-            blocks: block_ids.len(),
+            max_id,
+            block_ids,
+            entries,
+            span,
         })
+    }
+
+    /// Commits a batch of staged files to the namespace under **one**
+    /// `files` write lock and **one** WAL group commit (N `FileCommit`
+    /// records, a single fsync charge) — the batched-namenode protocol
+    /// that lets N-file ingest batches pay per batch instead of per
+    /// file. Results are returned in batch order; a file whose path was
+    /// committed concurrently loses the re-check, gets its blocks rolled
+    /// back, and reports `FileExists` — exactly as on the single-file
+    /// path. Callers must only ack a write after this returns.
+    pub fn commit_files_batch(
+        &self,
+        staged: Vec<StagedFile>,
+    ) -> Vec<Result<FileMeta, DfsError>> {
+        let mut results = Vec::with_capacity(staged.len());
+        let mut wal: Vec<Vec<u8>> = Vec::new();
+        let mut rollbacks: Vec<(Vec<BlockId>, Option<u64>)> = Vec::new();
+        let mut committed: Vec<(u64, Span)> = Vec::new();
+        {
+            let mut files = self.files.write();
+            for sf in staged {
+                // Re-check under the write lock: a concurrent writer may
+                // have committed the same path since the optimistic
+                // check at stage time.
+                if files.contains_key(&sf.path) {
+                    rollbacks.push((sf.block_ids, sf.max_id));
+                    results.push(Err(DfsError::FileExists(sf.path)));
+                    continue;
+                }
+                files.insert(
+                    sf.path.clone(),
+                    FileEntry {
+                        // lint: allow(payload_copy) -- block-id list, not payload bytes
+                        blocks: sf.block_ids.clone(),
+                        size: sf.size,
+                    },
+                );
+                // Encode the WAL record under the namespace lock so log
+                // order agrees with namespace order for same-path
+                // commit/delete races; the batch is synced before any
+                // write in it is acked.
+                if self.durability.is_some() {
+                    wal.push(
+                        DfsWalRecord::FileCommit {
+                            path: sf.path.clone(),
+                            size: sf.size,
+                            watermark: sf.max_id.map_or(0, |m| m + 1),
+                            blocks: sf.entries,
+                        }
+                        .encode(),
+                    );
+                }
+                committed.push((sf.size, sf.span));
+                results.push(Ok(FileMeta {
+                    path: sf.path,
+                    size: sf.size,
+                    blocks: sf.block_ids.len(),
+                }));
+            }
+            if let Some(d) = &self.durability {
+                d.log_batch(&wal);
+            }
+        }
+        for (ids, max_id) in rollbacks {
+            self.drop_blocks(&ids);
+            self.log_rolled_back_alloc(max_id);
+        }
+        for (size, span) in committed {
+            self.obs.writes.inc();
+            self.obs.write_bytes.record(size);
+            span.finish();
+        }
+        results
     }
 
     /// Reads a whole file, choosing the closest live replica per block.
@@ -459,6 +561,15 @@ impl Dfs {
         tspan.add_field("path", path);
         let span = self.obs.registry.span(&self.obs.read_latency);
         let located = self.file_blocks(path)?;
+        if located.len() == 1 {
+            // Single-block fast path: hand back the datanode's buffer
+            // directly instead of copying it into a fresh Vec.
+            let data = self.read_block(&located[0], reader)?;
+            self.obs.reads.inc();
+            self.obs.read_bytes.record(data.len() as u64);
+            span.finish();
+            return Ok(data);
+        }
         let mut out = Vec::with_capacity(located.iter().map(|b| b.size as usize).sum());
         for lb in &located {
             let data = self.read_block(lb, reader)?;
@@ -619,6 +730,7 @@ impl Dfs {
             if let Some(d) = &self.durability {
                 let record = DfsWalRecord::Delete {
                     path: path.to_string(),
+                    // lint: allow(payload_copy) -- block-id list, not payload bytes
                     blocks: entry.blocks.clone(),
                 };
                 d.log(&record.encode());
@@ -733,6 +845,7 @@ impl Dfs {
                     .unwrap_or_default();
                 let mut placed = None;
                 while let Some(t) = self.pick_new_target(&exclude, data.len() as u64) {
+                    // lint: allow(payload_copy) -- Bytes handle clone: refcount bump
                     if self.nodes[t.0 as usize].store_block(id, data.clone()).is_ok() {
                         placed = Some(t);
                         break;
@@ -924,6 +1037,7 @@ impl Dfs {
             let guard = self.files.read();
             guard
                 .iter()
+                // lint: allow(payload_copy) -- block-id list, not payload bytes
                 .map(|(p, e)| (p.clone(), e.size, e.blocks.clone()))
                 .collect()
         };

@@ -101,6 +101,19 @@ impl ComponentDurability {
         self.since_ckpt.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Logs a batch of records through one group commit: a single lock
+    /// acquisition and a single fsync charge for the whole batch (see
+    /// [`DurableLog::append_commit_batch`]). Every record still counts
+    /// toward the checkpoint cadence.
+    pub fn log_batch(&self, payloads: &[Vec<u8>]) {
+        if payloads.is_empty() {
+            return;
+        }
+        self.log.append_commit_batch(payloads);
+        self.since_ckpt
+            .fetch_add(payloads.len() as u64, Ordering::Relaxed);
+    }
+
     /// True when enough records have accumulated since the last
     /// checkpoint for the reconciler to take a new one.
     pub fn should_checkpoint(&self) -> bool {

@@ -168,6 +168,33 @@ impl DurableLog {
         }
     }
 
+    /// Appends a batch of records under one lock acquisition and one
+    /// sync — the group commit the batched namenode path relies on: N
+    /// file commits share a single fsync charge instead of advancing
+    /// the per-record group counter N times. The whole batch is synced
+    /// before return, so every record in it may be acked. Batch
+    /// composition is deterministic in the caller, which keeps the
+    /// fsync accounting identical at any worker count.
+    pub fn append_commit_batch(&self, payloads: &[Vec<u8>]) {
+        if payloads.is_empty() {
+            return;
+        }
+        let frames: Vec<Vec<u8>> = payloads.iter().map(|p| Self::frame(p)).collect();
+        {
+            let seg = self.active.lock();
+            for frame in &frames {
+                seg.dev.append(frame);
+            }
+            seg.dev.sync();
+        }
+        for frame in &frames {
+            self.obs.appends.inc();
+            self.obs.append_bytes.record(frame.len() as u64);
+        }
+        self.obs.fsyncs.inc();
+        self.obs.fsync_latency.record(self.cfg.fsync_ns);
+    }
+
     /// Current segment epoch.
     pub fn active_epoch(&self) -> u64 {
         self.active.lock().epoch
@@ -352,5 +379,23 @@ mod tests {
         }
         assert_eq!(reg.counter_value(names::WAL_APPENDS_TOTAL, &[("log", "t")]), 10);
         assert_eq!(reg.counter_value(names::WAL_FSYNCS_TOTAL, &[("log", "t")]), 2);
+    }
+
+    #[test]
+    fn batch_append_shares_one_fsync_and_replays_in_order() {
+        let reg = registry();
+        let store = DurableStore::new();
+        let cfg = WalConfig { fsync_ns: 1_000, group_commit: 4 };
+        let log = DurableLog::open(store, "t", &reg, cfg);
+        let batch: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i]).collect();
+        log.append_commit_batch(&batch);
+        log.append_commit_batch(&[]);
+        assert_eq!(reg.counter_value(names::WAL_APPENDS_TOTAL, &[("log", "t")]), 10);
+        // One fsync for the whole batch (an empty batch charges none),
+        // vs. two on the per-record path above at group_commit = 4.
+        assert_eq!(reg.counter_value(names::WAL_FSYNCS_TOTAL, &[("log", "t")]), 1);
+        let r = log.replay_from(0);
+        assert_eq!(r.records, batch);
+        assert_eq!(r.torn_tails, 0);
     }
 }

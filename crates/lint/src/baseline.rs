@@ -1,8 +1,8 @@
 //! The debt baselines and their ratchet.
 //!
-//! `lint-baseline.json` records how many `no_panic` sites (L2) and raw
-//! `raw_locks` construction sites (L5) the workspace is currently
-//! allowed to contain. The ratchet is one-directional per counter: a
+//! `lint-baseline.json` records how many `no_panic` sites (L2), raw
+//! `raw_locks` construction sites (L5), and deep `payload_copy` sites
+//! (L6) the workspace is currently allowed to contain. The ratchet is one-directional per counter: a
 //! run fails when a live count exceeds its recorded baseline, and
 //! `--write-baseline` refuses to record a larger count than the file
 //! already holds. Debt can therefore only be paid down, never re-taken.
@@ -19,6 +19,8 @@ pub struct Baseline {
     /// Allowed raw `parking_lot` lock constructions outside
     /// `crates/sync/` (pre-`OrderedMutex` legacy and `Condvar` sites).
     pub raw_locks: usize,
+    /// Allowed deep payload copies in the data-path hot crates.
+    pub payload_copy: usize,
 }
 
 /// Outcome of comparing a live count against the baseline.
@@ -70,8 +72,8 @@ pub fn save(path: &Path, b: Baseline) -> io::Result<()> {
 /// Renders the canonical file body.
 pub fn render(b: Baseline) -> String {
     format!(
-        "{{\n  \"no_panic\": {},\n  \"raw_locks\": {}\n}}\n",
-        b.no_panic, b.raw_locks
+        "{{\n  \"no_panic\": {},\n  \"raw_locks\": {},\n  \"payload_copy\": {}\n}}\n",
+        b.no_panic, b.raw_locks, b.payload_copy
     )
 }
 
@@ -86,19 +88,23 @@ fn parse_count(txt: &str, key: &str) -> Option<usize> {
     digits.parse().ok()
 }
 
-/// Minimal parse of the flat `{"no_panic": N, "raw_locks": M}`
-/// document. Hand-rolled so the linter stays dependency-free. A file
-/// predating the `raw_locks` counter parses with that debt at 0 — the
-/// strictest reading, so the ratchet can only be loosened by an
-/// explicit `--write-baseline`.
+/// Minimal parse of the flat
+/// `{"no_panic": N, "raw_locks": M, "payload_copy": K}` document.
+/// Hand-rolled so the linter stays dependency-free. A file predating a
+/// counter parses with that debt at 0 — the strictest reading, so the
+/// ratchet can only be loosened by an explicit `--write-baseline`.
 pub fn parse(txt: &str) -> Option<Baseline> {
     let no_panic = parse_count(txt, "\"no_panic\"")?;
-    let raw_locks = if txt.contains("\"raw_locks\"") {
-        parse_count(txt, "\"raw_locks\"")?
-    } else {
-        0
+    let optional = |key: &str| {
+        if txt.contains(key) {
+            parse_count(txt, key)
+        } else {
+            Some(0)
+        }
     };
-    Some(Baseline { no_panic, raw_locks })
+    let raw_locks = optional("\"raw_locks\"")?;
+    let payload_copy = optional("\"payload_copy\"")?;
+    Some(Baseline { no_panic, raw_locks, payload_copy })
 }
 
 #[cfg(test)]
@@ -107,7 +113,7 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let b = Baseline { no_panic: 42, raw_locks: 7 };
+        let b = Baseline { no_panic: 42, raw_locks: 7, payload_copy: 3 };
         assert_eq!(parse(&render(b)), Some(b));
     }
 
@@ -128,10 +134,14 @@ mod tests {
     }
 
     #[test]
-    fn legacy_single_counter_file_parses_with_zero_raw_locks() {
+    fn legacy_files_parse_with_missing_counters_at_zero() {
         assert_eq!(
             parse("{\n  \"no_panic\": 12\n}\n"),
-            Some(Baseline { no_panic: 12, raw_locks: 0 })
+            Some(Baseline { no_panic: 12, raw_locks: 0, payload_copy: 0 })
+        );
+        assert_eq!(
+            parse("{\n  \"no_panic\": 12,\n  \"raw_locks\": 4\n}\n"),
+            Some(Baseline { no_panic: 12, raw_locks: 4, payload_copy: 0 })
         );
     }
 
@@ -141,5 +151,6 @@ mod tests {
         assert_eq!(parse("{\"no_panic\": }"), None);
         assert_eq!(parse("{\"no_panic\": \"x\"}"), None);
         assert_eq!(parse("{\"no_panic\": 3, \"raw_locks\": }"), None);
+        assert_eq!(parse("{\"no_panic\": 3, \"payload_copy\": x}"), None);
     }
 }

@@ -40,6 +40,12 @@
 //!   acquisition graph must respect the declared partial order and stay
 //!   acyclic, and raw `parking_lot` lock construction outside
 //!   `crates/sync/` is ratcheted debt like L2.
+//! * **L6 `payload_copy`** — no deep payload copies (`.to_vec()`,
+//!   `.clone()` on payload-ish bindings, `Bytes::copy_from_slice`) in
+//!   the data-path hot crates (`adal`, `dfs`, `storage`): the write
+//!   path shares one immutable `Payload` handle end to end, and a deep
+//!   copy silently forfeits the zero-copy + hash-once guarantees.
+//!   Remaining debt is ratcheted through `lint-baseline.json` like L2.
 //!
 //! Any rule can be waived per line with
 //! `// lint: allow(<rule>) -- <justification>` (trailing, or on the
@@ -71,6 +77,8 @@ pub enum Rule {
     Locks,
     /// L5: lock-rank manifest and acquisition-order analysis.
     LockOrder,
+    /// L6: deep payload copies on the data-path hot crates (baselined).
+    PayloadCopy,
     /// Malformed `// lint: allow(...)` annotations.
     Annotation,
 }
@@ -84,6 +92,7 @@ impl Rule {
             Rule::MetricNames => "metric_names",
             Rule::Locks => "locks",
             Rule::LockOrder => "lock_order",
+            Rule::PayloadCopy => "payload_copy",
             Rule::Annotation => "annotation",
         }
     }
@@ -96,6 +105,7 @@ impl Rule {
             "metric_names" => Some(Rule::MetricNames),
             "locks" => Some(Rule::Locks),
             "lock_order" => Some(Rule::LockOrder),
+            "payload_copy" => Some(Rule::PayloadCopy),
             _ => None,
         }
     }
@@ -144,6 +154,8 @@ pub struct Config {
     pub root: PathBuf,
     /// Relative path prefixes subject to L2 (production crate `src/`).
     pub panic_free: Vec<String>,
+    /// Relative path prefixes subject to L6 (data-path hot crates).
+    pub payload_hot: Vec<String>,
     /// Relative path prefixes exempt from L1 (clock internals, the
     /// wall-clock bench harness, and the linter's own timing report).
     pub determinism_allow: Vec<String>,
@@ -176,6 +188,10 @@ impl Config {
             .iter()
             .map(|c| format!("crates/{c}/src/"))
             .collect(),
+            payload_hot: ["adal", "dfs", "storage"]
+                .iter()
+                .map(|c| format!("crates/{c}/src/"))
+                .collect(),
             determinism_allow: vec![
                 "crates/obs/src/clock.rs".to_string(),
                 "crates/bench/".to_string(),
@@ -225,6 +241,9 @@ pub struct Report {
     /// L5 raw-lock construction debt — compared against the baseline,
     /// not individually fatal.
     pub raw_locks: Vec<Diagnostic>,
+    /// L6 deep-payload-copy debt sites — compared against the baseline,
+    /// not individually fatal.
+    pub payload_copy: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
@@ -238,6 +257,22 @@ const DETERMINISM_PATTERNS: &[&str] = &[
 ];
 
 const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!", "unreachable!"];
+
+/// Identifiers that name payload bytes on the data path: a `.clone()`
+/// on one of these is (almost always) a deep copy of object data, not
+/// a cheap handle clone — and where it *is* the cheap `Payload` handle,
+/// the binding is typed `Payload` and the clone is waived at the site.
+const PAYLOAD_IDENTS: &[&str] = &["data", "payload", "bytes", "block", "chunk", "buf"];
+
+/// The identifier directly preceding byte offset `at` in `code`, if any.
+fn ident_before(code: &str, at: usize) -> Option<&str> {
+    let b = code.as_bytes();
+    let mut start = at;
+    while start > 0 && (b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_') {
+        start -= 1;
+    }
+    (start < at).then(|| &code[start..at])
+}
 
 const METRIC_CALLS: &[&str] = &[
     ".counter(",
@@ -277,6 +312,7 @@ pub fn lint_files(files: &[(String, String)], cfg: &Config) -> Report {
         let outcome = process_file(rel, &scanned, cfg, &BTreeSet::new());
         report.violations.extend(outcome.report.violations);
         report.no_panic.extend(outcome.report.no_panic);
+        report.payload_copy.extend(outcome.report.payload_copy);
         report.files_scanned += 1;
         if let Some(a) = outcome.analysis {
             analyses.push(a);
@@ -368,6 +404,7 @@ fn lint_scanned(rel: &str, file: &ScannedFile, cfg: &Config, allows: &Allows) ->
 
     let test_path = is_test_path(rel);
     let panic_scope = cfg.panic_free.iter().any(|p| rel.starts_with(p.as_str()));
+    let payload_scope = cfg.payload_hot.iter().any(|p| rel.starts_with(p.as_str()));
     let determinism_exempt = cfg
         .determinism_allow
         .iter()
@@ -414,6 +451,49 @@ fn lint_scanned(rel: &str, file: &ScannedFile, cfg: &Config, allows: &Allows) ->
                     });
                     at += p + pat.len();
                 }
+            }
+        }
+
+        // L6 payload copies (baselined).
+        if payload_scope && !waived(Rule::PayloadCopy) {
+            let mut hit = |msg: String| {
+                report.payload_copy.push(Diagnostic {
+                    path: rel.to_string(),
+                    line: i + 1,
+                    rule: Rule::PayloadCopy,
+                    message: msg,
+                });
+            };
+            let mut at = 0usize;
+            while let Some(p) = code[at..].find(".to_vec()") {
+                hit(
+                    "deep payload copy (.to_vec()) on the data path; share the \
+                     Payload handle or slice_bytes a zero-copy view"
+                        .to_string(),
+                );
+                at += p + ".to_vec()".len();
+            }
+            let mut at = 0usize;
+            while let Some(p) = code[at..].find(".clone()") {
+                let abs = at + p;
+                if let Some(ident) = ident_before(code, abs) {
+                    let ident = ident.to_ascii_lowercase();
+                    if PAYLOAD_IDENTS.iter().any(|k| ident.contains(k)) {
+                        hit(format!(
+                            "payload-ish binding `{ident}` cloned on the data path; if this \
+                             is a cheap Payload handle clone, waive the site, otherwise \
+                             share the handle"
+                        ));
+                    }
+                }
+                at = abs + ".clone()".len();
+            }
+            if code.contains("Bytes::copy_from_slice") {
+                hit(
+                    "Bytes::copy_from_slice duplicates payload bytes; wrap the existing \
+                     buffer in a Payload instead"
+                        .to_string(),
+                );
             }
         }
 
@@ -570,6 +650,7 @@ fn sort_report(report: &mut Report) {
     });
     report.no_panic.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     report.raw_locks.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    report.payload_copy.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
 }
 
 /// Recursively collects workspace `.rs` files, skipping build output,
@@ -651,6 +732,7 @@ pub fn run(cfg: &Config) -> io::Result<Report> {
         let outcome = slot.expect("every slot is filled by its chunk's worker")?;
         report.violations.extend(outcome.report.violations);
         report.no_panic.extend(outcome.report.no_panic);
+        report.payload_copy.extend(outcome.report.payload_copy);
         report.files_scanned += 1;
         names_seen.extend(outcome.names_used);
         if let Some(a) = outcome.analysis {
@@ -714,6 +796,7 @@ mod tests {
         Config {
             root: PathBuf::from("."),
             panic_free: vec!["crates/adal/src/".into()],
+            payload_hot: vec!["crates/adal/src/".into(), "crates/dfs/src/".into()],
             determinism_allow: vec!["crates/obs/src/clock.rs".into(), "crates/bench/".into()],
             names_module: "crates/obs/src/names.rs".into(),
             names: vec![NameConst {
@@ -882,6 +965,39 @@ mod tests {
         // Inside the sync crate the construction is the implementation.
         let r = lint_file("crates/sync/src/lib.rs", src, &cfg);
         assert!(r.raw_locks.is_empty(), "{:#?}", r.raw_locks);
+    }
+
+    #[test]
+    fn payload_copies_are_ratcheted_debt_in_hot_crates() {
+        let cfg = test_cfg();
+        let src = "fn f(data: &Payload) {
+                       let a = data.to_vec();
+                       let b = data.clone();
+                       let c = Bytes::copy_from_slice(&a);
+                       let d = config.clone();
+                   }
+";
+        let r = lint_file("crates/dfs/src/x.rs", src, &cfg);
+        assert!(r.violations.is_empty(), "{:#?}", r.violations);
+        assert_eq!(r.payload_copy.len(), 3, "{:#?}", r.payload_copy);
+        // Outside the hot crates the rule is silent.
+        let r = lint_file("crates/core/src/x.rs", src, &cfg);
+        assert!(r.payload_copy.is_empty(), "{:#?}", r.payload_copy);
+        // A waived site (cheap handle clone) is silent.
+        let waived = "fn f(data: &Payload) {
+                          let b = data.clone(); // lint: allow(payload_copy) -- refcount bump
+                      }
+";
+        let r = lint_file("crates/dfs/src/x.rs", waived, &cfg);
+        assert!(r.payload_copy.is_empty(), "{:#?}", r.payload_copy);
+        // Test code is exempt like every other rule.
+        let test_src = "#[cfg(test)]
+mod tests {
+    fn f(data: &[u8]) { let v = data.to_vec(); }
+}
+";
+        let r = lint_file("crates/dfs/src/x.rs", test_src, &cfg);
+        assert!(r.payload_copy.is_empty(), "{:#?}", r.payload_copy);
     }
 
     #[test]

@@ -82,7 +82,14 @@ struct Ratchet {
     ok: bool,
 }
 
-fn print_json(report: &Report, no_panic: &Ratchet, raw_locks: &Ratchet, ok: bool, wall_ms: u128) {
+fn print_json(
+    report: &Report,
+    no_panic: &Ratchet,
+    raw_locks: &Ratchet,
+    payload_copy: &Ratchet,
+    ok: bool,
+    wall_ms: u128,
+) {
     let mut out = String::from("{\n  \"violations\": [\n");
     for (i, d) in report.violations.iter().enumerate() {
         out.push_str(&format!(
@@ -112,6 +119,15 @@ fn print_json(report: &Report, no_panic: &Ratchet, raw_locks: &Ratchet, ok: bool
             if i + 1 < report.raw_locks.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n  \"payload_copies\": [\n");
+    for (i, d) in report.payload_copy.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"path\": \"{}\", \"line\": {}}}{}\n",
+            json_escape(&d.path),
+            d.line,
+            if i + 1 < report.payload_copy.len() { "," } else { "" }
+        ));
+    }
     out.push_str(&format!(
         "  ],\n  \"no_panic\": {{\"current\": {}, \"baseline\": {}, \"ok\": {}}},\n",
         no_panic.current, no_panic.allowed, no_panic.ok
@@ -119,6 +135,10 @@ fn print_json(report: &Report, no_panic: &Ratchet, raw_locks: &Ratchet, ok: bool
     out.push_str(&format!(
         "  \"lock_order\": {{\"current\": {}, \"baseline\": {}, \"ok\": {}}},\n",
         raw_locks.current, raw_locks.allowed, raw_locks.ok
+    ));
+    out.push_str(&format!(
+        "  \"payload_copy\": {{\"current\": {}, \"baseline\": {}, \"ok\": {}}},\n",
+        payload_copy.current, payload_copy.allowed, payload_copy.ok
     ));
     out.push_str(&format!("  \"ok\": {ok},\n"));
     out.push_str(&format!("  \"wall_ms\": {wall_ms},\n"));
@@ -145,26 +165,38 @@ fn real_main() -> Result<bool, String> {
     let live = baseline::Baseline {
         no_panic: report.no_panic.len(),
         raw_locks: report.raw_locks.len(),
+        payload_copy: report.payload_copy.len(),
     };
 
     let existing = baseline::load(&baseline_path).map_err(|e| e.to_string())?;
     let tightened = baseline::Baseline {
         no_panic: baseline::tightened(live.no_panic, existing.map(|b| b.no_panic)),
         raw_locks: baseline::tightened(live.raw_locks, existing.map(|b| b.raw_locks)),
+        payload_copy: baseline::tightened(live.payload_copy, existing.map(|b| b.payload_copy)),
     };
     if args.write_baseline {
         baseline::save(&baseline_path, tightened).map_err(|e| e.to_string())?;
         if !args.json {
             println!(
-                "lsdf-lint: baseline written: no_panic = {} ({} live), raw_locks = {} ({} live)",
-                tightened.no_panic, live.no_panic, tightened.raw_locks, live.raw_locks
+                "lsdf-lint: baseline written: no_panic = {} ({} live), raw_locks = {} \
+                 ({} live), payload_copy = {} ({} live)",
+                tightened.no_panic,
+                live.no_panic,
+                tightened.raw_locks,
+                live.raw_locks,
+                tightened.payload_copy,
+                live.payload_copy
             );
         }
     }
     let allowed = if args.write_baseline {
         tightened
     } else {
-        existing.unwrap_or(baseline::Baseline { no_panic: 0, raw_locks: 0 })
+        existing.unwrap_or(baseline::Baseline {
+            no_panic: 0,
+            raw_locks: 0,
+            payload_copy: 0,
+        })
     };
     let mk = |current: usize, allowed: usize| Ratchet {
         current,
@@ -173,11 +205,12 @@ fn real_main() -> Result<bool, String> {
     };
     let no_panic = mk(live.no_panic, allowed.no_panic);
     let raw_locks = mk(live.raw_locks, allowed.raw_locks);
-    let ok = report.violations.is_empty() && no_panic.ok && raw_locks.ok;
+    let payload_copy = mk(live.payload_copy, allowed.payload_copy);
+    let ok = report.violations.is_empty() && no_panic.ok && raw_locks.ok && payload_copy.ok;
     let wall_ms = started.elapsed().as_millis();
 
     if args.json {
-        print_json(&report, &no_panic, &raw_locks, ok, wall_ms);
+        print_json(&report, &no_panic, &raw_locks, &payload_copy, ok, wall_ms);
         return Ok(ok);
     }
     for d in &report.violations {
@@ -215,9 +248,25 @@ fn real_main() -> Result<bool, String> {
             raw_locks.current, raw_locks.allowed
         );
     }
+    if !payload_copy.ok {
+        for d in &report.payload_copy {
+            println!("{d}");
+        }
+        println!(
+            "lsdf-lint: FAIL — payload_copy debt grew: {} sites > baseline {}; share the \
+             Payload handle (or justify with `// lint: allow(payload_copy) -- why`)",
+            payload_copy.current, payload_copy.allowed
+        );
+    } else if payload_copy.current < payload_copy.allowed {
+        println!(
+            "lsdf-lint: payload_copy debt shrank ({} < baseline {}) — run \
+             `just lint-baseline` to ratchet the baseline down",
+            payload_copy.current, payload_copy.allowed
+        );
+    }
     println!(
         "lsdf-lint: {} files scanned in {} ms, {} violations, no_panic debt {}/{}, \
-         raw_locks debt {}/{} — {}",
+         raw_locks debt {}/{}, payload_copy debt {}/{} — {}",
         report.files_scanned,
         wall_ms,
         report.violations.len(),
@@ -225,6 +274,8 @@ fn real_main() -> Result<bool, String> {
         no_panic.allowed,
         raw_locks.current,
         raw_locks.allowed,
+        payload_copy.current,
+        payload_copy.allowed,
         if ok { "OK" } else { "FAIL" }
     );
     Ok(ok)

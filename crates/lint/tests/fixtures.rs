@@ -21,6 +21,7 @@ fn cfg() -> Config {
     Config {
         root: PathBuf::from("."),
         panic_free: vec!["crates/adal/src/".to_string()],
+        payload_hot: vec!["crates/adal/src/".to_string()],
         determinism_allow: vec![
             "crates/obs/src/clock.rs".to_string(),
             "crates/bench/".to_string(),

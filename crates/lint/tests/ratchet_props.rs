@@ -29,8 +29,12 @@ proptest! {
     }
 
     #[test]
-    fn baseline_file_roundtrips(n in 0usize..1_000_000, m in 0usize..1_000_000) {
-        let b = Baseline { no_panic: n, raw_locks: m };
+    fn baseline_file_roundtrips(
+        n in 0usize..1_000_000,
+        m in 0usize..1_000_000,
+        k in 0usize..1_000_000,
+    ) {
+        let b = Baseline { no_panic: n, raw_locks: m, payload_copy: k };
         prop_assert_eq!(parse(&render(b)), Some(b));
     }
 
@@ -50,6 +54,7 @@ proptest! {
         let written = Baseline {
             no_panic: tightened(live_np, Some(base_np)),
             raw_locks: tightened(live_rl, Some(base_rl)),
+            payload_copy: 0,
         };
         prop_assert!(written.no_panic <= base_np);
         prop_assert!(written.raw_locks <= base_rl);
@@ -58,8 +63,11 @@ proptest! {
     }
 
     #[test]
-    fn legacy_files_parse_as_zero_raw_locks(n in 0usize..1_000_000) {
+    fn legacy_files_parse_as_zero_for_missing_counters(n in 0usize..1_000_000) {
         let legacy = format!("{{\n  \"no_panic\": {n}\n}}\n");
-        prop_assert_eq!(parse(&legacy), Some(Baseline { no_panic: n, raw_locks: 0 }));
+        prop_assert_eq!(
+            parse(&legacy),
+            Some(Baseline { no_panic: n, raw_locks: 0, payload_copy: 0 })
+        );
     }
 }

@@ -8,12 +8,15 @@
 //! parallel run is bit-identical to the serial run for any worker
 //! count.
 //!
-//! Determinism argument: every item is tagged with its index before it
-//! enters the shared work queue; workers race only over *which* item
-//! they pull, never over where its result lands. As long as the per-item
-//! closure is a pure function of its item (plus order-independent side
-//! effects such as monotonic counter increments), the merged `Vec<R>`
-//! — and therefore everything derived from it — cannot observe the
+//! Determinism argument: results land in per-index slots that are
+//! pre-allocated before any worker starts; workers claim indices from
+//! a single atomic counter and race only over *which* item they pull,
+//! never over where its result lands. There is no merge pass and no
+//! reorder barrier — the slot vector *is* the output, already in
+//! submission order. As long as the per-item closure is a pure
+//! function of its item (plus order-independent side effects such as
+//! monotonic counter increments), the collected `Vec<R>` — and
+//! therefore everything derived from it — cannot observe the
 //! scheduling order.
 //!
 //! The pool is configuration, not a thread cache: `WorkerPool` is
@@ -23,6 +26,7 @@
 //! the caller instead of being swallowed.
 
 use lsdf_sync::{ranks, OrderedMutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use lsdf_obs::{names, TraceCtx};
@@ -84,11 +88,12 @@ impl WorkerPool {
     /// Applies `f` to every item and returns the results **in input
     /// order**, regardless of which worker finished first.
     ///
-    /// Items are pulled from a shared work queue so a slow item does
-    /// not stall the others; each worker collects `(index, result)`
-    /// pairs locally and the pool merges them into index-ordered slots
-    /// after the scope joins. With one worker (or at most one item) no
-    /// threads are spawned.
+    /// Workers claim indices from a shared atomic counter (so a slow
+    /// item does not stall the others) and write each result directly
+    /// into its pre-allocated, index-addressed slot. The slot vector
+    /// is the output: there is no per-worker buffering, no merge pass,
+    /// and no reorder barrier after the scope joins. With one worker
+    /// (or at most one item) no threads are spawned.
     pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
@@ -100,42 +105,45 @@ impl WorkerPool {
             return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
         let threads = self.workers.min(n);
-        let queue = OrderedMutex::new(ranks::POOL_QUEUE, items.into_iter().enumerate());
-        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-        slots.resize_with(n, || None);
+        // One cell per item: the worker that wins index `i` takes the
+        // item out of `cells[i]` and publishes into `slots[i]`. Each
+        // cell is locked exactly once, standalone, so slot locks rank
+        // below everything the task closure may acquire.
+        let cells: Vec<OrderedMutex<Option<T>>> = items
+            .into_iter()
+            .map(|t| OrderedMutex::new(ranks::POOL_SLOT, Some(t)))
+            .collect();
+        let mut slots: Vec<OrderedMutex<Option<R>>> = Vec::with_capacity(n);
+        slots.resize_with(n, || OrderedMutex::new(ranks::POOL_SLOT, None));
+        let next = AtomicUsize::new(0);
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
-                let queue = &queue;
+                let cells = &cells;
+                let slots = &slots;
+                let next = &next;
                 let f = &f;
-                handles.push(scope.spawn(move || {
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        // Hold the queue lock only for the claim, never
-                        // while running `f`.
-                        let next = queue.lock().next();
-                        match next {
-                            Some((idx, item)) => local.push((idx, f(idx, item))),
-                            None => break,
-                        }
+                handles.push(scope.spawn(move || loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
                     }
-                    local
+                    let item = cells[idx].lock().take();
+                    if let Some(item) = item {
+                        // Uncontended by construction: `fetch_add`
+                        // hands index `idx` to exactly one worker.
+                        let result = f(idx, item);
+                        *slots[idx].lock() = Some(result);
+                    }
                 }));
             }
             for handle in handles {
-                match handle.join() {
-                    Ok(local) => {
-                        for (idx, result) in local {
-                            if let Some(slot) = slots.get_mut(idx) {
-                                *slot = Some(result);
-                            }
-                        }
-                    }
-                    Err(payload) => std::panic::resume_unwind(payload),
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
                 }
             }
         });
-        let out: Vec<R> = slots.into_iter().flatten().collect();
+        let out: Vec<R> = slots.iter().filter_map(|s| s.lock().take()).collect();
         debug_assert_eq!(out.len(), n);
         out
     }

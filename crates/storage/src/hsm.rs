@@ -17,6 +17,7 @@ use lsdf_obs::{Counter, Histogram, Registry, TraceCtx};
 
 use crate::checksum::Digest;
 use crate::object::{ObjectStore, StoreError};
+use crate::payload::Payload;
 use lsdf_obs::names;
 
 /// Which tier currently holds an object's payload.
@@ -208,7 +209,8 @@ impl Hsm {
     /// Ingests a new object onto the disk tier. If the tier is full,
     /// policy-chosen victims are demoted first — ingest pressure must
     /// never bounce experiment data while tape capacity remains.
-    pub fn put(&self, key: &str, data: bytes::Bytes) -> Result<(), HsmError> {
+    pub fn put(&self, key: &str, data: impl Into<Payload>) -> Result<(), HsmError> {
+        let data = data.into();
         self.make_room(data.len() as u64)?;
         let meta = self.disk.put(key, data)?;
         self.obs.puts.inc();
@@ -231,14 +233,14 @@ impl Hsm {
 
     /// Reads an object; a tape-resident object is transparently recalled
     /// to disk first (and stays there — recall implies promotion).
-    pub fn get(&self, key: &str) -> Result<bytes::Bytes, HsmError> {
+    pub fn get(&self, key: &str) -> Result<Payload, HsmError> {
         self.get_traced(key, &TraceCtx::disabled())
     }
 
     /// [`Hsm::get`] with causal tracing: when the object is tape-resident
     /// the staging (recall) leg is recorded as a child span so a slow read
     /// is attributable to the tape tier rather than the disk array.
-    pub fn get_traced(&self, key: &str, ctx: &TraceCtx) -> Result<bytes::Bytes, HsmError> {
+    pub fn get_traced(&self, key: &str, ctx: &TraceCtx) -> Result<Payload, HsmError> {
         let tier = {
             let mut inner = self.inner.lock();
             let entry = inner

@@ -13,6 +13,9 @@
 //!   with watermark-driven migration policies.
 //! * [`checksum`] — SHA-256 (FIPS 180-4, implemented from scratch) and
 //!   FNV-1a.
+//! * [`Payload`] — the shared, immutable byte buffer with a memoized
+//!   SHA-256 digest that the whole write path hands around instead of
+//!   copying (see the zero-copy rules in its docs).
 
 #![warn(missing_docs)]
 
@@ -20,9 +23,11 @@ pub mod checksum;
 mod disk;
 mod hsm;
 mod object;
+mod payload;
 mod tape;
 
 pub use checksum::{fnv1a64, sha256, Digest, Sha256};
+pub use payload::{payload_deep_copies, payload_digests_computed, Payload};
 pub use disk::{ArrayModel, DiskModel};
 pub use hsm::{CatalogEntry, Hsm, HsmError, MigrationPolicy, MigrationReport, Tier};
 pub use object::{ObjectId, ObjectMeta, ObjectStore, StoreError};

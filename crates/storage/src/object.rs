@@ -9,10 +9,10 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
 use parking_lot::RwLock;
 
-use crate::checksum::{sha256, Digest};
+use crate::checksum::Digest;
+use crate::payload::Payload;
 
 /// Identifies an object within a store (monotonically assigned).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -66,7 +66,7 @@ impl std::error::Error for StoreError {}
 
 struct Stored {
     meta: ObjectMeta,
-    data: Bytes,
+    data: Payload,
 }
 
 struct StoreInner {
@@ -125,9 +125,14 @@ impl ObjectStore {
         self.len() == 0
     }
 
-    /// Stores `data` under `key`; write-once semantics.
-    pub fn put(&self, key: &str, data: Bytes) -> Result<ObjectMeta, StoreError> {
-        let digest = sha256(&data);
+    /// Stores `data` under `key`; write-once semantics. The ingest
+    /// digest is the payload's memoized SHA-256 — if an upstream layer
+    /// (ADAL verification, the metadata catalog) already hashed this
+    /// payload family, no second hash happens here.
+    pub fn put(&self, key: &str, data: impl Into<Payload>) -> Result<ObjectMeta, StoreError> {
+        let data = data.into();
+        // Hash (or hit the memo) outside the write lock.
+        let digest = data.digest();
         let size = data.len() as u64;
         let mut inner = self.inner.write();
         if inner.by_key.contains_key(key) {
@@ -160,17 +165,22 @@ impl ObjectStore {
         Ok(meta)
     }
 
-    /// Fetches the payload, verifying its checksum.
-    pub fn get(&self, key: &str) -> Result<Bytes, StoreError> {
+    /// Fetches the payload, verifying its checksum. Payload buffers are
+    /// immutable, so corruption in this model is always a *substituted*
+    /// buffer (e.g. a torn write) whose fresh digest cell re-hashes on
+    /// first use — the memoized comparison here stays sound while an
+    /// untorn read-back costs zero hashes.
+    pub fn get(&self, key: &str) -> Result<Payload, StoreError> {
         let mut inner = self.inner.write();
         inner.gets += 1;
         let stored = inner
             .by_key
             .get(key)
             .ok_or_else(|| StoreError::NotFound(key.to_string()))?;
-        if sha256(&stored.data) != stored.meta.digest {
+        if stored.data.digest() != stored.meta.digest {
             return Err(StoreError::ChecksumMismatch(key.to_string()));
         }
+        // lint: allow(payload_copy) -- Payload handle clone: refcount bump
         Ok(stored.data.clone())
     }
 
@@ -223,6 +233,8 @@ impl ObjectStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checksum::sha256;
+    use bytes::Bytes;
 
     fn payload(s: &str) -> Bytes {
         Bytes::copy_from_slice(s.as_bytes())

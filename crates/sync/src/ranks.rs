@@ -21,10 +21,11 @@
 
 use crate::{rank, LockRank};
 
-/// `lsdf_pool::WorkerPool` work-queue mutex. Acquired and released
-/// standalone (the guard never survives into the task closure), so it
-/// ranks below everything the tasks themselves lock.
-pub const POOL_QUEUE: LockRank = rank(50, "pool_queue");
+/// `lsdf_pool::WorkerPool` per-item slot mutex. Each slot is locked
+/// once, standalone, by the worker that claimed its index (the guard
+/// never survives into the task closure), so it ranks below everything
+/// the tasks themselves lock.
+pub const POOL_SLOT: LockRank = rank(50, "pool_slot");
 
 /// Admission controller's project table (`AdmissionController::projects`).
 pub const ADMISSION_PROJECTS: LockRank = rank(100, "admission_projects");
@@ -103,7 +104,7 @@ mod tests {
     #[test]
     fn manifest_ids_are_unique_and_names_match_style() {
         let all: &[LockRank] = &[
-            POOL_QUEUE,
+            POOL_SLOT,
             ADMISSION_PROJECTS,
             ADMISSION_PROJECT_STATE,
             ADAL_BREAKER,

@@ -31,7 +31,7 @@ use lsdf_core::{BackendChoice, Facility, IngestItem, IngestPolicy, ProjectSpec, 
 use lsdf_dfs::{ClusterTopology, DfsConfig};
 use lsdf_durability::{DurabilityConfig, DurableStore};
 use lsdf_metadata::{Document, FieldType, SchemaBuilder, Value};
-use lsdf_obs::Registry;
+use lsdf_obs::{names, Registry};
 use lsdf_sim::SimRng;
 use lsdf_storage::sha256;
 
@@ -220,6 +220,18 @@ fn run_soak_with(seed: u64, workers: usize) -> (String, Vec<RecoveryReport>) {
         "no WAL records replayed across the whole soak"
     );
     verify_acked(&f, &model, "at end of soak");
+    // Batched WAL group commit: every N-file batch commit on the
+    // namenode WAL shares ONE accounted fsync. The per-record path
+    // charges one fsync per `group_commit` (default 8) records, so the
+    // batched path must beat that floor outright across the soak.
+    let appends = reg.counter_value(names::WAL_APPENDS_TOTAL, &[("log", "dfs")]);
+    let fsyncs = reg.counter_value(names::WAL_FSYNCS_TOTAL, &[("log", "dfs")]);
+    assert!(appends > 0, "namenode WAL saw no traffic");
+    assert!(
+        fsyncs > 0 && fsyncs * 8 < appends,
+        "batched commit did not amortize fsyncs: {fsyncs} fsyncs for {appends} appends          (per-record group commit would charge ~{})",
+        appends / 8
+    );
     (reg.to_json(), reports)
 }
 
