@@ -654,8 +654,9 @@ fn sort_report(report: &mut Report) {
 }
 
 /// Recursively collects workspace `.rs` files, skipping build output,
-/// VCS metadata, and the linter's own (intentionally violating) fixture
-/// corpus.
+/// VCS metadata, vendored third-party sources (offline dependency stubs
+/// — not facility code), and the linter's own (intentionally violating)
+/// fixture corpus.
 pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];
@@ -666,7 +667,11 @@ pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if name == "target" || name == ".git" || name == "fixtures" {
+                if name == "target"
+                    || name == ".git"
+                    || name == "fixtures"
+                    || name == "third_party"
+                {
                     continue;
                 }
                 stack.push(path);

@@ -1,0 +1,81 @@
+//! Offline API-compatible subset of `crossbeam` 0.8 for sandboxed
+//! builds: only `crossbeam::thread::scope`, implemented over
+//! `std::thread::scope`. One behavioral difference: a panicking child
+//! propagates at scope exit instead of surfacing as `Err`, which is
+//! acceptable for this workspace (panics are fatal everywhere).
+
+pub mod thread {
+    use std::any::Any;
+
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_all_children() {
+        let total = AtomicU64::new(0);
+        let out = super::thread::scope(|scope| {
+            for i in 1..=10u64 {
+                let total = &total;
+                scope.spawn(move |_| {
+                    total.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(total.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_arg() {
+        let hits = AtomicU64::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

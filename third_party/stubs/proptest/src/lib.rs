@@ -1,0 +1,602 @@
+//! Offline API-compatible subset of `proptest` 1.x for sandboxed
+//! builds: a deterministic mini property-testing engine. Strategies
+//! generate values from a per-test seeded SplitMix64 stream (no
+//! shrinking); `proptest!`, the `prop_assert*` macros, `any`,
+//! `collection::{vec, hash_set}`, `sample::select`, numeric-range and
+//! tuple strategies, and `TestRunner` cover this workspace's usage.
+
+pub mod test_runner {
+    /// Deterministic generator state: SplitMix64 seeded from the test
+    /// name, so every run of a given test sees the same cases.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps offline runs fast while
+            // still exercising a meaningful spread of cases.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    #[derive(Debug)]
+    pub struct TestError(pub String);
+
+    pub struct TestRunner {
+        rng: TestRng,
+        cases: u32,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner {
+                rng: TestRng::deterministic("test_runner_default"),
+                cases: ProptestConfig::default().cases,
+            }
+        }
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                rng: TestRng::deterministic("test_runner"),
+                cases: config.cases,
+            }
+        }
+
+        pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+        where
+            S: crate::strategy::Strategy,
+            F: Fn(S::Value) -> TestCaseResult,
+        {
+            for case in 0..self.cases {
+                let value = strategy.generate(&mut self.rng);
+                match test(value) {
+                    Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(msg)) => {
+                        return Err(TestError(format!("case {case}: {msg}")));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as u128;
+                    let hi = self.end as u128;
+                    assert!(lo < hi, "empty range strategy");
+                    (lo + (rng.next_u64() as u128) % (hi - lo)) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = *self.start() as u128;
+                    let hi = *self.end() as u128;
+                    assert!(lo <= hi, "empty range strategy");
+                    (lo + (rng.next_u64() as u128) % (hi - lo + 1)) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty range strategy");
+                    (lo + ((rng.next_u64() as u128) % ((hi - lo) as u128)) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = *self.start() as i128;
+                    let hi = *self.end() as i128;
+                    assert!(lo <= hi, "empty range strategy");
+                    (lo + ((rng.next_u64() as u128) % ((hi - lo + 1) as u128)) as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! range_strategy_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    // Occasionally pin the endpoint so `..=hi` differs
+                    // from `..hi` in a deterministic way.
+                    if rng.next_u64() % 257 == 0 {
+                        hi
+                    } else {
+                        lo + (rng.unit_f64() as $t) * (hi - lo)
+                    }
+                }
+            }
+        )*};
+    }
+    range_strategy_float!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyStrategy<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyStrategy<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyStrategy { _marker: std::marker::PhantomData }
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyStrategy<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyStrategy<bool>;
+        fn arbitrary() -> Self::Strategy {
+            AnyStrategy {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl Strategy for AnyStrategy<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // A practical spread rather than all bit patterns.
+            (rng.unit_f64() - 0.5) * 2e9
+        }
+    }
+
+    impl Arbitrary for f64 {
+        type Strategy = AnyStrategy<f64>;
+        fn arbitrary() -> Self::Strategy {
+            AnyStrategy {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.lo < self.hi_exclusive, "empty size range");
+            self.lo + (rng.next_u64() as usize) % (self.hi_exclusive - self.lo)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = std::collections::HashSet::new();
+            // Bounded attempts: small domains may not reach `target`.
+            for _ in 0..target.saturating_mul(16).max(16) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct SelectStrategy<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for SelectStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.options.is_empty(), "select from empty list");
+            self.options[(rng.next_u64() as usize) % self.options.len()].clone()
+        }
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> SelectStrategy<T> {
+        SelectStrategy { options }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}: {:?} == {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest {} case {} failed: {}", stringify!($name), __case, msg)
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_collections(
+            x in 1u64..100,
+            y in -5i64..=5,
+            f in 0.0f64..=1.0,
+            v in prop::collection::vec(any::<u8>(), 1..20),
+            pair in (0u32..4, any::<bool>()),
+        ) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(pair.0 < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_honored(seed in any::<u64>()) {
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn runner_reports_failures() {
+        let mut runner = crate::test_runner::TestRunner::default();
+        let err = runner.run(&(0u64..10), |v| {
+            if v < 10 {
+                Err(crate::test_runner::TestCaseError::fail("always"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let gen = || {
+            let mut rng = crate::test_runner::TestRng::deterministic("stable");
+            let strat = prop::collection::vec(any::<u64>(), 5..6);
+            crate::strategy::Strategy::generate(&strat, &mut rng)
+        };
+        assert_eq!(gen(), gen());
+    }
+}

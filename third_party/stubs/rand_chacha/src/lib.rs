@@ -1,0 +1,238 @@
+//! Offline API-compatible subset of `rand_chacha` 0.3 for sandboxed
+//! builds. Implements the actual ChaCha8 block function with the
+//! rand_core `BlockRng` buffering semantics (4 blocks = 64 words per
+//! refill, `next_u64` straddling refills the same way), so word streams
+//! match upstream for the operations this workspace uses.
+
+use rand::{RngCore, SeedableRng};
+
+const BUF_WORDS: usize = 64; // 4 ChaCha blocks of 16 words each
+const BLOCKS_PER_REFILL: u64 = 4;
+
+#[derive(Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    stream: u64,
+    /// Counter of the first block currently in `buf`.
+    block: u64,
+    buf: [u32; BUF_WORDS],
+    /// Next word to emit; `BUF_WORDS` means the buffer is exhausted.
+    index: usize,
+}
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha8_block(key: &[u32; 8], counter: u64, stream: u64, out: &mut [u32]) {
+    let mut state: [u32; 16] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        stream as u32,
+        (stream >> 32) as u32,
+    ];
+    let initial = state;
+    for _ in 0..4 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = state[i].wrapping_add(initial[i]);
+    }
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        for i in 0..BLOCKS_PER_REFILL {
+            let base = (i as usize) * 16;
+            chacha8_block(
+                &self.key,
+                self.block.wrapping_add(i),
+                self.stream,
+                &mut self.buf[base..base + 16],
+            );
+        }
+        self.index = 0;
+    }
+
+    fn advance_and_refill(&mut self) {
+        self.block = self.block.wrapping_add(BLOCKS_PER_REFILL);
+        self.refill();
+    }
+
+    /// Repositions the word stream; `set_word_pos(0)` rewinds to the
+    /// first output word without changing the key.
+    pub fn set_word_pos(&mut self, word_offset: u128) {
+        let w = word_offset as u64;
+        self.block = w >> 4;
+        self.refill();
+        self.index = (w & 15) as usize;
+    }
+
+    /// Current absolute word position in the output stream.
+    pub fn get_word_pos(&self) -> u128 {
+        ((self.block as u128) << 4) + self.index as u128
+    }
+
+    /// Selects one of 2^64 independent output streams.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.refill();
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let mut rng = ChaCha8Rng {
+            key,
+            stream: 0,
+            block: 0,
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.advance_and_refill();
+        }
+        let w = self.buf[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Mirrors rand_core's BlockRng::next_u64 word pairing, including
+        // the buffer-straddling case.
+        if self.index < BUF_WORDS - 1 {
+            let lo = self.buf[self.index] as u64;
+            let hi = self.buf[self.index + 1] as u64;
+            self.index += 2;
+            (hi << 32) | lo
+        } else if self.index >= BUF_WORDS {
+            self.advance_and_refill();
+            let lo = self.buf[0] as u64;
+            let hi = self.buf[1] as u64;
+            self.index = 2;
+            (hi << 32) | lo
+        } else {
+            let lo = self.buf[BUF_WORDS - 1] as u64;
+            self.advance_and_refill();
+            let hi = self.buf[0] as u64;
+            self.index = 1;
+            (hi << 32) | lo
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // Word-at-a-time like fill_via_u32_chunks: a trailing partial
+        // word is consumed whole and its unused bytes discarded.
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.index >= BUF_WORDS {
+                self.advance_and_refill();
+            }
+            let bytes = self.buf[self.index].to_le_bytes();
+            self.index += 1;
+            let n = (dest.len() - filled).min(4);
+            dest[filled..filled + n].copy_from_slice(&bytes[..n]);
+            filled += n;
+        }
+    }
+}
+
+impl std::fmt::Debug for ChaCha8Rng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaCha8Rng")
+            .field("stream", &self.stream)
+            .field("word_pos", &self.get_word_pos())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_rewindable() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let first: Vec<u64> = (0..200).map(|_| a.next_u64()).collect();
+        let second: Vec<u64> = (0..200).map(|_| b.next_u64()).collect();
+        assert_eq!(first, second);
+        a.set_word_pos(0);
+        let rewound: Vec<u64> = (0..200).map(|_| a.next_u64()).collect();
+        assert_eq!(first, rewound);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        assert_ne!(first[0], c.next_u64());
+    }
+
+    #[test]
+    fn straddling_next_u64_is_consistent_with_word_stream() {
+        // Pull 63 u32s so the next u64 straddles the refill boundary,
+        // then compare against the pure word stream.
+        let mut words = ChaCha8Rng::seed_from_u64(3);
+        let stream: Vec<u32> = (0..130).map(|_| words.next_u32()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for i in 0..63 {
+            assert_eq!(rng.next_u32(), stream[i]);
+        }
+        let straddle = rng.next_u64();
+        assert_eq!(straddle as u32, stream[63]);
+        assert_eq!((straddle >> 32) as u32, stream[64]);
+    }
+
+    #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut buf = [0u8; 10];
+        rng.fill_bytes(&mut buf);
+        let mut words = ChaCha8Rng::seed_from_u64(5);
+        let w0 = words.next_u32().to_le_bytes();
+        let w1 = words.next_u32().to_le_bytes();
+        let w2 = words.next_u32().to_le_bytes();
+        assert_eq!(&buf[0..4], &w0);
+        assert_eq!(&buf[4..8], &w1);
+        assert_eq!(&buf[8..10], &w2[..2]);
+        // The partial third word was consumed whole.
+        assert_eq!(rng.get_word_pos(), 3);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline API-compatible subset of `serde` 1.x for sandboxed builds.
+//! This workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! markers (all export formats are hand-rolled), so the traits carry no
+//! methods and the derives expand to marker impls.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization marker mirroring serde's blanket rule.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,46 @@
+//! Offline stand-in for `serde_derive`: the workspace uses the derives
+//! purely as markers (no serde-driven encoding), so both expand to
+//! marker impls for non-generic types and to nothing when generics make
+//! a syn-free expansion unsafe.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name of a `struct`/`enum` item, returning `None`
+/// when the type is generic (a correct impl would need bounds).
+fn plain_type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tree {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return match tokens.peek() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => None,
+                        _ => Some(name.to_string()),
+                    };
+                }
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match plain_type_name(&input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match plain_type_name(&input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("valid impl tokens"),
+        None => TokenStream::new(),
+    }
+}
