@@ -520,8 +520,21 @@ impl AdmissionController {
     /// throttles each project attributed an SLO violation (halving
     /// its refill rate per level, up to 1/8th), clearing the throttle
     /// the first report the project is violation-free.
+    ///
+    /// When the rule set includes `window(N)` rules, the governor
+    /// follows the *windowed* per-project violations only — a
+    /// transient spike that an instantaneous rule catches does not move
+    /// the throttle; sustained burn-rate breaches do, and the throttle
+    /// clears only once the window itself is clean. Rule sets without
+    /// windowed rules keep the legacy instantaneous behavior.
     pub fn observe(&self, health: &FacilityHealth) {
+        let windowed = health.windowed_alerting();
         for acct in &health.projects {
+            let breaches = if windowed {
+                acct.windowed_violations
+            } else {
+                acct.violations
+            };
             let Some(entry) = self.projects.read().get(&acct.project).cloned() else {
                 continue;
             };
@@ -538,10 +551,10 @@ impl AdmissionController {
             let bytes_burst = st.quota.bytes_burst;
             st.bytes.refill(now, byte_rate, bytes_burst);
 
-            let to = if acct.violations > 0 && st.throttle < MAX_THROTTLE {
+            let to = if breaches > 0 && st.throttle < MAX_THROTTLE {
                 st.throttle += 1;
                 Some("throttled")
-            } else if acct.violations == 0 && st.throttle > 0 {
+            } else if breaches == 0 && st.throttle > 0 {
                 st.throttle = 0;
                 Some("cleared")
             } else {
@@ -701,6 +714,7 @@ mod tests {
                 bytes: 0,
                 tape_mounts: 0,
                 violations,
+                windowed_violations: 0,
             }],
         };
         ctl.observe(&health(1));
@@ -722,6 +736,43 @@ mod tests {
     }
 
     #[test]
+    fn governor_follows_the_windowed_signal_when_windowed_rules_exist() {
+        let reg = registry();
+        let ctl = controller(&reg);
+        ctl.register("burst", QuotaSpec::per_second(1000, 1 << 20));
+        let health = |violations, windowed_violations| FacilityHealth {
+            t_ns: reg.now_ns(),
+            healthy: false,
+            rules: vec![lsdf_obs::RuleOutcome {
+                rule: "window(8) burn(a / b, 0.01) <= 2".into(),
+                ok: windowed_violations == 0,
+                observed: 0.0,
+                threshold: 2.0,
+                windowed: true,
+            }],
+            projects: vec![lsdf_obs::ProjectAccount {
+                project: "burst".into(),
+                ops: 0,
+                bytes: 0,
+                tape_mounts: 0,
+                violations,
+                windowed_violations,
+            }],
+        };
+        // A transient spike (instantaneous violation only) does not
+        // move the throttle while windowed alerting is configured.
+        ctl.observe(&health(1, 0));
+        assert_eq!(ctl.throttle_level("burst"), Some(0));
+        // Sustained degradation does.
+        ctl.observe(&health(0, 1));
+        assert_eq!(ctl.throttle_level("burst"), Some(1));
+        // And the throttle clears only when the window is clean, even
+        // if a fresh spike is in flight.
+        ctl.observe(&health(1, 0));
+        assert_eq!(ctl.throttle_level("burst"), Some(0));
+    }
+
+    #[test]
     fn throttling_halves_the_refill_rate() {
         let reg = registry();
         let ctl = controller(&reg);
@@ -739,6 +790,7 @@ mod tests {
                 bytes: 0,
                 tape_mounts: 0,
                 violations: 1,
+                windowed_violations: 0,
             }],
         };
         ctl.observe(&health);

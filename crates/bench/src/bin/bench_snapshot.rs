@@ -12,6 +12,7 @@
 //! `--check`, which re-measures quick-mode E1 (failing when throughput
 //! falls below half the committed figure), re-measures the tracing tax
 //! (failing when full tracing costs more than 2x the untraced run),
+//! bounds the telemetry scrape tax at 1.2x on the batched workload,
 //! bounds the WAL ingest tax at 1.5x, and re-runs a reduced recovery
 //! (failing when the replay rate falls below a quarter of the
 //! committed 100k-file row, or when the committed file has lost its
@@ -46,7 +47,7 @@ use lsdf_metadata::zebrafish_schema;
 use lsdf_obs::Registry;
 use lsdf_net::units::{PB, TEN_GBIT};
 use lsdf_net::{lsdf, NetSim, TransferModel};
-use lsdf_obs::{names, TraceConfig};
+use lsdf_obs::{names, TelemetryConfig, TraceConfig};
 use lsdf_sim::Simulation;
 use lsdf_workloads::microscopy::HtmGenerator;
 
@@ -424,6 +425,69 @@ fn trace_run(
 /// Sampling rate for the middle variant: 5 % of roots, in ppm.
 const SAMPLED_PPM: u32 = 50_000;
 
+const MS: u64 = 1_000_000;
+
+struct TelemetryRun {
+    telemetry: &'static str,
+    ops_per_s: f64,
+    scrapes: u64,
+}
+
+/// One ingest run of the E1 workload, split into per-fish batches on a
+/// ticking virtual clock. `ingest_batch` scrapes the telemetry store
+/// at most once per call (in its serial tail), so batching is what
+/// makes the scrape path run at its configured cadence: the `on`
+/// variant scrapes every batch, the `off` variant only the mandatory
+/// first scrape.
+fn telemetry_run(
+    telemetry: &'static str,
+    config: TelemetryConfig,
+    n_fish: usize,
+    edge: u32,
+) -> TelemetryRun {
+    let f = Facility::builder()
+        .tenant(ProjectSpec::new(
+            zebrafish_schema(),
+            BackendChoice::ObjectStore { capacity: u64::MAX },
+        ))
+        .telemetry(config)
+        .build()
+        .expect("facility assembles");
+    let admin = f.admin().clone();
+    let items = e1_items(n_fish, edge);
+    let n = items.len();
+    let per_batch = (n / n_fish.max(1)).max(1);
+    let mut batches: Vec<Vec<IngestItem>> = Vec::new();
+    for item in items {
+        if batches.last().is_none_or(|b| b.len() >= per_batch) {
+            batches.push(Vec::with_capacity(per_batch));
+        }
+        batches.last_mut().expect("batch pushed").push(item);
+    }
+    let t = Instant::now();
+    let mut registered = 0u64;
+    for (i, batch) in batches.into_iter().enumerate() {
+        f.obs().set_virtual_time_ns((i as u64 + 1) * MS);
+        registered += f.ingest_batch(&admin, batch, IngestPolicy::default()).registered;
+    }
+    let wall = t.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(registered as usize, n, "bench batch must fully register");
+    TelemetryRun {
+        telemetry,
+        ops_per_s: n as f64 / wall,
+        scrapes: f.obs().counter_value(names::TELEMETRY_SCRAPES_TOTAL, &[]),
+    }
+}
+
+fn telemetry_runs(n_fish: usize, edge: u32) -> Vec<TelemetryRun> {
+    vec![
+        // Effectively off: only the mandatory first scrape fires.
+        telemetry_run("off", TelemetryConfig::default().interval_ns(u64::MAX), n_fish, edge),
+        // Every batch is due: the scrape path runs once per virtual ms.
+        telemetry_run("on", TelemetryConfig::default().interval_ns(MS), n_fish, edge),
+    ]
+}
+
 fn trace_runs(n_fish: usize, edge: u32) -> Vec<TraceRun> {
     vec![
         trace_run("off", None, n_fish, edge),
@@ -432,10 +496,19 @@ fn trace_runs(n_fish: usize, edge: u32) -> Vec<TraceRun> {
     ]
 }
 
-fn trace_json(mode: &str, runs: &[TraceRun]) -> String {
+fn trace_json(mode: &str, runs: &[TraceRun], telemetry: &[TelemetryRun]) -> String {
     let off = runs.iter().find(|r| r.tracing == "off").expect("off run");
     let full = runs.iter().find(|r| r.tracing == "full").expect("full run");
     let overhead = off.ops_per_s / full.ops_per_s.max(1e-9);
+    let ts_off = telemetry
+        .iter()
+        .find(|r| r.telemetry == "off")
+        .expect("telemetry-off run");
+    let ts_on = telemetry
+        .iter()
+        .find(|r| r.telemetry == "on")
+        .expect("telemetry-on run");
+    let ts_overhead = ts_off.ops_per_s / ts_on.ops_per_s.max(1e-9);
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"experiment\": \"trace_overhead\",\n");
@@ -453,7 +526,21 @@ fn trace_json(mode: &str, runs: &[TraceRun]) -> String {
         ));
     }
     out.push_str("  ],\n");
-    out.push_str(&format!("  \"full_overhead_x\": {overhead:.3}\n"));
+    out.push_str(&format!("  \"full_overhead_x\": {overhead:.3},\n"));
+    // Telemetry scrape tax on the same workload, batched per virtual
+    // ms: `on` scrapes the registry into the TSDB every batch.
+    out.push_str("  \"telemetry_runs\": [\n");
+    for (i, r) in telemetry.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"telemetry\": \"{}\", \"ops_per_s\": {:.1}, \"scrapes\": {}}}{}\n",
+            r.telemetry,
+            r.ops_per_s,
+            r.scrapes,
+            if i + 1 < telemetry.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"telemetry_overhead_x\": {ts_overhead:.3}\n"));
     out.push_str("}\n");
     out
 }
@@ -473,6 +560,34 @@ fn check_trace_overhead() -> Result<(), String> {
     if full < off / 2.0 {
         return Err(format!(
             "full tracing costs more than 2x: {full:.1} ops/s < {off:.1}/2 ops/s"
+        ));
+    }
+    Ok(())
+}
+
+/// The telemetry-tax bound CI enforces: the batched E1 workload with a
+/// per-batch TSDB scrape must keep at least 1/1.2 of the scrape-free
+/// throughput (telemetry overhead < 1.2x). Best-of-two per side damps
+/// wall-clock noise on the short smoke batch.
+fn check_telemetry_overhead() -> Result<(), String> {
+    let best = |interval: u64| {
+        (0..2)
+            .map(|_| {
+                telemetry_run("probe", TelemetryConfig::default().interval_ns(interval), 10, 64)
+                    .ops_per_s
+            })
+            .fold(0.0f64, f64::max)
+    };
+    let off = best(u64::MAX);
+    let on = best(MS);
+    let overhead = off / on.max(1e-9);
+    println!(
+        "bench-smoke: batched ingest telemetry-off {off:.1} ops/s, telemetry-on {on:.1} ops/s \
+         ({overhead:.2}x overhead)"
+    );
+    if overhead > 1.2 {
+        return Err(format!(
+            "telemetry scrape overhead exceeds 1.2x: {on:.1} ops/s vs {off:.1} ops/s"
         ));
     }
     Ok(())
@@ -624,6 +739,7 @@ fn main() {
     if args.iter().any(|a| a == "--check") {
         if let Err(msg) = check_against_baseline(&root)
             .and_then(|()| check_trace_overhead())
+            .and_then(|()| check_telemetry_overhead())
             .and_then(|()| check_wal_overhead())
             .and_then(|()| check_recovery_baseline(&root))
         {
@@ -655,7 +771,7 @@ fn main() {
     println!("wrote {}", e3_path.display());
     print!("{e3}");
 
-    let trace = trace_json(mode, &trace_runs(n_fish, edge));
+    let trace = trace_json(mode, &trace_runs(n_fish, edge), &telemetry_runs(n_fish, edge));
     let trace_path = root.join("BENCH_TRACE.json");
     std::fs::write(&trace_path, &trace).expect("writing BENCH_TRACE.json");
     println!("wrote {}", trace_path.display());

@@ -12,7 +12,10 @@ use lsdf_admission::{AdmissionController, AdmissionError, Lane, QuotaSpec, Ticke
 use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig};
 use lsdf_durability::{ComponentDurability, DurabilityConfig, DurableStore};
 use lsdf_metadata::{ProjectStore, Schema};
-use lsdf_obs::{names, FacilityHealth, Registry, SloMonitor, SloRule, TraceConfig, TraceCtx, Tracer};
+use lsdf_obs::{
+    facility_status, names, ConsoleInputs, FacilityHealth, Registry, SloMonitor, SloRule,
+    SpanProfile, TelemetryConfig, TelemetryStore, TraceConfig, TraceCtx, Tracer,
+};
 use lsdf_pool::WorkerPool;
 use lsdf_storage::{Hsm, MigrationPolicy, ObjectStore};
 
@@ -112,6 +115,7 @@ pub struct FacilityBuilder {
     tracing: Option<TraceConfig>,
     slo_rules: Option<Vec<SloRule>>,
     durability: Option<(DurableStore, DurabilityConfig)>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl FacilityBuilder {
@@ -128,7 +132,18 @@ impl FacilityBuilder {
             tracing: None,
             slo_rules: None,
             durability: None,
+            telemetry: None,
         }
+    }
+
+    /// Overrides the telemetry store's scrape interval / retention (see
+    /// [`TelemetryConfig`]). The store itself is always on: it scrapes
+    /// the registry on the virtual clock, keeps the bounded time-series
+    /// history that powers windowed SLO rules (`window(N) ...`), and
+    /// feeds the sparklines in [`Facility::operator_report`].
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
+        self
     }
 
     /// Makes the facility's stateful services (DFS namenode, per-project
@@ -228,6 +243,7 @@ impl FacilityBuilder {
         auth.register(&self.admin_token, "admin");
         let acl = Arc::new(Acl::new());
         let tracer = self.tracing.map(|cfg| Tracer::new(&obs, cfg));
+        let telemetry = TelemetryStore::new(self.telemetry.unwrap_or_default());
         let slo = match self.slo_rules {
             Some(rules) => SloMonitor::new(rules),
             None => SloMonitor::with_defaults(),
@@ -304,6 +320,7 @@ impl FacilityBuilder {
             pool,
             ingest_obs,
             tracer,
+            telemetry,
             slo,
             admission,
             lanes,
@@ -370,6 +387,7 @@ pub struct Facility {
     pool: WorkerPool,
     ingest_obs: IngestObs,
     tracer: Option<Tracer>,
+    telemetry: TelemetryStore,
     slo: SloMonitor,
     admission: Arc<AdmissionController>,
     lanes: HashMap<String, Lane>,
@@ -478,11 +496,48 @@ impl Facility {
         &self.slo
     }
 
+    /// The always-on telemetry store: the bounded time-series history
+    /// scraped from [`Facility::obs`] on the virtual clock.
+    pub fn telemetry(&self) -> &TelemetryStore {
+        &self.telemetry
+    }
+
     /// Evaluates the SLO rules against the current registry state and
     /// returns the facility health report, including per-project
-    /// accounting (ops, bytes, tape mounts, violations).
+    /// accounting (ops, bytes, tape mounts, violations). Scrapes the
+    /// telemetry store first (if its interval has elapsed) so windowed
+    /// rules see history up to the current virtual time.
     pub fn facility_health(&self) -> FacilityHealth {
-        self.slo.evaluate(&self.obs)
+        self.telemetry.maybe_scrape(&self.obs);
+        self.slo.evaluate_with_history(&self.obs, Some(&self.telemetry))
+    }
+
+    /// Renders the operator console: per-tenant accounts with
+    /// ops/latency sparklines, lane queue depths, breaker states,
+    /// WAL/checkpoint lag, active alerts, the slowest-operations span
+    /// profile (when tracing is on), and the telemetry store's
+    /// self-accounting. Byte-identical at any worker count for a given
+    /// seed.
+    pub fn operator_report(&self) -> String {
+        let health = self.facility_health();
+        let profile = self
+            .tracer
+            .as_ref()
+            .map(|t| SpanProfile::from_traces(&t.traces()));
+        facility_status(&ConsoleInputs {
+            registry: &self.obs,
+            telemetry: Some(&self.telemetry),
+            health: &health,
+            profile: profile.as_ref(),
+        })
+    }
+
+    /// The collapsed-stack (flamegraph) export of every retained trace,
+    /// or `None` when the facility was built without tracing.
+    pub fn collapsed_stacks(&self) -> Option<String> {
+        self.tracer
+            .as_ref()
+            .map(|t| SpanProfile::from_traces(&t.traces()).collapsed_stacks())
     }
 
     /// The multi-tenant admission front door.

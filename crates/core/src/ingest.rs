@@ -449,6 +449,10 @@ impl Facility {
             });
         let outcomes = self.ingest_finalize(staged);
         trace.finish();
+        // Telemetry scrape in the serial tail: at most one scrape per
+        // interval, never inside the fan-out, so the history — and
+        // everything derived from it — is worker-count-invariant.
+        self.telemetry().maybe_scrape(self.obs());
         let mut report = IngestReport {
             shed,
             ..IngestReport::default()

@@ -33,7 +33,9 @@ pub use lsdf_metadata::{
 };
 
 pub use lsdf_obs::names;
-pub use lsdf_obs::{Clock, Counter, Gauge, Histogram, Registry, Span};
+pub use lsdf_obs::{
+    Clock, Counter, Gauge, Histogram, Registry, Span, SpanProfile, TelemetryConfig, TelemetryStore,
+};
 
 pub use lsdf_storage::{Hsm, HsmError, MigrationPolicy, ObjectStore, StoreError};
 

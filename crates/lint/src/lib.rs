@@ -281,6 +281,17 @@ const METRIC_CALLS: &[&str] = &[
     ".counter_value(",
     ".gauge_value(",
     ".counter_total(",
+    // Telemetry-store queries: the first argument is a metric name and
+    // must come from `lsdf_obs::names` like any registry call site.
+    ".counter_series(",
+    ".counter_series_filtered(",
+    ".counter_sum(",
+    ".counter_window_sum(",
+    ".counter_window_total(",
+    ".gauge_series(",
+    ".hist_series(",
+    ".hist_window_p99(",
+    ".hist_window_quantile(",
 ];
 
 /// Span/trace call sites whose name argument must also be a

@@ -96,6 +96,14 @@ fn metric_names_multiline_lookahead_sees_past_comments_and_waivers() {
 }
 
 #[test]
+fn telemetry_query_names_fire_on_bad_and_not_on_good() {
+    let bad = lint("telemetry_names/bad.rs");
+    assert_eq!(count(&bad, Rule::MetricNames), 8, "{:#?}", bad.violations);
+    let good = lint("telemetry_names/good.rs");
+    assert_eq!(count(&good, Rule::MetricNames), 0, "{:#?}", good.violations);
+}
+
+#[test]
 fn span_names_fire_on_bad_and_not_on_good() {
     let bad = lint("span_names/bad.rs");
     assert_eq!(count(&bad, Rule::MetricNames), 5, "{:#?}", bad.violations);

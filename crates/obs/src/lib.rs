@@ -25,15 +25,21 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod console;
 mod json;
 mod metric;
 pub mod names;
+mod profile;
 mod registry;
 mod slo;
+mod telemetry;
 mod trace;
 
 pub use clock::Clock;
+pub use console::{facility_status, sparkline, ConsoleInputs};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use profile::{SpanProfile, SpanProfileRow};
 pub use registry::{Event, MetricId, Registry, RegistrySnapshot, Span};
 pub use slo::{Cmp, FacilityHealth, ProjectAccount, Quantile, RuleOutcome, Selector, SloMonitor, SloRule};
+pub use telemetry::{HistPoint, TelemetryConfig, TelemetryStore};
 pub use trace::{SampleMode, SpanRecord, TraceConfig, TraceCtx, TraceEvent, TraceId, TraceRecord, Tracer};

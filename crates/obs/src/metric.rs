@@ -174,9 +174,20 @@ impl Histogram {
     /// rank, clamped to the observed maximum: it is always `>=` the true
     /// quantile and `< 2x` the true quantile for true values `>= 1`.
     pub fn quantile(&self, q: f64) -> u64 {
+        self.try_quantile(q).unwrap_or(0)
+    }
+
+    /// Nearest-rank quantile estimate, or `None` for an empty histogram.
+    ///
+    /// The edge cases are pinned down explicitly: an empty histogram has
+    /// no quantiles (`None`, which [`Histogram::quantile`] renders as 0),
+    /// and a single-sample histogram answers every quantile with that
+    /// sample's bucket estimate clamped to the sample itself — never a
+    /// stray bucket bound above it.
+    pub fn try_quantile(&self, q: f64) -> Option<u64> {
         let total = self.count();
         if total == 0 {
-            return 0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
@@ -184,10 +195,10 @@ impl Histogram {
         for (i, b) in self.inner.buckets.iter().enumerate() {
             cum += b.load(Ordering::Relaxed);
             if cum >= rank {
-                return bucket_upper(i).min(self.max());
+                return Some(bucket_upper(i).min(self.max()));
             }
         }
-        self.max()
+        Some(self.max())
     }
 
     /// A point-in-time copy of the summary statistics.
@@ -297,6 +308,31 @@ mod tests {
         assert!((3..6).contains(&p50), "p50 was {p50}");
         // p99 rank is 5 -> value 1000; clamped to max.
         assert_eq!(h.quantile(0.99), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.try_quantile(q), None, "q={q}");
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        let s = h.snapshot();
+        assert_eq!((s.count, s.p50, s.p95, s.p99, s.min, s.max), (0, 0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_histogram_answers_every_quantile_with_the_sample() {
+        for v in [0u64, 1, 7, 1000, u64::MAX] {
+            let h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                // One sample: every rank lands in its bucket, and the
+                // max-clamp collapses the bucket bound to the sample.
+                assert_eq!(h.try_quantile(q), Some(v), "v={v} q={q}");
+                assert_eq!(h.quantile(q), v, "v={v} q={q}");
+            }
+        }
     }
 
     #[test]

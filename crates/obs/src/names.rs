@@ -14,7 +14,7 @@
 //! * `snake_case`, prefixed with the owning subsystem
 //!   (`adal_`, `admission_`, `dfs_`, `hsm_`, `tape_`, `cloud_`,
 //!   `workflow_`, `facility_`, `chaos_`, `mr_`, `pool_`, `trace_`,
-//!   `wal_`, `ckpt_`, `recovery_`);
+//!   `wal_`, `ckpt_`, `recovery_`, `telemetry_`);
 //! * monotonically increasing counters end in `_total`;
 //! * nanosecond latency histograms end in `_ns`;
 //! * byte-size histograms end in `_bytes`;
@@ -319,6 +319,24 @@ pub const FACILITY_SLO_EVALUATIONS_TOTAL: &str = "facility_slo_evaluations_total
 pub const FACILITY_SLO_VIOLATIONS_TOTAL: &str = "facility_slo_violations_total";
 /// 1 while the latest evaluation passed every rule, else 0.
 pub const FACILITY_SLO_HEALTHY: &str = "facility_slo_healthy";
+/// Windowed-rule violations observed across all evaluations (counted
+/// separately from instantaneous breaches so burn-rate alerting is
+/// auditable on its own).
+pub const FACILITY_SLO_WINDOWED_VIOLATIONS_TOTAL: &str = "facility_slo_windowed_violations_total";
+
+// --- Telemetry store (the TSDB observing the registry) ----------------
+
+/// Scrape passes the telemetry store performed against the registry.
+pub const TELEMETRY_SCRAPES_TOTAL: &str = "telemetry_scrapes_total";
+/// Individual samples (counter deltas, gauge points, histogram
+/// quantile points) appended to telemetry series.
+pub const TELEMETRY_SAMPLES_TOTAL: &str = "telemetry_samples_total";
+/// Points evicted from series rings by capacity or age bounds.
+pub const TELEMETRY_EVICTIONS_TOTAL: &str = "telemetry_evictions_total";
+/// High-water mark of points retained across all series at once.
+pub const TELEMETRY_POINTS_HIGH_WATER: &str = "telemetry_points_high_water";
+/// Series currently tracked by the store.
+pub const TELEMETRY_SERIES: &str = "telemetry_series";
 
 /// Every declared metric name, for exhaustiveness checks and the
 /// `lsdf-lint` unused-name rule's own tests.
@@ -440,6 +458,12 @@ pub const ALL: &[&str] = &[
     FACILITY_SLO_EVALUATIONS_TOTAL,
     FACILITY_SLO_VIOLATIONS_TOTAL,
     FACILITY_SLO_HEALTHY,
+    FACILITY_SLO_WINDOWED_VIOLATIONS_TOTAL,
+    TELEMETRY_SCRAPES_TOTAL,
+    TELEMETRY_SAMPLES_TOTAL,
+    TELEMETRY_EVICTIONS_TOTAL,
+    TELEMETRY_POINTS_HIGH_WATER,
+    TELEMETRY_SERIES,
 ];
 
 #[cfg(test)]
@@ -472,6 +496,7 @@ mod tests {
             "wal_",
             "ckpt_",
             "recovery_",
+            "telemetry_",
         ];
         for n in ALL {
             assert!(

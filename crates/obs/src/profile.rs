@@ -1,0 +1,225 @@
+//! Span-profile aggregation: folding the trace store into per-span-name
+//! totals and a flamegraph-compatible collapsed-stack export.
+//!
+//! A trace tree answers "what happened to *this* operation"; operators
+//! also need the aggregate question — "where does the facility spend
+//! its time overall". [`SpanProfile`] folds every retained trace into
+//! per-span-name rows of call count, total (inclusive) time, self time
+//! (total minus the children's totals), child time, and worst case, and
+//! exports the `stack;path;leaf <self_ns>` collapsed-stack format that
+//! `flamegraph.pl` / speedscope / inferno consume directly.
+//!
+//! Determinism: trace trees are worker-count-invariant (creation sites
+//! are serial), the fold is a pure function of the trees, and both
+//! exports sort their lines, so the profile and the collapsed-stack
+//! file are byte-identical at any worker count for a given seed.
+
+use std::collections::BTreeMap;
+
+use crate::trace::{SpanRecord, TraceRecord};
+
+/// Aggregated timing for one span name across every folded trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanProfileRow {
+    /// Span name (a `lsdf_obs::names` const at record time).
+    pub name: String,
+    /// Times a span with this name completed.
+    pub count: u64,
+    /// Σ inclusive durations.
+    pub total_ns: u64,
+    /// Σ (inclusive − children's inclusive): time spent in the span
+    /// itself.
+    pub self_ns: u64,
+    /// Σ children's inclusive durations.
+    pub child_ns: u64,
+    /// Largest single inclusive duration.
+    pub max_ns: u64,
+}
+
+/// A fold of trace trees into per-span-name totals plus collapsed
+/// stacks.
+#[derive(Clone, Debug, Default)]
+pub struct SpanProfile {
+    rows: BTreeMap<String, SpanProfileRow>,
+    /// `root;child;...;leaf` → Σ self-time of spans at that stack.
+    stacks: BTreeMap<String, u64>,
+}
+
+impl SpanProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        SpanProfile::default()
+    }
+
+    /// Folds every trace in `traces` (typically `Tracer::traces()`).
+    pub fn from_traces(traces: &[TraceRecord]) -> Self {
+        let mut p = SpanProfile::new();
+        for t in traces {
+            p.fold(&t.root);
+        }
+        p
+    }
+
+    /// Folds one span tree into the profile.
+    pub fn fold(&mut self, root: &SpanRecord) {
+        self.fold_at(root, String::new());
+    }
+
+    fn fold_at(&mut self, span: &SpanRecord, prefix: String) {
+        let stack = if prefix.is_empty() {
+            span.name.to_string()
+        } else {
+            format!("{prefix};{}", span.name)
+        };
+        let total = span.duration_ns();
+        let child: u64 = span.children.iter().map(SpanRecord::duration_ns).sum();
+        let own = total.saturating_sub(child);
+        let row = self.rows.entry(span.name.to_string()).or_default();
+        if row.name.is_empty() {
+            row.name = span.name.to_string();
+        }
+        row.count += 1;
+        row.total_ns += total;
+        row.self_ns += own;
+        row.child_ns += child.min(total);
+        row.max_ns = row.max_ns.max(total);
+        *self.stacks.entry(stack.clone()).or_insert(0) += own;
+        for c in &span.children {
+            self.fold_at(c, stack.clone());
+        }
+    }
+
+    /// Rows sorted by descending total time (ties broken by name), the
+    /// order the slowest-operations table presents.
+    pub fn rows_by_total(&self) -> Vec<&SpanProfileRow> {
+        let mut rows: Vec<&SpanProfileRow> = self.rows.values().collect();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        rows
+    }
+
+    /// The row for one span name, if that name ever completed.
+    pub fn row(&self, name: &str) -> Option<&SpanProfileRow> {
+        self.rows.get(name)
+    }
+
+    /// Collapsed-stack export (`stack;path;leaf <self_ns>`, one line
+    /// per distinct stack, sorted lexicographically): feed straight to
+    /// `flamegraph.pl` or speedscope. Zero-self-time stacks are kept —
+    /// they document structure even when the virtual clock stood still.
+    pub fn collapsed_stacks(&self) -> String {
+        let mut out = String::with_capacity(self.stacks.len() * 32);
+        for (stack, self_ns) in &self.stacks {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the slowest-operations table: top `n` span names by
+    /// total time with count / total / self / mean / max columns.
+    pub fn render_slowest(&self, n: usize) -> String {
+        let rows = self.rows_by_total();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>14} {:>14} {:>12} {:>12}\n",
+            "span", "count", "total_ns", "self_ns", "mean_ns", "max_ns"
+        ));
+        for row in rows.iter().take(n) {
+            let mean = row.total_ns.checked_div(row.count).unwrap_or(0);
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>14} {:>14} {:>12} {:>12}\n",
+                row.name, row.count, row.total_ns, row.self_ns, mean, row.max_ns
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+    use crate::trace::TraceId;
+
+    fn span(name: &'static str, start: u64, end: u64, children: Vec<SpanRecord>) -> SpanRecord {
+        SpanRecord {
+            name,
+            start_ns: start,
+            end_ns: end,
+            fields: vec![],
+            events: vec![],
+            children,
+        }
+    }
+
+    fn tree() -> TraceRecord {
+        // root [0,100]: child A [10,40], child B [40,90] with leaf [50,60].
+        TraceRecord {
+            trace_id: TraceId(1),
+            key: "k".into(),
+            root: span(
+                names::ADAL_PUT_SPAN,
+                0,
+                100,
+                vec![
+                    span(names::ADAL_ATTEMPT_SPAN, 10, 40, vec![]),
+                    span(
+                        names::ADAL_PRIMARY_PUT_SPAN,
+                        40,
+                        90,
+                        vec![span(names::DFS_WRITE_SPAN, 50, 60, vec![])],
+                    ),
+                ],
+            ),
+        }
+    }
+
+    #[test]
+    fn self_time_is_total_minus_children() {
+        let p = SpanProfile::from_traces(&[tree()]);
+        let root = p.row(names::ADAL_PUT_SPAN).unwrap();
+        assert_eq!(root.count, 1);
+        assert_eq!(root.total_ns, 100);
+        assert_eq!(root.child_ns, 80);
+        assert_eq!(root.self_ns, 20);
+        let primary = p.row(names::ADAL_PRIMARY_PUT_SPAN).unwrap();
+        assert_eq!(primary.self_ns, 40);
+        assert_eq!(primary.child_ns, 10);
+        // Self times across all rows sum to the root's wall time.
+        let self_sum: u64 = p.rows_by_total().iter().map(|r| r.self_ns).sum();
+        assert_eq!(self_sum, 100);
+    }
+
+    #[test]
+    fn collapsed_stacks_are_sorted_and_flamegraph_shaped() {
+        let p = SpanProfile::from_traces(&[tree(), tree()]);
+        let out = p.collapsed_stacks();
+        let lines: Vec<&str> = out.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "stacks are emitted sorted");
+        assert!(out.contains(&format!(
+            "{};{};{} 20\n",
+            names::ADAL_PUT_SPAN,
+            names::ADAL_PRIMARY_PUT_SPAN,
+            names::DFS_WRITE_SPAN
+        )));
+        for line in &lines {
+            let (_, n) = line.rsplit_once(' ').unwrap();
+            n.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn slowest_table_orders_by_total_time() {
+        let p = SpanProfile::from_traces(&[tree()]);
+        let table = p.render_slowest(2);
+        let mut lines = table.lines();
+        assert!(lines.next().unwrap().starts_with("span"));
+        assert!(lines.next().unwrap().starts_with(names::ADAL_PUT_SPAN));
+        assert!(lines.next().unwrap().starts_with(names::ADAL_PRIMARY_PUT_SPAN));
+        assert_eq!(lines.next(), None);
+    }
+}

@@ -68,6 +68,14 @@ pub const DURABLE_DEVICES: LockRank = rank(510, "durable_devices");
 /// Innermost of the durability stack.
 pub const MEMDISK_STATE: LockRank = rank(520, "memdisk_state");
 
+/// Telemetry ring-buffer store (`TelemetryStore::inner`); held across
+/// the registry snapshot a scrape folds in and the self-metric updates
+/// it records, so it ranks below the registry tables. It never nests
+/// with the SLO window lock: windowed rules query the store through
+/// methods that return owned data before the monitor takes its own
+/// lock.
+pub const OBS_TELEMETRY: LockRank = rank(830, "obs_telemetry");
+
 /// SLO monitor window state (`SloMonitor::windows`); held across
 /// registry reads and metric updates, so it ranks below the registry
 /// tables.
@@ -116,6 +124,7 @@ mod tests {
             WAL_ACTIVE,
             DURABLE_DEVICES,
             MEMDISK_STATE,
+            OBS_TELEMETRY,
             OBS_SLO_WINDOWS,
             OBS_SPAN_CELL,
             OBS_TRACE_STORE,

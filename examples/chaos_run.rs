@@ -10,7 +10,9 @@
 //! The same seed always produces the same faults, the same retries and
 //! the same report — paste a failing seed into a test and it replays.
 //! Artifacts land under `target/`: `chaos-trace.json` (open it at
-//! chrome://tracing) and `facility-health.json` (the final SLO report).
+//! chrome://tracing), `facility-health.json` (the final SLO report),
+//! `operator-report.txt` (the operator console), and
+//! `chaos-collapsed.txt` (collapsed stacks for flamegraph.pl).
 
 
 #![allow(clippy::print_stdout)] // binaries report to stdout by design
@@ -22,7 +24,10 @@ use lsdf_adal::{
     Acl, Adal, Credential, ObjectStoreBackend, ResilienceConfig, StorageBackend, TokenAuth,
 };
 use lsdf_chaos::{FaultPlan, FaultyBackend};
-use lsdf_obs::{names, Registry, SloMonitor, SloRule, TraceConfig, Tracer};
+use lsdf_obs::{
+    facility_status, names, ConsoleInputs, Registry, SloMonitor, SloRule, SpanProfile,
+    TelemetryConfig, TelemetryStore, TraceConfig, Tracer,
+};
 use lsdf_sim::SimRng;
 use lsdf_storage::ObjectStore;
 
@@ -57,6 +62,9 @@ fn main() {
     let rule = format!("gauge({}{{project=screening}}) == 0", names::ADAL_BREAKER_STATE);
     let monitor = SloMonitor::new(vec![SloRule::parse(&rule).expect("rule parses")]);
     let mut violated_evals = 0u64;
+    // Telemetry history every 10 virtual ms: feeds the sparklines in
+    // the operator report written at the end of the run.
+    let telemetry = TelemetryStore::new(TelemetryConfig::default().interval_ns(10 * MS));
 
     // Primary disk array wrapped in a fault plan: 5 % transient errors,
     // 2 % torn writes, and a hard outage for backend ops 60..90.
@@ -106,6 +114,7 @@ fn main() {
         if !monitor.evaluate(&reg).healthy {
             violated_evals += 1;
         }
+        telemetry.maybe_scrape(&reg);
     }
 
     // Recovery: cool the breaker down and drain the redo journal.
@@ -158,6 +167,23 @@ fn main() {
     let health_path = "target/facility-health.json";
     std::fs::write(health_path, health.to_json()).expect("write health report");
     println!("wrote {health_path}");
+
+    // Operator console + span profile: the same artifacts CI uploads
+    // from the chaos soak, reproducible byte-for-byte from the seed.
+    telemetry.scrape(&reg);
+    let profile = SpanProfile::from_traces(&tracer.traces());
+    let report = facility_status(&ConsoleInputs {
+        registry: &reg,
+        telemetry: Some(&telemetry),
+        health: &health,
+        profile: Some(&profile),
+    });
+    let report_path = "target/operator-report.txt";
+    std::fs::write(report_path, &report).expect("write operator report");
+    println!("wrote {report_path}");
+    let collapsed_path = "target/chaos-collapsed.txt";
+    std::fs::write(collapsed_path, profile.collapsed_stacks()).expect("write collapsed stacks");
+    println!("wrote {collapsed_path} (flamegraph.pl-compatible collapsed stacks)");
 
     println!("\n--- obs report (JSON) ---");
     println!("{}", reg.to_json());

@@ -37,6 +37,13 @@ lint-json:
 lint-baseline:
     cargo run --release -p lsdf-lint -- --write-baseline
 
+# Operator console: run the seeded chaos demo and print the facility
+# status report it writes (tenant sparklines, breakers, durability lag,
+# active alerts, slowest operations).
+status:
+    cargo run --release -p lsdf-examples --bin chaos_run -- 42 > /dev/null
+    cat target/operator-report.txt
+
 # Seeded chaos: the 10k-op fault-injection soak plus the demo run.
 chaos:
     cargo test -q -p lsdf-integration --test chaos_soak

@@ -25,7 +25,9 @@ use lsdf_adal::{
 };
 use lsdf_chaos::{FaultPlan, FaultyBackend};
 use lsdf_dfs::{ClusterTopology, Dfs, DfsConfig, DfsNodeId};
-use lsdf_obs::Registry;
+use lsdf_obs::{
+    facility_status, ConsoleInputs, Registry, SloMonitor, SloRule, TelemetryConfig, TelemetryStore,
+};
 use lsdf_sim::SimRng;
 use lsdf_storage::{sha256, Hsm, MigrationPolicy, ObjectStore};
 use lsdf_obs::names;
@@ -42,7 +44,8 @@ fn replica(name: &str) -> Arc<dyn StorageBackend> {
 }
 
 /// Runs the soak with a given worker-pool width and returns the
-/// registry JSON (the determinism witness). Panics on any violated
+/// determinism witness: registry JSON, telemetry history, and the
+/// mid-run + closing operator reports. Panics on any violated
 /// invariant. `workers > 1` exercises the parallel primary/replica
 /// fan-out in `resilient_put`; the durability contract (and the final
 /// registry) must not depend on the width.
@@ -129,6 +132,20 @@ fn run_soak_with(seed: u64, workers: usize) -> String {
         );
     }
 
+    // The operator's view of the soak: telemetry history scraped every
+    // 500 virtual ms plus a windowed SLO distinguishing the scheduled
+    // outages (sustained) from background transients (spikes). The
+    // periodic report is folded into the determinism witness below, so
+    // worker-count invariance covers the console too.
+    let telemetry = TelemetryStore::new(TelemetryConfig::default().interval_ns(500 * MS));
+    let monitor = SloMonitor::new(vec![SloRule::parse(&format!(
+        "window(4) rate({} / {}) <= 0.25",
+        names::ADAL_TRANSIENT_OBSERVED_TOTAL,
+        names::ADAL_PROJECT_OPS_TOTAL
+    ))
+    .expect("rule parses")]);
+    let mut last_report = String::new();
+
     // The model: every ACKED put, by full path. BTreeMap so the final
     // verification sweep is deterministic.
     let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
@@ -211,7 +228,24 @@ fn run_soak_with(seed: u64, workers: usize) -> String {
             }
             _ => {}
         }
+        telemetry.maybe_scrape(&reg);
+        // Periodic reporter hook: every 2 000 ops an operator report is
+        // rendered exactly as `just status` would show it mid-soak.
+        if i % 2_000 == 1_999 {
+            let health = monitor.evaluate_with_history(&reg, Some(&telemetry));
+            last_report = facility_status(&ConsoleInputs {
+                registry: &reg,
+                telemetry: Some(&telemetry),
+                health: &health,
+                profile: None,
+            });
+            assert!(
+                last_report.contains("== facility status"),
+                "report lost its header at op {i}"
+            );
+        }
     }
+    assert!(!last_report.is_empty(), "reporter hook never fired");
 
     // Recovery: let every breaker cool down and drain the journals dry.
     let mut t = 1 + OPS * MS;
@@ -283,7 +317,18 @@ fn run_soak_with(seed: u64, workers: usize) -> String {
     assert!(reg.counter_total(names::ADAL_WRITE_VERIFY_FAILURES_TOTAL) >= 1);
     assert!(reg.counter_value(names::DFS_FLAKY_FAILURES_TOTAL, &[]) >= 1);
 
-    reg.to_json()
+    // Closing report: scrape once more after recovery so the console
+    // shows the drained state, then fold report + telemetry history
+    // into the witness alongside the registry.
+    telemetry.scrape(&reg);
+    let health = monitor.evaluate_with_history(&reg, Some(&telemetry));
+    let report = facility_status(&ConsoleInputs {
+        registry: &reg,
+        telemetry: Some(&telemetry),
+        health: &health,
+        profile: None,
+    });
+    format!("{}\n{}\n{}\n{}", reg.to_json(), telemetry.to_json(), last_report, report)
 }
 
 #[test]

@@ -1,0 +1,294 @@
+//! Telemetry soak: the facility's time-series pipeline under a seeded
+//! sustained chaos burn.
+//!
+//! The observability contract under test:
+//! * **exact reconciliation** — after the final scrape, every counter
+//!   series in the [`TelemetryStore`] sums (base + retained deltas)
+//!   exactly to the live registry value, eviction notwithstanding, and
+//!   every gauge series ends on the live gauge value;
+//! * **windows beat instants** — a sustained ~30% error burn on one
+//!   tenant hides below a facility-wide instantaneous spike rule
+//!   (diluted by the healthy tenant's traffic) but trips the windowed
+//!   per-project burn-rate rule, which attributes the breach to the
+//!   burning project;
+//! * **the governor follows the windowed signal** — the burning tenant
+//!   is throttled from windowed violations alone, the healthy tenant is
+//!   never touched;
+//! * **determinism** — the operator report, the collapsed-stack
+//!   export, the telemetry JSON and the registry JSON are all
+//!   byte-identical at 1, 4 and 8 pool workers for a fixed seed.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use lsdf_adal::ObjectStoreBackend;
+use lsdf_chaos::{FaultPlan, FaultyBackend};
+use lsdf_core::prelude::*;
+use lsdf_metadata::{Document, FieldType, SchemaBuilder, Value};
+use lsdf_obs::{SloRule, TraceConfig};
+use lsdf_sim::SimRng;
+use lsdf_storage::ObjectStore;
+
+const ROUNDS: u64 = 24;
+const ROUND_NS: u64 = 100_000_000; // 100 ms of virtual time per round
+const BURNER: &str = "beamline";
+const HEALTHY: &str = "imaging";
+/// Injected transient-error rate on the burner's backend: high enough
+/// to torch a 5% error budget, low enough to hide under a 50%
+/// facility-wide spike threshold.
+const BURN_RATE: f64 = 0.3;
+/// The windowed burn-rate rule: rejected-vs-admitted over the last 6
+/// scrape intervals, against a 5% error budget, alerting at 2x burn.
+const WINDOW: u64 = 6;
+
+fn schema(name: &str) -> Schema {
+    SchemaBuilder::new(name)
+        .required("run", FieldType::Int)
+        .build()
+        .unwrap()
+}
+
+fn doc(run: i64) -> Document {
+    let mut d = Document::new();
+    d.insert("run".to_string(), Value::Int(run));
+    d
+}
+
+struct SoakOutcome {
+    registry_json: String,
+    telemetry_json: String,
+    operator_report: String,
+    collapsed_stacks: String,
+    burn_alert_rounds: Vec<u64>,
+    spike_alert_rounds: Vec<u64>,
+    burner_throttle: i64,
+    healthy_throttle: i64,
+}
+
+fn run_soak(seed: u64, workers: usize) -> SoakOutcome {
+    let reg = Arc::new(Registry::new());
+    reg.set_virtual_time_ns(1);
+
+    let spike_rule = "rate(chaos_injected_total / admission_admitted_total) <= 0.5".to_string();
+    let burn_rule = format!(
+        "window({WINDOW}) burn(facility_ingest_total{{outcome=rejected,project={BURNER}}} / \
+         admission_admitted_total{{lane=bulk,project={BURNER}}}, 0.05) <= 2"
+    );
+    let f = Facility::builder()
+        .registry(reg.clone())
+        .workers(workers)
+        .tracing(TraceConfig::full().seed(seed))
+        // One scrape per soak round; capacity below ROUNDS so the ring
+        // must evict (and fold counter mass into the base) mid-run.
+        .telemetry(
+            TelemetryConfig::default()
+                .interval_ns(ROUND_NS)
+                .capacity(12),
+        )
+        .slo(vec![
+            SloRule::parse(&spike_rule).expect("spike rule parses"),
+            SloRule::parse(&burn_rule).expect("burn rule parses"),
+        ])
+        .tenant(ProjectSpec::new(
+            schema(HEALTHY),
+            BackendChoice::ObjectStore { capacity: u64::MAX },
+        ))
+        .tenant(ProjectSpec::new(
+            schema(BURNER),
+            BackendChoice::ObjectStore { capacity: u64::MAX },
+        ))
+        .build()
+        .expect("facility assembles");
+
+    // Remount the burner on a chaos backend injecting transient I/O
+    // errors at BURN_RATE. Every soak op on it is a fixed-size write,
+    // so the fault-draw sequence — and every aggregate it feeds — is
+    // worker-order independent.
+    let store = Arc::new(ObjectStore::new("beamline-chaos", u64::MAX));
+    let faulty = FaultyBackend::new(
+        BURNER,
+        Arc::new(ObjectStoreBackend::new(store)),
+        FaultPlan::quiet(seed).transient(BURN_RATE),
+        &reg,
+    );
+    f.adal().mount(BURNER, faulty);
+
+    let admin = f.admin().clone();
+    let mut rng = SimRng::seed_from_u64(seed).stream("telemetry-soak");
+    let mut burn_alert_rounds = Vec::new();
+    let mut spike_alert_rounds = Vec::new();
+    for round in 0..ROUNDS {
+        reg.set_virtual_time_ns((round + 1) * ROUND_NS);
+        let mut items = Vec::new();
+        for i in 0..8u64 {
+            let len = rng.range_u64(64, 512) as usize;
+            let payload: Vec<u8> = (0..len).map(|_| rng.range_u64(0, 256) as u8).collect();
+            items.push(IngestItem {
+                project: HEALTHY.to_string(),
+                key: format!("img/{round:03}/{i:02}"),
+                data: Bytes::from(payload),
+                metadata: Some(doc((round * 100 + i) as i64)),
+            });
+        }
+        for i in 0..12u64 {
+            // Fixed-size burner payloads: whichever item draws a fault,
+            // the byte/latency aggregates are the same multiset.
+            let payload: Vec<u8> = (0..256).map(|_| rng.range_u64(0, 256) as u8).collect();
+            items.push(IngestItem {
+                project: BURNER.to_string(),
+                key: format!("beam/{round:03}/{i:02}"),
+                data: Bytes::from(payload),
+                metadata: Some(doc((round * 100 + i) as i64)),
+            });
+        }
+        // ingest_batch ends with the serial telemetry scrape hook; the
+        // govern() that follows evaluates against that fresh history.
+        f.ingest_batch(&admin, items, IngestPolicy::default());
+        let health = f.govern();
+        for outcome in &health.rules {
+            if outcome.ok {
+                continue;
+            }
+            if outcome.rule == burn_rule {
+                burn_alert_rounds.push(round);
+            } else if outcome.rule == spike_rule {
+                spike_alert_rounds.push(round);
+            }
+        }
+        // Attribution: every breach of the burning tenant is windowed,
+        // and the healthy tenant is never attributed anything.
+        for acct in &health.projects {
+            if acct.project == BURNER {
+                assert_eq!(acct.violations, 0, "round {round}: instantaneous breach");
+            } else {
+                assert_eq!(
+                    (acct.violations, acct.windowed_violations),
+                    (0, 0),
+                    "round {round}: healthy tenant {} was blamed",
+                    acct.project
+                );
+            }
+        }
+    }
+
+    // --- Exact reconciliation: one final scrape, then compare every
+    // counter and gauge series against the live registry. Nothing
+    // mutates between the scrape and the snapshot, so equality must be
+    // exact — the store's own telemetry_* series lag one scrape by
+    // design (self-accounting is recorded after the snapshot is taken).
+    reg.set_virtual_time_ns((ROUNDS + 1) * ROUND_NS);
+    f.telemetry().scrape(&reg);
+    let snap = reg.snapshot();
+    for (id, value) in &snap.counters {
+        let labels: Vec<(&str, &str)> = id
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let sum = f.telemetry().counter_sum(&id.name, &labels);
+        if id.name.starts_with("telemetry_") {
+            assert!(sum <= *value, "{id}: TSDB sum {sum} ahead of registry {value}");
+        } else {
+            assert_eq!(sum, *value, "{id}: TSDB sum diverged from registry");
+        }
+    }
+    for (id, value) in &snap.gauges {
+        let labels: Vec<(&str, &str)> = id
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let last = f
+            .telemetry()
+            .gauge_series(&id.name, &labels)
+            .last()
+            .map(|(_, v)| *v);
+        if !id.name.starts_with("telemetry_") {
+            assert_eq!(last, Some(*value), "{id}: gauge series ended off the live value");
+        }
+    }
+    // The self-accounting lags exactly one scrape: the final scrape's
+    // snapshot saw every previous scrape's increment but not its own.
+    let scrapes = reg.counter_value(names::TELEMETRY_SCRAPES_TOTAL, &[]);
+    assert_eq!(scrapes, ROUNDS + 1, "one scrape per round plus the final");
+    assert_eq!(
+        f.telemetry().counter_sum(names::TELEMETRY_SCRAPES_TOTAL, &[]),
+        scrapes - 1
+    );
+    // The ring actually evicted (capacity 12 < 25 scrapes) — so the
+    // exact reconciliation above covered the base-folding path.
+    assert!(
+        reg.counter_value(names::TELEMETRY_EVICTIONS_TOTAL, &[]) > 0,
+        "soak never exercised eviction"
+    );
+
+    let burner_throttle = reg.gauge_value(names::ADMISSION_THROTTLE_LEVEL, &[("project", BURNER)]);
+    let healthy_throttle = reg.gauge_value(names::ADMISSION_THROTTLE_LEVEL, &[("project", HEALTHY)]);
+
+    SoakOutcome {
+        registry_json: reg.to_json(),
+        telemetry_json: f.telemetry().to_json(),
+        operator_report: f.operator_report(),
+        collapsed_stacks: f.collapsed_stacks().expect("tracing is on"),
+        burn_alert_rounds,
+        spike_alert_rounds,
+        burner_throttle,
+        healthy_throttle,
+    }
+}
+
+#[test]
+fn windowed_burn_alert_catches_what_the_instantaneous_rule_misses() {
+    let soak = run_soak(1701, 1);
+    assert!(
+        !soak.burn_alert_rounds.is_empty(),
+        "the sustained burn never tripped the windowed rule"
+    );
+    assert!(
+        soak.spike_alert_rounds.is_empty(),
+        "the facility-wide spike rule should stay silent on a diluted burn; \
+         fired in rounds {:?}",
+        soak.spike_alert_rounds
+    );
+    // The governor acted on the windowed signal alone.
+    assert!(
+        soak.burner_throttle > 0,
+        "governor never throttled the burning tenant"
+    );
+    assert_eq!(soak.healthy_throttle, 0, "healthy tenant was throttled");
+    // The alert is on the console, attributed and marked sustained.
+    assert!(
+        soak.operator_report.contains("[sustained]"),
+        "operator report lost the active windowed alert:\n{}",
+        soak.operator_report
+    );
+    assert!(soak.operator_report.contains(BURNER));
+}
+
+#[test]
+fn telemetry_soak_is_byte_identical_at_any_worker_count() {
+    let serial = run_soak(42, 1);
+    assert!(!serial.collapsed_stacks.is_empty());
+    assert!(!serial.burn_alert_rounds.is_empty());
+    for workers in [4usize, 8] {
+        let pooled = run_soak(42, workers);
+        assert_eq!(
+            serial.registry_json, pooled.registry_json,
+            "registry diverged at {workers} workers"
+        );
+        assert_eq!(
+            serial.telemetry_json, pooled.telemetry_json,
+            "telemetry history diverged at {workers} workers"
+        );
+        assert_eq!(
+            serial.operator_report, pooled.operator_report,
+            "operator report diverged at {workers} workers"
+        );
+        assert_eq!(
+            serial.collapsed_stacks, pooled.collapsed_stacks,
+            "collapsed stacks diverged at {workers} workers"
+        );
+        assert_eq!(serial.burn_alert_rounds, pooled.burn_alert_rounds);
+    }
+}

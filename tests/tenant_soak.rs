@@ -54,6 +54,7 @@ struct VictimWait {
 
 struct SoakOutcome {
     registry_json: String,
+    operator_report: String,
     victim_waits: Vec<VictimWait>,
     flooder_usage: ProjectUsage,
     total_shed: u64,
@@ -126,6 +127,16 @@ fn run_soak(seed: u64, workers: usize, flood_multiplier: u64) -> SoakOutcome {
         total_shed += report.shed;
         registered += report.registered;
         f.govern();
+        // Periodic reporter hook: every tenth round an operator would
+        // glance at the console; the render must never panic mid-flood
+        // and always carries the tenant table.
+        if round % 10 == 9 {
+            let status = f.operator_report();
+            assert!(
+                status.contains("-- tenants --"),
+                "round {round}: operator report lost its tenant table"
+            );
+        }
     }
 
     // Zero acked-write loss: every registered dataset reads back with
@@ -179,6 +190,7 @@ fn run_soak(seed: u64, workers: usize, flood_multiplier: u64) -> SoakOutcome {
 
     SoakOutcome {
         registry_json: reg.to_json(),
+        operator_report: f.operator_report(),
         victim_waits,
         flooder_usage,
         total_shed,
@@ -230,6 +242,10 @@ fn flooded_soak_is_bit_identical_at_any_worker_count() {
         assert_eq!(
             serial.registry_json, pooled.registry_json,
             "registry diverged at {workers} workers"
+        );
+        assert_eq!(
+            serial.operator_report, pooled.operator_report,
+            "operator report diverged at {workers} workers"
         );
         assert_eq!(serial.total_shed, pooled.total_shed);
         assert_eq!(serial.flooder_usage, pooled.flooder_usage);

@@ -2,8 +2,9 @@
 //! builds: a deterministic mini property-testing engine. Strategies
 //! generate values from a per-test seeded SplitMix64 stream (no
 //! shrinking); `proptest!`, the `prop_assert*` macros, `any`,
-//! `collection::{vec, hash_set}`, `sample::select`, numeric-range and
-//! tuple strategies, and `TestRunner` cover this workspace's usage.
+//! `collection::{vec, hash_set}`, `option::of`, `sample::select`,
+//! numeric-range / tuple / pattern-string strategies, `prop_map`,
+//! `prop_oneof!`, and `TestRunner` cover this workspace's usage.
 
 pub mod test_runner {
     /// Deterministic generator state: SplitMix64 seeded from the test
@@ -132,6 +133,133 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values, mirroring upstream
+        /// `Strategy::prop_map` (minus shrinking, which this engine
+        /// does not do).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice between heterogeneous strategies with one value
+    /// type — what `prop_oneof!` builds.
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! of zero strategies");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() as usize) % self.options.len();
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Erases a strategy's type so `prop_oneof!` arms unify.
+    pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(strategy)
+    }
+
+    /// String strategies from a regex-ish pattern, mirroring the
+    /// upstream `impl Strategy for &str`. Supported subset: literal
+    /// characters, `[...]` classes with `a-z` ranges (a `-` first or
+    /// last is literal), and `{n}` / `{m,n}` / `?` repetition.
+    /// Anything else panics — extend the generator before using new
+    /// syntax in a test.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let chars: Vec<char> = self.chars().collect();
+            let mut out = String::new();
+            let mut i = 0;
+            while i < chars.len() {
+                let alphabet: Vec<char> = if chars[i] == '[' {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed `[` in pattern {self:?}"))
+                        + i
+                        + 1;
+                    let inner = &chars[i + 1..close];
+                    let mut set = Vec::new();
+                    let mut j = 0;
+                    while j < inner.len() {
+                        if j + 2 < inner.len() && inner[j + 1] == '-' {
+                            set.extend(inner[j]..=inner[j + 2]);
+                            j += 3;
+                        } else {
+                            set.push(inner[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    set
+                } else {
+                    let c = chars[i];
+                    assert!(
+                        !"(){}|?*+\\.".contains(c),
+                        "unsupported pattern syntax `{c}` in {self:?}"
+                    );
+                    i += 1;
+                    vec![c]
+                };
+                let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed `{{` in pattern {self:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    let bounds = match body.split_once(',') {
+                        Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                        None => {
+                            let n: usize = body.parse().unwrap();
+                            (n, n)
+                        }
+                    };
+                    i = close + 1;
+                    bounds
+                } else if i < chars.len() && chars[i] == '?' {
+                    i += 1;
+                    (0, 1)
+                } else {
+                    (1, 1)
+                };
+                let n = lo + (rng.next_u64() as usize) % (hi - lo + 1);
+                for _ in 0..n {
+                    out.push(alphabet[(rng.next_u64() as usize) % alphabet.len()]);
+                }
+            }
+            out
+        }
     }
 
     /// A strategy that always yields a clone of one value.
@@ -238,6 +366,9 @@ pub mod strategy {
         (A, B, C)
         (A, B, C, D)
         (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
     }
 }
 
@@ -406,6 +537,33 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // None a quarter of the time: both arms stay well covered
+            // at the default 64 cases.
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `prop::option::of`: wraps a strategy's values in `Option`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
 pub mod sample {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -431,12 +589,23 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
 
     pub mod prop {
         pub use crate::collection;
+        pub use crate::option;
         pub use crate::sample;
     }
+}
+
+/// Uniform choice between strategies yielding the same value type.
+/// Upstream weights (`w => strat`) are not supported — every arm is
+/// equally likely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
 }
 
 #[macro_export]
@@ -588,6 +757,31 @@ mod tests {
             }
         });
         assert!(err.is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn combinators_and_patterns(
+            tagged in prop_oneof![
+                (0u32..10).prop_map(|n| n as i64),
+                (0u32..10).prop_map(|n| -(n as i64) - 1),
+            ],
+            name in "[a-z][a-z0-9_]{0,5}",
+            punct in "[a-z0-9_.-]{2,4}",
+            lit in "x[0-9]?y",
+            maybe in prop::option::of(1u32..5),
+        ) {
+            prop_assert!((-11..10).contains(&tagged));
+            prop_assert!((1..=6).contains(&name.len()));
+            prop_assert!(name.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(name.chars().all(|c| c == '_' || c.is_ascii_alphanumeric()));
+            prop_assert!((2..=4).contains(&punct.len()));
+            prop_assert!(punct.chars().all(|c| "abcdefghijklmnopqrstuvwxyz0123456789_.-".contains(c)));
+            prop_assert!(lit == "xy" || (lit.len() == 3 && lit.starts_with('x') && lit.ends_with('y')));
+            if let Some(v) = maybe {
+                prop_assert!((1..5).contains(&v));
+            }
+        }
     }
 
     #[test]
